@@ -1,0 +1,85 @@
+// Ablation: spatial index for the expanded-query filter (§4.3 names both
+// R-tree and grid-file indexing). Compares R-tree, uniform grid and a
+// linear scan on the IPQ workload across uncertainty sizes.
+
+#include "bench_common.h"
+#include "core/duality.h"
+#include "index/grid_index.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Ablation", "index structure for the Minkowski filter (IPQ)");
+  const size_t queries = BenchQueriesPerPoint(120);
+  const double scale = BenchDatasetScale();
+  const std::vector<PointObject> points = CaliforniaPoints(scale);
+
+  QueryEngine engine = [&] {
+    Result<QueryEngine> e = QueryEngine::Build(points, {}, {});
+    ILQ_CHECK(e.ok(), e.status().ToString());
+    return std::move(e).ValueOrDie();
+  }();
+
+  Result<GridIndex> grid_made =
+      GridIndex::Create(Rect(0, 10000, 0, 10000), 128, 128);
+  ILQ_CHECK(grid_made.ok(), grid_made.status().ToString());
+  GridIndex grid = std::move(grid_made).ValueOrDie();
+  for (const PointObject& p : points) {
+    grid.Insert(Rect::AtPoint(p.location), p.id);
+  }
+
+  auto grid_ipq = [&](const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, IndexStats* stats) {
+    const Rect expanded = issuer.region().Expanded(spec.w, spec.h);
+    size_t answers = 0;
+    grid.Query(expanded,
+               [&](const Rect& box, ObjectId) {
+                 if (PointQualification(issuer.pdf(), box.Center(), spec.w,
+                                        spec.h) > 0) {
+                   ++answers;
+                 }
+               },
+               stats);
+    return answers;
+  };
+  auto scan_ipq = [&](const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, IndexStats* stats) {
+    size_t answers = 0;
+    for (const PointObject& p : points) {
+      if (stats != nullptr) ++stats->candidates;
+      if (PointQualification(issuer.pdf(), p.location, spec.w, spec.h) > 0) {
+        ++answers;
+      }
+    }
+    return answers;
+  };
+
+  SeriesTable table("Ablation — index choice, IPQ (w = 500)", "u",
+                    {"R-tree", "Grid", "Scan"});
+  for (double u : {100.0, 250.0, 500.0, 1000.0}) {
+    const Workload workload = MakeWorkload(u, 500.0, 0.0, queries);
+    const CellResult rtree = RunCell(
+        workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return engine.Ipq(issuer, workload.spec, stats).size();
+        });
+    const CellResult grid_cell = RunCell(
+        workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return grid_ipq(issuer, workload.spec, stats);
+        });
+    const CellResult scan = RunCell(
+        workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return scan_ipq(issuer, workload.spec, stats);
+        });
+    table.AddRow(u, {rtree, grid_cell, scan});
+  }
+  table.Print();
+  (void)table.WriteCsv("abl_index_choice.csv");
+  std::printf("expected shape: both indexes beat the scan decisively for "
+              "selective queries; R-tree and grid are comparable, with the "
+              "grid's edge shrinking as the expanded query grows.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: index page size. The paper fixes 4K nodes; this sweep shows
+// how page size moves the work split between node accesses (simulated I/O)
+// and per-candidate computation for IPQ and PTI-based C-IUQ.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Ablation", "index page size (IPQ and C-IUQ)");
+  const size_t queries = BenchQueriesPerPoint(120);
+  const double scale = BenchDatasetScale();
+
+  std::vector<std::string> names;
+  std::vector<QueryEngine> engines;
+  for (size_t page : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    EngineConfig config;
+    config.page_size_bytes = page;
+    engines.push_back(BuildPaperEngine(scale, std::move(config)));
+    names.push_back(std::to_string(page / 1024) + "K");
+    std::printf("page %zuK: point R-tree height %zu / %zu nodes, PTI "
+                "fanout %zu / %zu nodes\n",
+                page / 1024, engines.back().point_index().height(),
+                engines.back().point_index().node_count(),
+                engines.back().pti()->tree().max_entries(),
+                engines.back().pti()->tree().node_count());
+  }
+
+  SeriesTable ipq_table("Ablation — page size, IPQ (u=250, w=500)", "run",
+                        names);
+  SeriesTable ciuq_table(
+      "Ablation — page size, C-IUQ via PTI (u=250, w=500, Qp=0.5)", "run",
+      names);
+  const Workload ipq_workload = MakeWorkload(250.0, 500.0, 0.0, queries);
+  const Workload ciuq_workload = MakeWorkload(250.0, 500.0, 0.5, queries);
+  std::vector<CellResult> ipq_cells;
+  std::vector<CellResult> ciuq_cells;
+  for (QueryEngine& engine : engines) {
+    ipq_cells.push_back(RunCell(
+        ipq_workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return engine.Ipq(issuer, ipq_workload.spec, stats).size();
+        }));
+    ciuq_cells.push_back(RunCell(
+        ciuq_workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return engine
+              .CiuqPti(issuer, ciuq_workload.spec, CiuqPruneConfig{}, stats)
+              .size();
+        }));
+  }
+  ipq_table.AddRow(0, ipq_cells);
+  ciuq_table.AddRow(0, ciuq_cells);
+  ipq_table.Print();
+  ciuq_table.Print();
+  std::printf("expected shape: node accesses fall with page size (shallower "
+              "trees) while per-page cost rises; candidate counts are "
+              "page-size-invariant. 4K is a reasonable middle ground, "
+              "matching the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: Monte-Carlo (the paper's method for non-uniform pdfs) vs ILQ's
+// separable Gauss–Legendre quadrature for Gaussian×Gaussian IUQ. Reports
+// per-query time and max probability deviation from a high-order reference.
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/duality.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Ablation", "Monte-Carlo vs quadrature (Gaussian IUQ)");
+  const double scale = std::min(0.1, BenchDatasetScale());
+  const size_t queries = std::min<size_t>(30, BenchQueriesPerPoint(30));
+
+  Result<std::vector<UncertainObject>> objects =
+      MakeGaussianUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(objects.ok(), objects.status().ToString());
+
+  // Reference: the quadrature kernel at very high order.
+  EngineConfig ref_config;
+  ref_config.eval.quadrature_order = 64;
+  QueryEngine ref_engine = [&] {
+    Result<QueryEngine> e = QueryEngine::Build({}, *objects, ref_config);
+    ILQ_CHECK(e.ok(), e.status().ToString());
+    return std::move(e).ValueOrDie();
+  }();
+
+  struct Variant {
+    std::string name;
+    EngineConfig config;
+  };
+  std::vector<Variant> variants;
+  for (size_t order : {4u, 8u, 16u}) {
+    EngineConfig c;
+    c.eval.quadrature_order = order;
+    variants.push_back({"GL-" + std::to_string(order), c});
+  }
+  for (size_t samples : {250u, 1000u, 4000u}) {
+    EngineConfig c;
+    c.eval.kernel = ProbabilityKernel::kMonteCarlo;
+    c.eval.mc_samples = samples;
+    variants.push_back({"MC-" + std::to_string(samples), c});
+  }
+
+  const Workload workload = MakeWorkload(250.0, 500.0, 0.0, queries,
+                                         IssuerPdfKind::kGaussian);
+  std::printf("\n%-10s  %14s  %14s\n", "kernel", "mean T(ms)", "max |err|");
+  for (const Variant& v : variants) {
+    QueryEngine engine = [&] {
+      Result<QueryEngine> e = QueryEngine::Build({}, *objects, v.config);
+      ILQ_CHECK(e.ok(), e.status().ToString());
+      return std::move(e).ValueOrDie();
+    }();
+    SummaryStats time_ms;
+    double max_err = 0.0;
+    for (const UncertainObject& issuer : workload.issuers) {
+      Stopwatch watch;
+      const AnswerSet got = engine.Iuq(issuer, workload.spec);
+      time_ms.Add(watch.ElapsedMillis());
+      const AnswerSet ref = ref_engine.Iuq(issuer, workload.spec);
+      std::map<ObjectId, double> truth;
+      for (const auto& a : ref) truth[a.id] = a.probability;
+      for (const auto& a : got) {
+        max_err = std::max(max_err, std::abs(a.probability - truth[a.id]));
+      }
+    }
+    std::printf("%-10s  %14.3f  %14.6f\n", v.name.c_str(), time_ms.Mean(),
+                max_err);
+  }
+  std::printf("\nexpected shape: quadrature reaches ~1e-6 error at a "
+              "fraction of the Monte-Carlo cost; MC error shrinks only as "
+              "1/sqrt(samples).\n");
+  return 0;
+}

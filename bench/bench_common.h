@@ -1,0 +1,86 @@
+// Shared setup for the figure benches: the paper's §6.1 configuration.
+//
+// Datasets: "California"-like 62K points and "Long Beach"-like 53K
+// rectangles in a 10,000 × 10,000 space (synthetic TIGER stand-ins, see
+// DESIGN.md §2). Indexing: 4K-page R-tree / PTI. Issuers: square U0 of
+// half-side u placed uniformly; query ranges square with half-side w;
+// defaults u = 250, w = 500, Qp = 0, uniform pdfs.
+//
+// Environment knobs (all benches):
+//   ILQ_BENCH_QUERIES  queries averaged per data point (default 120;
+//                      the paper used 500 — set 500 for full parity)
+//   ILQ_BENCH_SCALE    dataset-size fraction in (0, 1] (default 1.0)
+
+#ifndef ILQ_BENCH_BENCH_COMMON_H_
+#define ILQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "benchutil/harness.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace ilq::bench {
+
+constexpr size_t kCaliforniaPoints = 62000;  // §6.1
+constexpr size_t kLongBeachRects = 53000;    // §6.1
+
+inline std::vector<PointObject> CaliforniaPoints(double scale) {
+  SyntheticConfig config;
+  config.count =
+      static_cast<size_t>(static_cast<double>(kCaliforniaPoints) * scale);
+  config.seed = 20070415;  // ICDE'07 :-)
+  return GenerateCaliforniaLikePoints(config);
+}
+
+inline std::vector<Rect> LongBeachRects(double scale) {
+  RectangleConfig config;
+  config.base.count =
+      static_cast<size_t>(static_cast<double>(kLongBeachRects) * scale);
+  config.base.seed = 20070416;
+  return GenerateLongBeachLikeRects(config);
+}
+
+/// Builds the default engine over both datasets with uniform pdfs.
+inline QueryEngine BuildPaperEngine(double scale,
+                                    EngineConfig config = EngineConfig{}) {
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(objects.ok(), objects.status().ToString());
+  Result<QueryEngine> engine =
+      QueryEngine::Build(CaliforniaPoints(scale),
+                         std::move(objects).ValueOrDie(), std::move(config));
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).ValueOrDie();
+}
+
+/// Generates a §6.1 workload (u, w, Qp) with the shared query count.
+inline Workload MakeWorkload(double u, double w, double qp, size_t queries,
+                             IssuerPdfKind kind = IssuerPdfKind::kUniform,
+                             uint64_t seed = 4242) {
+  WorkloadConfig config;
+  config.u = u;
+  config.w = w;
+  config.qp = qp;
+  config.queries = queries;
+  config.issuer_pdf = kind;
+  config.seed = seed;
+  Result<Workload> workload = GenerateWorkload(config);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).ValueOrDie();
+}
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("ILQ reproduction — %s: %s\n", figure, what);
+  std::printf(
+      "setup: %zu-query average per point, dataset scale %.2f "
+      "(ILQ_BENCH_QUERIES / ILQ_BENCH_SCALE to change; paper: 500 "
+      "queries, full scale)\n",
+      BenchQueriesPerPoint(120), BenchDatasetScale());
+}
+
+}  // namespace ilq::bench
+
+#endif  // ILQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,43 @@
+// Figure 8: Basic vs. Enhanced (IUQ).
+//
+// The basic method evaluates Eq. 4 by sampling U0 on a grid (§3.3); the
+// enhanced method uses the expanded query + duality closed form (Eq. 8).
+// The paper's figure sweeps the uncertainty-region size u from 0 to 1000
+// at w = 500 and shows the basic method costing roughly an order of
+// magnitude more, with the gap widening as u grows.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Figure 8", "Basic (Eq. 4 sampling) vs Enhanced (Eq. 8) IUQ");
+  const size_t queries = BenchQueriesPerPoint(120);
+  const double scale = BenchDatasetScale();
+  QueryEngine engine = BuildPaperEngine(scale);
+
+  SeriesTable table("Figure 8 — Avg. response time vs uncertainty size "
+                    "(IUQ, w = 500)",
+                    "u", {"Enhanced", "Basic"});
+  for (double u : {0.0, 100.0, 250.0, 500.0, 750.0, 1000.0}) {
+    const Workload workload = MakeWorkload(u, 500.0, 0.0, queries);
+    const CellResult enhanced = RunCell(
+        workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return engine.Iuq(issuer, workload.spec, stats).size();
+        });
+    const CellResult basic = RunCell(
+        workload.issuers,
+        [&](const UncertainObject& issuer, IndexStats* stats) {
+          return engine.IuqBasic(issuer, workload.spec, stats).size();
+        });
+    table.AddRow(u, {enhanced, basic});
+  }
+  table.Print();
+  (void)table.WriteCsv("fig08_basic_vs_enhanced.csv");
+  std::printf("expected shape (paper): Basic ≫ Enhanced at every u; gap "
+              "grows with u (paper: ~1700ms vs ~200ms at u = 1000 on 2007 "
+              "hardware).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9: T vs. u for IPQ at range sizes w ∈ {500, 1000, 1500}.
+//
+// Response time grows with both u and w because the Minkowski-sum expanded
+// query — and hence the candidate set — grows with each.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Figure 9", "IPQ response time vs uncertainty size");
+  const size_t queries = BenchQueriesPerPoint(120);
+  QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+
+  SeriesTable table("Figure 9 — Avg. response time vs uncertainty size "
+                    "(IPQ, California-like points)",
+                    "u", {"w=500", "w=1000", "w=1500"});
+  for (double u : {0.0, 100.0, 250.0, 500.0, 750.0, 1000.0}) {
+    std::vector<CellResult> cells;
+    for (double w : {500.0, 1000.0, 1500.0}) {
+      const Workload workload = MakeWorkload(u, w, 0.0, queries);
+      cells.push_back(RunCell(
+          workload.issuers,
+          [&](const UncertainObject& issuer, IndexStats* stats) {
+            return engine.Ipq(issuer, workload.spec, stats).size();
+          }));
+    }
+    table.AddRow(u, cells);
+  }
+  table.Print();
+  (void)table.WriteCsv("fig09_ipq_sweep.csv");
+  std::printf("expected shape (paper): T increases with u and with w "
+              "(larger expanded query ⇒ more candidates).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 10: T vs. u for IUQ at range sizes w ∈ {500, 1000, 1500} — the
+// uncertain-object counterpart of Figure 9, over the Long-Beach-like
+// rectangle dataset.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  PrintHeader("Figure 10", "IUQ response time vs uncertainty size");
+  const size_t queries = BenchQueriesPerPoint(120);
+  QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+
+  SeriesTable table("Figure 10 — Avg. response time vs uncertainty size "
+                    "(IUQ, Long-Beach-like rectangles)",
+                    "u", {"w=500", "w=1000", "w=1500"});
+  for (double u : {0.0, 100.0, 250.0, 500.0, 750.0, 1000.0}) {
+    std::vector<CellResult> cells;
+    for (double w : {500.0, 1000.0, 1500.0}) {
+      const Workload workload = MakeWorkload(u, w, 0.0, queries);
+      cells.push_back(RunCell(
+          workload.issuers,
+          [&](const UncertainObject& issuer, IndexStats* stats) {
+            return engine.Iuq(issuer, workload.spec, stats).size();
+          }));
+    }
+    table.AddRow(u, cells);
+  }
+  table.Print();
+  (void)table.WriteCsv("fig10_iuq_sweep.csv");
+  std::printf("expected shape (paper): same trends as Figure 9 — T grows "
+              "with u and w.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: rectangle ops,
+// duality kernels, p-bound machinery and index queries. These are the unit
+// costs behind every figure bench.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/duality.h"
+#include "core/expansion.h"
+#include "index/rtree.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/uniform_pdf.h"
+
+namespace ilq {
+namespace {
+
+void BM_RectIntersectionArea(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 1024; ++i) {
+    rects.push_back(Rect::Centered(
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+        rng.Uniform(1, 100), rng.Uniform(1, 100)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rects[i % 1024].IntersectionArea(rects[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RectIntersectionArea);
+
+void BM_PointQualificationUniform(benchmark::State& state) {
+  Result<UniformRectPdf> pdf = UniformRectPdf::Make(Rect(0, 500, 0, 500));
+  Rng rng(2);
+  std::vector<Point> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.emplace_back(rng.Uniform(-200, 700), rng.Uniform(-200, 700));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PointQualification(*pdf, probes[i % 1024], 250, 250));
+    ++i;
+  }
+}
+BENCHMARK(BM_PointQualificationUniform);
+
+void BM_PointQualificationGaussian(benchmark::State& state) {
+  Result<TruncatedGaussianPdf> pdf =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(0, 500, 0, 500));
+  Rng rng(3);
+  std::vector<Point> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.emplace_back(rng.Uniform(-200, 700), rng.Uniform(-200, 700));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PointQualification(*pdf, probes[i % 1024], 250, 250));
+    ++i;
+  }
+}
+BENCHMARK(BM_PointQualificationGaussian);
+
+void BM_UniformUniformQualification(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Rect> regions;
+  for (int i = 0; i < 1024; ++i) {
+    regions.push_back(Rect::Centered(
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+        rng.Uniform(5, 50), rng.Uniform(5, 50)));
+  }
+  const Rect u0(300, 800, 300, 800);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        UniformUniformQualification(u0, regions[i % 1024], 250, 250));
+    ++i;
+  }
+}
+BENCHMARK(BM_UniformUniformQualification);
+
+void BM_ProductQualificationGaussian(benchmark::State& state) {
+  Result<TruncatedGaussianPdf> issuer =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(300, 800, 300, 800));
+  Result<TruncatedGaussianPdf> object =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(500, 620, 450, 560));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ProductQualification(*issuer, *object, 250, 250, 16));
+  }
+}
+BENCHMARK(BM_ProductQualificationGaussian);
+
+void BM_UncertainQualificationMC(benchmark::State& state) {
+  Result<UniformRectPdf> issuer = UniformRectPdf::Make(Rect(300, 800, 300, 800));
+  Result<UniformRectPdf> object = UniformRectPdf::Make(Rect(500, 620, 450, 560));
+  Rng rng(5);
+  const size_t samples = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UncertainQualificationMC(
+        *issuer, *object, 250, 250, samples, &rng));
+  }
+}
+BENCHMARK(BM_UncertainQualificationMC)->Arg(200)->Arg(250)->Arg(1000);
+
+void BM_PBoundConstruction(benchmark::State& state) {
+  Result<TruncatedGaussianPdf> pdf =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(0, 500, 0, 500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PBound::FromPdf(*pdf, 0.3));
+  }
+}
+BENCHMARK(BM_PBoundConstruction);
+
+void BM_PExpandedQuery(benchmark::State& state) {
+  Result<UniformRectPdf> pdf = UniformRectPdf::Make(Rect(0, 500, 0, 500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PExpandedQuery(*pdf, 250, 250, 0.4));
+  }
+}
+BENCHMARK(BM_PExpandedQuery);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<RTree::Item> items;
+  const auto n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back({Rect::AtPoint(Point(rng.Uniform(0, 10000),
+                                         rng.Uniform(0, 10000))),
+                     static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  std::vector<Rect> queries;
+  for (int i = 0; i < 256; ++i) {
+    queries.push_back(Rect::Centered(
+        Point(rng.Uniform(500, 9500), rng.Uniform(500, 9500)), 750, 750));
+  }
+  size_t i = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    tree->Query(queries[i % 256], [&](const Rect&, ObjectId) { ++found; });
+    ++i;
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RTreeRangeQuery)->Arg(10000)->Arg(62000);
+
+}  // namespace
+}  // namespace ilq
+
+BENCHMARK_MAIN();

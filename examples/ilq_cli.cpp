@@ -1,0 +1,177 @@
+// ilq_cli — command-line front end for the library: generate datasets,
+// inspect them, and run ad-hoc imprecise queries from a shell.
+//
+//   ilq_cli gen-points <n> <out.csv> [seed]
+//   ilq_cli gen-rects  <n> <out.csv> [seed]
+//   ilq_cli ipq  <points.csv> <cx> <cy> <u> <w> [qp]
+//   ilq_cli iuq  <rects.csv>  <cx> <cy> <u> <w> [qp]
+//   ilq_cli inn  <points.csv> <cx> <cy> <u>
+//
+// (cx, cy) is the issuer-region centre, u its half side, w the query
+// half-width, qp the optional probability threshold. Datasets are the
+// "x,y" / "xmin,ymin,xmax,ymax" CSV formats of datagen/dataset_io.h, so
+// real TIGER extracts can be substituted for the synthetic data.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/inn.h"
+#include "datagen/dataset_io.h"
+#include "datagen/synthetic.h"
+#include "prob/uniform_pdf.h"
+
+using namespace ilq;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ilq_cli gen-points <n> <out.csv> [seed]\n"
+               "  ilq_cli gen-rects  <n> <out.csv> [seed]\n"
+               "  ilq_cli ipq  <points.csv> <cx> <cy> <u> <w> [qp]\n"
+               "  ilq_cli iuq  <rects.csv>  <cx> <cy> <u> <w> [qp]\n"
+               "  ilq_cli inn  <points.csv> <cx> <cy> <u>\n");
+  return 2;
+}
+
+// Dies with a readable message on a non-OK status.
+void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+Result<UncertainObject> MakeUniformIssuer(double cx, double cy, double u) {
+  Result<UniformRectPdf> pdf =
+      UniformRectPdf::Make(Rect(cx - u, cx + u, cy - u, cy + u));
+  if (!pdf.ok()) return pdf.status();
+  UncertainObject issuer(
+      0, std::make_unique<UniformRectPdf>(std::move(pdf).ValueOrDie()));
+  ILQ_RETURN_NOT_OK(issuer.BuildCatalog(UCatalog::EvenlySpacedValues(11)));
+  return issuer;
+}
+
+void PrintAnswers(AnswerSet answers, size_t limit = 20) {
+  std::sort(answers.begin(), answers.end(), [](const auto& a, const auto& b) {
+    return a.probability > b.probability;
+  });
+  std::printf("%zu answers", answers.size());
+  if (answers.size() > limit) std::printf(" (showing top %zu)", limit);
+  std::printf("\n");
+  for (size_t i = 0; i < std::min(limit, answers.size()); ++i) {
+    std::printf("  object %-8u p = %.4f\n", answers[i].id,
+                answers[i].probability);
+  }
+}
+
+int GenPoints(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  SyntheticConfig config;
+  config.count = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (argc > 4) config.seed = std::strtoull(argv[4], nullptr, 10);
+  DieIf(SavePointsCsv(argv[3], GenerateCaliforniaLikePoints(config)));
+  std::printf("wrote %zu points to %s\n", config.count, argv[3]);
+  return 0;
+}
+
+int GenRects(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  RectangleConfig config;
+  config.base.count =
+      static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (argc > 4) config.base.seed = std::strtoull(argv[4], nullptr, 10);
+  DieIf(SaveRectsCsv(argv[3], GenerateLongBeachLikeRects(config)));
+  std::printf("wrote %zu rectangles to %s\n", config.base.count, argv[3]);
+  return 0;
+}
+
+int RunIpq(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  Result<std::vector<PointObject>> points = LoadPointsCsv(argv[2]);
+  DieIf(points.status());
+  Result<QueryEngine> engine =
+      QueryEngine::Build(std::move(points).ValueOrDie(), {});
+  DieIf(engine.status());
+  Result<UncertainObject> issuer = MakeUniformIssuer(
+      std::atof(argv[3]), std::atof(argv[4]), std::atof(argv[5]));
+  DieIf(issuer.status());
+  const double w = std::atof(argv[6]);
+  const double qp = argc > 7 ? std::atof(argv[7]) : 0.0;
+  IndexStats stats;
+  const AnswerSet answers =
+      qp > 0.0 ? engine->Cipq(*issuer, RangeQuerySpec(w, w, qp),
+                              CipqFilter::kPExpanded, &stats)
+               : engine->Ipq(*issuer, RangeQuerySpec(w, w), &stats);
+  PrintAnswers(answers);
+  std::printf("candidates %llu, node accesses %llu\n",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.node_accesses));
+  return 0;
+}
+
+int RunIuq(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  Result<std::vector<Rect>> rects = LoadRectsCsv(argv[2]);
+  DieIf(rects.status());
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(*rects);
+  DieIf(objects.status());
+  Result<QueryEngine> engine =
+      QueryEngine::Build({}, std::move(objects).ValueOrDie());
+  DieIf(engine.status());
+  Result<UncertainObject> issuer = MakeUniformIssuer(
+      std::atof(argv[3]), std::atof(argv[4]), std::atof(argv[5]));
+  DieIf(issuer.status());
+  const double w = std::atof(argv[6]);
+  const double qp = argc > 7 ? std::atof(argv[7]) : 0.0;
+  IndexStats stats;
+  const AnswerSet answers =
+      qp > 0.0
+          ? engine->CiuqPti(*issuer, RangeQuerySpec(w, w, qp),
+                            CiuqPruneConfig{}, &stats)
+          : engine->Iuq(*issuer, RangeQuerySpec(w, w), &stats);
+  PrintAnswers(answers);
+  std::printf("candidates %llu, node accesses %llu\n",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.node_accesses));
+  return 0;
+}
+
+int RunInn(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  Result<std::vector<PointObject>> points = LoadPointsCsv(argv[2]);
+  DieIf(points.status());
+  std::vector<RTree::Item> items;
+  for (const PointObject& p : *points) {
+    items.push_back({Rect::AtPoint(p.location), p.id});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  DieIf(tree.status());
+  Result<UncertainObject> issuer = MakeUniformIssuer(
+      std::atof(argv[3]), std::atof(argv[4]), std::atof(argv[5]));
+  DieIf(issuer.status());
+  InnOptions options;
+  options.samples = 20000;
+  PrintAnswers(EvaluateINN(*tree, *issuer, options));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen-points") return GenPoints(argc, argv);
+  if (command == "gen-rects") return GenRects(argc, argv);
+  if (command == "ipq") return RunIpq(argc, argv);
+  if (command == "iuq") return RunIuq(argc, argv);
+  if (command == "inn") return RunInn(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,82 @@
+// Privacy patrol — the §6.1 scenario: "a policeman may wish to look for
+// suspect vehicles within some distance from his (imprecise) location",
+// combined with the paper's motivation that users may *deliberately*
+// coarsen their location for privacy ([Cheng et al., PET'06]).
+//
+// Sweeps the issuer's cloaking-box size and shows the privacy/service
+// trade-off: more cloaking (larger U0) keeps the officer's position hidden
+// but dilutes qualification probabilities and inflates the work the server
+// must do.
+//
+//   build/examples/privacy_patrol
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "datagen/synthetic.h"
+#include "prob/uniform_pdf.h"
+
+using namespace ilq;
+
+namespace {
+
+std::unique_ptr<UniformRectPdf> Uniform(const Rect& region) {
+  Result<UniformRectPdf> pdf = UniformRectPdf::Make(region);
+  ILQ_CHECK(pdf.ok(), pdf.status().ToString());
+  return std::make_unique<UniformRectPdf>(std::move(pdf).ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  // Suspect vehicles: a Long-Beach-like set of 5000 uncertain objects.
+  RectangleConfig config;
+  config.base.count = 5000;
+  config.base.seed = 99;
+  Result<std::vector<UncertainObject>> vehicles =
+      MakeUniformUncertainObjects(GenerateLongBeachLikeRects(config));
+  ILQ_CHECK(vehicles.ok(), vehicles.status().ToString());
+
+  Result<QueryEngine> built =
+      QueryEngine::Build({}, std::move(vehicles).ValueOrDie());
+  ILQ_CHECK(built.ok(), built.status().ToString());
+  QueryEngine engine = std::move(built).ValueOrDie();
+
+  const Point officer(5000, 5000);  // true position, never sent to server
+  const double patrol_radius = 500;
+
+  std::printf("officer true position (%.0f, %.0f); patrol range %.0f; "
+              "reporting vehicles with p >= 0.5\n\n",
+              officer.x, officer.y, patrol_radius);
+  std::printf("%-14s  %-10s  %-12s  %-12s  %-12s\n", "cloak half-side",
+              "answers", "candidates", "node I/O", "top p");
+  for (double cloak : {10.0, 100.0, 250.0, 500.0, 1000.0}) {
+    Result<UncertainObject> issuer = engine.MakeIssuer(Uniform(
+        Rect(officer.x - cloak, officer.x + cloak, officer.y - cloak,
+             officer.y + cloak)));
+    ILQ_CHECK(issuer.ok(), issuer.status().ToString());
+    IndexStats stats;
+    AnswerSet answers = engine.CiuqPti(
+        *issuer, RangeQuerySpec(patrol_radius, patrol_radius, 0.5),
+        CiuqPruneConfig{}, &stats);
+    std::sort(answers.begin(), answers.end(),
+              [](const auto& a, const auto& b) {
+                return a.probability > b.probability;
+              });
+    std::printf("%-14.0f  %-10zu  %-12llu  %-12llu  %-12s\n", cloak,
+                answers.size(),
+                static_cast<unsigned long long>(stats.candidates),
+                static_cast<unsigned long long>(stats.node_accesses),
+                answers.empty()
+                    ? "-"
+                    : std::to_string(answers.front().probability).c_str());
+  }
+  std::printf("\nsmall cloaks give crisp answers; large cloaks protect the "
+              "officer's position but wash out probabilities (fewer answers "
+              "clear the 0.5 bar) and widen the expanded query the server "
+              "must process — the quality/privacy trade-off of the paper's "
+              "reference [6].\n");
+  return 0;
+}

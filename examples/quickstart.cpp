@@ -1,0 +1,65 @@
+// Quickstart: build a QueryEngine over a few objects and run each of the
+// four query classes of the paper.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "prob/uniform_pdf.h"
+
+using namespace ilq;
+
+namespace {
+
+std::unique_ptr<UniformRectPdf> Uniform(const Rect& region) {
+  Result<UniformRectPdf> pdf = UniformRectPdf::Make(region);
+  ILQ_CHECK(pdf.ok(), pdf.status().ToString());
+  return std::make_unique<UniformRectPdf>(std::move(pdf).ValueOrDie());
+}
+
+void PrintAnswers(const char* title, const AnswerSet& answers) {
+  std::printf("%s (%zu answers)\n", title, answers.size());
+  for (const auto& a : answers) {
+    std::printf("  object %u  qualification probability %.3f\n", a.id,
+                a.probability);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A handful of precise point objects (e.g. gas stations)...
+  std::vector<PointObject> stations = {
+      {1, {120, 80}}, {2, {200, 200}}, {3, {420, 260}}, {4, {900, 900}}};
+
+  // ...and uncertain objects (e.g. moving vehicles reported as uncertainty
+  // regions with uniform pdfs).
+  std::vector<UncertainObject> vehicles;
+  vehicles.emplace_back(1, Uniform(Rect(150, 250, 120, 220)));
+  vehicles.emplace_back(2, Uniform(Rect(300, 380, 300, 360)));
+  vehicles.emplace_back(3, Uniform(Rect(700, 820, 600, 700)));
+
+  Result<QueryEngine> built =
+      QueryEngine::Build(std::move(stations), std::move(vehicles));
+  ILQ_CHECK(built.ok(), built.status().ToString());
+  QueryEngine engine = std::move(built).ValueOrDie();
+
+  // The query issuer's own location is imprecise: somewhere in a 60×60
+  // region around (200, 180).
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(Uniform(Rect(170, 230, 150, 210)));
+  ILQ_CHECK(issuer.ok(), issuer.status().ToString());
+
+  // "Return everything within 120 × 120 units of wherever I actually am."
+  const RangeQuerySpec range(120, 120);
+  PrintAnswers("IPQ — point objects", engine.Ipq(*issuer, range));
+  PrintAnswers("IUQ — uncertain objects", engine.Iuq(*issuer, range));
+
+  // Constrained variants: only answers that qualify with at least 50%.
+  const RangeQuerySpec confident(120, 120, /*qp=*/0.5);
+  PrintAnswers("C-IPQ (Qp = 0.5)", engine.Cipq(*issuer, confident));
+  PrintAnswers("C-IUQ (Qp = 0.5)", engine.CiuqPti(*issuer, confident));
+  return 0;
+}

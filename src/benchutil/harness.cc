@@ -1,0 +1,118 @@
+#include "benchutil/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/stopwatch.h"
+
+namespace ilq {
+
+CellResult RunCell(
+    const std::vector<UncertainObject>& issuers,
+    const std::function<size_t(const UncertainObject&, IndexStats*)>&
+        run_query) {
+  SummaryStats time_ms;
+  SummaryStats candidates;
+  SummaryStats node_accesses;
+  SummaryStats answers;
+  for (const UncertainObject& issuer : issuers) {
+    IndexStats stats;
+    Stopwatch watch;
+    const size_t answer_count = run_query(issuer, &stats);
+    time_ms.Add(watch.ElapsedMillis());
+    candidates.Add(static_cast<double>(stats.candidates));
+    node_accesses.Add(static_cast<double>(stats.node_accesses));
+    answers.Add(static_cast<double>(answer_count));
+  }
+  CellResult cell;
+  cell.mean_ms = time_ms.Mean();
+  cell.p95_ms = time_ms.Percentile(95.0);
+  cell.mean_candidates = candidates.Mean();
+  cell.mean_node_accesses = node_accesses.Mean();
+  cell.mean_answers = answers.Mean();
+  cell.queries = issuers.size();
+  return cell;
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> methods)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      methods_(std::move(methods)) {}
+
+void SeriesTable::AddRow(double x, const std::vector<CellResult>& cells) {
+  rows_.push_back({x, cells});
+}
+
+void SeriesTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  // Response-time table, one column per method (the paper's series).
+  std::printf("%-12s", x_label_.c_str());
+  for (const std::string& m : methods_) {
+    std::printf("  %18s", (m + " T(ms)").c_str());
+  }
+  std::printf("\n");
+  for (const Row& row : rows_) {
+    std::printf("%-12g", row.x);
+    for (const CellResult& cell : row.cells) {
+      std::printf("  %18.3f", cell.mean_ms);
+    }
+    std::printf("\n");
+  }
+  // Machine-independent companion: candidates and simulated I/O.
+  std::printf("--- candidates / node accesses / answers (means) ---\n");
+  std::printf("%-12s", x_label_.c_str());
+  for (const std::string& m : methods_) {
+    std::printf("  %26s", (m + " cand/IO/ans").c_str());
+  }
+  std::printf("\n");
+  for (const Row& row : rows_) {
+    std::printf("%-12g", row.x);
+    for (const CellResult& cell : row.cells) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f/%.0f/%.0f",
+                    cell.mean_candidates, cell.mean_node_accesses,
+                    cell.mean_answers);
+      std::printf("  %26s", buf);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+Status SeriesTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << x_label_
+      << ",method,mean_ms,p95_ms,candidates,node_accesses,answers\n";
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      const CellResult& c = row.cells[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f\n",
+                    row.x, methods_[i].c_str(), c.mean_ms, c.p95_ms,
+                    c.mean_candidates, c.mean_node_accesses,
+                    c.mean_answers);
+      out << buf;
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+size_t BenchQueriesPerPoint(size_t fallback) {
+  const char* env = std::getenv("ILQ_BENCH_QUERIES");
+  if (env == nullptr) return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+double BenchDatasetScale() {
+  const char* env = std::getenv("ILQ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double parsed = std::strtod(env, nullptr);
+  return (parsed > 0.0 && parsed <= 1.0) ? parsed : 1.0;
+}
+
+}  // namespace ilq

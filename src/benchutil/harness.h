@@ -1,0 +1,78 @@
+// Experiment harness: runs one method over a workload, collects per-query
+// response times and index counters, and prints paper-style series tables
+// (one row per swept parameter value, one column per method).
+
+#ifndef ILQ_BENCHUTIL_HARNESS_H_
+#define ILQ_BENCHUTIL_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/engine.h"
+#include "datagen/workload.h"
+#include "index/index_stats.h"
+
+namespace ilq {
+
+/// \brief Aggregated measurements for one (method, parameter-value) cell.
+struct CellResult {
+  double mean_ms = 0.0;       ///< mean response time per query (the paper's T)
+  double p95_ms = 0.0;
+  double mean_candidates = 0.0;  ///< candidates handed to the kernel
+  double mean_node_accesses = 0.0;  ///< simulated I/O
+  double mean_answers = 0.0;     ///< answer-set size
+  size_t queries = 0;
+};
+
+/// Runs \p run_query (which must evaluate exactly one query for the given
+/// issuer and return the answer-set size) over every issuer in the
+/// workload, timing each call.
+CellResult RunCell(
+    const std::vector<UncertainObject>& issuers,
+    const std::function<size_t(const UncertainObject&, IndexStats*)>&
+        run_query);
+
+/// \brief Collects rows of a sweep and pretty-prints the table.
+class SeriesTable {
+ public:
+  /// \p x_label names the swept parameter; \p methods are the series names.
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> methods);
+
+  /// Adds one row: the swept value plus one CellResult per method (same
+  /// order as the constructor's method list).
+  void AddRow(double x, const std::vector<CellResult>& cells);
+
+  /// Prints the response-time table (paper format) followed by a
+  /// machine-independent companion table (candidates and node accesses).
+  void Print() const;
+
+  /// Writes "x,method,mean_ms,p95_ms,candidates,node_accesses,answers"
+  /// CSV rows to the given stream-path (append-less overwrite).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  struct Row {
+    double x;
+    std::vector<CellResult> cells;
+  };
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> methods_;
+  std::vector<Row> rows_;
+};
+
+/// Reads an environment-variable override for query counts so the full
+/// paper-scale runs (500 queries/point) can be dialled down in CI:
+/// ILQ_BENCH_QUERIES, default \p fallback.
+size_t BenchQueriesPerPoint(size_t fallback);
+
+/// Environment-variable override for dataset sizes: ILQ_BENCH_SCALE scales
+/// the paper's 62K/53K datasets by a fraction (default 1.0).
+double BenchDatasetScale();
+
+}  // namespace ilq
+
+#endif  // ILQ_BENCHUTIL_HARNESS_H_

@@ -1,0 +1,62 @@
+// Minimal leveled logging plus CHECK-style invariant assertions.
+//
+// The library core is quiet by default; data generators, benches and example
+// apps log progress at kInfo. ILQ_CHECK documents internal invariants that
+// are cheap enough to keep in release builds.
+
+#ifndef ILQ_COMMON_LOGGING_H_
+#define ILQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ilq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr; exposed for the macro only.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+/// Prints the failure and aborts; exposed for the ILQ_CHECK macro only.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace internal
+}  // namespace ilq
+
+#define ILQ_LOG(level, msg_expr)                                         \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::ilq::GetLogLevel())) {                        \
+      std::ostringstream _ilq_os;                                        \
+      _ilq_os << msg_expr;                                               \
+      ::ilq::internal::LogMessage(level, __FILE__, __LINE__,             \
+                                  _ilq_os.str());                        \
+    }                                                                    \
+  } while (false)
+
+#define ILQ_DEBUG(msg) ILQ_LOG(::ilq::LogLevel::kDebug, msg)
+#define ILQ_INFO(msg) ILQ_LOG(::ilq::LogLevel::kInfo, msg)
+#define ILQ_WARN(msg) ILQ_LOG(::ilq::LogLevel::kWarning, msg)
+#define ILQ_ERROR(msg) ILQ_LOG(::ilq::LogLevel::kError, msg)
+
+/// Aborts with a diagnostic when \p cond is false. Used for internal
+/// invariants (not input validation, which returns Status).
+#define ILQ_CHECK(cond, msg_expr)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream _ilq_os;                                        \
+      _ilq_os << msg_expr;                                               \
+      ::ilq::internal::CheckFailed(__FILE__, __LINE__, #cond,            \
+                                   _ilq_os.str());                       \
+    }                                                                    \
+  } while (false)
+
+#endif  // ILQ_COMMON_LOGGING_H_

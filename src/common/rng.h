@@ -1,0 +1,51 @@
+// Deterministic random number generation for data generators, Monte-Carlo
+// evaluation and workloads. All randomness in the library flows through Rng
+// with explicit seeds so experiments are reproducible.
+
+#ifndef ILQ_COMMON_RNG_H_
+#define ILQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ilq {
+
+/// \brief Small, fast, seedable PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; statistically solid for simulation work and
+/// an order of magnitude cheaper to construct than std::mt19937_64, which
+/// matters when each query evaluation owns a private stream.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with the same seed produce the
+  /// same stream on every platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when equal.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal variate (Box–Muller, no caching).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Derives an independent child stream; used to hand each worker or query
+  /// its own generator from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_COMMON_RNG_H_

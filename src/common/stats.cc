@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilq {
+
+void SummaryStats::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_valid_ = false;
+}
+
+double SummaryStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SummaryStats::StdDev() const {
+  const size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double SummaryStats::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SummaryStats::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SummaryStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const size_t n = sorted_.size();
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+void SummaryStats::Reset() {
+  samples_.clear();
+  sorted_.clear();
+  sum_ = 0.0;
+  sorted_valid_ = false;
+}
+
+}  // namespace ilq

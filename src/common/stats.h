@@ -1,0 +1,56 @@
+// Streaming summary statistics used by the experiment harness: every figure
+// in the paper reports a mean over repeated query runs, and we additionally
+// report dispersion and percentiles for the measured series.
+
+#ifndef ILQ_COMMON_STATS_H_
+#define ILQ_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ilq {
+
+/// \brief Accumulates samples and reports mean / stddev / min / max /
+/// percentiles.
+///
+/// Samples are retained so exact percentiles can be computed; the workloads
+/// here are at most a few thousand samples per series point.
+class SummaryStats {
+ public:
+  SummaryStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  size_t count() const { return samples_.size(); }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+
+  double Min() const;
+  double Max() const;
+  double Sum() const { return sum_; }
+
+  /// Exact percentile by nearest-rank; \p p in [0, 100]. 0 when empty.
+  double Percentile(double p) const;
+
+  /// Median, i.e. Percentile(50).
+  double Median() const { return Percentile(50.0); }
+
+  /// Removes all observations.
+  void Reset();
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable std::vector<double> sorted_;  // lazily rebuilt percentile cache
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_COMMON_STATS_H_

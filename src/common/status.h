@@ -1,0 +1,148 @@
+// Status / Result error-handling primitives in the Arrow / RocksDB idiom.
+//
+// Library entry points that can fail due to bad input or bad configuration
+// return an ilq::Status (or ilq::Result<T> when they also produce a value)
+// instead of throwing. Hot-path query kernels are noexcept value code and do
+// not use these types.
+
+#ifndef ILQ_COMMON_STATUS_H_
+#define ILQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ilq {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// diagnostic message otherwise. Use the static factories:
+///
+///     ilq::Status s = ilq::Status::InvalidArgument("w must be positive");
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "<code name>: <message>" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+///     ilq::Result<RTree> r = RTree::BulkLoad(...);
+///     if (!r.ok()) return r.status();
+///     RTree tree = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirror Arrow.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK \p status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; the result must be OK.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ilq
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define ILQ_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::ilq::Status _ilq_status = (expr);        \
+    if (!_ilq_status.ok()) return _ilq_status; \
+  } while (false)
+
+#endif  // ILQ_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Wall-clock timing for the experiment harness.
+
+#ifndef ILQ_COMMON_STOPWATCH_H_
+#define ILQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ilq {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Starts on construction; ElapsedMillis()/ElapsedMicros() read without
+/// stopping, Restart() rebases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Rebases the stopwatch to "now".
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_COMMON_STOPWATCH_H_

@@ -1,0 +1,116 @@
+#include "core/basic_eval.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/expansion.h"
+
+namespace ilq {
+
+namespace {
+
+// Midpoint-rule sampling of the issuer's uncertainty region: positions and
+// integration weights f0(p) * cell_area. For a uniform issuer the weights
+// sum to exactly 1.
+struct IssuerSamples {
+  std::vector<Point> positions;
+  std::vector<double> weights;
+};
+
+IssuerSamples SampleIssuerGrid(const UncertaintyPdf& pdf, size_t per_axis) {
+  ILQ_CHECK(per_axis > 0, "grid_per_axis must be positive");
+  const Rect u0 = pdf.bounds();
+  const double dx = u0.Width() / static_cast<double>(per_axis);
+  const double dy = u0.Height() / static_cast<double>(per_axis);
+  const double cell_area = dx * dy;
+  IssuerSamples samples;
+  samples.positions.reserve(per_axis * per_axis);
+  samples.weights.reserve(per_axis * per_axis);
+  for (size_t i = 0; i < per_axis; ++i) {
+    const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
+    for (size_t j = 0; j < per_axis; ++j) {
+      const double y = u0.ymin + (static_cast<double>(j) + 0.5) * dy;
+      const Point p(x, y);
+      const double weight = pdf.Density(p) * cell_area;
+      if (weight > 0.0) {
+        samples.positions.push_back(p);
+        samples.weights.push_back(weight);
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+AnswerSet EvaluateIPQBasic(const RTree& index,
+                           const std::vector<PointObject>& objects,
+                           const UncertainObject& issuer,
+                           const RangeQuerySpec& spec,
+                           const BasicEvalOptions& options,
+                           IndexStats* stats) {
+  const IssuerSamples samples =
+      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis);
+  AnswerSet answers;
+
+  auto evaluate = [&](const Point& location, ObjectId id) {
+    // Eq. 2: integrate b_i(x, y) f0(x, y) over the sampled issuer grid. The
+    // boolean is evaluated by forming the range query at every sample.
+    double pi = 0.0;
+    for (size_t k = 0; k < samples.positions.size(); ++k) {
+      if (Rect::Centered(samples.positions[k], spec.w, spec.h)
+              .Contains(location)) {
+        pi += samples.weights[k];
+      }
+    }
+    if (pi > 0.0) answers.push_back({id, pi});
+  };
+
+  if (options.use_index) {
+    const Rect expanded =
+        MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+    index.Query(
+        expanded,
+        [&](const Rect& box, ObjectId id) { evaluate(box.Center(), id); },
+        stats);
+  } else {
+    for (const PointObject& s : objects) evaluate(s.location, s.id);
+  }
+  return answers;
+}
+
+AnswerSet EvaluateIUQBasic(const RTree& index,
+                           const std::vector<UncertainObject>& objects,
+                           const UncertainObject& issuer,
+                           const RangeQuerySpec& spec,
+                           const BasicEvalOptions& options,
+                           IndexStats* stats) {
+  const IssuerSamples samples =
+      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis);
+  AnswerSet answers;
+
+  auto evaluate = [&](size_t object_index) {
+    const UncertainObject& obj = objects[object_index];
+    // Eq. 4: at every sampled issuer position, the inner Eq. 3 integral is
+    // the object's probability mass inside the range query there.
+    double pi = 0.0;
+    for (size_t k = 0; k < samples.positions.size(); ++k) {
+      const double inner = obj.pdf().MassIn(
+          Rect::Centered(samples.positions[k], spec.w, spec.h));
+      pi += samples.weights[k] * inner;
+    }
+    if (pi > 0.0) answers.push_back({obj.id(), pi});
+  };
+
+  if (options.use_index) {
+    const Rect expanded =
+        MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+    index.Query(expanded,
+                [&](const Rect&, ObjectId idx) { evaluate(idx); }, stats);
+  } else {
+    for (size_t i = 0; i < objects.size(); ++i) evaluate(i);
+  }
+  return answers;
+}
+
+}  // namespace ilq

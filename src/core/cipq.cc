@@ -1,0 +1,38 @@
+#include "core/cipq.h"
+
+#include "core/duality.h"
+#include "core/expansion.h"
+
+namespace ilq {
+
+AnswerSet EvaluateCIPQ(const RTree& index, const UncertainObject& issuer,
+                       const RangeQuerySpec& spec, CipqFilter filter,
+                       const EvalOptions& options, IndexStats* stats) {
+  Rect range;
+  if (filter == CipqFilter::kMinkowski) {
+    range = MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  } else if (issuer.catalog() != nullptr) {
+    range = PExpandedQueryFromCatalog(*issuer.catalog(), spec.w, spec.h,
+                                      spec.threshold);
+  } else {
+    range = PExpandedQuery(issuer.pdf(), spec.w, spec.h, spec.threshold);
+  }
+
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  index.Query(
+      range,
+      [&](const Rect& box, ObjectId id) {
+        const Point s = box.Center();
+        const double pi =
+            options.kernel == ProbabilityKernel::kMonteCarlo
+                ? PointQualificationMC(issuer.pdf(), s, spec.w, spec.h,
+                                       options.mc_samples, &rng)
+                : PointQualification(issuer.pdf(), s, spec.w, spec.h);
+        if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
+      },
+      stats);
+  return answers;
+}
+
+}  // namespace ilq

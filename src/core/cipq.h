@@ -1,0 +1,40 @@
+// Constrained IPQ evaluation (§5.1, Definition 5): only answers with
+// qualification probability ≥ Qp are returned. Two filtering modes are
+// provided — the Minkowski sum alone (the §4 filter, used as the baseline
+// in Figure 11) and the p-expanded-query of Lemma 5, which shrinks with Qp
+// and prunes candidates the Minkowski sum cannot.
+//
+// Boundary semantics: following the paper's Lemma 5 argument, the
+// p-expanded filter may exclude objects whose probability equals Qp
+// *exactly* (a measure-zero event for continuous pdfs); surviving
+// candidates are kept when pi ≥ Qp and pi > 0.
+
+#ifndef ILQ_CORE_CIPQ_H_
+#define ILQ_CORE_CIPQ_H_
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Candidate filter used by C-IPQ.
+enum class CipqFilter {
+  /// R ⊕ U0 (Lemma 1) — ignores the threshold.
+  kMinkowski,
+  /// Qp-expanded-query (Lemma 5) — uses the issuer's U-catalog when
+  /// present (largest catalogued M ≤ Qp, conservative per §5.1), or the
+  /// exact quantile-based construction otherwise.
+  kPExpanded,
+};
+
+/// Evaluates a C-IPQ over point objects indexed in \p index.
+AnswerSet EvaluateCIPQ(const RTree& index, const UncertainObject& issuer,
+                       const RangeQuerySpec& spec, CipqFilter filter,
+                       const EvalOptions& options,
+                       IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_CIPQ_H_

@@ -1,0 +1,81 @@
+#include "core/circular.h"
+
+#include "core/duality.h"
+#include "core/expansion.h"
+#include "geometry/minkowski.h"
+
+namespace ilq {
+
+AnswerSet EvaluateIPQCircular(const RTree& index,
+                              const UniformDiskPdf& issuer,
+                              const RangeQuerySpec& spec,
+                              IndexStats* stats) {
+  const RoundedRect expanded =
+      ExpandedQueryRangeCircular(issuer.disk(), spec.w, spec.h);
+  AnswerSet answers;
+  index.Query(
+      expanded.BoundingBox(),
+      [&](const Rect& box, ObjectId id) {
+        const Point s = box.Center();
+        // Exact refinement: outside the rounded rectangle the dual range
+        // cannot reach the disk (Lemma 1 for disks).
+        if (!expanded.Contains(s)) return;
+        const double pi = PointQualification(issuer, s, spec.w, spec.h);
+        if (pi > 0.0) answers.push_back({id, pi});
+      },
+      stats);
+  return answers;
+}
+
+AnswerSet EvaluateCIPQCircular(const RTree& index,
+                               const UniformDiskPdf& issuer,
+                               const RangeQuerySpec& spec,
+                               IndexStats* stats) {
+  const RoundedRect expanded =
+      ExpandedQueryRangeCircular(issuer.disk(), spec.w, spec.h);
+  // Lemma 5 with the disk's marginal quantiles: any point outside this
+  // rectangle qualifies with probability ≤ Qp.
+  const Rect threshold_filter =
+      PExpandedQuery(issuer, spec.w, spec.h, spec.threshold);
+  const Rect range = expanded.BoundingBox().Intersection(threshold_filter);
+  AnswerSet answers;
+  index.Query(
+      range,
+      [&](const Rect& box, ObjectId id) {
+        const Point s = box.Center();
+        if (!expanded.Contains(s)) return;
+        const double pi = PointQualification(issuer, s, spec.w, spec.h);
+        if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
+      },
+      stats);
+  return answers;
+}
+
+AnswerSet EvaluateIUQCircular(const RTree& index,
+                              const std::vector<UncertainObject>& objects,
+                              const UniformDiskPdf& issuer,
+                              const RangeQuerySpec& spec,
+                              const EvalOptions& options,
+                              IndexStats* stats) {
+  const RoundedRect expanded =
+      ExpandedQueryRangeCircular(issuer.disk(), spec.w, spec.h);
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  index.Query(
+      expanded.BoundingBox(),
+      [&](const Rect& box, ObjectId idx) {
+        if (!expanded.Intersects(box)) return;
+        const UncertainObject& obj = objects[idx];
+        const double pi =
+            options.kernel == ProbabilityKernel::kMonteCarlo
+                ? UncertainQualificationMC(issuer, obj.pdf(), spec.w, spec.h,
+                                           options.mc_samples, &rng)
+                : UncertainQualification(issuer, obj.pdf(), spec.w, spec.h,
+                                         options.quadrature_order);
+        if (pi > 0.0) answers.push_back({obj.id(), pi});
+      },
+      stats);
+  return answers;
+}
+
+}  // namespace ilq

@@ -1,0 +1,57 @@
+// Circular-issuer queries — the paper's §7 "non-rectangular uncertainty
+// regions" future-work item, implemented for disk-shaped issuer regions
+// (GPS error circles, privacy cloaking radii).
+//
+// The Minkowski sum of the query rectangle and a disk is a rounded
+// rectangle (geometry/minkowski.h); it plays Lemma 1's role as both
+// correctness filter and index range (via its bounding box + an exact
+// rounded-rect refinement). Lemma 3 carries over unchanged — the point
+// kernel is the issuer's disk mass inside the dual rectangle, which is
+// closed-form (exact disk–rectangle overlap areas). Lemma 5's p-expanded-
+// query argument only uses marginal quantiles, so it also holds verbatim
+// for disk pdfs and powers the constrained variant.
+
+#ifndef ILQ_CORE_CIRCULAR_H_
+#define ILQ_CORE_CIRCULAR_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+#include "prob/disk_pdf.h"
+
+namespace ilq {
+
+/// IPQ with a disk-shaped issuer: answers are point objects (indexed in
+/// \p index as degenerate rectangles) with non-zero qualification
+/// probability; probabilities are exact (disk–rect overlap ratios).
+AnswerSet EvaluateIPQCircular(const RTree& index,
+                              const UniformDiskPdf& issuer,
+                              const RangeQuerySpec& spec,
+                              IndexStats* stats = nullptr);
+
+/// C-IPQ with a disk-shaped issuer: only answers with pi ≥ spec.threshold.
+/// Filtering uses the exact Qp-expanded-query built from the disk's
+/// marginal quantiles (Lemma 5 generalizes to any issuer pdf) intersected
+/// with the rounded-rectangle Minkowski sum.
+AnswerSet EvaluateCIPQCircular(const RTree& index,
+                               const UniformDiskPdf& issuer,
+                               const RangeQuerySpec& spec,
+                               IndexStats* stats = nullptr);
+
+/// IUQ with a disk-shaped issuer over uncertain objects (\p index ids are
+/// indexes into \p objects). Probabilities evaluate through the generic
+/// Eq. 8 quadrature (the disk pdf is not product-form) or Monte-Carlo per
+/// \p options.
+AnswerSet EvaluateIUQCircular(const RTree& index,
+                              const std::vector<UncertainObject>& objects,
+                              const UniformDiskPdf& issuer,
+                              const RangeQuerySpec& spec,
+                              const EvalOptions& options,
+                              IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_CIRCULAR_H_

@@ -1,0 +1,150 @@
+#include "core/ciuq.h"
+
+#include <optional>
+
+#include "common/logging.h"
+#include "core/duality.h"
+#include "core/expansion.h"
+
+namespace ilq {
+
+namespace {
+
+double ComputeProbability(const UncertainObject& obj,
+                          const UncertainObject& issuer,
+                          const RangeQuerySpec& spec,
+                          const EvalOptions& options, Rng* rng) {
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    return UncertainQualificationMC(issuer.pdf(), obj.pdf(), spec.w, spec.h,
+                                    options.mc_samples, rng);
+  }
+  return UncertainQualification(issuer.pdf(), obj.pdf(), spec.w, spec.h,
+                                options.quadrature_order);
+}
+
+}  // namespace
+
+AnswerSet EvaluateCIUQRTree(const RTree& index,
+                            const std::vector<UncertainObject>& objects,
+                            const UncertainObject& issuer,
+                            const RangeQuerySpec& spec,
+                            const EvalOptions& options, IndexStats* stats) {
+  const Rect expanded =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  index.Query(
+      expanded,
+      [&](const Rect&, ObjectId idx) {
+        const UncertainObject& obj = objects[idx];
+        const double pi = ComputeProbability(obj, issuer, spec, options,
+                                             &rng);
+        if (pi > 0.0 && pi >= spec.threshold) {
+          answers.push_back({obj.id(), pi});
+        }
+      },
+      stats);
+  return answers;
+}
+
+AnswerSet EvaluateCIUQPTI(const PTI& pti,
+                          const std::vector<UncertainObject>& objects,
+                          const UncertainObject& issuer,
+                          const RangeQuerySpec& spec,
+                          const EvalOptions& options,
+                          const CiuqPruneConfig& prune, IndexStats* stats) {
+  const UCatalog* issuer_catalog = issuer.catalog();
+  ILQ_CHECK(issuer_catalog != nullptr,
+            "C-IUQ via PTI requires the issuer to carry a U-catalog");
+  const double qp = spec.threshold;
+  const Rect minkowski =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+
+  // Strategy 2: traversal restricted to the Qp-expanded-query (the largest
+  // catalogued M ≤ Qp keeps the filter conservative, §5.1).
+  const Rect filter =
+      prune.strategy2
+          ? PExpandedQueryFromCatalog(*issuer_catalog, spec.w, spec.h, qp)
+          : minkowski;
+
+  // Pre-compute the issuer's v-expanded-query for every catalogued value v;
+  // Strategy 3 scans these for the smallest qualifying qmin ≥ Qp.
+  std::vector<Rect> issuer_expanded(issuer_catalog->size());
+  for (size_t i = 0; i < issuer_catalog->size(); ++i) {
+    const PBound& b = issuer_catalog->bound(i);
+    issuer_expanded[i] =
+        Rect(b.l - spec.w, b.r + spec.w, b.b - spec.h, b.t + spec.h);
+  }
+
+  // Smallest catalogued issuer value q ≥ Qp whose q-expanded-query misses
+  // \p region entirely (so the duality kernel is ≤ q everywhere on it).
+  auto find_qmin = [&](const Rect& region) -> std::optional<double> {
+    const std::optional<size_t> start = issuer_catalog->CeilIndex(qp);
+    if (!start.has_value()) return std::nullopt;
+    for (size_t i = *start; i < issuer_catalog->size(); ++i) {
+      if (!region.Intersects(issuer_expanded[i])) {
+        return issuer_catalog->value(i);
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Smallest catalogued object value d ≥ Qp whose p-bound certifies
+  // mass(I) ≤ d (I lies beyond one of the four bound lines).
+  auto find_dmin = [&](const UCatalog& cat,
+                       const Rect& inter) -> std::optional<double> {
+    const std::optional<size_t> start = cat.CeilIndex(qp);
+    if (!start.has_value()) return std::nullopt;
+    for (size_t i = *start; i < cat.size(); ++i) {
+      if (cat.bound(i).RegionBeyond(inter)) return cat.value(i);
+    }
+    return std::nullopt;
+  };
+
+  // Shared pruning test for subtrees (region = node MBR, cat = merged
+  // subtree catalog) and single objects (region = Ui, cat = own catalog).
+  // All tests are conservative for subtrees because merged catalogs bound
+  // every child (§5.3).
+  auto should_prune = [&](const Rect& region, const UCatalog& cat) -> bool {
+    const Rect inter = region.Intersection(minkowski);
+    if (inter.IsEmpty()) return true;  // Lemma 1: no chance to qualify
+    if (prune.strategy1) {
+      const size_t floor_index = cat.FloorIndex(qp);
+      // Skip the vacuous M = 1 bound: "mass ≤ 1" certifies nothing, and
+      // applying it at Qp = 1 would prune objects whose qualification
+      // probability is exactly 1.
+      if (cat.value(floor_index) < 1.0 &&
+          cat.bound(floor_index).RegionBeyond(inter)) {
+        return true;  // mass in Ui ∩ (R ⊕ U0) ≤ M ≤ Qp  (Eqs. 12–14)
+      }
+    }
+    if (prune.strategy3 && qp > 0.0) {
+      const std::optional<double> q = find_qmin(region);
+      if (q.has_value()) {
+        const std::optional<double> d = find_dmin(cat, inter);
+        if (d.has_value() && (*q) * (*d) < qp) {
+          return true;  // pi ≤ qmin · dmin < Qp  (Eqs. 18–20)
+        }
+      }
+    }
+    return false;
+  };
+
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  pti.Query(
+      filter, should_prune,
+      [&](ObjectId idx) {
+        const UncertainObject& obj = objects[idx];
+        const UCatalog* cat = obj.catalog();
+        ILQ_CHECK(cat != nullptr, "PTI object lost its catalog");
+        if (should_prune(obj.region(), *cat)) return;
+        const double pi = ComputeProbability(obj, issuer, spec, options,
+                                             &rng);
+        if (pi > 0.0 && pi >= qp) answers.push_back({obj.id(), pi});
+      },
+      stats);
+  return answers;
+}
+
+}  // namespace ilq

@@ -1,0 +1,59 @@
+// Constrained IUQ evaluation (§5.2–5.3, Definition 6).
+//
+// Baseline: R-tree filtered by the Minkowski sum, every candidate's
+// probability computed and thresholded.
+//
+// PTI method: traversal restricted to the Qp-expanded-query (which realizes
+// Strategy 2 — anything fully outside it is skipped), with Strategy 1
+// (object/subtree p-bounds vs. Ui ∩ (R ⊕ U0)) and Strategy 3 (the
+// qmin · dmin < Qp product bound) applied at both interior-node and leaf
+// level using the PTI's merged U-catalogs. Only survivors have their
+// qualification probability computed.
+//
+// Boundary semantics follow the paper: pruning certifies pi ≤ bound ≤ Qp,
+// so answers with pi exactly equal to Qp may be pruned (measure-zero for
+// continuous pdfs). Survivors are kept when pi ≥ Qp and pi > 0.
+
+#ifndef ILQ_CORE_CIUQ_H_
+#define ILQ_CORE_CIUQ_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/pti.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Per-strategy toggles (for the ablation bench; all on by default).
+struct CiuqPruneConfig {
+  bool strategy1 = true;  ///< p-bound of Oi vs Ui ∩ (R ⊕ U0) (§5.2 S1)
+  bool strategy2 = true;  ///< Qp-expanded-query filter (§5.2 S2)
+  bool strategy3 = true;  ///< qmin · dmin < Qp product bound (§5.2 S3)
+};
+
+/// Baseline C-IUQ: Minkowski filter on a plain R-tree (ids index into
+/// \p objects), probabilities computed for every candidate.
+AnswerSet EvaluateCIUQRTree(const RTree& index,
+                            const std::vector<UncertainObject>& objects,
+                            const UncertainObject& issuer,
+                            const RangeQuerySpec& spec,
+                            const EvalOptions& options,
+                            IndexStats* stats = nullptr);
+
+/// PTI-based C-IUQ with strategies 1–3. The issuer must carry a U-catalog
+/// (it provides the p-expanded queries and Strategy 3's qmin); objects in
+/// \p objects carry the catalogs the PTI was built from.
+AnswerSet EvaluateCIUQPTI(const PTI& pti,
+                          const std::vector<UncertainObject>& objects,
+                          const UncertainObject& issuer,
+                          const RangeQuerySpec& spec,
+                          const EvalOptions& options,
+                          const CiuqPruneConfig& prune = CiuqPruneConfig{},
+                          IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_CIUQ_H_

@@ -1,0 +1,93 @@
+// Query–data duality (§4.2, Lemmas 2–4) and the probability kernels built
+// on it.
+//
+// Lemma 2: point Si satisfies the range query centred at Sq iff Sq satisfies
+// the same-shaped query centred at Si. Hence (Lemma 3) the qualification
+// probability of a point object is the issuer's probability mass inside
+// R(xi, yi) — a single MassIn call instead of Eq. 2's integral over U0; for
+// a uniform issuer this is Eq. 6's area ratio.
+//
+// For uncertain objects, Eq. 8 integrates the dual point-kernel Q(x, y)
+// against the object's pdf over Ui ∩ (R ⊕ U0). This file provides that
+// integral along three analytic paths, fastest applicable first:
+//
+//   1. uniform ⊗ uniform  — fully closed form (piecewise-quadratic overlap
+//      integrals; zero numeric error);
+//   2. product ⊗ product  — the kernel factorizes per axis, so two 1-D
+//      piecewise Gauss–Legendre integrals suffice;
+//   3. anything else      — 2-D composite Gauss–Legendre over the clipped
+//      region with Q evaluated through the issuer's MassIn.
+//
+// Monte-Carlo variants (the paper's §6.2 method) live here too.
+
+#ifndef ILQ_CORE_DUALITY_H_
+#define ILQ_CORE_DUALITY_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// Lemma 3: qualification probability of a point object at \p s for a query
+/// of half-extents (w, h) issued by \p issuer — the issuer's mass inside
+/// the dual range R(s). Exact for every pdf with an exact MassIn.
+inline double PointQualification(const UncertaintyPdf& issuer, const Point& s,
+                                 double w, double h) {
+  return issuer.MassIn(Rect::Centered(s, w, h));
+}
+
+/// Monte-Carlo estimate of the same quantity: the fraction of issuer
+/// samples whose range query covers \p s (Eq. 2 evaluated by sampling,
+/// as the paper does for non-uniform pdfs).
+double PointQualificationMC(const UncertaintyPdf& issuer, const Point& s,
+                            double w, double h, size_t samples, Rng* rng);
+
+/// ∫_{x0}^{x1} |[x − w, x + w] ∩ [a, b]| dx — the 1-D overlap-length
+/// integral behind the uniform ⊗ uniform closed form. The integrand is a
+/// trapezoid with kinks only at {a − w, a + w, b − w, b + w}, so the
+/// integral is evaluated exactly by trapezoidal pieces.
+double OverlapLengthIntegral(double x0, double x1, double w, double a,
+                             double b);
+
+/// Eq. 8 for a uniform issuer over \p u0 and a uniform object over \p ui,
+/// fully closed form:
+///   pi = OverlapIntegral_x · OverlapIntegral_y / (|U0| · |Ui|).
+double UniformUniformQualification(const Rect& u0, const Rect& ui, double w,
+                                   double h);
+
+/// Eq. 8 when both pdfs are product-form (IsProduct()): the integral
+/// factorizes into two 1-D integrals of marginal-density × kernel, each
+/// integrated piecewise (split at the kernel's kinks) with Gauss–Legendre
+/// of order \p gl_order per piece.
+double ProductQualification(const UncertaintyPdf& issuer,
+                            const UncertaintyPdf& object, double w, double h,
+                            size_t gl_order);
+
+/// Eq. 8 for arbitrary pdfs: 2-D composite Gauss–Legendre over
+/// Ui ∩ (R ⊕ U0), with the integrand fi(x, y) · Q(x, y) and Q evaluated via
+/// the issuer's MassIn. \p gl_order applies per axis per smooth cell.
+double GenericQualification(const UncertaintyPdf& issuer,
+                            const UncertaintyPdf& object, double w, double h,
+                            size_t gl_order);
+
+/// Monte-Carlo estimate of Eq. 4 by paired sampling: draw (issuer position,
+/// object position) pairs and count how often the object falls inside the
+/// issuer's range — the paper's evaluation procedure for uncertain objects
+/// under non-uniform pdfs.
+double UncertainQualificationMC(const UncertaintyPdf& issuer,
+                                const UncertaintyPdf& object, double w,
+                                double h, size_t samples, Rng* rng);
+
+/// Dispatches to the fastest applicable analytic path (closed form /
+/// separable / generic 2-D quadrature).
+double UncertainQualification(const UncertaintyPdf& issuer,
+                              const UncertaintyPdf& object, double w,
+                              double h, size_t gl_order);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_DUALITY_H_

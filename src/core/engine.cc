@@ -1,0 +1,121 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "core/ipq.h"
+#include "core/iuq.h"
+#include "object/ucatalog.h"
+
+namespace ilq {
+
+Result<QueryEngine> QueryEngine::Build(
+    std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
+    EngineConfig config) {
+  if (config.catalog_values.empty()) {
+    config.catalog_values = UCatalog::EvenlySpacedValues(11);
+  }
+
+  RTreeOptions point_options;
+  point_options.page_size_bytes = config.page_size_bytes;
+  std::vector<RTree::Item> point_items;
+  point_items.reserve(points.size());
+  for (const PointObject& s : points) {
+    point_items.push_back({Rect::AtPoint(s.location), s.id});
+  }
+  Result<RTree> point_index =
+      RTree::BulkLoad(point_options, std::move(point_items));
+  if (!point_index.ok()) return point_index.status();
+
+  // U-catalogs must exist before the PTI is built.
+  for (UncertainObject& obj : uncertains) {
+    ILQ_RETURN_NOT_OK(obj.BuildCatalog(config.catalog_values));
+  }
+
+  RTreeOptions uncertain_options;
+  uncertain_options.page_size_bytes = config.page_size_bytes;
+  std::vector<RTree::Item> uncertain_items;
+  uncertain_items.reserve(uncertains.size());
+  for (size_t i = 0; i < uncertains.size(); ++i) {
+    uncertain_items.push_back(
+        {uncertains[i].region(), static_cast<ObjectId>(i)});
+  }
+  Result<RTree> uncertain_index =
+      RTree::BulkLoad(uncertain_options, std::move(uncertain_items));
+  if (!uncertain_index.ok()) return uncertain_index.status();
+
+  std::optional<PTI> pti;
+  if (!uncertains.empty()) {
+    Result<PTI> built =
+        PTI::Build(PTIOptions(config.page_size_bytes,
+                              config.catalog_values.size()),
+                   uncertains);
+    if (!built.ok()) return built.status();
+    pti = std::move(built).ValueOrDie();
+  }
+
+  return QueryEngine(std::move(points), std::move(uncertains),
+                     std::move(config), std::move(point_index).ValueOrDie(),
+                     std::move(uncertain_index).ValueOrDie(),
+                     std::move(pti));
+}
+
+AnswerSet QueryEngine::Ipq(const UncertainObject& issuer,
+                           const RangeQuerySpec& spec,
+                           IndexStats* stats) const {
+  return EvaluateIPQ(point_index_, issuer, spec, config_.eval, stats);
+}
+
+AnswerSet QueryEngine::IpqBasic(const UncertainObject& issuer,
+                                const RangeQuerySpec& spec,
+                                IndexStats* stats) const {
+  return EvaluateIPQBasic(point_index_, points_, issuer, spec, config_.basic,
+                          stats);
+}
+
+AnswerSet QueryEngine::Iuq(const UncertainObject& issuer,
+                           const RangeQuerySpec& spec,
+                           IndexStats* stats) const {
+  return EvaluateIUQ(uncertain_index_, uncertains_, issuer, spec,
+                     config_.eval, stats);
+}
+
+AnswerSet QueryEngine::IuqBasic(const UncertainObject& issuer,
+                                const RangeQuerySpec& spec,
+                                IndexStats* stats) const {
+  return EvaluateIUQBasic(uncertain_index_, uncertains_, issuer, spec,
+                          config_.basic, stats);
+}
+
+AnswerSet QueryEngine::Cipq(const UncertainObject& issuer,
+                            const RangeQuerySpec& spec, CipqFilter filter,
+                            IndexStats* stats) const {
+  return EvaluateCIPQ(point_index_, issuer, spec, filter, config_.eval,
+                      stats);
+}
+
+AnswerSet QueryEngine::CiuqRTree(const UncertainObject& issuer,
+                                 const RangeQuerySpec& spec,
+                                 IndexStats* stats) const {
+  return EvaluateCIUQRTree(uncertain_index_, uncertains_, issuer, spec,
+                           config_.eval, stats);
+}
+
+AnswerSet QueryEngine::CiuqPti(const UncertainObject& issuer,
+                               const RangeQuerySpec& spec,
+                               const CiuqPruneConfig& prune,
+                               IndexStats* stats) const {
+  if (!pti_.has_value()) return {};
+  return EvaluateCIUQPTI(*pti_, uncertains_, issuer, spec, config_.eval,
+                         prune, stats);
+}
+
+Result<UncertainObject> QueryEngine::MakeIssuer(
+    std::unique_ptr<UncertaintyPdf> pdf) const {
+  if (pdf == nullptr) {
+    return Status::InvalidArgument("issuer pdf must not be null");
+  }
+  UncertainObject issuer(/*id=*/0, std::move(pdf));
+  ILQ_RETURN_NOT_OK(issuer.BuildCatalog(config_.catalog_values));
+  return issuer;
+}
+
+}  // namespace ilq

@@ -1,0 +1,135 @@
+// QueryEngine — the library facade.
+//
+// Owns the point and uncertain datasets, builds the spatial indexes
+// (R-tree over points, R-tree over uncertainty regions, PTI with merged
+// U-catalogs) and exposes the four query classes of the paper with method
+// selection. Examples and benches talk to this class; the lower-level
+// evaluators remain available for fine-grained use.
+
+#ifndef ILQ_CORE_ENGINE_H_
+#define ILQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/basic_eval.h"
+#include "core/cipq.h"
+#include "core/ciuq.h"
+#include "core/query.h"
+#include "index/pti.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Engine construction parameters (defaults follow §6.1).
+struct EngineConfig {
+  /// R-tree / PTI node page budget (paper: 4K).
+  size_t page_size_bytes = 4096;
+
+  /// U-catalog value ladder pre-computed for every uncertain object. The
+  /// paper's experiments catalogue probabilities 0, 0.1, …, 1 (§6.1).
+  std::vector<double> catalog_values;  // empty = EvenlySpacedValues(11)
+
+  /// Probability-kernel configuration shared by all queries.
+  EvalOptions eval;
+
+  /// Baseline (§3.3) sampling configuration.
+  BasicEvalOptions basic;
+};
+
+/// \brief Datasets + indexes + query entry points.
+class QueryEngine {
+ public:
+  /// Builds the engine: bulk-loads the point R-tree and the uncertain
+  /// R-tree, attaches U-catalogs to every uncertain object and builds the
+  /// PTI. Either dataset may be empty (the corresponding queries then
+  /// return empty answers).
+  static Result<QueryEngine> Build(std::vector<PointObject> points,
+                                   std::vector<UncertainObject> uncertains,
+                                   EngineConfig config = EngineConfig{});
+
+  // ---- Imprecise queries (§4) -------------------------------------------
+
+  /// IPQ via Minkowski expansion + duality (Eqs. 5/6).
+  AnswerSet Ipq(const UncertainObject& issuer, const RangeQuerySpec& spec,
+                IndexStats* stats = nullptr) const;
+
+  /// IPQ via the §3.3 sampling baseline.
+  AnswerSet IpqBasic(const UncertainObject& issuer,
+                     const RangeQuerySpec& spec,
+                     IndexStats* stats = nullptr) const;
+
+  /// IUQ via Minkowski expansion + duality (Eq. 8).
+  AnswerSet Iuq(const UncertainObject& issuer, const RangeQuerySpec& spec,
+                IndexStats* stats = nullptr) const;
+
+  /// IUQ via the §3.3 sampling baseline (Eq. 4).
+  AnswerSet IuqBasic(const UncertainObject& issuer,
+                     const RangeQuerySpec& spec,
+                     IndexStats* stats = nullptr) const;
+
+  // ---- Constrained queries (§5) -----------------------------------------
+
+  /// C-IPQ with the chosen candidate filter (Figure 11 compares the two).
+  AnswerSet Cipq(const UncertainObject& issuer, const RangeQuerySpec& spec,
+                 CipqFilter filter = CipqFilter::kPExpanded,
+                 IndexStats* stats = nullptr) const;
+
+  /// C-IUQ baseline: Minkowski filter on the plain R-tree (Figure 12's
+  /// "Minkowski Sum" series).
+  AnswerSet CiuqRTree(const UncertainObject& issuer,
+                      const RangeQuerySpec& spec,
+                      IndexStats* stats = nullptr) const;
+
+  /// C-IUQ via PTI + p-expanded-query + strategies 1–3 (Figure 12's
+  /// "p-Expanded-Query" series).
+  AnswerSet CiuqPti(const UncertainObject& issuer,
+                    const RangeQuerySpec& spec,
+                    const CiuqPruneConfig& prune = CiuqPruneConfig{},
+                    IndexStats* stats = nullptr) const;
+
+  // ---- Issuer helper -----------------------------------------------------
+
+  /// Wraps an issuer pdf as the query issuer O0, pre-building its U-catalog
+  /// on the engine's value ladder (needed by the threshold-aware methods).
+  Result<UncertainObject> MakeIssuer(
+      std::unique_ptr<UncertaintyPdf> pdf) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  const std::vector<PointObject>& points() const { return points_; }
+  const std::vector<UncertainObject>& uncertains() const {
+    return uncertains_;
+  }
+  const RTree& point_index() const { return point_index_; }
+  const RTree& uncertain_index() const { return uncertain_index_; }
+  /// Null when the uncertain dataset is empty.
+  const PTI* pti() const { return pti_.has_value() ? &*pti_ : nullptr; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  QueryEngine(std::vector<PointObject> points,
+              std::vector<UncertainObject> uncertains, EngineConfig config,
+              RTree point_index, RTree uncertain_index,
+              std::optional<PTI> pti)
+      : points_(std::move(points)),
+        uncertains_(std::move(uncertains)),
+        config_(std::move(config)),
+        point_index_(std::move(point_index)),
+        uncertain_index_(std::move(uncertain_index)),
+        pti_(std::move(pti)) {}
+
+  std::vector<PointObject> points_;
+  std::vector<UncertainObject> uncertains_;
+  EngineConfig config_;
+  RTree point_index_;
+  RTree uncertain_index_;
+  std::optional<PTI> pti_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_ENGINE_H_

@@ -1,0 +1,17 @@
+#include "core/expansion.h"
+
+namespace ilq {
+
+Rect PExpandedQuery(const UncertaintyPdf& issuer_pdf, double w, double h,
+                    double p) {
+  const PBound bound = PBound::FromPdf(issuer_pdf, p);
+  return Rect(bound.l - w, bound.r + w, bound.b - h, bound.t + h);
+}
+
+Rect PExpandedQueryFromCatalog(const UCatalog& issuer_catalog, double w,
+                               double h, double qp) {
+  const PBound& bound = issuer_catalog.FloorBound(qp);
+  return Rect(bound.l - w, bound.r + w, bound.b - h, bound.t + h);
+}
+
+}  // namespace ilq

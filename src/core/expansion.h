@@ -1,0 +1,45 @@
+// Query expansion (§4.1 and §5.1): the Minkowski-sum expanded query and its
+// threshold-aware refinement, the p-expanded-query.
+//
+// Lemma 1: an object can have non-zero qualification probability iff it
+// touches R ⊕ U0 — so the expanded rectangle is both a correctness filter
+// and the range handed to the spatial index (§4.3).
+//
+// Lemma 5: each side of the p-expanded-query sits w (resp. h) outside the
+// issuer's own p-bound line, so any *point* object outside it qualifies with
+// probability < p (Definition 7). The 0-expanded-query is exactly the
+// Minkowski sum.
+
+#ifndef ILQ_CORE_EXPANSION_H_
+#define ILQ_CORE_EXPANSION_H_
+
+#include "geometry/minkowski.h"
+#include "geometry/rect.h"
+#include "object/ucatalog.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// R ⊕ U0 for a rectangular issuer region (Figure 2): U0 grown by the query
+/// half-extents on each side.
+constexpr Rect MinkowskiExpandedQuery(const Rect& u0, double w, double h) {
+  return ExpandedQueryRange(u0, w, h);
+}
+
+/// Exact p-expanded-query from the issuer's pdf (Lemma 5): the issuer's
+/// p-bound box [l0(p), r0(p)] × [b0(p), t0(p)] grown by (w, h). For p = 0
+/// this is the Minkowski sum; it shrinks as p grows and may become empty
+/// once the p-bound lines cross (2p-mass wider than the query), in which
+/// case nothing can qualify with probability ≥ p.
+Rect PExpandedQuery(const UncertaintyPdf& issuer_pdf, double w, double h,
+                    double p);
+
+/// Catalog-based p-expanded-query (§5.1's U-catalog discussion): uses the
+/// largest catalogued value M ≤ \p qp, whose expanded query *encloses* the
+/// exact Qp-expanded-query and is therefore a conservative filter.
+Rect PExpandedQueryFromCatalog(const UCatalog& issuer_catalog, double w,
+                               double h, double qp);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_EXPANSION_H_

@@ -1,0 +1,164 @@
+#include "core/inn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "geometry/polygon.h"
+
+namespace ilq {
+
+namespace {
+
+// Nearest object id at one issuer position; ties broken by smaller id so
+// the result is deterministic. Returns false when the index is empty.
+bool NearestAt(const RTree& index, const Point& p, ObjectId* winner,
+               IndexStats* stats) {
+  // Ask for two neighbours so exact distance ties surface, then break by
+  // id among the tied front-runners.
+  const std::vector<RTree::Neighbor> nn = index.Nearest(p, 2, stats);
+  if (nn.empty()) return false;
+  *winner = nn[0].id;
+  if (nn.size() > 1 && nn[1].distance == nn[0].distance) {
+    *winner = std::min(nn[0].id, nn[1].id);
+  }
+  return true;
+}
+
+AnswerSet TallyToAnswers(const std::map<ObjectId, double>& mass) {
+  AnswerSet answers;
+  answers.reserve(mass.size());
+  for (const auto& [id, p] : mass) {
+    if (p > 0.0) answers.push_back({id, p});
+  }
+  return answers;
+}
+
+}  // namespace
+
+AnswerSet EvaluateINN(const RTree& index, const UncertainObject& issuer,
+                      const InnOptions& options, IndexStats* stats) {
+  ILQ_CHECK(options.samples > 0, "INN needs at least one sample");
+  if (index.size() == 0) return {};
+  Rng rng(options.seed);
+  std::map<ObjectId, double> hits;
+  for (size_t i = 0; i < options.samples; ++i) {
+    ObjectId winner = 0;
+    if (NearestAt(index, issuer.pdf().Sample(&rng), &winner, stats)) {
+      hits[winner] += 1.0;
+    }
+  }
+  for (auto& [id, count] : hits) {
+    count /= static_cast<double>(options.samples);
+  }
+  return TallyToAnswers(hits);
+}
+
+AnswerSet EvaluateINNGrid(const RTree& index, const UncertainObject& issuer,
+                          const InnOptions& options, IndexStats* stats) {
+  ILQ_CHECK(options.grid_per_axis > 0, "grid_per_axis must be positive");
+  if (index.size() == 0) return {};
+  const Rect u0 = issuer.region();
+  const size_t n = options.grid_per_axis;
+  const double dx = u0.Width() / static_cast<double>(n);
+  const double dy = u0.Height() / static_cast<double>(n);
+  const double cell_area = dx * dy;
+  std::map<ObjectId, double> mass;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
+    for (size_t j = 0; j < n; ++j) {
+      const double y = u0.ymin + (static_cast<double>(j) + 0.5) * dy;
+      const Point p(x, y);
+      const double weight = issuer.pdf().Density(p) * cell_area;
+      if (weight <= 0.0) continue;
+      ObjectId winner = 0;
+      if (NearestAt(index, p, &winner, stats)) {
+        mass[winner] += weight;
+        total += weight;
+      }
+    }
+  }
+  // Normalize away the midpoint-rule discretization of the pdf so the
+  // answer remains a probability distribution.
+  if (total > 0.0) {
+    for (auto& [id, p] : mass) p /= total;
+  }
+  return TallyToAnswers(mass);
+}
+
+AnswerSet EvaluateINNExactUniform(const RTree& index, const Rect& u0,
+                                  IndexStats* stats) {
+  ILQ_CHECK(!u0.IsEmpty() && u0.Area() > 0.0,
+            "exact INN requires a non-degenerate issuer rectangle");
+  if (index.size() == 0) return {};
+
+  // Candidate bound: the nearest neighbour of U0's centre gives the radius
+  // R = maxdist(U0, anchor); anywhere in U0 the true NN lies within
+  // dist(x, anchor) ≤ R, so candidates are the objects within R of U0.
+  const std::vector<RTree::Neighbor> anchor =
+      index.Nearest(u0.Center(), 1, stats);
+  ILQ_CHECK(!anchor.empty(), "non-empty index returned no neighbour");
+  const Point a = anchor[0].box.Center();
+  const Point corners[4] = {Point(u0.xmin, u0.ymin), Point(u0.xmax, u0.ymin),
+                            Point(u0.xmax, u0.ymax),
+                            Point(u0.xmin, u0.ymax)};
+  double radius = 0.0;
+  for (const Point& corner : corners) {
+    radius = std::max(radius, corner.DistanceTo(a));
+  }
+
+  struct Candidate {
+    ObjectId id;
+    Point location;
+  };
+  std::vector<Candidate> candidates;
+  index.Query(
+      u0.Expanded(radius, radius),
+      [&](const Rect& box, ObjectId id) {
+        const Point s = box.Center();
+        // Corner-rectangle expansion over-covers; keep only objects truly
+        // within R of the rectangle.
+        if (u0.MinDistanceTo(s) <= radius) candidates.push_back({id, s});
+      },
+      stats);
+
+  // Each candidate's nearest-region is U0 clipped by the bisector
+  // half-plane towards every other candidate:
+  //   dist(x, Si) ≤ dist(x, Sj)  ⟺  2(Sj − Si)·x ≤ |Sj|² − |Si|².
+  const ConvexPolygon box = ConvexPolygon::FromRect(u0);
+  const double inv_area = 1.0 / u0.Area();
+  AnswerSet answers;
+  for (const Candidate& self : candidates) {
+    ConvexPolygon cell = box;
+    const double self_sq =
+        self.location.x * self.location.x +
+        self.location.y * self.location.y;
+    for (const Candidate& other : candidates) {
+      if (other.id == self.id) continue;
+      const double nx = 2.0 * (other.location.x - self.location.x);
+      const double ny = 2.0 * (other.location.y - self.location.y);
+      if (nx == 0.0 && ny == 0.0) {
+        // Exactly co-located competitor: the smaller id wins the tie so
+        // probabilities still sum to 1.
+        if (other.id < self.id) {
+          cell = ConvexPolygon();
+          break;
+        }
+        continue;
+      }
+      const double c = other.location.x * other.location.x +
+                       other.location.y * other.location.y - self_sq;
+      cell = cell.ClippedToHalfPlane(nx, ny, c);
+      if (cell.size() < 3) break;
+    }
+    if (cell.size() >= 3) {
+      const double pi = cell.Area() * inv_area;
+      if (pi > 0.0) answers.push_back({self.id, pi});
+    }
+  }
+  return answers;
+}
+
+}  // namespace ilq

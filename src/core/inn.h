@@ -1,0 +1,74 @@
+// Imprecise nearest-neighbour queries — the paper's §7 future-work item
+// ("we will study how other location-dependent queries, such as the
+// nearest-neighbor queries, can be supported").
+//
+// Given an imprecise issuer O0, the INN qualification probability of a
+// point object Si is the probability that Si is the nearest object to the
+// issuer's true position:
+//
+//   pi = ∫_{U0} f0(x, y) · 1[Si = argmin_j dist((x, y), Sj)] dx dy
+//
+// (the nearest-neighbour analogue of Eq. 2; answers form a probability
+// distribution over objects, Σ pi = 1). Two evaluators are provided:
+//
+//   * Monte-Carlo — sample issuer positions from f0 and run a best-first
+//     NN search per sample (mirrors the paper's §6.2 methodology);
+//   * deterministic grid — midpoint integration over U0, exact in the
+//     grid limit (mirrors the §3.3 basic method).
+//
+// Both restrict work with a Lemma-1-style filter: only objects within the
+// maximum possible NN distance (the smallest circle certainly containing
+// a neighbour from every point of U0) can have non-zero probability.
+
+#ifndef ILQ_CORE_INN_H_
+#define ILQ_CORE_INN_H_
+
+#include <cstdint>
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Evaluation knobs for imprecise nearest-neighbour queries.
+struct InnOptions {
+  /// Monte-Carlo issuer samples (the §6.2-style default).
+  size_t samples = 250;
+  /// Deterministic-grid resolution per axis for EvaluateINNGrid.
+  size_t grid_per_axis = 24;
+  /// Seed for the Monte-Carlo stream.
+  uint64_t seed = 0xBEEF;
+  /// Distance ties are broken by smaller object id, making both
+  /// evaluators deterministic for fixed inputs.
+};
+
+/// Monte-Carlo INN over point objects in \p index. Returns every object
+/// that is nearest for at least one sample, with pi = hit fraction.
+/// Probabilities over the answer set sum to 1 (empty for an empty index).
+AnswerSet EvaluateINN(const RTree& index, const UncertainObject& issuer,
+                      const InnOptions& options,
+                      IndexStats* stats = nullptr);
+
+/// Deterministic midpoint-grid INN (weights from the issuer's density, as
+/// in §3.3). Converges to the exact probabilities as grid_per_axis grows;
+/// for a uniform issuer the weights sum to exactly 1.
+AnswerSet EvaluateINNGrid(const RTree& index, const UncertainObject& issuer,
+                          const InnOptions& options,
+                          IndexStats* stats = nullptr);
+
+/// Exact INN for a *uniform* issuer over rectangle \p u0.
+///
+/// The region of U0 where object Si is nearest is U0 clipped against the
+/// perpendicular-bisector half-planes towards every competitor — a convex
+/// polygon (the Voronoi cell of Si intersected with U0) — so
+/// pi = Area(cell_i) / Area(U0) exactly. Candidates are bounded via the
+/// index: only objects within min_j maxdist(U0, Sj) of U0 can be nearest
+/// anywhere in it. O(k²) bisector clips for k surviving candidates.
+AnswerSet EvaluateINNExactUniform(const RTree& index, const Rect& u0,
+                                  IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_INN_H_

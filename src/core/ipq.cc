@@ -1,0 +1,30 @@
+#include "core/ipq.h"
+
+#include "core/duality.h"
+#include "core/expansion.h"
+
+namespace ilq {
+
+AnswerSet EvaluateIPQ(const RTree& index, const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, const EvalOptions& options,
+                      IndexStats* stats) {
+  const Rect expanded =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  index.Query(
+      expanded,
+      [&](const Rect& box, ObjectId id) {
+        const Point s = box.Center();
+        const double pi =
+            options.kernel == ProbabilityKernel::kMonteCarlo
+                ? PointQualificationMC(issuer.pdf(), s, spec.w, spec.h,
+                                       options.mc_samples, &rng)
+                : PointQualification(issuer.pdf(), s, spec.w, spec.h);
+        if (pi > 0.0) answers.push_back({id, pi});
+      },
+      stats);
+  return answers;
+}
+
+}  // namespace ilq

@@ -1,0 +1,24 @@
+// Enhanced IPQ evaluation (§4): Minkowski-sum filtering on the R-tree
+// (Lemma 1) + query–data duality for the qualification probability
+// (Lemma 3 / Eq. 5; Eq. 6's area ratio for uniform issuers).
+
+#ifndef ILQ_CORE_IPQ_H_
+#define ILQ_CORE_IPQ_H_
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Evaluates an IPQ (Definition 3) over point objects indexed in \p index
+/// (degenerate rectangles; the entry box is the point's location). Returns
+/// every object with non-zero qualification probability.
+AnswerSet EvaluateIPQ(const RTree& index, const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, const EvalOptions& options,
+                      IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_IPQ_H_

@@ -1,0 +1,33 @@
+#include "core/iuq.h"
+
+#include "core/duality.h"
+#include "core/expansion.h"
+
+namespace ilq {
+
+AnswerSet EvaluateIUQ(const RTree& index,
+                      const std::vector<UncertainObject>& objects,
+                      const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, const EvalOptions& options,
+                      IndexStats* stats) {
+  const Rect expanded =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  AnswerSet answers;
+  Rng rng(options.mc_seed);
+  index.Query(
+      expanded,
+      [&](const Rect&, ObjectId idx) {
+        const UncertainObject& obj = objects[idx];
+        const double pi =
+            options.kernel == ProbabilityKernel::kMonteCarlo
+                ? UncertainQualificationMC(issuer.pdf(), obj.pdf(), spec.w,
+                                           spec.h, options.mc_samples, &rng)
+                : UncertainQualification(issuer.pdf(), obj.pdf(), spec.w,
+                                         spec.h, options.quadrature_order);
+        if (pi > 0.0) answers.push_back({obj.id(), pi});
+      },
+      stats);
+  return answers;
+}
+
+}  // namespace ilq

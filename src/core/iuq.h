@@ -1,0 +1,29 @@
+// Enhanced IUQ evaluation (§4): Minkowski-sum filtering on the R-tree
+// (Lemma 1) + the duality-based Eq. 8 integral over Ui ∩ (R ⊕ U0)
+// (Lemma 4), evaluated closed-form / separably / by quadrature depending on
+// the pdfs involved.
+
+#ifndef ILQ_CORE_IUQ_H_
+#define ILQ_CORE_IUQ_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Evaluates an IUQ (Definition 4). \p index holds the objects' uncertainty
+/// regions with ids that are indexes into \p objects. Returns every object
+/// with non-zero qualification probability.
+AnswerSet EvaluateIUQ(const RTree& index,
+                      const std::vector<UncertainObject>& objects,
+                      const UncertainObject& issuer,
+                      const RangeQuerySpec& spec, const EvalOptions& options,
+                      IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_IUQ_H_

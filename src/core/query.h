@@ -1,0 +1,71 @@
+// Query descriptors and answer types for imprecise location-dependent range
+// queries (§3.2, Definitions 3–6).
+
+#ifndef ILQ_CORE_QUERY_H_
+#define ILQ_CORE_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "object/point_object.h"
+
+namespace ilq {
+
+/// \brief Shape and threshold of one imprecise location-dependent range
+/// query.
+///
+/// The range is an axis-parallel rectangle of half-width `w` and half-height
+/// `h` centred at the query issuer's (uncertain) location. `threshold` is
+/// the probability threshold Qp of the constrained variants (0 recovers the
+/// unconstrained IPQ/IUQ).
+struct RangeQuerySpec {
+  double w = 0.0;          ///< half-width of the query rectangle
+  double h = 0.0;          ///< half-height of the query rectangle
+  double threshold = 0.0;  ///< Qp ∈ [0, 1]; answers need pi ≥ Qp
+
+  constexpr RangeQuerySpec() = default;
+  constexpr RangeQuerySpec(double half_w, double half_h, double qp = 0.0)
+      : w(half_w), h(half_h), threshold(qp) {}
+};
+
+/// \brief One answer tuple (object, qualification probability).
+struct ProbabilisticAnswer {
+  ObjectId id = 0;
+  double probability = 0.0;
+
+  friend bool operator==(const ProbabilisticAnswer& a,
+                         const ProbabilisticAnswer& b) = default;
+};
+
+/// Answer set of an imprecise query: all objects with non-zero (IPQ/IUQ) or
+/// above-threshold (C-IPQ/C-IUQ) qualification probability.
+using AnswerSet = std::vector<ProbabilisticAnswer>;
+
+/// How qualification probabilities are computed for surviving candidates.
+enum class ProbabilityKernel {
+  /// Closed forms / deterministic quadrature (exact for uniform, near-exact
+  /// for product pdfs, tensor quadrature otherwise).
+  kAnalytic,
+  /// Monte-Carlo sampling — the paper's method for non-uniform pdfs (§6.2).
+  kMonteCarlo,
+};
+
+/// \brief Evaluation knobs shared by all evaluators.
+struct EvalOptions {
+  ProbabilityKernel kernel = ProbabilityKernel::kAnalytic;
+
+  /// Monte-Carlo sample count. The paper's sensitivity analysis settled on
+  /// ≥200 samples for C-IPQ and ≥250 for C-IUQ (§6.2).
+  size_t mc_samples = 250;
+
+  /// Seed for the per-query Monte-Carlo stream.
+  uint64_t mc_seed = 0xC0FFEE;
+
+  /// Gauss–Legendre order per smooth piece for the quadrature paths.
+  size_t quadrature_order = 16;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_QUERY_H_

@@ -1,0 +1,98 @@
+#include "datagen/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ilq {
+
+namespace {
+
+// Accepts comma- or whitespace-separated doubles; returns how many parsed.
+size_t ParseDoubles(const std::string& line, double* out, size_t want) {
+  std::string normalized = line;
+  for (char& c : normalized) {
+    if (c == ',' || c == ';' || c == '\t') c = ' ';
+  }
+  std::istringstream in(normalized);
+  size_t got = 0;
+  while (got < want && (in >> out[got])) ++got;
+  return got;
+}
+
+}  // namespace
+
+Status SavePointsCsv(const std::string& path,
+                     const std::vector<PointObject>& points) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# x,y\n";
+  char buf[96];
+  for (const PointObject& p : points) {
+    std::snprintf(buf, sizeof(buf), "%.10g,%.10g\n", p.location.x,
+                  p.location.y);
+    out << buf;
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<PointObject>> LoadPointsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<PointObject> points;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    double vals[2];
+    if (ParseDoubles(line, vals, 2) != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'x,y'");
+    }
+    points.emplace_back(static_cast<ObjectId>(points.size() + 1),
+                        Point(vals[0], vals[1]));
+  }
+  return points;
+}
+
+Status SaveRectsCsv(const std::string& path, const std::vector<Rect>& rects) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# xmin,ymin,xmax,ymax\n";
+  char buf[160];
+  for (const Rect& r : rects) {
+    std::snprintf(buf, sizeof(buf), "%.10g,%.10g,%.10g,%.10g\n", r.xmin,
+                  r.ymin, r.xmax, r.ymax);
+    out << buf;
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Rect>> LoadRectsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<Rect> rects;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    double v[4];
+    if (ParseDoubles(line, v, 4) != 4) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'xmin,ymin,xmax,ymax'");
+    }
+    const Rect r(v[0], v[2], v[1], v[3]);
+    if (r.IsEmpty()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": inverted rectangle");
+    }
+    rects.push_back(r);
+  }
+  return rects;
+}
+
+}  // namespace ilq

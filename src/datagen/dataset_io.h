@@ -1,0 +1,33 @@
+// CSV persistence for datasets, so generated stand-in data can be inspected,
+// versioned, or swapped for real TIGER extracts when those are available
+// (the loaders accept the classic "x y" / "xmin ymin xmax ymax" layouts).
+
+#ifndef ILQ_DATAGEN_DATASET_IO_H_
+#define ILQ_DATAGEN_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "object/point_object.h"
+
+namespace ilq {
+
+/// Writes one "x,y" line per point (ids are positional on reload).
+Status SavePointsCsv(const std::string& path,
+                     const std::vector<PointObject>& points);
+
+/// Reads points from CSV ("x,y" per line; whitespace-separated also
+/// accepted). Ids are assigned 1..n in file order.
+Result<std::vector<PointObject>> LoadPointsCsv(const std::string& path);
+
+/// Writes one "xmin,ymin,xmax,ymax" line per rectangle.
+Status SaveRectsCsv(const std::string& path, const std::vector<Rect>& rects);
+
+/// Reads rectangles from CSV ("xmin,ymin,xmax,ymax" per line).
+Result<std::vector<Rect>> LoadRectsCsv(const std::string& path);
+
+}  // namespace ilq
+
+#endif  // ILQ_DATAGEN_DATASET_IO_H_

@@ -1,0 +1,160 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/uniform_pdf.h"
+
+namespace ilq {
+
+namespace {
+
+// A road-like segment with endpoints inside the space.
+struct Segment {
+  Point a;
+  Point b;
+};
+
+std::vector<Segment> MakeSegments(const Rect& space, size_t count,
+                                  Rng* rng) {
+  std::vector<Segment> segments;
+  segments.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Segment anchored at a random point with a random direction and a
+    // length between 2% and 30% of the space diagonal — mimics a mix of
+    // short streets and long arterials.
+    const Point a(rng->Uniform(space.xmin, space.xmax),
+                  rng->Uniform(space.ymin, space.ymax));
+    const double diag = std::sqrt(space.Width() * space.Width() +
+                                  space.Height() * space.Height());
+    const double len = rng->Uniform(0.02, 0.30) * diag;
+    const double theta = rng->Uniform(0.0, 2.0 * 3.14159265358979323846);
+    Point b(a.x + len * std::cos(theta), a.y + len * std::sin(theta));
+    b.x = std::clamp(b.x, space.xmin, space.xmax);
+    b.y = std::clamp(b.y, space.ymin, space.ymax);
+    segments.push_back({a, b});
+  }
+  return segments;
+}
+
+Point SamplePointOnSegments(const std::vector<Segment>& segments,
+                            const Rect& space, double jitter, Rng* rng) {
+  const Segment& s = segments[rng->NextBelow(segments.size())];
+  const double t = rng->NextDouble();
+  Point p(s.a.x + t * (s.b.x - s.a.x), s.a.y + t * (s.b.y - s.a.y));
+  p.x = std::clamp(p.x + rng->Gaussian(0.0, jitter), space.xmin, space.xmax);
+  p.y = std::clamp(p.y + rng->Gaussian(0.0, jitter), space.ymin, space.ymax);
+  return p;
+}
+
+}  // namespace
+
+std::vector<PointObject> GenerateCaliforniaLikePoints(
+    const SyntheticConfig& config) {
+  ILQ_CHECK(!config.space.IsEmpty(), "space must be non-empty");
+  Rng rng(config.seed);
+  const std::vector<Segment> segments =
+      MakeSegments(config.space, std::max<size_t>(1, config.segments), &rng);
+  std::vector<PointObject> points;
+  points.reserve(config.count);
+  for (size_t i = 0; i < config.count; ++i) {
+    Point p;
+    if (rng.NextDouble() < config.background_fraction) {
+      p = Point(rng.Uniform(config.space.xmin, config.space.xmax),
+                rng.Uniform(config.space.ymin, config.space.ymax));
+    } else {
+      p = SamplePointOnSegments(segments, config.space, config.jitter, &rng);
+    }
+    points.emplace_back(static_cast<ObjectId>(i + 1), p);
+  }
+  return points;
+}
+
+std::vector<Rect> GenerateLongBeachLikeRects(const RectangleConfig& config) {
+  const SyntheticConfig& base = config.base;
+  ILQ_CHECK(!base.space.IsEmpty(), "space must be non-empty");
+  ILQ_CHECK(config.min_side > 0.0 && config.min_side <= config.max_side,
+            "invalid side bounds");
+  Rng rng(base.seed);
+  const std::vector<Segment> segments =
+      MakeSegments(base.space, std::max<size_t>(1, base.segments), &rng);
+
+  std::vector<Rect> rects;
+  rects.reserve(base.count);
+  for (size_t i = 0; i < base.count; ++i) {
+    Point c;
+    if (rng.NextDouble() < base.background_fraction) {
+      c = Point(rng.Uniform(base.space.xmin, base.space.xmax),
+                rng.Uniform(base.space.ymin, base.space.ymax));
+    } else {
+      c = SamplePointOnSegments(segments, base.space, base.jitter, &rng);
+    }
+    // Exponential side lengths (footprints of parcels/blocks are heavily
+    // right-skewed), clamped to the configured range.
+    auto draw_side = [&]() {
+      double u = rng.NextDouble();
+      while (u <= 1e-12) u = rng.NextDouble();
+      const double side = -config.mean_side * std::log(u);
+      return std::clamp(side, config.min_side, config.max_side);
+    };
+    const double half_w = 0.5 * draw_side();
+    const double half_h = 0.5 * draw_side();
+    Rect r(c.x - half_w, c.x + half_w, c.y - half_h, c.y + half_h);
+    // Keep the region inside the space so the index bounds stay tight.
+    r.xmin = std::max(r.xmin, base.space.xmin);
+    r.xmax = std::min(r.xmax, base.space.xmax);
+    r.ymin = std::max(r.ymin, base.space.ymin);
+    r.ymax = std::min(r.ymax, base.space.ymax);
+    // Clamping at a space border can leave a sliver; restore the minimum
+    // side by growing back into the space.
+    if (r.Width() < config.min_side) {
+      if (r.xmin > base.space.xmin) {
+        r.xmin = r.xmax - config.min_side;
+      } else {
+        r.xmax = r.xmin + config.min_side;
+      }
+    }
+    if (r.Height() < config.min_side) {
+      if (r.ymin > base.space.ymin) {
+        r.ymin = r.ymax - config.min_side;
+      } else {
+        r.ymax = r.ymin + config.min_side;
+      }
+    }
+    rects.push_back(r);
+  }
+  return rects;
+}
+
+Result<std::vector<UncertainObject>> MakeUniformUncertainObjects(
+    const std::vector<Rect>& regions) {
+  std::vector<UncertainObject> objects;
+  objects.reserve(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    Result<UniformRectPdf> pdf = UniformRectPdf::Make(regions[i]);
+    if (!pdf.ok()) return pdf.status();
+    objects.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        std::make_unique<UniformRectPdf>(std::move(pdf).ValueOrDie()));
+  }
+  return objects;
+}
+
+Result<std::vector<UncertainObject>> MakeGaussianUncertainObjects(
+    const std::vector<Rect>& regions) {
+  std::vector<UncertainObject> objects;
+  objects.reserve(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    Result<TruncatedGaussianPdf> pdf =
+        TruncatedGaussianPdf::MakePaperDefault(regions[i]);
+    if (!pdf.ok()) return pdf.status();
+    objects.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        std::make_unique<TruncatedGaussianPdf>(std::move(pdf).ValueOrDie()));
+  }
+  return objects;
+}
+
+}  // namespace ilq

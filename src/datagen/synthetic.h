@@ -1,0 +1,76 @@
+// Synthetic stand-ins for the paper's TIGER datasets (§6.1).
+//
+// The paper evaluates on two TIGER/Line extracts in a 10,000 × 10,000
+// space: "California" (62K points, used as the point-object database) and
+// "Long Beach" (53K rectangles, used as the uncertain-object database).
+// Those files are not available offline, so ILQ generates data with the
+// same statistical character:
+//
+//   * points drawn along many random line segments (road networks are
+//     overwhelmingly line-shaped) plus a uniform background — matching the
+//     strong spatial skew of TIGER points;
+//   * small axis-parallel rectangles with skewed centres and TIGER-like
+//     side lengths (a tiny fraction of the space per object) for the
+//     uncertain set.
+//
+// Query performance in the paper depends on object density inside expanded
+// query windows and on rectangle size/skew — both reproduced here. See
+// DESIGN.md §2 for the substitution rationale.
+
+#ifndef ILQ_DATAGEN_SYNTHETIC_H_
+#define ILQ_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "object/point_object.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Shape of a synthetic spatial dataset.
+struct SyntheticConfig {
+  Rect space = Rect(0.0, 10000.0, 0.0, 10000.0);  ///< paper's data space
+  size_t count = 62000;          ///< number of objects (62K / 53K in §6.1)
+  size_t segments = 180;         ///< road-like line segments to scatter on
+  double background_fraction = 0.15;  ///< share of uniformly placed objects
+  double jitter = 25.0;          ///< perpendicular scatter around segments
+  uint64_t seed = 42;            ///< generator seed (fully deterministic)
+};
+
+/// Generates a "California"-like clustered point set.
+std::vector<PointObject> GenerateCaliforniaLikePoints(
+    const SyntheticConfig& config);
+
+/// \brief Extra knobs for rectangle datasets.
+struct RectangleConfig {
+  SyntheticConfig base;
+  /// Mean rectangle side; TIGER Long Beach objects are tiny relative to
+  /// the space. Sides are drawn from an exponential-like distribution with
+  /// this mean, clamped to [min_side, max_side].
+  double mean_side = 40.0;
+  double min_side = 2.0;
+  double max_side = 400.0;
+};
+
+/// Generates a "Long Beach"-like set of small rectangles (returned as
+/// plain rectangles; attach pdfs with MakeUniformUncertainObjects or
+/// MakeGaussianUncertainObjects).
+std::vector<Rect> GenerateLongBeachLikeRects(const RectangleConfig& config);
+
+/// Wraps rectangles as uncertain objects with uniform pdfs (the paper's
+/// default: fi = 1/|Ui|). Object ids are assigned 1..n in order.
+Result<std::vector<UncertainObject>> MakeUniformUncertainObjects(
+    const std::vector<Rect>& regions);
+
+/// Wraps rectangles as uncertain objects with the paper's Figure 13
+/// Gaussian pdfs (mean at the region centre, σ = side/6).
+Result<std::vector<UncertainObject>> MakeGaussianUncertainObjects(
+    const std::vector<Rect>& regions);
+
+}  // namespace ilq
+
+#endif  // ILQ_DATAGEN_SYNTHETIC_H_

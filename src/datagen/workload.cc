@@ -1,0 +1,61 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "prob/gaussian_pdf.h"
+#include "prob/uniform_pdf.h"
+
+namespace ilq {
+
+Result<Workload> GenerateWorkload(const WorkloadConfig& config) {
+  if (config.space.IsEmpty()) {
+    return Status::InvalidArgument("workload space must be non-empty");
+  }
+  if (config.u < 0.0 || config.w <= 0.0) {
+    return Status::InvalidArgument("u must be >= 0 and w > 0");
+  }
+  if (config.qp < 0.0 || config.qp > 1.0) {
+    return Status::InvalidArgument("qp must be in [0, 1]");
+  }
+  // A zero-sized issuer region degenerates the pdfs; follow the paper's
+  // "u = 0" data points with an epsilon region (effectively a precise
+  // issuer).
+  const double u = std::max(config.u, 1e-6);
+
+  std::vector<double> ladder = config.catalog_values;
+  if (ladder.empty()) ladder = UCatalog::EvenlySpacedValues(11);
+
+  Rng rng(config.seed);
+  Workload workload;
+  workload.spec = RangeQuerySpec(config.w, config.w, config.qp);
+  workload.issuers.reserve(config.queries);
+  for (size_t i = 0; i < config.queries; ++i) {
+    // Centre placed so the whole uncertainty region stays inside the space.
+    const double cx = rng.Uniform(config.space.xmin + u,
+                                  std::max(config.space.xmin + u,
+                                           config.space.xmax - u));
+    const double cy = rng.Uniform(config.space.ymin + u,
+                                  std::max(config.space.ymin + u,
+                                           config.space.ymax - u));
+    const Rect region(cx - u, cx + u, cy - u, cy + u);
+
+    std::unique_ptr<UncertaintyPdf> pdf;
+    if (config.issuer_pdf == IssuerPdfKind::kGaussian) {
+      Result<TruncatedGaussianPdf> made =
+          TruncatedGaussianPdf::MakePaperDefault(region);
+      if (!made.ok()) return made.status();
+      pdf = std::make_unique<TruncatedGaussianPdf>(
+          std::move(made).ValueOrDie());
+    } else {
+      Result<UniformRectPdf> made = UniformRectPdf::Make(region);
+      if (!made.ok()) return made.status();
+      pdf = std::make_unique<UniformRectPdf>(std::move(made).ValueOrDie());
+    }
+    UncertainObject issuer(/*id=*/0, std::move(pdf));
+    ILQ_RETURN_NOT_OK(issuer.BuildCatalog(ladder));
+    workload.issuers.push_back(std::move(issuer));
+  }
+  return workload;
+}
+
+}  // namespace ilq

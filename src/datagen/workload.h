@@ -1,0 +1,53 @@
+// Query workload generation matching §6.1: square issuer uncertainty
+// regions U0 of "size" u (half side length) centred uniformly in the data
+// space, square query ranges of size w, uniform issuer pdfs by default and
+// Gaussian issuers for the Figure 13 experiment.
+
+#ifndef ILQ_DATAGEN_WORKLOAD_H_
+#define ILQ_DATAGEN_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Issuer pdf family for a workload.
+enum class IssuerPdfKind {
+  kUniform,   ///< paper default (§6.1)
+  kGaussian,  ///< Figure 13 (mean = centre, σ = extent/6)
+};
+
+/// \brief One experiment workload: queries sharing (u, w, Qp) with random
+/// issuer placements.
+struct WorkloadConfig {
+  Rect space = Rect(0.0, 10000.0, 0.0, 10000.0);
+  double u = 250.0;   ///< issuer uncertainty-region size (half side, §6.1)
+  double w = 500.0;   ///< query-range size (half side, §6.1)
+  double qp = 0.0;    ///< probability threshold
+  size_t queries = 500;  ///< runs per data point (§6.1 averages over 500)
+  IssuerPdfKind issuer_pdf = IssuerPdfKind::kUniform;
+  uint64_t seed = 7;
+  /// Catalog ladder built for each issuer (threshold methods need it).
+  std::vector<double> catalog_values;  // empty = EvenlySpacedValues(11)
+};
+
+/// \brief A generated workload: issuers plus the query spec they share.
+struct Workload {
+  std::vector<UncertainObject> issuers;
+  RangeQuerySpec spec;
+};
+
+/// Generates \p config.queries issuers with square uncertainty regions of
+/// half-side u centred uniformly in the space (clamped to stay inside), and
+/// the accompanying query spec. When u is 0 a tiny epsilon region is used so
+/// pdfs stay well-defined (the paper's u = 0 data points are precise
+/// issuers).
+Result<Workload> GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace ilq
+
+#endif  // ILQ_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,89 @@
+#include "geometry/circle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilq {
+
+namespace {
+
+// Antiderivative of sqrt(1 - x^2) on [-1, 1].
+double SemicircleIntegral(double t) {
+  t = std::clamp(t, -1.0, 1.0);
+  return 0.5 * (t * std::sqrt(std::max(0.0, 1.0 - t * t)) + std::asin(t));
+}
+
+// Area of {(x, y) : x <= X, y <= Y} within the unit disk at the origin.
+//
+// Derivation: slice vertically. At abscissa x the disk spans
+// [-s(x), s(x)] with s(x) = sqrt(1 - x^2); the constraint y <= Y clips the
+// slice to height min(Y, s) + s when Y > -s and 0 otherwise. The line y = Y
+// meets the circle at |x| = c = sqrt(1 - Y^2), so the integrand is piecewise
+// in x with breakpoints at ±c and integrates in closed form via
+// SemicircleIntegral.
+double UnitDiskCornerArea(double x_limit, double y_limit) {
+  if (x_limit <= -1.0 || y_limit <= -1.0) return 0.0;
+  const double kPi = 3.14159265358979323846;
+  if (y_limit >= 1.0) {
+    // Just the x <= X cut of the full disk.
+    if (x_limit >= 1.0) return kPi;
+    return 2.0 * (SemicircleIntegral(x_limit) - SemicircleIntegral(-1.0));
+  }
+  const double x = std::min(x_limit, 1.0);
+  const double c = std::sqrt(std::max(0.0, 1.0 - y_limit * y_limit));
+
+  // Integral of (Y + s(x)) over [a, b]: the chord region under y = Y.
+  auto chord_part = [&](double a, double b) {
+    if (b <= a) return 0.0;
+    return y_limit * (b - a) + SemicircleIntegral(b) - SemicircleIntegral(a);
+  };
+  // Integral of 2 s(x) over [a, b]: full vertical slices.
+  auto full_part = [](double a, double b) {
+    if (b <= a) return 0.0;
+    return 2.0 * (SemicircleIntegral(b) - SemicircleIntegral(a));
+  };
+
+  if (y_limit >= 0.0) {
+    // Slices are full for |x| >= c and chord-clipped for |x| < c.
+    double area = full_part(-1.0, std::min(x, -c));
+    area += chord_part(std::clamp(-c, -1.0, x), std::clamp(c, -c, x));
+    area += full_part(std::max(c, -1.0), x);
+    return area;
+  }
+  // y_limit < 0: only |x| < c contributes, as chord slices.
+  return chord_part(std::max(-c, -1.0), std::min(x, c));
+}
+
+}  // namespace
+
+bool Circle::ContainsRect(const Rect& r) const {
+  if (r.IsEmpty()) return true;
+  const double r2 = radius * radius;
+  const Point corners[4] = {Point(r.xmin, r.ymin), Point(r.xmin, r.ymax),
+                            Point(r.xmax, r.ymin), Point(r.xmax, r.ymax)};
+  for (const Point& c : corners) {
+    if (center.SquaredDistanceTo(c) > r2) return false;
+  }
+  return true;
+}
+
+double Circle::IntersectionArea(const Rect& r) const {
+  if (r.IsEmpty() || radius <= 0.0) return 0.0;
+  // Exact zero for disjoint shapes: the inclusion–exclusion below can
+  // otherwise leave ~1e-17 cancellation noise, which breaks the
+  // "probability is zero outside the Minkowski sum" invariant (Lemma 1).
+  if (!Intersects(r)) return 0.0;
+  // Normalize to the unit disk at the origin, then apply the standard
+  // inclusion–exclusion over the four rectangle corners.
+  const double inv = 1.0 / radius;
+  const double ax = (r.xmin - center.x) * inv;
+  const double bx = (r.xmax - center.x) * inv;
+  const double ay = (r.ymin - center.y) * inv;
+  const double by = (r.ymax - center.y) * inv;
+  const double unit_area =
+      UnitDiskCornerArea(bx, by) - UnitDiskCornerArea(ax, by) -
+      UnitDiskCornerArea(bx, ay) + UnitDiskCornerArea(ax, ay);
+  return std::max(0.0, unit_area) * radius * radius;
+}
+
+}  // namespace ilq

@@ -1,0 +1,55 @@
+// Circles with exact circle–rectangle overlap areas.
+//
+// The paper's §7 lists non-rectangular uncertainty regions as future work;
+// ILQ implements circular regions as an extension. The key primitive is the
+// exact area of intersection between a disk and an axis-parallel rectangle,
+// which makes uniform-over-disk pdfs evaluable in closed form (mass in a
+// rectangle = overlap area / disk area).
+
+#ifndef ILQ_GEOMETRY_CIRCLE_H_
+#define ILQ_GEOMETRY_CIRCLE_H_
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+
+/// \brief A closed disk with centre and radius.
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(const Point& c, double r) : center(c), radius(r) {}
+
+  /// Tight axis-parallel bounding box.
+  constexpr Rect BoundingBox() const {
+    return Rect(center.x - radius, center.x + radius, center.y - radius,
+                center.y + radius);
+  }
+
+  constexpr double Area() const {
+    return 3.14159265358979323846 * radius * radius;
+  }
+
+  /// Closed-disk membership.
+  bool Contains(const Point& p) const {
+    return center.SquaredDistanceTo(p) <= radius * radius;
+  }
+
+  /// True when the disk and rectangle share at least one point.
+  bool Intersects(const Rect& r) const {
+    if (r.IsEmpty() || radius < 0.0) return false;
+    return r.MinDistanceTo(center) <= radius;
+  }
+
+  /// True when the whole rectangle lies inside the disk.
+  bool ContainsRect(const Rect& r) const;
+
+  /// Exact area of (disk ∩ rectangle); 0 when disjoint.
+  double IntersectionArea(const Rect& r) const;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_GEOMETRY_CIRCLE_H_

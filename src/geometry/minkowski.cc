@@ -1,0 +1,118 @@
+#include "geometry/minkowski.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ilq {
+
+ConvexPolygon MinkowskiSum(const ConvexPolygon& a, const ConvexPolygon& b) {
+  ILQ_CHECK(a.size() >= 3 && b.size() >= 3,
+            "Minkowski sum requires proper polygons");
+  const std::vector<Point>& va = a.vertices();
+  const std::vector<Point>& vb = b.vertices();
+  const size_t n = va.size();
+  const size_t m = vb.size();
+
+  // Rotate both chains to start at the lexicographically lowest vertex
+  // (lowest y, then lowest x) so the edge directions merge monotonically.
+  auto lowest = [](const std::vector<Point>& v) {
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); ++i) {
+      if (v[i].y < v[best].y || (v[i].y == v[best].y && v[i].x < v[best].x)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+  const size_t sa = lowest(va);
+  const size_t sb = lowest(vb);
+
+  std::vector<Point> sum;
+  sum.reserve(n + m);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n || j < m) {
+    const Point& pa = va[(sa + i) % n];
+    const Point& pb = vb[(sb + j) % m];
+    sum.push_back(pa + pb);
+    if (i >= n) {
+      ++j;
+      continue;
+    }
+    if (j >= m) {
+      ++i;
+      continue;
+    }
+    const Point ea = va[(sa + i + 1) % n] - pa;
+    const Point eb = vb[(sb + j + 1) % m] - pb;
+    const double cross = ea.x * eb.y - ea.y * eb.x;
+    if (cross > 0.0) {
+      ++i;
+    } else if (cross < 0.0) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  // The merged chain is convex by construction; the hull call only removes
+  // collinear vertices and guards against degenerate numeric cases.
+  Result<ConvexPolygon> hull = ConvexPolygon::ConvexHull(std::move(sum));
+  ILQ_CHECK(hull.ok(), "Minkowski sum produced a degenerate polygon: "
+                           << hull.status().ToString());
+  return std::move(hull).ValueOrDie();
+}
+
+bool RoundedRect::Intersects(const Rect& r) const {
+  if (r.IsEmpty()) return false;
+  // Distance between two axis-parallel rectangles, compared to the radius.
+  const double dx =
+      std::max({0.0, core.xmin - r.xmax, r.xmin - core.xmax});
+  const double dy =
+      std::max({0.0, core.ymin - r.ymax, r.ymin - core.ymax});
+  return dx * dx + dy * dy <= radius * radius;
+}
+
+double RoundedRect::IntersectionArea(const Rect& r) const {
+  if (r.IsEmpty()) return 0.0;
+  if (radius <= 0.0) return core.IntersectionArea(r);
+  // Decompose the rounded rectangle into the horizontal slab, the vertical
+  // slab (their intersection is the core, handled by inclusion–exclusion)
+  // and four disjoint quarter-disk corners.
+  const Rect hslab = core.Expanded(radius, 0.0);
+  const Rect vslab = core.Expanded(0.0, radius);
+  double area = hslab.IntersectionArea(r) + vslab.IntersectionArea(r) -
+                core.IntersectionArea(r);
+
+  const Point corners[4] = {
+      Point(core.xmin, core.ymin), Point(core.xmax, core.ymin),
+      Point(core.xmax, core.ymax), Point(core.xmin, core.ymax)};
+  // Outward quadrant of each corner, clipped to the disk's reach.
+  const Rect quadrants[4] = {
+      Rect(core.xmin - radius, core.xmin, core.ymin - radius, core.ymin),
+      Rect(core.xmax, core.xmax + radius, core.ymin - radius, core.ymin),
+      Rect(core.xmax, core.xmax + radius, core.ymax, core.ymax + radius),
+      Rect(core.xmin - radius, core.xmin, core.ymax, core.ymax + radius)};
+  for (int k = 0; k < 4; ++k) {
+    const Rect clipped = r.Intersection(quadrants[k]);
+    if (!clipped.IsEmpty()) {
+      area += Circle(corners[k], radius).IntersectionArea(clipped);
+    }
+  }
+  return area;
+}
+
+double RoundedRect::Area() const {
+  const double kPi = 3.14159265358979323846;
+  return core.Area() + 2.0 * radius * (core.Width() + core.Height()) +
+         kPi * radius * radius;
+}
+
+RoundedRect ExpandedQueryRangeCircular(const Circle& u0, double w, double h) {
+  return RoundedRect{Rect::Centered(u0.center, w, h), u0.radius};
+}
+
+}  // namespace ilq

@@ -1,0 +1,66 @@
+// Minkowski sums — the paper's query-expansion primitive (§4.1, Lemma 1).
+//
+// The paper's core case is rectangle ⊕ rectangle: the expanded query
+// R ⊕ U0 is U0 grown by the query half-extents (w, h), computed in O(1).
+// Footnote 1's general convex ⊕ convex case and the circular-region
+// extension (rounded rectangles) are also provided.
+
+#ifndef ILQ_GEOMETRY_MINKOWSKI_H_
+#define ILQ_GEOMETRY_MINKOWSKI_H_
+
+#include "geometry/circle.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+
+/// The paper's expanded query range R ⊕ U0 for a rectangular issuer region
+/// \p u0 and a query rectangle of half-width \p w and half-height \p h
+/// (Figure 2): u0 grown by w on the left/right and h on the top/bottom.
+constexpr Rect ExpandedQueryRange(const Rect& u0, double w, double h) {
+  return u0.Expanded(w, h);
+}
+
+/// Minkowski sum of two convex polygons via the rotating edge-vector merge;
+/// the result has at most size(a) + size(b) vertices and is computed in
+/// linear time (paper footnote 1).
+ConvexPolygon MinkowskiSum(const ConvexPolygon& a, const ConvexPolygon& b);
+
+/// \brief A rectangle with circularly rounded corners: the Minkowski sum of
+/// a rectangle and a disk.
+///
+/// Used by the circular-issuer extension: with a disk-shaped U0 the expanded
+/// query R ⊕ U0 is the query rectangle grown by the disk radius with rounded
+/// corners.
+struct RoundedRect {
+  Rect core;       ///< the rectangle before rounding
+  double radius;   ///< corner rounding radius (>= 0)
+
+  /// Tight bounding box (core expanded by radius on every side).
+  constexpr Rect BoundingBox() const {
+    return core.Expanded(radius, radius);
+  }
+
+  /// Closed-set membership.
+  bool Contains(const Point& p) const {
+    return core.MinDistanceTo(p) <= radius;
+  }
+
+  /// True when the rounded rectangle and \p r share at least one point.
+  bool Intersects(const Rect& r) const;
+
+  /// Exact area of overlap with rectangle \p r.
+  double IntersectionArea(const Rect& r) const;
+
+  /// Total area: core + side slabs + corner disk.
+  double Area() const;
+};
+
+/// Expanded query range for a disk-shaped issuer region: the Minkowski sum
+/// of the query rectangle (half-extents w, h, centred on u0's centre) and
+/// the disk u0 re-centred at the origin.
+RoundedRect ExpandedQueryRangeCircular(const Circle& u0, double w, double h);
+
+}  // namespace ilq
+
+#endif  // ILQ_GEOMETRY_MINKOWSKI_H_

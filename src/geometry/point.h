@@ -1,0 +1,47 @@
+// 2-D point type shared by every module.
+
+#ifndef ILQ_GEOMETRY_POINT_H_
+#define ILQ_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+namespace ilq {
+
+/// \brief A 2-D point (or vector) with double coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+
+  /// Euclidean distance to \p o.
+  double DistanceTo(const Point& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Squared Euclidean distance (avoids the sqrt in comparisons).
+  constexpr double SquaredDistanceTo(const Point& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return dx * dx + dy * dy;
+  }
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_GEOMETRY_POINT_H_

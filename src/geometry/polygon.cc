@@ -1,0 +1,188 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilq {
+
+namespace {
+
+// Twice the signed area of triangle (a, b, c); > 0 for a CCW turn.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+// Removes consecutive duplicates and collinear middle vertices from a CCW
+// chain (treats the list as cyclic).
+std::vector<Point> Canonicalize(std::vector<Point> v) {
+  // Drop exact consecutive duplicates first.
+  std::vector<Point> dedup;
+  for (const Point& p : v) {
+    if (dedup.empty() || !(dedup.back() == p)) dedup.push_back(p);
+  }
+  if (dedup.size() > 1 && dedup.front() == dedup.back()) dedup.pop_back();
+  if (dedup.size() < 3) return dedup;
+
+  std::vector<Point> out;
+  const size_t n = dedup.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& prev = dedup[(i + n - 1) % n];
+    const Point& cur = dedup[i];
+    const Point& next = dedup[(i + 1) % n];
+    if (std::abs(Cross(prev, cur, next)) > 1e-12) out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConvexPolygon> ConvexPolygon::MakeConvex(std::vector<Point> vertices) {
+  std::vector<Point> v = Canonicalize(std::move(vertices));
+  if (v.size() < 3) {
+    return Status::InvalidArgument(
+        "convex polygon needs at least 3 non-collinear vertices");
+  }
+  const size_t n = v.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (Cross(v[i], v[(i + 1) % n], v[(i + 2) % n]) < 0.0) {
+      return Status::InvalidArgument(
+          "vertices are not in counter-clockwise convex position");
+    }
+  }
+  return ConvexPolygon(std::move(v));
+}
+
+Result<ConvexPolygon> ConvexPolygon::ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n < 3) {
+    return Status::InvalidArgument("convex hull needs at least 3 points");
+  }
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) --k;
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {  // upper chain
+    while (k >= lower && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0)
+      --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  if (hull.size() < 3) {
+    return Status::InvalidArgument("all points are collinear");
+  }
+  return ConvexPolygon(std::move(hull));
+}
+
+ConvexPolygon ConvexPolygon::FromRect(const Rect& r) {
+  return ConvexPolygon({Point(r.xmin, r.ymin), Point(r.xmax, r.ymin),
+                        Point(r.xmax, r.ymax), Point(r.xmin, r.ymax)});
+}
+
+double ConvexPolygon::Area() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * std::abs(twice);
+}
+
+Rect ConvexPolygon::BoundingBox() const {
+  Rect box = Rect::Empty();
+  for (const Point& p : vertices_) box = box.Union(Rect::AtPoint(p));
+  return box;
+}
+
+bool ConvexPolygon::Contains(const Point& p) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (Cross(vertices_[i], vertices_[(i + 1) % n], p) < -1e-12) return false;
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::ClippedTo(const Rect& r) const {
+  if (r.IsEmpty()) return ConvexPolygon();
+  // Sutherland–Hodgman against the four half-planes of the rectangle.
+  // inside(p) and intersect(p, q) are parameterized per side.
+  std::vector<Point> poly = vertices_;
+  auto clip_edge = [&poly](auto inside, auto intersect) {
+    std::vector<Point> out;
+    const size_t n = poly.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Point& cur = poly[i];
+      const Point& next = poly[(i + 1) % n];
+      const bool cur_in = inside(cur);
+      const bool next_in = inside(next);
+      if (cur_in) out.push_back(cur);
+      if (cur_in != next_in) out.push_back(intersect(cur, next));
+    }
+    poly = std::move(out);
+  };
+
+  auto lerp_x = [](const Point& a, const Point& b, double x) {
+    const double t = (x - a.x) / (b.x - a.x);
+    return Point(x, a.y + t * (b.y - a.y));
+  };
+  auto lerp_y = [](const Point& a, const Point& b, double y) {
+    const double t = (y - a.y) / (b.y - a.y);
+    return Point(a.x + t * (b.x - a.x), y);
+  };
+
+  clip_edge([&r](const Point& p) { return p.x >= r.xmin; },
+            [&](const Point& a, const Point& b) { return lerp_x(a, b, r.xmin); });
+  if (poly.empty()) return ConvexPolygon();
+  clip_edge([&r](const Point& p) { return p.x <= r.xmax; },
+            [&](const Point& a, const Point& b) { return lerp_x(a, b, r.xmax); });
+  if (poly.empty()) return ConvexPolygon();
+  clip_edge([&r](const Point& p) { return p.y >= r.ymin; },
+            [&](const Point& a, const Point& b) { return lerp_y(a, b, r.ymin); });
+  if (poly.empty()) return ConvexPolygon();
+  clip_edge([&r](const Point& p) { return p.y <= r.ymax; },
+            [&](const Point& a, const Point& b) { return lerp_y(a, b, r.ymax); });
+
+  return ConvexPolygon(Canonicalize(std::move(poly)));
+}
+
+double ConvexPolygon::IntersectionArea(const Rect& r) const {
+  return ClippedTo(r).Area();
+}
+
+ConvexPolygon ConvexPolygon::ClippedToHalfPlane(double nx, double ny,
+                                                double c) const {
+  std::vector<Point> out;
+  const size_t n = vertices_.size();
+  auto value = [&](const Point& p) { return nx * p.x + ny * p.y - c; };
+  for (size_t i = 0; i < n; ++i) {
+    const Point& cur = vertices_[i];
+    const Point& next = vertices_[(i + 1) % n];
+    const double vc = value(cur);
+    const double vn = value(next);
+    if (vc <= 0.0) out.push_back(cur);
+    if ((vc < 0.0 && vn > 0.0) || (vc > 0.0 && vn < 0.0)) {
+      const double t = vc / (vc - vn);
+      out.emplace_back(cur.x + t * (next.x - cur.x),
+                       cur.y + t * (next.y - cur.y));
+    }
+  }
+  return ConvexPolygon(Canonicalize(std::move(out)));
+}
+
+ConvexPolygon ConvexPolygon::Translated(const Point& d) const {
+  std::vector<Point> v = vertices_;
+  for (Point& p : v) p = p + d;
+  return ConvexPolygon(std::move(v));
+}
+
+}  // namespace ilq

@@ -1,0 +1,75 @@
+// Convex polygons: hulls, areas, clipping and membership.
+//
+// Footnote 1 of the paper notes that for m- and n-sided convex polygons the
+// Minkowski sum is a convex polygon with at most m + n edges computable in
+// linear time. ILQ implements that general path (see minkowski.h) as well as
+// polygon clipping, which gives exact overlap areas for polygonal
+// uncertainty regions — another §7 future-work item.
+
+#ifndef ILQ_GEOMETRY_POLYGON_H_
+#define ILQ_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+
+/// \brief A convex polygon stored as counter-clockwise vertices.
+///
+/// Construct via MakeConvex (validates convexity/orientation) or ConvexHull.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+
+  /// Builds a polygon from CCW vertices. Fails with InvalidArgument when
+  /// fewer than 3 vertices are given or the chain is not convex and CCW
+  /// (collinear runs are tolerated and collapsed).
+  static Result<ConvexPolygon> MakeConvex(std::vector<Point> vertices);
+
+  /// Convex hull (Andrew monotone chain) of an arbitrary point set; fails
+  /// when all points are collinear.
+  static Result<ConvexPolygon> ConvexHull(std::vector<Point> points);
+
+  /// Axis-parallel rectangle as a 4-vertex polygon; \p r must be non-empty.
+  static ConvexPolygon FromRect(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+
+  /// Shoelace area (non-negative for CCW polygons).
+  double Area() const;
+
+  /// Tight bounding box.
+  Rect BoundingBox() const;
+
+  /// Closed-set membership.
+  bool Contains(const Point& p) const;
+
+  /// Clips this polygon to the rectangle (Sutherland–Hodgman); the result
+  /// may be empty (size() == 0).
+  ConvexPolygon ClippedTo(const Rect& r) const;
+
+  /// Clips this polygon to the half-plane {p : nx·p.x + ny·p.y ≤ c}.
+  /// Used for perpendicular-bisector (Voronoi-cell) constructions in the
+  /// exact imprecise-nearest-neighbour evaluator.
+  ConvexPolygon ClippedToHalfPlane(double nx, double ny, double c) const;
+
+  /// Area of overlap with a rectangle, via clipping.
+  double IntersectionArea(const Rect& r) const;
+
+  /// Polygon translated by vector \p d.
+  ConvexPolygon Translated(const Point& d) const;
+
+ private:
+  explicit ConvexPolygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  std::vector<Point> vertices_;  // CCW order, no duplicate closing vertex
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_GEOMETRY_POLYGON_H_

@@ -1,0 +1,15 @@
+#include "geometry/rect.h"
+
+#include <cstdio>
+
+namespace ilq {
+
+std::string Rect::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]", xmin, xmax, ymin,
+                ymax);
+  return buf;
+}
+
+}  // namespace ilq

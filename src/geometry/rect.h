@@ -1,0 +1,129 @@
+// Axis-parallel rectangles: the uncertainty regions, query ranges and index
+// bounding boxes of the paper are all of this type (§3.1 assumes axis-
+// parallel rectangular uncertainty regions; the range query R(x,y) is an
+// axis-parallel rectangle with half-width w and half-height h).
+
+#ifndef ILQ_GEOMETRY_RECT_H_
+#define ILQ_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace ilq {
+
+/// \brief A closed axis-parallel rectangle [xmin, xmax] × [ymin, ymax].
+///
+/// The empty rectangle is represented with inverted bounds (xmin > xmax) and
+/// is produced by Rect::Empty() and by intersections of disjoint rectangles.
+/// All predicates treat rectangles as closed sets: touching boundaries count
+/// as intersecting, matching Lemma 1's "overlaps" semantics.
+struct Rect {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  constexpr Rect() = default;
+  constexpr Rect(double x0, double x1, double y0, double y1)
+      : xmin(x0), xmax(x1), ymin(y0), ymax(y1) {}
+
+  /// The canonical empty rectangle (identity for ExpandedToInclude).
+  static constexpr Rect Empty() { return Rect(); }
+
+  /// Rectangle centred at \p c with half-width \p hw and half-height \p hh —
+  /// the paper's R(x, y) query-range constructor.
+  static constexpr Rect Centered(const Point& c, double hw, double hh) {
+    return Rect(c.x - hw, c.x + hw, c.y - hh, c.y + hh);
+  }
+
+  /// Degenerate rectangle covering a single point.
+  static constexpr Rect AtPoint(const Point& p) {
+    return Rect(p.x, p.x, p.y, p.y);
+  }
+
+  /// True when the rectangle contains no points (inverted bounds).
+  constexpr bool IsEmpty() const { return xmin > xmax || ymin > ymax; }
+
+  constexpr double Width() const { return IsEmpty() ? 0.0 : xmax - xmin; }
+  constexpr double Height() const { return IsEmpty() ? 0.0 : ymax - ymin; }
+  constexpr double Area() const { return Width() * Height(); }
+
+  constexpr Point Center() const {
+    return Point((xmin + xmax) * 0.5, (ymin + ymax) * 0.5);
+  }
+
+  /// Closed-set point membership.
+  constexpr bool Contains(const Point& p) const {
+    return !IsEmpty() && p.x >= xmin && p.x <= xmax && p.y >= ymin &&
+           p.y <= ymax;
+  }
+
+  /// True when \p o lies entirely inside this rectangle (empty is contained
+  /// in everything).
+  constexpr bool ContainsRect(const Rect& o) const {
+    if (o.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    return o.xmin >= xmin && o.xmax <= xmax && o.ymin >= ymin &&
+           o.ymax <= ymax;
+  }
+
+  /// Closed-set intersection test (shared boundary counts).
+  constexpr bool Intersects(const Rect& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax &&
+           o.ymin <= ymax;
+  }
+
+  /// Intersection rectangle; empty when disjoint.
+  constexpr Rect Intersection(const Rect& o) const {
+    return Rect(std::max(xmin, o.xmin), std::min(xmax, o.xmax),
+                std::max(ymin, o.ymin), std::min(ymax, o.ymax));
+  }
+
+  /// Area of overlap with \p o — the quantity in Eq. 6 of the paper.
+  constexpr double IntersectionArea(const Rect& o) const {
+    const double w = std::min(xmax, o.xmax) - std::max(xmin, o.xmin);
+    const double h = std::min(ymax, o.ymax) - std::max(ymin, o.ymin);
+    return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+  }
+
+  /// Smallest rectangle containing both this and \p o.
+  constexpr Rect Union(const Rect& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return Rect(std::min(xmin, o.xmin), std::max(xmax, o.xmax),
+                std::min(ymin, o.ymin), std::max(ymax, o.ymax));
+  }
+
+  /// Grows (or with negative deltas shrinks) each side. Shrinking past the
+  /// centre produces an empty rectangle.
+  constexpr Rect Expanded(double dx, double dy) const {
+    return Rect(xmin - dx, xmax + dx, ymin - dy, ymax + dy);
+  }
+
+  /// Minimum distance from \p p to this rectangle (0 when inside).
+  double MinDistanceTo(const Point& p) const {
+    const double dx = std::max({xmin - p.x, 0.0, p.x - xmax});
+    const double dy = std::max({ymin - p.y, 0.0, p.y - ymax});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Sum of side half-lengths — the classic R-tree "margin" metric used by
+  /// the R* split heuristic.
+  constexpr double Margin() const { return Width() + Height(); }
+
+  constexpr bool operator==(const Rect& o) const {
+    return xmin == o.xmin && xmax == o.xmax && ymin == o.ymin &&
+           ymax == o.ymax;
+  }
+
+  /// "[xmin,xmax]x[ymin,ymax]" rendering for logs and test failures.
+  std::string ToString() const;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_GEOMETRY_RECT_H_

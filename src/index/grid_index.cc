@@ -1,0 +1,53 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+
+namespace ilq {
+
+Result<GridIndex> GridIndex::Create(const Rect& space, size_t cells_x,
+                                    size_t cells_y) {
+  if (space.IsEmpty() || space.Width() <= 0.0 || space.Height() <= 0.0) {
+    return Status::InvalidArgument("grid space must have positive area");
+  }
+  if (cells_x == 0 || cells_y == 0) {
+    return Status::InvalidArgument("grid must have at least 1x1 cells");
+  }
+  return GridIndex(space, cells_x, cells_y);
+}
+
+std::pair<size_t, size_t> GridIndex::CellOf(const Point& p) const {
+  const double fx = (p.x - space_.xmin) / cell_w_;
+  const double fy = (p.y - space_.ymin) / cell_h_;
+  const size_t ix = std::min(
+      cells_x_ - 1,
+      static_cast<size_t>(std::max(0.0, fx)));
+  const size_t iy = std::min(
+      cells_y_ - 1,
+      static_cast<size_t>(std::max(0.0, fy)));
+  return {ix, iy};
+}
+
+void GridIndex::Insert(const Rect& box, ObjectId id) {
+  const uint32_t slot = static_cast<uint32_t>(items_.size());
+  items_.push_back({box, id});
+  seen_stamp_.push_back(0);
+  const Rect clipped = box.Intersection(space_);
+  if (clipped.IsEmpty()) return;  // outside the space; unreachable by query
+  const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));
+  const auto [ix1, iy1] = CellOf(Point(clipped.xmax, clipped.ymax));
+  for (size_t iy = iy0; iy <= iy1; ++iy) {
+    for (size_t ix = ix0; ix <= ix1; ++ix) {
+      cells_[iy * cells_x_ + ix].push_back(slot);
+    }
+  }
+}
+
+std::vector<ObjectId> GridIndex::QueryIds(const Rect& range,
+                                          IndexStats* stats) const {
+  std::vector<ObjectId> out;
+  Query(range, [&out](const Rect&, ObjectId id) { out.push_back(id); },
+        stats);
+  return out;
+}
+
+}  // namespace ilq

@@ -1,0 +1,101 @@
+// Uniform grid index — the grid-file-style alternative the paper mentions
+// alongside the R-tree in §4.3 ([Nievergelt et al. '84]). Used by the
+// index-choice ablation bench.
+
+#ifndef ILQ_INDEX_GRID_INDEX_H_
+#define ILQ_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "index/index_stats.h"
+#include "object/point_object.h"
+
+namespace ilq {
+
+/// \brief A fixed uniform grid over a bounded space.
+///
+/// Each item is registered in every cell its bounding box overlaps; queries
+/// visit the cells overlapping the range and deduplicate via a per-query
+/// stamp. Cell directory pages are modelled for the I/O counters: each
+/// visited non-empty cell counts as one page access.
+class GridIndex {
+ public:
+  /// Creates a grid of cells_x × cells_y cells over \p space. Fails when the
+  /// space is empty or a cell count is zero.
+  static Result<GridIndex> Create(const Rect& space, size_t cells_x,
+                                  size_t cells_y);
+
+  /// Registers an item; boxes extending beyond the space are clamped to it.
+  void Insert(const Rect& box, ObjectId id);
+
+  /// Visits every item whose box intersects \p range, exactly once.
+  template <typename Visit>
+  void Query(const Rect& range, Visit&& visit,
+             IndexStats* stats = nullptr) const {
+    const Rect clipped = range.Intersection(space_);
+    if (clipped.IsEmpty()) return;
+    if (stats != nullptr) ++stats->node_accesses;  // the cell directory
+    const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));
+    const auto [ix1, iy1] = CellOf(Point(clipped.xmax, clipped.ymax));
+    ++query_stamp_;
+    for (size_t iy = iy0; iy <= iy1; ++iy) {
+      for (size_t ix = ix0; ix <= ix1; ++ix) {
+        const std::vector<uint32_t>& cell = cells_[iy * cells_x_ + ix];
+        if (cell.empty()) continue;
+        if (stats != nullptr) {
+          ++stats->node_accesses;
+          ++stats->leaf_accesses;
+        }
+        for (uint32_t slot : cell) {
+          if (seen_stamp_[slot] == query_stamp_) continue;
+          seen_stamp_[slot] = query_stamp_;
+          if (items_[slot].box.Intersects(range)) {
+            if (stats != nullptr) ++stats->candidates;
+            visit(items_[slot].box, items_[slot].id);
+          }
+        }
+      }
+    }
+  }
+
+  /// Convenience wrapper returning the matching ids.
+  std::vector<ObjectId> QueryIds(const Rect& range,
+                                 IndexStats* stats = nullptr) const;
+
+  size_t size() const { return items_.size(); }
+  size_t cells_x() const { return cells_x_; }
+  size_t cells_y() const { return cells_y_; }
+
+ private:
+  struct StoredItem {
+    Rect box;
+    ObjectId id;
+  };
+
+  GridIndex(const Rect& space, size_t cx, size_t cy)
+      : space_(space),
+        cells_x_(cx),
+        cells_y_(cy),
+        cell_w_(space.Width() / static_cast<double>(cx)),
+        cell_h_(space.Height() / static_cast<double>(cy)),
+        cells_(cx * cy) {}
+
+  std::pair<size_t, size_t> CellOf(const Point& p) const;
+
+  Rect space_;
+  size_t cells_x_;
+  size_t cells_y_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<StoredItem> items_;
+  std::vector<std::vector<uint32_t>> cells_;  // slots into items_
+  mutable std::vector<uint64_t> seen_stamp_;  // per-item dedup stamps
+  mutable uint64_t query_stamp_ = 0;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_INDEX_GRID_INDEX_H_

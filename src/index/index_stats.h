@@ -1,0 +1,30 @@
+// Counters reported by index traversals, used as the machine-independent
+// I/O proxy in the experiment harness (the paper's server measured elapsed
+// time on a 2007 SunFire; node accesses transfer across hardware).
+
+#ifndef ILQ_INDEX_INDEX_STATS_H_
+#define ILQ_INDEX_INDEX_STATS_H_
+
+#include <cstdint>
+
+namespace ilq {
+
+/// \brief Per-query traversal counters.
+struct IndexStats {
+  uint64_t node_accesses = 0;  ///< nodes (pages) touched, incl. leaves
+  uint64_t leaf_accesses = 0;  ///< leaf pages touched
+  uint64_t candidates = 0;     ///< leaf entries reported to the caller
+
+  void Reset() { *this = IndexStats{}; }
+
+  IndexStats& operator+=(const IndexStats& o) {
+    node_accesses += o.node_accesses;
+    leaf_accesses += o.leaf_accesses;
+    candidates += o.candidates;
+    return *this;
+  }
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_INDEX_INDEX_STATS_H_

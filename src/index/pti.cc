@@ -1,0 +1,78 @@
+#include "index/pti.h"
+
+namespace ilq {
+
+RTreeOptions PTIOptions(size_t page_size_bytes, size_t catalog_size) {
+  RTreeOptions options;
+  options.page_size_bytes = page_size_bytes;
+  options.extra_entry_bytes = catalog_size * 4 * sizeof(double);
+  return options;
+}
+
+Result<PTI> PTI::Build(const RTreeOptions& options,
+                       const std::vector<UncertainObject>& objects) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("PTI requires at least one object");
+  }
+  const UCatalog* proto = objects.front().catalog();
+  if (proto == nullptr) {
+    return Status::FailedPrecondition(
+        "PTI requires objects with pre-built U-catalogs");
+  }
+  std::vector<RTree::Item> items;
+  items.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const UCatalog* cat = objects[i].catalog();
+    if (cat == nullptr) {
+      return Status::FailedPrecondition(
+          "object " + std::to_string(objects[i].id()) + " has no U-catalog");
+    }
+    if (!cat->SameValues(*proto)) {
+      return Status::FailedPrecondition(
+          "all U-catalogs must share one value ladder");
+    }
+    items.push_back({objects[i].region(), static_cast<ObjectId>(i)});
+  }
+
+  Result<RTree> built = RTree::BulkLoad(options, std::move(items));
+  if (!built.ok()) return built.status();
+  RTree tree = std::move(built).ValueOrDie();
+
+  // Bottom-up merge of subtree catalogs. Nodes are processed children-first
+  // via an explicit post-order walk.
+  std::vector<UCatalog> node_catalogs(tree.node_count(),
+                                      UCatalog::EmptyLike(*proto));
+  struct Frame {
+    int32_t node;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), false});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(f.node)) {
+      UCatalog& cat = node_catalogs[static_cast<size_t>(f.node)];
+      for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
+        const size_t obj_idx = tree.EntryId(f.node, i);
+        cat.MergeFrom(*objects[obj_idx].catalog());
+      }
+      continue;
+    }
+    if (!f.expanded) {
+      stack.push_back({f.node, true});
+      for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
+        stack.push_back({tree.EntryChild(f.node, i), false});
+      }
+      continue;
+    }
+    UCatalog& cat = node_catalogs[static_cast<size_t>(f.node)];
+    for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
+      cat.MergeFrom(
+          node_catalogs[static_cast<size_t>(tree.EntryChild(f.node, i))]);
+    }
+  }
+  return PTI(std::move(tree), std::move(node_catalogs));
+}
+
+}  // namespace ilq

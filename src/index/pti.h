@@ -1,0 +1,112 @@
+// Probability Threshold Index (§5.3, after Cheng et al. VLDB'04).
+//
+// A PTI is an R-tree over uncertain objects whose interior levels carry,
+// for every probability value m in the (shared) U-catalog, an MBR(m) that
+// encloses the m-bounds of everything below. Constrained queries can then
+// run the §5.2 pruning tests against whole subtrees: if a node-level
+// p-bound already satisfies a pruning condition, so does every child
+// (the paper's index-level pruning argument).
+//
+// The larger interior entries (one box per catalog value) are charged
+// against the same 4KB page budget as the plain R-tree, so the PTI's lower
+// fanout — and its extra node accesses at Qp = 0 — are faithfully modelled.
+
+#ifndef ILQ_INDEX_PTI_H_
+#define ILQ_INDEX_PTI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Bulk-loaded R-tree over uncertain objects with per-node merged
+/// U-catalogs.
+///
+/// Build-only (the paper bulk-loads its datasets); incremental catalog
+/// maintenance is out of scope and documented as such.
+class PTI {
+ public:
+  /// Builds a PTI over \p objects. Every object must carry a U-catalog and
+  /// all catalogs must share one value ladder; the object ids stored in the
+  /// tree are *indexes into \p objects*, which the caller keeps alive.
+  static Result<PTI> Build(const RTreeOptions& options,
+                           const std::vector<UncertainObject>& objects);
+
+  /// Traverses the tree restricted to \p range (the expanded or p-expanded
+  /// query rectangle).
+  ///
+  /// \p prune_node is called for every interior-or-leaf node's child/entry
+  /// subtree as prune_node(mbr, catalog) — where catalog is the merged
+  /// subtree catalog — and returning true skips the subtree without
+  /// touching it. \p visit receives the index (into the build-time objects
+  /// vector) of every surviving leaf entry.
+  template <typename PruneNode, typename Visit>
+  void Query(const Rect& range, PruneNode&& prune_node, Visit&& visit,
+             IndexStats* stats = nullptr) const {
+    const int32_t root = tree_.root();
+    if (root < 0 || range.IsEmpty()) return;
+    stack_.clear();
+    if (tree_.bounds().Intersects(range) &&
+        !prune_node(tree_.bounds(), node_catalogs_[static_cast<size_t>(root)])) {
+      stack_.push_back(root);
+    }
+    while (!stack_.empty()) {
+      const int32_t nid = stack_.back();
+      stack_.pop_back();
+      if (stats != nullptr) {
+        ++stats->node_accesses;
+        if (tree_.IsLeaf(nid)) ++stats->leaf_accesses;
+      }
+      const size_t n = tree_.EntryCount(nid);
+      if (tree_.IsLeaf(nid)) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!tree_.EntryMbr(nid, i).Intersects(range)) continue;
+          if (stats != nullptr) ++stats->candidates;
+          visit(tree_.EntryId(nid, i));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (!tree_.EntryMbr(nid, i).Intersects(range)) continue;
+          const int32_t child = tree_.EntryChild(nid, i);
+          if (prune_node(tree_.EntryMbr(nid, i),
+                         node_catalogs_[static_cast<size_t>(child)])) {
+            continue;
+          }
+          stack_.push_back(child);
+        }
+      }
+    }
+  }
+
+  /// The underlying packed R-tree (for stats and validation).
+  const RTree& tree() const { return tree_; }
+
+  /// Merged catalog of one node (test hook).
+  const UCatalog& node_catalog(int32_t node) const {
+    return node_catalogs_[static_cast<size_t>(node)];
+  }
+
+  /// Number of indexed objects.
+  size_t size() const { return tree_.size(); }
+
+ private:
+  PTI(RTree tree, std::vector<UCatalog> node_catalogs)
+      : tree_(std::move(tree)), node_catalogs_(std::move(node_catalogs)) {}
+
+  RTree tree_;
+  std::vector<UCatalog> node_catalogs_;  // indexed by node id
+  mutable std::vector<int32_t> stack_;
+};
+
+/// RTreeOptions for a PTI whose catalogs have \p catalog_size values: each
+/// entry is charged one 4-double box per catalog value on top of the base
+/// entry, per §5.3.
+RTreeOptions PTIOptions(size_t page_size_bytes, size_t catalog_size);
+
+}  // namespace ilq
+
+#endif  // ILQ_INDEX_PTI_H_

@@ -1,0 +1,560 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ilq {
+
+namespace {
+// Node header: leaf flag + entry count + padding, as a disk page would
+// carry. Entry base: 4 doubles for the MBR + 4 bytes for a child pointer or
+// object id.
+constexpr size_t kNodeHeaderBytes = 16;
+constexpr size_t kEntryBaseBytes = 4 * sizeof(double) + sizeof(uint32_t);
+}  // namespace
+
+size_t MaxEntriesForPage(const RTreeOptions& options) {
+  if (options.max_entries_override > 0) return options.max_entries_override;
+  const size_t entry = kEntryBaseBytes + options.extra_entry_bytes;
+  if (options.page_size_bytes <= kNodeHeaderBytes) return 0;
+  return (options.page_size_bytes - kNodeHeaderBytes) / entry;
+}
+
+Result<RTree> RTree::Create(const RTreeOptions& options) {
+  const size_t max_entries = MaxEntriesForPage(options);
+  if (max_entries < 2) {
+    return Status::InvalidArgument(
+        "page budget too small: fewer than 2 entries fit per node");
+  }
+  if (options.min_fill_fraction <= 0.0 || options.min_fill_fraction > 0.5) {
+    return Status::InvalidArgument(
+        "min_fill_fraction must be in (0, 0.5]");
+  }
+  size_t min_entries = static_cast<size_t>(
+      std::floor(options.min_fill_fraction * static_cast<double>(max_entries)));
+  min_entries = std::max<size_t>(1, min_entries);
+  return RTree(max_entries, min_entries);
+}
+
+int32_t RTree::NewNode(bool leaf) {
+  if (!free_nodes_.empty()) {
+    const int32_t nid = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[static_cast<size_t>(nid)].leaf = leaf;
+    nodes_[static_cast<size_t>(nid)].entries.clear();
+    return nid;
+  }
+  nodes_.emplace_back();
+  nodes_.back().leaf = leaf;
+  nodes_.back().entries.reserve(max_entries_ + 1);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void RTree::FreeNode(int32_t nid) {
+  nodes_[static_cast<size_t>(nid)].entries.clear();
+  free_nodes_.push_back(nid);
+}
+
+Rect RTree::NodeMbr(int32_t nid) const {
+  Rect mbr = Rect::Empty();
+  for (const Entry& e : nodes_[static_cast<size_t>(nid)].entries) {
+    mbr = mbr.Union(e.mbr);
+  }
+  return mbr;
+}
+
+Result<RTree> RTree::BulkLoad(const RTreeOptions& options,
+                              std::vector<Item> items) {
+  Result<RTree> made = Create(options);
+  if (!made.ok()) return made.status();
+  RTree tree = std::move(made).ValueOrDie();
+  tree.item_count_ = items.size();
+  if (items.empty()) return tree;
+
+  // Level 0: sort-tile-recursive packing of the leaf level.
+  //
+  // STR: with N items and capacity M, S = ceil(sqrt(N / M)) vertical slices
+  // are cut on x; within each slice items are packed into leaves by y.
+  const size_t cap = tree.max_entries_;
+  struct Pending {
+    Rect mbr;
+    int32_t node;
+  };
+
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.box.Center().x < b.box.Center().x;
+  });
+  const size_t n = items.size();
+  const size_t leaf_count = (n + cap - 1) / cap;
+  const size_t slices = static_cast<size_t>(std::ceil(
+      std::sqrt(static_cast<double>(leaf_count))));
+  const size_t slice_size = (n + slices - 1) / slices;
+
+  std::vector<Pending> level;
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t lo = s * slice_size;
+    if (lo >= n) break;
+    const size_t hi = std::min(lo + slice_size, n);
+    std::sort(items.begin() + static_cast<ptrdiff_t>(lo),
+              items.begin() + static_cast<ptrdiff_t>(hi),
+              [](const Item& a, const Item& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t i = lo; i < hi; i += cap) {
+      const size_t end = std::min(i + cap, hi);
+      const int32_t nid = tree.NewNode(/*leaf=*/true);
+      Rect mbr = Rect::Empty();
+      for (size_t k = i; k < end; ++k) {
+        Entry e;
+        e.mbr = items[k].box;
+        e.id = items[k].id;
+        tree.nodes_[static_cast<size_t>(nid)].entries.push_back(e);
+        mbr = mbr.Union(items[k].box);
+      }
+      level.push_back({mbr, nid});
+    }
+  }
+
+  // Upper levels: repeat STR packing over node MBR centres.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [](const Pending& a, const Pending& b) {
+                return a.mbr.Center().x < b.mbr.Center().x;
+              });
+    const size_t ln = level.size();
+    const size_t parent_count = (ln + cap - 1) / cap;
+    const size_t lslices = static_cast<size_t>(std::ceil(
+        std::sqrt(static_cast<double>(parent_count))));
+    const size_t lslice_size = (ln + lslices - 1) / lslices;
+    std::vector<Pending> next;
+    for (size_t s = 0; s < lslices; ++s) {
+      const size_t lo = s * lslice_size;
+      if (lo >= ln) break;
+      const size_t hi = std::min(lo + lslice_size, ln);
+      std::sort(level.begin() + static_cast<ptrdiff_t>(lo),
+                level.begin() + static_cast<ptrdiff_t>(hi),
+                [](const Pending& a, const Pending& b) {
+                  return a.mbr.Center().y < b.mbr.Center().y;
+                });
+      for (size_t i = lo; i < hi; i += cap) {
+        const size_t end = std::min(i + cap, hi);
+        const int32_t nid = tree.NewNode(/*leaf=*/false);
+        Rect mbr = Rect::Empty();
+        for (size_t k = i; k < end; ++k) {
+          Entry e;
+          e.mbr = level[k].mbr;
+          e.child = level[k].node;
+          tree.nodes_[static_cast<size_t>(nid)].entries.push_back(e);
+          mbr = mbr.Union(level[k].mbr);
+        }
+        next.push_back({mbr, nid});
+      }
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level.front().node;
+  return tree;
+}
+
+int32_t RTree::ChooseLeaf(const Rect& box, std::vector<int32_t>* path) const {
+  int32_t nid = root_;
+  for (;;) {
+    path->push_back(nid);
+    const Node& node = nodes_[static_cast<size_t>(nid)];
+    if (node.leaf) return nid;
+    // Least area enlargement, ties by smallest area (Guttman).
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    int32_t best_child = -1;
+    for (const Entry& e : node.entries) {
+      const double area = e.mbr.Area();
+      const double enlarged = e.mbr.Union(box).Area() - area;
+      if (enlarged < best_enlarge ||
+          (enlarged == best_enlarge && area < best_area)) {
+        best_enlarge = enlarged;
+        best_area = area;
+        best_child = e.child;
+      }
+    }
+    nid = best_child;
+  }
+}
+
+int32_t RTree::SplitNode(int32_t nid) {
+  // Guttman's quadratic split.
+  std::vector<Entry> entries =
+      std::move(nodes_[static_cast<size_t>(nid)].entries);
+  const bool leaf = nodes_[static_cast<size_t>(nid)].leaf;
+  nodes_[static_cast<size_t>(nid)].entries.clear();
+  const int32_t sibling = NewNode(leaf);
+
+  // PickSeeds: pair wasting the most area.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = entries[i].mbr.Union(entries[j].mbr).Area() -
+                           entries[i].mbr.Area() - entries[j].mbr.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node& left = nodes_[static_cast<size_t>(nid)];
+  Node& right = nodes_[static_cast<size_t>(sibling)];
+  Rect left_mbr = entries[seed_a].mbr;
+  Rect right_mbr = entries[seed_b].mbr;
+  left.entries.push_back(entries[seed_a]);
+  right.entries.push_back(entries[seed_b]);
+
+  std::vector<bool> assigned(entries.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = entries.size() - 2;
+
+  while (remaining > 0) {
+    // Force-assign to meet the minimum fill requirement.
+    if (left.entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          left.entries.push_back(entries[i]);
+          left_mbr = left_mbr.Union(entries[i].mbr);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (right.entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          right.entries.push_back(entries[i]);
+          right_mbr = right_mbr.Union(entries[i].mbr);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: entry with maximal preference difference.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double d_left_pick = 0.0;
+    double d_right_pick = 0.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      const double dl = left_mbr.Union(entries[i].mbr).Area() -
+                        left_mbr.Area();
+      const double dr = right_mbr.Union(entries[i].mbr).Area() -
+                        right_mbr.Area();
+      const double diff = std::abs(dl - dr);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_left_pick = dl;
+        d_right_pick = dr;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    const bool to_left =
+        d_left_pick < d_right_pick ||
+        (d_left_pick == d_right_pick &&
+         left.entries.size() <= right.entries.size());
+    if (to_left) {
+      left.entries.push_back(entries[pick]);
+      left_mbr = left_mbr.Union(entries[pick].mbr);
+    } else {
+      right.entries.push_back(entries[pick]);
+      right_mbr = right_mbr.Union(entries[pick].mbr);
+    }
+  }
+  return sibling;
+}
+
+void RTree::AdjustTree(std::vector<int32_t>& path, int32_t split_sibling) {
+  // Walk back up the insertion path refreshing MBRs and propagating splits.
+  while (path.size() > 1) {
+    const int32_t child = path.back();
+    path.pop_back();
+    const int32_t parent = path.back();
+    Node& pnode = nodes_[static_cast<size_t>(parent)];
+    for (Entry& e : pnode.entries) {
+      if (e.child == child) {
+        e.mbr = NodeMbr(child);
+        break;
+      }
+    }
+    if (split_sibling >= 0) {
+      Entry e;
+      e.mbr = NodeMbr(split_sibling);
+      e.child = split_sibling;
+      pnode.entries.push_back(e);
+      split_sibling =
+          pnode.entries.size() > max_entries_ ? SplitNode(parent) : -1;
+    }
+  }
+  // Root level: grow the tree if the root itself split.
+  if (split_sibling >= 0) {
+    const int32_t old_root = path.back();
+    const int32_t new_root = NewNode(/*leaf=*/false);
+    Entry a;
+    a.mbr = NodeMbr(old_root);
+    a.child = old_root;
+    Entry b;
+    b.mbr = NodeMbr(split_sibling);
+    b.child = split_sibling;
+    Node& rnode = nodes_[static_cast<size_t>(new_root)];
+    rnode.entries.push_back(a);
+    rnode.entries.push_back(b);
+    root_ = new_root;
+  }
+}
+
+void RTree::Insert(const Rect& box, ObjectId id) {
+  ILQ_CHECK(!box.IsEmpty(), "cannot index an empty rectangle");
+  ++item_count_;
+  if (root_ < 0) {
+    root_ = NewNode(/*leaf=*/true);
+  }
+  std::vector<int32_t> path;
+  const int32_t leaf = ChooseLeaf(box, &path);
+  Entry e;
+  e.mbr = box;
+  e.id = id;
+  Node& lnode = nodes_[static_cast<size_t>(leaf)];
+  lnode.entries.push_back(e);
+  const int32_t sibling =
+      lnode.entries.size() > max_entries_ ? SplitNode(leaf) : -1;
+  AdjustTree(path, sibling);
+}
+
+bool RTree::FindLeaf(int32_t nid, const Rect& box, ObjectId id,
+                     std::vector<int32_t>* path) const {
+  path->push_back(nid);
+  const Node& node = nodes_[static_cast<size_t>(nid)];
+  if (node.leaf) {
+    for (const Entry& e : node.entries) {
+      if (e.id == id && e.mbr == box) return true;
+    }
+  } else {
+    for (const Entry& e : node.entries) {
+      if (e.mbr.ContainsRect(box) && FindLeaf(e.child, box, id, path)) {
+        return true;
+      }
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void RTree::CondenseTree(std::vector<int32_t>& path) {
+  // Items from dissolved nodes, reinserted at the end. Interior subtrees
+  // are flattened to leaf items — simpler than level-preserving reinsertion
+  // and equivalent for correctness.
+  std::vector<Entry> orphans;
+  auto collect_subtree = [&](int32_t start) {
+    std::vector<int32_t> stack{start};
+    while (!stack.empty()) {
+      const int32_t cur = stack.back();
+      stack.pop_back();
+      Node& node = nodes_[static_cast<size_t>(cur)];
+      for (const Entry& e : node.entries) {
+        if (node.leaf) {
+          orphans.push_back(e);
+        } else {
+          stack.push_back(e.child);
+        }
+      }
+      FreeNode(cur);
+    }
+  };
+
+  while (path.size() > 1) {
+    const int32_t child = path.back();
+    path.pop_back();
+    const int32_t parent = path.back();
+    Node& pnode = nodes_[static_cast<size_t>(parent)];
+    const Node& cnode = nodes_[static_cast<size_t>(child)];
+    auto it = std::find_if(
+        pnode.entries.begin(), pnode.entries.end(),
+        [child](const Entry& e) { return e.child == child; });
+    ILQ_CHECK(it != pnode.entries.end(), "parent lost its child entry");
+    if (cnode.entries.size() < min_entries_) {
+      pnode.entries.erase(it);
+      collect_subtree(child);
+    } else {
+      it->mbr = NodeMbr(child);
+    }
+  }
+
+  // Shrink the root: an interior root with one child hands over to it; an
+  // empty tree resets entirely.
+  while (root_ >= 0 && !nodes_[static_cast<size_t>(root_)].leaf &&
+         nodes_[static_cast<size_t>(root_)].entries.size() == 1) {
+    const int32_t child = nodes_[static_cast<size_t>(root_)].entries[0].child;
+    FreeNode(root_);
+    root_ = child;
+  }
+  if (root_ >= 0 && nodes_[static_cast<size_t>(root_)].leaf &&
+      nodes_[static_cast<size_t>(root_)].entries.empty()) {
+    FreeNode(root_);
+    root_ = -1;
+  }
+
+  // Reinsert orphaned items (item_count_ is preserved: Insert increments,
+  // so pre-decrement here).
+  item_count_ -= orphans.size();
+  for (const Entry& e : orphans) Insert(e.mbr, e.id);
+}
+
+bool RTree::Remove(const Rect& box, ObjectId id) {
+  if (root_ < 0) return false;
+  std::vector<int32_t> path;
+  if (!FindLeaf(root_, box, id, &path)) return false;
+  Node& leaf = nodes_[static_cast<size_t>(path.back())];
+  auto it = std::find_if(leaf.entries.begin(), leaf.entries.end(),
+                         [&](const Entry& e) {
+                           return e.id == id && e.mbr == box;
+                         });
+  ILQ_CHECK(it != leaf.entries.end(), "FindLeaf returned a stale leaf");
+  leaf.entries.erase(it);
+  --item_count_;
+  CondenseTree(path);
+  return true;
+}
+
+std::vector<RTree::Neighbor> RTree::Nearest(const Point& query, size_t k,
+                                            IndexStats* stats) const {
+  std::vector<Neighbor> result;
+  if (root_ < 0 || k == 0) return result;
+  // Best-first search: a min-heap of nodes and entries keyed by minimum
+  // distance; a node is expanded only if it can still beat the current
+  // k-th best answer.
+  struct HeapItem {
+    double distance;
+    int32_t node;    // -1 for leaf entries
+    Rect box;        // entry box when node < 0
+    ObjectId id;
+    bool operator>(const HeapItem& o) const { return distance > o.distance; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.push({0.0, root_, Rect(), 0});
+  while (!heap.empty()) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    if (result.size() == k && top.distance > result.back().distance) break;
+    if (top.node < 0) {
+      result.push_back({top.box, top.id, top.distance});
+      if (result.size() > k) result.pop_back();
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(top.node)];
+    if (stats != nullptr) {
+      ++stats->node_accesses;
+      if (node.leaf) ++stats->leaf_accesses;
+    }
+    for (const Entry& e : node.entries) {
+      const double d = e.mbr.MinDistanceTo(query);
+      if (result.size() == k && d > result.back().distance) continue;
+      if (node.leaf) {
+        heap.push({d, -1, e.mbr, e.id});
+        if (stats != nullptr) ++stats->candidates;
+      } else {
+        heap.push({d, e.child, Rect(), 0});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ObjectId> RTree::QueryIds(const Rect& range,
+                                      IndexStats* stats) const {
+  std::vector<ObjectId> out;
+  Query(range, [&out](const Rect&, ObjectId id) { out.push_back(id); },
+        stats);
+  return out;
+}
+
+size_t RTree::height() const {
+  if (root_ < 0) return 0;
+  size_t h = 1;
+  int32_t nid = root_;
+  while (!nodes_[static_cast<size_t>(nid)].leaf) {
+    nid = nodes_[static_cast<size_t>(nid)].entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+Rect RTree::bounds() const {
+  if (root_ < 0) return Rect::Empty();
+  return NodeMbr(root_);
+}
+
+Status RTree::ValidateNode(int32_t nid, size_t depth, size_t leaf_depth,
+                           size_t* items_seen, size_t* nodes_seen) const {
+  ++*nodes_seen;
+  const Node& node = nodes_[static_cast<size_t>(nid)];
+  if (node.entries.empty()) {
+    return Status::Internal("empty node " + std::to_string(nid));
+  }
+  if (node.entries.size() > max_entries_) {
+    return Status::Internal("overfull node " + std::to_string(nid));
+  }
+  // Non-root nodes must meet the minimum fill (bulk loads may underfill the
+  // last node of a level, which is permitted by STR; accept >= 1).
+  if (node.leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("leaves at different depths");
+    }
+    *items_seen += node.entries.size();
+    return Status::OK();
+  }
+  for (const Entry& e : node.entries) {
+    if (e.child < 0 ||
+        static_cast<size_t>(e.child) >= nodes_.size()) {
+      return Status::Internal("dangling child pointer");
+    }
+    const Rect child_mbr = NodeMbr(e.child);
+    if (!e.mbr.ContainsRect(child_mbr)) {
+      return Status::Internal("entry MBR does not cover child node " +
+                              std::to_string(e.child));
+    }
+    ILQ_RETURN_NOT_OK(
+        ValidateNode(e.child, depth + 1, leaf_depth, items_seen, nodes_seen));
+  }
+  return Status::OK();
+}
+
+Status RTree::Validate() const {
+  if (root_ < 0) {
+    if (item_count_ != 0) {
+      return Status::Internal("empty tree with non-zero item count");
+    }
+    return Status::OK();
+  }
+  size_t items_seen = 0;
+  size_t nodes_seen = 0;
+  ILQ_RETURN_NOT_OK(
+      ValidateNode(root_, 1, height(), &items_seen, &nodes_seen));
+  if (items_seen != item_count_) {
+    return Status::Internal("item count mismatch: tree holds " +
+                            std::to_string(items_seen) + ", expected " +
+                            std::to_string(item_count_));
+  }
+  if (nodes_seen != node_count()) {
+    return Status::Internal("node accounting mismatch: reachable " +
+                            std::to_string(nodes_seen) + ", live " +
+                            std::to_string(node_count()));
+  }
+  return Status::OK();
+}
+
+}  // namespace ilq

@@ -1,0 +1,206 @@
+// R-tree spatial index (Guttman '84) — the paper's I/O substrate (§4.3).
+//
+// The expanded query range (Minkowski sum, or p-expanded-query for
+// constrained queries) is executed against this index; objects whose
+// bounding boxes do not intersect it are never touched. The paper used the
+// Spatial Index Library v0.44.2b with 4KB nodes; this implementation derives
+// its fanout from the same page budget, supports STR bulk loading (used for
+// the experiment datasets) and dynamic quadratic-split insertion, and counts
+// node accesses as a hardware-independent I/O metric.
+
+#ifndef ILQ_INDEX_RTREE_H_
+#define ILQ_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "index/index_stats.h"
+#include "object/point_object.h"
+
+namespace ilq {
+
+/// \brief Sizing and fill-factor parameters for RTree (and PTI).
+struct RTreeOptions {
+  /// Page budget per node; the paper's experiments use 4KB nodes.
+  size_t page_size_bytes = 4096;
+
+  /// Minimum fill fraction for node splits (Guttman's m / M).
+  double min_fill_fraction = 0.4;
+
+  /// Extra bytes charged to every entry beyond the base MBR + id/child
+  /// pointer. The PTI charges its per-entry catalog MBRs here, which lowers
+  /// fanout exactly as in the paper's PTI (§5.3).
+  size_t extra_entry_bytes = 0;
+
+  /// When non-zero, overrides the page-size-derived maximum entries per
+  /// node (testing hook).
+  size_t max_entries_override = 0;
+};
+
+/// \brief An in-memory R-tree over (bounding box, object id) pairs with
+/// simulated paging.
+///
+/// Nodes live in a flat arena addressed by int32 ids; each node models one
+/// disk page. Use BulkLoad (Sort-Tile-Recursive) to build from a dataset, or
+/// Create + Insert for incremental maintenance.
+class RTree {
+ public:
+  /// One indexed item: bounding box plus the object's id. Point objects use
+  /// degenerate boxes (Rect::AtPoint).
+  struct Item {
+    Rect box;
+    ObjectId id = 0;
+  };
+
+  /// Creates an empty tree. Fails when the page budget is too small to hold
+  /// two entries per node or the fill fraction is not in (0, 0.5].
+  static Result<RTree> Create(const RTreeOptions& options);
+
+  /// Builds a packed tree over \p items with Sort-Tile-Recursive loading.
+  static Result<RTree> BulkLoad(const RTreeOptions& options,
+                                std::vector<Item> items);
+
+  /// Inserts one item (Guttman ChooseLeaf + quadratic split).
+  void Insert(const Rect& box, ObjectId id);
+
+  /// Removes one item matching both \p box and \p id (Guttman delete with
+  /// tree condensation and reinsertion of orphaned items). Returns false
+  /// when no such entry exists.
+  bool Remove(const Rect& box, ObjectId id);
+
+  /// One k-nearest-neighbour result.
+  struct Neighbor {
+    Rect box;
+    ObjectId id = 0;
+    double distance = 0.0;  ///< min distance from the query point to box
+  };
+
+  /// Returns the \p k entries nearest to \p query (best-first branch-and-
+  /// bound on node MBR distances), ordered by ascending distance. Fewer
+  /// than k results are returned when the tree is smaller than k.
+  std::vector<Neighbor> Nearest(const Point& query, size_t k,
+                                IndexStats* stats = nullptr) const;
+
+  /// Visits every leaf entry whose box intersects \p range.
+  /// \p visit is invoked as visit(const Rect& box, ObjectId id).
+  template <typename Visit>
+  void Query(const Rect& range, Visit&& visit,
+             IndexStats* stats = nullptr) const {
+    if (root_ < 0 || range.IsEmpty()) return;
+    scratch_stack_.clear();
+    scratch_stack_.push_back(root_);
+    while (!scratch_stack_.empty()) {
+      const int32_t nid = scratch_stack_.back();
+      scratch_stack_.pop_back();
+      const Node& node = nodes_[static_cast<size_t>(nid)];
+      if (stats != nullptr) {
+        ++stats->node_accesses;
+        if (node.leaf) ++stats->leaf_accesses;
+      }
+      for (const Entry& e : node.entries) {
+        if (!e.mbr.Intersects(range)) continue;
+        if (node.leaf) {
+          if (stats != nullptr) ++stats->candidates;
+          visit(e.mbr, e.id);
+        } else {
+          scratch_stack_.push_back(e.child);
+        }
+      }
+    }
+  }
+
+  /// Convenience wrapper returning the matching ids.
+  std::vector<ObjectId> QueryIds(const Rect& range,
+                                 IndexStats* stats = nullptr) const;
+
+  /// Number of indexed items.
+  size_t size() const { return item_count_; }
+  /// Number of live nodes (simulated pages). Removal recycles node slots,
+  /// so this can be less than the arena size.
+  size_t node_count() const { return nodes_.size() - free_nodes_.size(); }
+  /// Tree height (0 for empty, 1 for a root-only tree).
+  size_t height() const;
+  /// Maximum entries per node as derived from the page budget.
+  size_t max_entries() const { return max_entries_; }
+  /// Minimum entries per node enforced by splits.
+  size_t min_entries() const { return min_entries_; }
+  /// Bounding box of everything in the tree (empty when empty).
+  Rect bounds() const;
+
+  /// Checks structural invariants (MBR containment, entry counts, leaf
+  /// depth uniformity, item count). Used by tests and after bulk loads.
+  Status Validate() const;
+
+  // --- Read-only structural access (used by index extensions like PTI) ---
+
+  /// Root node id, or -1 when empty.
+  int32_t root() const { return root_; }
+  bool IsLeaf(int32_t node) const {
+    return nodes_[static_cast<size_t>(node)].leaf;
+  }
+  size_t EntryCount(int32_t node) const {
+    return nodes_[static_cast<size_t>(node)].entries.size();
+  }
+  const Rect& EntryMbr(int32_t node, size_t i) const {
+    return nodes_[static_cast<size_t>(node)].entries[i].mbr;
+  }
+  /// Leaf nodes only: the stored object id.
+  ObjectId EntryId(int32_t node, size_t i) const {
+    return nodes_[static_cast<size_t>(node)].entries[i].id;
+  }
+  /// Interior nodes only: the child node id.
+  int32_t EntryChild(int32_t node, size_t i) const {
+    return nodes_[static_cast<size_t>(node)].entries[i].child;
+  }
+
+ private:
+  struct Entry {
+    Rect mbr;
+    int32_t child = -1;  // interior: child node id
+    ObjectId id = 0;     // leaf: object id
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  RTree(size_t max_entries, size_t min_entries)
+      : max_entries_(max_entries), min_entries_(min_entries) {}
+
+  int32_t NewNode(bool leaf);
+  void FreeNode(int32_t nid);
+  Rect NodeMbr(int32_t nid) const;
+  int32_t ChooseLeaf(const Rect& box, std::vector<int32_t>* path) const;
+  // Splits node nid (which is overfull) in place; returns the new sibling.
+  int32_t SplitNode(int32_t nid);
+  void AdjustTree(std::vector<int32_t>& path, int32_t split_sibling);
+  // Depth-first search for the leaf holding (box, id); fills path with the
+  // node chain root..leaf on success.
+  bool FindLeaf(int32_t nid, const Rect& box, ObjectId id,
+                std::vector<int32_t>* path) const;
+  // Guttman CondenseTree: fix MBRs upward from the modified leaf, dissolve
+  // underfull nodes and reinsert their items.
+  void CondenseTree(std::vector<int32_t>& path);
+  Status ValidateNode(int32_t nid, size_t depth, size_t leaf_depth,
+                      size_t* items_seen, size_t* nodes_seen) const;
+
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t item_count_ = 0;
+  int32_t root_ = -1;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_nodes_;  // recycled arena slots
+  mutable std::vector<int32_t> scratch_stack_;  // reused across queries
+};
+
+/// Derives the maximum entries per node from a page budget: a node header
+/// plus per-entry MBR (4 doubles), a 4-byte child/id slot and any
+/// extra_entry_bytes. Exposed for tests and for the PTI fanout math.
+size_t MaxEntriesForPage(const RTreeOptions& options);
+
+}  // namespace ilq
+
+#endif  // ILQ_INDEX_RTREE_H_

@@ -1,0 +1,30 @@
+#include "object/pbound.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ilq {
+
+PBound PBound::FromPdf(const UncertaintyPdf& pdf, double p) {
+  PBound out;
+  out.l = pdf.QuantileX(p);
+  out.r = pdf.QuantileX(1.0 - p);
+  out.b = pdf.QuantileY(p);
+  out.t = pdf.QuantileY(1.0 - p);
+  return out;
+}
+
+void PBound::UnionWith(const PBound& o) {
+  l = std::min(l, o.l);
+  r = std::max(r, o.r);
+  b = std::min(b, o.b);
+  t = std::max(t, o.t);
+}
+
+std::string PBound::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "l=%.6g r=%.6g b=%.6g t=%.6g", l, r, b, t);
+  return buf;
+}
+
+}  // namespace ilq

@@ -1,0 +1,57 @@
+// p-bounds (§5.1, Figure 4): for an uncertain object Oi and a probability p,
+// the four lines li(p), ri(p), ti(p), bi(p) such that the probability of Oi
+// lying beyond each line (left of li, right of ri, above ti, below bi) is
+// exactly p. The 0-bound lines coincide with the uncertainty region's
+// boundary. p-bounds are pre-computed into U-catalogs (see ucatalog.h) and
+// drive the pruning of constrained queries (§5) and the PTI (§5.3).
+
+#ifndef ILQ_OBJECT_PBOUND_H_
+#define ILQ_OBJECT_PBOUND_H_
+
+#include <string>
+
+#include "geometry/rect.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// \brief The four p-bound lines of an uncertain object at one probability
+/// value.
+///
+/// Lines are stored by coordinate: `l` and `r` are x-coordinates, `b` and
+/// `t` are y-coordinates. For p < 0.5 the lines bound a non-empty "inner
+/// box"; for p > 0.5 the l/r (and b/t) lines cross, which is still
+/// meaningful for one-sided mass arguments (mass beyond each line is p).
+struct PBound {
+  double l = 0.0;  ///< mass strictly left of x = l is p
+  double r = 0.0;  ///< mass strictly right of x = r is p
+  double b = 0.0;  ///< mass strictly below y = b is p
+  double t = 0.0;  ///< mass strictly above y = t is p
+
+  /// Computes the p-bound of \p pdf at probability \p p ∈ [0, 1] from the
+  /// marginal quantiles: l = QuantileX(p), r = QuantileX(1−p), etc.
+  static PBound FromPdf(const UncertaintyPdf& pdf, double p);
+
+  /// The inner box [l, r] × [b, t]; empty when the lines cross (p > 0.5).
+  Rect Box() const { return Rect(l, r, b, t); }
+
+  /// Loosens this bound to also cover \p o (elementwise min/max). This is
+  /// the PTI's node-level MBR(m) merge: the merged lines conservatively
+  /// bound every child (§5.3).
+  void UnionWith(const PBound& o);
+
+  /// True when rectangle \p region lies entirely beyond at least one of the
+  /// four lines — in which case the pdf's mass inside \p region is at most
+  /// the bound's probability value (the Strategy-1 test of §5.2).
+  bool RegionBeyond(const Rect& region) const {
+    if (region.IsEmpty()) return true;
+    return region.xmax <= l || region.xmin >= r || region.ymax <= b ||
+           region.ymin >= t;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_PBOUND_H_

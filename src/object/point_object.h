@@ -1,0 +1,27 @@
+// Point objects S1..Sm (§3.1): objects whose location is known exactly,
+// e.g. gas stations, schools, non-moving users.
+
+#ifndef ILQ_OBJECT_POINT_OBJECT_H_
+#define ILQ_OBJECT_POINT_OBJECT_H_
+
+#include <cstdint>
+
+#include "geometry/point.h"
+
+namespace ilq {
+
+/// Stable object identifier used across datasets, indexes and answers.
+using ObjectId = uint32_t;
+
+/// \brief An object with a precise point location.
+struct PointObject {
+  ObjectId id = 0;
+  Point location;
+
+  PointObject() = default;
+  PointObject(ObjectId oid, const Point& loc) : id(oid), location(loc) {}
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_POINT_OBJECT_H_

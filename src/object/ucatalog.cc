@@ -1,0 +1,76 @@
+#include "object/ucatalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ilq {
+
+Result<UCatalog> UCatalog::Make(const UncertaintyPdf& pdf,
+                                std::vector<double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("U-catalog needs at least one value");
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.front() < 0.0 || values.back() > 1.0) {
+    return Status::InvalidArgument("U-catalog values must lie in [0, 1]");
+  }
+  if (values.front() != 0.0) {
+    return Status::InvalidArgument(
+        "U-catalog must include 0 (the uncertainty-region boundary)");
+  }
+  UCatalog cat;
+  cat.values_ = std::move(values);
+  cat.bounds_.reserve(cat.values_.size());
+  for (double v : cat.values_) {
+    cat.bounds_.push_back(PBound::FromPdf(pdf, v));
+  }
+  return cat;
+}
+
+std::vector<double> UCatalog::EvenlySpacedValues(size_t n) {
+  ILQ_CHECK(n >= 2, "evenly spaced catalog needs at least 2 values");
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return values;
+}
+
+size_t UCatalog::FloorIndex(double p) const {
+  ILQ_CHECK(!values_.empty(), "FloorIndex on empty catalog");
+  // Last index with value <= p; index 0 holds value 0 so it always exists.
+  auto it = std::upper_bound(values_.begin(), values_.end(), p);
+  if (it == values_.begin()) return 0;
+  return static_cast<size_t>(it - values_.begin()) - 1;
+}
+
+std::optional<size_t> UCatalog::CeilIndex(double p) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), p);
+  if (it == values_.end()) return std::nullopt;
+  return static_cast<size_t>(it - values_.begin());
+}
+
+UCatalog UCatalog::EmptyLike(const UCatalog& proto) {
+  UCatalog cat;
+  cat.values_ = proto.values_;
+  cat.bounds_.resize(cat.values_.size());
+  cat.merged_initialized_ = false;
+  return cat;
+}
+
+void UCatalog::MergeFrom(const UCatalog& o) {
+  ILQ_CHECK(SameValues(o), "U-catalog merge requires identical value ladders");
+  if (!merged_initialized_) {
+    bounds_ = o.bounds_;
+    merged_initialized_ = true;
+    return;
+  }
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    bounds_[i].UnionWith(o.bounds_[i]);
+  }
+}
+
+}  // namespace ilq

@@ -1,0 +1,74 @@
+// U-catalogs (§5.1, after [Tao et al. VLDB'05]): since p-bounds cannot be
+// pre-computed for every p, each uncertain object stores a small table of
+// {value, p-bound} tuples. Queries then use the best catalogued value on the
+// conservative side of the requested threshold: the largest M ≤ Qp for
+// pruning bounds, or the smallest M ≥ Qp for Strategy 3's products.
+
+#ifndef ILQ_OBJECT_UCATALOG_H_
+#define ILQ_OBJECT_UCATALOG_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "object/pbound.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// \brief A sorted table of probability values and their pre-computed
+/// p-bounds for one uncertain object (or, merged, for a PTI node).
+class UCatalog {
+ public:
+  UCatalog() = default;
+
+  /// Pre-computes p-bounds of \p pdf at each of \p values. Values must be
+  /// within [0, 1] and include 0 (the region boundary); duplicates are
+  /// removed and the list is sorted.
+  static Result<UCatalog> Make(const UncertaintyPdf& pdf,
+                               std::vector<double> values);
+
+  /// Evenly spaced catalog 0, 1/(n−1), …, 1 with \p n ≥ 2 entries. The
+  /// paper's experiments use n = 11 (steps of 0.1, §6.1); §5.2 mentions a
+  /// six-entry catalog.
+  static std::vector<double> EvenlySpacedValues(size_t n);
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double value(size_t i) const { return values_[i]; }
+  const PBound& bound(size_t i) const { return bounds_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Index of the largest catalogued value ≤ p. Always exists because 0 is
+  /// catalogued.
+  size_t FloorIndex(double p) const;
+
+  /// Index of the smallest catalogued value ≥ p, if any.
+  std::optional<size_t> CeilIndex(double p) const;
+
+  /// Bound at FloorIndex(p) — the conservative pruning bound for threshold
+  /// p (mass beyond it is ≤ floor-value ≤ p).
+  const PBound& FloorBound(double p) const { return bounds_[FloorIndex(p)]; }
+
+  /// True when this catalog has exactly the same value ladder as \p o —
+  /// required for PTI node merging.
+  bool SameValues(const UCatalog& o) const { return values_ == o.values_; }
+
+  /// Starts an all-empty catalog with the given value ladder, for PTI node
+  /// accumulation via MergeFrom.
+  static UCatalog EmptyLike(const UCatalog& proto);
+
+  /// Loosens every bound to also cover \p o's bounds (same value ladder
+  /// required; checked).
+  void MergeFrom(const UCatalog& o);
+
+ private:
+  std::vector<double> values_;  // ascending, starts at 0
+  std::vector<PBound> bounds_;  // parallel to values_
+  bool merged_initialized_ = true;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_UCATALOG_H_

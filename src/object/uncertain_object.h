@@ -1,0 +1,57 @@
+// Uncertain objects O1..On (§3.1): a closed uncertainty region plus a pdf
+// over it (Definitions 1–2), optionally carrying a pre-computed U-catalog
+// for constrained-query pruning (§5).
+
+#ifndef ILQ_OBJECT_UNCERTAIN_OBJECT_H_
+#define ILQ_OBJECT_UNCERTAIN_OBJECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "object/point_object.h"
+#include "object/ucatalog.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// \brief An object whose location is known only as a pdf over an
+/// uncertainty region.
+///
+/// Copyable (the pdf is deep-cloned) so datasets behave like value
+/// containers.
+class UncertainObject {
+ public:
+  /// Takes ownership of \p pdf; \p pdf must be non-null.
+  UncertainObject(ObjectId id, std::unique_ptr<UncertaintyPdf> pdf);
+
+  UncertainObject(const UncertainObject& o);
+  UncertainObject& operator=(const UncertainObject& o);
+  UncertainObject(UncertainObject&&) noexcept = default;
+  UncertainObject& operator=(UncertainObject&&) noexcept = default;
+
+  ObjectId id() const { return id_; }
+  const UncertaintyPdf& pdf() const { return *pdf_; }
+
+  /// Bounding box of the uncertainty region Ui. For rectangular regions
+  /// (the paper's assumption) this *is* Ui.
+  const Rect& region() const { return region_; }
+
+  /// Pre-computes the U-catalog at the given probability values (§5.1).
+  Status BuildCatalog(const std::vector<double>& values);
+
+  /// The pre-computed catalog, or nullptr if BuildCatalog was not called.
+  const UCatalog* catalog() const {
+    return catalog_.has_value() ? &*catalog_ : nullptr;
+  }
+
+ private:
+  ObjectId id_;
+  std::unique_ptr<UncertaintyPdf> pdf_;
+  Rect region_;
+  std::optional<UCatalog> catalog_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_UNCERTAIN_OBJECT_H_

@@ -1,0 +1,60 @@
+#include "prob/disk_pdf.h"
+
+#include <cmath>
+
+namespace ilq {
+
+Result<UniformDiskPdf> UniformDiskPdf::Make(const Circle& disk) {
+  if (disk.radius <= 0.0) {
+    return Status::InvalidArgument("disk pdf requires a positive radius");
+  }
+  return UniformDiskPdf(disk);
+}
+
+double UniformDiskPdf::Density(const Point& p) const {
+  return disk_.Contains(p) ? inv_area_ : 0.0;
+}
+
+double UniformDiskPdf::MassIn(const Rect& r) const {
+  return disk_.IntersectionArea(r) * inv_area_;
+}
+
+double UniformDiskPdf::CdfX(double x) const {
+  const Rect b = bounds();
+  if (x <= b.xmin) return 0.0;
+  if (x >= b.xmax) return 1.0;
+  // Mass of the half-plane {X <= x}, clipped to the bounding box in y.
+  return MassIn(Rect(b.xmin, x, b.ymin, b.ymax));
+}
+
+double UniformDiskPdf::CdfY(double y) const {
+  const Rect b = bounds();
+  if (y <= b.ymin) return 0.0;
+  if (y >= b.ymax) return 1.0;
+  return MassIn(Rect(b.xmin, b.xmax, b.ymin, y));
+}
+
+double UniformDiskPdf::MarginalPdfX(double x) const {
+  // Chord length at abscissa x times the constant density.
+  const double dx = x - disk_.center.x;
+  const double r2 = disk_.radius * disk_.radius;
+  if (dx * dx >= r2) return 0.0;
+  return 2.0 * std::sqrt(r2 - dx * dx) * inv_area_;
+}
+
+double UniformDiskPdf::MarginalPdfY(double y) const {
+  const double dy = y - disk_.center.y;
+  const double r2 = disk_.radius * disk_.radius;
+  if (dy * dy >= r2) return 0.0;
+  return 2.0 * std::sqrt(r2 - dy * dy) * inv_area_;
+}
+
+Point UniformDiskPdf::Sample(Rng* rng) const {
+  // Polar sampling: radius ~ sqrt(U) for area uniformity.
+  const double r = disk_.radius * std::sqrt(rng->NextDouble());
+  const double theta = rng->Uniform(0.0, 2.0 * 3.14159265358979323846);
+  return Point(disk_.center.x + r * std::cos(theta),
+               disk_.center.y + r * std::sin(theta));
+}
+
+}  // namespace ilq

@@ -1,0 +1,51 @@
+// Uniform pdf over a disk-shaped uncertainty region.
+//
+// §7 of the paper lists non-rectangular uncertainty regions as future work.
+// Disks are the natural case for location uncertainty (GPS error circles,
+// privacy cloaking radii), and the uniform-disk pdf stays fully closed-form:
+// MassIn is an exact disk–rectangle overlap area ratio.
+
+#ifndef ILQ_PROB_DISK_PDF_H_
+#define ILQ_PROB_DISK_PDF_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "geometry/circle.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// \brief Uniform distribution over a closed disk.
+class UniformDiskPdf final : public UncertaintyPdf {
+ public:
+  /// Creates the pdf; fails unless the radius is positive.
+  static Result<UniformDiskPdf> Make(const Circle& disk);
+
+  Rect bounds() const override { return disk_.BoundingBox(); }
+  double Density(const Point& p) const override;
+  double MassIn(const Rect& r) const override;
+  double CdfX(double x) const override;
+  double CdfY(double y) const override;
+  double MarginalPdfX(double x) const override;
+  double MarginalPdfY(double y) const override;
+  bool IsProduct() const override { return false; }
+  Point Sample(Rng* rng) const override;
+  std::string name() const override { return "uniform-disk"; }
+  std::unique_ptr<UncertaintyPdf> Clone() const override {
+    return std::make_unique<UniformDiskPdf>(*this);
+  }
+
+  const Circle& disk() const { return disk_; }
+
+ private:
+  explicit UniformDiskPdf(const Circle& disk)
+      : disk_(disk), inv_area_(1.0 / disk.Area()) {}
+
+  Circle disk_;
+  double inv_area_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_DISK_PDF_H_

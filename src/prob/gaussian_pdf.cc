@@ -1,0 +1,110 @@
+#include "prob/gaussian_pdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/normal.h"
+
+namespace ilq {
+
+Result<TruncatedGaussianPdf> TruncatedGaussianPdf::Make(const Rect& region,
+                                                        double sigma_x,
+                                                        double sigma_y) {
+  if (region.IsEmpty() || region.Width() <= 0.0 || region.Height() <= 0.0) {
+    return Status::InvalidArgument(
+        "gaussian pdf requires a region with positive area, got " +
+        region.ToString());
+  }
+  if (sigma_x <= 0.0 || sigma_y <= 0.0) {
+    return Status::InvalidArgument("gaussian pdf requires positive sigmas");
+  }
+  return TruncatedGaussianPdf(region, sigma_x, sigma_y);
+}
+
+Result<TruncatedGaussianPdf> TruncatedGaussianPdf::MakePaperDefault(
+    const Rect& region) {
+  return Make(region, region.Width() / 6.0, region.Height() / 6.0);
+}
+
+TruncatedGaussianPdf::TruncatedGaussianPdf(const Rect& region, double sx,
+                                           double sy)
+    : region_(region), sx_(sx), sy_(sy) {
+  const Point mu = region.Center();
+  mass_x_ = NormalCdf((region.xmax - mu.x) / sx_) -
+            NormalCdf((region.xmin - mu.x) / sx_);
+  mass_y_ = NormalCdf((region.ymax - mu.y) / sy_) -
+            NormalCdf((region.ymin - mu.y) / sy_);
+}
+
+double TruncatedGaussianPdf::Density(const Point& p) const {
+  if (!region_.Contains(p)) return 0.0;
+  const Point mu = region_.Center();
+  const double fx = NormalPdf((p.x - mu.x) / sx_) / (sx_ * mass_x_);
+  const double fy = NormalPdf((p.y - mu.y) / sy_) / (sy_ * mass_y_);
+  return fx * fy;
+}
+
+double TruncatedGaussianPdf::Cdf1D(double v, double mu, double sigma,
+                                   double lo, double hi,
+                                   double z_mass) const {
+  if (v <= lo) return 0.0;
+  if (v >= hi) return 1.0;
+  return (NormalCdf((v - mu) / sigma) - NormalCdf((lo - mu) / sigma)) /
+         z_mass;
+}
+
+double TruncatedGaussianPdf::Quantile1D(double p, double mu, double sigma,
+                                        double lo, double hi,
+                                        double z_mass) const {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return lo;
+  if (p >= 1.0) return hi;
+  const double target = NormalCdf((lo - mu) / sigma) + p * z_mass;
+  const double v = mu + sigma * NormalQuantile(target);
+  return std::clamp(v, lo, hi);
+}
+
+double TruncatedGaussianPdf::MassIn(const Rect& r) const {
+  const Rect i = region_.Intersection(r);
+  if (i.IsEmpty()) return 0.0;
+  // Product of per-axis truncated-normal interval masses.
+  return (CdfX(i.xmax) - CdfX(i.xmin)) * (CdfY(i.ymax) - CdfY(i.ymin));
+}
+
+double TruncatedGaussianPdf::CdfX(double x) const {
+  return Cdf1D(x, region_.Center().x, sx_, region_.xmin, region_.xmax,
+               mass_x_);
+}
+
+double TruncatedGaussianPdf::CdfY(double y) const {
+  return Cdf1D(y, region_.Center().y, sy_, region_.ymin, region_.ymax,
+               mass_y_);
+}
+
+double TruncatedGaussianPdf::QuantileX(double p) const {
+  return Quantile1D(p, region_.Center().x, sx_, region_.xmin, region_.xmax,
+                    mass_x_);
+}
+
+double TruncatedGaussianPdf::MarginalPdfX(double x) const {
+  if (x < region_.xmin || x > region_.xmax) return 0.0;
+  return NormalPdf((x - region_.Center().x) / sx_) / (sx_ * mass_x_);
+}
+
+double TruncatedGaussianPdf::MarginalPdfY(double y) const {
+  if (y < region_.ymin || y > region_.ymax) return 0.0;
+  return NormalPdf((y - region_.Center().y) / sy_) / (sy_ * mass_y_);
+}
+
+double TruncatedGaussianPdf::QuantileY(double p) const {
+  return Quantile1D(p, region_.Center().y, sy_, region_.ymin, region_.ymax,
+                    mass_y_);
+}
+
+Point TruncatedGaussianPdf::Sample(Rng* rng) const {
+  // Inverse-CDF sampling keeps determinism simple and is exact for the
+  // truncated marginals.
+  return Point(QuantileX(rng->NextDouble()), QuantileY(rng->NextDouble()));
+}
+
+}  // namespace ilq

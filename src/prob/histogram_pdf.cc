@@ -1,0 +1,163 @@
+#include "prob/histogram_pdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilq {
+
+Result<HistogramPdf> HistogramPdf::Make(const Rect& region, size_t nx,
+                                        size_t ny,
+                                        std::vector<double> weights) {
+  if (region.IsEmpty() || region.Width() <= 0.0 || region.Height() <= 0.0) {
+    return Status::InvalidArgument(
+        "histogram pdf requires a region with positive area");
+  }
+  if (nx == 0 || ny == 0) {
+    return Status::InvalidArgument("histogram grid must be at least 1x1");
+  }
+  if (weights.size() != nx * ny) {
+    return Status::InvalidArgument("histogram weights size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "histogram weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("histogram weights must not all be zero");
+  }
+  for (double& w : weights) w /= total;
+  return HistogramPdf(region, nx, ny, std::move(weights));
+}
+
+HistogramPdf::HistogramPdf(const Rect& region, size_t nx, size_t ny,
+                           std::vector<double> mass)
+    : region_(region),
+      nx_(nx),
+      ny_(ny),
+      mass_(std::move(mass)),
+      cell_w_(region.Width() / static_cast<double>(nx)),
+      cell_h_(region.Height() / static_cast<double>(ny)) {
+  cum_mass_.resize(mass_.size() + 1, 0.0);
+  for (size_t i = 0; i < mass_.size(); ++i) {
+    cum_mass_[i + 1] = cum_mass_[i] + mass_[i];
+  }
+  col_mass_.assign(nx_, 0.0);
+  row_mass_.assign(ny_, 0.0);
+  for (size_t iy = 0; iy < ny_; ++iy) {
+    for (size_t ix = 0; ix < nx_; ++ix) {
+      const double m = mass_[iy * nx_ + ix];
+      col_mass_[ix] += m;
+      row_mass_[iy] += m;
+    }
+  }
+}
+
+double HistogramPdf::CellXMin(size_t ix) const {
+  return region_.xmin + static_cast<double>(ix) * cell_w_;
+}
+
+double HistogramPdf::CellYMin(size_t iy) const {
+  return region_.ymin + static_cast<double>(iy) * cell_h_;
+}
+
+double HistogramPdf::Density(const Point& p) const {
+  if (!region_.Contains(p)) return 0.0;
+  size_t ix = static_cast<size_t>((p.x - region_.xmin) / cell_w_);
+  size_t iy = static_cast<size_t>((p.y - region_.ymin) / cell_h_);
+  ix = std::min(ix, nx_ - 1);  // right/top boundary belongs to the last cell
+  iy = std::min(iy, ny_ - 1);
+  return mass_[iy * nx_ + ix] / (cell_w_ * cell_h_);
+}
+
+double HistogramPdf::MassIn(const Rect& r) const {
+  const Rect i = region_.Intersection(r);
+  if (i.IsEmpty()) return 0.0;
+  // Density is constant per cell, so the mass in a sub-rectangle of a cell
+  // is the cell mass times the covered area fraction. Only cells touching
+  // the clip rectangle are visited.
+  const auto first_ix = static_cast<size_t>(
+      std::max(0.0, std::floor((i.xmin - region_.xmin) / cell_w_)));
+  const auto first_iy = static_cast<size_t>(
+      std::max(0.0, std::floor((i.ymin - region_.ymin) / cell_h_)));
+  double total = 0.0;
+  for (size_t iy = first_iy; iy < ny_; ++iy) {
+    const double cy0 = CellYMin(iy);
+    if (cy0 >= i.ymax) break;
+    const double oy = std::min(cy0 + cell_h_, i.ymax) - std::max(cy0, i.ymin);
+    if (oy <= 0.0) continue;
+    for (size_t ix = first_ix; ix < nx_; ++ix) {
+      const double cx0 = CellXMin(ix);
+      if (cx0 >= i.xmax) break;
+      const double ox =
+          std::min(cx0 + cell_w_, i.xmax) - std::max(cx0, i.xmin);
+      if (ox <= 0.0) continue;
+      total += mass_[iy * nx_ + ix] * (ox * oy) / (cell_w_ * cell_h_);
+    }
+  }
+  return total;
+}
+
+double HistogramPdf::CdfX(double x) const {
+  if (x <= region_.xmin) return 0.0;
+  if (x >= region_.xmax) return 1.0;
+  const double offset = (x - region_.xmin) / cell_w_;
+  const size_t full = std::min(static_cast<size_t>(offset), nx_ - 1);
+  double cdf = 0.0;
+  for (size_t ix = 0; ix < full; ++ix) cdf += col_mass_[ix];
+  cdf += col_mass_[full] * (offset - static_cast<double>(full));
+  return std::min(cdf, 1.0);
+}
+
+double HistogramPdf::CdfY(double y) const {
+  if (y <= region_.ymin) return 0.0;
+  if (y >= region_.ymax) return 1.0;
+  const double offset = (y - region_.ymin) / cell_h_;
+  const size_t full = std::min(static_cast<size_t>(offset), ny_ - 1);
+  double cdf = 0.0;
+  for (size_t iy = 0; iy < full; ++iy) cdf += row_mass_[iy];
+  cdf += row_mass_[full] * (offset - static_cast<double>(full));
+  return std::min(cdf, 1.0);
+}
+
+double HistogramPdf::MarginalPdfX(double x) const {
+  if (x < region_.xmin || x > region_.xmax) return 0.0;
+  size_t ix = static_cast<size_t>((x - region_.xmin) / cell_w_);
+  ix = std::min(ix, nx_ - 1);
+  return col_mass_[ix] / cell_w_;
+}
+
+double HistogramPdf::MarginalPdfY(double y) const {
+  if (y < region_.ymin || y > region_.ymax) return 0.0;
+  size_t iy = static_cast<size_t>((y - region_.ymin) / cell_h_);
+  iy = std::min(iy, ny_ - 1);
+  return row_mass_[iy] / cell_h_;
+}
+
+void HistogramPdf::AppendBreakpointsX(std::vector<double>* out) const {
+  for (size_t ix = 1; ix < nx_; ++ix) out->push_back(CellXMin(ix));
+}
+
+void HistogramPdf::AppendBreakpointsY(std::vector<double>* out) const {
+  for (size_t iy = 1; iy < ny_; ++iy) out->push_back(CellYMin(iy));
+}
+
+Point HistogramPdf::Sample(Rng* rng) const {
+  // Pick a cell by cumulative mass, then a uniform point within the cell.
+  const double u = rng->NextDouble();
+  const auto it = std::upper_bound(cum_mass_.begin(), cum_mass_.end(), u);
+  size_t idx = static_cast<size_t>(
+      std::max<ptrdiff_t>(0, it - cum_mass_.begin() - 1));
+  idx = std::min(idx, mass_.size() - 1);
+  const size_t iy = idx / nx_;
+  const size_t ix = idx % nx_;
+  const double x0 = CellXMin(ix);
+  const double y0 = CellYMin(iy);
+  return Point(rng->Uniform(x0, x0 + cell_w_),
+               rng->Uniform(y0, y0 + cell_h_));
+}
+
+}  // namespace ilq

@@ -1,0 +1,51 @@
+// Numeric integration used by the query evaluators:
+//
+//   * Gauss–Legendre quadrature (1-D and tensor-product 2-D) for the
+//     separable and generic smooth paths of Eq. 8;
+//   * Monte-Carlo estimation — the method the paper itself uses for
+//     non-uniform pdfs (§6.2, ~200–250 samples).
+
+#ifndef ILQ_PROB_INTEGRATE_H_
+#define ILQ_PROB_INTEGRATE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+
+/// Nodes and weights of the n-point Gauss–Legendre rule on [-1, 1].
+/// Computed once per order via Newton iteration on Legendre polynomials and
+/// cached; thread-compatible (cache is built eagerly for common orders).
+struct GaussLegendreRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Returns the cached rule of order \p n (n >= 1).
+const GaussLegendreRule& GetGaussLegendreRule(size_t n);
+
+/// ∫_a^b f(x) dx with an n-point Gauss–Legendre rule (exact for polynomials
+/// of degree ≤ 2n−1).
+double IntegrateGL(const std::function<double(double)>& f, double a, double b,
+                   size_t n);
+
+/// ∫∫_rect f(x, y) dx dy with an (nx × ny)-point tensor Gauss–Legendre rule.
+double IntegrateGL2D(const std::function<double(double, double)>& f,
+                     const Rect& rect, size_t nx, size_t ny);
+
+/// Monte-Carlo mean of f over \p samples draws from \p sampler, i.e. an
+/// unbiased estimate of E[f(X)] for X ~ sampler. This mirrors the paper's
+/// evaluation procedure for non-uniform pdfs, where positions of the query
+/// issuer / uncertain object are sampled repeatedly and the average result
+/// taken.
+double MonteCarloMean(const std::function<Point(Rng*)>& sampler,
+                      const std::function<double(const Point&)>& f,
+                      size_t samples, Rng* rng);
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_INTEGRATE_H_

@@ -1,0 +1,22 @@
+// Standard normal CDF and quantile numerics used by the truncated-Gaussian
+// uncertainty pdf (the paper's §6 "Non-Uniform Distribution" experiments).
+
+#ifndef ILQ_PROB_NORMAL_H_
+#define ILQ_PROB_NORMAL_H_
+
+namespace ilq {
+
+/// Standard normal CDF Φ(z), accurate to ~1e-15 (erfc based).
+double NormalCdf(double z);
+
+/// Standard normal quantile Φ⁻¹(p) for p in (0, 1); returns ∓infinity at the
+/// endpoints. Acklam's rational approximation refined with one Halley step,
+/// accurate to ~1e-13.
+double NormalQuantile(double p);
+
+/// Standard normal density φ(z).
+double NormalPdf(double z);
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_NORMAL_H_

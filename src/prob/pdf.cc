@@ -1,0 +1,46 @@
+#include "prob/pdf.h"
+
+#include <algorithm>
+
+namespace ilq {
+
+namespace {
+
+// Generic monotone bisection for quantiles: smallest t in [lo, hi] with
+// cdf(t) >= p. 60 iterations bring |hi - lo| below 1e-18 of the original
+// interval, far beyond the needs of p-bound construction.
+template <typename Cdf>
+double BisectQuantile(Cdf cdf, double lo, double hi, double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return lo;
+  if (p >= 1.0) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) >= p) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+double UncertaintyPdf::QuantileX(double p) const {
+  const Rect b = bounds();
+  return BisectQuantile([this](double x) { return CdfX(x); }, b.xmin, b.xmax,
+                        p);
+}
+
+double UncertaintyPdf::QuantileY(double p) const {
+  const Rect b = bounds();
+  return BisectQuantile([this](double y) { return CdfY(y); }, b.ymin, b.ymax,
+                        p);
+}
+
+void UncertaintyPdf::AppendBreakpointsX(std::vector<double>*) const {}
+
+void UncertaintyPdf::AppendBreakpointsY(std::vector<double>*) const {}
+
+}  // namespace ilq

@@ -1,0 +1,93 @@
+// The probabilistic location-uncertainty model of §3.1 ([Sistla et al. '98],
+// [Pfoser & Jensen '99]): each uncertain object has a closed uncertainty
+// region and a pdf that is zero outside it (Definitions 1–2).
+//
+// UncertaintyPdf is the abstract interface every concrete pdf implements.
+// The operations were chosen so that every algorithm in the paper is
+// expressible against the interface alone:
+//
+//   * MassIn(rect)     — Eq. 3's inner integral and Lemma 3's Eq. 5;
+//   * CdfX/CdfY        — marginal CDFs, which give the duality kernel
+//                        qx(x) = CdfX(x + w) − CdfX(x − w) for product pdfs;
+//   * QuantileX/Y      — p-bound construction (§5.1);
+//   * Sample           — the Monte-Carlo path the paper uses for Gaussian
+//                        pdfs (§6.2);
+//   * IsProduct        — whether Density(x,y) factorizes as fx(x)·fy(y),
+//                        enabling the separable fast path.
+
+#ifndef ILQ_PROB_PDF_H_
+#define ILQ_PROB_PDF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+
+/// \brief Probability distribution of an object's location over a bounded
+/// uncertainty region (Definition 2).
+class UncertaintyPdf {
+ public:
+  virtual ~UncertaintyPdf() = default;
+
+  /// Tight bounding box of the support (for rectangular regions, the
+  /// uncertainty region itself — Definition 1).
+  virtual Rect bounds() const = 0;
+
+  /// Density f(p); zero outside bounds().
+  virtual double Density(const Point& p) const = 0;
+
+  /// Probability that the object lies inside \p r: ∫∫_{r ∩ support} f.
+  virtual double MassIn(const Rect& r) const = 0;
+
+  /// Marginal CDF P[X ≤ x]; 0 left of the support, 1 right of it.
+  virtual double CdfX(double x) const = 0;
+
+  /// Marginal CDF P[Y ≤ y].
+  virtual double CdfY(double y) const = 0;
+
+  /// Smallest x with CdfX(x) ≥ p, for p in [0, 1]. Used to build the
+  /// li(p)/ri(p) p-bound lines. The base implementation bisects CdfX; pdfs
+  /// with closed-form quantiles override it.
+  virtual double QuantileX(double p) const;
+
+  /// Smallest y with CdfY(y) ≥ p.
+  virtual double QuantileY(double p) const;
+
+  /// Marginal density of the x-coordinate, d/dx CdfX. Zero outside the
+  /// support. Used by the separable evaluation path.
+  virtual double MarginalPdfX(double x) const = 0;
+
+  /// Marginal density of the y-coordinate.
+  virtual double MarginalPdfY(double y) const = 0;
+
+  /// Appends interior x-coordinates at which the density is discontinuous
+  /// (e.g. histogram cell borders), so quadrature can split there. Support
+  /// edges need not be reported. Default: none.
+  virtual void AppendBreakpointsX(std::vector<double>* out) const;
+
+  /// Appends interior y-coordinates of density discontinuities.
+  virtual void AppendBreakpointsY(std::vector<double>* out) const;
+
+  /// True when the density factorizes as fx(x)·fy(y) over a rectangular
+  /// support, enabling the separable evaluation fast path (see
+  /// core/duality.h).
+  virtual bool IsProduct() const = 0;
+
+  /// Draws one location according to the pdf.
+  virtual Point Sample(Rng* rng) const = 0;
+
+  /// Short human-readable name ("uniform", "gaussian", ...).
+  virtual std::string name() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<UncertaintyPdf> Clone() const = 0;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_PDF_H_

@@ -1,0 +1,51 @@
+#include "prob/uniform_pdf.h"
+
+#include <algorithm>
+
+namespace ilq {
+
+Result<UniformRectPdf> UniformRectPdf::Make(const Rect& region) {
+  if (region.IsEmpty() || region.Width() <= 0.0 || region.Height() <= 0.0) {
+    return Status::InvalidArgument(
+        "uniform pdf requires a region with positive area, got " +
+        region.ToString());
+  }
+  return UniformRectPdf(region);
+}
+
+double UniformRectPdf::Density(const Point& p) const {
+  return region_.Contains(p) ? inv_area_ : 0.0;
+}
+
+double UniformRectPdf::MassIn(const Rect& r) const {
+  return region_.IntersectionArea(r) * inv_area_;
+}
+
+double UniformRectPdf::CdfX(double x) const {
+  if (x <= region_.xmin) return 0.0;
+  if (x >= region_.xmax) return 1.0;
+  return (x - region_.xmin) / region_.Width();
+}
+
+double UniformRectPdf::CdfY(double y) const {
+  if (y <= region_.ymin) return 0.0;
+  if (y >= region_.ymax) return 1.0;
+  return (y - region_.ymin) / region_.Height();
+}
+
+double UniformRectPdf::QuantileX(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  return region_.xmin + p * region_.Width();
+}
+
+double UniformRectPdf::QuantileY(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  return region_.ymin + p * region_.Height();
+}
+
+Point UniformRectPdf::Sample(Rng* rng) const {
+  return Point(rng->Uniform(region_.xmin, region_.xmax),
+               rng->Uniform(region_.ymin, region_.ymax));
+}
+
+}  // namespace ilq

@@ -1,0 +1,58 @@
+// Uniform pdf over a rectangular uncertainty region — the paper's default
+// "worst-case" distribution (§3.1: fi(x,y) = 1/|Ui|) and the pdf used by
+// every experiment except Figure 13.
+
+#ifndef ILQ_PROB_UNIFORM_PDF_H_
+#define ILQ_PROB_UNIFORM_PDF_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "prob/pdf.h"
+
+namespace ilq {
+
+/// \brief Uniform distribution over a non-degenerate axis-parallel
+/// rectangle.
+///
+/// All operations are closed-form: MassIn is an area ratio (this is exactly
+/// Eq. 6's geometry), marginals are linear ramps and quantiles are linear
+/// interpolation.
+class UniformRectPdf final : public UncertaintyPdf {
+ public:
+  /// Creates the pdf; fails unless \p region has positive width and height.
+  static Result<UniformRectPdf> Make(const Rect& region);
+
+  Rect bounds() const override { return region_; }
+  double Density(const Point& p) const override;
+  double MassIn(const Rect& r) const override;
+  double CdfX(double x) const override;
+  double CdfY(double y) const override;
+  double QuantileX(double p) const override;
+  double QuantileY(double p) const override;
+  double MarginalPdfX(double x) const override {
+    return (x >= region_.xmin && x <= region_.xmax) ? 1.0 / region_.Width()
+                                                    : 0.0;
+  }
+  double MarginalPdfY(double y) const override {
+    return (y >= region_.ymin && y <= region_.ymax) ? 1.0 / region_.Height()
+                                                    : 0.0;
+  }
+  bool IsProduct() const override { return true; }
+  Point Sample(Rng* rng) const override;
+  std::string name() const override { return "uniform"; }
+  std::unique_ptr<UncertaintyPdf> Clone() const override {
+    return std::make_unique<UniformRectPdf>(*this);
+  }
+
+ private:
+  explicit UniformRectPdf(const Rect& region)
+      : region_(region), inv_area_(1.0 / region.Area()) {}
+
+  Rect region_;
+  double inv_area_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_UNIFORM_PDF_H_

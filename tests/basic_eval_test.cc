@@ -1,0 +1,139 @@
+#include "core/basic_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+struct PointFixture {
+  std::vector<PointObject> objects;
+  RTree index;
+};
+
+PointFixture MakePointFixture(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PointObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Point p(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    objects.emplace_back(static_cast<ObjectId>(i + 1), p);
+    items.push_back({Rect::AtPoint(p), static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+TEST(BasicEvalTest, IPQGridConvergesToDuality) {
+  PointFixture fixture = MakePointFixture(300, 81);
+  UncertainObject issuer(0, MakeUniform(Rect(400, 600, 400, 600)));
+  const RangeQuerySpec spec(150, 150);
+
+  BasicEvalOptions coarse;
+  coarse.grid_per_axis = 8;
+  BasicEvalOptions fine;
+  fine.grid_per_axis = 64;
+
+  const AnswerSet exact_answers =
+      [&] {
+        AnswerSet out;
+        for (const PointObject& s : fixture.objects) {
+          const double pi =
+              PointQualification(issuer.pdf(), s.location, spec.w, spec.h);
+          if (pi > 0) out.push_back({s.id, pi});
+        }
+        return out;
+      }();
+  std::map<ObjectId, double> exact;
+  for (const auto& a : exact_answers) exact[a.id] = a.probability;
+
+  auto max_error = [&](const AnswerSet& got) {
+    double worst = 0.0;
+    for (const auto& a : got) {
+      const auto it = exact.find(a.id);
+      const double truth = it == exact.end() ? 0.0 : it->second;
+      worst = std::max(worst, std::abs(a.probability - truth));
+    }
+    return worst;
+  };
+
+  const double coarse_err = max_error(EvaluateIPQBasic(
+      fixture.index, fixture.objects, issuer, spec, coarse));
+  const double fine_err = max_error(
+      EvaluateIPQBasic(fixture.index, fixture.objects, issuer, spec, fine));
+  EXPECT_LT(fine_err, coarse_err);
+  EXPECT_LT(fine_err, 0.02);
+}
+
+TEST(BasicEvalTest, IPQIndexAndScanAgree) {
+  PointFixture fixture = MakePointFixture(500, 82);
+  UncertainObject issuer(0, MakeUniform(Rect(100, 400, 100, 400)));
+  const RangeQuerySpec spec(120, 120);
+  BasicEvalOptions with_index;
+  BasicEvalOptions scan;
+  scan.use_index = false;
+  AnswerSet a = EvaluateIPQBasic(fixture.index, fixture.objects, issuer,
+                                 spec, with_index);
+  AnswerSet b =
+      EvaluateIPQBasic(fixture.index, fixture.objects, issuer, spec, scan);
+  auto key = [](const ProbabilisticAnswer& x) { return x.id; };
+  std::sort(a.begin(), a.end(), [&](auto& l, auto& r) {
+    return key(l) < key(r);
+  });
+  std::sort(b.begin(), b.end(), [&](auto& l, auto& r) {
+    return key(l) < key(r);
+  });
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_NEAR(a[i].probability, b[i].probability, 1e-12);
+  }
+}
+
+TEST(BasicEvalTest, IUQGridConvergesToClosedForm) {
+  Rng rng(83);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 150; ++i) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 80);
+    objects.emplace_back(static_cast<ObjectId>(i + 1), MakeUniform(region));
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(180, 180);
+
+  BasicEvalOptions fine;
+  fine.grid_per_axis = 48;
+  const AnswerSet got =
+      EvaluateIUQBasic(*tree, objects, issuer, spec, fine);
+  ASSERT_FALSE(got.empty());
+  for (const auto& a : got) {
+    const UncertainObject& obj = objects[a.id - 1];
+    const double exact = UniformUniformQualification(
+        issuer.region(), obj.region(), spec.w, spec.h);
+    EXPECT_NEAR(a.probability, exact, 0.01) << "object " << a.id;
+  }
+}
+
+TEST(BasicEvalTest, EmptyDatasetYieldsNoAnswers) {
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, {});
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(0, 10, 0, 10)));
+  EXPECT_TRUE(
+      EvaluateIPQBasic(*tree, {}, issuer, RangeQuerySpec(5, 5), {}).empty());
+  EXPECT_TRUE(
+      EvaluateIUQBasic(*tree, {}, issuer, RangeQuerySpec(5, 5), {}).empty());
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,190 @@
+#include "core/cipq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/duality.h"
+#include "core/ipq.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+
+struct Fixture {
+  std::vector<PointObject> objects;
+  RTree index;
+};
+
+Fixture MakeFixture(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PointObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Point p(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    objects.emplace_back(static_cast<ObjectId>(i + 1), p);
+    items.push_back({Rect::AtPoint(p), static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+UncertainObject MakeIssuerWithCatalog(std::unique_ptr<UncertaintyPdf> pdf) {
+  UncertainObject issuer(0, std::move(pdf));
+  EXPECT_TRUE(issuer.BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  return issuer;
+}
+
+std::map<ObjectId, double> ById(const AnswerSet& answers) {
+  std::map<ObjectId, double> out;
+  for (const auto& a : answers) out[a.id] = a.probability;
+  return out;
+}
+
+TEST(CipqTest, ZeroThresholdEqualsIPQ) {
+  Fixture fixture = MakeFixture(2000, 121);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeUniform(Rect(300, 600, 300, 600)));
+  const RangeQuerySpec spec(150, 150, 0.0);
+  const AnswerSet via_cipq = EvaluateCIPQ(fixture.index, issuer, spec,
+                                          CipqFilter::kPExpanded, {});
+  const AnswerSet via_ipq = EvaluateIPQ(fixture.index, issuer, spec, {});
+  EXPECT_EQ(ById(via_cipq), ById(via_ipq));
+}
+
+TEST(CipqTest, BothFiltersReturnIdenticalAnswers) {
+  // The p-expanded filter is an optimization, never a semantic change.
+  Fixture fixture = MakeFixture(3000, 122);
+  for (double qp : {0.1, 0.3, 0.55, 0.8}) {
+    UncertainObject issuer =
+        MakeIssuerWithCatalog(MakeUniform(Rect(350, 650, 250, 550)));
+    const RangeQuerySpec spec(180, 140, qp);
+    const AnswerSet mink = EvaluateCIPQ(fixture.index, issuer, spec,
+                                        CipqFilter::kMinkowski, {});
+    const AnswerSet pexp = EvaluateCIPQ(fixture.index, issuer, spec,
+                                        CipqFilter::kPExpanded, {});
+    EXPECT_EQ(ById(mink), ById(pexp)) << "qp=" << qp;
+  }
+}
+
+TEST(CipqTest, AllAnswersMeetThreshold) {
+  Fixture fixture = MakeFixture(3000, 123);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeGaussian(Rect(300, 700, 300, 700)));
+  for (double qp : {0.2, 0.5, 0.9}) {
+    const RangeQuerySpec spec(150, 150, qp);
+    const AnswerSet got = EvaluateCIPQ(fixture.index, issuer, spec,
+                                       CipqFilter::kPExpanded, {});
+    for (const auto& a : got) {
+      EXPECT_GE(a.probability, qp);
+    }
+  }
+}
+
+TEST(CipqTest, NoQualifyingObjectIsLost) {
+  // Pruning soundness: every object with pi >= qp appears in the answer.
+  Fixture fixture = MakeFixture(2000, 124);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeUniform(Rect(200, 600, 400, 800)));
+  for (double qp : {0.15, 0.4, 0.75}) {
+    const RangeQuerySpec spec(170, 170, qp);
+    const std::map<ObjectId, double> got = ById(EvaluateCIPQ(
+        fixture.index, issuer, spec, CipqFilter::kPExpanded, {}));
+    for (const PointObject& s : fixture.objects) {
+      const double pi =
+          PointQualification(issuer.pdf(), s.location, spec.w, spec.h);
+      if (pi >= qp + 1e-9) {
+        EXPECT_TRUE(got.count(s.id))
+            << "object " << s.id << " with pi=" << pi << " lost at qp=" << qp;
+      }
+    }
+  }
+}
+
+TEST(CipqTest, PExpandedVisitsFewerCandidates) {
+  Fixture fixture = MakeFixture(20000, 125);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(250, 250, 0.6);
+  IndexStats mink_stats;
+  EvaluateCIPQ(fixture.index, issuer, spec, CipqFilter::kMinkowski, {},
+               &mink_stats);
+  IndexStats pexp_stats;
+  EvaluateCIPQ(fixture.index, issuer, spec, CipqFilter::kPExpanded, {},
+               &pexp_stats);
+  EXPECT_LT(pexp_stats.candidates, mink_stats.candidates);
+  EXPECT_LE(pexp_stats.node_accesses, mink_stats.node_accesses);
+}
+
+TEST(CipqTest, CandidateCountShrinksWithThreshold) {
+  Fixture fixture = MakeFixture(20000, 126);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeUniform(Rect(300, 700, 300, 700)));
+  uint64_t prev = std::numeric_limits<uint64_t>::max();
+  for (double qp : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    IndexStats stats;
+    EvaluateCIPQ(fixture.index, issuer, RangeQuerySpec(250, 250, qp),
+                 CipqFilter::kPExpanded, {}, &stats);
+    EXPECT_LE(stats.candidates, prev) << "qp=" << qp;
+    prev = stats.candidates;
+  }
+}
+
+TEST(CipqTest, WorksWithoutCatalogViaExactQuantiles) {
+  Fixture fixture = MakeFixture(1000, 127);
+  UncertainObject bare_issuer(0, MakeUniform(Rect(300, 600, 300, 600)));
+  ASSERT_EQ(bare_issuer.catalog(), nullptr);
+  const RangeQuerySpec spec(150, 150, 0.3);
+  const AnswerSet got = EvaluateCIPQ(fixture.index, bare_issuer, spec,
+                                     CipqFilter::kPExpanded, {});
+  for (const auto& a : got) EXPECT_GE(a.probability, 0.3);
+}
+
+TEST(CipqTest, ImpossibleThresholdReturnsEmpty) {
+  Fixture fixture = MakeFixture(1000, 128);
+  UncertainObject issuer =
+      MakeIssuerWithCatalog(MakeUniform(Rect(0, 1000, 0, 1000)));
+  // Tiny query, huge uncertainty: nothing can reach pi = 0.9.
+  const AnswerSet got =
+      EvaluateCIPQ(fixture.index, issuer, RangeQuerySpec(5, 5, 0.9),
+                   CipqFilter::kPExpanded, {});
+  EXPECT_TRUE(got.empty());
+}
+
+// Property: Minkowski and p-expanded agree across random configurations
+// and issuer pdf families.
+class CipqEquivalencePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CipqEquivalencePropertyTest, FiltersAgree) {
+  Fixture fixture = MakeFixture(1500, GetParam());
+  Rng rng(GetParam() * 13);
+  for (int iter = 0; iter < 12; ++iter) {
+    const double u = rng.Uniform(20, 250);
+    const double cx = rng.Uniform(u, 1000 - u);
+    const double cy = rng.Uniform(u, 1000 - u);
+    const Rect region(cx - u, cx + u, cy - u, cy + u);
+    UncertainObject issuer = MakeIssuerWithCatalog(
+        iter % 2 == 0
+            ? std::unique_ptr<UncertaintyPdf>(MakeUniform(region))
+            : std::unique_ptr<UncertaintyPdf>(MakeGaussian(region)));
+    const RangeQuerySpec spec(rng.Uniform(50, 300), rng.Uniform(50, 300),
+                              rng.Uniform(0.0, 1.0));
+    const AnswerSet mink = EvaluateCIPQ(fixture.index, issuer, spec,
+                                        CipqFilter::kMinkowski, {});
+    const AnswerSet pexp = EvaluateCIPQ(fixture.index, issuer, spec,
+                                        CipqFilter::kPExpanded, {});
+    EXPECT_EQ(ById(mink), ById(pexp));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CipqEquivalencePropertyTest,
+                         ::testing::Values(131, 132, 133, 134));
+
+}  // namespace
+}  // namespace ilq

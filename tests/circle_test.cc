@@ -1,0 +1,108 @@
+#include "geometry/circle.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MonteCarloArea;
+
+TEST(CircleTest, BoundingBox) {
+  const Circle c(Point(3, 4), 2);
+  EXPECT_EQ(c.BoundingBox(), Rect(1, 5, 2, 6));
+}
+
+TEST(CircleTest, AreaFormula) {
+  const Circle c(Point(0, 0), 3);
+  EXPECT_NEAR(c.Area(), 9 * std::numbers::pi, 1e-12);
+}
+
+TEST(CircleTest, ContainsIsClosed) {
+  const Circle c(Point(0, 0), 1);
+  EXPECT_TRUE(c.Contains(Point(1, 0)));  // on the boundary
+  EXPECT_TRUE(c.Contains(Point(0, 0)));
+  EXPECT_FALSE(c.Contains(Point(1.0001, 0)));
+}
+
+TEST(CircleTest, IntersectsRect) {
+  const Circle c(Point(0, 0), 1);
+  EXPECT_TRUE(c.Intersects(Rect(-0.5, 0.5, -0.5, 0.5)));   // inside
+  EXPECT_TRUE(c.Intersects(Rect(0.9, 2, -0.1, 0.1)));      // crosses edge
+  EXPECT_TRUE(c.Intersects(Rect(1, 2, -0.1, 0.1)));        // touches
+  EXPECT_FALSE(c.Intersects(Rect(1.1, 2, -0.1, 0.1)));     // clear
+  EXPECT_FALSE(c.Intersects(Rect(0.9, 2, 0.9, 2)));        // corner miss
+}
+
+TEST(CircleTest, ContainsRect) {
+  const Circle c(Point(0, 0), 5);
+  EXPECT_TRUE(c.ContainsRect(Rect(-3, 3, -3, 3)));  // corners at ~4.24 < 5
+  EXPECT_FALSE(c.ContainsRect(Rect(-4, 4, -4, 4)));
+  EXPECT_TRUE(c.ContainsRect(Rect::Empty()));
+}
+
+TEST(CircleTest, IntersectionAreaRectInsideCircle) {
+  const Circle c(Point(0, 0), 10);
+  const Rect r(-2, 2, -3, 3);
+  EXPECT_NEAR(c.IntersectionArea(r), r.Area(), 1e-9);
+}
+
+TEST(CircleTest, IntersectionAreaCircleInsideRect) {
+  const Circle c(Point(0, 0), 2);
+  const Rect r(-10, 10, -10, 10);
+  EXPECT_NEAR(c.IntersectionArea(r), c.Area(), 1e-9);
+}
+
+TEST(CircleTest, IntersectionAreaDisjoint) {
+  const Circle c(Point(0, 0), 1);
+  EXPECT_DOUBLE_EQ(c.IntersectionArea(Rect(5, 6, 5, 6)), 0.0);
+}
+
+TEST(CircleTest, IntersectionAreaHalfPlane) {
+  // The rect covers exactly the right half of the disk.
+  const Circle c(Point(0, 0), 2);
+  const Rect r(0, 10, -10, 10);
+  EXPECT_NEAR(c.IntersectionArea(r), 0.5 * c.Area(), 1e-9);
+}
+
+TEST(CircleTest, IntersectionAreaQuarter) {
+  const Circle c(Point(0, 0), 2);
+  const Rect r(0, 10, 0, 10);
+  EXPECT_NEAR(c.IntersectionArea(r), 0.25 * c.Area(), 1e-9);
+}
+
+TEST(CircleTest, IntersectionAreaZeroRadius) {
+  const Circle c(Point(0, 0), 0);
+  EXPECT_DOUBLE_EQ(c.IntersectionArea(Rect(-1, 1, -1, 1)), 0.0);
+}
+
+// Property sweep: exact overlap areas agree with Monte-Carlo estimates on
+// random circle/rect configurations.
+class CircleAreaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CircleAreaPropertyTest, MatchesMonteCarlo) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const Circle c(Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)),
+                   rng.Uniform(0.5, 4.0));
+    const Rect r = Rect::Centered(
+        Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)),
+        rng.Uniform(0.5, 4.0), rng.Uniform(0.5, 4.0));
+    const double exact = c.IntersectionArea(r);
+    const double mc = MonteCarloArea(
+        r, [&](const Point& p) { return c.Contains(p); }, 200000,
+        GetParam() * 1000 + static_cast<uint64_t>(iter));
+    EXPECT_NEAR(exact, mc, 0.05 * std::max(1.0, r.Area()))
+        << "circle r=" << c.radius << " rect=" << r.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircleAreaPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ilq

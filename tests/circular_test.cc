@@ -1,0 +1,165 @@
+#include "core/circular.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+UniformDiskPdf MakeDisk(const Circle& c) {
+  Result<UniformDiskPdf> made = UniformDiskPdf::Make(c);
+  EXPECT_TRUE(made.ok());
+  return std::move(made).ValueOrDie();
+}
+
+struct PointFixture {
+  std::vector<PointObject> objects;
+  RTree index;
+};
+
+PointFixture MakePoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PointObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Point p(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    objects.emplace_back(static_cast<ObjectId>(i + 1), p);
+    items.push_back({Rect::AtPoint(p), static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+TEST(CircularIpqTest, MatchesBruteForce) {
+  PointFixture fixture = MakePoints(3000, 171);
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(500, 500), 120));
+  const RangeQuerySpec spec(150, 130);
+  const AnswerSet got =
+      EvaluateIPQCircular(fixture.index, issuer, spec);
+  std::map<ObjectId, double> by_id;
+  for (const auto& a : got) by_id[a.id] = a.probability;
+  size_t qualifying = 0;
+  for (const PointObject& s : fixture.objects) {
+    const double pi = PointQualification(issuer, s.location, spec.w, spec.h);
+    if (pi > 0) {
+      ++qualifying;
+      ASSERT_TRUE(by_id.count(s.id)) << "missed object " << s.id;
+      EXPECT_NEAR(by_id[s.id], pi, 1e-12);
+    } else {
+      EXPECT_FALSE(by_id.count(s.id));
+    }
+  }
+  EXPECT_EQ(got.size(), qualifying);
+}
+
+TEST(CircularIpqTest, RoundedRectRefinementPrunesCorners) {
+  // A point in the bounding box of the rounded rect but outside its corner
+  // arc has zero probability and must not be returned.
+  std::vector<RTree::Item> items = {
+      {Rect::AtPoint(Point(649, 649)), 1},   // corner of bbox, outside arc
+      {Rect::AtPoint(Point(500, 500)), 2}};  // centre, certainly inside
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(500, 500), 50));
+  const AnswerSet got =
+      EvaluateIPQCircular(*tree, issuer, RangeQuerySpec(100, 100));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 2u);
+  EXPECT_NEAR(got[0].probability, 1.0, 1e-12);
+}
+
+TEST(CircularCipqTest, ThresholdSubsetsUnconstrained) {
+  PointFixture fixture = MakePoints(2000, 172);
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(400, 600), 150));
+  for (double qp : {0.2, 0.5, 0.8}) {
+    const RangeQuerySpec spec(180, 180, qp);
+    const AnswerSet constrained =
+        EvaluateCIPQCircular(fixture.index, issuer, spec);
+    const AnswerSet all = EvaluateIPQCircular(fixture.index, issuer, spec);
+    std::map<ObjectId, double> all_by_id;
+    for (const auto& a : all) all_by_id[a.id] = a.probability;
+    for (const auto& a : constrained) {
+      EXPECT_GE(a.probability, qp);
+      EXPECT_NEAR(a.probability, all_by_id[a.id], 1e-12);
+    }
+    // No qualifying answer lost.
+    size_t expected = 0;
+    for (const auto& [id, p] : all_by_id) {
+      if (p >= qp) ++expected;
+    }
+    EXPECT_EQ(constrained.size(), expected) << "qp=" << qp;
+  }
+}
+
+TEST(CircularCipqTest, FewerCandidatesAtHighThreshold) {
+  PointFixture fixture = MakePoints(20000, 173);
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(500, 500), 150));
+  IndexStats low;
+  EvaluateCIPQCircular(fixture.index, issuer, RangeQuerySpec(200, 200, 0.0),
+                       &low);
+  IndexStats high;
+  EvaluateCIPQCircular(fixture.index, issuer, RangeQuerySpec(200, 200, 0.7),
+                       &high);
+  EXPECT_LT(high.candidates, low.candidates);
+}
+
+TEST(CircularIuqTest, MatchesMonteCarloReference) {
+  Rng rng(174);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 40; ++i) {
+    const Rect region = RandomRect(&rng, Rect(300, 800, 300, 800), 20, 80);
+    objects.emplace_back(static_cast<ObjectId>(i + 1), MakeUniform(region));
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(550, 550), 100));
+  const RangeQuerySpec spec(120, 120);
+  const AnswerSet analytic =
+      EvaluateIUQCircular(*tree, objects, issuer, spec, {});
+  EvalOptions mc;
+  mc.kernel = ProbabilityKernel::kMonteCarlo;
+  mc.mc_samples = 60000;
+  const AnswerSet sampled =
+      EvaluateIUQCircular(*tree, objects, issuer, spec, mc);
+  std::map<ObjectId, double> truth;
+  for (const auto& a : analytic) truth[a.id] = a.probability;
+  ASSERT_FALSE(analytic.empty());
+  for (const auto& a : sampled) {
+    ASSERT_TRUE(truth.count(a.id));
+    EXPECT_NEAR(a.probability, truth[a.id], 0.02) << "object " << a.id;
+  }
+}
+
+TEST(CircularIuqTest, ProbabilitiesInUnitRange) {
+  Rng rng(175);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 100; ++i) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 100);
+    objects.emplace_back(static_cast<ObjectId>(i + 1), MakeUniform(region));
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  const UniformDiskPdf issuer = MakeDisk(Circle(Point(500, 500), 200));
+  const AnswerSet got =
+      EvaluateIUQCircular(*tree, objects, issuer, RangeQuerySpec(150, 150),
+                          {});
+  for (const auto& a : got) {
+    EXPECT_GT(a.probability, 0.0);
+    EXPECT_LE(a.probability, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,253 @@
+#include "core/ciuq.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+struct Fixture {
+  std::vector<UncertainObject> objects;
+  RTree rtree;
+  PTI pti;
+};
+
+Fixture MakeFixture(size_t n, uint64_t seed, bool gaussian = false) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 80);
+    objects.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        gaussian ? std::unique_ptr<UncertaintyPdf>(MakeGaussian(region))
+                 : std::unique_ptr<UncertaintyPdf>(MakeUniform(region)));
+    EXPECT_TRUE(
+        objects.back().BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> rtree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(rtree.ok());
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  EXPECT_TRUE(pti.ok());
+  return {std::move(objects), std::move(rtree).ValueOrDie(),
+          std::move(pti).ValueOrDie()};
+}
+
+UncertainObject MakeIssuer(const Rect& region, bool gaussian = false) {
+  UncertainObject issuer(
+      0, gaussian ? std::unique_ptr<UncertaintyPdf>(MakeGaussian(region))
+                  : std::unique_ptr<UncertaintyPdf>(MakeUniform(region)));
+  EXPECT_TRUE(issuer.BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  return issuer;
+}
+
+std::map<ObjectId, double> ById(const AnswerSet& answers) {
+  std::map<ObjectId, double> out;
+  for (const auto& a : answers) out[a.id] = a.probability;
+  return out;
+}
+
+bool AnswersMatch(const AnswerSet& a, const AnswerSet& b, double tol) {
+  const std::map<ObjectId, double> ma = ById(a);
+  const std::map<ObjectId, double> mb = ById(b);
+  if (ma.size() != mb.size()) return false;
+  for (const auto& [id, p] : ma) {
+    const auto it = mb.find(id);
+    if (it == mb.end() || std::abs(it->second - p) > tol) return false;
+  }
+  return true;
+}
+
+TEST(CiuqTest, PTIMatchesRTreeBaselineUniform) {
+  Fixture fixture = MakeFixture(1500, 141);
+  for (double qp : {0.0, 0.2, 0.5, 0.8}) {
+    UncertainObject issuer = MakeIssuer(Rect(300, 650, 250, 600));
+    const RangeQuerySpec spec(180, 180, qp);
+    const AnswerSet baseline = EvaluateCIUQRTree(
+        fixture.rtree, fixture.objects, issuer, spec, {});
+    const AnswerSet pti = EvaluateCIUQPTI(fixture.pti, fixture.objects,
+                                          issuer, spec, {});
+    EXPECT_TRUE(AnswersMatch(baseline, pti, 1e-12)) << "qp=" << qp;
+  }
+}
+
+TEST(CiuqTest, PTIMatchesRTreeBaselineGaussian) {
+  Fixture fixture = MakeFixture(400, 142, /*gaussian=*/true);
+  for (double qp : {0.1, 0.4, 0.7}) {
+    UncertainObject issuer =
+        MakeIssuer(Rect(300, 650, 250, 600), /*gaussian=*/true);
+    const RangeQuerySpec spec(150, 150, qp);
+    const AnswerSet baseline = EvaluateCIUQRTree(
+        fixture.rtree, fixture.objects, issuer, spec, {});
+    const AnswerSet pti = EvaluateCIUQPTI(fixture.pti, fixture.objects,
+                                          issuer, spec, {});
+    EXPECT_TRUE(AnswersMatch(baseline, pti, 1e-9)) << "qp=" << qp;
+  }
+}
+
+TEST(CiuqTest, AllAnswersMeetThreshold) {
+  Fixture fixture = MakeFixture(1000, 143);
+  UncertainObject issuer = MakeIssuer(Rect(200, 700, 200, 700));
+  for (double qp : {0.3, 0.6, 0.95}) {
+    const AnswerSet got = EvaluateCIUQPTI(
+        fixture.pti, fixture.objects, issuer,
+        RangeQuerySpec(200, 200, qp), {});
+    for (const auto& a : got) {
+      EXPECT_GE(a.probability, qp);
+      EXPECT_LE(a.probability, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(CiuqTest, NoQualifyingObjectIsPruned) {
+  // Soundness of strategies 1–3 + index pruning: every object whose true
+  // probability clearly exceeds Qp must be returned.
+  Fixture fixture = MakeFixture(1200, 144);
+  UncertainObject issuer = MakeIssuer(Rect(250, 700, 300, 750));
+  for (double qp : {0.15, 0.45, 0.7}) {
+    const RangeQuerySpec spec(220, 220, qp);
+    const std::map<ObjectId, double> got = ById(EvaluateCIUQPTI(
+        fixture.pti, fixture.objects, issuer, spec, {}));
+    for (const UncertainObject& obj : fixture.objects) {
+      const double pi = UniformUniformQualification(
+          issuer.region(), obj.region(), spec.w, spec.h);
+      if (pi >= qp + 1e-9) {
+        ASSERT_TRUE(got.count(obj.id()))
+            << "object " << obj.id() << " with pi=" << pi
+            << " pruned at qp=" << qp;
+        EXPECT_NEAR(got.at(obj.id()), pi, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CiuqTest, PTIPrunesMoreAtHigherThresholds) {
+  Fixture fixture = MakeFixture(20000, 145);
+  UncertainObject issuer = MakeIssuer(Rect(300, 700, 300, 700));
+  uint64_t prev_candidates = std::numeric_limits<uint64_t>::max();
+  for (double qp : {0.0, 0.3, 0.6, 0.9}) {
+    IndexStats stats;
+    EvaluateCIUQPTI(fixture.pti, fixture.objects, issuer,
+                    RangeQuerySpec(250, 250, qp), {}, CiuqPruneConfig{},
+                    &stats);
+    EXPECT_LE(stats.candidates, prev_candidates) << "qp=" << qp;
+    prev_candidates = stats.candidates;
+  }
+}
+
+TEST(CiuqTest, PTIBeatsRTreeOnCandidatesAtHighThreshold) {
+  Fixture fixture = MakeFixture(20000, 146);
+  UncertainObject issuer = MakeIssuer(Rect(300, 700, 300, 700));
+  const RangeQuerySpec spec(250, 250, 0.6);
+  IndexStats rtree_stats;
+  EvaluateCIUQRTree(fixture.rtree, fixture.objects, issuer, spec, {},
+                    &rtree_stats);
+  IndexStats pti_stats;
+  EvaluateCIUQPTI(fixture.pti, fixture.objects, issuer, spec, {},
+                  CiuqPruneConfig{}, &pti_stats);
+  EXPECT_LT(pti_stats.candidates, rtree_stats.candidates);
+}
+
+TEST(CiuqTest, StrategyTogglesPreserveAnswers) {
+  // Disabling any pruning strategy must never change the answer set, only
+  // the amount of work.
+  Fixture fixture = MakeFixture(800, 147);
+  UncertainObject issuer = MakeIssuer(Rect(250, 650, 250, 650));
+  const RangeQuerySpec spec(200, 200, 0.5);
+  const AnswerSet all_on = EvaluateCIUQPTI(fixture.pti, fixture.objects,
+                                           issuer, spec, {});
+  for (int mask = 0; mask < 8; ++mask) {
+    CiuqPruneConfig prune;
+    prune.strategy1 = (mask & 1) != 0;
+    prune.strategy2 = (mask & 2) != 0;
+    prune.strategy3 = (mask & 4) != 0;
+    const AnswerSet got = EvaluateCIUQPTI(fixture.pti, fixture.objects,
+                                          issuer, spec, {}, prune);
+    EXPECT_TRUE(AnswersMatch(all_on, got, 1e-12)) << "mask=" << mask;
+  }
+}
+
+TEST(CiuqTest, Strategy1PrunesWithoutThreshold2) {
+  // With S2 off (Minkowski traversal) S1 alone must still reduce
+  // candidates at high Qp.
+  Fixture fixture = MakeFixture(20000, 148);
+  UncertainObject issuer = MakeIssuer(Rect(300, 700, 300, 700));
+  const RangeQuerySpec spec(250, 250, 0.7);
+  CiuqPruneConfig none;
+  none.strategy1 = none.strategy2 = none.strategy3 = false;
+  CiuqPruneConfig s1_only;
+  s1_only.strategy2 = s1_only.strategy3 = false;
+  IndexStats none_stats;
+  EvaluateCIUQPTI(fixture.pti, fixture.objects, issuer, spec, {}, none,
+                  &none_stats);
+  IndexStats s1_stats;
+  EvaluateCIUQPTI(fixture.pti, fixture.objects, issuer, spec, {}, s1_only,
+                  &s1_stats);
+  EXPECT_LT(s1_stats.node_accesses, none_stats.node_accesses);
+}
+
+TEST(CiuqTest, CertainObjectSurvivesThresholdOne) {
+  // Regression: an object engulfed by the query at every issuer position
+  // has pi = 1 and must be returned at Qp = 1 — the vacuous M = 1 p-bound
+  // must not prune it.
+  std::vector<UncertainObject> objects;
+  objects.emplace_back(1, MakeUniform(Rect(495, 505, 495, 505)));
+  ASSERT_TRUE(
+      objects.back().BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  UncertainObject issuer = MakeIssuer(Rect(480, 520, 480, 520));
+  const RangeQuerySpec spec(200, 200, 1.0);
+  const AnswerSet got =
+      EvaluateCIUQPTI(*pti, objects, issuer, spec, {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].probability, 1.0);
+}
+
+TEST(CiuqTest, EmptyAnswerForImpossibleThreshold) {
+  Fixture fixture = MakeFixture(500, 149);
+  UncertainObject issuer = MakeIssuer(Rect(0, 1000, 0, 1000));
+  const AnswerSet got = EvaluateCIUQPTI(
+      fixture.pti, fixture.objects, issuer, RangeQuerySpec(5, 5, 0.9), {});
+  EXPECT_TRUE(got.empty());
+}
+
+// Property: PTI and baseline agree over random issuers, thresholds and
+// query shapes.
+class CiuqEquivalencePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CiuqEquivalencePropertyTest, MethodsAgree) {
+  Fixture fixture = MakeFixture(1000, GetParam());
+  Rng rng(GetParam() * 17);
+  for (int iter = 0; iter < 10; ++iter) {
+    const double u = rng.Uniform(20, 250);
+    const double cx = rng.Uniform(u, 1000 - u);
+    const double cy = rng.Uniform(u, 1000 - u);
+    UncertainObject issuer =
+        MakeIssuer(Rect(cx - u, cx + u, cy - u, cy + u), iter % 2 == 1);
+    const RangeQuerySpec spec(rng.Uniform(50, 300), rng.Uniform(50, 300),
+                              rng.Uniform(0.0, 1.0));
+    const AnswerSet baseline = EvaluateCIUQRTree(
+        fixture.rtree, fixture.objects, issuer, spec, {});
+    const AnswerSet pti = EvaluateCIUQPTI(fixture.pti, fixture.objects,
+                                          issuer, spec, {});
+    EXPECT_TRUE(AnswersMatch(baseline, pti, 1e-9))
+        << "iter=" << iter << " qp=" << spec.threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CiuqEquivalencePropertyTest,
+                         ::testing::Values(151, 152, 153, 154));
+
+}  // namespace
+}  // namespace ilq

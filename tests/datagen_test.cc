@@ -1,0 +1,187 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datagen/dataset_io.h"
+
+namespace ilq {
+namespace {
+
+TEST(SyntheticTest, CaliforniaLikeCountAndBounds) {
+  SyntheticConfig config;
+  config.count = 5000;
+  const std::vector<PointObject> points =
+      GenerateCaliforniaLikePoints(config);
+  ASSERT_EQ(points.size(), 5000u);
+  for (const PointObject& p : points) {
+    EXPECT_TRUE(config.space.Contains(p.location));
+  }
+  // Ids are 1..n.
+  EXPECT_EQ(points.front().id, 1u);
+  EXPECT_EQ(points.back().id, 5000u);
+}
+
+TEST(SyntheticTest, DeterministicWithSeed) {
+  SyntheticConfig config;
+  config.count = 1000;
+  config.seed = 77;
+  const auto a = GenerateCaliforniaLikePoints(config);
+  const auto b = GenerateCaliforniaLikePoints(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].location, b[i].location);
+  }
+  config.seed = 78;
+  const auto c = GenerateCaliforniaLikePoints(config);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].location == c[i].location) ++same;
+  }
+  EXPECT_LT(same, 10u);
+}
+
+TEST(SyntheticTest, PointsAreSpatiallySkewed) {
+  // Road-like clustering should leave some regions far denser than others:
+  // compare occupancy across a coarse grid.
+  SyntheticConfig config;
+  config.count = 20000;
+  const auto points = GenerateCaliforniaLikePoints(config);
+  constexpr size_t kCells = 20;
+  std::vector<size_t> histogram(kCells * kCells, 0);
+  for (const PointObject& p : points) {
+    const auto ix = std::min(
+        kCells - 1, static_cast<size_t>(p.location.x / 10000.0 * kCells));
+    const auto iy = std::min(
+        kCells - 1, static_cast<size_t>(p.location.y / 10000.0 * kCells));
+    ++histogram[iy * kCells + ix];
+  }
+  const size_t max_cell =
+      *std::max_element(histogram.begin(), histogram.end());
+  const double uniform_cell =
+      static_cast<double>(config.count) / (kCells * kCells);
+  EXPECT_GT(static_cast<double>(max_cell), 3.0 * uniform_cell);
+}
+
+TEST(SyntheticTest, LongBeachLikeRectsRespectSideBounds) {
+  RectangleConfig config;
+  config.base.count = 5000;
+  const std::vector<Rect> rects = GenerateLongBeachLikeRects(config);
+  ASSERT_EQ(rects.size(), 5000u);
+  for (const Rect& r : rects) {
+    EXPECT_FALSE(r.IsEmpty());
+    EXPECT_GE(r.Width(), config.min_side - 1e-9);
+    EXPECT_LE(r.Width(), config.max_side + 1e-9);
+    EXPECT_GE(r.Height(), config.min_side - 1e-9);
+    EXPECT_LE(r.Height(), config.max_side + 1e-9);
+    EXPECT_TRUE(config.base.space.ContainsRect(r));
+  }
+}
+
+TEST(SyntheticTest, RectSidesAreSkewedSmall) {
+  RectangleConfig config;
+  config.base.count = 10000;
+  const std::vector<Rect> rects = GenerateLongBeachLikeRects(config);
+  double mean_w = 0.0;
+  for (const Rect& r : rects) mean_w += r.Width();
+  mean_w /= static_cast<double>(rects.size());
+  // Exponential-ish with mean ~ mean_side (clamping shifts it slightly).
+  EXPECT_GT(mean_w, 0.5 * config.mean_side);
+  EXPECT_LT(mean_w, 2.0 * config.mean_side);
+}
+
+TEST(SyntheticTest, UniformObjectsWrapRegions) {
+  RectangleConfig config;
+  config.base.count = 100;
+  const std::vector<Rect> rects = GenerateLongBeachLikeRects(config);
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(rects);
+  ASSERT_TRUE(objects.ok());
+  ASSERT_EQ(objects->size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ((*objects)[i].region(), rects[i]);
+    EXPECT_EQ((*objects)[i].pdf().name(), "uniform");
+    EXPECT_EQ((*objects)[i].id(), i + 1);
+  }
+}
+
+TEST(SyntheticTest, GaussianObjectsUsePaperSigma) {
+  RectangleConfig config;
+  config.base.count = 50;
+  const std::vector<Rect> rects = GenerateLongBeachLikeRects(config);
+  Result<std::vector<UncertainObject>> objects =
+      MakeGaussianUncertainObjects(rects);
+  ASSERT_TRUE(objects.ok());
+  for (const UncertainObject& obj : *objects) {
+    EXPECT_EQ(obj.pdf().name(), "gaussian");
+    // Mass concentrated centrally: central quarter-area rectangle holds
+    // well over the uniform share.
+    const Rect r = obj.region();
+    const Rect central(r.Center().x - r.Width() / 4,
+                       r.Center().x + r.Width() / 4,
+                       r.Center().y - r.Height() / 4,
+                       r.Center().y + r.Height() / 4);
+    EXPECT_GT(obj.pdf().MassIn(central), 0.5);
+  }
+}
+
+TEST(DatasetIoTest, PointsRoundtrip) {
+  SyntheticConfig config;
+  config.count = 200;
+  const auto points = GenerateCaliforniaLikePoints(config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ilq_points_test.csv")
+          .string();
+  ASSERT_TRUE(SavePointsCsv(path, points).ok());
+  Result<std::vector<PointObject>> loaded = LoadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_NEAR((*loaded)[i].location.x, points[i].location.x, 1e-6);
+    EXPECT_NEAR((*loaded)[i].location.y, points[i].location.y, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RectsRoundtrip) {
+  RectangleConfig config;
+  config.base.count = 200;
+  const auto rects = GenerateLongBeachLikeRects(config);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ilq_rects_test.csv")
+          .string();
+  ASSERT_TRUE(SaveRectsCsv(path, rects).ok());
+  Result<std::vector<Rect>> loaded = LoadRectsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_NEAR((*loaded)[i].xmin, rects[i].xmin, 1e-6);
+    EXPECT_NEAR((*loaded)[i].ymax, rects[i].ymax, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRejectsMalformedLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ilq_bad_test.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1.0,2.0\nnot,a,number\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadRectsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  Result<std::vector<PointObject>> r =
+      LoadPointsCsv("/nonexistent/path/points.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ilq

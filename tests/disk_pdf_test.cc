@@ -1,0 +1,103 @@
+#include "prob/disk_pdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ilq {
+namespace {
+
+UniformDiskPdf Make(const Circle& c) {
+  Result<UniformDiskPdf> made = UniformDiskPdf::Make(c);
+  EXPECT_TRUE(made.ok());
+  return std::move(made).ValueOrDie();
+}
+
+TEST(DiskPdfTest, RejectsNonPositiveRadius) {
+  EXPECT_FALSE(UniformDiskPdf::Make(Circle(Point(0, 0), 0)).ok());
+  EXPECT_FALSE(UniformDiskPdf::Make(Circle(Point(0, 0), -1)).ok());
+}
+
+TEST(DiskPdfTest, TotalMassIsOne) {
+  const UniformDiskPdf pdf = Make(Circle(Point(5, 5), 2));
+  EXPECT_NEAR(pdf.MassIn(Rect(-10, 20, -10, 20)), 1.0, 1e-9);
+}
+
+TEST(DiskPdfTest, DensityInsideOutside) {
+  const UniformDiskPdf pdf = Make(Circle(Point(0, 0), 2));
+  EXPECT_GT(pdf.Density(Point(1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(2.1, 0)), 0.0);
+  // Corner of the bounding box is outside the disk.
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1.9, 1.9)), 0.0);
+}
+
+TEST(DiskPdfTest, HalfPlaneMass) {
+  const UniformDiskPdf pdf = Make(Circle(Point(0, 0), 3));
+  EXPECT_NEAR(pdf.MassIn(Rect(0, 10, -10, 10)), 0.5, 1e-9);
+  EXPECT_NEAR(pdf.CdfX(0), 0.5, 1e-9);
+}
+
+TEST(DiskPdfTest, CdfMonotoneAndBounded) {
+  const UniformDiskPdf pdf = Make(Circle(Point(0, 0), 2));
+  double prev = -1.0;
+  for (double x = -2.5; x <= 2.5; x += 0.1) {
+    const double c = pdf.CdfX(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(pdf.CdfX(-2), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(2), 1.0);
+}
+
+TEST(DiskPdfTest, QuantileInvertsCdf) {
+  const UniformDiskPdf pdf = Make(Circle(Point(3, -1), 2));
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    EXPECT_NEAR(pdf.CdfX(pdf.QuantileX(p)), p, 1e-9);
+    EXPECT_NEAR(pdf.CdfY(pdf.QuantileY(p)), p, 1e-9);
+  }
+}
+
+TEST(DiskPdfTest, MarginalIsChordLengthOverArea) {
+  const UniformDiskPdf pdf = Make(Circle(Point(0, 0), 2));
+  // At x = 0 the chord has length 4; density = 4 / (4π).
+  EXPECT_NEAR(pdf.MarginalPdfX(0), 4.0 / (4.0 * 3.14159265358979323846),
+              1e-12);
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfX(2.0), 0.0);
+}
+
+TEST(DiskPdfTest, SamplesInsideDiskAndUniform) {
+  const Circle disk(Point(10, 10), 3);
+  const UniformDiskPdf pdf = Make(disk);
+  Rng rng(12);
+  const int n = 50000;
+  int inner = 0;  // within r/sqrt(2) — should hold exactly half the mass
+  for (int i = 0; i < n; ++i) {
+    const Point p = pdf.Sample(&rng);
+    ASSERT_TRUE(disk.Contains(p));
+    if (disk.center.SquaredDistanceTo(p) <= disk.radius * disk.radius / 2) {
+      ++inner;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 0.5, 0.01);
+}
+
+TEST(DiskPdfTest, MassInMatchesSampleFrequency) {
+  const UniformDiskPdf pdf = Make(Circle(Point(0, 0), 2));
+  const Rect probe(-1, 0.5, 0, 1.7);
+  Rng rng(13);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (probe.Contains(pdf.Sample(&rng))) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, pdf.MassIn(probe), 0.01);
+}
+
+TEST(DiskPdfTest, NotProduct) {
+  EXPECT_FALSE(Make(Circle(Point(0, 0), 1)).IsProduct());
+}
+
+}  // namespace
+}  // namespace ilq

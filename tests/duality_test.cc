@@ -1,0 +1,272 @@
+#include "core/duality.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/disk_pdf.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+using ::ilq::testing::ReferencePointQualification;
+using ::ilq::testing::ReferenceUncertainQualification;
+
+// ---------------------------------------------------------------- Lemma 2
+
+TEST(DualityTest, Lemma2PointDuality) {
+  // Si in R(Sq) iff Sq in R(Si), for random pairs and query shapes.
+  Rng rng(51);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Point si(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    const Point sq(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    const double w = rng.Uniform(1, 40);
+    const double h = rng.Uniform(1, 40);
+    EXPECT_EQ(Rect::Centered(sq, w, h).Contains(si),
+              Rect::Centered(si, w, h).Contains(sq));
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 3
+
+TEST(DualityTest, PointQualificationUniformIsAreaRatio) {
+  // Eq. 6: for uniform issuers pi = |R(si) ∩ U0| / |U0|.
+  auto issuer = MakeUniform(Rect(0, 100, 0, 100));
+  // R(si) with w=h=30 centred at (110, 50) overlaps 20x60... compute:
+  // R = [80,140]x[20,80] → overlap [80,100]x[20,80] = 20*60 = 1200.
+  const double pi = PointQualification(*issuer, Point(110, 50), 30, 30);
+  EXPECT_NEAR(pi, 1200.0 / 10000.0, 1e-12);
+}
+
+TEST(DualityTest, PointQualificationMatchesEq2Reference) {
+  // Lemma 3 equals the direct Eq. 2 integral, for uniform and Gaussian
+  // issuers at assorted object positions.
+  auto uniform = MakeUniform(Rect(0, 100, 0, 100));
+  auto gaussian = MakeGaussian(Rect(0, 100, 0, 100));
+  for (const UncertaintyPdf* issuer :
+       {static_cast<const UncertaintyPdf*>(uniform.get()),
+        static_cast<const UncertaintyPdf*>(gaussian.get())}) {
+    for (const Point& s :
+         {Point(50, 50), Point(0, 0), Point(120, 50), Point(95, 130)}) {
+      const double direct = PointQualification(*issuer, s, 40, 40);
+      const double reference =
+          ReferencePointQualification(*issuer, s, 40, 40);
+      EXPECT_NEAR(direct, reference, 5e-3)
+          << issuer->name() << " at (" << s.x << "," << s.y << ")";
+    }
+  }
+}
+
+TEST(DualityTest, PointQualificationZeroOutsideMinkowski) {
+  auto issuer = MakeUniform(Rect(0, 100, 0, 100));
+  // Object at x = 151 with w = 50: dual range [101, 201] misses U0.
+  EXPECT_DOUBLE_EQ(PointQualification(*issuer, Point(151, 50), 50, 50), 0.0);
+  // Boundary-touching object has measure-zero overlap.
+  EXPECT_DOUBLE_EQ(PointQualification(*issuer, Point(150, 50), 50, 50), 0.0);
+}
+
+TEST(DualityTest, PointQualificationMCConverges) {
+  auto issuer = MakeGaussian(Rect(0, 100, 0, 100));
+  const Point s(70, 60);
+  const double exact = PointQualification(*issuer, s, 30, 30);
+  Rng rng(52);
+  const double mc = PointQualificationMC(*issuer, s, 30, 30, 200000, &rng);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+// -------------------------------------------------- overlap-length integral
+
+TEST(DualityTest, OverlapIntegralFullyInside) {
+  // Window [x-1, x+1] fully inside [0, 10] for x in [2, 6]: length 2 each.
+  EXPECT_NEAR(OverlapLengthIntegral(2, 6, 1, 0, 10), 8.0, 1e-12);
+}
+
+TEST(DualityTest, OverlapIntegralRampRegion) {
+  // w=2, [a,b]=[0,10]; for x in [-2,2] overlap = x+2 (ramp 0→4):
+  // integral = 8.
+  EXPECT_NEAR(OverlapLengthIntegral(-2, 2, 2, 0, 10), 8.0, 1e-12);
+}
+
+TEST(DualityTest, OverlapIntegralZeroCases) {
+  EXPECT_EQ(OverlapLengthIntegral(5, 5, 1, 0, 10), 0.0);   // empty interval
+  EXPECT_EQ(OverlapLengthIntegral(20, 30, 1, 0, 10), 0.0);  // no overlap
+  EXPECT_EQ(OverlapLengthIntegral(0, 10, 0, 0, 10), 0.0);   // zero width
+}
+
+TEST(DualityTest, OverlapIntegralMatchesNumeric) {
+  Rng rng(53);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double a = rng.Uniform(-50, 50);
+    const double b = a + rng.Uniform(1, 100);
+    const double w = rng.Uniform(0.5, 60);
+    const double x0 = rng.Uniform(-100, 100);
+    const double x1 = x0 + rng.Uniform(1, 120);
+    const double exact = OverlapLengthIntegral(x0, x1, w, a, b);
+    // Fine Riemann sum.
+    const int n = 4000;
+    const double dx = (x1 - x0) / n;
+    double approx = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double x = x0 + (i + 0.5) * dx;
+      const double lo = std::max(x - w, a);
+      const double hi = std::min(x + w, b);
+      approx += std::max(0.0, hi - lo) * dx;
+    }
+    EXPECT_NEAR(exact, approx, 1e-2 * std::max(1.0, approx));
+  }
+}
+
+// ---------------------------------------------------------- Eq. 8 kernels
+
+TEST(DualityTest, UniformUniformMatchesReference) {
+  Rng rng(54);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 500, 0, 500), 30, 150);
+    const Rect ui = RandomRect(&rng, Rect(0, 500, 0, 500), 10, 120);
+    const double w = rng.Uniform(20, 150);
+    const double h = rng.Uniform(20, 150);
+    auto issuer = MakeUniform(u0);
+    auto object = MakeUniform(ui);
+    const double closed = UniformUniformQualification(u0, ui, w, h);
+    const double reference =
+        ReferenceUncertainQualification(*issuer, *object, w, h);
+    EXPECT_NEAR(closed, reference, 6e-3) << "iter " << iter;
+    EXPECT_GE(closed, -1e-12);
+    EXPECT_LE(closed, 1.0 + 1e-12);
+  }
+}
+
+TEST(DualityTest, ProductPathMatchesClosedFormForUniform) {
+  // The separable quadrature path must agree with the closed form when both
+  // pdfs are uniform.
+  Rng rng(55);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 500, 0, 500), 30, 150);
+    const Rect ui = RandomRect(&rng, Rect(0, 500, 0, 500), 10, 120);
+    const double w = rng.Uniform(20, 150);
+    const double h = rng.Uniform(20, 150);
+    auto issuer = MakeUniform(u0);
+    auto object = MakeUniform(ui);
+    const double closed = UniformUniformQualification(u0, ui, w, h);
+    const double product = ProductQualification(*issuer, *object, w, h, 16);
+    EXPECT_NEAR(closed, product, 1e-10);
+  }
+}
+
+TEST(DualityTest, GaussianGaussianMatchesReference) {
+  Rng rng(56);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 500, 0, 500), 40, 160);
+    const Rect ui = RandomRect(&rng, Rect(0, 500, 0, 500), 20, 120);
+    const double w = rng.Uniform(30, 150);
+    const double h = rng.Uniform(30, 150);
+    auto issuer = MakeGaussian(u0);
+    auto object = MakeGaussian(ui);
+    const double product = ProductQualification(*issuer, *object, w, h, 16);
+    const double reference =
+        ReferenceUncertainQualification(*issuer, *object, w, h, 300);
+    EXPECT_NEAR(product, reference, 5e-3) << "iter " << iter;
+  }
+}
+
+TEST(DualityTest, GenericPathMatchesProductPathForProductPdfs) {
+  Rng rng(57);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 500, 0, 500), 40, 160);
+    const Rect ui = RandomRect(&rng, Rect(0, 500, 0, 500), 20, 120);
+    const double w = rng.Uniform(30, 150);
+    const double h = rng.Uniform(30, 150);
+    auto issuer = MakeGaussian(u0);
+    auto object = MakeGaussian(ui);
+    const double product = ProductQualification(*issuer, *object, w, h, 16);
+    const double generic = GenericQualification(*issuer, *object, w, h, 16);
+    EXPECT_NEAR(product, generic, 1e-6);
+  }
+}
+
+TEST(DualityTest, HistogramObjectMatchesReference) {
+  // Non-product object pdf exercises the generic 2-D quadrature path with
+  // histogram breakpoints.
+  Rng rng(58);
+  auto issuer = MakeUniform(Rect(100, 300, 100, 300));
+  auto object = MakeSkewedHistogram(Rect(150, 360, 80, 240), 5, 4, 59);
+  const double generic = GenericQualification(*issuer, *object, 80, 60, 16);
+  const double reference =
+      ReferenceUncertainQualification(*issuer, *object, 80, 60, 400);
+  EXPECT_NEAR(generic, reference, 5e-3);
+}
+
+TEST(DualityTest, DiskIssuerMatchesMC) {
+  // Non-product issuer (uniform disk) exercises Q-via-MassIn in the generic
+  // path.
+  Result<UniformDiskPdf> disk =
+      UniformDiskPdf::Make(Circle(Point(200, 200), 80));
+  ASSERT_TRUE(disk.ok());
+  auto object = MakeUniform(Rect(240, 330, 150, 260));
+  const double generic = GenericQualification(*disk, *object, 70, 70, 24);
+  Rng rng(60);
+  const double mc =
+      UncertainQualificationMC(*disk, *object, 70, 70, 400000, &rng);
+  EXPECT_NEAR(generic, mc, 0.01);
+}
+
+TEST(DualityTest, DispatchPicksConsistentAnswers) {
+  // UncertainQualification must agree with the specific paths it selects.
+  Rng rng(61);
+  const Rect u0 = RandomRect(&rng, Rect(0, 500, 0, 500), 50, 150);
+  const Rect ui = RandomRect(&rng, Rect(0, 500, 0, 500), 30, 100);
+  auto u_issuer = MakeUniform(u0);
+  auto u_object = MakeUniform(ui);
+  EXPECT_DOUBLE_EQ(UncertainQualification(*u_issuer, *u_object, 50, 50, 16),
+                   UniformUniformQualification(u0, ui, 50, 50));
+  auto g_issuer = MakeGaussian(u0);
+  auto g_object = MakeGaussian(ui);
+  EXPECT_DOUBLE_EQ(UncertainQualification(*g_issuer, *g_object, 50, 50, 16),
+                   ProductQualification(*g_issuer, *g_object, 50, 50, 16));
+}
+
+TEST(DualityTest, MCPairSamplingConverges) {
+  auto issuer = MakeUniform(Rect(0, 200, 0, 200));
+  auto object = MakeUniform(Rect(150, 260, 40, 130));
+  const double exact =
+      UniformUniformQualification(issuer->bounds(), object->bounds(), 60, 60);
+  Rng rng(62);
+  const double mc =
+      UncertainQualificationMC(*issuer, *object, 60, 60, 300000, &rng);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+// Probability bounds: every kernel returns values in [0, 1].
+class KernelRangePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelRangePropertyTest, ProbabilitiesInUnitInterval) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 300);
+    const Rect ui = RandomRect(&rng, Rect(0, 1000, 0, 1000), 5, 200);
+    const double w = rng.Uniform(5, 300);
+    const double h = rng.Uniform(5, 300);
+    auto issuer = (iter % 2 == 0)
+                      ? std::unique_ptr<UncertaintyPdf>(MakeUniform(u0))
+                      : std::unique_ptr<UncertaintyPdf>(MakeGaussian(u0));
+    auto object = (iter % 3 == 0)
+                      ? std::unique_ptr<UncertaintyPdf>(MakeGaussian(ui))
+                      : std::unique_ptr<UncertaintyPdf>(MakeUniform(ui));
+    const double pi = UncertainQualification(*issuer, *object, w, h, 12);
+    EXPECT_GE(pi, -1e-9);
+    EXPECT_LE(pi, 1.0 + 1e-9);
+    const double pt = PointQualification(*issuer, ui.Center(), w, h);
+    EXPECT_GE(pt, 0.0);
+    EXPECT_LE(pt, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelRangePropertyTest,
+                         ::testing::Values(71, 72, 73));
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,176 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+QueryEngine BuildSmallEngine(uint64_t seed, size_t points = 500,
+                             size_t uncertains = 300) {
+  Rng rng(seed);
+  std::vector<PointObject> pts;
+  for (size_t i = 0; i < points; ++i) {
+    pts.emplace_back(static_cast<ObjectId>(i + 1),
+                     Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  std::vector<UncertainObject> objs;
+  for (size_t i = 0; i < uncertains; ++i) {
+    objs.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        MakeUniform(RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 60)));
+  }
+  Result<QueryEngine> engine =
+      QueryEngine::Build(std::move(pts), std::move(objs));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).ValueOrDie();
+}
+
+TEST(EngineTest, BuildPopulatesIndexesAndCatalogs) {
+  QueryEngine engine = BuildSmallEngine(161);
+  EXPECT_EQ(engine.point_index().size(), 500u);
+  EXPECT_EQ(engine.uncertain_index().size(), 300u);
+  ASSERT_NE(engine.pti(), nullptr);
+  EXPECT_EQ(engine.pti()->size(), 300u);
+  for (const UncertainObject& obj : engine.uncertains()) {
+    EXPECT_NE(obj.catalog(), nullptr);
+    EXPECT_EQ(obj.catalog()->size(), 11u);
+  }
+}
+
+TEST(EngineTest, BuildAcceptsEmptyDatasets) {
+  Result<QueryEngine> engine = QueryEngine::Build({}, {});
+  ASSERT_TRUE(engine.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(0, 10, 0, 10)));
+  EXPECT_TRUE(engine->Ipq(issuer, RangeQuerySpec(5, 5)).empty());
+  EXPECT_TRUE(engine->Iuq(issuer, RangeQuerySpec(5, 5)).empty());
+  EXPECT_TRUE(engine->CiuqPti(issuer, RangeQuerySpec(5, 5, 0.5)).empty());
+  EXPECT_EQ(engine->pti(), nullptr);
+}
+
+TEST(EngineTest, MakeIssuerBuildsCatalog) {
+  QueryEngine engine = BuildSmallEngine(162);
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(MakeUniform(Rect(100, 300, 100, 300)));
+  ASSERT_TRUE(issuer.ok());
+  ASSERT_NE(issuer->catalog(), nullptr);
+  EXPECT_EQ(issuer->catalog()->size(), 11u);
+}
+
+TEST(EngineTest, MakeIssuerRejectsNull) {
+  QueryEngine engine = BuildSmallEngine(163);
+  EXPECT_FALSE(engine.MakeIssuer(nullptr).ok());
+}
+
+TEST(EngineTest, IpqAgreesWithBasic) {
+  QueryEngine engine = BuildSmallEngine(164);
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(MakeUniform(Rect(300, 600, 300, 600)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec spec(150, 150);
+  const AnswerSet fast = engine.Ipq(*issuer, spec);
+  const AnswerSet slow = engine.IpqBasic(*issuer, spec);
+  std::map<ObjectId, double> slow_by_id;
+  for (const auto& a : slow) slow_by_id[a.id] = a.probability;
+  // The 20×20 grid baseline quantizes probabilities in 1/400 steps and can
+  // miss objects near the Minkowski boundary entirely; compare only answers
+  // comfortably above its resolution.
+  for (const auto& a : fast) {
+    if (a.probability < 0.05) continue;
+    ASSERT_TRUE(slow_by_id.count(a.id)) << "object " << a.id;
+    EXPECT_NEAR(a.probability, slow_by_id[a.id], 0.05);
+  }
+  // Conversely, everything the baseline finds the exact method must find.
+  std::map<ObjectId, double> fast_by_id;
+  for (const auto& a : fast) fast_by_id[a.id] = a.probability;
+  for (const auto& a : slow) {
+    EXPECT_TRUE(fast_by_id.count(a.id)) << "object " << a.id;
+  }
+}
+
+TEST(EngineTest, IuqAgreesWithBasic) {
+  QueryEngine engine = BuildSmallEngine(165);
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(MakeUniform(Rect(250, 650, 250, 650)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec spec(180, 180);
+  const AnswerSet fast = engine.Iuq(*issuer, spec);
+  const AnswerSet slow = engine.IuqBasic(*issuer, spec);
+  std::map<ObjectId, double> slow_by_id;
+  for (const auto& a : slow) slow_by_id[a.id] = a.probability;
+  for (const auto& a : fast) {
+    if (a.probability < 0.05) continue;  // below grid-baseline resolution
+    ASSERT_TRUE(slow_by_id.count(a.id));
+    EXPECT_NEAR(a.probability, slow_by_id[a.id], 0.05);
+  }
+}
+
+TEST(EngineTest, CiuqMethodsAgree) {
+  QueryEngine engine = BuildSmallEngine(166);
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(MakeUniform(Rect(200, 700, 200, 700)));
+  ASSERT_TRUE(issuer.ok());
+  for (double qp : {0.0, 0.35, 0.7}) {
+    const RangeQuerySpec spec(200, 200, qp);
+    const AnswerSet a = engine.CiuqRTree(*issuer, spec);
+    const AnswerSet b = engine.CiuqPti(*issuer, spec);
+    std::map<ObjectId, double> ma;
+    for (const auto& x : a) ma[x.id] = x.probability;
+    std::map<ObjectId, double> mb;
+    for (const auto& x : b) mb[x.id] = x.probability;
+    EXPECT_EQ(ma, mb) << "qp=" << qp;
+  }
+}
+
+TEST(EngineTest, CipqFiltersAgree) {
+  QueryEngine engine = BuildSmallEngine(167);
+  Result<UncertainObject> issuer =
+      engine.MakeIssuer(MakeGaussian(Rect(250, 650, 250, 650)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec spec(170, 170, 0.4);
+  const AnswerSet a = engine.Cipq(*issuer, spec, CipqFilter::kMinkowski);
+  const AnswerSet b = engine.Cipq(*issuer, spec, CipqFilter::kPExpanded);
+  ASSERT_EQ(a.size(), b.size());
+}
+
+TEST(EngineTest, ConfigCatalogLadderRespected) {
+  Rng rng(168);
+  std::vector<UncertainObject> objs;
+  objs.emplace_back(1,
+                    MakeUniform(RandomRect(&rng, Rect(0, 100, 0, 100), 5, 20)));
+  EngineConfig config;
+  config.catalog_values = {0.0, 0.25, 0.5};
+  Result<QueryEngine> engine = QueryEngine::Build({}, std::move(objs), config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->uncertains()[0].catalog()->size(), 3u);
+}
+
+TEST(EngineTest, PageSizeAffectsIndexShape) {
+  Rng rng(169);
+  std::vector<PointObject> pts;
+  for (size_t i = 0; i < 20000; ++i) {
+    pts.emplace_back(static_cast<ObjectId>(i + 1),
+                     Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  EngineConfig small;
+  small.page_size_bytes = 1024;
+  EngineConfig large;
+  large.page_size_bytes = 8192;
+  Result<QueryEngine> e_small = QueryEngine::Build(pts, {}, small);
+  Result<QueryEngine> e_large =
+      QueryEngine::Build(std::move(pts), {}, large);
+  ASSERT_TRUE(e_small.ok() && e_large.ok());
+  EXPECT_GT(e_small->point_index().node_count(),
+            e_large->point_index().node_count());
+}
+
+}  // namespace
+}  // namespace ilq

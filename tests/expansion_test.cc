@@ -1,0 +1,117 @@
+#include "core/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/duality.h"
+#include "object/uncertain_object.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+TEST(ExpansionTest, MinkowskiGrowsByHalfExtents) {
+  // Figure 2's construction.
+  const Rect u0(100, 150, 200, 260);
+  EXPECT_EQ(MinkowskiExpandedQuery(u0, 30, 40), Rect(70, 180, 160, 300));
+}
+
+TEST(ExpansionTest, ZeroExpandedEqualsMinkowski) {
+  // "the Minkowski Sum of R and U0 is equivalent to a 0-expanded-query".
+  auto pdf = MakeUniform(Rect(0, 100, 0, 60));
+  const Rect p0 = PExpandedQuery(*pdf, 25, 15, 0.0);
+  EXPECT_EQ(p0, MinkowskiExpandedQuery(pdf->bounds(), 25, 15));
+}
+
+TEST(ExpansionTest, PExpandedShrinksWithP) {
+  // "pj >= pk iff the pj-expanded-query is enclosed by the pk-expanded".
+  auto pdf = MakeUniform(Rect(0, 100, 0, 100));
+  const Rect q0 = PExpandedQuery(*pdf, 50, 50, 0.0);
+  const Rect q2 = PExpandedQuery(*pdf, 50, 50, 0.2);
+  const Rect q4 = PExpandedQuery(*pdf, 50, 50, 0.4);
+  EXPECT_TRUE(q0.ContainsRect(q2));
+  EXPECT_TRUE(q2.ContainsRect(q4));
+  EXPECT_LT(q4.Area(), q2.Area());
+}
+
+TEST(ExpansionTest, UniformLemma5Distances) {
+  // Lemma 5: lcb(p) sits d units right of lcb(0) where d is the distance
+  // between l0(0) and l0(p). For a uniform issuer of width 100, p = 0.2
+  // gives d = 20.
+  auto pdf = MakeUniform(Rect(0, 100, 0, 100));
+  const Rect q0 = PExpandedQuery(*pdf, 50, 50, 0.0);
+  const Rect q2 = PExpandedQuery(*pdf, 50, 50, 0.2);
+  EXPECT_DOUBLE_EQ(q2.xmin - q0.xmin, 20.0);
+  EXPECT_DOUBLE_EQ(q0.xmax - q2.xmax, 20.0);
+}
+
+TEST(ExpansionTest, PExpandedCanBecomeEmpty) {
+  // A narrow query with a high threshold cannot be satisfied anywhere.
+  auto pdf = MakeUniform(Rect(0, 100, 0, 100));
+  const Rect q = PExpandedQuery(*pdf, 1, 1, 0.9);
+  EXPECT_TRUE(q.IsEmpty());
+}
+
+TEST(ExpansionTest, CatalogFloorIsConservative) {
+  // The catalog-based filter must enclose the exact Qp-expanded-query.
+  auto pdf = MakeGaussian(Rect(0, 120, 0, 120));
+  UncertainObject issuer(0, pdf->Clone());
+  ASSERT_TRUE(issuer.BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  for (double qp : {0.05, 0.17, 0.33, 0.61, 0.99}) {
+    const Rect from_catalog =
+        PExpandedQueryFromCatalog(*issuer.catalog(), 40, 40, qp);
+    const Rect exact = PExpandedQuery(*pdf, 40, 40, qp);
+    EXPECT_TRUE(from_catalog.ContainsRect(exact)) << "qp=" << qp;
+  }
+}
+
+TEST(ExpansionTest, CatalogExactValueMatches) {
+  // When Qp is exactly catalogued the two constructions coincide.
+  auto pdf = MakeUniform(Rect(0, 100, 0, 100));
+  UncertainObject issuer(0, pdf->Clone());
+  ASSERT_TRUE(issuer.BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  const Rect from_catalog =
+      PExpandedQueryFromCatalog(*issuer.catalog(), 30, 30, 0.3);
+  const Rect exact = PExpandedQuery(*pdf, 30, 30, 0.3);
+  EXPECT_NEAR(from_catalog.xmin, exact.xmin, 1e-9);
+  EXPECT_NEAR(from_catalog.xmax, exact.xmax, 1e-9);
+}
+
+// Definition 7 / Lemma 5 property: any point outside the p-expanded-query
+// has qualification probability <= p. Swept over pdf families and random
+// geometry.
+class PExpandedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PExpandedPropertyTest, OutsidePointsQualifyBelowP) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 20, 200);
+    std::unique_ptr<UncertaintyPdf> pdf;
+    if (iter % 2 == 0) {
+      pdf = MakeUniform(region);
+    } else {
+      pdf = MakeGaussian(region);
+    }
+    const double w = rng.Uniform(10, 150);
+    const double h = rng.Uniform(10, 150);
+    const double p = rng.Uniform(0.05, 0.95);
+    const Rect expanded = PExpandedQuery(*pdf, w, h, p);
+    for (int s = 0; s < 40; ++s) {
+      const Point probe(rng.Uniform(-100, 1100), rng.Uniform(-100, 1100));
+      if (expanded.Contains(probe)) continue;
+      const double pi = PointQualification(*pdf, probe, w, h);
+      EXPECT_LE(pi, p + 1e-9)
+          << "outside point qualified with " << pi << " > " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PExpandedPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,228 @@
+// Differential fuzzing: on randomized datasets, issuers and query shapes,
+// every independent evaluation path must tell the same story —
+//   * enhanced vs basic evaluators,
+//   * analytic kernels vs Monte-Carlo,
+//   * Minkowski vs p-expanded filtering,
+//   * R-tree vs PTI vs grid vs linear scan,
+//   * rectangular vs equivalent degenerate configurations.
+// Seeds parameterize whole universes, so each TEST_P instance explores a
+// different random world.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/circular.h"
+#include "core/duality.h"
+#include "core/engine.h"
+#include "core/inn.h"
+#include "index/grid_index.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, FilterChainsAgreeOnAnswers) {
+  Rng rng(GetParam());
+  // Random mixed-pdf dataset.
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> objects;
+  for (size_t i = 0; i < 400; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 5, 90);
+    std::unique_ptr<UncertaintyPdf> pdf;
+    switch (i % 3) {
+      case 0:
+        pdf = MakeUniform(region);
+        break;
+      case 1:
+        pdf = MakeGaussian(region);
+        break;
+      default:
+        pdf = MakeSkewedHistogram(region, 3, 3, GetParam() + i);
+        break;
+    }
+    objects.emplace_back(static_cast<ObjectId>(i + 1), std::move(pdf));
+  }
+  Result<QueryEngine> built =
+      QueryEngine::Build(std::move(points), std::move(objects));
+  ASSERT_TRUE(built.ok());
+  const QueryEngine& engine = *built;
+
+  for (int round = 0; round < 6; ++round) {
+    const double u = rng.Uniform(5, 200);
+    const double cx = rng.Uniform(u, 1000 - u);
+    const double cy = rng.Uniform(u, 1000 - u);
+    const Rect region(cx - u, cx + u, cy - u, cy + u);
+    Result<UncertainObject> issuer = engine.MakeIssuer(
+        round % 2 == 0
+            ? std::unique_ptr<UncertaintyPdf>(MakeUniform(region))
+            : std::unique_ptr<UncertaintyPdf>(MakeGaussian(region)));
+    ASSERT_TRUE(issuer.ok());
+    const RangeQuerySpec spec(rng.Uniform(20, 250), rng.Uniform(20, 250),
+                              rng.Uniform(0.0, 1.0));
+
+    // C-IPQ: both filters identical answers.
+    auto by_id = [](const AnswerSet& a) {
+      std::map<ObjectId, double> m;
+      for (const auto& x : a) m[x.id] = x.probability;
+      return m;
+    };
+    EXPECT_EQ(by_id(engine.Cipq(*issuer, spec, CipqFilter::kMinkowski)),
+              by_id(engine.Cipq(*issuer, spec, CipqFilter::kPExpanded)));
+
+    // C-IUQ: R-tree baseline == PTI with all strategies.
+    EXPECT_EQ(by_id(engine.CiuqRTree(*issuer, spec)),
+              by_id(engine.CiuqPti(*issuer, spec)));
+
+    // IPQ via the engine == direct duality over a scan.
+    const std::map<ObjectId, double> ipq =
+        by_id(engine.Ipq(*issuer, spec));
+    std::map<ObjectId, double> scan;
+    for (const PointObject& s : engine.points()) {
+      const double pi =
+          PointQualification(issuer->pdf(), s.location, spec.w, spec.h);
+      if (pi > 0) scan[s.id] = pi;
+    }
+    EXPECT_EQ(ipq.size(), scan.size());
+    for (const auto& [id, pi] : ipq) {
+      EXPECT_NEAR(pi, scan.at(id), 1e-9);
+    }
+  }
+}
+
+TEST_P(FuzzTest, IndexesAgreeOnCandidateSets) {
+  Rng rng(GetParam() * 31);
+  const Rect space(0, 1000, 0, 1000);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 1500; ++i) {
+    items.push_back(
+        {RandomRect(&rng, space, 1, 70), static_cast<ObjectId>(i)});
+  }
+  Result<RTree> rtree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(rtree.ok());
+  Result<GridIndex> grid_made = GridIndex::Create(space, 24, 24);
+  ASSERT_TRUE(grid_made.ok());
+  GridIndex grid = std::move(grid_made).ValueOrDie();
+  for (const RTree::Item& item : items) grid.Insert(item.box, item.id);
+
+  for (int q = 0; q < 40; ++q) {
+    const Rect range = RandomRect(&rng, space, 10, 350);
+    std::vector<ObjectId> a = rtree->QueryIds(range);
+    std::vector<ObjectId> b = grid.QueryIds(range);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(FuzzTest, KernelsAgreeAcrossPdfFamilies) {
+  Rng rng(GetParam() * 77);
+  for (int round = 0; round < 8; ++round) {
+    const Rect u0 = RandomRect(&rng, Rect(0, 800, 0, 800), 40, 200);
+    const Rect ui = RandomRect(&rng, Rect(0, 800, 0, 800), 20, 150);
+    const double w = rng.Uniform(20, 200);
+    const double h = rng.Uniform(20, 200);
+    auto issuer = (round % 2 == 0)
+                      ? std::unique_ptr<UncertaintyPdf>(MakeUniform(u0))
+                      : std::unique_ptr<UncertaintyPdf>(MakeGaussian(u0));
+    auto object =
+        (round % 3 == 0)
+            ? std::unique_ptr<UncertaintyPdf>(
+                  MakeSkewedHistogram(ui, 4, 3,
+                                      GetParam() + 100 +
+                                          static_cast<uint64_t>(round)))
+        : (round % 3 == 1)
+            ? std::unique_ptr<UncertaintyPdf>(MakeUniform(ui))
+            : std::unique_ptr<UncertaintyPdf>(MakeGaussian(ui));
+
+    const double analytic =
+        UncertainQualification(*issuer, *object, w, h, 16);
+    Rng mc_rng(GetParam() * 1000 + static_cast<uint64_t>(round));
+    const double mc =
+        UncertainQualificationMC(*issuer, *object, w, h, 150000, &mc_rng);
+    EXPECT_NEAR(analytic, mc, 0.01)
+        << issuer->name() << " x " << object->name() << " round " << round;
+  }
+}
+
+TEST_P(FuzzTest, InnEvaluatorsAgree) {
+  Rng rng(GetParam() * 131);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 250; ++i) {
+    items.push_back({Rect::AtPoint(Point(rng.Uniform(0, 1000),
+                                         rng.Uniform(0, 1000))),
+                     static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  for (int round = 0; round < 3; ++round) {
+    const Rect u0 = RandomRect(&rng, Rect(50, 950, 50, 950), 80, 300);
+    const AnswerSet exact = EvaluateINNExactUniform(*tree, u0);
+    double sum = 0.0;
+    for (const auto& a : exact) sum += a.probability;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    UncertainObject issuer(0, MakeUniform(u0));
+    InnOptions options;
+    options.samples = 20000;
+    options.seed = GetParam() + static_cast<uint64_t>(round);
+    const AnswerSet mc = EvaluateINN(*tree, issuer, options);
+    std::map<ObjectId, double> exact_by_id;
+    for (const auto& a : exact) exact_by_id[a.id] = a.probability;
+    for (const auto& a : mc) {
+      ASSERT_TRUE(exact_by_id.count(a.id));
+      EXPECT_NEAR(a.probability, exact_by_id[a.id], 0.025);
+    }
+  }
+}
+
+TEST_P(FuzzTest, CircularAndRectangularConsistent) {
+  // A disk issuer's answers must be a subset of its bounding-box issuer's
+  // candidates, and probabilities must stay in range.
+  Rng rng(GetParam() * 17);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 1000; ++i) {
+    items.push_back({Rect::AtPoint(Point(rng.Uniform(0, 1000),
+                                         rng.Uniform(0, 1000))),
+                     static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  for (int round = 0; round < 5; ++round) {
+    const double r = rng.Uniform(30, 150);
+    const Circle disk(Point(rng.Uniform(200, 800), rng.Uniform(200, 800)),
+                      r);
+    Result<UniformDiskPdf> issuer = UniformDiskPdf::Make(disk);
+    ASSERT_TRUE(issuer.ok());
+    const RangeQuerySpec spec(rng.Uniform(40, 200), rng.Uniform(40, 200));
+    const AnswerSet disk_answers =
+        EvaluateIPQCircular(*tree, *issuer, spec);
+    // Reference via scan.
+    std::map<ObjectId, double> scan;
+    tree->Query(Rect(-1, 1001, -1, 1001), [&](const Rect& box, ObjectId id) {
+      const double pi =
+          PointQualification(*issuer, box.Center(), spec.w, spec.h);
+      if (pi > 0) scan[id] = pi;
+    });
+    ASSERT_EQ(disk_answers.size(), scan.size());
+    for (const auto& a : disk_answers) {
+      EXPECT_NEAR(a.probability, scan.at(a.id), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, FuzzTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006));
+
+}  // namespace
+}  // namespace ilq

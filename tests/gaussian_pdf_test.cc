@@ -1,0 +1,122 @@
+#include "prob/gaussian_pdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/integrate.h"
+
+namespace ilq {
+namespace {
+
+TruncatedGaussianPdf MakePaper(const Rect& r) {
+  Result<TruncatedGaussianPdf> made =
+      TruncatedGaussianPdf::MakePaperDefault(r);
+  EXPECT_TRUE(made.ok());
+  return std::move(made).ValueOrDie();
+}
+
+TEST(GaussianPdfTest, RejectsBadArguments) {
+  EXPECT_FALSE(TruncatedGaussianPdf::Make(Rect::Empty(), 1, 1).ok());
+  EXPECT_FALSE(TruncatedGaussianPdf::Make(Rect(0, 1, 0, 1), 0, 1).ok());
+  EXPECT_FALSE(TruncatedGaussianPdf::Make(Rect(0, 1, 0, 1), 1, -2).ok());
+}
+
+TEST(GaussianPdfTest, PaperDefaultSigmaIsSixthOfExtent) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 60, 0, 120));
+  EXPECT_DOUBLE_EQ(pdf.sigma_x(), 10.0);
+  EXPECT_DOUBLE_EQ(pdf.sigma_y(), 20.0);
+}
+
+TEST(GaussianPdfTest, TotalMassIsOne) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(-3, 3, -3, 3));
+  EXPECT_NEAR(pdf.MassIn(Rect(-10, 10, -10, 10)), 1.0, 1e-12);
+}
+
+TEST(GaussianPdfTest, DensityIntegratesToOne) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 6, 0, 4));
+  const double mass = IntegrateGL2D(
+      [&](double x, double y) { return pdf.Density(Point(x, y)); },
+      Rect(0, 6, 0, 4), 64, 64);
+  EXPECT_NEAR(mass, 1.0, 1e-8);
+}
+
+TEST(GaussianPdfTest, DensityZeroOutsideRegion) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 6, 0, 4));
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(-0.1, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(3, 4.01)), 0.0);
+  EXPECT_GT(pdf.Density(Point(3, 2)), 0.0);
+}
+
+TEST(GaussianPdfTest, MassConcentratedAtCenter) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 60, 0, 60));
+  // Central ±1σ square should hold far more mass than a corner square of
+  // the same size.
+  const double central = pdf.MassIn(Rect(20, 40, 20, 40));
+  const double corner = pdf.MassIn(Rect(0, 20, 0, 20));
+  EXPECT_GT(central, 5.0 * corner);
+}
+
+TEST(GaussianPdfTest, CdfMatchesMassIn) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 10, 0, 10));
+  for (double x = 0.0; x <= 10.0; x += 1.0) {
+    EXPECT_NEAR(pdf.CdfX(x), pdf.MassIn(Rect(0, x, 0, 10)), 1e-12);
+  }
+}
+
+TEST(GaussianPdfTest, QuantileInvertsCdf) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 10, -5, 5));
+  for (double p = 0.01; p < 1.0; p += 0.07) {
+    EXPECT_NEAR(pdf.CdfX(pdf.QuantileX(p)), p, 1e-9);
+    EXPECT_NEAR(pdf.CdfY(pdf.QuantileY(p)), p, 1e-9);
+  }
+}
+
+TEST(GaussianPdfTest, QuantileSymmetricAroundCenter) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 10, 0, 10));
+  EXPECT_NEAR(pdf.QuantileX(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(pdf.QuantileX(0.25) + pdf.QuantileX(0.75), 10.0, 1e-9);
+}
+
+TEST(GaussianPdfTest, MarginalIntegratesToOne) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 10, 0, 4));
+  const double mx = IntegrateGL(
+      [&](double x) { return pdf.MarginalPdfX(x); }, 0, 10, 64);
+  EXPECT_NEAR(mx, 1.0, 1e-10);
+  const double my = IntegrateGL(
+      [&](double y) { return pdf.MarginalPdfY(y); }, 0, 4, 64);
+  EXPECT_NEAR(my, 1.0, 1e-10);
+}
+
+TEST(GaussianPdfTest, SampleMomentsMatchTruncatedNormal) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 60, 0, 60));
+  Rng rng(5);
+  const int n = 40000;
+  double sx = 0.0;
+  double sx2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Point p = pdf.Sample(&rng);
+    ASSERT_TRUE(pdf.bounds().Contains(p));
+    sx += p.x;
+    sx2 += p.x * p.x;
+  }
+  const double mean = sx / n;
+  const double var = sx2 / n - mean * mean;
+  EXPECT_NEAR(mean, 30.0, 0.2);
+  // ±3σ truncation keeps the variance within ~1.5% of σ² = 100.
+  EXPECT_NEAR(var, 100.0, 5.0);
+}
+
+TEST(GaussianPdfTest, MassInMatchesSampleFrequency) {
+  const TruncatedGaussianPdf pdf = MakePaper(Rect(0, 30, 0, 30));
+  const Rect probe(5, 17, 9, 22);
+  Rng rng(6);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (probe.Contains(pdf.Sample(&rng))) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, pdf.MassIn(probe), 0.01);
+}
+
+}  // namespace
+}  // namespace ilq

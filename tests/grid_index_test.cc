@@ -1,0 +1,112 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::RandomRect;
+
+TEST(GridIndexTest, CreateValidatesArguments) {
+  EXPECT_FALSE(GridIndex::Create(Rect::Empty(), 4, 4).ok());
+  EXPECT_FALSE(GridIndex::Create(Rect(0, 1, 0, 1), 0, 4).ok());
+  EXPECT_TRUE(GridIndex::Create(Rect(0, 1, 0, 1), 1, 1).ok());
+}
+
+TEST(GridIndexTest, SingleItemFound) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 10, 10);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  grid.Insert(Rect(10, 20, 10, 20), 42);
+  const std::vector<ObjectId> got = grid.QueryIds(Rect(15, 16, 15, 16));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42u);
+  EXPECT_TRUE(grid.QueryIds(Rect(50, 60, 50, 60)).empty());
+}
+
+TEST(GridIndexTest, SpanningItemReportedOnce) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 10, 10);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  grid.Insert(Rect(5, 95, 5, 95), 1);  // spans nearly every cell
+  const std::vector<ObjectId> got = grid.QueryIds(Rect(0, 100, 0, 100));
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(GridIndexTest, MatchesBruteForce) {
+  const Rect space(0, 1000, 0, 1000);
+  Result<GridIndex> made = GridIndex::Create(space, 32, 32);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  Rng rng(21);
+  std::vector<std::pair<Rect, ObjectId>> items;
+  for (size_t i = 0; i < 3000; ++i) {
+    const Rect box = RandomRect(&rng, space, 0.5, 60);
+    items.emplace_back(box, static_cast<ObjectId>(i));
+    grid.Insert(box, static_cast<ObjectId>(i));
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Rect range = RandomRect(&rng, space, 10, 300);
+    std::set<ObjectId> expected;
+    for (const auto& [box, id] : items) {
+      if (box.Intersects(range)) expected.insert(id);
+    }
+    const std::vector<ObjectId> got = grid.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()), expected);
+    EXPECT_EQ(got.size(), expected.size());  // dedup by stamp
+  }
+}
+
+TEST(GridIndexTest, QueryOutsideSpaceIsEmpty) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 4, 4);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  grid.Insert(Rect(10, 20, 10, 20), 1);
+  EXPECT_TRUE(grid.QueryIds(Rect(200, 300, 200, 300)).empty());
+}
+
+TEST(GridIndexTest, StatsCountCellAccesses) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 10, 10);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  for (int i = 0; i < 100; ++i) {
+    grid.Insert(Rect(i % 10 * 10.0 + 2, i % 10 * 10.0 + 4,
+                     i / 10 * 10.0 + 2, i / 10 * 10.0 + 4),
+                static_cast<ObjectId>(i));
+  }
+  IndexStats stats;
+  grid.QueryIds(Rect(0, 35, 0, 35), &stats);
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_GT(stats.candidates, 0u);
+}
+
+TEST(GridIndexTest, PointDataWorks) {
+  const Rect space(0, 100, 0, 100);
+  Result<GridIndex> made = GridIndex::Create(space, 16, 16);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  Rng rng(22);
+  std::vector<std::pair<Point, ObjectId>> pts;
+  for (size_t i = 0; i < 2000; ++i) {
+    const Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    pts.emplace_back(p, static_cast<ObjectId>(i));
+    grid.Insert(Rect::AtPoint(p), static_cast<ObjectId>(i));
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Rect range = RandomRect(&rng, space, 5, 40);
+    std::set<ObjectId> expected;
+    for (const auto& [p, id] : pts) {
+      if (range.Contains(p)) expected.insert(id);
+    }
+    const std::vector<ObjectId> got = grid.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()), expected);
+  }
+}
+
+}  // namespace
+}  // namespace ilq

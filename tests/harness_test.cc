@@ -1,0 +1,58 @@
+#include "benchutil/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ilq {
+namespace {
+
+TEST(HarnessEnvTest, QueriesDefaultWithoutEnv) {
+  unsetenv("ILQ_BENCH_QUERIES");
+  EXPECT_EQ(BenchQueriesPerPoint(120), 120u);
+}
+
+TEST(HarnessEnvTest, QueriesParsesEnv) {
+  setenv("ILQ_BENCH_QUERIES", "500", 1);
+  EXPECT_EQ(BenchQueriesPerPoint(120), 500u);
+  unsetenv("ILQ_BENCH_QUERIES");
+}
+
+TEST(HarnessEnvTest, QueriesIgnoresGarbage) {
+  setenv("ILQ_BENCH_QUERIES", "not-a-number", 1);
+  EXPECT_EQ(BenchQueriesPerPoint(120), 120u);
+  setenv("ILQ_BENCH_QUERIES", "-5", 1);
+  EXPECT_EQ(BenchQueriesPerPoint(120), 120u);
+  unsetenv("ILQ_BENCH_QUERIES");
+}
+
+TEST(HarnessEnvTest, ScaleDefaultsAndClamps) {
+  unsetenv("ILQ_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
+  setenv("ILQ_BENCH_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 0.25);
+  setenv("ILQ_BENCH_SCALE", "7.0", 1);  // out of range -> default
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
+  setenv("ILQ_BENCH_SCALE", "0", 1);
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
+  unsetenv("ILQ_BENCH_SCALE");
+}
+
+TEST(HarnessTest, CsvWriteFailsOnBadPath) {
+  SeriesTable table("t", "x", {"m"});
+  table.AddRow(1, {CellResult{}});
+  const Status status = table.WriteCsv("/nonexistent/dir/out.csv");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+TEST(HarnessTest, RunCellTimesEveryIssuer) {
+  // Empty issuer list yields a zeroed cell rather than dividing by zero.
+  const CellResult empty = RunCell({}, [](const UncertainObject&,
+                                          IndexStats*) { return size_t{0}; });
+  EXPECT_EQ(empty.queries, 0u);
+  EXPECT_EQ(empty.mean_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,129 @@
+#include "prob/histogram_pdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/integrate.h"
+
+namespace ilq {
+namespace {
+
+HistogramPdf Make(const Rect& region, size_t nx, size_t ny,
+                  std::vector<double> weights) {
+  Result<HistogramPdf> made =
+      HistogramPdf::Make(region, nx, ny, std::move(weights));
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  return std::move(made).ValueOrDie();
+}
+
+TEST(HistogramPdfTest, RejectsBadArguments) {
+  EXPECT_FALSE(HistogramPdf::Make(Rect::Empty(), 2, 2, {1, 1, 1, 1}).ok());
+  EXPECT_FALSE(HistogramPdf::Make(Rect(0, 1, 0, 1), 0, 2, {}).ok());
+  EXPECT_FALSE(HistogramPdf::Make(Rect(0, 1, 0, 1), 2, 2, {1, 1}).ok());
+  EXPECT_FALSE(
+      HistogramPdf::Make(Rect(0, 1, 0, 1), 2, 2, {1, -1, 1, 1}).ok());
+  EXPECT_FALSE(
+      HistogramPdf::Make(Rect(0, 1, 0, 1), 2, 2, {0, 0, 0, 0}).ok());
+}
+
+TEST(HistogramPdfTest, UniformWeightsBehaveUniformly) {
+  const HistogramPdf pdf = Make(Rect(0, 4, 0, 4), 4, 4,
+                                std::vector<double>(16, 1.0));
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 2, 0, 4)), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1, 1)), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(1), 0.25);
+}
+
+TEST(HistogramPdfTest, TotalMassIsOne) {
+  Rng rng(4);
+  std::vector<double> w(24);
+  for (double& v : w) v = rng.NextDouble() + 0.01;
+  const HistogramPdf pdf = Make(Rect(-3, 9, 2, 10), 6, 4, w);
+  EXPECT_NEAR(pdf.MassIn(Rect(-100, 100, -100, 100)), 1.0, 1e-12);
+}
+
+TEST(HistogramPdfTest, MassInPartialCells) {
+  // 2x1 grid: left cell 75% of mass, right cell 25%.
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 1), 2, 1, {3, 1});
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 1, 0, 1)), 0.75);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 0.5, 0, 1)), 0.375);  // half a cell
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0.5, 1.5, 0, 1)), 0.375 + 0.125);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 2, 0, 0.5)), 0.5);
+}
+
+TEST(HistogramPdfTest, DensityStepsBetweenCells) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 1), 2, 1, {3, 1});
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(0.5, 0.5)), 0.75);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1.5, 0.5)), 0.25);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(2.5, 0.5)), 0.0);
+}
+
+TEST(HistogramPdfTest, CdfPiecewiseLinear) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 1), 2, 1, {3, 1});
+  EXPECT_DOUBLE_EQ(pdf.CdfX(0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(0.5), 0.375);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(1.5), 0.875);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(2.0), 1.0);
+}
+
+TEST(HistogramPdfTest, QuantileInvertsCdf) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 2), 2, 2, {3, 1, 2, 2});
+  for (double p = 0.05; p < 1.0; p += 0.07) {
+    EXPECT_NEAR(pdf.CdfX(pdf.QuantileX(p)), p, 1e-9) << "p=" << p;
+    EXPECT_NEAR(pdf.CdfY(pdf.QuantileY(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(HistogramPdfTest, MarginalsIntegrateToOne) {
+  const HistogramPdf pdf = Make(Rect(0, 3, 0, 2), 3, 2, {1, 5, 2, 4, 1, 3});
+  // The marginal density is piecewise constant — integrate cell by cell so
+  // quadrature is exact.
+  double mx = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    mx += IntegrateGL([&](double x) { return pdf.MarginalPdfX(x); }, c,
+                      c + 1, 8);
+  }
+  EXPECT_NEAR(mx, 1.0, 1e-12);
+  double my = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    my += IntegrateGL([&](double y) { return pdf.MarginalPdfY(y); }, c,
+                      c + 1, 8);
+  }
+  EXPECT_NEAR(my, 1.0, 1e-12);
+}
+
+TEST(HistogramPdfTest, BreakpointsReportInteriorCellLines) {
+  const HistogramPdf pdf = Make(Rect(0, 3, 0, 2), 3, 2,
+                                std::vector<double>(6, 1.0));
+  std::vector<double> bx;
+  pdf.AppendBreakpointsX(&bx);
+  ASSERT_EQ(bx.size(), 2u);
+  EXPECT_DOUBLE_EQ(bx[0], 1.0);
+  EXPECT_DOUBLE_EQ(bx[1], 2.0);
+  std::vector<double> by;
+  pdf.AppendBreakpointsY(&by);
+  ASSERT_EQ(by.size(), 1u);
+  EXPECT_DOUBLE_EQ(by[0], 1.0);
+}
+
+TEST(HistogramPdfTest, SamplingMatchesCellMasses) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 1), 2, 1, {3, 1});
+  Rng rng(8);
+  const int n = 100000;
+  int left = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p = pdf.Sample(&rng);
+    ASSERT_TRUE(pdf.bounds().Contains(p));
+    if (p.x < 1.0) ++left;
+  }
+  EXPECT_NEAR(static_cast<double>(left) / n, 0.75, 0.01);
+}
+
+TEST(HistogramPdfTest, NotProduct) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 1), 2, 1, {3, 1});
+  EXPECT_FALSE(pdf.IsProduct());
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,249 @@
+#include "core/inn.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+
+struct Fixture {
+  std::vector<PointObject> objects;
+  RTree index;
+};
+
+Fixture MakePoints(std::vector<Point> locations) {
+  std::vector<PointObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < locations.size(); ++i) {
+    objects.emplace_back(static_cast<ObjectId>(i + 1), locations[i]);
+    items.push_back(
+        {Rect::AtPoint(locations[i]), static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+Fixture MakeRandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> locations;
+  for (size_t i = 0; i < n; ++i) {
+    locations.emplace_back(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+  }
+  return MakePoints(std::move(locations));
+}
+
+double Sum(const AnswerSet& answers) {
+  double s = 0.0;
+  for (const auto& a : answers) s += a.probability;
+  return s;
+}
+
+TEST(InnTest, EmptyIndexYieldsNothing) {
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, {});
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(0, 10, 0, 10)));
+  EXPECT_TRUE(EvaluateINN(*tree, issuer, {}).empty());
+  EXPECT_TRUE(EvaluateINNGrid(*tree, issuer, {}).empty());
+}
+
+TEST(InnTest, ProbabilitiesSumToOne) {
+  Fixture fixture = MakeRandomPoints(500, 181);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  InnOptions options;
+  options.samples = 2000;
+  const AnswerSet mc = EvaluateINN(fixture.index, issuer, options);
+  EXPECT_NEAR(Sum(mc), 1.0, 1e-9);
+  const AnswerSet grid = EvaluateINNGrid(fixture.index, issuer, options);
+  EXPECT_NEAR(Sum(grid), 1.0, 1e-9);
+}
+
+TEST(InnTest, NearlyPreciseIssuerPicksTrueNN) {
+  Fixture fixture = MakeRandomPoints(300, 182);
+  // A 0.02-wide issuer region is effectively a point at (400, 400).
+  UncertainObject issuer(0,
+                         MakeUniform(Rect(399.99, 400.01, 399.99, 400.01)));
+  // Brute-force NN of (400, 400).
+  ObjectId expected = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const PointObject& s : fixture.objects) {
+    const double d = s.location.SquaredDistanceTo(Point(400, 400));
+    if (d < best) {
+      best = d;
+      expected = s.id;
+    }
+  }
+  const AnswerSet got = EvaluateINN(fixture.index, issuer, {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, expected);
+  EXPECT_DOUBLE_EQ(got[0].probability, 1.0);
+}
+
+TEST(InnTest, SymmetricConfigurationSplitsEvenly) {
+  // Two objects mirrored about the issuer's centre line split the
+  // probability ~50/50.
+  Fixture fixture = MakePoints({Point(400, 500), Point(600, 500)});
+  UncertainObject issuer(0, MakeUniform(Rect(450, 550, 450, 550)));
+  InnOptions options;
+  options.samples = 20000;
+  const AnswerSet got = EvaluateINN(fixture.index, issuer, options);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& a : got) {
+    EXPECT_NEAR(a.probability, 0.5, 0.02);
+  }
+}
+
+TEST(InnTest, GridAndMonteCarloAgree) {
+  Fixture fixture = MakeRandomPoints(200, 183);
+  UncertainObject issuer(0, MakeUniform(Rect(200, 600, 300, 700)));
+  InnOptions options;
+  options.samples = 30000;
+  options.grid_per_axis = 64;
+  const AnswerSet mc = EvaluateINN(fixture.index, issuer, options);
+  const AnswerSet grid = EvaluateINNGrid(fixture.index, issuer, options);
+  std::map<ObjectId, double> grid_by_id;
+  for (const auto& a : grid) grid_by_id[a.id] = a.probability;
+  for (const auto& a : mc) {
+    if (a.probability < 0.02) continue;  // both tails are noisy
+    ASSERT_TRUE(grid_by_id.count(a.id)) << "object " << a.id;
+    EXPECT_NEAR(a.probability, grid_by_id[a.id], 0.03);
+  }
+}
+
+TEST(InnTest, GaussianIssuerFavoursCentralObject) {
+  // With a centre-peaked issuer pdf the object at the centre wins far more
+  // often than under a uniform pdf.
+  Fixture fixture = MakePoints(
+      {Point(500, 500), Point(380, 500), Point(620, 500), Point(500, 380),
+       Point(500, 620)});
+  InnOptions options;
+  options.samples = 20000;
+  UncertainObject uniform_issuer(0, MakeUniform(Rect(350, 650, 350, 650)));
+  UncertainObject gaussian_issuer(0, MakeGaussian(Rect(350, 650, 350, 650)));
+  auto central_probability = [&](const UncertainObject& issuer) {
+    for (const auto& a : EvaluateINN(fixture.index, issuer, options)) {
+      if (a.id == 1) return a.probability;
+    }
+    return 0.0;
+  };
+  const double uniform_p = central_probability(uniform_issuer);
+  const double gaussian_p = central_probability(gaussian_issuer);
+  EXPECT_GT(gaussian_p, uniform_p + 0.1);
+}
+
+TEST(InnTest, DistantObjectHasZeroProbability) {
+  Fixture fixture = MakePoints(
+      {Point(500, 500), Point(520, 500), Point(5000, 5000)});
+  UncertainObject issuer(0, MakeUniform(Rect(480, 540, 480, 520)));
+  InnOptions options;
+  options.samples = 5000;
+  const AnswerSet got = EvaluateINN(fixture.index, issuer, options);
+  for (const auto& a : got) {
+    EXPECT_NE(a.id, 3u) << "far object can never be nearest";
+  }
+}
+
+TEST(InnExactTest, TwoSymmetricObjectsSplitExactlyInHalf) {
+  Fixture fixture = MakePoints({Point(400, 500), Point(600, 500)});
+  const AnswerSet got =
+      EvaluateINNExactUniform(fixture.index, Rect(450, 550, 450, 550));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(got[1].probability, 0.5);
+}
+
+TEST(InnExactTest, ProbabilitiesSumToOne) {
+  Fixture fixture = MakeRandomPoints(400, 186);
+  const AnswerSet got =
+      EvaluateINNExactUniform(fixture.index, Rect(300, 700, 200, 600));
+  EXPECT_NEAR(Sum(got), 1.0, 1e-9);
+}
+
+TEST(InnExactTest, MatchesMonteCarlo) {
+  Fixture fixture = MakeRandomPoints(300, 187);
+  const Rect u0(250, 650, 350, 750);
+  const AnswerSet exact = EvaluateINNExactUniform(fixture.index, u0);
+  UncertainObject issuer(0, MakeUniform(u0));
+  InnOptions options;
+  options.samples = 40000;
+  const AnswerSet mc = EvaluateINN(fixture.index, issuer, options);
+  std::map<ObjectId, double> exact_by_id;
+  for (const auto& a : exact) exact_by_id[a.id] = a.probability;
+  for (const auto& a : mc) {
+    ASSERT_TRUE(exact_by_id.count(a.id)) << "object " << a.id;
+    EXPECT_NEAR(a.probability, exact_by_id[a.id], 0.02);
+  }
+}
+
+TEST(InnExactTest, MatchesGridEvaluator) {
+  Fixture fixture = MakeRandomPoints(150, 188);
+  const Rect u0(100, 500, 500, 900);
+  const AnswerSet exact = EvaluateINNExactUniform(fixture.index, u0);
+  UncertainObject issuer(0, MakeUniform(u0));
+  InnOptions options;
+  options.grid_per_axis = 128;
+  const AnswerSet grid = EvaluateINNGrid(fixture.index, issuer, options);
+  std::map<ObjectId, double> grid_by_id;
+  for (const auto& a : grid) grid_by_id[a.id] = a.probability;
+  for (const auto& a : exact) {
+    if (a.probability < 0.005) continue;  // below grid resolution
+    ASSERT_TRUE(grid_by_id.count(a.id)) << "object " << a.id;
+    EXPECT_NEAR(a.probability, grid_by_id[a.id], 0.01);
+  }
+}
+
+TEST(InnExactTest, SingleObjectIsCertain) {
+  Fixture fixture = MakePoints({Point(123, 456)});
+  const AnswerSet got =
+      EvaluateINNExactUniform(fixture.index, Rect(0, 100, 0, 100));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].probability, 1.0);
+}
+
+TEST(InnExactTest, CoLocatedObjectsTieBreakById) {
+  Fixture fixture = MakePoints({Point(500, 500), Point(500, 500)});
+  const AnswerSet got =
+      EvaluateINNExactUniform(fixture.index, Rect(400, 600, 400, 600));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_DOUBLE_EQ(got[0].probability, 1.0);
+}
+
+TEST(InnExactTest, EmptyIndexYieldsNothing) {
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(EvaluateINNExactUniform(*tree, Rect(0, 10, 0, 10)).empty());
+}
+
+TEST(InnTest, StatsAccumulateNodeAccesses) {
+  Fixture fixture = MakeRandomPoints(5000, 184);
+  UncertainObject issuer(0, MakeUniform(Rect(400, 600, 400, 600)));
+  InnOptions options;
+  options.samples = 100;
+  IndexStats stats;
+  EvaluateINN(fixture.index, issuer, options, &stats);
+  EXPECT_GT(stats.node_accesses, 100u);  // at least one node per sample
+}
+
+TEST(InnTest, DeterministicForFixedSeed) {
+  Fixture fixture = MakeRandomPoints(300, 185);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  InnOptions options;
+  options.samples = 1000;
+  const AnswerSet a = EvaluateINN(fixture.index, issuer, options);
+  const AnswerSet b = EvaluateINN(fixture.index, issuer, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].probability, b[i].probability);
+  }
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,87 @@
+#include "prob/integrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ilq {
+namespace {
+
+TEST(GaussLegendreTest, RuleWeightsSumToTwo) {
+  for (size_t n : {1u, 2u, 5u, 16u, 33u, 64u}) {
+    const GaussLegendreRule& rule = GetGaussLegendreRule(n);
+    ASSERT_EQ(rule.nodes.size(), n);
+    double sum = 0.0;
+    for (double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "order " << n;
+  }
+}
+
+TEST(GaussLegendreTest, NodesSortedInsideInterval) {
+  const GaussLegendreRule& rule = GetGaussLegendreRule(16);
+  for (size_t i = 0; i < rule.nodes.size(); ++i) {
+    EXPECT_GT(rule.nodes[i], -1.0);
+    EXPECT_LT(rule.nodes[i], 1.0);
+    if (i > 0) {
+      EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+    }
+  }
+}
+
+TEST(GaussLegendreTest, ExactForPolynomials) {
+  // Order n integrates degree 2n-1 exactly: check x^7 with n = 4.
+  const double got = IntegrateGL(
+      [](double x) { return 7 * std::pow(x, 6); }, 0.0, 2.0, 4);
+  EXPECT_NEAR(got, 128.0, 1e-9);
+}
+
+TEST(GaussLegendreTest, SmoothFunction) {
+  const double got =
+      IntegrateGL([](double x) { return std::sin(x); }, 0.0, 3.14159265358979,
+                  16);
+  EXPECT_NEAR(got, 2.0, 1e-12);
+}
+
+TEST(GaussLegendreTest, EmptyIntervalIsZero) {
+  EXPECT_EQ(IntegrateGL([](double) { return 1.0; }, 2.0, 2.0, 8), 0.0);
+  EXPECT_EQ(IntegrateGL([](double) { return 1.0; }, 3.0, 2.0, 8), 0.0);
+}
+
+TEST(GaussLegendre2DTest, ConstantOverRect) {
+  const double got = IntegrateGL2D([](double, double) { return 3.0; },
+                                   Rect(0, 2, 0, 5), 4, 4);
+  EXPECT_NEAR(got, 30.0, 1e-12);
+}
+
+TEST(GaussLegendre2DTest, SeparablePolynomial) {
+  // ∫∫ x^2 y over [0,1]x[0,2] = (1/3)(2) = 2/3.
+  const double got = IntegrateGL2D(
+      [](double x, double y) { return x * x * y; }, Rect(0, 1, 0, 2), 8, 8);
+  EXPECT_NEAR(got, 2.0 / 3.0, 1e-12);
+}
+
+TEST(GaussLegendre2DTest, EmptyRectIsZero) {
+  EXPECT_EQ(IntegrateGL2D([](double, double) { return 1.0; }, Rect::Empty(),
+                          4, 4),
+            0.0);
+}
+
+TEST(MonteCarloTest, MeanOfConstantIsConstant) {
+  Rng rng(1);
+  const double got = MonteCarloMean(
+      [](Rng* r) { return Point(r->NextDouble(), r->NextDouble()); },
+      [](const Point&) { return 2.5; }, 100, &rng);
+  EXPECT_DOUBLE_EQ(got, 2.5);
+}
+
+TEST(MonteCarloTest, EstimatesExpectation) {
+  Rng rng(2);
+  // E[x] for x ~ U[0,1) is 0.5.
+  const double got = MonteCarloMean(
+      [](Rng* r) { return Point(r->NextDouble(), 0.0); },
+      [](const Point& p) { return p.x; }, 200000, &rng);
+  EXPECT_NEAR(got, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,228 @@
+// End-to-end integration tests: paper-shaped datasets (scaled down),
+// workloads from §6.1, and cross-method consistency over the full engine.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+
+#include "benchutil/harness.h"
+#include "core/duality.h"
+#include "core/engine.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace ilq {
+namespace {
+
+// One shared scaled-down paper setup (5K points / 4K rectangles in the
+// 10,000² space) reused across tests in this file.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig points_config;
+    points_config.count = 5000;
+    points_config.seed = 1001;
+    RectangleConfig rect_config;
+    rect_config.base.count = 4000;
+    rect_config.base.seed = 1002;
+    Result<std::vector<UncertainObject>> objects =
+        MakeUniformUncertainObjects(GenerateLongBeachLikeRects(rect_config));
+    ASSERT_TRUE(objects.ok());
+    Result<QueryEngine> engine = QueryEngine::Build(
+        GenerateCaliforniaLikePoints(points_config),
+        std::move(objects).ValueOrDie());
+    ASSERT_TRUE(engine.ok());
+    engine_ = new QueryEngine(std::move(engine).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static const QueryEngine& engine() { return *engine_; }
+
+ private:
+  static QueryEngine* engine_;
+};
+
+QueryEngine* IntegrationTest::engine_ = nullptr;
+
+TEST_F(IntegrationTest, PaperDefaultWorkloadRuns) {
+  WorkloadConfig config;
+  config.queries = 25;
+  config.seed = 2001;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  size_t total_answers = 0;
+  for (const UncertainObject& issuer : workload->issuers) {
+    total_answers += engine().Ipq(issuer, workload->spec).size();
+  }
+  EXPECT_GT(total_answers, 0u);
+}
+
+TEST_F(IntegrationTest, EnhancedMatchesBasicAcrossWorkload) {
+  WorkloadConfig config;
+  config.queries = 10;
+  config.seed = 2002;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const UncertainObject& issuer : workload->issuers) {
+    const AnswerSet fast = engine().Iuq(issuer, workload->spec);
+    const AnswerSet slow = engine().IuqBasic(issuer, workload->spec);
+    std::map<ObjectId, double> slow_by_id;
+    for (const auto& a : slow) slow_by_id[a.id] = a.probability;
+    for (const auto& a : fast) {
+      if (a.probability < 0.05) continue;  // below grid-baseline resolution
+      ASSERT_TRUE(slow_by_id.count(a.id));
+      EXPECT_NEAR(a.probability, slow_by_id[a.id], 0.05);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, CiuqMethodsAgreeOnPaperWorkload) {
+  for (double qp : {0.0, 0.3, 0.6, 0.9}) {
+    WorkloadConfig config;
+    config.queries = 8;
+    config.qp = qp;
+    config.seed = 2003;
+    Result<Workload> workload = GenerateWorkload(config);
+    ASSERT_TRUE(workload.ok());
+    for (const UncertainObject& issuer : workload->issuers) {
+      const AnswerSet a = engine().CiuqRTree(issuer, workload->spec);
+      const AnswerSet b = engine().CiuqPti(issuer, workload->spec);
+      std::map<ObjectId, double> ma;
+      for (const auto& x : a) ma[x.id] = x.probability;
+      std::map<ObjectId, double> mb;
+      for (const auto& x : b) mb[x.id] = x.probability;
+      EXPECT_EQ(ma, mb) << "qp=" << qp;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, CandidatesGrowWithUncertaintySize) {
+  // Figure 9/10 mechanism: larger u ⇒ larger Minkowski sum ⇒ more
+  // candidates.
+  double prev = -1.0;
+  for (double u : {50.0, 250.0, 500.0, 1000.0}) {
+    WorkloadConfig config;
+    config.u = u;
+    config.queries = 20;
+    config.seed = 2004;
+    Result<Workload> workload = GenerateWorkload(config);
+    ASSERT_TRUE(workload.ok());
+    double candidates = 0.0;
+    for (const UncertainObject& issuer : workload->issuers) {
+      IndexStats stats;
+      engine().Ipq(issuer, workload->spec, &stats);
+      candidates += static_cast<double>(stats.candidates);
+    }
+    EXPECT_GT(candidates, prev) << "u=" << u;
+    prev = candidates;
+  }
+}
+
+TEST_F(IntegrationTest, PTICandidatesShrinkWithThreshold) {
+  // Figure 12 mechanism: the p-expanded-query + strategies prune more as
+  // Qp rises.
+  double prev = std::numeric_limits<double>::max();
+  for (double qp : {0.0, 0.3, 0.6, 0.9}) {
+    WorkloadConfig config;
+    config.qp = qp;
+    config.queries = 20;
+    config.seed = 2005;
+    Result<Workload> workload = GenerateWorkload(config);
+    ASSERT_TRUE(workload.ok());
+    double candidates = 0.0;
+    for (const UncertainObject& issuer : workload->issuers) {
+      IndexStats stats;
+      engine().CiuqPti(issuer, workload->spec, CiuqPruneConfig{}, &stats);
+      candidates += static_cast<double>(stats.candidates);
+    }
+    EXPECT_LE(candidates, prev) << "qp=" << qp;
+    prev = candidates;
+  }
+}
+
+TEST_F(IntegrationTest, GaussianWorkloadMonteCarloMatchesAnalytic) {
+  // Figure 13 path: Gaussian issuers + MC kernel vs the analytic kernel.
+  WorkloadConfig config;
+  config.queries = 5;
+  config.issuer_pdf = IssuerPdfKind::kGaussian;
+  config.seed = 2006;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+
+  Result<std::vector<UncertainObject>> g_objects =
+      MakeGaussianUncertainObjects([] {
+        RectangleConfig rc;
+        rc.base.count = 1500;
+        rc.base.seed = 2007;
+        return GenerateLongBeachLikeRects(rc);
+      }());
+  ASSERT_TRUE(g_objects.ok());
+  EngineConfig mc_config;
+  mc_config.eval.kernel = ProbabilityKernel::kMonteCarlo;
+  mc_config.eval.mc_samples = 4000;
+  Result<QueryEngine> mc_engine =
+      QueryEngine::Build({}, *g_objects, mc_config);
+  ASSERT_TRUE(mc_engine.ok());
+  EngineConfig exact_config;
+  Result<QueryEngine> exact_engine =
+      QueryEngine::Build({}, std::move(g_objects).ValueOrDie(), exact_config);
+  ASSERT_TRUE(exact_engine.ok());
+
+  for (const UncertainObject& issuer : workload->issuers) {
+    const AnswerSet sampled = mc_engine->Iuq(issuer, workload->spec);
+    const AnswerSet analytic = exact_engine->Iuq(issuer, workload->spec);
+    std::map<ObjectId, double> truth;
+    for (const auto& a : analytic) truth[a.id] = a.probability;
+    for (const auto& a : sampled) {
+      ASSERT_TRUE(truth.count(a.id));
+      EXPECT_NEAR(a.probability, truth[a.id], 0.05);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, HarnessProducesSaneCells) {
+  WorkloadConfig config;
+  config.queries = 10;
+  config.seed = 2008;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  const CellResult cell = RunCell(
+      workload->issuers, [&](const UncertainObject& issuer,
+                             IndexStats* stats) {
+        return engine().Ipq(issuer, workload->spec, stats).size();
+      });
+  EXPECT_EQ(cell.queries, 10u);
+  EXPECT_GT(cell.mean_candidates, 0.0);
+  EXPECT_GT(cell.mean_node_accesses, 0.0);
+  EXPECT_GE(cell.p95_ms, cell.mean_ms * 0.1);
+}
+
+TEST_F(IntegrationTest, SeriesTableCsvRoundtrip) {
+  SeriesTable table("test", "u", {"m1", "m2"});
+  CellResult c1;
+  c1.mean_ms = 1.5;
+  c1.mean_candidates = 10;
+  CellResult c2;
+  c2.mean_ms = 0.5;
+  c2.mean_candidates = 5;
+  table.AddRow(100, {c1, c2});
+  table.AddRow(200, {c2, c1});
+  const std::string path = ::testing::TempDir() + "/ilq_series.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("mean_ms"), std::string::npos);
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4u);  // 2 x-values × 2 methods
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,141 @@
+#include "core/ipq.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+
+struct Fixture {
+  std::vector<PointObject> objects;
+  RTree index;
+};
+
+Fixture MakeFixture(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PointObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Point p(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    objects.emplace_back(static_cast<ObjectId>(i + 1), p);
+    items.push_back({Rect::AtPoint(p), static_cast<ObjectId>(i + 1)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+// Brute-force reference: probability for every object via duality, no index.
+std::map<ObjectId, double> Reference(const Fixture& fixture,
+                                     const UncertainObject& issuer,
+                                     const RangeQuerySpec& spec) {
+  std::map<ObjectId, double> out;
+  for (const PointObject& s : fixture.objects) {
+    const double pi =
+        PointQualification(issuer.pdf(), s.location, spec.w, spec.h);
+    if (pi > 0) out[s.id] = pi;
+  }
+  return out;
+}
+
+TEST(IpqTest, MatchesBruteForceUniform) {
+  Fixture fixture = MakeFixture(2000, 91);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 500, 300, 500)));
+  const RangeQuerySpec spec(150, 150);
+  const AnswerSet got = EvaluateIPQ(fixture.index, issuer, spec, {});
+  const std::map<ObjectId, double> expected =
+      Reference(fixture, issuer, spec);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& a : got) {
+    ASSERT_TRUE(expected.count(a.id));
+    EXPECT_NEAR(a.probability, expected.at(a.id), 1e-12);
+  }
+}
+
+TEST(IpqTest, MatchesBruteForceGaussianIssuer) {
+  Fixture fixture = MakeFixture(2000, 92);
+  UncertainObject issuer(0, MakeGaussian(Rect(200, 600, 200, 600)));
+  const RangeQuerySpec spec(100, 100);
+  const AnswerSet got = EvaluateIPQ(fixture.index, issuer, spec, {});
+  const std::map<ObjectId, double> expected =
+      Reference(fixture, issuer, spec);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& a : got) {
+    EXPECT_NEAR(a.probability, expected.at(a.id), 1e-9);
+  }
+}
+
+TEST(IpqTest, AnswersAreWithinMinkowskiSum) {
+  Fixture fixture = MakeFixture(3000, 93);
+  UncertainObject issuer(0, MakeUniform(Rect(450, 550, 450, 550)));
+  const RangeQuerySpec spec(80, 60);
+  const Rect expanded = issuer.region().Expanded(spec.w, spec.h);
+  const AnswerSet got = EvaluateIPQ(fixture.index, issuer, spec, {});
+  for (const auto& a : got) {
+    EXPECT_TRUE(expanded.Contains(fixture.objects[a.id - 1].location));
+    EXPECT_GT(a.probability, 0.0);
+    EXPECT_LE(a.probability, 1.0 + 1e-12);
+  }
+}
+
+TEST(IpqTest, ObjectInsideEveryQueryHasProbabilityOne) {
+  std::vector<RTree::Item> items = {{Rect::AtPoint(Point(500, 500)), 1}};
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(480, 520, 480, 520)));
+  // w = 100: R(x,y) covers (500,500) for every issuer position.
+  const AnswerSet got = EvaluateIPQ(*tree, issuer, RangeQuerySpec(100, 100),
+                                    {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0].probability, 1.0, 1e-12);
+}
+
+TEST(IpqTest, MonteCarloKernelApproximatesAnalytic) {
+  Fixture fixture = MakeFixture(200, 94);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(150, 150);
+  EvalOptions mc;
+  mc.kernel = ProbabilityKernel::kMonteCarlo;
+  mc.mc_samples = 5000;
+  const AnswerSet analytic = EvaluateIPQ(fixture.index, issuer, spec, {});
+  const AnswerSet sampled = EvaluateIPQ(fixture.index, issuer, spec, mc);
+  std::map<ObjectId, double> truth;
+  for (const auto& a : analytic) truth[a.id] = a.probability;
+  for (const auto& a : sampled) {
+    ASSERT_TRUE(truth.count(a.id));
+    EXPECT_NEAR(a.probability, truth[a.id], 0.05);
+  }
+}
+
+TEST(IpqTest, StatsReportCandidates) {
+  Fixture fixture = MakeFixture(5000, 95);
+  UncertainObject issuer(0, MakeUniform(Rect(400, 600, 400, 600)));
+  IndexStats stats;
+  const AnswerSet got =
+      EvaluateIPQ(fixture.index, issuer, RangeQuerySpec(100, 100), {},
+                  &stats);
+  EXPECT_EQ(stats.candidates, got.size());  // all candidates qualify (>0)
+  EXPECT_GT(stats.node_accesses, 0u);
+}
+
+TEST(IpqTest, LargerUncertaintyFindsMoreCandidates) {
+  Fixture fixture = MakeFixture(5000, 96);
+  const RangeQuerySpec spec(100, 100);
+  IndexStats small_stats;
+  UncertainObject small(0, MakeUniform(Rect(495, 505, 495, 505)));
+  EvaluateIPQ(fixture.index, small, spec, {}, &small_stats);
+  IndexStats large_stats;
+  UncertainObject large(0, MakeUniform(Rect(300, 700, 300, 700)));
+  EvaluateIPQ(fixture.index, large, spec, {}, &large_stats);
+  EXPECT_GT(large_stats.candidates, small_stats.candidates);
+}
+
+}  // namespace
+}  // namespace ilq

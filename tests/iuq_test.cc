@@ -1,0 +1,163 @@
+#include "core/iuq.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/basic_eval.h"
+#include "core/duality.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+struct Fixture {
+  std::vector<UncertainObject> objects;
+  RTree index;
+};
+
+enum class PdfKind { kUniform, kGaussian, kHistogram };
+
+Fixture MakeFixture(size_t n, uint64_t seed, PdfKind kind) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 80);
+    std::unique_ptr<UncertaintyPdf> pdf;
+    switch (kind) {
+      case PdfKind::kUniform:
+        pdf = MakeUniform(region);
+        break;
+      case PdfKind::kGaussian:
+        pdf = MakeGaussian(region);
+        break;
+      case PdfKind::kHistogram:
+        pdf = MakeSkewedHistogram(region, 4, 4, seed + i);
+        break;
+    }
+    objects.emplace_back(static_cast<ObjectId>(i + 1), std::move(pdf));
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  EXPECT_TRUE(tree.ok());
+  return {std::move(objects), std::move(tree).ValueOrDie()};
+}
+
+TEST(IuqTest, UniformAnswersMatchClosedForm) {
+  Fixture fixture = MakeFixture(1000, 111, PdfKind::kUniform);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 600, 300, 600)));
+  const RangeQuerySpec spec(150, 150);
+  const AnswerSet got =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, {});
+  ASSERT_FALSE(got.empty());
+  for (const auto& a : got) {
+    const double exact = UniformUniformQualification(
+        issuer.region(), fixture.objects[a.id - 1].region(), spec.w, spec.h);
+    EXPECT_NEAR(a.probability, exact, 1e-12);
+  }
+}
+
+TEST(IuqTest, FindsEveryObjectWithNonZeroProbability) {
+  // Lemma 1 soundness: brute-force scan must not find extra answers.
+  Fixture fixture = MakeFixture(800, 112, PdfKind::kUniform);
+  UncertainObject issuer(0, MakeUniform(Rect(200, 500, 500, 800)));
+  const RangeQuerySpec spec(120, 90);
+  const AnswerSet got =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, {});
+  std::map<ObjectId, double> by_id;
+  for (const auto& a : got) by_id[a.id] = a.probability;
+  for (const UncertainObject& obj : fixture.objects) {
+    const double exact = UniformUniformQualification(
+        issuer.region(), obj.region(), spec.w, spec.h);
+    if (exact > 0) {
+      ASSERT_TRUE(by_id.count(obj.id())) << "missed object " << obj.id();
+      EXPECT_NEAR(by_id[obj.id()], exact, 1e-12);
+    } else {
+      EXPECT_FALSE(by_id.count(obj.id()));
+    }
+  }
+}
+
+TEST(IuqTest, GaussianAnswersMatchBasicReference) {
+  Fixture fixture = MakeFixture(150, 113, PdfKind::kGaussian);
+  UncertainObject issuer(0, MakeGaussian(Rect(350, 650, 350, 650)));
+  const RangeQuerySpec spec(140, 140);
+  const AnswerSet enhanced =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, {});
+  BasicEvalOptions fine;
+  fine.grid_per_axis = 48;
+  const AnswerSet basic = EvaluateIUQBasic(fixture.index, fixture.objects,
+                                           issuer, spec, fine);
+  std::map<ObjectId, double> basic_by_id;
+  for (const auto& a : basic) basic_by_id[a.id] = a.probability;
+  ASSERT_FALSE(enhanced.empty());
+  for (const auto& a : enhanced) {
+    if (a.probability < 0.05) continue;  // below grid-baseline resolution
+    ASSERT_TRUE(basic_by_id.count(a.id)) << "object " << a.id;
+    EXPECT_NEAR(a.probability, basic_by_id[a.id], 0.02);
+  }
+}
+
+TEST(IuqTest, HistogramObjectsEvaluate) {
+  Fixture fixture = MakeFixture(60, 114, PdfKind::kHistogram);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(200, 200);
+  const AnswerSet got =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, {});
+  ASSERT_FALSE(got.empty());
+  for (const auto& a : got) {
+    EXPECT_GT(a.probability, 0.0);
+    EXPECT_LE(a.probability, 1.0 + 1e-9);
+  }
+}
+
+TEST(IuqTest, ObjectEngulfedByQueryHasProbabilityOne) {
+  std::vector<UncertainObject> objects;
+  objects.emplace_back(1, MakeUniform(Rect(490, 510, 490, 510)));
+  Result<RTree> tree = RTree::BulkLoad(
+      RTreeOptions{}, {{objects[0].region(), 0}});
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(480, 520, 480, 520)));
+  // Query so large that Ui ⊆ R(x, y) for every issuer position.
+  const AnswerSet got =
+      EvaluateIUQ(*tree, objects, issuer, RangeQuerySpec(200, 200), {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0].probability, 1.0, 1e-9);
+}
+
+TEST(IuqTest, MonteCarloKernelApproximatesAnalytic) {
+  Fixture fixture = MakeFixture(100, 115, PdfKind::kUniform);
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(180, 180);
+  EvalOptions mc;
+  mc.kernel = ProbabilityKernel::kMonteCarlo;
+  mc.mc_samples = 20000;
+  const AnswerSet analytic =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, {});
+  const AnswerSet sampled =
+      EvaluateIUQ(fixture.index, fixture.objects, issuer, spec, mc);
+  std::map<ObjectId, double> truth;
+  for (const auto& a : analytic) truth[a.id] = a.probability;
+  for (const auto& a : sampled) {
+    EXPECT_NEAR(a.probability, truth[a.id], 0.03);
+  }
+}
+
+TEST(IuqTest, StatsTrackCandidatesAndIO) {
+  Fixture fixture = MakeFixture(3000, 116, PdfKind::kUniform);
+  UncertainObject issuer(0, MakeUniform(Rect(400, 600, 400, 600)));
+  IndexStats stats;
+  EvaluateIUQ(fixture.index, fixture.objects, issuer,
+              RangeQuerySpec(100, 100), {}, &stats);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.node_accesses, stats.leaf_accesses);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,138 @@
+#include "geometry/minkowski.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MonteCarloArea;
+
+TEST(MinkowskiTest, ExpandedQueryRangeIsGrownRect) {
+  // Figure 2: U0 grown by w horizontally, h vertically.
+  const Rect u0(100, 200, 50, 80);
+  EXPECT_EQ(ExpandedQueryRange(u0, 30, 10), Rect(70, 230, 40, 90));
+}
+
+TEST(MinkowskiTest, PolygonSumOfSquares) {
+  // Square ⊕ square = square with summed extents.
+  const ConvexPolygon a = ConvexPolygon::FromRect(Rect(0, 2, 0, 2));
+  const ConvexPolygon b = ConvexPolygon::FromRect(Rect(-1, 1, -1, 1));
+  const ConvexPolygon sum = MinkowskiSum(a, b);
+  EXPECT_EQ(sum.BoundingBox(), Rect(-1, 3, -1, 3));
+  EXPECT_NEAR(sum.Area(), 16.0, 1e-9);
+}
+
+TEST(MinkowskiTest, PolygonSumMatchesRectExpansion) {
+  // rect ⊕ centred rect must equal Rect::Expanded — the paper's O(1) case.
+  const Rect u0(10, 30, -5, 5);
+  const double w = 4;
+  const double h = 7;
+  const ConvexPolygon sum =
+      MinkowskiSum(ConvexPolygon::FromRect(u0),
+                   ConvexPolygon::FromRect(Rect(-w, w, -h, h)));
+  EXPECT_EQ(sum.BoundingBox(), u0.Expanded(w, h));
+  EXPECT_NEAR(sum.Area(), u0.Expanded(w, h).Area(), 1e-9);
+}
+
+TEST(MinkowskiTest, TriangleSumVertexCount) {
+  // Footnote 1: at most m + n edges.
+  Result<ConvexPolygon> t1 =
+      ConvexPolygon::MakeConvex({{0, 0}, {2, 0}, {0, 2}});
+  Result<ConvexPolygon> t2 =
+      ConvexPolygon::MakeConvex({{0, 0}, {1, 0}, {0.5, 1}});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  const ConvexPolygon sum = MinkowskiSum(*t1, *t2);
+  EXPECT_LE(sum.size(), 6u);
+  EXPECT_GE(sum.size(), 3u);
+}
+
+TEST(MinkowskiTest, SumContainsAllPairwiseSums) {
+  Rng rng(99);
+  Result<ConvexPolygon> a = ConvexPolygon::ConvexHull(
+      {{0, 0}, {3, 1}, {4, 4}, {1, 3}, {2, 2}});
+  Result<ConvexPolygon> b = ConvexPolygon::ConvexHull(
+      {{-1, 0}, {1, -1}, {2, 1}, {0, 2}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  const ConvexPolygon sum = MinkowskiSum(*a, *b);
+  for (int i = 0; i < 500; ++i) {
+    // Random points inside a and b via rejection.
+    Point pa;
+    do {
+      pa = Point(rng.Uniform(0, 4), rng.Uniform(0, 4));
+    } while (!a->Contains(pa));
+    Point pb;
+    do {
+      pb = Point(rng.Uniform(-1, 2), rng.Uniform(-1, 2));
+    } while (!b->Contains(pb));
+    EXPECT_TRUE(sum.Contains(pa + pb))
+        << "(" << pa.x + pb.x << "," << pa.y + pb.y << ") not in sum";
+  }
+}
+
+TEST(RoundedRectTest, AreaFormula) {
+  const RoundedRect rr{Rect(0, 4, 0, 2), 1.0};
+  // core 8 + slabs 2*1*(4+2)=12 + full corner disk pi.
+  EXPECT_NEAR(rr.Area(), 8 + 12 + std::numbers::pi, 1e-12);
+}
+
+TEST(RoundedRectTest, ContainsRespectsCorners) {
+  const RoundedRect rr{Rect(0, 4, 0, 4), 1.0};
+  EXPECT_TRUE(rr.Contains(Point(2, 2)));
+  EXPECT_TRUE(rr.Contains(Point(-1, 2)));            // side slab
+  EXPECT_TRUE(rr.Contains(Point(-0.6, -0.6)));       // inside corner arc
+  EXPECT_FALSE(rr.Contains(Point(-0.8, -0.8)));      // outside corner arc
+  EXPECT_FALSE(rr.Contains(Point(-1.1, 2)));
+}
+
+TEST(RoundedRectTest, IntersectsMatchesDistance) {
+  const RoundedRect rr{Rect(0, 4, 0, 4), 1.0};
+  EXPECT_TRUE(rr.Intersects(Rect(4.5, 6, 1, 2)));    // within radius of side
+  EXPECT_FALSE(rr.Intersects(Rect(5.1, 6, 1, 2)));
+  EXPECT_TRUE(rr.Intersects(Rect(4.6, 6, 4.6, 6)));  // corner within sqrt(.72)
+  EXPECT_FALSE(rr.Intersects(Rect(4.8, 6, 4.8, 6)));
+}
+
+TEST(RoundedRectTest, IntersectionAreaDegenereatesToRect) {
+  const RoundedRect rr{Rect(0, 4, 0, 4), 0.0};
+  EXPECT_DOUBLE_EQ(rr.IntersectionArea(Rect(2, 6, 2, 6)), 4.0);
+}
+
+TEST(RoundedRectTest, ExpandedQueryRangeCircular) {
+  const Circle u0(Point(10, 10), 2);
+  const RoundedRect rr = ExpandedQueryRangeCircular(u0, 5, 3);
+  EXPECT_EQ(rr.core, Rect(5, 15, 7, 13));
+  EXPECT_DOUBLE_EQ(rr.radius, 2.0);
+  EXPECT_EQ(rr.BoundingBox(), Rect(3, 17, 5, 15));
+}
+
+class RoundedRectAreaPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundedRectAreaPropertyTest, OverlapMatchesMonteCarlo) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 15; ++iter) {
+    const RoundedRect rr{
+        Rect::Centered(Point(rng.Uniform(-3, 3), rng.Uniform(-3, 3)),
+                       rng.Uniform(0.5, 3), rng.Uniform(0.5, 3)),
+        rng.Uniform(0.2, 2.0)};
+    const Rect r = Rect::Centered(
+        Point(rng.Uniform(-4, 4), rng.Uniform(-4, 4)),
+        rng.Uniform(0.5, 4), rng.Uniform(0.5, 4));
+    const double exact = rr.IntersectionArea(r);
+    const double mc = MonteCarloArea(
+        r, [&](const Point& p) { return rr.Contains(p); }, 150000,
+        GetParam() * 31 + static_cast<uint64_t>(iter));
+    EXPECT_NEAR(exact, mc, 0.05 * std::max(1.0, r.Area()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundedRectAreaPropertyTest,
+                         ::testing::Values(7, 14, 21));
+
+}  // namespace
+}  // namespace ilq

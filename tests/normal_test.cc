@@ -1,0 +1,63 @@
+#include "prob/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ilq {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, CdfMonotone) {
+  double prev = 0.0;
+  for (double z = -6.0; z <= 6.0; z += 0.05) {
+    const double p = NormalCdf(z);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NormalTest, CdfSymmetry) {
+  for (double z = 0.0; z < 5.0; z += 0.13) {
+    EXPECT_NEAR(NormalCdf(z) + NormalCdf(-z), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalTest, QuantileEndpoints) {
+  EXPECT_EQ(NormalQuantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(NormalQuantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(NormalTest, QuantileCdfRoundtrip) {
+  for (double p = 0.0005; p < 1.0; p += 0.0101) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-11) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, CdfQuantileRoundtripTails) {
+  for (double z = -5.0; z <= 5.0; z += 0.25) {
+    EXPECT_NEAR(NormalQuantile(NormalCdf(z)), z, 1e-8) << "z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace ilq

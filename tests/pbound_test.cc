@@ -1,0 +1,112 @@
+#include "object/pbound.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+
+TEST(PBoundTest, ZeroBoundIsRegionBoundary) {
+  auto pdf = MakeUniform(Rect(0, 10, 20, 40));
+  const PBound b = PBound::FromPdf(*pdf, 0.0);
+  EXPECT_DOUBLE_EQ(b.l, 0);
+  EXPECT_DOUBLE_EQ(b.r, 10);
+  EXPECT_DOUBLE_EQ(b.b, 20);
+  EXPECT_DOUBLE_EQ(b.t, 40);
+  EXPECT_EQ(b.Box(), Rect(0, 10, 20, 40));
+}
+
+TEST(PBoundTest, UniformBoundsAreLinear) {
+  // Figure 4 semantics: mass left of l(p) is exactly p.
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const PBound b = PBound::FromPdf(*pdf, 0.2);
+  EXPECT_DOUBLE_EQ(b.l, 2.0);
+  EXPECT_DOUBLE_EQ(b.r, 8.0);
+  EXPECT_DOUBLE_EQ(b.b, 2.0);
+  EXPECT_DOUBLE_EQ(b.t, 8.0);
+}
+
+TEST(PBoundTest, MassBeyondEachLineEqualsP) {
+  auto pdf = MakeGaussian(Rect(0, 60, 0, 60));
+  for (double p : {0.05, 0.1, 0.3, 0.5}) {
+    const PBound b = PBound::FromPdf(*pdf, p);
+    const Rect region = pdf->bounds();
+    EXPECT_NEAR(pdf->MassIn(Rect(region.xmin, b.l, region.ymin, region.ymax)),
+                p, 1e-9);
+    EXPECT_NEAR(pdf->MassIn(Rect(b.r, region.xmax, region.ymin, region.ymax)),
+                p, 1e-9);
+    EXPECT_NEAR(pdf->MassIn(Rect(region.xmin, region.xmax, region.ymin, b.b)),
+                p, 1e-9);
+    EXPECT_NEAR(pdf->MassIn(Rect(region.xmin, region.xmax, b.t, region.ymax)),
+                p, 1e-9);
+  }
+}
+
+TEST(PBoundTest, HalfBoundCollapsesBoxToCenterLines) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const PBound b = PBound::FromPdf(*pdf, 0.5);
+  EXPECT_DOUBLE_EQ(b.l, 5.0);
+  EXPECT_DOUBLE_EQ(b.r, 5.0);
+}
+
+TEST(PBoundTest, BeyondHalfLinesCross) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const PBound b = PBound::FromPdf(*pdf, 0.7);
+  EXPECT_DOUBLE_EQ(b.l, 7.0);
+  EXPECT_DOUBLE_EQ(b.r, 3.0);
+  EXPECT_TRUE(b.Box().IsEmpty());
+}
+
+TEST(PBoundTest, BoxesNestWithP) {
+  auto pdf = MakeGaussian(Rect(0, 100, 0, 100));
+  const PBound b1 = PBound::FromPdf(*pdf, 0.1);
+  const PBound b2 = PBound::FromPdf(*pdf, 0.3);
+  // Larger p pushes lines inward.
+  EXPECT_GT(b2.l, b1.l);
+  EXPECT_LT(b2.r, b1.r);
+  EXPECT_TRUE(b1.Box().ContainsRect(b2.Box()));
+}
+
+TEST(PBoundTest, RegionBeyondDetectsEachSide) {
+  PBound b{2.0, 8.0, 2.0, 8.0};
+  EXPECT_TRUE(b.RegionBeyond(Rect(0, 2, 4, 5)));    // left of l
+  EXPECT_TRUE(b.RegionBeyond(Rect(8, 9, 4, 5)));    // right of r
+  EXPECT_TRUE(b.RegionBeyond(Rect(4, 5, 0, 2)));    // below b
+  EXPECT_TRUE(b.RegionBeyond(Rect(4, 5, 8, 9)));    // above t
+  EXPECT_FALSE(b.RegionBeyond(Rect(4, 5, 4, 5)));   // inside
+  EXPECT_FALSE(b.RegionBeyond(Rect(1, 9, 1, 9)));   // straddles
+  EXPECT_TRUE(b.RegionBeyond(Rect::Empty()));
+}
+
+TEST(PBoundTest, UnionWithLoosensAllSides) {
+  PBound a{2, 8, 2, 8};
+  const PBound b{1, 9, 3, 7};
+  a.UnionWith(b);
+  EXPECT_DOUBLE_EQ(a.l, 1);
+  EXPECT_DOUBLE_EQ(a.r, 9);
+  EXPECT_DOUBLE_EQ(a.b, 2);
+  EXPECT_DOUBLE_EQ(a.t, 8);
+}
+
+TEST(PBoundTest, UnionSoundForPruning) {
+  // Anything beyond the union bound is beyond each constituent bound.
+  PBound merged{3, 7, 3, 7};
+  const PBound other{4, 6, 4, 6};
+  merged.UnionWith(other);
+  const Rect probe(0, 2.5, 4, 5);  // beyond merged.l = 3
+  ASSERT_TRUE(merged.RegionBeyond(probe));
+  EXPECT_TRUE(PBound({3, 7, 3, 7}).RegionBeyond(probe));
+  EXPECT_TRUE(PBound({4, 6, 4, 6}).RegionBeyond(probe));
+}
+
+TEST(PBoundTest, ToStringRenders) {
+  const PBound b{1, 2, 3, 4};
+  EXPECT_EQ(b.ToString(), "l=1 r=2 b=3 t=4");
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,204 @@
+// Interface-conformance suite: every UncertaintyPdf implementation must
+// satisfy the same contract, since all evaluators are written against the
+// interface alone (§3.1's "our solutions are applicable to any form of
+// uncertainty pdf"). Parameterized over pdf factories so new pdfs get the
+// whole battery by adding one line.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "prob/disk_pdf.h"
+#include "prob/integrate.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using Factory = std::function<std::unique_ptr<UncertaintyPdf>()>;
+
+struct PdfCase {
+  std::string name;
+  Factory make;
+};
+
+std::unique_ptr<UncertaintyPdf> MakeDiskPdf() {
+  Result<UniformDiskPdf> made =
+      UniformDiskPdf::Make(Circle(Point(50, 40), 25));
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return std::make_unique<UniformDiskPdf>(std::move(made).ValueOrDie());
+}
+
+class PdfConformanceTest : public ::testing::TestWithParam<PdfCase> {
+ protected:
+  std::unique_ptr<UncertaintyPdf> pdf_ = GetParam().make();
+};
+
+TEST_P(PdfConformanceTest, TotalMassIsOne) {
+  const Rect everything = pdf_->bounds().Expanded(10, 10);
+  EXPECT_NEAR(pdf_->MassIn(everything), 1.0, 1e-9);
+}
+
+TEST_P(PdfConformanceTest, MassOutsideSupportIsZero) {
+  const Rect b = pdf_->bounds();
+  EXPECT_EQ(pdf_->MassIn(Rect(b.xmax + 1, b.xmax + 10, b.ymin, b.ymax)),
+            0.0);
+  EXPECT_EQ(pdf_->MassIn(Rect::Empty()), 0.0);
+}
+
+TEST_P(PdfConformanceTest, DensityZeroOutsideBounds) {
+  const Rect b = pdf_->bounds();
+  EXPECT_EQ(pdf_->Density(Point(b.xmax + 1, b.Center().y)), 0.0);
+  EXPECT_EQ(pdf_->Density(Point(b.Center().x, b.ymin - 1)), 0.0);
+}
+
+TEST_P(PdfConformanceTest, MassIsAdditiveAcrossSplit) {
+  const Rect b = pdf_->bounds();
+  const double mid = b.Center().x;
+  const double left = pdf_->MassIn(Rect(b.xmin, mid, b.ymin, b.ymax));
+  const double right = pdf_->MassIn(Rect(mid, b.xmax, b.ymin, b.ymax));
+  EXPECT_NEAR(left + right, 1.0, 1e-9);
+}
+
+TEST_P(PdfConformanceTest, MassIsMonotoneInRect) {
+  const Rect b = pdf_->bounds();
+  const Rect small = Rect::Centered(b.Center(), b.Width() / 4,
+                                    b.Height() / 4);
+  const Rect large = Rect::Centered(b.Center(), b.Width() / 2,
+                                    b.Height() / 2);
+  EXPECT_LE(pdf_->MassIn(small), pdf_->MassIn(large) + 1e-12);
+}
+
+TEST_P(PdfConformanceTest, CdfMatchesHalfPlaneMass) {
+  const Rect b = pdf_->bounds();
+  for (double frac : {0.1, 0.35, 0.5, 0.8}) {
+    const double x = b.xmin + frac * b.Width();
+    EXPECT_NEAR(pdf_->CdfX(x),
+                pdf_->MassIn(Rect(b.xmin - 1, x, b.ymin - 1, b.ymax + 1)),
+                1e-9)
+        << "frac=" << frac;
+    const double y = b.ymin + frac * b.Height();
+    EXPECT_NEAR(pdf_->CdfY(y),
+                pdf_->MassIn(Rect(b.xmin - 1, b.xmax + 1, b.ymin - 1, y)),
+                1e-9);
+  }
+}
+
+TEST_P(PdfConformanceTest, CdfMonotoneWithCorrectLimits) {
+  const Rect b = pdf_->bounds();
+  double prev = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = b.xmin - 1 + (b.Width() + 2) * i / 20.0;
+    const double c = pdf_->CdfX(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_EQ(pdf_->CdfX(b.xmin - 1), 0.0);
+  EXPECT_EQ(pdf_->CdfX(b.xmax + 1), 1.0);
+}
+
+TEST_P(PdfConformanceTest, QuantileInvertsCdf) {
+  for (double p = 0.05; p < 1.0; p += 0.09) {
+    EXPECT_NEAR(pdf_->CdfX(pdf_->QuantileX(p)), p, 1e-6) << "p=" << p;
+    EXPECT_NEAR(pdf_->CdfY(pdf_->QuantileY(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST_P(PdfConformanceTest, MarginalDensityIntegratesToCdfDifferences) {
+  const Rect b = pdf_->bounds();
+  // Integrate the marginal piecewise (histogram marginals step at cell
+  // borders) and compare against CDF differences.
+  std::vector<double> cuts;
+  pdf_->AppendBreakpointsX(&cuts);
+  cuts.push_back(b.xmin);
+  cuts.push_back(b.xmax);
+  std::sort(cuts.begin(), cuts.end());
+  double integral = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    integral += IntegrateGL(
+        [&](double x) { return pdf_->MarginalPdfX(x); }, cuts[i],
+        cuts[i + 1], 64);
+  }
+  // The disk marginal has sqrt endpoints where fixed-order quadrature
+  // converges slowly; product pdfs are near-exact.
+  EXPECT_NEAR(integral, 1.0, pdf_->name() == "uniform-disk" ? 5e-3 : 1e-6);
+}
+
+TEST_P(PdfConformanceTest, SamplesRespectBoundsAndMass) {
+  Rng rng(99);
+  const Rect b = pdf_->bounds();
+  const Rect probe = Rect::Centered(b.Center(), b.Width() * 0.3,
+                                    b.Height() * 0.3);
+  const int n = 60000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p = pdf_->Sample(&rng);
+    ASSERT_TRUE(b.Contains(p)) << GetParam().name;
+    if (probe.Contains(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, pdf_->MassIn(probe), 0.01);
+}
+
+TEST_P(PdfConformanceTest, CloneBehavesIdentically) {
+  const auto clone = pdf_->Clone();
+  const Rect b = pdf_->bounds();
+  EXPECT_EQ(clone->name(), pdf_->name());
+  EXPECT_EQ(clone->bounds(), b);
+  EXPECT_EQ(clone->IsProduct(), pdf_->IsProduct());
+  const Rect probe = Rect::Centered(b.Center(), b.Width() / 3,
+                                    b.Height() / 5);
+  EXPECT_DOUBLE_EQ(clone->MassIn(probe), pdf_->MassIn(probe));
+  EXPECT_DOUBLE_EQ(clone->CdfX(b.Center().x), pdf_->CdfX(b.Center().x));
+}
+
+TEST_P(PdfConformanceTest, DensityIntegratesToOne) {
+  // 2-D quadrature over the support split at density breakpoints.
+  const Rect b = pdf_->bounds();
+  std::vector<double> x_cuts{b.xmin, b.xmax};
+  std::vector<double> y_cuts{b.ymin, b.ymax};
+  pdf_->AppendBreakpointsX(&x_cuts);
+  pdf_->AppendBreakpointsY(&y_cuts);
+  std::sort(x_cuts.begin(), x_cuts.end());
+  std::sort(y_cuts.begin(), y_cuts.end());
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < x_cuts.size(); ++i) {
+    for (size_t j = 0; j + 1 < y_cuts.size(); ++j) {
+      total += IntegrateGL2D(
+          [&](double x, double y) { return pdf_->Density(Point(x, y)); },
+          Rect(x_cuts[i], x_cuts[i + 1], y_cuts[j], y_cuts[j + 1]), 48, 48);
+    }
+  }
+  // The disk's discontinuous boundary limits fixed-order quadrature;
+  // product pdfs are near-exact.
+  EXPECT_NEAR(total, 1.0, pdf_->name() == "uniform-disk" ? 2e-2 : 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPdfs, PdfConformanceTest,
+    ::testing::Values(
+        PdfCase{"uniform",
+                [] {
+                  return std::unique_ptr<UncertaintyPdf>(
+                      ::ilq::testing::MakeUniform(Rect(10, 90, -20, 44)));
+                }},
+        PdfCase{"gaussian",
+                [] {
+                  return std::unique_ptr<UncertaintyPdf>(
+                      ::ilq::testing::MakeGaussian(Rect(0, 120, 30, 90)));
+                }},
+        PdfCase{"histogram",
+                [] {
+                  return std::unique_ptr<UncertaintyPdf>(
+                      ::ilq::testing::MakeSkewedHistogram(
+                          Rect(-30, 60, 0, 45), 5, 4, 77));
+                }},
+        PdfCase{"disk", [] { return MakeDiskPdf(); }}),
+    [](const ::testing::TestParamInfo<PdfCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace ilq

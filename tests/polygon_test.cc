@@ -1,0 +1,181 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ilq {
+namespace {
+
+ConvexPolygon MustMake(std::vector<Point> v) {
+  Result<ConvexPolygon> r = ConvexPolygon::MakeConvex(std::move(v));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+TEST(PolygonTest, MakeConvexAcceptsCcwTriangle) {
+  const ConvexPolygon p = MustMake({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.Area(), 6.0);
+}
+
+TEST(PolygonTest, MakeConvexRejectsClockwise) {
+  Result<ConvexPolygon> r =
+      ConvexPolygon::MakeConvex({{0, 0}, {0, 3}, {4, 0}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolygonTest, MakeConvexRejectsConcave) {
+  Result<ConvexPolygon> r = ConvexPolygon::MakeConvex(
+      {{0, 0}, {4, 0}, {1, 1}, {0, 4}});  // dent at (1,1)
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PolygonTest, MakeConvexRejectsTooFew) {
+  EXPECT_FALSE(ConvexPolygon::MakeConvex({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(PolygonTest, MakeConvexCollapsesCollinear) {
+  const ConvexPolygon p =
+      MustMake({{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_EQ(p.size(), 4u);  // (2,0) dropped
+  EXPECT_DOUBLE_EQ(p.Area(), 16.0);
+}
+
+TEST(PolygonTest, ConvexHullOfCloud) {
+  Result<ConvexPolygon> r = ConvexPolygon::ConvexHull(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {3, 1}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_DOUBLE_EQ(r->Area(), 16.0);
+}
+
+TEST(PolygonTest, ConvexHullRejectsCollinear) {
+  EXPECT_FALSE(
+      ConvexPolygon::ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).ok());
+}
+
+TEST(PolygonTest, FromRectMatches) {
+  const ConvexPolygon p = ConvexPolygon::FromRect(Rect(1, 5, 2, 4));
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.Area(), 8.0);
+  EXPECT_EQ(p.BoundingBox(), Rect(1, 5, 2, 4));
+}
+
+TEST(PolygonTest, ContainsClosed) {
+  const ConvexPolygon p = MustMake({{0, 0}, {4, 0}, {0, 4}});
+  EXPECT_TRUE(p.Contains(Point(1, 1)));
+  EXPECT_TRUE(p.Contains(Point(0, 0)));      // vertex
+  EXPECT_TRUE(p.Contains(Point(2, 2)));      // on hypotenuse
+  EXPECT_FALSE(p.Contains(Point(3, 3)));
+  EXPECT_FALSE(p.Contains(Point(-0.1, 0)));
+}
+
+TEST(PolygonTest, ClipInsideRectIsIdentity) {
+  const ConvexPolygon p = MustMake({{1, 1}, {3, 1}, {2, 3}});
+  const ConvexPolygon clipped = p.ClippedTo(Rect(0, 10, 0, 10));
+  EXPECT_NEAR(clipped.Area(), p.Area(), 1e-12);
+}
+
+TEST(PolygonTest, ClipDisjointIsEmpty) {
+  const ConvexPolygon p = MustMake({{1, 1}, {3, 1}, {2, 3}});
+  EXPECT_EQ(p.ClippedTo(Rect(10, 20, 10, 20)).size(), 0u);
+  EXPECT_DOUBLE_EQ(p.IntersectionArea(Rect(10, 20, 10, 20)), 0.0);
+}
+
+TEST(PolygonTest, ClipHalfSquare) {
+  const ConvexPolygon p = ConvexPolygon::FromRect(Rect(0, 4, 0, 4));
+  EXPECT_DOUBLE_EQ(p.IntersectionArea(Rect(2, 10, -10, 10)), 8.0);
+}
+
+TEST(PolygonTest, TriangleRectOverlap) {
+  const ConvexPolygon tri = MustMake({{0, 0}, {4, 0}, {0, 4}});
+  // Clip to the unit square: the whole square is inside the triangle
+  // except nothing — area 1. (x + y <= 4 over [0,1]^2 always.)
+  EXPECT_NEAR(tri.IntersectionArea(Rect(0, 1, 0, 1)), 1.0, 1e-12);
+  // Clip to [1.5, 4] x [1.5, 4]: triangle corner region.
+  // Within that box, x + y <= 4 cuts a right triangle with legs 1.
+  EXPECT_NEAR(tri.IntersectionArea(Rect(1.5, 4, 1.5, 4)), 0.5, 1e-12);
+}
+
+TEST(PolygonTest, HalfPlaneClipSquare) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 4, 0, 4));
+  // x <= 2 keeps the left half.
+  const ConvexPolygon left = square.ClippedToHalfPlane(1, 0, 2);
+  EXPECT_NEAR(left.Area(), 8.0, 1e-12);
+  EXPECT_EQ(left.BoundingBox(), Rect(0, 2, 0, 4));
+  // x + y <= 4 cuts the upper-right triangle off.
+  const ConvexPolygon diag = square.ClippedToHalfPlane(1, 1, 4);
+  EXPECT_NEAR(diag.Area(), 16.0 - 8.0, 1e-12);
+}
+
+TEST(PolygonTest, HalfPlaneClipNoop) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 4, 0, 4));
+  const ConvexPolygon all = square.ClippedToHalfPlane(1, 0, 100);
+  EXPECT_NEAR(all.Area(), 16.0, 1e-12);
+}
+
+TEST(PolygonTest, HalfPlaneClipEverything) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 4, 0, 4));
+  const ConvexPolygon none = square.ClippedToHalfPlane(1, 0, -1);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(none.Area(), 0.0);
+}
+
+TEST(PolygonTest, HalfPlaneClipSequenceMatchesRectClip) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 10, 0, 10));
+  // Four axis-aligned half-planes == rectangle clip.
+  ConvexPolygon clipped = square.ClippedToHalfPlane(1, 0, 7);   // x <= 7
+  clipped = clipped.ClippedToHalfPlane(-1, 0, -2);              // x >= 2
+  clipped = clipped.ClippedToHalfPlane(0, 1, 9);                // y <= 9
+  clipped = clipped.ClippedToHalfPlane(0, -1, -3);              // y >= 3
+  EXPECT_NEAR(clipped.Area(), square.IntersectionArea(Rect(2, 7, 3, 9)),
+              1e-12);
+}
+
+TEST(PolygonTest, TranslatedPreservesAreaAndShifts) {
+  const ConvexPolygon p = MustMake({{0, 0}, {4, 0}, {0, 3}});
+  const ConvexPolygon t = p.Translated(Point(10, 20));
+  EXPECT_DOUBLE_EQ(t.Area(), p.Area());
+  EXPECT_EQ(t.BoundingBox(), Rect(10, 14, 20, 23));
+}
+
+// Property: clip area of random convex polygons against random rects
+// equals the Monte-Carlo estimate of the overlap.
+class PolygonClipPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolygonClipPropertyTest, ClipAreaMatchesMembershipSampling) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    // Random convex polygon via hull of a point cloud.
+    std::vector<Point> cloud;
+    for (int i = 0; i < 12; ++i) {
+      cloud.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    }
+    Result<ConvexPolygon> hull = ConvexPolygon::ConvexHull(cloud);
+    ASSERT_TRUE(hull.ok());
+    const Rect clip = Rect::Centered(
+        Point(rng.Uniform(-3, 3), rng.Uniform(-3, 3)),
+        rng.Uniform(1, 5), rng.Uniform(1, 5));
+    const double exact = hull->IntersectionArea(clip);
+
+    Rng mc(GetParam() * 77 + static_cast<uint64_t>(iter));
+    size_t hits = 0;
+    const size_t samples = 100000;
+    for (size_t s = 0; s < samples; ++s) {
+      const Point p(mc.Uniform(clip.xmin, clip.xmax),
+                    mc.Uniform(clip.ymin, clip.ymax));
+      if (hull->Contains(p)) ++hits;
+    }
+    const double est =
+        clip.Area() * static_cast<double>(hits) / static_cast<double>(samples);
+    EXPECT_NEAR(exact, est, 0.05 * std::max(1.0, clip.Area()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolygonClipPropertyTest,
+                         ::testing::Values(3, 5, 8));
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,163 @@
+#include "index/pti.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+std::vector<UncertainObject> MakeObjects(size_t n, uint64_t seed,
+                                         bool with_catalogs = true) {
+  Rng rng(seed);
+  const Rect space(0, 1000, 0, 1000);
+  std::vector<UncertainObject> objects;
+  for (size_t i = 0; i < n; ++i) {
+    objects.emplace_back(static_cast<ObjectId>(i + 1),
+                         MakeUniform(RandomRect(&rng, space, 2, 40)));
+    if (with_catalogs) {
+      EXPECT_TRUE(objects.back()
+                      .BuildCatalog(UCatalog::EvenlySpacedValues(11))
+                      .ok());
+    }
+  }
+  return objects;
+}
+
+// Accept-all node pruner for plain-range query tests.
+bool NoPrune(const Rect&, const UCatalog&) { return false; }
+
+TEST(PTITest, BuildRequiresObjects) {
+  EXPECT_FALSE(PTI::Build(PTIOptions(4096, 11), {}).ok());
+}
+
+TEST(PTITest, BuildRequiresCatalogs) {
+  std::vector<UncertainObject> objects =
+      MakeObjects(10, 31, /*with_catalogs=*/false);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  EXPECT_FALSE(pti.ok());
+  EXPECT_EQ(pti.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PTITest, BuildRejectsMixedLadders) {
+  std::vector<UncertainObject> objects = MakeObjects(5, 32);
+  ASSERT_TRUE(objects[2].BuildCatalog({0.0, 0.5}).ok());  // different ladder
+  EXPECT_FALSE(PTI::Build(PTIOptions(4096, 11), objects).ok());
+}
+
+TEST(PTITest, FanoutLowerThanPlainRTree) {
+  // §5.3: catalog MBRs make PTI entries bigger, so fewer fit per 4K page.
+  std::vector<UncertainObject> objects = MakeObjects(5000, 33);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  RTreeOptions plain;
+  plain.page_size_bytes = 4096;
+  EXPECT_LT(pti->tree().max_entries(), 20u);
+  EXPECT_EQ(MaxEntriesForPage(plain), 113u);
+  EXPECT_GT(pti->tree().node_count(), 5000u / 20u);
+  EXPECT_TRUE(pti->tree().Validate().ok());
+}
+
+TEST(PTITest, QueryWithoutPruningMatchesBruteForce) {
+  std::vector<UncertainObject> objects = MakeObjects(2000, 34);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  Rng rng(35);
+  for (int q = 0; q < 50; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 20, 300);
+    std::set<size_t> expected;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      if (objects[i].region().Intersects(range)) expected.insert(i);
+    }
+    std::set<size_t> got;
+    pti->Query(range, NoPrune, [&](ObjectId idx) { got.insert(idx); });
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(PTITest, NodeCatalogsEncloseChildObjects) {
+  // Soundness of index-level pruning: for every leaf, the leaf node's merged
+  // p-bound lines must bound each member object's own lines.
+  std::vector<UncertainObject> objects = MakeObjects(500, 36);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  const RTree& tree = pti->tree();
+  // Walk all nodes; for leaves compare member catalogs to the node catalog.
+  for (int32_t nid = 0; nid < static_cast<int32_t>(tree.node_count());
+       ++nid) {
+    if (!tree.IsLeaf(nid)) continue;
+    const UCatalog& node_cat = pti->node_catalog(nid);
+    for (size_t e = 0; e < tree.EntryCount(nid); ++e) {
+      const UCatalog* obj_cat = objects[tree.EntryId(nid, e)].catalog();
+      ASSERT_NE(obj_cat, nullptr);
+      for (size_t i = 0; i < node_cat.size(); ++i) {
+        EXPECT_LE(node_cat.bound(i).l, obj_cat->bound(i).l);
+        EXPECT_GE(node_cat.bound(i).r, obj_cat->bound(i).r);
+        EXPECT_LE(node_cat.bound(i).b, obj_cat->bound(i).b);
+        EXPECT_GE(node_cat.bound(i).t, obj_cat->bound(i).t);
+      }
+    }
+  }
+}
+
+TEST(PTITest, RootCatalogEnclosesEveryObject) {
+  std::vector<UncertainObject> objects = MakeObjects(300, 37);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  const UCatalog& root_cat = pti->node_catalog(pti->tree().root());
+  for (const UncertainObject& obj : objects) {
+    const UCatalog* cat = obj.catalog();
+    for (size_t i = 0; i < root_cat.size(); ++i) {
+      EXPECT_LE(root_cat.bound(i).l, cat->bound(i).l);
+      EXPECT_GE(root_cat.bound(i).r, cat->bound(i).r);
+    }
+  }
+}
+
+TEST(PTITest, NodePruningSkipsSubtrees) {
+  std::vector<UncertainObject> objects = MakeObjects(2000, 38);
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  const Rect range(0, 1000, 0, 1000);
+  IndexStats no_prune_stats;
+  size_t visited_all = 0;
+  pti->Query(range, NoPrune, [&](ObjectId) { ++visited_all; },
+             &no_prune_stats);
+  IndexStats prune_stats;
+  size_t visited_pruned = 0;
+  // Prune any subtree whose MBR lies left of x = 500.
+  pti->Query(
+      range,
+      [](const Rect& mbr, const UCatalog&) { return mbr.xmax < 500; },
+      [&](ObjectId) { ++visited_pruned; }, &prune_stats);
+  EXPECT_EQ(visited_all, 2000u);
+  EXPECT_LT(visited_pruned, visited_all);
+  EXPECT_LT(prune_stats.node_accesses, no_prune_stats.node_accesses);
+}
+
+TEST(PTITest, GaussianObjectsBuildAndQuery) {
+  Rng rng(39);
+  std::vector<UncertainObject> objects;
+  for (size_t i = 0; i < 300; ++i) {
+    objects.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        MakeGaussian(RandomRect(&rng, Rect(0, 1000, 0, 1000), 5, 50)));
+    ASSERT_TRUE(
+        objects.back().BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  }
+  Result<PTI> pti = PTI::Build(PTIOptions(4096, 11), objects);
+  ASSERT_TRUE(pti.ok());
+  size_t visited = 0;
+  pti->Query(Rect(0, 1000, 0, 1000), NoPrune, [&](ObjectId) { ++visited; });
+  EXPECT_EQ(visited, 300u);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,164 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ilq {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Width(), 0.0);
+}
+
+TEST(RectTest, CenteredConstructor) {
+  const Rect r = Rect::Centered(Point(10, 20), 3, 4);
+  EXPECT_DOUBLE_EQ(r.xmin, 7);
+  EXPECT_DOUBLE_EQ(r.xmax, 13);
+  EXPECT_DOUBLE_EQ(r.ymin, 16);
+  EXPECT_DOUBLE_EQ(r.ymax, 24);
+  EXPECT_EQ(r.Center(), Point(10, 20));
+}
+
+TEST(RectTest, AtPointIsDegenerateButNotEmpty) {
+  const Rect r = Rect::AtPoint(Point(5, 5));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point(5, 5)));
+}
+
+TEST(RectTest, ContainsIsClosed) {
+  const Rect r(0, 10, 0, 10);
+  EXPECT_TRUE(r.Contains(Point(0, 0)));
+  EXPECT_TRUE(r.Contains(Point(10, 10)));
+  EXPECT_TRUE(r.Contains(Point(5, 5)));
+  EXPECT_FALSE(r.Contains(Point(10.0001, 5)));
+  EXPECT_FALSE(r.Contains(Point(-0.0001, 5)));
+}
+
+TEST(RectTest, IntersectsSharedBoundaryCounts) {
+  const Rect a(0, 10, 0, 10);
+  const Rect b(10, 20, 0, 10);  // touches at x = 10
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 0.0);
+}
+
+TEST(RectTest, DisjointDoNotIntersect) {
+  const Rect a(0, 10, 0, 10);
+  const Rect b(11, 20, 0, 10);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersection(b).IsEmpty());
+}
+
+TEST(RectTest, EmptyNeverIntersects) {
+  const Rect a(0, 10, 0, 10);
+  EXPECT_FALSE(a.Intersects(Rect::Empty()));
+  EXPECT_FALSE(Rect::Empty().Intersects(a));
+}
+
+TEST(RectTest, IntersectionGeometry) {
+  const Rect a(0, 10, 0, 10);
+  const Rect b(5, 15, -5, 5);
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(5, 10, 0, 5));
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 25.0);
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 10, 0, 10);
+  EXPECT_TRUE(outer.ContainsRect(Rect(2, 8, 2, 8)));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_TRUE(outer.ContainsRect(Rect::Empty()));
+  EXPECT_FALSE(outer.ContainsRect(Rect(2, 11, 2, 8)));
+  EXPECT_FALSE(Rect::Empty().ContainsRect(outer));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect a(0, 1, 0, 1);
+  const Rect b(5, 6, -2, 0.5);
+  const Rect u = a.Union(b);
+  EXPECT_TRUE(u.ContainsRect(a));
+  EXPECT_TRUE(u.ContainsRect(b));
+  EXPECT_EQ(u, Rect(0, 6, -2, 1));
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  const Rect a(0, 1, 0, 1);
+  EXPECT_EQ(a.Union(Rect::Empty()), a);
+  EXPECT_EQ(Rect::Empty().Union(a), a);
+}
+
+TEST(RectTest, ExpandedGrowsEachSide) {
+  const Rect r(0, 10, 0, 10);
+  EXPECT_EQ(r.Expanded(2, 3), Rect(-2, 12, -3, 13));
+}
+
+TEST(RectTest, NegativeExpansionCanEmpty) {
+  const Rect r(0, 10, 0, 10);
+  EXPECT_TRUE(r.Expanded(-6, 0).IsEmpty());
+}
+
+TEST(RectTest, MinDistanceToPoint) {
+  const Rect r(0, 10, 0, 10);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point(5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point(13, 5)), 3.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point(13, 14)), 5.0);  // 3-4-5 corner
+}
+
+TEST(RectTest, MarginIsHalfPerimeter) {
+  EXPECT_DOUBLE_EQ(Rect(0, 4, 0, 6).Margin(), 10.0);
+}
+
+TEST(RectTest, ToStringRenders) {
+  EXPECT_EQ(Rect::Empty().ToString(), "[empty]");
+  EXPECT_EQ(Rect(0, 1, 2, 3).ToString(), "[0,1]x[2,3]");
+}
+
+// Property sweep: intersection area is symmetric, bounded and consistent
+// with the Intersects predicate on random rectangles.
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, IntersectionInvariants) {
+  Rng rng(GetParam());
+  const Rect space(-100, 100, -100, 100);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double w1 = rng.Uniform(0.1, 50);
+    const double h1 = rng.Uniform(0.1, 50);
+    const double w2 = rng.Uniform(0.1, 50);
+    const double h2 = rng.Uniform(0.1, 50);
+    const Rect a = Rect::Centered(
+        Point(rng.Uniform(-80, 80), rng.Uniform(-80, 80)), w1, h1);
+    const Rect b = Rect::Centered(
+        Point(rng.Uniform(-80, 80), rng.Uniform(-80, 80)), w2, h2);
+    const double area_ab = a.IntersectionArea(b);
+    EXPECT_DOUBLE_EQ(area_ab, b.IntersectionArea(a));
+    EXPECT_LE(area_ab, std::min(a.Area(), b.Area()) + 1e-9);
+    EXPECT_GE(area_ab, 0.0);
+    if (area_ab > 0.0) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+    const Rect i = a.Intersection(b);
+    if (!i.IsEmpty()) {
+      EXPECT_NEAR(i.Area(), area_ab, 1e-9);
+      EXPECT_TRUE(a.ContainsRect(i));
+      EXPECT_TRUE(b.ContainsRect(i));
+    } else {
+      EXPECT_EQ(area_ab, 0.0);
+    }
+    // Union must contain both and have at least max area.
+    const Rect u = a.Union(b);
+    EXPECT_TRUE(u.ContainsRect(a));
+    EXPECT_TRUE(u.ContainsRect(b));
+    EXPECT_GE(u.Area() + 1e-9, std::max(a.Area(), b.Area()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ilq {
+namespace {
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.Uniform(-5.0, 11.0);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 11.0);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRangeReturnsLo) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Uniform(3.5, 3.5), 3.5);
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBelowStaysBelow) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaledMoments) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,407 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::RandomRect;
+
+std::vector<RTree::Item> RandomItems(size_t n, uint64_t seed,
+                                     double max_side = 40.0) {
+  Rng rng(seed);
+  const Rect space(0, 1000, 0, 1000);
+  std::vector<RTree::Item> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back(
+        {RandomRect(&rng, space, 0.5, max_side), static_cast<ObjectId>(i)});
+  }
+  return items;
+}
+
+std::set<ObjectId> BruteForce(const std::vector<RTree::Item>& items,
+                              const Rect& range) {
+  std::set<ObjectId> hits;
+  for (const RTree::Item& item : items) {
+    if (item.box.Intersects(range)) hits.insert(item.id);
+  }
+  return hits;
+}
+
+TEST(RTreeTest, MaxEntriesDerivedFromPageSize) {
+  RTreeOptions options;
+  options.page_size_bytes = 4096;
+  // (4096 - 16) / 36 = 113 entries per 4K page.
+  EXPECT_EQ(MaxEntriesForPage(options), 113u);
+  options.extra_entry_bytes = 11 * 32;  // PTI with an 11-value catalog
+  EXPECT_EQ(MaxEntriesForPage(options), (4096u - 16u) / (36u + 352u));
+}
+
+TEST(RTreeTest, CreateRejectsTinyPages) {
+  RTreeOptions options;
+  options.page_size_bytes = 50;
+  EXPECT_FALSE(RTree::Create(options).ok());
+}
+
+TEST(RTreeTest, CreateRejectsBadFillFraction) {
+  RTreeOptions options;
+  options.min_fill_fraction = 0.9;
+  EXPECT_FALSE(RTree::Create(options).ok());
+  options.min_fill_fraction = 0.0;
+  EXPECT_FALSE(RTree::Create(options).ok());
+}
+
+TEST(RTreeTest, EmptyTreeQueriesNothing) {
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_TRUE(tree->QueryIds(Rect(0, 1, 0, 1)).empty());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(RTreeTest, BulkLoadSingleItem) {
+  Result<RTree> tree =
+      RTree::BulkLoad(RTreeOptions{}, {{Rect(1, 2, 3, 4), 7}});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_EQ(tree->height(), 1u);
+  const std::vector<ObjectId> ids = tree->QueryIds(Rect(0, 5, 0, 5));
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 7u);
+}
+
+TEST(RTreeTest, BulkLoadValidatesInvariants) {
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, RandomItems(5000, 1));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  EXPECT_EQ(tree->size(), 5000u);
+  EXPECT_GE(tree->height(), 2u);
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  const std::vector<RTree::Item> items = RandomItems(3000, 2);
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(3);
+  for (int q = 0; q < 100; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 300);
+    const std::vector<ObjectId> got = tree->QueryIds(range);
+    const std::set<ObjectId> expected = BruteForce(items, range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()), expected);
+    EXPECT_EQ(got.size(), expected.size());  // no duplicates
+  }
+}
+
+TEST(RTreeTest, InsertMatchesBruteForce) {
+  const std::vector<RTree::Item> items = RandomItems(2000, 4);
+  Result<RTree> made = RTree::Create(RTreeOptions{});
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  for (const RTree::Item& item : items) tree.Insert(item.box, item.id);
+  EXPECT_EQ(tree.size(), items.size());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  Rng rng(5);
+  for (int q = 0; q < 100; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 250);
+    const std::vector<ObjectId> got = tree.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteForce(items, range));
+  }
+}
+
+TEST(RTreeTest, InsertWithSmallFanoutForcesDeepSplits) {
+  RTreeOptions options;
+  options.max_entries_override = 4;
+  Result<RTree> made = RTree::Create(options);
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  const std::vector<RTree::Item> items = RandomItems(500, 6);
+  for (const RTree::Item& item : items) tree.Insert(item.box, item.id);
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_GE(tree.height(), 4u);
+  Rng rng(7);
+  for (int q = 0; q < 50; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 200);
+    const std::vector<ObjectId> got = tree.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteForce(items, range));
+  }
+}
+
+TEST(RTreeTest, MixedBulkLoadThenInsert) {
+  std::vector<RTree::Item> items = RandomItems(1000, 8);
+  Result<RTree> made = RTree::BulkLoad(
+      RTreeOptions{},
+      std::vector<RTree::Item>(items.begin(), items.begin() + 500));
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  for (size_t i = 500; i < items.size(); ++i) {
+    tree.Insert(items[i].box, items[i].id);
+  }
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  const Rect everything(-10, 1010, -10, 1010);
+  EXPECT_EQ(tree.QueryIds(everything).size(), items.size());
+}
+
+TEST(RTreeTest, PointItemsWork) {
+  Rng rng(9);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 1000; ++i) {
+    const Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    items.push_back({Rect::AtPoint(p), static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  for (int q = 0; q < 50; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 100, 0, 100), 5, 30);
+    const std::vector<ObjectId> got = tree->QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteForce(items, range));
+  }
+}
+
+TEST(RTreeTest, StatsCountNodeAccesses) {
+  Result<RTree> tree =
+      RTree::BulkLoad(RTreeOptions{}, RandomItems(20000, 10));
+  ASSERT_TRUE(tree.ok());
+  IndexStats stats;
+  tree->QueryIds(Rect(100, 200, 100, 200), &stats);
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_GE(stats.node_accesses, stats.leaf_accesses);
+  // A selective query must touch far fewer pages than the whole tree.
+  EXPECT_LT(stats.node_accesses, tree->node_count() / 2);
+
+  IndexStats full;
+  tree->QueryIds(Rect(-1, 1001, -1, 1001), &full);
+  EXPECT_EQ(full.candidates, 20000u);
+  EXPECT_EQ(full.node_accesses, tree->node_count());
+}
+
+TEST(RTreeTest, BoundsCoverEverything) {
+  const std::vector<RTree::Item> items = RandomItems(500, 11);
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  const Rect bounds = tree->bounds();
+  for (const RTree::Item& item : items) {
+    EXPECT_TRUE(bounds.ContainsRect(item.box));
+  }
+}
+
+TEST(RTreeTest, HeightShrinksWithLargerPages) {
+  const std::vector<RTree::Item> items = RandomItems(20000, 12);
+  RTreeOptions small;
+  small.page_size_bytes = 1024;
+  RTreeOptions large;
+  large.page_size_bytes = 8192;
+  Result<RTree> t_small = RTree::BulkLoad(small, items);
+  Result<RTree> t_large = RTree::BulkLoad(large, items);
+  ASSERT_TRUE(t_small.ok() && t_large.ok());
+  EXPECT_GT(t_small->height(), t_large->height());
+  EXPECT_GT(t_small->node_count(), t_large->node_count());
+}
+
+TEST(RTreeTest, RemoveMissingReturnsFalse) {
+  Result<RTree> made = RTree::BulkLoad(RTreeOptions{}, RandomItems(100, 40));
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  EXPECT_FALSE(tree.Remove(Rect(5000, 5001, 5000, 5001), 999));
+  // Right box, wrong id.
+  EXPECT_FALSE(tree.Remove(Rect(0, 1, 0, 1), 12345));
+  EXPECT_EQ(tree.size(), 100u);
+}
+
+TEST(RTreeTest, RemoveSingleItemEmptiesTree) {
+  Result<RTree> made =
+      RTree::BulkLoad(RTreeOptions{}, {{Rect(1, 2, 3, 4), 7}});
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  EXPECT_TRUE(tree.Remove(Rect(1, 2, 3, 4), 7));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.QueryIds(Rect(0, 10, 0, 10)).empty());
+  EXPECT_TRUE(tree.Validate().ok());
+  // The tree is reusable after becoming empty.
+  tree.Insert(Rect(5, 6, 5, 6), 8);
+  EXPECT_EQ(tree.QueryIds(Rect(0, 10, 0, 10)).size(), 1u);
+}
+
+TEST(RTreeTest, RemoveHalfThenQueriesMatchBruteForce) {
+  const std::vector<RTree::Item> items = RandomItems(3000, 41);
+  Result<RTree> made = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  // Remove every other item.
+  std::vector<RTree::Item> kept;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(tree.Remove(items[i].box, items[i].id)) << "item " << i;
+    } else {
+      kept.push_back(items[i]);
+    }
+  }
+  EXPECT_EQ(tree.size(), kept.size());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  Rng rng(42);
+  for (int q = 0; q < 60; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 20, 300);
+    const std::vector<ObjectId> got = tree.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteForce(kept, range));
+  }
+}
+
+TEST(RTreeTest, RemoveAllThenReinsert) {
+  const std::vector<RTree::Item> items = RandomItems(800, 43);
+  Result<RTree> made = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  for (const RTree::Item& item : items) {
+    ASSERT_TRUE(tree.Remove(item.box, item.id));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate().ok());
+  for (const RTree::Item& item : items) tree.Insert(item.box, item.id);
+  EXPECT_EQ(tree.size(), items.size());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  const std::vector<ObjectId> all = tree.QueryIds(Rect(-1, 1001, -1, 1001));
+  EXPECT_EQ(all.size(), items.size());
+}
+
+TEST(RTreeTest, RemoveRecyclesNodes) {
+  const std::vector<RTree::Item> items = RandomItems(5000, 44);
+  Result<RTree> made = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  const size_t nodes_before = tree.node_count();
+  for (size_t i = 0; i < items.size(); i += 2) {
+    ASSERT_TRUE(tree.Remove(items[i].box, items[i].id));
+  }
+  EXPECT_LT(tree.node_count(), nodes_before);
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+TEST(RTreeTest, InterleavedInsertRemoveStress) {
+  Rng rng(45);
+  Result<RTree> made = RTree::Create(RTreeOptions{});
+  ASSERT_TRUE(made.ok());
+  RTree tree = std::move(made).ValueOrDie();
+  std::vector<RTree::Item> live;
+  ObjectId next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      RTree::Item item{RandomRect(&rng, Rect(0, 1000, 0, 1000), 1, 50),
+                       next_id++};
+      tree.Insert(item.box, item.id);
+      live.push_back(item);
+    } else {
+      const size_t victim = rng.NextBelow(live.size());
+      ASSERT_TRUE(tree.Remove(live[victim].box, live[victim].id));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  const Rect range(200, 600, 200, 600);
+  const std::vector<ObjectId> got = tree.QueryIds(range);
+  EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+            BruteForce(live, range));
+}
+
+TEST(RTreeTest, NearestSingle) {
+  Result<RTree> made = RTree::BulkLoad(
+      RTreeOptions{}, {{Rect::AtPoint(Point(10, 10)), 1},
+                       {Rect::AtPoint(Point(50, 50)), 2},
+                       {Rect::AtPoint(Point(90, 10)), 3}});
+  ASSERT_TRUE(made.ok());
+  const std::vector<RTree::Neighbor> nn = made->Nearest(Point(45, 48), 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 2u);
+  EXPECT_NEAR(nn[0].distance, std::sqrt(25.0 + 4.0), 1e-12);
+}
+
+TEST(RTreeTest, NearestKOrderedAndMatchesBruteForce) {
+  Rng rng(46);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 2000; ++i) {
+    items.push_back({Rect::AtPoint(Point(rng.Uniform(0, 1000),
+                                         rng.Uniform(0, 1000))),
+                     static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  for (int q = 0; q < 30; ++q) {
+    const Point query(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    const size_t k = 1 + rng.NextBelow(10);
+    const std::vector<RTree::Neighbor> nn = tree->Nearest(query, k);
+    ASSERT_EQ(nn.size(), k);
+    // Ordered ascending.
+    for (size_t i = 1; i < nn.size(); ++i) {
+      EXPECT_GE(nn[i].distance, nn[i - 1].distance);
+    }
+    // Matches a brute-force sort.
+    std::vector<double> dists;
+    for (const RTree::Item& item : items) {
+      dists.push_back(item.box.MinDistanceTo(query));
+    }
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(nn[i].distance, dists[i], 1e-9);
+    }
+  }
+}
+
+TEST(RTreeTest, NearestMoreThanSizeReturnsAll) {
+  Result<RTree> made = RTree::BulkLoad(
+      RTreeOptions{}, {{Rect::AtPoint(Point(1, 1)), 1},
+                       {Rect::AtPoint(Point(2, 2)), 2}});
+  ASSERT_TRUE(made.ok());
+  EXPECT_EQ(made->Nearest(Point(0, 0), 10).size(), 2u);
+  EXPECT_TRUE(made->Nearest(Point(0, 0), 0).empty());
+}
+
+TEST(RTreeTest, NearestPrunesNodes) {
+  Rng rng(47);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 50000; ++i) {
+    items.push_back({Rect::AtPoint(Point(rng.Uniform(0, 10000),
+                                         rng.Uniform(0, 10000))),
+                     static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  IndexStats stats;
+  tree->Nearest(Point(5000, 5000), 5, &stats);
+  // Best-first search must touch a tiny fraction of the tree.
+  EXPECT_LT(stats.node_accesses, tree->node_count() / 10);
+}
+
+// Parameterized: bulk load equals brute force across dataset sizes,
+// including the degenerate boundaries of a single leaf and exactly-full
+// nodes.
+class RTreeSizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeSizeSweepTest, QueryMatchesBruteForce) {
+  const std::vector<RTree::Item> items = RandomItems(GetParam(), 13);
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, items);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  Rng rng(14);
+  for (int q = 0; q < 20; ++q) {
+    const Rect range = RandomRect(&rng, Rect(0, 1000, 0, 1000), 50, 400);
+    const std::vector<ObjectId> got = tree->QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+              BruteForce(items, range));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeSizeSweepTest,
+                         ::testing::Values(1, 2, 113, 114, 500, 1130, 12770));
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ilq {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SummaryStatsTest, MeanAndSum) {
+  SummaryStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 6.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SummaryStatsTest, MinMax) {
+  SummaryStats s;
+  for (double v : {5.0, -1.0, 3.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(SummaryStatsTest, SampleStdDev) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  // Known dataset: sample variance = 32/7.
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStatsTest, StdDevSingleSampleIsZero) {
+  SummaryStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SummaryStatsTest, PercentileInterpolates) {
+  SummaryStats s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 25.0);
+}
+
+TEST(SummaryStatsTest, PercentileCacheInvalidatedByAdd) {
+  SummaryStats s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.0);
+}
+
+TEST(SummaryStatsTest, PercentileClampsRange) {
+  SummaryStats s;
+  s.Add(5.0);
+  s.Add(6.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-10), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(500), 6.0);
+}
+
+TEST(SummaryStatsTest, ResetClearsEverything) {
+  SummaryStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Sum(), 0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 10.0);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,122 @@
+// Shared helpers for the ILQ test suite: pdf factories, random geometry,
+// and slow-but-independent reference evaluators used as ground truth.
+
+#ifndef ILQ_TESTS_TEST_UTIL_H_
+#define ILQ_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "geometry/rect.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/histogram_pdf.h"
+#include "prob/pdf.h"
+#include "prob/uniform_pdf.h"
+
+namespace ilq::testing {
+
+inline std::unique_ptr<UniformRectPdf> MakeUniform(const Rect& region) {
+  Result<UniformRectPdf> made = UniformRectPdf::Make(region);
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return std::make_unique<UniformRectPdf>(std::move(made).ValueOrDie());
+}
+
+inline std::unique_ptr<TruncatedGaussianPdf> MakeGaussian(
+    const Rect& region) {
+  Result<TruncatedGaussianPdf> made =
+      TruncatedGaussianPdf::MakePaperDefault(region);
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return std::make_unique<TruncatedGaussianPdf>(
+      std::move(made).ValueOrDie());
+}
+
+inline std::unique_ptr<HistogramPdf> MakeSkewedHistogram(const Rect& region,
+                                                         size_t nx,
+                                                         size_t ny,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> weights(nx * ny);
+  for (double& w : weights) w = rng.NextDouble() * rng.NextDouble();
+  weights[0] += 3.0;  // deliberately non-separable corner spike
+  Result<HistogramPdf> made =
+      HistogramPdf::Make(region, nx, ny, std::move(weights));
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return std::make_unique<HistogramPdf>(std::move(made).ValueOrDie());
+}
+
+/// Random non-degenerate rectangle inside \p space with sides in
+/// [min_side, max_side].
+inline Rect RandomRect(Rng* rng, const Rect& space, double min_side,
+                       double max_side) {
+  const double w = rng->Uniform(min_side, max_side);
+  const double h = rng->Uniform(min_side, max_side);
+  const double x = rng->Uniform(space.xmin, space.xmax - w);
+  const double y = rng->Uniform(space.ymin, space.ymax - h);
+  return Rect(x, x + w, y, y + h);
+}
+
+/// Ground-truth point qualification (Eq. 2) by dense midpoint integration
+/// over U0, using only Density — independent of MassIn/CdfX code paths.
+inline double ReferencePointQualification(const UncertaintyPdf& issuer,
+                                          const Point& s, double w, double h,
+                                          size_t grid = 400) {
+  const Rect u0 = issuer.bounds();
+  const double dx = u0.Width() / static_cast<double>(grid);
+  const double dy = u0.Height() / static_cast<double>(grid);
+  double pi = 0.0;
+  for (size_t i = 0; i < grid; ++i) {
+    const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
+    if (std::abs(x - s.x) > w) continue;
+    for (size_t j = 0; j < grid; ++j) {
+      const double y = u0.ymin + (static_cast<double>(j) + 0.5) * dy;
+      if (std::abs(y - s.y) > h) continue;
+      pi += issuer.Density(Point(x, y));
+    }
+  }
+  return pi * dx * dy;
+}
+
+/// Ground-truth uncertain qualification (Eq. 4) by dense midpoint
+/// integration over U0 of Density × (object mass inside the range there).
+inline double ReferenceUncertainQualification(const UncertaintyPdf& issuer,
+                                              const UncertaintyPdf& object,
+                                              double w, double h,
+                                              size_t grid = 200) {
+  const Rect u0 = issuer.bounds();
+  const double dx = u0.Width() / static_cast<double>(grid);
+  const double dy = u0.Height() / static_cast<double>(grid);
+  double pi = 0.0;
+  for (size_t i = 0; i < grid; ++i) {
+    const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
+    for (size_t j = 0; j < grid; ++j) {
+      const double y = u0.ymin + (static_cast<double>(j) + 0.5) * dy;
+      const Point p(x, y);
+      const double f0 = issuer.Density(p);
+      if (f0 <= 0.0) continue;
+      pi += f0 * object.MassIn(Rect::Centered(p, w, h));
+    }
+  }
+  return pi * dx * dy;
+}
+
+/// Monte-Carlo area of (region predicate) within \p box — used to verify
+/// exact geometric areas.
+template <typename Inside>
+double MonteCarloArea(const Rect& box, Inside&& inside, size_t samples,
+                      uint64_t seed) {
+  Rng rng(seed);
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const Point p(rng.Uniform(box.xmin, box.xmax),
+                  rng.Uniform(box.ymin, box.ymax));
+    if (inside(p)) ++hits;
+  }
+  return box.Area() * static_cast<double>(hits) /
+         static_cast<double>(samples);
+}
+
+}  // namespace ilq::testing
+
+#endif  // ILQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,126 @@
+#include "object/ucatalog.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+
+UCatalog MakeCatalog(const UncertaintyPdf& pdf, std::vector<double> values) {
+  Result<UCatalog> made = UCatalog::Make(pdf, std::move(values));
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  return std::move(made).ValueOrDie();
+}
+
+TEST(UCatalogTest, EvenlySpacedValues) {
+  const std::vector<double> v = UCatalog::EvenlySpacedValues(11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[3], 0.3, 1e-12);
+}
+
+TEST(UCatalogTest, RejectsMissingZero) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  EXPECT_FALSE(UCatalog::Make(*pdf, {0.1, 0.5}).ok());
+}
+
+TEST(UCatalogTest, RejectsOutOfRange) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  EXPECT_FALSE(UCatalog::Make(*pdf, {0.0, 1.5}).ok());
+  EXPECT_FALSE(UCatalog::Make(*pdf, {-0.1, 0.0}).ok());
+  EXPECT_FALSE(UCatalog::Make(*pdf, {}).ok());
+}
+
+TEST(UCatalogTest, SortsAndDeduplicates) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog cat = MakeCatalog(*pdf, {0.5, 0.0, 0.2, 0.5});
+  ASSERT_EQ(cat.size(), 3u);
+  EXPECT_DOUBLE_EQ(cat.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(cat.value(1), 0.2);
+  EXPECT_DOUBLE_EQ(cat.value(2), 0.5);
+}
+
+TEST(UCatalogTest, BoundsMatchDirectComputation) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog cat = MakeCatalog(*pdf, {0.0, 0.25, 0.5});
+  EXPECT_DOUBLE_EQ(cat.bound(1).l, 2.5);
+  EXPECT_DOUBLE_EQ(cat.bound(1).r, 7.5);
+  EXPECT_DOUBLE_EQ(cat.bound(2).l, 5.0);
+}
+
+TEST(UCatalogTest, FloorIndexPicksLargestNotAbove) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog cat = MakeCatalog(*pdf, {0.0, 0.2, 0.4, 0.6});
+  EXPECT_EQ(cat.FloorIndex(0.0), 0u);
+  EXPECT_EQ(cat.FloorIndex(0.1), 0u);
+  EXPECT_EQ(cat.FloorIndex(0.2), 1u);
+  EXPECT_EQ(cat.FloorIndex(0.35), 1u);
+  EXPECT_EQ(cat.FloorIndex(0.9), 3u);
+}
+
+TEST(UCatalogTest, CeilIndexPicksSmallestNotBelow) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog cat = MakeCatalog(*pdf, {0.0, 0.2, 0.4, 0.6});
+  EXPECT_EQ(cat.CeilIndex(0.0).value(), 0u);
+  EXPECT_EQ(cat.CeilIndex(0.1).value(), 1u);
+  EXPECT_EQ(cat.CeilIndex(0.2).value(), 1u);
+  EXPECT_EQ(cat.CeilIndex(0.5).value(), 3u);
+  EXPECT_FALSE(cat.CeilIndex(0.7).has_value());
+}
+
+TEST(UCatalogTest, FloorBoundIsConservative) {
+  // The floor bound's beyond-mass is <= the queried threshold.
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog cat = MakeCatalog(*pdf, UCatalog::EvenlySpacedValues(11));
+  const PBound& b = cat.FloorBound(0.37);  // floor value 0.3
+  const Rect region = pdf->bounds();
+  EXPECT_NEAR(pdf->MassIn(Rect(region.xmin, b.l, region.ymin, region.ymax)),
+              0.3, 1e-9);
+}
+
+TEST(UCatalogTest, SameValuesComparesLadder) {
+  auto pdf = MakeUniform(Rect(0, 10, 0, 10));
+  const UCatalog a = MakeCatalog(*pdf, {0.0, 0.5});
+  const UCatalog b = MakeCatalog(*pdf, {0.0, 0.5});
+  const UCatalog c = MakeCatalog(*pdf, {0.0, 0.4});
+  EXPECT_TRUE(a.SameValues(b));
+  EXPECT_FALSE(a.SameValues(c));
+}
+
+TEST(UCatalogTest, MergeCoversBothCatalogs) {
+  auto left = MakeUniform(Rect(0, 10, 0, 10));
+  auto right = MakeUniform(Rect(20, 40, -10, 0));
+  const std::vector<double> ladder = {0.0, 0.2, 0.4};
+  const UCatalog cat_left = MakeCatalog(*left, ladder);
+  const UCatalog cat_right = MakeCatalog(*right, ladder);
+
+  UCatalog merged = UCatalog::EmptyLike(cat_left);
+  merged.MergeFrom(cat_left);
+  merged.MergeFrom(cat_right);
+  for (size_t i = 0; i < merged.size(); ++i) {
+    // Merged lines must be the envelope of both.
+    EXPECT_DOUBLE_EQ(merged.bound(i).l,
+                     std::min(cat_left.bound(i).l, cat_right.bound(i).l));
+    EXPECT_DOUBLE_EQ(merged.bound(i).r,
+                     std::max(cat_left.bound(i).r, cat_right.bound(i).r));
+    EXPECT_DOUBLE_EQ(merged.bound(i).b,
+                     std::min(cat_left.bound(i).b, cat_right.bound(i).b));
+    EXPECT_DOUBLE_EQ(merged.bound(i).t,
+                     std::max(cat_left.bound(i).t, cat_right.bound(i).t));
+  }
+}
+
+TEST(UCatalogTest, EmptyLikeFirstMergeCopies) {
+  auto pdf = MakeUniform(Rect(5, 6, 5, 6));
+  const UCatalog proto = MakeCatalog(*pdf, {0.0, 0.3});
+  UCatalog merged = UCatalog::EmptyLike(proto);
+  merged.MergeFrom(proto);
+  EXPECT_DOUBLE_EQ(merged.bound(1).l, proto.bound(1).l);
+}
+
+}  // namespace
+}  // namespace ilq

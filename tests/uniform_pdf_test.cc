@@ -1,0 +1,93 @@
+#include "prob/uniform_pdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ilq {
+namespace {
+
+UniformRectPdf Make(const Rect& r) {
+  Result<UniformRectPdf> made = UniformRectPdf::Make(r);
+  EXPECT_TRUE(made.ok());
+  return std::move(made).ValueOrDie();
+}
+
+TEST(UniformPdfTest, RejectsDegenerateRegion) {
+  EXPECT_FALSE(UniformRectPdf::Make(Rect::Empty()).ok());
+  EXPECT_FALSE(UniformRectPdf::Make(Rect(0, 0, 0, 5)).ok());
+  EXPECT_FALSE(UniformRectPdf::Make(Rect(0, 5, 2, 2)).ok());
+}
+
+TEST(UniformPdfTest, DensityConstantInsideZeroOutside) {
+  const UniformRectPdf pdf = Make(Rect(0, 4, 0, 2));
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1, 1)), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(0, 0)), 1.0 / 8.0);  // boundary
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(-0.01, 1)), 0.0);
+}
+
+TEST(UniformPdfTest, MassInIsAreaRatio) {
+  const UniformRectPdf pdf = Make(Rect(0, 10, 0, 10));
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 5, 0, 10)), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(-100, 100, -100, 100)), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(20, 30, 0, 10)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(2.5, 5, 2.5, 5)), 0.0625);
+}
+
+TEST(UniformPdfTest, CdfLinearRamp) {
+  const UniformRectPdf pdf = Make(Rect(10, 20, -4, 0));
+  EXPECT_DOUBLE_EQ(pdf.CdfX(10), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(15), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(20), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(9), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(25), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfY(-2), 0.5);
+}
+
+TEST(UniformPdfTest, QuantileInvertsCdf) {
+  const UniformRectPdf pdf = Make(Rect(10, 20, -4, 0));
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    EXPECT_NEAR(pdf.CdfX(pdf.QuantileX(p)), p, 1e-12);
+    EXPECT_NEAR(pdf.CdfY(pdf.QuantileY(p)), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(pdf.QuantileX(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(pdf.QuantileX(1.0), 20.0);
+}
+
+TEST(UniformPdfTest, MarginalDensity) {
+  const UniformRectPdf pdf = Make(Rect(0, 4, 0, 2));
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfX(2), 0.25);
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfX(5), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfY(1), 0.5);
+}
+
+TEST(UniformPdfTest, IsProduct) {
+  EXPECT_TRUE(Make(Rect(0, 1, 0, 1)).IsProduct());
+}
+
+TEST(UniformPdfTest, SamplesStayInsideAndCoverRegion) {
+  const Rect region(5, 7, -3, -1);
+  const UniformRectPdf pdf = Make(region);
+  Rng rng(3);
+  double sx = 0.0;
+  double sy = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = pdf.Sample(&rng);
+    ASSERT_TRUE(region.Contains(p));
+    sx += p.x;
+    sy += p.y;
+  }
+  EXPECT_NEAR(sx / n, 6.0, 0.02);
+  EXPECT_NEAR(sy / n, -2.0, 0.02);
+}
+
+TEST(UniformPdfTest, CloneIsIndependentCopy) {
+  const UniformRectPdf pdf = Make(Rect(0, 1, 0, 1));
+  auto clone = pdf.Clone();
+  EXPECT_EQ(clone->name(), "uniform");
+  EXPECT_DOUBLE_EQ(clone->MassIn(Rect(0, 0.5, 0, 1)), 0.5);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,110 @@
+#include "datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace ilq {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedQueries) {
+  WorkloadConfig config;
+  config.queries = 50;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->issuers.size(), 50u);
+  EXPECT_DOUBLE_EQ(workload->spec.w, 500.0);
+  EXPECT_DOUBLE_EQ(workload->spec.threshold, 0.0);
+}
+
+TEST(WorkloadTest, IssuerRegionsHaveRequestedSizeAndStayInside) {
+  WorkloadConfig config;
+  config.u = 250;
+  config.queries = 100;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const UncertainObject& issuer : workload->issuers) {
+    EXPECT_NEAR(issuer.region().Width(), 500.0, 1e-9);
+    EXPECT_NEAR(issuer.region().Height(), 500.0, 1e-9);
+    EXPECT_TRUE(config.space.ContainsRect(issuer.region()));
+  }
+}
+
+TEST(WorkloadTest, IssuersCarryCatalogs) {
+  WorkloadConfig config;
+  config.queries = 10;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const UncertainObject& issuer : workload->issuers) {
+    ASSERT_NE(issuer.catalog(), nullptr);
+    EXPECT_EQ(issuer.catalog()->size(), 11u);
+  }
+}
+
+TEST(WorkloadTest, GaussianIssuerKind) {
+  WorkloadConfig config;
+  config.queries = 5;
+  config.issuer_pdf = IssuerPdfKind::kGaussian;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const UncertainObject& issuer : workload->issuers) {
+    EXPECT_EQ(issuer.pdf().name(), "gaussian");
+  }
+}
+
+TEST(WorkloadTest, ZeroUProducesEpsilonRegions) {
+  WorkloadConfig config;
+  config.u = 0.0;
+  config.queries = 5;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const UncertainObject& issuer : workload->issuers) {
+    EXPECT_GT(issuer.region().Width(), 0.0);
+    EXPECT_LT(issuer.region().Width(), 0.01);
+  }
+}
+
+TEST(WorkloadTest, ThresholdPropagatesToSpec) {
+  WorkloadConfig config;
+  config.qp = 0.6;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_DOUBLE_EQ(workload->spec.threshold, 0.6);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.queries = 20;
+  config.seed = 5;
+  Result<Workload> a = GenerateWorkload(config);
+  Result<Workload> b = GenerateWorkload(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->issuers.size(); ++i) {
+    EXPECT_EQ(a->issuers[i].region(), b->issuers[i].region());
+  }
+}
+
+TEST(WorkloadTest, RejectsBadArguments) {
+  WorkloadConfig config;
+  config.w = 0.0;
+  EXPECT_FALSE(GenerateWorkload(config).ok());
+  config = WorkloadConfig{};
+  config.qp = 1.5;
+  EXPECT_FALSE(GenerateWorkload(config).ok());
+  config = WorkloadConfig{};
+  config.u = -3.0;
+  EXPECT_FALSE(GenerateWorkload(config).ok());
+  config = WorkloadConfig{};
+  config.space = Rect::Empty();
+  EXPECT_FALSE(GenerateWorkload(config).ok());
+}
+
+TEST(WorkloadTest, CustomCatalogLadder) {
+  WorkloadConfig config;
+  config.queries = 3;
+  config.catalog_values = {0.0, 0.5, 1.0};
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->issuers[0].catalog()->size(), 3u);
+}
+
+}  // namespace
+}  // namespace ilq
