@@ -8,6 +8,14 @@
 #ifndef ILQ_COMMON_STATUS_H_
 #define ILQ_COMMON_STATUS_H_
 
+// ilq is C++20-only (std::numbers, defaulted operator== on aggregates, ...).
+// Fail fast with one clear message instead of a cascade of cryptic errors
+// when the build is misconfigured with an older -std flag.
+#if (defined(_MSVC_LANG) && _MSVC_LANG < 202002L) || \
+    (!defined(_MSVC_LANG) && defined(__cplusplus) && __cplusplus < 202002L)
+#error "ilq requires C++20: compile with -std=c++20 (the CMake targets set cxx_std_20)"
+#endif
+
 #include <cassert>
 #include <optional>
 #include <string>
