@@ -1,17 +1,21 @@
 // Ablation: U-catalog granularity. The paper stores 11 values (0, 0.1, …,
 // 1) in §6.1 but mentions a 6-entry catalog in §5.2. A finer catalog makes
 // the floor value M closer to Qp (tighter pruning) but enlarges PTI entries
-// and so lowers index fanout — this bench exposes that trade-off.
+// and so lowers index fanout — this bench exposes that trade-off. Pass
+// --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Ablation", "U-catalog size (C-IUQ via PTI)");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Ablation", "U-catalog size (C-IUQ via PTI)", threads);
   const size_t queries = BenchQueriesPerPoint(120);
   const double scale = BenchDatasetScale();
+  BatchOptions batch;
+  batch.threads = threads;
 
   std::vector<std::string> names;
   std::vector<QueryEngine> engines;
@@ -39,13 +43,9 @@ int main() {
       wc.catalog_values = engine.config().catalog_values;
       Result<Workload> workload = GenerateWorkload(wc);
       ILQ_CHECK(workload.ok(), workload.status().ToString());
-      cells.push_back(RunCell(
-          workload->issuers,
-          [&](const UncertainObject& issuer, IndexStats* stats) {
-            return engine.CiuqPti(issuer, workload->spec, CiuqPruneConfig{},
-                                  stats)
-                .size();
-          }));
+      cells.push_back(RunBatchCell(engine, QueryMethod::kCiuqPti,
+                                   workload->issuers,
+                                   BatchSpec{workload->spec}, batch));
     }
     table.AddRow(qp, cells);
   }

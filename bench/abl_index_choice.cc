@@ -1,19 +1,26 @@
 // Ablation: spatial index for the expanded-query filter (§4.3 names both
 // R-tree and grid-file indexing). Compares R-tree, uniform grid and a
-// linear scan on the IPQ workload across uncertainty sizes.
+// linear scan on the IPQ workload across uncertainty sizes. The R-tree
+// column runs through QueryEngine::RunBatch; the grid and scan columns use
+// RunCellParallel directly (they are not engine methods), so --threads=N
+// speeds up all three fairly.
 
 #include "bench_common.h"
 #include "core/duality.h"
 #include "index/grid_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Ablation", "index structure for the Minkowski filter (IPQ)");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Ablation", "index structure for the Minkowski filter (IPQ)",
+              threads);
   const size_t queries = BenchQueriesPerPoint(120);
   const double scale = BenchDatasetScale();
   const std::vector<PointObject> points = CaliforniaPoints(scale);
+  BatchOptions batch;
+  batch.threads = threads;
 
   QueryEngine engine = [&] {
     Result<QueryEngine> e = QueryEngine::Build(points, {}, {});
@@ -59,18 +66,16 @@ int main() {
                     {"R-tree", "Grid", "Scan"});
   for (double u : {100.0, 250.0, 500.0, 1000.0}) {
     const Workload workload = MakeWorkload(u, 500.0, 0.0, queries);
-    const CellResult rtree = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Ipq(issuer, workload.spec, stats).size();
-        });
-    const CellResult grid_cell = RunCell(
-        workload.issuers,
+    const CellResult rtree = RunBatchCell(engine, QueryMethod::kIpq,
+                                          workload.issuers,
+                                          BatchSpec{workload.spec}, batch);
+    const CellResult grid_cell = RunCellParallel(
+        workload.issuers, threads,
         [&](const UncertainObject& issuer, IndexStats* stats) {
           return grid_ipq(issuer, workload.spec, stats);
         });
-    const CellResult scan = RunCell(
-        workload.issuers,
+    const CellResult scan = RunCellParallel(
+        workload.issuers, threads,
         [&](const UncertainObject& issuer, IndexStats* stats) {
           return scan_ipq(issuer, workload.spec, stats);
         });

@@ -1,16 +1,20 @@
 // Ablation: index page size. The paper fixes 4K nodes; this sweep shows
 // how page size moves the work split between node accesses (simulated I/O)
-// and per-candidate computation for IPQ and PTI-based C-IUQ.
+// and per-candidate computation for IPQ and PTI-based C-IUQ. Pass
+// --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Ablation", "index page size (IPQ and C-IUQ)");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Ablation", "index page size (IPQ and C-IUQ)", threads);
   const size_t queries = BenchQueriesPerPoint(120);
   const double scale = BenchDatasetScale();
+  BatchOptions batch;
+  batch.threads = threads;
 
   std::vector<std::string> names;
   std::vector<QueryEngine> engines;
@@ -37,18 +41,12 @@ int main() {
   std::vector<CellResult> ipq_cells;
   std::vector<CellResult> ciuq_cells;
   for (QueryEngine& engine : engines) {
-    ipq_cells.push_back(RunCell(
-        ipq_workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Ipq(issuer, ipq_workload.spec, stats).size();
-        }));
-    ciuq_cells.push_back(RunCell(
-        ciuq_workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine
-              .CiuqPti(issuer, ciuq_workload.spec, CiuqPruneConfig{}, stats)
-              .size();
-        }));
+    ipq_cells.push_back(RunBatchCell(engine, QueryMethod::kIpq,
+                                     ipq_workload.issuers,
+                                     BatchSpec{ipq_workload.spec}, batch));
+    ciuq_cells.push_back(RunBatchCell(engine, QueryMethod::kCiuqPti,
+                                      ciuq_workload.issuers,
+                                      BatchSpec{ciuq_workload.spec}, batch));
   }
   ipq_table.AddRow(0, ipq_cells);
   ciuq_table.AddRow(0, ciuq_cells);

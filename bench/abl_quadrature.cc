@@ -1,21 +1,26 @@
 // Ablation: Monte-Carlo (the paper's method for non-uniform pdfs) vs ILQ's
 // separable Gauss–Legendre quadrature for Gaussian×Gaussian IUQ. Reports
 // per-query time and max probability deviation from a high-order reference.
+// Both the reference and each variant evaluate their whole workload through
+// QueryEngine::RunBatch; pass --threads=N to parallelize.
 
 #include <algorithm>
 #include <map>
 
 #include "bench_common.h"
-#include "common/stopwatch.h"
 #include "core/duality.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Ablation", "Monte-Carlo vs quadrature (Gaussian IUQ)");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Ablation", "Monte-Carlo vs quadrature (Gaussian IUQ)",
+              threads);
   const double scale = std::min(0.1, BenchDatasetScale());
   const size_t queries = std::min<size_t>(30, BenchQueriesPerPoint(30));
+  BatchOptions batch;
+  batch.threads = threads;
 
   Result<std::vector<UncertainObject>> objects =
       MakeGaussianUncertainObjects(LongBeachRects(scale));
@@ -49,6 +54,9 @@ int main() {
 
   const Workload workload = MakeWorkload(250.0, 500.0, 0.0, queries,
                                          IssuerPdfKind::kGaussian);
+  const BatchSpec spec{workload.spec};
+  const BatchResult ref =
+      ref_engine.RunBatch(QueryMethod::kIuq, workload.issuers, spec, batch);
   std::printf("\n%-10s  %14s  %14s\n", "kernel", "mean T(ms)", "max |err|");
   for (const Variant& v : variants) {
     QueryEngine engine = [&] {
@@ -56,16 +64,15 @@ int main() {
       ILQ_CHECK(e.ok(), e.status().ToString());
       return std::move(e).ValueOrDie();
     }();
+    const BatchResult got =
+        engine.RunBatch(QueryMethod::kIuq, workload.issuers, spec, batch);
     SummaryStats time_ms;
+    for (double ms : got.query_ms) time_ms.Add(ms);
     double max_err = 0.0;
-    for (const UncertainObject& issuer : workload.issuers) {
-      Stopwatch watch;
-      const AnswerSet got = engine.Iuq(issuer, workload.spec);
-      time_ms.Add(watch.ElapsedMillis());
-      const AnswerSet ref = ref_engine.Iuq(issuer, workload.spec);
+    for (size_t q = 0; q < got.answers.size(); ++q) {
       std::map<ObjectId, double> truth;
-      for (const auto& a : ref) truth[a.id] = a.probability;
-      for (const auto& a : got) {
+      for (const auto& a : ref.answers[q]) truth[a.id] = a.probability;
+      for (const auto& a : got.answers[q]) {
         max_err = std::max(max_err, std::abs(a.probability - truth[a.id]));
       }
     }

@@ -4,16 +4,20 @@
 // fixed threshold, reporting time, candidates and node accesses. Strategy 2
 // (the p-expanded traversal window) is the workhorse; Strategy 1 prunes on
 // object/subtree p-bounds and Strategy 3 catches cases the other two miss.
+// Pass --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Ablation", "C-IUQ pruning strategies (Qp sweep)");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Ablation", "C-IUQ pruning strategies (Qp sweep)", threads);
   const size_t queries = BenchQueriesPerPoint(120);
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+  BatchOptions batch;
+  batch.threads = threads;
 
   struct Variant {
     const char* name;
@@ -35,12 +39,10 @@ int main() {
     const Workload workload = MakeWorkload(250.0, 500.0, qp, queries);
     std::vector<CellResult> cells;
     for (const Variant& v : variants) {
-      cells.push_back(RunCell(
-          workload.issuers,
-          [&](const UncertainObject& issuer, IndexStats* stats) {
-            return engine.CiuqPti(issuer, workload.spec, v.config, stats)
-                .size();
-          }));
+      cells.push_back(RunBatchCell(engine, QueryMethod::kCiuqPti,
+                                   workload.issuers,
+                                   BatchSpec{workload.spec, v.config},
+                                   batch));
     }
     table.AddRow(qp, cells);
   }

@@ -10,6 +10,9 @@
 //   ILQ_BENCH_QUERIES  queries averaged per data point (default 120;
 //                      the paper used 500 — set 500 for full parity)
 //   ILQ_BENCH_SCALE    dataset-size fraction in (0, 1] (default 1.0)
+//   ILQ_BENCH_THREADS  worker threads for batch evaluation (default 1;
+//                      0 = all hardware threads). The --threads=N flag
+//                      overrides the environment.
 
 #ifndef ILQ_BENCH_BENCH_COMMON_H_
 #define ILQ_BENCH_BENCH_COMMON_H_
@@ -18,6 +21,7 @@
 
 #include "benchutil/harness.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
@@ -72,13 +76,16 @@ inline Workload MakeWorkload(double u, double w, double qp, size_t queries,
   return std::move(workload).ValueOrDie();
 }
 
-inline void PrintHeader(const char* figure, const char* what) {
+inline void PrintHeader(const char* figure, const char* what,
+                        size_t threads = 1) {
   std::printf("ILQ reproduction — %s: %s\n", figure, what);
+  const size_t resolved =
+      threads == 0 ? ThreadPool::DefaultThreadCount() : threads;
   std::printf(
-      "setup: %zu-query average per point, dataset scale %.2f "
-      "(ILQ_BENCH_QUERIES / ILQ_BENCH_SCALE to change; paper: 500 "
-      "queries, full scale)\n",
-      BenchQueriesPerPoint(120), BenchDatasetScale());
+      "setup: %zu-query average per point, dataset scale %.2f, "
+      "%zu worker thread(s) (ILQ_BENCH_QUERIES / ILQ_BENCH_SCALE / "
+      "--threads=N to change; paper: 500 queries, full scale, serial)\n",
+      BenchQueriesPerPoint(120), BenchDatasetScale(), resolved);
 }
 
 }  // namespace ilq::bench

@@ -4,34 +4,34 @@
 // enhanced method uses the expanded query + duality closed form (Eq. 8).
 // The paper's figure sweeps the uncertainty-region size u from 0 to 1000
 // at w = 500 and shows the basic method costing roughly an order of
-// magnitude more, with the gap widening as u grows.
+// magnitude more, with the gap widening as u grows. Pass --threads=N to
+// run each cell's queries through the batch engine in parallel.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Figure 8", "Basic (Eq. 4 sampling) vs Enhanced (Eq. 8) IUQ");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Figure 8", "Basic (Eq. 4 sampling) vs Enhanced (Eq. 8) IUQ",
+              threads);
   const size_t queries = BenchQueriesPerPoint(120);
   const double scale = BenchDatasetScale();
   QueryEngine engine = BuildPaperEngine(scale);
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table("Figure 8 — Avg. response time vs uncertainty size "
                     "(IUQ, w = 500)",
                     "u", {"Enhanced", "Basic"});
   for (double u : {0.0, 100.0, 250.0, 500.0, 750.0, 1000.0}) {
     const Workload workload = MakeWorkload(u, 500.0, 0.0, queries);
-    const CellResult enhanced = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Iuq(issuer, workload.spec, stats).size();
-        });
-    const CellResult basic = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.IuqBasic(issuer, workload.spec, stats).size();
-        });
+    const BatchSpec spec{workload.spec};
+    const CellResult enhanced =
+        RunBatchCell(engine, QueryMethod::kIuq, workload.issuers, spec, batch);
+    const CellResult basic = RunBatchCell(engine, QueryMethod::kIuqBasic,
+                                          workload.issuers, spec, batch);
     table.AddRow(u, {enhanced, basic});
   }
   table.Print();

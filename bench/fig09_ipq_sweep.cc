@@ -1,17 +1,21 @@
 // Figure 9: T vs. u for IPQ at range sizes w ∈ {500, 1000, 1500}.
 //
 // Response time grows with both u and w because the Minkowski-sum expanded
-// query — and hence the candidate set — grows with each.
+// query — and hence the candidate set — grows with each. Queries within a
+// cell run through QueryEngine::RunBatch; pass --threads=N to fan them out.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Figure 9", "IPQ response time vs uncertainty size");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Figure 9", "IPQ response time vs uncertainty size", threads);
   const size_t queries = BenchQueriesPerPoint(120);
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table("Figure 9 — Avg. response time vs uncertainty size "
                     "(IPQ, California-like points)",
@@ -20,11 +24,9 @@ int main() {
     std::vector<CellResult> cells;
     for (double w : {500.0, 1000.0, 1500.0}) {
       const Workload workload = MakeWorkload(u, w, 0.0, queries);
-      cells.push_back(RunCell(
-          workload.issuers,
-          [&](const UncertainObject& issuer, IndexStats* stats) {
-            return engine.Ipq(issuer, workload.spec, stats).size();
-          }));
+      cells.push_back(RunBatchCell(engine, QueryMethod::kIpq,
+                                   workload.issuers,
+                                   BatchSpec{workload.spec}, batch));
     }
     table.AddRow(u, cells);
   }

@@ -1,16 +1,19 @@
 // Figure 10: T vs. u for IUQ at range sizes w ∈ {500, 1000, 1500} — the
 // uncertain-object counterpart of Figure 9, over the Long-Beach-like
-// rectangle dataset.
+// rectangle dataset. Pass --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Figure 10", "IUQ response time vs uncertainty size");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Figure 10", "IUQ response time vs uncertainty size", threads);
   const size_t queries = BenchQueriesPerPoint(120);
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table("Figure 10 — Avg. response time vs uncertainty size "
                     "(IUQ, Long-Beach-like rectangles)",
@@ -19,11 +22,9 @@ int main() {
     std::vector<CellResult> cells;
     for (double w : {500.0, 1000.0, 1500.0}) {
       const Workload workload = MakeWorkload(u, w, 0.0, queries);
-      cells.push_back(RunCell(
-          workload.issuers,
-          [&](const UncertainObject& issuer, IndexStats* stats) {
-            return engine.Iuq(issuer, workload.spec, stats).size();
-          }));
+      cells.push_back(RunBatchCell(engine, QueryMethod::kIuq,
+                                   workload.issuers,
+                                   BatchSpec{workload.spec}, batch));
     }
     table.AddRow(u, cells);
   }

@@ -3,37 +3,33 @@
 //
 // The p-expanded-query shrinks as Qp grows, so fewer candidates survive
 // filtering and response time falls; the Minkowski filter ignores Qp and
-// stays flat. The paper reports ~3× improvement at Qp = 0.6.
+// stays flat. The paper reports ~3× improvement at Qp = 0.6. Pass
+// --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
-  PrintHeader("Figure 11", "C-IPQ: p-expanded-query vs Minkowski filter");
+  const size_t threads = BenchThreads(argc, argv);
+  PrintHeader("Figure 11", "C-IPQ: p-expanded-query vs Minkowski filter",
+              threads);
   const size_t queries = BenchQueriesPerPoint(120);
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table(
       "Figure 11 — Avg. response time vs probability threshold (C-IPQ)",
       "Qp", {"p-Expanded-Query", "Minkowski Sum"});
   for (double qp : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
     const Workload workload = MakeWorkload(250.0, 500.0, qp, queries);
-    const CellResult pexp = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Cipq(issuer, workload.spec, CipqFilter::kPExpanded,
-                             stats)
-              .size();
-        });
-    const CellResult mink = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Cipq(issuer, workload.spec, CipqFilter::kMinkowski,
-                             stats)
-              .size();
-        });
+    const BatchSpec spec{workload.spec};
+    const CellResult pexp = RunBatchCell(engine, QueryMethod::kCipqPExpanded,
+                                         workload.issuers, spec, batch);
+    const CellResult mink = RunBatchCell(engine, QueryMethod::kCipqMinkowski,
+                                         workload.issuers, spec, batch);
     table.AddRow(qp, {pexp, mink});
   }
   table.Print();

@@ -2,36 +2,34 @@
 // PTI + p-expanded-query with pruning strategies 1–3 (§5.2–5.3).
 //
 // The paper reports ~60% gain at Qp = 0.6, smaller than C-IPQ's because
-// extended uncertainty regions are harder to prune than points.
+// extended uncertainty regions are harder to prune than points. Pass
+// --threads=N for parallel batch evaluation.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
+  const size_t threads = BenchThreads(argc, argv);
   PrintHeader("Figure 12",
-              "C-IUQ: PTI + p-expanded-query vs R-tree + Minkowski");
+              "C-IUQ: PTI + p-expanded-query vs R-tree + Minkowski",
+              threads);
   const size_t queries = BenchQueriesPerPoint(120);
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale());
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table(
       "Figure 12 — Avg. response time vs probability threshold (C-IUQ)",
       "Qp", {"p-Expanded-Query", "Minkowski Sum"});
   for (double qp : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
     const Workload workload = MakeWorkload(250.0, 500.0, qp, queries);
-    const CellResult pti = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.CiuqPti(issuer, workload.spec, CiuqPruneConfig{},
-                                stats)
-              .size();
-        });
-    const CellResult rtree = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.CiuqRTree(issuer, workload.spec, stats).size();
-        });
+    const BatchSpec spec{workload.spec};
+    const CellResult pti = RunBatchCell(engine, QueryMethod::kCiuqPti,
+                                        workload.issuers, spec, batch);
+    const CellResult rtree = RunBatchCell(engine, QueryMethod::kCiuqRTree,
+                                          workload.issuers, spec, batch);
     table.AddRow(qp, {pti, rtree});
   }
   table.Print();

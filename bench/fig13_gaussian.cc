@@ -4,20 +4,26 @@
 // sensitivity analysis settled on ≥200 samples per C-IPQ evaluation) and
 // shows the p-expanded-query retaining its advantage; absolute times are
 // an order of magnitude above the uniform case because of the sampling.
+// Pass --threads=N for parallel batch evaluation — the Monte-Carlo streams
+// are per-query, so parallel answers are bit-identical to serial ones.
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
 
+  const size_t threads = BenchThreads(argc, argv);
   PrintHeader("Figure 13",
-              "C-IPQ with Gaussian pdfs (Monte-Carlo, 200 samples)");
+              "C-IPQ with Gaussian pdfs (Monte-Carlo, 200 samples)",
+              threads);
   const size_t queries = BenchQueriesPerPoint(120);
   EngineConfig config;
   config.eval.kernel = ProbabilityKernel::kMonteCarlo;
   config.eval.mc_samples = 200;  // §6.2 sensitivity analysis
   QueryEngine engine = BuildPaperEngine(BenchDatasetScale(), config);
+  BatchOptions batch;
+  batch.threads = threads;
 
   SeriesTable table(
       "Figure 13 — Avg. response time vs probability threshold "
@@ -26,20 +32,11 @@ int main() {
   for (double qp : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
     const Workload workload = MakeWorkload(250.0, 500.0, qp, queries,
                                            IssuerPdfKind::kGaussian);
-    const CellResult pexp = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Cipq(issuer, workload.spec, CipqFilter::kPExpanded,
-                             stats)
-              .size();
-        });
-    const CellResult mink = RunCell(
-        workload.issuers,
-        [&](const UncertainObject& issuer, IndexStats* stats) {
-          return engine.Cipq(issuer, workload.spec, CipqFilter::kMinkowski,
-                             stats)
-              .size();
-        });
+    const BatchSpec spec{workload.spec};
+    const CellResult pexp = RunBatchCell(engine, QueryMethod::kCipqPExpanded,
+                                         workload.issuers, spec, batch);
+    const CellResult mink = RunBatchCell(engine, QueryMethod::kCipqMinkowski,
+                                         workload.issuers, spec, batch);
     table.AddRow(qp, {pexp, mink});
   }
   table.Print();

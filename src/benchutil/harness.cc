@@ -1,38 +1,97 @@
 #include "benchutil/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace ilq {
+
+namespace {
+
+// Shared per-query aggregation: every cell flavour folds (time, stats,
+// answer count) tuples through this one accumulator.
+class CellAccumulator {
+ public:
+  void Add(double ms, const IndexStats& stats, size_t answer_count) {
+    time_ms_.Add(ms);
+    candidates_.Add(static_cast<double>(stats.candidates));
+    node_accesses_.Add(static_cast<double>(stats.node_accesses));
+    answers_.Add(static_cast<double>(answer_count));
+  }
+
+  CellResult Finish(size_t queries, double wall_ms, size_t threads) const {
+    CellResult cell;
+    cell.mean_ms = time_ms_.Mean();
+    cell.p95_ms = time_ms_.Percentile(95.0);
+    cell.mean_candidates = candidates_.Mean();
+    cell.mean_node_accesses = node_accesses_.Mean();
+    cell.mean_answers = answers_.Mean();
+    cell.queries = queries;
+    cell.wall_ms = wall_ms;
+    cell.threads = threads;
+    return cell;
+  }
+
+ private:
+  SummaryStats time_ms_;
+  SummaryStats candidates_;
+  SummaryStats node_accesses_;
+  SummaryStats answers_;
+};
+
+}  // namespace
 
 CellResult RunCell(
     const std::vector<UncertainObject>& issuers,
     const std::function<size_t(const UncertainObject&, IndexStats*)>&
         run_query) {
-  SummaryStats time_ms;
-  SummaryStats candidates;
-  SummaryStats node_accesses;
-  SummaryStats answers;
-  for (const UncertainObject& issuer : issuers) {
-    IndexStats stats;
+  return RunCellParallel(issuers, /*threads=*/1, run_query);
+}
+
+CellResult RunCellParallel(
+    const std::vector<UncertainObject>& issuers, size_t threads,
+    const std::function<size_t(const UncertainObject&, IndexStats*)>&
+        run_query) {
+  const size_t n = issuers.size();
+  if (threads == 0) threads = ThreadPool::DefaultThreadCount();
+  threads = std::max<size_t>(1, std::min(threads, n == 0 ? 1 : n));
+  std::vector<double> times(n);
+  std::vector<IndexStats> stats(n);
+  std::vector<size_t> answer_counts(n);
+  Stopwatch wall;
+  ParallelFor(threads, n, [&](size_t i, size_t) {
     Stopwatch watch;
-    const size_t answer_count = run_query(issuer, &stats);
-    time_ms.Add(watch.ElapsedMillis());
-    candidates.Add(static_cast<double>(stats.candidates));
-    node_accesses.Add(static_cast<double>(stats.node_accesses));
-    answers.Add(static_cast<double>(answer_count));
+    answer_counts[i] = run_query(issuers[i], &stats[i]);
+    times[i] = watch.ElapsedMillis();
+  });
+  const double wall_ms = wall.ElapsedMillis();
+
+  CellAccumulator acc;
+  for (size_t i = 0; i < n; ++i) {
+    acc.Add(times[i], stats[i], answer_counts[i]);
   }
-  CellResult cell;
-  cell.mean_ms = time_ms.Mean();
-  cell.p95_ms = time_ms.Percentile(95.0);
-  cell.mean_candidates = candidates.Mean();
-  cell.mean_node_accesses = node_accesses.Mean();
-  cell.mean_answers = answers.Mean();
-  cell.queries = issuers.size();
-  return cell;
+  return acc.Finish(n, wall_ms, threads);
+}
+
+CellResult SummarizeBatch(const BatchResult& batch) {
+  CellAccumulator acc;
+  for (size_t i = 0; i < batch.answers.size(); ++i) {
+    acc.Add(i < batch.query_ms.size() ? batch.query_ms[i] : 0.0,
+            batch.per_query_stats[i], batch.answers[i].size());
+  }
+  return acc.Finish(batch.answers.size(), batch.wall_ms,
+                    batch.threads_used);
+}
+
+CellResult RunBatchCell(const QueryEngine& engine, QueryMethod method,
+                        const std::vector<UncertainObject>& issuers,
+                        const BatchSpec& spec, const BatchOptions& options) {
+  return SummarizeBatch(engine.RunBatch(method, issuers, spec, options));
 }
 
 SeriesTable::SeriesTable(std::string title, std::string x_label,
@@ -60,6 +119,35 @@ void SeriesTable::Print() const {
     }
     std::printf("\n");
   }
+  // Wall-clock companion (only meaningful for batch-evaluated cells).
+  bool any_wall = false;
+  for (const Row& row : rows_) {
+    for (const CellResult& cell : row.cells) {
+      if (cell.wall_ms > 0.0) any_wall = true;
+    }
+  }
+  if (any_wall) {
+    size_t threads = 1;
+    for (const Row& row : rows_) {
+      for (const CellResult& cell : row.cells) {
+        threads = std::max(threads, cell.threads);
+      }
+    }
+    std::printf("--- batch wall-clock per cell, ms (threads=%zu) ---\n",
+                threads);
+    std::printf("%-12s", x_label_.c_str());
+    for (const std::string& m : methods_) {
+      std::printf("  %18s", (m + " wall").c_str());
+    }
+    std::printf("\n");
+    for (const Row& row : rows_) {
+      std::printf("%-12g", row.x);
+      for (const CellResult& cell : row.cells) {
+        std::printf("  %18.1f", cell.wall_ms);
+      }
+      std::printf("\n");
+    }
+  }
   // Machine-independent companion: candidates and simulated I/O.
   std::printf("--- candidates / node accesses / answers (means) ---\n");
   std::printf("%-12s", x_label_.c_str());
@@ -85,15 +173,17 @@ Status SeriesTable::WriteCsv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << x_label_
-      << ",method,mean_ms,p95_ms,candidates,node_accesses,answers\n";
+      << ",method,mean_ms,p95_ms,candidates,node_accesses,answers,"
+         "wall_ms,threads\n";
   for (const Row& row : rows_) {
     for (size_t i = 0; i < row.cells.size(); ++i) {
       const CellResult& c = row.cells[i];
       char buf[256];
-      std::snprintf(buf, sizeof(buf), "%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f\n",
-                    row.x, methods_[i].c_str(), c.mean_ms, c.p95_ms,
-                    c.mean_candidates, c.mean_node_accesses,
-                    c.mean_answers);
+      std::snprintf(buf, sizeof(buf),
+                    "%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%.2f,%zu\n", row.x,
+                    methods_[i].c_str(), c.mean_ms, c.p95_ms,
+                    c.mean_candidates, c.mean_node_accesses, c.mean_answers,
+                    c.wall_ms, c.threads);
       out << buf;
     }
   }
@@ -113,6 +203,39 @@ double BenchDatasetScale() {
   if (env == nullptr) return 1.0;
   const double parsed = std::strtod(env, nullptr);
   return (parsed > 0.0 && parsed <= 1.0) ? parsed : 1.0;
+}
+
+size_t BenchThreads(int argc, char** argv, size_t fallback) {
+  // "--threads=N" / "--threads N" / "-t N". "0" is valid and means "all
+  // hardware threads" (resolved by BatchOptions).
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    } else if ((std::strcmp(arg, "--threads") == 0 ||
+                std::strcmp(arg, "-t") == 0) &&
+               i + 1 < argc) {
+      value = argv[i + 1];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end != value && *end == '\0' && parsed >= 0) {
+        return static_cast<size_t>(parsed);
+      }
+      std::fprintf(stderr, "ignoring unparsable thread count %s\n", value);
+    }
+  }
+  const char* env = std::getenv("ILQ_BENCH_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace ilq

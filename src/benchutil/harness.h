@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/batch.h"
 #include "core/engine.h"
 #include "datagen/workload.h"
 #include "index/index_stats.h"
@@ -24,15 +25,42 @@ struct CellResult {
   double mean_node_accesses = 0.0;  ///< simulated I/O
   double mean_answers = 0.0;     ///< answer-set size
   size_t queries = 0;
+  double wall_ms = 0.0;  ///< whole-cell wall-clock (batch runs only)
+  size_t threads = 1;    ///< threads the cell ran on
 };
 
 /// Runs \p run_query (which must evaluate exactly one query for the given
 /// issuer and return the answer-set size) over every issuer in the
-/// workload, timing each call.
+/// workload, timing each call. Serial; for engine-backed methods prefer
+/// RunBatchCell, which adds multi-threading.
 CellResult RunCell(
     const std::vector<UncertainObject>& issuers,
     const std::function<size_t(const UncertainObject&, IndexStats*)>&
         run_query);
+
+/// RunCell with the issuers fanned across \p threads workers (0 = all
+/// hardware threads). \p run_query must be safe for concurrent calls —
+/// each invocation gets its own IndexStats. Used by benches whose query
+/// functions are not QueryEngine methods (e.g. the grid-index ablation);
+/// engine methods should go through RunBatchCell.
+CellResult RunCellParallel(
+    const std::vector<UncertainObject>& issuers, size_t threads,
+    const std::function<size_t(const UncertainObject&, IndexStats*)>&
+        run_query);
+
+/// Evaluates one engine method over the issuers through
+/// QueryEngine::RunBatch and aggregates the per-query measurements into a
+/// CellResult. With options.threads == 1 this measures exactly what
+/// RunCell does; with more threads per-query times include scheduling
+/// contention while wall_ms captures the batch speedup.
+CellResult RunBatchCell(const QueryEngine& engine, QueryMethod method,
+                        const std::vector<UncertainObject>& issuers,
+                        const BatchSpec& spec,
+                        const BatchOptions& options = BatchOptions{});
+
+/// Summarizes an already-computed BatchResult (shared by RunBatchCell and
+/// callers that need the raw answers too).
+CellResult SummarizeBatch(const BatchResult& batch);
 
 /// \brief Collects rows of a sweep and pretty-prints the table.
 class SeriesTable {
@@ -72,6 +100,12 @@ size_t BenchQueriesPerPoint(size_t fallback);
 /// Environment-variable override for dataset sizes: ILQ_BENCH_SCALE scales
 /// the paper's 62K/53K datasets by a fraction (default 1.0).
 double BenchDatasetScale();
+
+/// Worker-thread count for the batch benches: `--threads=N` (or
+/// `--threads N`) on the command line wins, then the ILQ_BENCH_THREADS
+/// environment variable, then \p fallback. 0 means "all hardware threads"
+/// and is passed through for BatchOptions to resolve.
+size_t BenchThreads(int argc, char** argv, size_t fallback = 1);
 
 }  // namespace ilq
 

@@ -1,0 +1,123 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ilq {
+
+namespace {
+// Set while this thread is executing a ParallelFor body (as caller or pool
+// worker); used to reject nested submissions, which would deadlock a
+// same-pool reentry and oversubscribe the hardware otherwise.
+thread_local bool tls_in_parallel_for = false;
+
+struct InBodyGuard {
+  InBodyGuard() { tls_in_parallel_for = true; }
+  ~InBodyGuard() { tls_in_parallel_for = false; }
+};
+}  // namespace
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  workers_.reserve(threads - 1);
+  for (size_t w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // submit_mu_ drains any in-flight ParallelFor before we signal shutdown.
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RecordError() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (error_ == nullptr) error_ = std::current_exception();
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+void ThreadPool::DrainChunks(size_t worker) {
+  InBodyGuard guard;
+  while (!failed_.load(std::memory_order_relaxed)) {
+    const size_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= end_) break;
+    const size_t limit = std::min(end_, begin + chunk_);
+    for (size_t i = begin; i < limit; ++i) {
+      if (failed_.load(std::memory_order_relaxed)) return;
+      try {
+        (*body_)(i, worker);
+      } catch (...) {
+        RecordError();
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_job = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || job_id_ != seen_job; });
+    if (stop_) return;
+    seen_job = job_id_;
+    lk.unlock();
+    DrainChunks(worker);
+    lk.lock();
+    if (--job_running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& body, size_t chunk) {
+  if (tls_in_parallel_for) {
+    throw std::logic_error(
+        "ThreadPool::ParallelFor called from inside a ParallelFor body "
+        "(nested parallelism is rejected)");
+  }
+  if (n == 0) return;
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (chunk == 0) chunk = std::max<size_t>(1, n / (thread_count() * 8));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    end_ = n;
+    chunk_ = chunk;
+    cursor_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    job_running_ = workers_.size();
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  DrainChunks(/*worker=*/0);  // the caller is worker 0
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return job_running_ == 0; });
+    body_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void ParallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t chunk) {
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, body, chunk);
+}
+
+}  // namespace ilq

@@ -1,0 +1,100 @@
+// A small fixed-size thread pool with a chunked parallel-for, built for the
+// batch query evaluation subsystem (QueryEngine::RunBatch). Workers pull
+// index chunks off a shared atomic cursor, so uneven per-query costs (large
+// vs small expanded ranges) balance without a scheduler.
+//
+// Design constraints:
+//  - The calling thread participates as worker 0, so a pool constructed
+//    with N threads runs bodies on exactly N threads and `threads == 1`
+//    degenerates to an inline serial loop (no pool threads are ever
+//    touched) — the serial and parallel paths share one code path.
+//  - Exceptions thrown by the body are captured, the iteration space is
+//    drained early, and the first exception is rethrown on the caller.
+//  - Nested ParallelFor (calling it from inside a body) is rejected with
+//    std::logic_error: the pool is sized to the hardware, and nesting would
+//    deadlock a same-pool reentry.
+
+#ifndef ILQ_COMMON_THREAD_POOL_H_
+#define ILQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ilq {
+
+/// \brief Fixed-size pool of worker threads with a chunked ParallelFor.
+///
+/// Thread-compatible: one ParallelFor runs at a time (concurrent external
+/// submissions serialize on an internal mutex). The pool itself must
+/// outlive any running ParallelFor; destruction joins all workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining worker).
+  /// `threads == 0` selects DefaultThreadCount().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute bodies (pool workers + caller).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(i, worker) for every i in [0, n), distributing contiguous
+  /// chunks across threads. `worker` is in [0, thread_count()) and is
+  /// stable within one body invocation — use it to index per-thread
+  /// accumulators. `chunk == 0` picks a size that gives each thread ~8
+  /// chunks for dynamic balancing.
+  ///
+  /// Blocks until all iterations finish. If any body throws, remaining
+  /// chunks are abandoned and the first exception is rethrown here.
+  /// Throws std::logic_error when called from inside a ParallelFor body
+  /// (nested use).
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t index, size_t worker)>& body,
+                   size_t chunk = 0);
+
+  /// Hardware concurrency, at least 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop(size_t worker);
+  // Pulls chunks until the cursor passes the end or an error is recorded.
+  void DrainChunks(size_t worker);
+  void RecordError() noexcept;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  // serializes external ParallelFor calls
+
+  std::mutex mu_;  // guards the job state + both condition variables
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t job_id_ = 0;      // bumped per ParallelFor; workers watch it
+  size_t job_running_ = 0;   // pool workers still inside the current job
+  bool stop_ = false;
+
+  // Current job (valid while job_running_ > 0 or the caller drains).
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  size_t end_ = 0;
+  size_t chunk_ = 1;
+  std::atomic<size_t> cursor_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;  // guarded by mu_
+};
+
+/// One-shot convenience: runs body(i, worker) over [0, n) on a transient
+/// pool of `threads` threads (0 = hardware). `threads <= 1` runs inline.
+void ParallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t index, size_t worker)>& body,
+                 size_t chunk = 0);
+
+}  // namespace ilq
+
+#endif  // ILQ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,118 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+
+namespace ilq {
+
+const char* QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kIpq:
+      return "ipq";
+    case QueryMethod::kIpqBasic:
+      return "ipq_basic";
+    case QueryMethod::kIuq:
+      return "iuq";
+    case QueryMethod::kIuqBasic:
+      return "iuq_basic";
+    case QueryMethod::kCipqPExpanded:
+      return "cipq_pexp";
+    case QueryMethod::kCipqMinkowski:
+      return "cipq_mink";
+    case QueryMethod::kCiuqRTree:
+      return "ciuq_rtree";
+    case QueryMethod::kCiuqPti:
+      return "ciuq_pti";
+  }
+  return "unknown";
+}
+
+const std::vector<QueryMethod>& AllQueryMethods() {
+  static const std::vector<QueryMethod> kAll = {
+      QueryMethod::kIpq,           QueryMethod::kIpqBasic,
+      QueryMethod::kIuq,           QueryMethod::kIuqBasic,
+      QueryMethod::kCipqPExpanded, QueryMethod::kCipqMinkowski,
+      QueryMethod::kCiuqRTree,     QueryMethod::kCiuqPti,
+  };
+  return kAll;
+}
+
+namespace {
+
+AnswerSet Dispatch(const QueryEngine& engine, QueryMethod method,
+                   const UncertainObject& issuer, const BatchSpec& spec,
+                   IndexStats* stats) {
+  switch (method) {
+    case QueryMethod::kIpq:
+      return engine.Ipq(issuer, spec.query, stats);
+    case QueryMethod::kIpqBasic:
+      return engine.IpqBasic(issuer, spec.query, stats);
+    case QueryMethod::kIuq:
+      return engine.Iuq(issuer, spec.query, stats);
+    case QueryMethod::kIuqBasic:
+      return engine.IuqBasic(issuer, spec.query, stats);
+    case QueryMethod::kCipqPExpanded:
+      return engine.Cipq(issuer, spec.query, CipqFilter::kPExpanded, stats);
+    case QueryMethod::kCipqMinkowski:
+      return engine.Cipq(issuer, spec.query, CipqFilter::kMinkowski, stats);
+    case QueryMethod::kCiuqRTree:
+      return engine.CiuqRTree(issuer, spec.query, stats);
+    case QueryMethod::kCiuqPti:
+      return engine.CiuqPti(issuer, spec.query, spec.prune, stats);
+  }
+  return {};
+}
+
+}  // namespace
+
+BatchResult QueryEngine::RunBatch(QueryMethod method,
+                                  const std::vector<UncertainObject>& issuers,
+                                  const BatchSpec& spec,
+                                  const BatchOptions& options) const {
+  const size_t n = issuers.size();
+  const size_t threads =
+      std::max<size_t>(1, std::min(options.threads == 0
+                                       ? ThreadPool::DefaultThreadCount()
+                                       : options.threads,
+                                   n == 0 ? 1 : n));
+
+  BatchResult result;
+  result.threads_used = threads;
+  result.answers.resize(n);
+  result.per_query_stats.resize(n);
+  if (options.collect_timings) result.query_ms.resize(n);
+  if (n == 0) return result;
+
+  // Each worker writes only its own issuers' slots (disjoint by index) and
+  // its own partial counter entry, so the batch needs no locking at all.
+  std::vector<IndexStats> per_thread(threads);
+  Stopwatch batch_watch;
+  const auto evaluate_one = [&](size_t i, size_t worker) {
+    IndexStats& stats = result.per_query_stats[i];
+    if (options.collect_timings) {
+      Stopwatch watch;
+      result.answers[i] = Dispatch(*this, method, issuers[i], spec, &stats);
+      result.query_ms[i] = watch.ElapsedMillis();
+    } else {
+      result.answers[i] = Dispatch(*this, method, issuers[i], spec, &stats);
+    }
+    per_thread[worker].Merge(stats);
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) evaluate_one(i, 0);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(n, evaluate_one, options.chunk);
+  }
+  result.wall_ms = batch_watch.ElapsedMillis();
+
+  for (const IndexStats& partial : per_thread) {
+    result.total_stats.Merge(partial);
+  }
+  return result;
+}
+
+}  // namespace ilq

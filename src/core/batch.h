@@ -1,0 +1,84 @@
+// Batch query evaluation (§6.1-style workloads): descriptors and results
+// for fanning one workload's issuers across a thread pool via
+// QueryEngine::RunBatch. The paper averages every data point over 500
+// independent queries; those queries share immutable indexes and differ
+// only in the issuer, which makes the batch embarrassingly parallel once
+// the engine's const query paths are free of shared mutable state.
+
+#ifndef ILQ_CORE_BATCH_H_
+#define ILQ_CORE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cipq.h"
+#include "core/ciuq.h"
+#include "core/query.h"
+#include "index/index_stats.h"
+
+namespace ilq {
+
+/// \brief The eight query entry points RunBatch can drive.
+///
+/// The two C-IPQ filters are separate methods (Figure 11 compares them as
+/// distinct series); the *Basic methods are the §3.3 sampling baselines.
+enum class QueryMethod {
+  kIpq,            ///< QueryEngine::Ipq (Minkowski expansion + duality)
+  kIpqBasic,       ///< QueryEngine::IpqBasic (§3.3 baseline)
+  kIuq,            ///< QueryEngine::Iuq (Eq. 8)
+  kIuqBasic,       ///< QueryEngine::IuqBasic (§3.3 baseline, Eq. 4)
+  kCipqPExpanded,  ///< QueryEngine::Cipq with CipqFilter::kPExpanded
+  kCipqMinkowski,  ///< QueryEngine::Cipq with CipqFilter::kMinkowski
+  kCiuqRTree,      ///< QueryEngine::CiuqRTree (Minkowski on plain R-tree)
+  kCiuqPti,        ///< QueryEngine::CiuqPti (PTI + p-expanded-query)
+};
+
+/// Short stable name ("ipq", "cipq_pexp", ...) for logs and tables.
+const char* QueryMethodName(QueryMethod method);
+
+/// All eight methods, in declaration order (test/bench sweep helper).
+const std::vector<QueryMethod>& AllQueryMethods();
+
+/// \brief What every query in the batch evaluates: one range-query shape
+/// shared by all issuers, plus the method-specific knobs.
+struct BatchSpec {
+  RangeQuerySpec query;    ///< shared (w, h, Qp)
+  CiuqPruneConfig prune;   ///< strategies 1-3, used by kCiuqPti only
+
+  BatchSpec() = default;
+  explicit BatchSpec(const RangeQuerySpec& q,
+                     const CiuqPruneConfig& p = CiuqPruneConfig{})
+      : query(q), prune(p) {}
+};
+
+/// \brief Execution knobs for RunBatch.
+struct BatchOptions {
+  /// Worker threads evaluating queries. 1 = serial (runs inline on the
+  /// calling thread); 0 = ThreadPool::DefaultThreadCount().
+  size_t threads = 1;
+
+  /// Issuers handed to a worker per grab; 0 picks ~8 chunks per thread.
+  /// Chunking only affects scheduling — results are identical.
+  size_t chunk = 0;
+
+  /// When true, BatchResult carries per-query wall times (for p95 etc.).
+  bool collect_timings = true;
+};
+
+/// \brief Per-issuer answers plus merged counters, in issuer order.
+///
+/// answers[i], per_query_stats[i] and query_ms[i] all belong to issuer i of
+/// the input — deterministic regardless of thread count or chunking.
+struct BatchResult {
+  std::vector<AnswerSet> answers;        ///< one per issuer, input order
+  std::vector<IndexStats> per_query_stats;  ///< one per issuer, input order
+  std::vector<double> query_ms;  ///< per-query wall time (empty when
+                                 ///< collect_timings is false)
+  IndexStats total_stats;        ///< per-thread partials, IndexStats::Merge'd
+  double wall_ms = 0.0;          ///< whole-batch wall-clock time
+  size_t threads_used = 0;       ///< resolved thread count
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_BATCH_H_

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "core/basic_eval.h"
+#include "core/batch.h"
 #include "core/cipq.h"
 #include "core/ciuq.h"
 #include "core/query.h"
@@ -41,6 +42,17 @@ struct EngineConfig {
 };
 
 /// \brief Datasets + indexes + query entry points.
+///
+/// Thread safety: after Build returns, every const member function —
+/// all eight query entry points, MakeIssuer and the introspection
+/// accessors — is safe to call concurrently from any number of threads.
+/// The engine's datasets and indexes are immutable once built, the
+/// evaluators keep no shared mutable state (Monte-Carlo streams are
+/// constructed per query from EvalOptions::mc_seed), and traversal
+/// scratch lives on the stack of each call. Per-query IndexStats are
+/// written only through the caller-owned out-param, which must not be
+/// shared between concurrent queries. RunBatch builds on exactly this
+/// guarantee.
 class QueryEngine {
  public:
   /// Builds the engine: bulk-loads the point R-tree and the uncertain
@@ -90,6 +102,20 @@ class QueryEngine {
                     const RangeQuerySpec& spec,
                     const CiuqPruneConfig& prune = CiuqPruneConfig{},
                     IndexStats* stats = nullptr) const;
+
+  // ---- Batch evaluation (parallel workloads) -----------------------------
+
+  /// Evaluates \p method once per issuer, fanning the issuers across
+  /// \p options.threads worker threads (see BatchOptions). Results come
+  /// back in issuer order and are bit-identical to running the serial
+  /// loop `for (issuer : issuers) method(issuer, spec)` — every query owns
+  /// its evaluation state, so neither thread count nor chunking can change
+  /// an answer. total_stats merges the per-thread counter partials with
+  /// IndexStats::Merge and is likewise thread-count-invariant.
+  BatchResult RunBatch(QueryMethod method,
+                       const std::vector<UncertainObject>& issuers,
+                       const BatchSpec& spec,
+                       const BatchOptions& options = BatchOptions{}) const;
 
   // ---- Issuer helper -----------------------------------------------------
 

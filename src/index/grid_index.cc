@@ -30,7 +30,6 @@ std::pair<size_t, size_t> GridIndex::CellOf(const Point& p) const {
 void GridIndex::Insert(const Rect& box, ObjectId id) {
   const uint32_t slot = static_cast<uint32_t>(items_.size());
   items_.push_back({box, id});
-  seen_stamp_.push_back(0);
   const Rect clipped = box.Intersection(space_);
   if (clipped.IsEmpty()) return;  // outside the space; unreachable by query
   const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));

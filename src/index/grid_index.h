@@ -5,6 +5,7 @@
 #ifndef ILQ_INDEX_GRID_INDEX_H_
 #define ILQ_INDEX_GRID_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,9 +19,10 @@ namespace ilq {
 /// \brief A fixed uniform grid over a bounded space.
 ///
 /// Each item is registered in every cell its bounding box overlaps; queries
-/// visit the cells overlapping the range and deduplicate via a per-query
-/// stamp. Cell directory pages are modelled for the I/O counters: each
-/// visited non-empty cell counts as one page access.
+/// visit the cells overlapping the range, gather the overlapping slots and
+/// deduplicate them locally (sort + unique), so const queries are safe to
+/// run concurrently. Cell directory pages are modelled for the I/O
+/// counters: each visited non-empty cell counts as one page access.
 class GridIndex {
  public:
   /// Creates a grid of cells_x × cells_y cells over \p space. Fails when the
@@ -31,7 +33,12 @@ class GridIndex {
   /// Registers an item; boxes extending beyond the space are clamped to it.
   void Insert(const Rect& box, ObjectId id);
 
-  /// Visits every item whose box intersects \p range, exactly once.
+  /// Visits every item whose box intersects \p range, exactly once (in
+  /// insertion order).
+  ///
+  /// Thread safety: safe to call concurrently with other const member
+  /// functions (dedup state is local to the call). Caller-provided
+  /// \p stats must not be shared between concurrent queries.
   template <typename Visit>
   void Query(const Rect& range, Visit&& visit,
              IndexStats* stats = nullptr) const {
@@ -40,7 +47,7 @@ class GridIndex {
     if (stats != nullptr) ++stats->node_accesses;  // the cell directory
     const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));
     const auto [ix1, iy1] = CellOf(Point(clipped.xmax, clipped.ymax));
-    ++query_stamp_;
+    std::vector<uint32_t> slots;
     for (size_t iy = iy0; iy <= iy1; ++iy) {
       for (size_t ix = ix0; ix <= ix1; ++ix) {
         const std::vector<uint32_t>& cell = cells_[iy * cells_x_ + ix];
@@ -49,14 +56,15 @@ class GridIndex {
           ++stats->node_accesses;
           ++stats->leaf_accesses;
         }
-        for (uint32_t slot : cell) {
-          if (seen_stamp_[slot] == query_stamp_) continue;
-          seen_stamp_[slot] = query_stamp_;
-          if (items_[slot].box.Intersects(range)) {
-            if (stats != nullptr) ++stats->candidates;
-            visit(items_[slot].box, items_[slot].id);
-          }
-        }
+        slots.insert(slots.end(), cell.begin(), cell.end());
+      }
+    }
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    for (uint32_t slot : slots) {
+      if (items_[slot].box.Intersects(range)) {
+        if (stats != nullptr) ++stats->candidates;
+        visit(items_[slot].box, items_[slot].id);
       }
     }
   }
@@ -92,8 +100,6 @@ class GridIndex {
   double cell_h_;
   std::vector<StoredItem> items_;
   std::vector<std::vector<uint32_t>> cells_;  // slots into items_
-  mutable std::vector<uint64_t> seen_stamp_;  // per-item dedup stamps
-  mutable uint64_t query_stamp_ = 0;
 };
 
 }  // namespace ilq

@@ -23,6 +23,14 @@ struct IndexStats {
     candidates += o.candidates;
     return *this;
   }
+
+  /// Folds another counter set into this one. Integer addition is
+  /// associative and commutative, so merging per-thread partials yields
+  /// the same totals regardless of thread count or merge order — the
+  /// property the batch determinism tests pin down.
+  void Merge(const IndexStats& o) { *this += o; }
+
+  friend bool operator==(const IndexStats& a, const IndexStats& b) = default;
 };
 
 }  // namespace ilq

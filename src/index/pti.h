@@ -44,19 +44,24 @@ class PTI {
   /// subtree catalog — and returning true skips the subtree without
   /// touching it. \p visit receives the index (into the build-time objects
   /// vector) of every surviving leaf entry.
+  /// Thread safety: safe to call concurrently with other const member
+  /// functions (the traversal stack is a local; the index keeps no mutable
+  /// query-time state). Caller-provided \p stats must not be shared
+  /// between concurrent queries.
   template <typename PruneNode, typename Visit>
   void Query(const Rect& range, PruneNode&& prune_node, Visit&& visit,
              IndexStats* stats = nullptr) const {
     const int32_t root = tree_.root();
     if (root < 0 || range.IsEmpty()) return;
-    stack_.clear();
+    std::vector<int32_t> stack;
+    stack.reserve(32);
     if (tree_.bounds().Intersects(range) &&
         !prune_node(tree_.bounds(), node_catalogs_[static_cast<size_t>(root)])) {
-      stack_.push_back(root);
+      stack.push_back(root);
     }
-    while (!stack_.empty()) {
-      const int32_t nid = stack_.back();
-      stack_.pop_back();
+    while (!stack.empty()) {
+      const int32_t nid = stack.back();
+      stack.pop_back();
       if (stats != nullptr) {
         ++stats->node_accesses;
         if (tree_.IsLeaf(nid)) ++stats->leaf_accesses;
@@ -76,7 +81,7 @@ class PTI {
                          node_catalogs_[static_cast<size_t>(child)])) {
             continue;
           }
-          stack_.push_back(child);
+          stack.push_back(child);
         }
       }
     }
@@ -99,7 +104,6 @@ class PTI {
 
   RTree tree_;
   std::vector<UCatalog> node_catalogs_;  // indexed by node id
-  mutable std::vector<int32_t> stack_;
 };
 
 /// RTreeOptions for a PTI whose catalogs have \p catalog_size values: each

@@ -86,15 +86,21 @@ class RTree {
 
   /// Visits every leaf entry whose box intersects \p range.
   /// \p visit is invoked as visit(const Rect& box, ObjectId id).
+  ///
+  /// Thread safety: safe to call concurrently with other const member
+  /// functions (the traversal stack is a local; the tree keeps no mutable
+  /// query-time state). Caller-provided \p stats must not be shared
+  /// between concurrent queries.
   template <typename Visit>
   void Query(const Rect& range, Visit&& visit,
              IndexStats* stats = nullptr) const {
     if (root_ < 0 || range.IsEmpty()) return;
-    scratch_stack_.clear();
-    scratch_stack_.push_back(root_);
-    while (!scratch_stack_.empty()) {
-      const int32_t nid = scratch_stack_.back();
-      scratch_stack_.pop_back();
+    std::vector<int32_t> stack;
+    stack.reserve(32);
+    stack.push_back(root_);
+    while (!stack.empty()) {
+      const int32_t nid = stack.back();
+      stack.pop_back();
       const Node& node = nodes_[static_cast<size_t>(nid)];
       if (stats != nullptr) {
         ++stats->node_accesses;
@@ -106,7 +112,7 @@ class RTree {
           if (stats != nullptr) ++stats->candidates;
           visit(e.mbr, e.id);
         } else {
-          scratch_stack_.push_back(e.child);
+          stack.push_back(e.child);
         }
       }
     }
@@ -193,7 +199,6 @@ class RTree {
   int32_t root_ = -1;
   std::vector<Node> nodes_;
   std::vector<int32_t> free_nodes_;  // recycled arena slots
-  mutable std::vector<int32_t> scratch_stack_;  // reused across queries
 };
 
 /// Derives the maximum entries per node from a page budget: a node header

@@ -1,0 +1,250 @@
+// Differential and determinism tests for QueryEngine::RunBatch: for every
+// query method, parallel batch evaluation must return bit-identical
+// answers and identical merged IndexStats to the serial loop, regardless
+// of thread count or chunking — the contract documented in engine.h.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "datagen/workload.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+constexpr uint64_t kWorkloadSeed = 20070417;
+
+QueryEngine BuildSmallEngine(EngineConfig config = EngineConfig{},
+                             size_t points = 600, size_t uncertains = 300) {
+  Rng rng(991);
+  std::vector<PointObject> pts;
+  for (size_t i = 0; i < points; ++i) {
+    pts.emplace_back(static_cast<ObjectId>(i + 1),
+                     Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  std::vector<UncertainObject> objs;
+  for (size_t i = 0; i < uncertains; ++i) {
+    objs.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        MakeUniform(RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 60)));
+  }
+  Result<QueryEngine> engine =
+      QueryEngine::Build(std::move(pts), std::move(objs), std::move(config));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).ValueOrDie();
+}
+
+// A seeded §6.1-style workload scaled to the small engine's space.
+Workload MakeSeededWorkload(double qp, size_t queries = 12,
+                            IssuerPdfKind kind = IssuerPdfKind::kUniform) {
+  WorkloadConfig config;
+  config.space = Rect(0, 1000, 0, 1000);
+  config.u = 25.0;
+  config.w = 50.0;
+  config.qp = qp;
+  config.queries = queries;
+  config.issuer_pdf = kind;
+  config.seed = kWorkloadSeed;
+  Result<Workload> workload = GenerateWorkload(config);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return std::move(workload).ValueOrDie();
+}
+
+// The serial reference: the plain issuer loop RunBatch must reproduce.
+AnswerSet DispatchSerial(const QueryEngine& engine, QueryMethod method,
+                         const UncertainObject& issuer, const BatchSpec& spec,
+                         IndexStats* stats) {
+  switch (method) {
+    case QueryMethod::kIpq:
+      return engine.Ipq(issuer, spec.query, stats);
+    case QueryMethod::kIpqBasic:
+      return engine.IpqBasic(issuer, spec.query, stats);
+    case QueryMethod::kIuq:
+      return engine.Iuq(issuer, spec.query, stats);
+    case QueryMethod::kIuqBasic:
+      return engine.IuqBasic(issuer, spec.query, stats);
+    case QueryMethod::kCipqPExpanded:
+      return engine.Cipq(issuer, spec.query, CipqFilter::kPExpanded, stats);
+    case QueryMethod::kCipqMinkowski:
+      return engine.Cipq(issuer, spec.query, CipqFilter::kMinkowski, stats);
+    case QueryMethod::kCiuqRTree:
+      return engine.CiuqRTree(issuer, spec.query, stats);
+    case QueryMethod::kCiuqPti:
+      return engine.CiuqPti(issuer, spec.query, spec.prune, stats);
+  }
+  return {};
+}
+
+struct SerialRun {
+  std::vector<AnswerSet> answers;
+  std::vector<IndexStats> per_query;
+  IndexStats total;
+};
+
+SerialRun RunSerial(const QueryEngine& engine, QueryMethod method,
+                    const std::vector<UncertainObject>& issuers,
+                    const BatchSpec& spec) {
+  SerialRun run;
+  for (const UncertainObject& issuer : issuers) {
+    IndexStats stats;
+    run.answers.push_back(
+        DispatchSerial(engine, method, issuer, spec, &stats));
+    run.per_query.push_back(stats);
+    run.total += stats;
+  }
+  return run;
+}
+
+TEST(BatchParallelTest, EveryMethodBitIdenticalAcrossThreadCounts) {
+  const QueryEngine engine = BuildSmallEngine();
+  for (double qp : {0.0, 0.4}) {
+    const Workload workload = MakeSeededWorkload(qp);
+    const BatchSpec spec(workload.spec);
+    for (QueryMethod method : AllQueryMethods()) {
+      const SerialRun serial =
+          RunSerial(engine, method, workload.issuers, spec);
+      for (size_t threads : {1u, 2u, 8u}) {
+        BatchOptions options;
+        options.threads = threads;
+        const BatchResult batch =
+            engine.RunBatch(method, workload.issuers, spec, options);
+        ASSERT_EQ(batch.answers.size(), workload.issuers.size());
+        EXPECT_EQ(batch.answers, serial.answers)
+            << QueryMethodName(method) << " qp=" << qp << " threads="
+            << threads;
+        EXPECT_EQ(batch.per_query_stats, serial.per_query)
+            << QueryMethodName(method) << " qp=" << qp << " threads="
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(BatchParallelTest, ChunkingDoesNotChangeAnswers) {
+  const QueryEngine engine = BuildSmallEngine();
+  const Workload workload = MakeSeededWorkload(0.2);
+  const BatchSpec spec(workload.spec);
+  const SerialRun serial =
+      RunSerial(engine, QueryMethod::kIpq, workload.issuers, spec);
+  for (size_t chunk : {1u, 3u, 100u}) {
+    BatchOptions options;
+    options.threads = 4;
+    options.chunk = chunk;
+    const BatchResult batch =
+        engine.RunBatch(QueryMethod::kIpq, workload.issuers, spec, options);
+    EXPECT_EQ(batch.answers, serial.answers) << "chunk=" << chunk;
+  }
+}
+
+TEST(BatchParallelTest, MonteCarloKernelIsThreadCountInvariant) {
+  // Per-query Rng streams are seeded from EvalOptions::mc_seed, so even
+  // the sampling kernels must be bit-identical across thread counts.
+  EngineConfig config;
+  config.eval.kernel = ProbabilityKernel::kMonteCarlo;
+  config.eval.mc_samples = 64;
+  const QueryEngine engine = BuildSmallEngine(std::move(config));
+  const Workload workload =
+      MakeSeededWorkload(0.3, /*queries=*/8, IssuerPdfKind::kGaussian);
+  const BatchSpec spec(workload.spec);
+  for (QueryMethod method :
+       {QueryMethod::kIpq, QueryMethod::kCipqPExpanded,
+        QueryMethod::kCiuqPti}) {
+    const SerialRun serial = RunSerial(engine, method, workload.issuers, spec);
+    for (size_t threads : {2u, 8u}) {
+      BatchOptions options;
+      options.threads = threads;
+      const BatchResult batch =
+          engine.RunBatch(method, workload.issuers, spec, options);
+      EXPECT_EQ(batch.answers, serial.answers)
+          << QueryMethodName(method) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchDeterminismTest, MergedStatsIdenticalAcrossThreadCounts) {
+  // Same WorkloadConfig seed -> identical merged counters at every thread
+  // count. A racy stats accumulation (shared IndexStats without
+  // synchronization, or per-thread partials merged into the wrong slot)
+  // shows up here as flaky counter totals.
+  const QueryEngine engine = BuildSmallEngine();
+  for (QueryMethod method : AllQueryMethods()) {
+    const Workload workload = MakeSeededWorkload(0.3);
+    const BatchSpec spec(workload.spec);
+    const SerialRun serial = RunSerial(engine, method, workload.issuers, spec);
+    for (size_t threads : {1u, 2u, 8u}) {
+      BatchOptions options;
+      options.threads = threads;
+      const BatchResult batch =
+          engine.RunBatch(method, workload.issuers, spec, options);
+      EXPECT_EQ(batch.total_stats, serial.total)
+          << QueryMethodName(method) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchDeterminismTest, RegeneratedWorkloadGivesIdenticalStats) {
+  const QueryEngine engine = BuildSmallEngine();
+  IndexStats first;
+  for (int round = 0; round < 2; ++round) {
+    const Workload workload = MakeSeededWorkload(0.0);
+    BatchOptions options;
+    options.threads = 8;
+    const BatchResult batch = engine.RunBatch(
+        QueryMethod::kIuq, workload.issuers, BatchSpec(workload.spec),
+        options);
+    if (round == 0) {
+      first = batch.total_stats;
+    } else {
+      EXPECT_EQ(batch.total_stats, first);
+    }
+  }
+}
+
+TEST(BatchParallelTest, EmptyIssuerListYieldsEmptyResult) {
+  const QueryEngine engine = BuildSmallEngine();
+  BatchOptions options;
+  options.threads = 8;
+  const BatchResult batch = engine.RunBatch(
+      QueryMethod::kIpq, {}, BatchSpec(RangeQuerySpec(50, 50)), options);
+  EXPECT_TRUE(batch.answers.empty());
+  EXPECT_TRUE(batch.per_query_stats.empty());
+  EXPECT_EQ(batch.total_stats, IndexStats{});
+  EXPECT_EQ(batch.threads_used, 1u);  // clamped to the work available
+}
+
+TEST(BatchParallelTest, DefaultThreadsResolvesHardware) {
+  const QueryEngine engine = BuildSmallEngine();
+  const Workload workload = MakeSeededWorkload(0.0, /*queries=*/6);
+  BatchOptions options;
+  options.threads = 0;  // all hardware threads, clamped to 6 queries
+  const BatchResult batch = engine.RunBatch(
+      QueryMethod::kIpq, workload.issuers, BatchSpec(workload.spec), options);
+  EXPECT_GE(batch.threads_used, 1u);
+  EXPECT_LE(batch.threads_used, 6u);
+  EXPECT_EQ(batch.answers.size(), 6u);
+}
+
+TEST(BatchParallelTest, TimingsOptional) {
+  const QueryEngine engine = BuildSmallEngine();
+  const Workload workload = MakeSeededWorkload(0.0, /*queries=*/4);
+  BatchOptions options;
+  options.threads = 2;
+  options.collect_timings = false;
+  const BatchResult batch = engine.RunBatch(
+      QueryMethod::kIpq, workload.issuers, BatchSpec(workload.spec), options);
+  EXPECT_TRUE(batch.query_ms.empty());
+  EXPECT_EQ(batch.answers.size(), 4u);
+  options.collect_timings = true;
+  const BatchResult timed = engine.RunBatch(
+      QueryMethod::kIpq, workload.issuers, BatchSpec(workload.spec), options);
+  EXPECT_EQ(timed.query_ms.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ilq

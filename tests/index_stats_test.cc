@@ -1,0 +1,60 @@
+#include "index/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ilq {
+namespace {
+
+IndexStats Make(uint64_t nodes, uint64_t leaves, uint64_t candidates) {
+  IndexStats s;
+  s.node_accesses = nodes;
+  s.leaf_accesses = leaves;
+  s.candidates = candidates;
+  return s;
+}
+
+TEST(IndexStatsTest, MergeAddsEveryCounter) {
+  IndexStats a = Make(10, 4, 7);
+  a.Merge(Make(5, 2, 1));
+  EXPECT_EQ(a, Make(15, 6, 8));
+}
+
+TEST(IndexStatsTest, MergeWithDefaultIsIdentity) {
+  IndexStats a = Make(3, 2, 1);
+  a.Merge(IndexStats{});
+  EXPECT_EQ(a, Make(3, 2, 1));
+}
+
+TEST(IndexStatsTest, MergeMatchesPlusEquals) {
+  IndexStats merged = Make(1, 2, 3);
+  merged.Merge(Make(10, 20, 30));
+  IndexStats summed = Make(1, 2, 3);
+  summed += Make(10, 20, 30);
+  EXPECT_EQ(merged, summed);
+}
+
+TEST(IndexStatsTest, MergeOrderInvariant) {
+  // The property RunBatch relies on: folding per-thread partials in any
+  // order yields identical totals.
+  const std::vector<IndexStats> partials = {Make(1, 0, 2), Make(7, 3, 0),
+                                            Make(0, 0, 9), Make(4, 4, 4)};
+  IndexStats forward;
+  for (const IndexStats& p : partials) forward.Merge(p);
+  IndexStats backward;
+  for (auto it = partials.rbegin(); it != partials.rend(); ++it) {
+    backward.Merge(*it);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(IndexStatsTest, ResetClearsAndEqualityDiscriminates) {
+  IndexStats a = Make(1, 1, 1);
+  EXPECT_NE(a, IndexStats{});
+  a.Reset();
+  EXPECT_EQ(a, IndexStats{});
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,152 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ilq {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesConstruction) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+  EXPECT_GE(ThreadPool(0).thread_count(), 1u);  // 0 = hardware
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleItemRuns) {
+  ThreadPool pool(4);
+  std::atomic<size_t> calls{0};
+  size_t seen_index = 123;
+  pool.ParallelFor(1, [&](size_t i, size_t) {
+    ++calls;
+    seen_index = i;
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(seen_index, 0u);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  for (size_t threads : {1u, 2u, 5u}) {
+    for (size_t chunk : {0u, 1u, 3u, 1000u}) {
+      ThreadPool pool(threads);
+      constexpr size_t kN = 777;
+      std::vector<std::atomic<int>> visits(kN);
+      pool.ParallelFor(
+          kN, [&](size_t i, size_t) { ++visits[i]; }, chunk);
+      for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads "
+                                       << threads << " chunk " << chunk;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> workers;
+  pool.ParallelFor(
+      200,
+      [&](size_t, size_t worker) {
+        std::lock_guard<std::mutex> lk(mu);
+        workers.insert(worker);
+      },
+      /*chunk=*/1);
+  EXPECT_FALSE(workers.empty());
+  for (size_t w : workers) EXPECT_LT(w, pool.thread_count());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i, size_t) {
+                                  if (i == 42) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(
+          10, [&](size_t, size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(50, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 50u);
+}
+
+TEST(ThreadPoolTest, ExceptionAbandonsRemainingChunks) {
+  ThreadPool pool(1);  // serial: deterministic iteration order
+  std::atomic<size_t> calls{0};
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&](size_t i, size_t) {
+                                  ++calls;
+                                  if (i == 5) {
+                                    throw std::runtime_error("stop");
+                                  }
+                                },
+                                /*chunk=*/1),
+               std::runtime_error);
+  EXPECT_LT(calls.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, NestedUseRejected) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](size_t, size_t) {
+                                  pool.ParallelFor(
+                                      2, [](size_t, size_t) {});
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedUseOfOtherPoolAlsoRejected) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  EXPECT_THROW(outer.ParallelFor(4,
+                                 [&](size_t, size_t) {
+                                   inner.ParallelFor(
+                                       2, [](size_t, size_t) {});
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ManyJobsOnOnePool) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(20, [&](size_t, size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50u * 20u);
+}
+
+TEST(ParallelForTest, FreeFunctionCoversRange) {
+  for (size_t threads : {1u, 3u}) {
+    std::vector<std::atomic<int>> visits(100);
+    ParallelFor(threads, 100, [&](size_t i, size_t) { ++visits[i]; });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ilq
