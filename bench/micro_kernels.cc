@@ -1,14 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: rectangle ops,
-// duality kernels, p-bound machinery and index queries. These are the unit
-// costs behind every figure bench.
+// quadrature / Monte-Carlo integration, duality qualification kernels,
+// p-bound machinery and index queries. These are the unit costs behind
+// every figure bench.
+//
+// Besides the console table, every run emits a machine-readable
+// BENCH_micro.json (override the path with ILQ_BENCH_JSON) through
+// benchutil's WriteMicroBenchJson — the repo's tracked perf trajectory;
+// see bench/baselines/ for the checked-in reference numbers.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
+#include "benchutil/harness.h"
 #include "common/rng.h"
 #include "core/duality.h"
 #include "core/expansion.h"
 #include "index/rtree.h"
 #include "prob/gaussian_pdf.h"
+#include "prob/integrate.h"
 #include "prob/uniform_pdf.h"
 
 namespace ilq {
@@ -30,6 +41,84 @@ void BM_RectIntersectionArea(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RectIntersectionArea);
+
+// --- Quadrature kernels ----------------------------------------------------
+
+void BM_GetGaussLegendreRule(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  GetGaussLegendreRule(n);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&GetGaussLegendreRule(n));
+  }
+}
+BENCHMARK(BM_GetGaussLegendreRule)->Arg(16)->Arg(64)->Arg(128);
+
+// The same cache hammered from concurrent threads: before the lock-free
+// rebuild every iteration serialized on a global mutex, so this bench is
+// the contention regression guard (threads > 1 only shows separation on
+// multi-core hosts).
+void BM_GetGaussLegendreRuleContended(benchmark::State& state) {
+  GetGaussLegendreRule(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&GetGaussLegendreRule(16));
+  }
+}
+BENCHMARK(BM_GetGaussLegendreRuleContended)->Threads(1)->Threads(4);
+
+double Poly(double x) { return (x * x + 1.0) * x; }
+
+void BM_IntegrateGLFunction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::function<double(double)> f = Poly;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntegrateGL(f, 0.0, 1.0, n));
+  }
+}
+BENCHMARK(BM_IntegrateGLFunction)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IntegrateGLTemplated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntegrateGL([](double x) { return Poly(x); }, 0.0, 1.0, n));
+  }
+}
+BENCHMARK(BM_IntegrateGLTemplated)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IntegrateGL2DFunction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::function<double(double, double)> f = [](double x, double y) {
+    return x * y + 1.0;
+  };
+  const Rect rect(0, 1, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntegrateGL2D(f, rect, n, n));
+  }
+}
+BENCHMARK(BM_IntegrateGL2DFunction)->Arg(8)->Arg(16);
+
+void BM_IntegrateGL2DTemplated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Rect rect(0, 1, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntegrateGL2D(
+        [](double x, double y) { return x * y + 1.0; }, rect, n, n));
+  }
+}
+BENCHMARK(BM_IntegrateGL2DTemplated)->Arg(8)->Arg(16);
+
+void BM_MonteCarloMean(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MonteCarloMean(
+        [](Rng* r) { return Point(r->NextDouble(), r->NextDouble()); },
+        [](const Point& p) { return p.x + p.y; }, samples, &rng));
+  }
+}
+BENCHMARK(BM_MonteCarloMean)->Arg(200)->Arg(250);
+
+// --- Qualification kernels -------------------------------------------------
 
 void BM_PointQualificationUniform(benchmark::State& state) {
   Result<UniformRectPdf> pdf = UniformRectPdf::Make(Rect(0, 500, 0, 500));
@@ -94,6 +183,18 @@ void BM_ProductQualificationGaussian(benchmark::State& state) {
 }
 BENCHMARK(BM_ProductQualificationGaussian);
 
+void BM_GenericQualificationGaussian(benchmark::State& state) {
+  Result<TruncatedGaussianPdf> issuer =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(300, 800, 300, 800));
+  Result<TruncatedGaussianPdf> object =
+      TruncatedGaussianPdf::MakePaperDefault(Rect(500, 620, 450, 560));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenericQualification(*issuer, *object, 250, 250, 16));
+  }
+}
+BENCHMARK(BM_GenericQualificationGaussian);
+
 void BM_UncertainQualificationMC(benchmark::State& state) {
   Result<UniformRectPdf> issuer = UniformRectPdf::Make(Rect(300, 800, 300, 800));
   Result<UniformRectPdf> object = UniformRectPdf::Make(Rect(500, 620, 450, 560));
@@ -105,6 +206,8 @@ void BM_UncertainQualificationMC(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UncertainQualificationMC)->Arg(200)->Arg(250)->Arg(1000);
+
+// --- p-bound machinery and index probes -------------------------------------
 
 void BM_PBoundConstruction(benchmark::State& state) {
   Result<TruncatedGaussianPdf> pdf =
@@ -149,7 +252,41 @@ void BM_RTreeRangeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeRangeQuery)->Arg(10000)->Arg(62000);
 
+// Collects every finished run so main() can hand the table to benchutil's
+// JSON writer next to the normal console output.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      results.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                         run.GetAdjustedCPUTime(),
+                         static_cast<double>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<MicroBenchResult> results;
+};
+
 }  // namespace
 }  // namespace ilq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ilq::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = ilq::MicroBenchJsonPath();
+  const ilq::Status status =
+      ilq::WriteMicroBenchJson(path, reporter.results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu benchmark results to %s\n",
+              reporter.results.size(), path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

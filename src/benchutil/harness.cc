@@ -1,6 +1,7 @@
 #include "benchutil/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -191,6 +192,66 @@ Status SeriesTable::WriteCsv(const std::string& path) const {
   return Status::OK();
 }
 
+std::string MicroBenchJsonPath() {
+  const char* env = std::getenv("ILQ_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_micro.json";
+}
+
+namespace {
+
+// JSON string escaping: quotes, backslashes, and control characters
+// (benchmark names are normally plain ASCII, but a custom label could
+// carry anything).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Fixed-width numeric rendering; the buffer comfortably fits any double.
+std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteMicroBenchJson(const std::string& path,
+                           const std::vector<MicroBenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "{\n  \"context\": {\n"
+      << "    \"library\": \"ilq\",\n"
+      << "    \"time_unit\": \"ns\"\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const MicroBenchResult& r = results[i];
+    out << "    {\"name\": \"" << JsonEscape(r.name)
+        << "\", \"real_time_ns\": " << JsonNumber(r.real_time_ns)
+        << ", \"cpu_time_ns\": " << JsonNumber(r.cpu_time_ns)
+        << ", \"iterations\": "
+        << static_cast<long long>(r.iterations) << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
 size_t BenchQueriesPerPoint(size_t fallback) {
   const char* env = std::getenv("ILQ_BENCH_QUERIES");
   if (env == nullptr) return fallback;
@@ -201,8 +262,16 @@ size_t BenchQueriesPerPoint(size_t fallback) {
 double BenchDatasetScale() {
   const char* env = std::getenv("ILQ_BENCH_SCALE");
   if (env == nullptr) return 1.0;
-  const double parsed = std::strtod(env, nullptr);
-  return (parsed > 0.0 && parsed <= 1.0) ? parsed : 1.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !std::isfinite(parsed) ||
+      parsed <= 0.0) {
+    std::fprintf(stderr,
+                 "ILQ_BENCH_SCALE=%s is not a positive number; using 1.0\n",
+                 env);
+    return 1.0;
+  }
+  return parsed;
 }
 
 size_t BenchThreads(int argc, char** argv, size_t fallback) {

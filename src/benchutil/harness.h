@@ -92,13 +92,38 @@ class SeriesTable {
   std::vector<Row> rows_;
 };
 
+/// \brief One micro-benchmark measurement, as collected by
+/// bench/micro_kernels' reporter and serialized by WriteMicroBenchJson.
+struct MicroBenchResult {
+  std::string name;        ///< benchmark name, e.g. "BM_IntegrateGL/16"
+  double real_time_ns = 0.0;  ///< adjusted wall time per iteration
+  double cpu_time_ns = 0.0;   ///< adjusted CPU time per iteration
+  double iterations = 0.0;    ///< iterations the measurement averaged over
+};
+
+/// Output path for the machine-readable micro-benchmark dump: the
+/// ILQ_BENCH_JSON environment variable when set, else "BENCH_micro.json"
+/// in the working directory.
+std::string MicroBenchJsonPath();
+
+/// Writes the measurements as a JSON document
+/// `{"context": {...}, "benchmarks": [{name, real_time_ns, ...}, ...]}` —
+/// a subset of the google-benchmark schema, so trend tooling can ingest
+/// either. This file is the repo's tracked perf trajectory; see
+/// bench/baselines/.
+Status WriteMicroBenchJson(const std::string& path,
+                           const std::vector<MicroBenchResult>& results);
+
 /// Reads an environment-variable override for query counts so the full
 /// paper-scale runs (500 queries/point) can be dialled down in CI:
 /// ILQ_BENCH_QUERIES, default \p fallback.
 size_t BenchQueriesPerPoint(size_t fallback);
 
 /// Environment-variable override for dataset sizes: ILQ_BENCH_SCALE scales
-/// the paper's 62K/53K datasets by a fraction (default 1.0).
+/// the paper's 62K/53K datasets by any positive factor (default 1.0;
+/// values above 1 request larger-than-paper catalogs). Nonsense values
+/// (non-numeric, zero, negative, non-finite) warn on stderr and fall back
+/// to 1.0 instead of being silently ignored.
 double BenchDatasetScale();
 
 /// Worker-thread count for the batch benches: `--threads=N` (or

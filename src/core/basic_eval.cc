@@ -1,5 +1,6 @@
 #include "core/basic_eval.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.h"
@@ -9,15 +10,20 @@ namespace ilq {
 
 namespace {
 
-// Midpoint-rule sampling of the issuer's uncertainty region: positions and
-// integration weights f0(p) * cell_area. For a uniform issuer the weights
-// sum to exactly 1.
+// Midpoint-rule sampling of the issuer's uncertainty region: positions,
+// integration weights f0(p) * cell_area, and the range query centred at
+// each sample. The ranges are hoisted here — built once per query — so the
+// per-object loops below only test containment / mass instead of
+// re-constructing per_axis² rectangles per candidate. For a uniform issuer
+// the weights sum to exactly 1.
 struct IssuerSamples {
   std::vector<Point> positions;
   std::vector<double> weights;
+  std::vector<Rect> ranges;  ///< Rect::Centered(position, w, h)
 };
 
-IssuerSamples SampleIssuerGrid(const UncertaintyPdf& pdf, size_t per_axis) {
+IssuerSamples SampleIssuerGrid(const UncertaintyPdf& pdf, size_t per_axis,
+                               const RangeQuerySpec& spec) {
   ILQ_CHECK(per_axis > 0, "grid_per_axis must be positive");
   const Rect u0 = pdf.bounds();
   const double dx = u0.Width() / static_cast<double>(per_axis);
@@ -26,6 +32,7 @@ IssuerSamples SampleIssuerGrid(const UncertaintyPdf& pdf, size_t per_axis) {
   IssuerSamples samples;
   samples.positions.reserve(per_axis * per_axis);
   samples.weights.reserve(per_axis * per_axis);
+  samples.ranges.reserve(per_axis * per_axis);
   for (size_t i = 0; i < per_axis; ++i) {
     const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
     for (size_t j = 0; j < per_axis; ++j) {
@@ -35,10 +42,26 @@ IssuerSamples SampleIssuerGrid(const UncertaintyPdf& pdf, size_t per_axis) {
       if (weight > 0.0) {
         samples.positions.push_back(p);
         samples.weights.push_back(weight);
+        samples.ranges.push_back(Rect::Centered(p, spec.w, spec.h));
       }
     }
   }
   return samples;
+}
+
+// Midpoint weights near region boundaries can overshoot, so the summed
+// qualification probability may land slightly above 1; clamp to [0, 1].
+double ClampProbability(double pi) {
+  return std::clamp(pi, 0.0, 1.0);
+}
+
+// Both evaluation paths (index traversal and linear scan) return answers
+// sorted by object id, so `use_index` cannot change the ordering.
+void SortAnswers(AnswerSet* answers) {
+  std::sort(answers->begin(), answers->end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              return a.id < b.id;
+            });
 }
 
 }  // namespace
@@ -50,20 +73,19 @@ AnswerSet EvaluateIPQBasic(const RTree& index,
                            const BasicEvalOptions& options,
                            IndexStats* stats) {
   const IssuerSamples samples =
-      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis);
+      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis, spec);
   AnswerSet answers;
 
   auto evaluate = [&](const Point& location, ObjectId id) {
     // Eq. 2: integrate b_i(x, y) f0(x, y) over the sampled issuer grid. The
-    // boolean is evaluated by forming the range query at every sample.
+    // boolean is evaluated against the pre-built range at every sample.
     double pi = 0.0;
-    for (size_t k = 0; k < samples.positions.size(); ++k) {
-      if (Rect::Centered(samples.positions[k], spec.w, spec.h)
-              .Contains(location)) {
+    for (size_t k = 0; k < samples.ranges.size(); ++k) {
+      if (samples.ranges[k].Contains(location)) {
         pi += samples.weights[k];
       }
     }
-    if (pi > 0.0) answers.push_back({id, pi});
+    if (pi > 0.0) answers.push_back({id, ClampProbability(pi)});
   };
 
   if (options.use_index) {
@@ -76,6 +98,7 @@ AnswerSet EvaluateIPQBasic(const RTree& index,
   } else {
     for (const PointObject& s : objects) evaluate(s.location, s.id);
   }
+  SortAnswers(&answers);
   return answers;
 }
 
@@ -86,20 +109,19 @@ AnswerSet EvaluateIUQBasic(const RTree& index,
                            const BasicEvalOptions& options,
                            IndexStats* stats) {
   const IssuerSamples samples =
-      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis);
+      SampleIssuerGrid(issuer.pdf(), options.grid_per_axis, spec);
   AnswerSet answers;
 
   auto evaluate = [&](size_t object_index) {
     const UncertainObject& obj = objects[object_index];
+    const UncertaintyPdf& pdf = obj.pdf();
     // Eq. 4: at every sampled issuer position, the inner Eq. 3 integral is
     // the object's probability mass inside the range query there.
     double pi = 0.0;
-    for (size_t k = 0; k < samples.positions.size(); ++k) {
-      const double inner = obj.pdf().MassIn(
-          Rect::Centered(samples.positions[k], spec.w, spec.h));
-      pi += samples.weights[k] * inner;
+    for (size_t k = 0; k < samples.ranges.size(); ++k) {
+      pi += samples.weights[k] * pdf.MassIn(samples.ranges[k]);
     }
-    if (pi > 0.0) answers.push_back({obj.id(), pi});
+    if (pi > 0.0) answers.push_back({obj.id(), ClampProbability(pi)});
   };
 
   if (options.use_index) {
@@ -110,6 +132,7 @@ AnswerSet EvaluateIUQBasic(const RTree& index,
   } else {
     for (size_t i = 0; i < objects.size(); ++i) evaluate(i);
   }
+  SortAnswers(&answers);
   return answers;
 }
 

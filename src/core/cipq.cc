@@ -19,19 +19,28 @@ AnswerSet EvaluateCIPQ(const RTree& index, const UncertainObject& issuer,
   }
 
   AnswerSet answers;
-  Rng rng(options.mc_seed);
-  index.Query(
-      range,
-      [&](const Rect& box, ObjectId id) {
-        const Point s = box.Center();
-        const double pi =
-            options.kernel == ProbabilityKernel::kMonteCarlo
-                ? PointQualificationMC(issuer.pdf(), s, spec.w, spec.h,
-                                       options.mc_samples, &rng)
-                : PointQualification(issuer.pdf(), s, spec.w, spec.h);
-        if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
-      },
-      stats);
+  const UncertaintyPdf& pdf = issuer.pdf();
+  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(options.mc_seed);
+    index.Query(
+        range,
+        [&](const Rect& box, ObjectId id) {
+          const double pi = PointQualificationMC(
+              pdf, box.Center(), spec.w, spec.h, options.mc_samples, &rng);
+          if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
+        },
+        stats);
+  } else {
+    index.Query(
+        range,
+        [&](const Rect& box, ObjectId id) {
+          const double pi =
+              PointQualification(pdf, box.Center(), spec.w, spec.h);
+          if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
+        },
+        stats);
+  }
   return answers;
 }
 

@@ -60,21 +60,33 @@ AnswerSet EvaluateIUQCircular(const RTree& index,
   const RoundedRect expanded =
       ExpandedQueryRangeCircular(issuer.disk(), spec.w, spec.h);
   AnswerSet answers;
-  Rng rng(options.mc_seed);
-  index.Query(
-      expanded.BoundingBox(),
-      [&](const Rect& box, ObjectId idx) {
-        if (!expanded.Intersects(box)) return;
-        const UncertainObject& obj = objects[idx];
-        const double pi =
-            options.kernel == ProbabilityKernel::kMonteCarlo
-                ? UncertainQualificationMC(issuer, obj.pdf(), spec.w, spec.h,
-                                           options.mc_samples, &rng)
-                : UncertainQualification(issuer, obj.pdf(), spec.w, spec.h,
-                                         options.quadrature_order);
-        if (pi > 0.0) answers.push_back({obj.id(), pi});
-      },
-      stats);
+  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(options.mc_seed);
+    index.Query(
+        expanded.BoundingBox(),
+        [&](const Rect& box, ObjectId idx) {
+          if (!expanded.Intersects(box)) return;
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualificationMC(issuer, obj.pdf(), spec.w, spec.h,
+                                       options.mc_samples, &rng);
+          if (pi > 0.0) answers.push_back({obj.id(), pi});
+        },
+        stats);
+  } else {
+    index.Query(
+        expanded.BoundingBox(),
+        [&](const Rect& box, ObjectId idx) {
+          if (!expanded.Intersects(box)) return;
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualification(issuer, obj.pdf(), spec.w, spec.h,
+                                     options.quadrature_order);
+          if (pi > 0.0) answers.push_back({obj.id(), pi});
+        },
+        stats);
+  }
   return answers;
 }
 

@@ -32,18 +32,36 @@ AnswerSet EvaluateCIUQRTree(const RTree& index,
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   AnswerSet answers;
-  Rng rng(options.mc_seed);
-  index.Query(
-      expanded,
-      [&](const Rect&, ObjectId idx) {
-        const UncertainObject& obj = objects[idx];
-        const double pi = ComputeProbability(obj, issuer, spec, options,
-                                             &rng);
-        if (pi > 0.0 && pi >= spec.threshold) {
-          answers.push_back({obj.id(), pi});
-        }
-      },
-      stats);
+  const UncertaintyPdf& issuer_pdf = issuer.pdf();
+  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(options.mc_seed);
+    index.Query(
+        expanded,
+        [&](const Rect&, ObjectId idx) {
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualificationMC(issuer_pdf, obj.pdf(), spec.w, spec.h,
+                                       options.mc_samples, &rng);
+          if (pi > 0.0 && pi >= spec.threshold) {
+            answers.push_back({obj.id(), pi});
+          }
+        },
+        stats);
+  } else {
+    index.Query(
+        expanded,
+        [&](const Rect&, ObjectId idx) {
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualification(issuer_pdf, obj.pdf(), spec.w, spec.h,
+                                     options.quadrature_order);
+          if (pi > 0.0 && pi >= spec.threshold) {
+            answers.push_back({obj.id(), pi});
+          }
+        },
+        stats);
+  }
   return answers;
 }
 

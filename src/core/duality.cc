@@ -19,10 +19,11 @@ double OverlapLen(double x, double w, double a, double b) {
 }
 
 // Integrates f over [lo, hi] split at the given interior breakpoints, with
-// Gauss–Legendre of the given order per smooth piece.
-double IntegratePiecewiseGL(const std::function<double(double)>& f, double lo,
-                            double hi, std::vector<double> cuts,
-                            size_t order) {
+// Gauss–Legendre of the given order per smooth piece. Templated so the
+// integrand inlines all the way into the quadrature loop.
+template <typename F>
+double IntegratePiecewiseGL(F&& f, double lo, double hi,
+                            std::vector<double> cuts, size_t order) {
   if (hi <= lo) return 0.0;
   cuts.push_back(lo);
   cuts.push_back(hi);

@@ -11,19 +11,30 @@ AnswerSet EvaluateIPQ(const RTree& index, const UncertainObject& issuer,
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   AnswerSet answers;
-  Rng rng(options.mc_seed);
-  index.Query(
-      expanded,
-      [&](const Rect& box, ObjectId id) {
-        const Point s = box.Center();
-        const double pi =
-            options.kernel == ProbabilityKernel::kMonteCarlo
-                ? PointQualificationMC(issuer.pdf(), s, spec.w, spec.h,
-                                       options.mc_samples, &rng)
-                : PointQualification(issuer.pdf(), s, spec.w, spec.h);
-        if (pi > 0.0) answers.push_back({id, pi});
-      },
-      stats);
+  const UncertaintyPdf& pdf = issuer.pdf();
+  // The kernel choice is hoisted out of the candidate loop: each branch
+  // instantiates its own RTree::Query visitor, so the per-candidate path is
+  // branch- and indirection-free, and the analytic path skips the Rng.
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(options.mc_seed);
+    index.Query(
+        expanded,
+        [&](const Rect& box, ObjectId id) {
+          const double pi = PointQualificationMC(
+              pdf, box.Center(), spec.w, spec.h, options.mc_samples, &rng);
+          if (pi > 0.0) answers.push_back({id, pi});
+        },
+        stats);
+  } else {
+    index.Query(
+        expanded,
+        [&](const Rect& box, ObjectId id) {
+          const double pi =
+              PointQualification(pdf, box.Center(), spec.w, spec.h);
+          if (pi > 0.0) answers.push_back({id, pi});
+        },
+        stats);
+  }
   return answers;
 }
 

@@ -13,20 +13,32 @@ AnswerSet EvaluateIUQ(const RTree& index,
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   AnswerSet answers;
-  Rng rng(options.mc_seed);
-  index.Query(
-      expanded,
-      [&](const Rect&, ObjectId idx) {
-        const UncertainObject& obj = objects[idx];
-        const double pi =
-            options.kernel == ProbabilityKernel::kMonteCarlo
-                ? UncertainQualificationMC(issuer.pdf(), obj.pdf(), spec.w,
-                                           spec.h, options.mc_samples, &rng)
-                : UncertainQualification(issuer.pdf(), obj.pdf(), spec.w,
-                                         spec.h, options.quadrature_order);
-        if (pi > 0.0) answers.push_back({obj.id(), pi});
-      },
-      stats);
+  const UncertaintyPdf& issuer_pdf = issuer.pdf();
+  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
+  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(options.mc_seed);
+    index.Query(
+        expanded,
+        [&](const Rect&, ObjectId idx) {
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualificationMC(issuer_pdf, obj.pdf(), spec.w, spec.h,
+                                       options.mc_samples, &rng);
+          if (pi > 0.0) answers.push_back({obj.id(), pi});
+        },
+        stats);
+  } else {
+    index.Query(
+        expanded,
+        [&](const Rect&, ObjectId idx) {
+          const UncertainObject& obj = objects[idx];
+          const double pi =
+              UncertainQualification(issuer_pdf, obj.pdf(), spec.w, spec.h,
+                                     options.quadrature_order);
+          if (pi > 0.0) answers.push_back({obj.id(), pi});
+        },
+        stats);
+  }
   return answers;
 }
 

@@ -1,9 +1,12 @@
 #include "prob/integrate.h"
 
+#include <array>
+#include <atomic>
 #include <cmath>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <numbers>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -53,63 +56,98 @@ GaussLegendreRule ComputeRule(size_t n) {
   return rule;
 }
 
+// Every order the evaluators actually use (quadrature_order defaults to 16,
+// the ablation sweeps to 64) hits this eagerly built flat table; lookups
+// after the one-time build are a bounds check plus an array index. Building
+// all 64 rules costs well under a millisecond.
+constexpr size_t kMaxEagerOrder = 64;
+
+struct EagerRules {
+  std::array<GaussLegendreRule, kMaxEagerOrder + 1> rules;  // index 0 unused
+  EagerRules() {
+    for (size_t n = 1; n <= kMaxEagerOrder; ++n) rules[n] = ComputeRule(n);
+  }
+};
+
+const EagerRules& GetEagerRules() {
+  static const EagerRules rules;
+  return rules;
+}
+
+// Orders beyond the eager table are rare (tests and one-off experiments).
+// They are served from an immutable snapshot published through an atomic
+// pointer: readers load-acquire and scan, never blocking; a miss takes the
+// writer mutex, copies the snapshot, appends, and publishes the new one.
+// Rules and superseded snapshots are retained for the process lifetime so
+// references and in-flight readers stay valid — the retained memory is
+// bounded by the number of distinct rare orders ever requested.
+struct OverflowSnapshot {
+  std::vector<std::pair<size_t, const GaussLegendreRule*>> entries;
+};
+
+std::atomic<const OverflowSnapshot*> g_overflow_head{nullptr};
+
+const GaussLegendreRule* FindOverflow(const OverflowSnapshot* snap,
+                                      size_t n) {
+  if (snap == nullptr) return nullptr;
+  for (const auto& [order, rule] : snap->entries) {
+    if (order == n) return rule;
+  }
+  return nullptr;
+}
+
+const GaussLegendreRule& GetOverflowRule(size_t n) {
+  if (const GaussLegendreRule* hit = FindOverflow(
+          g_overflow_head.load(std::memory_order_acquire), n)) {
+    return *hit;
+  }
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<GaussLegendreRule>>* rule_storage =
+      new std::vector<std::unique_ptr<GaussLegendreRule>>();
+  static std::vector<std::unique_ptr<OverflowSnapshot>>* snapshot_storage =
+      new std::vector<std::unique_ptr<OverflowSnapshot>>();
+  std::lock_guard<std::mutex> lock(mu);
+  const OverflowSnapshot* current =
+      g_overflow_head.load(std::memory_order_relaxed);
+  if (const GaussLegendreRule* hit = FindOverflow(current, n)) {
+    return *hit;  // lost the publish race to another thread
+  }
+  rule_storage->push_back(
+      std::make_unique<GaussLegendreRule>(ComputeRule(n)));
+  const GaussLegendreRule* rule = rule_storage->back().get();
+  auto next = std::make_unique<OverflowSnapshot>();
+  if (current != nullptr) next->entries = current->entries;
+  next->entries.emplace_back(n, rule);
+  g_overflow_head.store(next.get(), std::memory_order_release);
+  snapshot_storage->push_back(std::move(next));
+  return *rule;
+}
+
 }  // namespace
 
 const GaussLegendreRule& GetGaussLegendreRule(size_t n) {
   ILQ_CHECK(n >= 1, "Gauss-Legendre order must be >= 1");
-  static std::mutex mu;
-  static std::map<size_t, GaussLegendreRule> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, ComputeRule(n)).first;
-  }
-  return it->second;
+  if (n <= kMaxEagerOrder) return GetEagerRules().rules[n];
+  return GetOverflowRule(n);
 }
 
 double IntegrateGL(const std::function<double(double)>& f, double a, double b,
                    size_t n) {
-  if (b <= a) return 0.0;
-  const GaussLegendreRule& rule = GetGaussLegendreRule(n);
-  const double half = 0.5 * (b - a);
-  const double mid = 0.5 * (a + b);
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
-  }
-  return half * sum;
+  return IntegrateGL<const std::function<double(double)>&>(f, a, b, n);
 }
 
 double IntegrateGL2D(const std::function<double(double, double)>& f,
                      const Rect& rect, size_t nx, size_t ny) {
-  if (rect.IsEmpty()) return 0.0;
-  const GaussLegendreRule& rx = GetGaussLegendreRule(nx);
-  const GaussLegendreRule& ry = GetGaussLegendreRule(ny);
-  const double hx = 0.5 * rect.Width();
-  const double mx = 0.5 * (rect.xmin + rect.xmax);
-  const double hy = 0.5 * rect.Height();
-  const double my = 0.5 * (rect.ymin + rect.ymax);
-  double sum = 0.0;
-  for (size_t i = 0; i < nx; ++i) {
-    const double x = mx + hx * rx.nodes[i];
-    double row = 0.0;
-    for (size_t j = 0; j < ny; ++j) {
-      row += ry.weights[j] * f(x, my + hy * ry.nodes[j]);
-    }
-    sum += rx.weights[i] * row;
-  }
-  return hx * hy * sum;
+  return IntegrateGL2D<const std::function<double(double, double)>&>(
+      f, rect, nx, ny);
 }
 
 double MonteCarloMean(const std::function<Point(Rng*)>& sampler,
                       const std::function<double(const Point&)>& f,
                       size_t samples, Rng* rng) {
-  ILQ_CHECK(samples > 0, "Monte-Carlo needs at least one sample");
-  double sum = 0.0;
-  for (size_t i = 0; i < samples; ++i) {
-    sum += f(sampler(rng));
-  }
-  return sum / static_cast<double>(samples);
+  return MonteCarloMean<const std::function<Point(Rng*)>&,
+                        const std::function<double(const Point&)>&>(
+      sampler, f, samples, rng);
 }
 
 }  // namespace ilq

@@ -4,44 +4,113 @@
 //     separable and generic smooth paths of Eq. 8;
 //   * Monte-Carlo estimation — the method the paper itself uses for
 //     non-uniform pdfs (§6.2, ~200–250 samples).
+//
+// The kernels come in two forms:
+//
+//   * header-only templates (below) that inline the integrand — the form
+//     the evaluators' inner loops use, with no std::function indirection;
+//   * std::function overloads (integrate.cc) that forward to the templates
+//     byte-for-byte, kept for callers that store integrands type-erased.
+//
+// Both forms read the Gauss–Legendre rules through GetGaussLegendreRule,
+// which is lock-free after warmup: see the cache notes on that function.
 
 #ifndef ILQ_PROB_INTEGRATE_H_
 #define ILQ_PROB_INTEGRATE_H_
 
 #include <cstddef>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "geometry/rect.h"
 
 namespace ilq {
 
 /// Nodes and weights of the n-point Gauss–Legendre rule on [-1, 1].
-/// Computed once per order via Newton iteration on Legendre polynomials and
-/// cached; thread-compatible (cache is built eagerly for common orders).
 struct GaussLegendreRule {
   std::vector<double> nodes;
   std::vector<double> weights;
 };
 
-/// Returns the cached rule of order \p n (n >= 1).
+/// Returns the cached rule of order \p n (n >= 1). The returned reference
+/// is valid for the rest of the process and identical across calls.
+///
+/// Concurrency: common orders (n <= 64, everything the evaluators use) live
+/// in a flat table built eagerly on first use, so steady-state lookups are
+/// one branch plus an array index — no lock, no map. Rarer orders go
+/// through an append-only snapshot list published via an atomic pointer:
+/// readers never block, and only the first thread to request a previously
+/// unseen order takes the (cold-path) writer mutex.
 const GaussLegendreRule& GetGaussLegendreRule(size_t n);
 
 /// ∫_a^b f(x) dx with an n-point Gauss–Legendre rule (exact for polynomials
-/// of degree ≤ 2n−1).
-double IntegrateGL(const std::function<double(double)>& f, double a, double b,
-                   size_t n);
+/// of degree ≤ 2n−1). The integrand is inlined; prefer this form in hot
+/// loops.
+template <typename F>
+  requires std::is_invocable_r_v<double, F&, double>
+double IntegrateGL(F&& f, double a, double b, size_t n) {
+  if (b <= a) return 0.0;
+  const GaussLegendreRule& rule = GetGaussLegendreRule(n);
+  const double half = 0.5 * (b - a);
+  const double mid = 0.5 * (a + b);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return half * sum;
+}
 
 /// ∫∫_rect f(x, y) dx dy with an (nx × ny)-point tensor Gauss–Legendre rule.
-double IntegrateGL2D(const std::function<double(double, double)>& f,
-                     const Rect& rect, size_t nx, size_t ny);
+template <typename F>
+  requires std::is_invocable_r_v<double, F&, double, double>
+double IntegrateGL2D(F&& f, const Rect& rect, size_t nx, size_t ny) {
+  if (rect.IsEmpty()) return 0.0;
+  const GaussLegendreRule& rx = GetGaussLegendreRule(nx);
+  const GaussLegendreRule& ry = GetGaussLegendreRule(ny);
+  const double hx = 0.5 * rect.Width();
+  const double mx = 0.5 * (rect.xmin + rect.xmax);
+  const double hy = 0.5 * rect.Height();
+  const double my = 0.5 * (rect.ymin + rect.ymax);
+  double sum = 0.0;
+  for (size_t i = 0; i < nx; ++i) {
+    const double x = mx + hx * rx.nodes[i];
+    double row = 0.0;
+    for (size_t j = 0; j < ny; ++j) {
+      row += ry.weights[j] * f(x, my + hy * ry.nodes[j]);
+    }
+    sum += rx.weights[i] * row;
+  }
+  return hx * hy * sum;
+}
 
 /// Monte-Carlo mean of f over \p samples draws from \p sampler, i.e. an
 /// unbiased estimate of E[f(X)] for X ~ sampler. This mirrors the paper's
 /// evaluation procedure for non-uniform pdfs, where positions of the query
 /// issuer / uncertain object are sampled repeatedly and the average result
 /// taken.
+template <typename Sampler, typename F>
+  requires std::is_invocable_r_v<Point, Sampler&, Rng*> &&
+           std::is_invocable_r_v<double, F&, const Point&>
+double MonteCarloMean(Sampler&& sampler, F&& f, size_t samples, Rng* rng) {
+  ILQ_CHECK(samples > 0, "Monte-Carlo needs at least one sample");
+  double sum = 0.0;
+  for (size_t i = 0; i < samples; ++i) {
+    sum += f(sampler(rng));
+  }
+  return sum / static_cast<double>(samples);
+}
+
+// Type-erased overloads (bit-identical forwards to the templates above).
+
+double IntegrateGL(const std::function<double(double)>& f, double a, double b,
+                   size_t n);
+
+double IntegrateGL2D(const std::function<double(double, double)>& f,
+                     const Rect& rect, size_t nx, size_t ny);
+
 double MonteCarloMean(const std::function<Point(Rng*)>& sampler,
                       const std::function<double(const Point&)>& f,
                       size_t samples, Rng* rng);

@@ -125,6 +125,93 @@ TEST(BasicEvalTest, IUQGridConvergesToClosedForm) {
   }
 }
 
+TEST(BasicEvalTest, AnswersSortedByIdOnBothPaths) {
+  // The index path visits candidates in R-tree traversal order, the scan
+  // path in dataset order; both must hand back the AnswerSet sorted by
+  // object id so `use_index` cannot change the ordering.
+  PointFixture fixture = MakePointFixture(400, 84);
+  UncertainObject issuer(0, MakeUniform(Rect(200, 700, 200, 700)));
+  const RangeQuerySpec spec(150, 150);
+  BasicEvalOptions with_index;
+  BasicEvalOptions scan;
+  scan.use_index = false;
+  const AnswerSet a = EvaluateIPQBasic(fixture.index, fixture.objects,
+                                       issuer, spec, with_index);
+  const AnswerSet b = EvaluateIPQBasic(fixture.index, fixture.objects,
+                                       issuer, spec, scan);
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1].id, a[i].id);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1].id, b[i].id);
+  EXPECT_EQ(a, b);  // identical answers in identical order
+}
+
+TEST(BasicEvalTest, IUQAnswersSortedByIdOnBothPaths) {
+  Rng rng(85);
+  std::vector<UncertainObject> objects;
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < 120; ++i) {
+    const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 10, 80);
+    objects.emplace_back(static_cast<ObjectId>(i + 1), MakeUniform(region));
+    items.push_back({region, static_cast<ObjectId>(i)});
+  }
+  Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, std::move(items));
+  ASSERT_TRUE(tree.ok());
+  UncertainObject issuer(0, MakeUniform(Rect(300, 700, 300, 700)));
+  const RangeQuerySpec spec(180, 180);
+  BasicEvalOptions with_index;
+  BasicEvalOptions scan;
+  scan.use_index = false;
+  const AnswerSet a = EvaluateIUQBasic(*tree, objects, issuer, spec,
+                                       with_index);
+  const AnswerSet b = EvaluateIUQBasic(*tree, objects, issuer, spec, scan);
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1].id, a[i].id);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BasicEvalTest, ProbabilitiesClampedToOne) {
+  // A coarse midpoint grid over a peaked Gaussian issuer overshoots: the
+  // raw Eq. 2 weights can sum above 1 near region boundaries. With a query
+  // range covering every sample an unclamped evaluator would report
+  // pi > 1; the contract is pi ∈ [0, 1].
+  const Rect region(0, 100, 0, 100);
+  const size_t per_axis = 4;
+  auto gaussian = ::ilq::testing::MakeGaussian(region);
+
+  // Reproduce the evaluator's midpoint weights to confirm this
+  // configuration actually overshoots (otherwise the clamp is untested).
+  const double dx = region.Width() / static_cast<double>(per_axis);
+  const double dy = region.Height() / static_cast<double>(per_axis);
+  double total = 0.0;
+  for (size_t i = 0; i < per_axis; ++i) {
+    for (size_t j = 0; j < per_axis; ++j) {
+      const Point p(region.xmin + (static_cast<double>(i) + 0.5) * dx,
+                    region.ymin + (static_cast<double>(j) + 0.5) * dy);
+      total += gaussian->Density(p) * dx * dy;
+    }
+  }
+  ASSERT_GT(total, 1.0) << "grid does not overshoot; pick a coarser grid";
+
+  PointFixture fixture = MakePointFixture(50, 86);
+  UncertainObject issuer(0, std::move(gaussian));
+  const RangeQuerySpec spec(2000, 2000);  // covers every sampled range
+  BasicEvalOptions options;
+  options.grid_per_axis = per_axis;
+  for (bool use_index : {true, false}) {
+    options.use_index = use_index;
+    const AnswerSet got = EvaluateIPQBasic(fixture.index, fixture.objects,
+                                           issuer, spec, options);
+    ASSERT_FALSE(got.empty());
+    for (const auto& a : got) {
+      EXPECT_LE(a.probability, 1.0) << "object " << a.id;
+      EXPECT_GE(a.probability, 0.0) << "object " << a.id;
+      // Every sample covers every object here, so the clamped value is
+      // exactly 1.
+      EXPECT_DOUBLE_EQ(a.probability, 1.0) << "object " << a.id;
+    }
+  }
+}
+
 TEST(BasicEvalTest, EmptyDatasetYieldsNoAnswers) {
   Result<RTree> tree = RTree::BulkLoad(RTreeOptions{}, {});
   ASSERT_TRUE(tree.ok());

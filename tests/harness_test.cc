@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace ilq {
 namespace {
@@ -26,16 +29,62 @@ TEST(HarnessEnvTest, QueriesIgnoresGarbage) {
   unsetenv("ILQ_BENCH_QUERIES");
 }
 
-TEST(HarnessEnvTest, ScaleDefaultsAndClamps) {
+TEST(HarnessEnvTest, ScaleAcceptsAnyPositiveFactor) {
   unsetenv("ILQ_BENCH_SCALE");
   EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
   setenv("ILQ_BENCH_SCALE", "0.25", 1);
   EXPECT_DOUBLE_EQ(BenchDatasetScale(), 0.25);
-  setenv("ILQ_BENCH_SCALE", "7.0", 1);  // out of range -> default
-  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
-  setenv("ILQ_BENCH_SCALE", "0", 1);
-  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0);
+  // Larger-than-paper catalogs are a valid request, not clamped away.
+  setenv("ILQ_BENCH_SCALE", "7.0", 1);
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 7.0);
+  setenv("ILQ_BENCH_SCALE", "2", 1);
+  EXPECT_DOUBLE_EQ(BenchDatasetScale(), 2.0);
   unsetenv("ILQ_BENCH_SCALE");
+}
+
+TEST(HarnessEnvTest, ScaleWarnsAndDefaultsOnNonsense) {
+  for (const char* bad : {"0", "-3", "not-a-number", "1.5x", "inf", "nan"}) {
+    setenv("ILQ_BENCH_SCALE", bad, 1);
+    EXPECT_DOUBLE_EQ(BenchDatasetScale(), 1.0) << "value " << bad;
+  }
+  unsetenv("ILQ_BENCH_SCALE");
+}
+
+TEST(HarnessTest, MicroBenchJsonPathHonorsEnv) {
+  unsetenv("ILQ_BENCH_JSON");
+  EXPECT_EQ(MicroBenchJsonPath(), "BENCH_micro.json");
+  setenv("ILQ_BENCH_JSON", "/tmp/custom.json", 1);
+  EXPECT_EQ(MicroBenchJsonPath(), "/tmp/custom.json");
+  unsetenv("ILQ_BENCH_JSON");
+}
+
+TEST(HarnessTest, WriteMicroBenchJsonRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "ilq_harness_bench_micro.json";
+  const std::vector<MicroBenchResult> results = {
+      {"BM_IntegrateGL/16", 10.5, 10.4, 1266288.0},
+      {"BM_quote\"name", 1.0, 1.0, 1.0},
+      {"BM_ctrl\nname", 1.0, 1.0, 1.0},
+  };
+  ASSERT_TRUE(WriteMicroBenchJson(path, results).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(json.find("\"BM_IntegrateGL/16\""), std::string::npos);
+  EXPECT_NE(json.find("\"real_time_ns\": 10.5000"), std::string::npos);
+  EXPECT_NE(json.find("BM_quote\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("BM_ctrl\\u000aname"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HarnessTest, WriteMicroBenchJsonFailsOnBadPath) {
+  const Status status =
+      WriteMicroBenchJson("/nonexistent/dir/out.json", {});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
 }
 
 TEST(HarnessTest, CsvWriteFailsOnBadPath) {

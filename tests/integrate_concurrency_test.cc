@@ -1,0 +1,137 @@
+// Regression tests for the lock-free Gauss–Legendre rule cache: before
+// PR 3, GetGaussLegendreRule took a global std::mutex on every call, so
+// RunBatch workers serialized on one lock inside every quadrature
+// evaluation. These tests hammer the cache — eager table, overflow
+// snapshot path, and first-use races — from 8 threads and are labeled
+// `thread`, so the tsan preset/CI job races them under ThreadSanitizer.
+
+#include "prob/integrate.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace ilq {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+double WeightSum(const GaussLegendreRule& rule) {
+  double sum = 0.0;
+  for (double w : rule.weights) sum += w;
+  return sum;
+}
+
+TEST(IntegrateConcurrencyTest, EagerOrdersFromManyThreads) {
+  // Every thread fetches every common order (the evaluators' range) and
+  // integrates with it; all checksums must agree and every rule must be
+  // well-formed. Under TSan this fails if any lookup touches shared
+  // mutable state.
+  std::array<double, kThreads> sums{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      double sum = 0.0;
+      for (int round = 0; round < 50; ++round) {
+        for (size_t n = 1; n <= 64; ++n) {
+          const GaussLegendreRule& rule = GetGaussLegendreRule(n);
+          sum += WeightSum(rule);
+          sum += IntegrateGL([](double x) { return x * x; }, 0.0, 1.0, n);
+        }
+      }
+      sums[t] = sum;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(sums[t], sums[0]) << "thread " << t;
+  }
+  // Per round: 64 orders × weight-sum 2, ∫x² = 1/3 for every order ≥ 2,
+  // and the 1-point midpoint rule gives 0.25 for x².
+  EXPECT_NEAR(sums[0], 50.0 * (64.0 * 2.0 + 63.0 / 3.0 + 0.25), 1e-6);
+}
+
+TEST(IntegrateConcurrencyTest, OverflowOrdersRaceOnFirstUse) {
+  // Orders beyond the eager table go through the append-only snapshot
+  // path. All 8 threads request the same fresh orders at once, so the
+  // publish race (first thread computes, the rest must observe the same
+  // rule) is exercised on every run of this binary.
+  std::array<double, kThreads> sums{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      double sum = 0.0;
+      for (size_t n : {65u, 96u, 100u, 128u, 163u, 200u}) {
+        const GaussLegendreRule& rule = GetGaussLegendreRule(n);
+        ASSERT_EQ(rule.nodes.size(), n);
+        sum += WeightSum(rule);
+      }
+      sums[t] = sum;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_NEAR(sums[t], 6 * 2.0, 1e-12) << "thread " << t;
+  }
+}
+
+TEST(IntegrateConcurrencyTest, ReferencesAreStableAcrossThreads) {
+  // The reference returned for an order is the same object from every
+  // thread and every call — the contract that lets evaluators hold on to
+  // a rule across a batch.
+  std::array<const GaussLegendreRule*, kThreads> eager{};
+  std::array<const GaussLegendreRule*, kThreads> overflow{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &eager, &overflow] {
+      eager[t] = &GetGaussLegendreRule(16);
+      overflow[t] = &GetGaussLegendreRule(150);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(eager[t], eager[0]);
+    EXPECT_EQ(overflow[t], overflow[0]);
+  }
+  EXPECT_EQ(&GetGaussLegendreRule(16), eager[0]);
+  EXPECT_EQ(&GetGaussLegendreRule(150), overflow[0]);
+}
+
+TEST(IntegrateConcurrencyTest, ConcurrentQuadratureMatchesSerial) {
+  // Full kernels (1-D, 2-D, Monte-Carlo with per-thread streams) running
+  // concurrently produce exactly the serial results.
+  const double serial_1d =
+      IntegrateGL([](double x) { return std::exp(-x * x); }, -1.0, 2.0, 32);
+  const double serial_2d = IntegrateGL2D(
+      [](double x, double y) { return x * x + y; }, Rect(0, 2, -1, 1), 24,
+      24);
+  std::array<double, kThreads> got_1d{};
+  std::array<double, kThreads> got_2d{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &got_1d, &got_2d] {
+      for (int round = 0; round < 100; ++round) {
+        got_1d[t] = IntegrateGL([](double x) { return std::exp(-x * x); },
+                                -1.0, 2.0, 32);
+        got_2d[t] =
+            IntegrateGL2D([](double x, double y) { return x * x + y; },
+                          Rect(0, 2, -1, 1), 24, 24);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got_1d[t], serial_1d) << "thread " << t;
+    EXPECT_EQ(got_2d[t], serial_2d) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ilq

@@ -66,6 +66,98 @@ TEST(GaussLegendre2DTest, EmptyRectIsZero) {
             0.0);
 }
 
+TEST(GaussLegendreTest, OverflowOrdersBeyondEagerTable) {
+  // Orders past the eagerly built table go through the snapshot path and
+  // must be just as well-formed and stable.
+  for (size_t n : {65u, 100u, 128u, 257u}) {
+    const GaussLegendreRule& rule = GetGaussLegendreRule(n);
+    ASSERT_EQ(rule.nodes.size(), n);
+    double sum = 0.0;
+    for (double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-11) << "order " << n;
+    EXPECT_EQ(&GetGaussLegendreRule(n), &rule) << "order " << n;
+  }
+}
+
+// The templated kernels and the std::function overloads must agree to the
+// last bit — the overloads forward to the templates, and the evaluators
+// rely on the two forms being interchangeable. Orders cover everything the
+// evaluators use (quadrature_order default 16, ablation sweep to 64) plus
+// an overflow-path order.
+TEST(TemplatedKernelTest, IntegrateGLBitIdenticalToFunctionOverload) {
+  auto f = [](double x) { return std::sin(x) * x + 0.5; };
+  const std::function<double(double)> erased = f;
+  for (size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double templated = IntegrateGL(f, -0.5, 2.5, n);
+    const double type_erased = IntegrateGL(erased, -0.5, 2.5, n);
+    EXPECT_EQ(templated, type_erased) << "order " << n;
+  }
+}
+
+TEST(TemplatedKernelTest, IntegrateGL2DBitIdenticalToFunctionOverload) {
+  auto f = [](double x, double y) { return std::cos(x) * y + x; };
+  const std::function<double(double, double)> erased = f;
+  const Rect rect(-1, 2, 0.5, 3);
+  for (size_t n : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    const double templated = IntegrateGL2D(f, rect, n, n);
+    const double type_erased = IntegrateGL2D(erased, rect, n, n);
+    EXPECT_EQ(templated, type_erased) << "order " << n;
+  }
+}
+
+TEST(TemplatedKernelTest, MonteCarloMeanBitIdenticalToFunctionOverload) {
+  auto sampler = [](Rng* r) {
+    return Point(r->NextDouble(), r->NextDouble());
+  };
+  auto f = [](const Point& p) { return p.x * p.y + 1.0; };
+  const std::function<Point(Rng*)> erased_sampler = sampler;
+  const std::function<double(const Point&)> erased_f = f;
+  for (size_t samples : {1u, 200u, 250u}) {
+    Rng rng_a(42);
+    Rng rng_b(42);
+    const double templated = MonteCarloMean(sampler, f, samples, &rng_a);
+    const double type_erased =
+        MonteCarloMean(erased_sampler, erased_f, samples, &rng_b);
+    EXPECT_EQ(templated, type_erased) << "samples " << samples;
+  }
+}
+
+TEST(TemplatedKernelTest, EmptyIntervalAndRectAreZero) {
+  // b < a / b == a and empty rects short-circuit to 0 without evaluating
+  // the integrand.
+  auto must_not_run = [](double) -> double {
+    ADD_FAILURE() << "integrand evaluated on empty interval";
+    return 1.0;
+  };
+  EXPECT_EQ(IntegrateGL(must_not_run, 2.0, 2.0, 8), 0.0);
+  EXPECT_EQ(IntegrateGL(must_not_run, 3.0, 2.0, 8), 0.0);
+  auto must_not_run_2d = [](double, double) -> double {
+    ADD_FAILURE() << "integrand evaluated on empty rect";
+    return 1.0;
+  };
+  EXPECT_EQ(IntegrateGL2D(must_not_run_2d, Rect::Empty(), 4, 4), 0.0);
+  EXPECT_EQ(IntegrateGL2D(must_not_run_2d, Rect(3, 1, 0, 2), 4, 4), 0.0);
+  EXPECT_EQ(IntegrateGL2D(must_not_run_2d, Rect(0, 2, 5, 4), 4, 4), 0.0);
+}
+
+TEST(TemplatedKernelTest, MutableCallableAccumulates) {
+  // The templated form accepts stateful callables (e.g. evaluation
+  // counters) without copying them.
+  size_t calls = 0;
+  auto counting = [&calls](double x) {
+    ++calls;
+    return x;
+  };
+  IntegrateGL(counting, 0.0, 1.0, 16);
+  EXPECT_EQ(calls, 16u);
+  calls = 0;
+  IntegrateGL2D([&calls](double, double) {
+    ++calls;
+    return 1.0;
+  }, Rect(0, 1, 0, 1), 8, 8);
+  EXPECT_EQ(calls, 64u);
+}
+
 TEST(MonteCarloTest, MeanOfConstantIsConstant) {
   Rng rng(1);
   const double got = MonteCarloMean(
