@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     table.AddRow(qp, cells);
   }
   table.Print();
-  (void)table.WriteCsv("abl_catalog_size.csv");
+  (void)table.WriteCsv(BenchCsvPath("abl_catalog_size.csv"));
   std::printf("expected shape: off-grid thresholds favour finer catalogs "
               "(tighter floor values); very fine catalogs pay in fanout/"
               "node accesses.\n");

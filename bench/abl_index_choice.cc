@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
     table.AddRow(u, {rtree, grid_cell, scan});
   }
   table.Print();
-  (void)table.WriteCsv("abl_index_choice.csv");
+  (void)table.WriteCsv(BenchCsvPath("abl_index_choice.csv"));
   std::printf("expected shape: both indexes beat the scan decisively for "
               "selective queries; R-tree and grid are comparable, with the "
               "grid's edge shrinking as the expanded query grows.\n");

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     table.AddRow(qp, cells);
   }
   table.Print();
-  (void)table.WriteCsv("abl_strategies.csv");
+  (void)table.WriteCsv(BenchCsvPath("abl_strategies.csv"));
   std::printf("expected shape: every strategy alone beats 'none' on "
               "candidates; the combination is at least as good as the best "
               "single strategy at every Qp.\n");

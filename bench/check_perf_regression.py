@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a micro_kernels BENCH_micro.json run against the tracked baseline.
+
+Usage:
+    check_perf_regression.py CURRENT BASELINE [--threshold 0.25] [--normalize]
+
+Exits non-zero when any benchmark present in both files is more than
+``threshold`` slower than the baseline (cpu_time_ns). With ``--normalize``
+every per-benchmark ratio is divided by the median ratio first, which cancels
+the overall machine-speed difference between the baseline host and the
+current host (e.g. a CI runner): a uniform slowdown then passes, but any
+*specific* kernel that regressed relative to its peers fails. That is the
+right gate for refactor PRs, whose regressions are local, and the only sane
+cross-machine comparison — absolute times on different hardware are not
+comparable.
+
+Benchmarks only present in the current run are reported but never fail the
+check (new benches land before their baseline). Benchmarks only present in
+the baseline fail it: removing a bench without regenerating the baseline
+would silently shrink coverage.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    """Name -> cpu_time_ns. Duplicate names (``--benchmark_repetitions``)
+    collapse to their minimum — the repetition least disturbed by scheduler
+    or frequency noise, which is what makes the gate stable on busy hosts."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        time = bench.get("cpu_time_ns")
+        if name is None or time is None or time <= 0:
+            continue
+        time = float(time)
+        out[name] = min(out[name], time) if name in out else time
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide ratios by the median ratio to cancel "
+                             "machine-speed differences")
+    parser.add_argument("--slack-ns", type=float, default=2.0,
+                        help="absolute per-benchmark allowance added on top "
+                             "of the relative threshold — keeps few-ns "
+                             "kernels gated against real regressions (a "
+                             "1.8->9 ns mutex reintroduction still fails) "
+                             "without flapping on their +-1-2 ns timer "
+                             "jitter (default 2)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    if not baseline:
+        print(f"error: no usable benchmarks in baseline {args.baseline}")
+        return 2
+
+    shared = sorted(set(current) & set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    if not shared:
+        print("error: current run and baseline share no benchmarks")
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = statistics.median(ratios.values()) if args.normalize else 1.0
+    if args.normalize:
+        print(f"median ratio (machine-speed normalizer): {scale:.3f}")
+
+    limit = 1.0 + args.threshold
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / scale
+        # A benchmark regresses when it exceeds the relative threshold AND
+        # the absolute slack — the latter only matters for few-ns kernels,
+        # where 25% is smaller than the timer jitter.
+        allowed = baseline[name] * limit * scale + args.slack_ns
+        marker = ""
+        if normalized > limit and current[name] > allowed:
+            failures.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"  {name:50s} {baseline[name]:12.1f} -> {current[name]:12.1f}"
+              f" ns  x{normalized:.2f}{marker}")
+
+    for name in new:
+        print(f"  {name:50s} (new, no baseline: {current[name]:.1f} ns)")
+    for name in missing:
+        print(f"  {name:50s} (MISSING from current run)")
+
+    if missing:
+        print(f"FAIL: {len(missing)} baseline benchmark(s) missing from the "
+              "current run — regenerate bench/baselines/BENCH_micro.json")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"OK: {len(shared)} benchmarks within {args.threshold:.0%} of "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     table.AddRow(u, {enhanced, basic});
   }
   table.Print();
-  (void)table.WriteCsv("fig08_basic_vs_enhanced.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig08_basic_vs_enhanced.csv"));
   std::printf("expected shape (paper): Basic ≫ Enhanced at every u; gap "
               "grows with u (paper: ~1700ms vs ~200ms at u = 1000 on 2007 "
               "hardware).\n");

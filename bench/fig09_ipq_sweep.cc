@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     table.AddRow(u, cells);
   }
   table.Print();
-  (void)table.WriteCsv("fig09_ipq_sweep.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig09_ipq_sweep.csv"));
   std::printf("expected shape (paper): T increases with u and with w "
               "(larger expanded query ⇒ more candidates).\n");
   return 0;

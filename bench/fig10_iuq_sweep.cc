@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     table.AddRow(u, cells);
   }
   table.Print();
-  (void)table.WriteCsv("fig10_iuq_sweep.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig10_iuq_sweep.csv"));
   std::printf("expected shape (paper): same trends as Figure 9 — T grows "
               "with u and w.\n");
   return 0;

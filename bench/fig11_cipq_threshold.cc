@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     table.AddRow(qp, {pexp, mink});
   }
   table.Print();
-  (void)table.WriteCsv("fig11_cipq_threshold.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig11_cipq_threshold.csv"));
   std::printf("expected shape (paper): p-expanded-query cost decreases with "
               "Qp while Minkowski stays flat (~3x gap at Qp = 0.6).\n");
   return 0;

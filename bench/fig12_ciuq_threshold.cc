@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     table.AddRow(qp, {pti, rtree});
   }
   table.Print();
-  (void)table.WriteCsv("fig12_ciuq_threshold.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig12_ciuq_threshold.csv"));
   std::printf("expected shape (paper): PTI + p-expanded-query wins for all "
               "Qp > 0 (~60%% gain at Qp = 0.6), smaller gap than C-IPQ "
               "because uncertain regions prune less readily than points.\n");

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     table.AddRow(qp, {pexp, mink});
   }
   table.Print();
-  (void)table.WriteCsv("fig13_gaussian.csv");
+  (void)table.WriteCsv(BenchCsvPath("fig13_gaussian.csv"));
   std::printf("expected shape (paper): same ordering as Figure 11 under a "
               "non-uniform pdf; absolute cost dominated by the Monte-Carlo "
               "evaluation.\n");

@@ -11,6 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <variant>
 #include <vector>
 
 #include "benchutil/harness.h"
@@ -19,7 +22,9 @@
 #include "core/expansion.h"
 #include "index/rtree.h"
 #include "prob/gaussian_pdf.h"
+#include "prob/histogram_pdf.h"
 #include "prob/integrate.h"
+#include "prob/pdf_variant.h"
 #include "prob/uniform_pdf.h"
 
 namespace ilq {
@@ -117,6 +122,240 @@ void BM_MonteCarloMean(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonteCarloMean)->Arg(200)->Arg(250);
+
+// --- Virtual vs variant pdf dispatch ---------------------------------------
+//
+// The BM_*Virtual / BM_*Variant / BM_*Batch triples isolate what the
+// PdfVariant refactor buys: the Virtual form calls through the
+// UncertaintyPdf vtable per probe (the pre-variant evaluator inner loop),
+// the Variant form std::visits once and runs the devirtualized scalar op,
+// and the Batch form hands the whole probe block to
+// DensityBatch/MassInBatch. Each iteration processes kProbeCount probes.
+
+constexpr size_t kProbeCount = 1024;
+
+std::vector<Point> MakeProbePoints(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> probes;
+  probes.reserve(kProbeCount);
+  for (size_t i = 0; i < kProbeCount; ++i) {
+    probes.emplace_back(rng.Uniform(-100, 600), rng.Uniform(-100, 600));
+  }
+  return probes;
+}
+
+std::vector<Rect> MakeProbeRects(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> probes;
+  probes.reserve(kProbeCount);
+  for (size_t i = 0; i < kProbeCount; ++i) {
+    probes.push_back(Rect::Centered(
+        Point(rng.Uniform(-100, 600), rng.Uniform(-100, 600)),
+        rng.Uniform(10, 200), rng.Uniform(10, 200)));
+  }
+  return probes;
+}
+
+std::unique_ptr<UncertaintyPdf> MakeOpaquePdf(const std::string& kind) {
+  const Rect region(0, 500, 0, 500);
+  if (kind == "uniform") {
+    return std::make_unique<UniformRectPdf>(
+        std::move(UniformRectPdf::Make(region)).ValueOrDie());
+  }
+  if (kind == "gaussian") {
+    return std::make_unique<TruncatedGaussianPdf>(
+        std::move(TruncatedGaussianPdf::MakePaperDefault(region))
+            .ValueOrDie());
+  }
+  Rng rng(12);
+  std::vector<double> weights(64);
+  for (double& w : weights) w = rng.NextDouble() + 0.05;
+  return std::make_unique<HistogramPdf>(
+      std::move(HistogramPdf::Make(region, 8, 8, std::move(weights)))
+          .ValueOrDie());
+}
+
+void BM_DensityVirtual(benchmark::State& state, const std::string& kind) {
+  std::unique_ptr<UncertaintyPdf> pdf = MakeOpaquePdf(kind);
+  benchmark::DoNotOptimize(pdf);  // keep the dynamic type opaque
+  const std::vector<Point> probes = MakeProbePoints(21);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      out[i] = pdf->Density(probes[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_DensityVirtual, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_DensityVirtual, gaussian, "gaussian");
+BENCHMARK_CAPTURE(BM_DensityVirtual, histogram, "histogram");
+
+void BM_DensityVariant(benchmark::State& state, const std::string& kind) {
+  const PdfVariant v = MakePdfVariant(MakeOpaquePdf(kind));
+  const std::vector<Point> probes = MakeProbePoints(21);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    std::visit(
+        [&](const auto& pdf) {
+          for (size_t i = 0; i < probes.size(); ++i) {
+            out[i] = pdf.Density(probes[i]);
+          }
+        },
+        v);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_DensityVariant, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_DensityVariant, gaussian, "gaussian");
+BENCHMARK_CAPTURE(BM_DensityVariant, histogram, "histogram");
+
+void BM_DensityBatch(benchmark::State& state, const std::string& kind) {
+  const PdfVariant v = MakePdfVariant(MakeOpaquePdf(kind));
+  const std::vector<Point> probes = MakeProbePoints(21);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    DensityBatch(v, probes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_DensityBatch, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_DensityBatch, gaussian, "gaussian");
+BENCHMARK_CAPTURE(BM_DensityBatch, histogram, "histogram");
+
+void BM_MassInVirtual(benchmark::State& state, const std::string& kind) {
+  std::unique_ptr<UncertaintyPdf> pdf = MakeOpaquePdf(kind);
+  benchmark::DoNotOptimize(pdf);
+  const std::vector<Rect> probes = MakeProbeRects(22);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      out[i] = pdf->MassIn(probes[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_MassInVirtual, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_MassInVirtual, gaussian, "gaussian");
+
+void BM_MassInVariant(benchmark::State& state, const std::string& kind) {
+  const PdfVariant v = MakePdfVariant(MakeOpaquePdf(kind));
+  const std::vector<Rect> probes = MakeProbeRects(22);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    std::visit(
+        [&](const auto& pdf) {
+          for (size_t i = 0; i < probes.size(); ++i) {
+            out[i] = pdf.MassIn(probes[i]);
+          }
+        },
+        v);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_MassInVariant, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_MassInVariant, gaussian, "gaussian");
+
+void BM_MassInBatch(benchmark::State& state, const std::string& kind) {
+  const PdfVariant v = MakePdfVariant(MakeOpaquePdf(kind));
+  const std::vector<Rect> probes = MakeProbeRects(22);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    MassInBatch(v, probes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_MassInBatch, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_MassInBatch, gaussian, "gaussian");
+
+// The equal-shaped dual-range loop of ipq/cipq/basic-IUQ: the Virtual form
+// is literally the legacy per-candidate evaluation (Rect::Centered + a
+// virtual MassIn), the Centered form the batched replacement.
+void BM_MassInCenteredVirtual(benchmark::State& state,
+                              const std::string& kind) {
+  std::unique_ptr<UncertaintyPdf> pdf = MakeOpaquePdf(kind);
+  benchmark::DoNotOptimize(pdf);
+  const std::vector<Point> probes = MakeProbePoints(23);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      out[i] = pdf->MassIn(Rect::Centered(probes[i], 120, 90));
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_MassInCenteredVirtual, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_MassInCenteredVirtual, gaussian, "gaussian");
+
+void BM_MassInCenteredBatch(benchmark::State& state,
+                            const std::string& kind) {
+  const PdfVariant v = MakePdfVariant(MakeOpaquePdf(kind));
+  const std::vector<Point> probes = MakeProbePoints(23);
+  std::vector<double> out(probes.size());
+  for (auto _ : state) {
+    MassInCenteredBatch(v, probes, 120, 90, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kProbeCount));
+}
+BENCHMARK_CAPTURE(BM_MassInCenteredBatch, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_MassInCenteredBatch, gaussian, "gaussian");
+
+// Pair qualification through the variant dispatch (QualifyPair) against the
+// runtime virtual dispatcher, same geometry as BM_ProductQualificationGaussian
+// below — the separable gaussian ⊗ gaussian path the Figure 13 workload
+// leans on.
+std::unique_ptr<UncertaintyPdf> MakeBenchGaussian(const Rect& region) {
+  return std::make_unique<TruncatedGaussianPdf>(
+      std::move(TruncatedGaussianPdf::MakePaperDefault(region)).ValueOrDie());
+}
+
+void BM_QualifyPairVariantGaussian(benchmark::State& state) {
+  const PdfVariant issuer =
+      MakePdfVariant(MakeBenchGaussian(Rect(300, 800, 300, 800)));
+  const PdfVariant object =
+      MakePdfVariant(MakeBenchGaussian(Rect(500, 620, 450, 560)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        UncertainQualification(issuer, object, 250, 250, 16));
+  }
+}
+BENCHMARK(BM_QualifyPairVariantGaussian);
+
+void BM_QualifyPairVirtualGaussian(benchmark::State& state) {
+  std::unique_ptr<UncertaintyPdf> issuer =
+      MakeBenchGaussian(Rect(300, 800, 300, 800));
+  std::unique_ptr<UncertaintyPdf> object =
+      MakeBenchGaussian(Rect(500, 620, 450, 560));
+  benchmark::DoNotOptimize(issuer);
+  benchmark::DoNotOptimize(object);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        UncertainQualification(*issuer, *object, 250, 250, 16));
+  }
+}
+BENCHMARK(BM_QualifyPairVirtualGaussian);
 
 // --- Qualification kernels -------------------------------------------------
 

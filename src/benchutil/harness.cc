@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -195,6 +197,21 @@ Status SeriesTable::WriteCsv(const std::string& path) const {
 std::string MicroBenchJsonPath() {
   const char* env = std::getenv("ILQ_BENCH_JSON");
   return env != nullptr && *env != '\0' ? env : "BENCH_micro.json";
+}
+
+std::string BenchCsvPath(const std::string& filename) {
+  const char* env = std::getenv("ILQ_BENCH_OUT_DIR");
+  const std::filesystem::path dir =
+      (env != nullptr && *env != '\0') ? env : "bench/out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s (%s); writing %s to cwd\n",
+                 dir.string().c_str(), ec.message().c_str(),
+                 filename.c_str());
+    return filename;
+  }
+  return (dir / filename).string();
 }
 
 namespace {

@@ -106,6 +106,13 @@ struct MicroBenchResult {
 /// in the working directory.
 std::string MicroBenchJsonPath();
 
+/// Output path for a figure/ablation CSV: \p filename inside the bench
+/// output directory — ILQ_BENCH_OUT_DIR when set, else "bench/out" (a
+/// gitignored scratch directory) relative to the working directory. The
+/// directory is created on demand so WriteCsv never fails on a fresh
+/// checkout.
+std::string BenchCsvPath(const std::string& filename);
+
 /// Writes the measurements as a JSON document
 /// `{"context": {...}, "benchmarks": [{name, real_time_ns, ...}, ...]}` —
 /// a subset of the google-benchmark schema, so trend tooling can ingest

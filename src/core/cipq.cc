@@ -1,7 +1,7 @@
 #include "core/cipq.h"
 
-#include "core/duality.h"
 #include "core/expansion.h"
+#include "core/point_eval.h"
 
 namespace ilq {
 
@@ -17,31 +17,8 @@ AnswerSet EvaluateCIPQ(const RTree& index, const UncertainObject& issuer,
   } else {
     range = PExpandedQuery(issuer.pdf(), spec.w, spec.h, spec.threshold);
   }
-
-  AnswerSet answers;
-  const UncertaintyPdf& pdf = issuer.pdf();
-  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
-  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    Rng rng(options.mc_seed);
-    index.Query(
-        range,
-        [&](const Rect& box, ObjectId id) {
-          const double pi = PointQualificationMC(
-              pdf, box.Center(), spec.w, spec.h, options.mc_samples, &rng);
-          if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
-        },
-        stats);
-  } else {
-    index.Query(
-        range,
-        [&](const Rect& box, ObjectId id) {
-          const double pi =
-              PointQualification(pdf, box.Center(), spec.w, spec.h);
-          if (pi > 0.0 && pi >= spec.threshold) answers.push_back({id, pi});
-        },
-        stats);
-  }
-  return answers;
+  return EvaluatePointCandidates(index, range, issuer.pdf_variant(), spec,
+                                 spec.threshold, options, stats);
 }
 
 }  // namespace ilq

@@ -1,8 +1,11 @@
 #include "core/circular.h"
 
+#include <variant>
+
 #include "core/duality.h"
 #include "core/expansion.h"
 #include "geometry/minkowski.h"
+#include "prob/pdf_variant.h"
 
 namespace ilq {
 
@@ -60,7 +63,8 @@ AnswerSet EvaluateIUQCircular(const RTree& index,
   const RoundedRect expanded =
       ExpandedQueryRangeCircular(issuer.disk(), spec.w, spec.h);
   AnswerSet answers;
-  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
+  // The issuer is already a concrete pdf; per candidate one std::visit over
+  // the object variant picks the monomorphized disk ⊗ object kernel.
   if (options.kernel == ProbabilityKernel::kMonteCarlo) {
     Rng rng(options.mc_seed);
     index.Query(
@@ -68,9 +72,13 @@ AnswerSet EvaluateIUQCircular(const RTree& index,
         [&](const Rect& box, ObjectId idx) {
           if (!expanded.Intersects(box)) return;
           const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualificationMC(issuer, obj.pdf(), spec.w, spec.h,
-                                       options.mc_samples, &rng);
+          const double pi = std::visit(
+              [&](const auto& object_pdf) {
+                return UncertainQualificationMCT(issuer, object_pdf, spec.w,
+                                                 spec.h, options.mc_samples,
+                                                 &rng);
+              },
+              obj.pdf_variant());
           if (pi > 0.0) answers.push_back({obj.id(), pi});
         },
         stats);
@@ -80,9 +88,12 @@ AnswerSet EvaluateIUQCircular(const RTree& index,
         [&](const Rect& box, ObjectId idx) {
           if (!expanded.Intersects(box)) return;
           const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualification(issuer, obj.pdf(), spec.w, spec.h,
-                                     options.quadrature_order);
+          const double pi = std::visit(
+              [&](const auto& object_pdf) {
+                return QualifyPair(issuer, object_pdf, spec.w, spec.h,
+                                   options.quadrature_order);
+              },
+              obj.pdf_variant());
           if (pi > 0.0) answers.push_back({obj.id(), pi});
         },
         stats);

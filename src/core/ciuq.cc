@@ -1,25 +1,29 @@
 #include "core/ciuq.h"
 
 #include <optional>
+#include <variant>
 
 #include "common/logging.h"
 #include "core/duality.h"
 #include "core/expansion.h"
+#include "prob/pdf_variant.h"
 
 namespace ilq {
 
 namespace {
 
+// One std::visit over both variants, then the monomorphized analytic / MC
+// kernel for the concrete pdf pair.
 double ComputeProbability(const UncertainObject& obj,
                           const UncertainObject& issuer,
                           const RangeQuerySpec& spec,
                           const EvalOptions& options, Rng* rng) {
   if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    return UncertainQualificationMC(issuer.pdf(), obj.pdf(), spec.w, spec.h,
-                                    options.mc_samples, rng);
+    return UncertainQualificationMC(issuer.pdf_variant(), obj.pdf_variant(),
+                                    spec.w, spec.h, options.mc_samples, rng);
   }
-  return UncertainQualification(issuer.pdf(), obj.pdf(), spec.w, spec.h,
-                                options.quadrature_order);
+  return UncertainQualification(issuer.pdf_variant(), obj.pdf_variant(),
+                                spec.w, spec.h, options.quadrature_order);
 }
 
 }  // namespace
@@ -32,36 +36,46 @@ AnswerSet EvaluateCIUQRTree(const RTree& index,
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   AnswerSet answers;
-  const UncertaintyPdf& issuer_pdf = issuer.pdf();
-  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
-  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    Rng rng(options.mc_seed);
-    index.Query(
-        expanded,
-        [&](const Rect&, ObjectId idx) {
-          const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualificationMC(issuer_pdf, obj.pdf(), spec.w, spec.h,
-                                       options.mc_samples, &rng);
-          if (pi > 0.0 && pi >= spec.threshold) {
-            answers.push_back({obj.id(), pi});
-          }
-        },
-        stats);
-  } else {
-    index.Query(
-        expanded,
-        [&](const Rect&, ObjectId idx) {
-          const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualification(issuer_pdf, obj.pdf(), spec.w, spec.h,
-                                     options.quadrature_order);
-          if (pi > 0.0 && pi >= spec.threshold) {
-            answers.push_back({obj.id(), pi});
-          }
-        },
-        stats);
-  }
+  // Issuer visited once per query, objects once per candidate (see iuq.cc).
+  std::visit(
+      [&](const auto& issuer_pdf) {
+        if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+          Rng rng(options.mc_seed);
+          index.Query(
+              expanded,
+              [&](const Rect&, ObjectId idx) {
+                const UncertainObject& obj = objects[idx];
+                const double pi = std::visit(
+                    [&](const auto& object_pdf) {
+                      return UncertainQualificationMCT(
+                          issuer_pdf, object_pdf, spec.w, spec.h,
+                          options.mc_samples, &rng);
+                    },
+                    obj.pdf_variant());
+                if (pi > 0.0 && pi >= spec.threshold) {
+                  answers.push_back({obj.id(), pi});
+                }
+              },
+              stats);
+        } else {
+          index.Query(
+              expanded,
+              [&](const Rect&, ObjectId idx) {
+                const UncertainObject& obj = objects[idx];
+                const double pi = std::visit(
+                    [&](const auto& object_pdf) {
+                      return QualifyPair(issuer_pdf, object_pdf, spec.w,
+                                         spec.h, options.quadrature_order);
+                    },
+                    obj.pdf_variant());
+                if (pi > 0.0 && pi >= spec.threshold) {
+                  answers.push_back({obj.id(), pi});
+                }
+              },
+              stats);
+        }
+      },
+      issuer.pdf_variant());
   return answers;
 }
 

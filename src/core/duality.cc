@@ -4,7 +4,6 @@
 #include <cmath>
 #include <vector>
 
-#include "prob/integrate.h"
 #include "prob/uniform_pdf.h"
 
 namespace ilq {
@@ -18,55 +17,14 @@ double OverlapLen(double x, double w, double a, double b) {
   return std::max(0.0, hi - lo);
 }
 
-// Integrates f over [lo, hi] split at the given interior breakpoints, with
-// Gauss–Legendre of the given order per smooth piece. Templated so the
-// integrand inlines all the way into the quadrature loop.
-template <typename F>
-double IntegratePiecewiseGL(F&& f, double lo, double hi,
-                            std::vector<double> cuts, size_t order) {
-  if (hi <= lo) return 0.0;
-  cuts.push_back(lo);
-  cuts.push_back(hi);
-  std::sort(cuts.begin(), cuts.end());
-  double total = 0.0;
-  double prev = lo;
-  for (double c : cuts) {
-    const double piece_lo = std::clamp(prev, lo, hi);
-    const double piece_hi = std::clamp(c, lo, hi);
-    if (piece_hi > piece_lo) {
-      total += IntegrateGL(f, piece_lo, piece_hi, order);
-    }
-    prev = std::max(prev, c);
-  }
-  return total;
-}
-
-// The kernel's x-direction kink positions: where x ± w crosses the issuer's
-// x-extent [a, b].
-std::vector<double> KernelKinks(double a, double b, double w) {
-  return {a - w, a + w, b - w, b + w};
-}
-
 }  // namespace
-
-double PointQualificationMC(const UncertaintyPdf& issuer, const Point& s,
-                            double w, double h, size_t samples, Rng* rng) {
-  // Duality keeps even the MC path cheap: sample issuer positions and test
-  // whether the *issuer* falls inside R(s) (Lemma 2).
-  const Rect dual = Rect::Centered(s, w, h);
-  size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    if (dual.Contains(issuer.Sample(rng))) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(samples);
-}
 
 double OverlapLengthIntegral(double x0, double x1, double w, double a,
                              double b) {
   if (x1 <= x0 || w <= 0.0 || b <= a) return 0.0;
   // The integrand is piecewise linear with kinks at {a−w, a+w, b−w, b+w};
   // the trapezoid rule on each piece is exact.
-  std::vector<double> cuts = KernelKinks(a, b, w);
+  std::vector<double> cuts = qual_detail::KernelKinks(a, b, w);
   cuts.push_back(x0);
   cuts.push_back(x1);
   std::sort(cuts.begin(), cuts.end());
@@ -95,79 +53,19 @@ double UniformUniformQualification(const Rect& u0, const Rect& ui, double w,
 double ProductQualification(const UncertaintyPdf& issuer,
                             const UncertaintyPdf& object, double w, double h,
                             size_t gl_order) {
-  const Rect u0 = issuer.bounds();
-  const Rect ui = object.bounds();
-  // Per-axis integral of (object marginal density) × (kernel CDF window).
-  const double ix = IntegratePiecewiseGL(
-      [&](double x) {
-        return object.MarginalPdfX(x) *
-               (issuer.CdfX(x + w) - issuer.CdfX(x - w));
-      },
-      ui.xmin, ui.xmax, KernelKinks(u0.xmin, u0.xmax, w), gl_order);
-  if (ix <= 0.0) return 0.0;
-  const double iy = IntegratePiecewiseGL(
-      [&](double y) {
-        return object.MarginalPdfY(y) *
-               (issuer.CdfY(y + h) - issuer.CdfY(y - h));
-      },
-      ui.ymin, ui.ymax, KernelKinks(u0.ymin, u0.ymax, h), gl_order);
-  return ix * iy;
+  return ProductQualificationT(issuer, object, w, h, gl_order);
 }
 
 double GenericQualification(const UncertaintyPdf& issuer,
                             const UncertaintyPdf& object, double w, double h,
                             size_t gl_order) {
-  // Integration region: Ui clipped to the expanded query R ⊕ U0 (Lemma 4 —
-  // the kernel vanishes outside it).
-  const Rect expanded = issuer.bounds().Expanded(w, h);
-  const Rect region = object.bounds().Intersection(expanded);
-  if (region.IsEmpty()) return 0.0;
-
-  const Rect u0 = issuer.bounds();
-  std::vector<double> x_cuts = KernelKinks(u0.xmin, u0.xmax, w);
-  std::vector<double> y_cuts = KernelKinks(u0.ymin, u0.ymax, h);
-  object.AppendBreakpointsX(&x_cuts);
-  object.AppendBreakpointsY(&y_cuts);
-
-  auto clip_sort = [](std::vector<double>& cuts, double lo, double hi) {
-    cuts.push_back(lo);
-    cuts.push_back(hi);
-    std::sort(cuts.begin(), cuts.end());
-    cuts.erase(std::remove_if(cuts.begin(), cuts.end(),
-                              [&](double c) { return c < lo || c > hi; }),
-               cuts.end());
-    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-  };
-  clip_sort(x_cuts, region.xmin, region.xmax);
-  clip_sort(y_cuts, region.ymin, region.ymax);
-
-  auto integrand = [&](double x, double y) {
-    const double fi = object.Density(Point(x, y));
-    if (fi <= 0.0) return 0.0;
-    return fi * issuer.MassIn(Rect::Centered(Point(x, y), w, h));
-  };
-
-  double total = 0.0;
-  for (size_t i = 0; i + 1 < x_cuts.size(); ++i) {
-    for (size_t j = 0; j + 1 < y_cuts.size(); ++j) {
-      const Rect cell(x_cuts[i], x_cuts[i + 1], y_cuts[j], y_cuts[j + 1]);
-      if (cell.Width() <= 0.0 || cell.Height() <= 0.0) continue;
-      total += IntegrateGL2D(integrand, cell, gl_order, gl_order);
-    }
-  }
-  return total;
+  return GenericQualificationT(issuer, object, w, h, gl_order);
 }
 
 double UncertainQualificationMC(const UncertaintyPdf& issuer,
                                 const UncertaintyPdf& object, double w,
                                 double h, size_t samples, Rng* rng) {
-  size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    const Point q = issuer.Sample(rng);
-    const Point o = object.Sample(rng);
-    if (Rect::Centered(q, w, h).Contains(o)) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(samples);
+  return UncertainQualificationMCT(issuer, object, w, h, samples, rng);
 }
 
 double UncertainQualification(const UncertaintyPdf& issuer,

@@ -18,17 +18,31 @@
 //   3. anything else      — 2-D composite Gauss–Legendre over the clipped
 //      region with Q evaluated through the issuer's MassIn.
 //
+// Since the PdfVariant refactor the three paths are header-only templates
+// (ProductQualificationT / GenericQualificationT / QualifyPair) that the
+// evaluators instantiate per concrete pdf pair via std::visit, so
+// Density/MassIn/CdfX inline into the quadrature loops. The virtual-
+// interface entry points survive as thin forwards to the same templates —
+// the legacy path and the monomorphized path run literally the same
+// arithmetic, which is what the differential suites assert bit-for-bit.
+//
 // Monte-Carlo variants (the paper's §6.2 method) live here too.
 
 #ifndef ILQ_CORE_DUALITY_H_
 #define ILQ_CORE_DUALITY_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <type_traits>
+#include <variant>
+#include <vector>
 
 #include "common/rng.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "prob/integrate.h"
 #include "prob/pdf.h"
+#include "prob/pdf_variant.h"
 
 namespace ilq {
 
@@ -42,9 +56,21 @@ inline double PointQualification(const UncertaintyPdf& issuer, const Point& s,
 
 /// Monte-Carlo estimate of the same quantity: the fraction of issuer
 /// samples whose range query covers \p s (Eq. 2 evaluated by sampling,
-/// as the paper does for non-uniform pdfs).
-double PointQualificationMC(const UncertaintyPdf& issuer, const Point& s,
-                            double w, double h, size_t samples, Rng* rng);
+/// as the paper does for non-uniform pdfs). Templated so the sampler
+/// inlines when \p issuer is a concrete pdf; the rng stream and hit test
+/// match the virtual path exactly.
+template <typename IssuerPdf>
+double PointQualificationMC(const IssuerPdf& issuer, const Point& s, double w,
+                            double h, size_t samples, Rng* rng) {
+  // Duality keeps even the MC path cheap: sample issuer positions and test
+  // whether the *issuer* falls inside R(s) (Lemma 2).
+  const Rect dual = Rect::Centered(s, w, h);
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    if (dual.Contains(issuer.Sample(rng))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
 
 /// ∫_{x0}^{x1} |[x − w, x + w] ∩ [a, b]| dx — the 1-D overlap-length
 /// integral behind the uniform ⊗ uniform closed form. The integrand is a
@@ -59,17 +85,127 @@ double OverlapLengthIntegral(double x0, double x1, double w, double a,
 double UniformUniformQualification(const Rect& u0, const Rect& ui, double w,
                                    double h);
 
+namespace qual_detail {
+
+// Integrates f over [lo, hi] split at the given interior breakpoints, with
+// Gauss–Legendre of the given order per smooth piece. Templated so the
+// integrand inlines all the way into the quadrature loop.
+template <typename F>
+double IntegratePiecewiseGL(F&& f, double lo, double hi,
+                            std::vector<double> cuts, size_t order) {
+  if (hi <= lo) return 0.0;
+  cuts.push_back(lo);
+  cuts.push_back(hi);
+  std::sort(cuts.begin(), cuts.end());
+  double total = 0.0;
+  double prev = lo;
+  for (double c : cuts) {
+    const double piece_lo = std::clamp(prev, lo, hi);
+    const double piece_hi = std::clamp(c, lo, hi);
+    if (piece_hi > piece_lo) {
+      total += IntegrateGL(f, piece_lo, piece_hi, order);
+    }
+    prev = std::max(prev, c);
+  }
+  return total;
+}
+
+// The kernel's x-direction kink positions: where x ± w crosses the issuer's
+// x-extent [a, b].
+inline std::vector<double> KernelKinks(double a, double b, double w) {
+  return {a - w, a + w, b - w, b + w};
+}
+
+}  // namespace qual_detail
+
 /// Eq. 8 when both pdfs are product-form (IsProduct()): the integral
 /// factorizes into two 1-D integrals of marginal-density × kernel, each
 /// integrated piecewise (split at the kernel's kinks) with Gauss–Legendre
-/// of order \p gl_order per piece.
-double ProductQualification(const UncertaintyPdf& issuer,
-                            const UncertaintyPdf& object, double w, double h,
-                            size_t gl_order);
+/// of order \p gl_order per piece. Instantiate with concrete pdf types to
+/// inline the marginals/CDFs into the quadrature loop; the UncertaintyPdf
+/// instantiation is the legacy virtual path.
+template <typename IssuerPdf, typename ObjectPdf>
+double ProductQualificationT(const IssuerPdf& issuer, const ObjectPdf& object,
+                             double w, double h, size_t gl_order) {
+  const Rect u0 = issuer.bounds();
+  const Rect ui = object.bounds();
+  // Per-axis integral of (object marginal density) × (kernel CDF window).
+  const double ix = qual_detail::IntegratePiecewiseGL(
+      [&](double x) {
+        return object.MarginalPdfX(x) *
+               (issuer.CdfX(x + w) - issuer.CdfX(x - w));
+      },
+      ui.xmin, ui.xmax, qual_detail::KernelKinks(u0.xmin, u0.xmax, w),
+      gl_order);
+  if (ix <= 0.0) return 0.0;
+  const double iy = qual_detail::IntegratePiecewiseGL(
+      [&](double y) {
+        return object.MarginalPdfY(y) *
+               (issuer.CdfY(y + h) - issuer.CdfY(y - h));
+      },
+      ui.ymin, ui.ymax, qual_detail::KernelKinks(u0.ymin, u0.ymax, h),
+      gl_order);
+  return ix * iy;
+}
 
 /// Eq. 8 for arbitrary pdfs: 2-D composite Gauss–Legendre over
 /// Ui ∩ (R ⊕ U0), with the integrand fi(x, y) · Q(x, y) and Q evaluated via
 /// the issuer's MassIn. \p gl_order applies per axis per smooth cell.
+/// Instantiate with concrete pdf types to devirtualize the per-node
+/// Density/MassIn calls.
+template <typename IssuerPdf, typename ObjectPdf>
+double GenericQualificationT(const IssuerPdf& issuer, const ObjectPdf& object,
+                             double w, double h, size_t gl_order) {
+  // Integration region: Ui clipped to the expanded query R ⊕ U0 (Lemma 4 —
+  // the kernel vanishes outside it).
+  const Rect expanded = issuer.bounds().Expanded(w, h);
+  const Rect region = object.bounds().Intersection(expanded);
+  if (region.IsEmpty()) return 0.0;
+
+  const Rect u0 = issuer.bounds();
+  std::vector<double> x_cuts = qual_detail::KernelKinks(u0.xmin, u0.xmax, w);
+  std::vector<double> y_cuts = qual_detail::KernelKinks(u0.ymin, u0.ymax, h);
+  object.AppendBreakpointsX(&x_cuts);
+  object.AppendBreakpointsY(&y_cuts);
+
+  auto clip_sort = [](std::vector<double>& cuts, double lo, double hi) {
+    cuts.push_back(lo);
+    cuts.push_back(hi);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::remove_if(cuts.begin(), cuts.end(),
+                              [&](double c) { return c < lo || c > hi; }),
+               cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  };
+  clip_sort(x_cuts, region.xmin, region.xmax);
+  clip_sort(y_cuts, region.ymin, region.ymax);
+
+  auto integrand = [&](double x, double y) {
+    const double fi = object.Density(Point(x, y));
+    if (fi <= 0.0) return 0.0;
+    return fi * issuer.MassIn(Rect::Centered(Point(x, y), w, h));
+  };
+
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < x_cuts.size(); ++i) {
+    for (size_t j = 0; j + 1 < y_cuts.size(); ++j) {
+      const Rect cell(x_cuts[i], x_cuts[i + 1], y_cuts[j], y_cuts[j + 1]);
+      if (cell.Width() <= 0.0 || cell.Height() <= 0.0) continue;
+      total += IntegrateGL2D(integrand, cell, gl_order, gl_order);
+    }
+  }
+  return total;
+}
+
+/// Eq. 8 for product-form pdfs through the virtual interface (legacy entry
+/// point; forwards to ProductQualificationT<UncertaintyPdf, UncertaintyPdf>
+/// so both paths run the same arithmetic).
+double ProductQualification(const UncertaintyPdf& issuer,
+                            const UncertaintyPdf& object, double w, double h,
+                            size_t gl_order);
+
+/// Eq. 8 for arbitrary pdfs through the virtual interface (legacy entry
+/// point; forwards to GenericQualificationT).
 double GenericQualification(const UncertaintyPdf& issuer,
                             const UncertaintyPdf& object, double w, double h,
                             size_t gl_order);
@@ -77,16 +213,98 @@ double GenericQualification(const UncertaintyPdf& issuer,
 /// Monte-Carlo estimate of Eq. 4 by paired sampling: draw (issuer position,
 /// object position) pairs and count how often the object falls inside the
 /// issuer's range — the paper's evaluation procedure for uncertain objects
-/// under non-uniform pdfs.
+/// under non-uniform pdfs. Templated so both samplers inline for concrete
+/// pdf pairs; rng consumption matches the virtual path exactly.
+template <typename IssuerPdf, typename ObjectPdf>
+double UncertainQualificationMCT(const IssuerPdf& issuer,
+                                 const ObjectPdf& object, double w, double h,
+                                 size_t samples, Rng* rng) {
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    const Point q = issuer.Sample(rng);
+    const Point o = object.Sample(rng);
+    if (Rect::Centered(q, w, h).Contains(o)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+/// Monte-Carlo Eq. 4 through the virtual interface (legacy entry point;
+/// forwards to the template).
 double UncertainQualificationMC(const UncertaintyPdf& issuer,
                                 const UncertaintyPdf& object, double w,
                                 double h, size_t samples, Rng* rng);
 
 /// Dispatches to the fastest applicable analytic path (closed form /
-/// separable / generic 2-D quadrature).
+/// separable / generic 2-D quadrature) through the virtual interface,
+/// picking the path by dynamic_cast / IsProduct at runtime.
 double UncertainQualification(const UncertaintyPdf& issuer,
                               const UncertaintyPdf& object, double w,
                               double h, size_t gl_order);
+
+/// Compile-time analytic-path dispatch for one concrete pdf pair — the
+/// monomorphized heart of the PdfVariant fast path. AnyPdf alternatives
+/// (open-world pdfs) fall back to the runtime dispatcher above so they
+/// still pick the right path, just through virtual calls.
+template <typename IssuerPdf, typename ObjectPdf>
+double QualifyPair(const IssuerPdf& issuer, const ObjectPdf& object, double w,
+                   double h, size_t gl_order) {
+  if constexpr (std::is_same_v<IssuerPdf, AnyPdf> ||
+                std::is_same_v<ObjectPdf, AnyPdf>) {
+    return UncertainQualification(PdfBaseRef(issuer), PdfBaseRef(object), w,
+                                  h, gl_order);
+  } else if constexpr (std::is_same_v<IssuerPdf, UniformRectPdf> &&
+                       std::is_same_v<ObjectPdf, UniformRectPdf>) {
+    return UniformUniformQualification(issuer.bounds(), object.bounds(), w,
+                                       h);
+  } else if constexpr (kPdfIsProduct<IssuerPdf> &&
+                       kPdfIsProduct<ObjectPdf>) {
+    return ProductQualificationT(issuer, object, w, h, gl_order);
+  } else {
+    return GenericQualificationT(issuer, object, w, h, gl_order);
+  }
+}
+
+/// Eq. 8 for two pdf variants: one std::visit, then the monomorphized
+/// QualifyPair kernel.
+inline double UncertainQualification(const PdfVariant& issuer,
+                                     const PdfVariant& object, double w,
+                                     double h, size_t gl_order) {
+  return std::visit(
+      [&](const auto& i, const auto& o) {
+        return QualifyPair(i, o, w, h, gl_order);
+      },
+      issuer, object);
+}
+
+/// Monte-Carlo Eq. 4 for two pdf variants: one std::visit, then the
+/// monomorphized sampling loop.
+inline double UncertainQualificationMC(const PdfVariant& issuer,
+                                       const PdfVariant& object, double w,
+                                       double h, size_t samples, Rng* rng) {
+  return std::visit(
+      [&](const auto& i, const auto& o) {
+        return UncertainQualificationMCT(i, o, w, h, samples, rng);
+      },
+      issuer, object);
+}
+
+/// Lemma 3 for a pdf variant issuer: one std::visit, then the alternative's
+/// non-virtual MassIn.
+inline double PointQualification(const PdfVariant& issuer, const Point& s,
+                                 double w, double h) {
+  return PdfMassIn(issuer, Rect::Centered(s, w, h));
+}
+
+/// Monte-Carlo Lemma 3 for a pdf variant issuer.
+inline double PointQualificationMC(const PdfVariant& issuer, const Point& s,
+                                   double w, double h, size_t samples,
+                                   Rng* rng) {
+  return std::visit(
+      [&](const auto& pdf) {
+        return PointQualificationMC(pdf, s, w, h, samples, rng);
+      },
+      issuer);
+}
 
 }  // namespace ilq
 

@@ -43,9 +43,12 @@ AnswerSet EvaluateINN(const RTree& index, const UncertainObject& issuer,
   if (index.size() == 0) return {};
   Rng rng(options.seed);
   std::map<ObjectId, double> hits;
+  // pdf() resolves the variant with a std::visit; hoist it out of the
+  // sampling loop.
+  const UncertaintyPdf& pdf = issuer.pdf();
   for (size_t i = 0; i < options.samples; ++i) {
     ObjectId winner = 0;
-    if (NearestAt(index, issuer.pdf().Sample(&rng), &winner, stats)) {
+    if (NearestAt(index, pdf.Sample(&rng), &winner, stats)) {
       hits[winner] += 1.0;
     }
   }
@@ -66,12 +69,15 @@ AnswerSet EvaluateINNGrid(const RTree& index, const UncertainObject& issuer,
   const double cell_area = dx * dy;
   std::map<ObjectId, double> mass;
   double total = 0.0;
+  // pdf() resolves the variant with a std::visit; hoist it out of the
+  // grid loop.
+  const UncertaintyPdf& pdf = issuer.pdf();
   for (size_t i = 0; i < n; ++i) {
     const double x = u0.xmin + (static_cast<double>(i) + 0.5) * dx;
     for (size_t j = 0; j < n; ++j) {
       const double y = u0.ymin + (static_cast<double>(j) + 0.5) * dy;
       const Point p(x, y);
-      const double weight = issuer.pdf().Density(p) * cell_area;
+      const double weight = pdf.Density(p) * cell_area;
       if (weight <= 0.0) continue;
       ObjectId winner = 0;
       if (NearestAt(index, p, &winner, stats)) {

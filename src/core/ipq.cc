@@ -1,7 +1,7 @@
 #include "core/ipq.h"
 
-#include "core/duality.h"
 #include "core/expansion.h"
+#include "core/point_eval.h"
 
 namespace ilq {
 
@@ -10,32 +10,9 @@ AnswerSet EvaluateIPQ(const RTree& index, const UncertainObject& issuer,
                       IndexStats* stats) {
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
-  AnswerSet answers;
-  const UncertaintyPdf& pdf = issuer.pdf();
-  // The kernel choice is hoisted out of the candidate loop: each branch
-  // instantiates its own RTree::Query visitor, so the per-candidate path is
-  // branch- and indirection-free, and the analytic path skips the Rng.
-  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    Rng rng(options.mc_seed);
-    index.Query(
-        expanded,
-        [&](const Rect& box, ObjectId id) {
-          const double pi = PointQualificationMC(
-              pdf, box.Center(), spec.w, spec.h, options.mc_samples, &rng);
-          if (pi > 0.0) answers.push_back({id, pi});
-        },
-        stats);
-  } else {
-    index.Query(
-        expanded,
-        [&](const Rect& box, ObjectId id) {
-          const double pi =
-              PointQualification(pdf, box.Center(), spec.w, spec.h);
-          if (pi > 0.0) answers.push_back({id, pi});
-        },
-        stats);
-  }
-  return answers;
+  // min_probability = 0: the unconstrained pi > 0 filter.
+  return EvaluatePointCandidates(index, expanded, issuer.pdf_variant(), spec,
+                                 /*min_probability=*/0.0, options, stats);
 }
 
 }  // namespace ilq

@@ -1,7 +1,10 @@
 #include "core/iuq.h"
 
+#include <variant>
+
 #include "core/duality.h"
 #include "core/expansion.h"
+#include "prob/pdf_variant.h"
 
 namespace ilq {
 
@@ -13,32 +16,44 @@ AnswerSet EvaluateIUQ(const RTree& index,
   const Rect expanded =
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   AnswerSet answers;
-  const UncertaintyPdf& issuer_pdf = issuer.pdf();
-  // Kernel choice hoisted out of the candidate loop (see ipq.cc).
-  if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    Rng rng(options.mc_seed);
-    index.Query(
-        expanded,
-        [&](const Rect&, ObjectId idx) {
-          const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualificationMC(issuer_pdf, obj.pdf(), spec.w, spec.h,
-                                       options.mc_samples, &rng);
-          if (pi > 0.0) answers.push_back({obj.id(), pi});
-        },
-        stats);
-  } else {
-    index.Query(
-        expanded,
-        [&](const Rect&, ObjectId idx) {
-          const UncertainObject& obj = objects[idx];
-          const double pi =
-              UncertainQualification(issuer_pdf, obj.pdf(), spec.w, spec.h,
-                                     options.quadrature_order);
-          if (pi > 0.0) answers.push_back({obj.id(), pi});
-        },
-        stats);
-  }
+  // One std::visit over the issuer for the whole query; per candidate a
+  // second visit over the object picks the monomorphized QualifyPair /
+  // MC kernel for the concrete pdf pair (see core/duality.h).
+  std::visit(
+      [&](const auto& issuer_pdf) {
+        if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+          Rng rng(options.mc_seed);
+          index.Query(
+              expanded,
+              [&](const Rect&, ObjectId idx) {
+                const UncertainObject& obj = objects[idx];
+                const double pi = std::visit(
+                    [&](const auto& object_pdf) {
+                      return UncertainQualificationMCT(
+                          issuer_pdf, object_pdf, spec.w, spec.h,
+                          options.mc_samples, &rng);
+                    },
+                    obj.pdf_variant());
+                if (pi > 0.0) answers.push_back({obj.id(), pi});
+              },
+              stats);
+        } else {
+          index.Query(
+              expanded,
+              [&](const Rect&, ObjectId idx) {
+                const UncertainObject& obj = objects[idx];
+                const double pi = std::visit(
+                    [&](const auto& object_pdf) {
+                      return QualifyPair(issuer_pdf, object_pdf, spec.w,
+                                         spec.h, options.quadrature_order);
+                    },
+                    obj.pdf_variant());
+                if (pi > 0.0) answers.push_back({obj.id(), pi});
+              },
+              stats);
+        }
+      },
+      issuer.pdf_variant());
   return answers;
 }
 

@@ -1,0 +1,31 @@
+// Shared IPQ / C-IPQ candidate evaluation: Lemma 3 over an index range,
+// with the batched analytic path (collect centers during the traversal,
+// one std::visit, one MassInCenteredBatch pass) and the per-candidate
+// Monte-Carlo path. IPQ and C-IPQ differ only in how they build the index
+// range and in the probability filter, so both entry points delegate here.
+
+#ifndef ILQ_CORE_POINT_EVAL_H_
+#define ILQ_CORE_POINT_EVAL_H_
+
+#include "core/query.h"
+#include "index/index_stats.h"
+#include "index/rtree.h"
+#include "prob/pdf_variant.h"
+
+namespace ilq {
+
+/// Qualifies every candidate the index returns for \p range against the
+/// issuer pdf (Lemma 3: mass inside the dual range centred at the
+/// candidate). Emits answers in candidate order with
+/// pi > 0 && pi >= \p min_probability — pass 0 for the unconstrained IPQ
+/// filter (pi > 0), the query threshold for C-IPQ.
+AnswerSet EvaluatePointCandidates(const RTree& index, const Rect& range,
+                                  const PdfVariant& pdf,
+                                  const RangeQuerySpec& spec,
+                                  double min_probability,
+                                  const EvalOptions& options,
+                                  IndexStats* stats);
+
+}  // namespace ilq
+
+#endif  // ILQ_CORE_POINT_EVAL_H_

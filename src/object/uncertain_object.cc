@@ -1,34 +1,18 @@
 #include "object/uncertain_object.h"
 
-#include "common/logging.h"
+#include <utility>
 
 namespace ilq {
 
 UncertainObject::UncertainObject(ObjectId id,
                                  std::unique_ptr<UncertaintyPdf> pdf)
-    : id_(id), pdf_(std::move(pdf)) {
-  ILQ_CHECK(pdf_ != nullptr, "UncertainObject requires a pdf");
-  region_ = pdf_->bounds();
-}
+    : UncertainObject(id, MakePdfVariant(std::move(pdf))) {}
 
-UncertainObject::UncertainObject(const UncertainObject& o)
-    : id_(o.id_),
-      pdf_(o.pdf_->Clone()),
-      region_(o.region_),
-      catalog_(o.catalog_) {}
-
-UncertainObject& UncertainObject::operator=(const UncertainObject& o) {
-  if (this != &o) {
-    id_ = o.id_;
-    pdf_ = o.pdf_->Clone();
-    region_ = o.region_;
-    catalog_ = o.catalog_;
-  }
-  return *this;
-}
+UncertainObject::UncertainObject(ObjectId id, PdfVariant pdf)
+    : id_(id), pdf_(std::move(pdf)), region_(PdfBounds(pdf_)) {}
 
 Status UncertainObject::BuildCatalog(const std::vector<double>& values) {
-  Result<UCatalog> cat = UCatalog::Make(*pdf_, values);
+  Result<UCatalog> cat = UCatalog::Make(pdf(), values);
   if (!cat.ok()) return cat.status();
   catalog_ = std::move(cat).ValueOrDie();
   return Status::OK();

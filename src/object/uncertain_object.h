@@ -6,32 +6,44 @@
 #define ILQ_OBJECT_UNCERTAIN_OBJECT_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "object/point_object.h"
 #include "object/ucatalog.h"
 #include "prob/pdf.h"
+#include "prob/pdf_variant.h"
 
 namespace ilq {
 
 /// \brief An object whose location is known only as a pdf over an
 /// uncertainty region.
 ///
-/// Copyable (the pdf is deep-cloned) so datasets behave like value
-/// containers.
+/// The pdf is stored as a PdfVariant so the evaluators can std::visit once
+/// per object and run monomorphized qualification kernels (prob/
+/// pdf_variant.h); pdf() still exposes the UncertaintyPdf& view for code
+/// written against the virtual interface. Copyable (the variant deep-clones
+/// an AnyPdf alternative) so datasets behave like value containers.
 class UncertainObject {
  public:
-  /// Takes ownership of \p pdf; \p pdf must be non-null.
+  /// Takes ownership of \p pdf; \p pdf must be non-null. Concrete closed-
+  /// world pdfs land on the variant fast path, anything else is wrapped in
+  /// AnyPdf (see MakePdfVariant).
   UncertainObject(ObjectId id, std::unique_ptr<UncertaintyPdf> pdf);
 
-  UncertainObject(const UncertainObject& o);
-  UncertainObject& operator=(const UncertainObject& o);
-  UncertainObject(UncertainObject&&) noexcept = default;
-  UncertainObject& operator=(UncertainObject&&) noexcept = default;
+  /// Directly adopts an already-built variant.
+  UncertainObject(ObjectId id, PdfVariant pdf);
 
   ObjectId id() const { return id_; }
-  const UncertaintyPdf& pdf() const { return *pdf_; }
+
+  /// The UncertaintyPdf& view of the pdf (one std::visit per call; prefer
+  /// pdf_variant() in per-sample loops). Valid while this object lives.
+  const UncertaintyPdf& pdf() const { return AsUncertaintyPdf(pdf_); }
+
+  /// The pdf as a variant — the devirtualized fast path the evaluators
+  /// monomorphize over.
+  const PdfVariant& pdf_variant() const { return pdf_; }
 
   /// Bounding box of the uncertainty region Ui. For rectangular regions
   /// (the paper's assumption) this *is* Ui.
@@ -47,7 +59,7 @@ class UncertainObject {
 
  private:
   ObjectId id_;
-  std::unique_ptr<UncertaintyPdf> pdf_;
+  PdfVariant pdf_;
   Rect region_;
   std::optional<UCatalog> catalog_;
 };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace ilq {
 
 Result<UniformDiskPdf> UniformDiskPdf::Make(const Circle& disk) {
@@ -17,6 +19,32 @@ double UniformDiskPdf::Density(const Point& p) const {
 
 double UniformDiskPdf::MassIn(const Rect& r) const {
   return disk_.IntersectionArea(r) * inv_area_;
+}
+
+void UniformDiskPdf::DensityBatch(std::span<const Point> pts,
+                                  std::span<double> out) const {
+  ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
+  // Final class: direct (bit-identical) call per element.
+  for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
+}
+
+void UniformDiskPdf::MassInBatch(std::span<const Rect> rects,
+                                 std::span<double> out) const {
+  ILQ_CHECK(rects.size() == out.size(), "MassInBatch size mismatch");
+  // The disk–rect overlap area is call-heavy; the win here is hoisting the
+  // virtual-dispatch boundary, not vectorization. Final class: direct
+  // (bit-identical) call per element.
+  for (size_t i = 0; i < rects.size(); ++i) out[i] = MassIn(rects[i]);
+}
+
+void UniformDiskPdf::MassInCenteredBatch(std::span<const Point> centers,
+                                         double w, double h,
+                                         std::span<double> out) const {
+  ILQ_CHECK(centers.size() == out.size(),
+            "MassInCenteredBatch size mismatch");
+  for (size_t i = 0; i < centers.size(); ++i) {
+    out[i] = MassIn(Rect::Centered(centers[i], w, h));
+  }
 }
 
 double UniformDiskPdf::CdfX(double x) const {

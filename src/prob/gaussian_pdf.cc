@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "prob/normal.h"
 
 namespace ilq {
@@ -42,6 +43,30 @@ double TruncatedGaussianPdf::Density(const Point& p) const {
   const double fx = NormalPdf((p.x - mu.x) / sx_) / (sx_ * mass_x_);
   const double fy = NormalPdf((p.y - mu.y) / sy_) / (sy_ * mass_y_);
   return fx * fy;
+}
+
+void TruncatedGaussianPdf::DensityBatch(std::span<const Point> pts,
+                                        std::span<double> out) const {
+  ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
+  // NormalPdf dominates, so the win is hoisting the dispatch boundary; the
+  // class is final, so this is a direct (bit-identical) call per element.
+  for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
+}
+
+void TruncatedGaussianPdf::MassInBatch(std::span<const Rect> rects,
+                                       std::span<double> out) const {
+  ILQ_CHECK(rects.size() == out.size(), "MassInBatch size mismatch");
+  for (size_t i = 0; i < rects.size(); ++i) out[i] = MassIn(rects[i]);
+}
+
+void TruncatedGaussianPdf::MassInCenteredBatch(std::span<const Point> centers,
+                                               double w, double h,
+                                               std::span<double> out) const {
+  ILQ_CHECK(centers.size() == out.size(),
+            "MassInCenteredBatch size mismatch");
+  for (size_t i = 0; i < centers.size(); ++i) {
+    out[i] = MassIn(Rect::Centered(centers[i], w, h));
+  }
 }
 
 double TruncatedGaussianPdf::Cdf1D(double v, double mu, double sigma,

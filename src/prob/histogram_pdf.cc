@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace ilq {
 
 Result<HistogramPdf> HistogramPdf::Make(const Rect& region, size_t nx,
@@ -99,6 +101,31 @@ double HistogramPdf::MassIn(const Rect& r) const {
     }
   }
   return total;
+}
+
+void HistogramPdf::DensityBatch(std::span<const Point> pts,
+                                std::span<double> out) const {
+  ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
+  // The divide + clamp + gather cell lookup doesn't vectorize; the win is
+  // hoisting the dispatch boundary, and the class is final so this is a
+  // direct (bit-identical) call per element.
+  for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
+}
+
+void HistogramPdf::MassInBatch(std::span<const Rect> rects,
+                               std::span<double> out) const {
+  ILQ_CHECK(rects.size() == out.size(), "MassInBatch size mismatch");
+  for (size_t i = 0; i < rects.size(); ++i) out[i] = MassIn(rects[i]);
+}
+
+void HistogramPdf::MassInCenteredBatch(std::span<const Point> centers,
+                                       double w, double h,
+                                       std::span<double> out) const {
+  ILQ_CHECK(centers.size() == out.size(),
+            "MassInCenteredBatch size mismatch");
+  for (size_t i = 0; i < centers.size(); ++i) {
+    out[i] = MassIn(Rect::Centered(centers[i], w, h));
+  }
 }
 
 double HistogramPdf::CdfX(double x) const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace ilq {
 
 namespace {
@@ -26,6 +28,28 @@ double BisectQuantile(Cdf cdf, double lo, double hi, double p) {
 }
 
 }  // namespace
+
+void UncertaintyPdf::DensityBatch(std::span<const Point> pts,
+                                  std::span<double> out) const {
+  ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
+  for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
+}
+
+void UncertaintyPdf::MassInBatch(std::span<const Rect> rects,
+                                 std::span<double> out) const {
+  ILQ_CHECK(rects.size() == out.size(), "MassInBatch size mismatch");
+  for (size_t i = 0; i < rects.size(); ++i) out[i] = MassIn(rects[i]);
+}
+
+void UncertaintyPdf::MassInCenteredBatch(std::span<const Point> centers,
+                                         double w, double h,
+                                         std::span<double> out) const {
+  ILQ_CHECK(centers.size() == out.size(),
+            "MassInCenteredBatch size mismatch");
+  for (size_t i = 0; i < centers.size(); ++i) {
+    out[i] = MassIn(Rect::Centered(centers[i], w, h));
+  }
+}
 
 double UncertaintyPdf::QuantileX(double p) const {
   const Rect b = bounds();

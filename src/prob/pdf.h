@@ -19,6 +19,7 @@
 #define ILQ_PROB_PDF_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,27 @@ class UncertaintyPdf {
 
   /// Probability that the object lies inside \p r: ∫∫_{r ∩ support} f.
   virtual double MassIn(const Rect& r) const = 0;
+
+  /// Batched density: out[i] = Density(pts[i]) for every i; sizes must
+  /// match (checked). The base implementation loops over the virtual
+  /// Density; every concrete pdf overrides it with a tight scalar loop
+  /// whose per-element operation devirtualizes (the classes are final),
+  /// which is what the PdfVariant fast path monomorphizes over.
+  virtual void DensityBatch(std::span<const Point> pts,
+                            std::span<double> out) const;
+
+  /// Batched mass: out[i] = MassIn(rects[i]). Same contract and override
+  /// policy as DensityBatch.
+  virtual void MassInBatch(std::span<const Rect> rects,
+                           std::span<double> out) const;
+
+  /// Batched mass over equal-shaped ranges:
+  /// out[i] = MassIn(Rect::Centered(centers[i], w, h)) — the exact shape of
+  /// the evaluators' dual-range loops (every candidate shares the query
+  /// half-extents), which lets overrides stream half as many coordinates as
+  /// MassInBatch. Base implementation loops over the virtual MassIn.
+  virtual void MassInCenteredBatch(std::span<const Point> centers, double w,
+                                   double h, std::span<double> out) const;
 
   /// Marginal CDF P[X ≤ x]; 0 left of the support, 1 right of it.
   virtual double CdfX(double x) const = 0;

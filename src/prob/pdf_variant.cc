@@ -1,0 +1,71 @@
+#include "prob/pdf_variant.h"
+
+#include "common/logging.h"
+
+namespace ilq {
+
+AnyPdf::AnyPdf(std::unique_ptr<UncertaintyPdf> pdf) : pdf_(std::move(pdf)) {
+  ILQ_CHECK(pdf_ != nullptr, "AnyPdf requires a non-null pdf");
+}
+
+PdfVariant MakePdfVariant(std::unique_ptr<UncertaintyPdf> pdf) {
+  ILQ_CHECK(pdf != nullptr, "MakePdfVariant requires a non-null pdf");
+  // The four closed-world alternatives are copied out of the owned pdf (they
+  // are small value types); anything else keeps its allocation inside AnyPdf.
+  if (auto* p = dynamic_cast<UniformRectPdf*>(pdf.get())) {
+    return PdfVariant(*p);
+  }
+  if (auto* p = dynamic_cast<UniformDiskPdf*>(pdf.get())) {
+    return PdfVariant(*p);
+  }
+  if (auto* p = dynamic_cast<TruncatedGaussianPdf*>(pdf.get())) {
+    return PdfVariant(*p);
+  }
+  if (auto* p = dynamic_cast<HistogramPdf*>(pdf.get())) {
+    return PdfVariant(*p);
+  }
+  return PdfVariant(AnyPdf(std::move(pdf)));
+}
+
+Rect PdfBounds(const PdfVariant& v) {
+  return std::visit([](const auto& pdf) { return pdf.bounds(); }, v);
+}
+
+double PdfDensity(const PdfVariant& v, const Point& p) {
+  return std::visit([&](const auto& pdf) { return pdf.Density(p); }, v);
+}
+
+double PdfMassIn(const PdfVariant& v, const Rect& r) {
+  return std::visit([&](const auto& pdf) { return pdf.MassIn(r); }, v);
+}
+
+bool PdfIsProduct(const PdfVariant& v) {
+  return std::visit([](const auto& pdf) { return pdf.IsProduct(); }, v);
+}
+
+Point PdfSample(const PdfVariant& v, Rng* rng) {
+  return std::visit([&](const auto& pdf) { return pdf.Sample(rng); }, v);
+}
+
+std::string PdfName(const PdfVariant& v) {
+  return std::visit([](const auto& pdf) { return pdf.name(); }, v);
+}
+
+void DensityBatch(const PdfVariant& v, std::span<const Point> pts,
+                  std::span<double> out) {
+  std::visit([&](const auto& pdf) { pdf.DensityBatch(pts, out); }, v);
+}
+
+void MassInBatch(const PdfVariant& v, std::span<const Rect> rects,
+                 std::span<double> out) {
+  std::visit([&](const auto& pdf) { pdf.MassInBatch(rects, out); }, v);
+}
+
+void MassInCenteredBatch(const PdfVariant& v, std::span<const Point> centers,
+                         double w, double h, std::span<double> out) {
+  std::visit(
+      [&](const auto& pdf) { pdf.MassInCenteredBatch(centers, w, h, out); },
+      v);
+}
+
+}  // namespace ilq

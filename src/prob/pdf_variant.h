@@ -1,0 +1,170 @@
+// Closed-world pdf variant — the devirtualized fast path of the prob layer.
+//
+// UncertaintyPdf's virtual dispatch (pdf.h) sits inside the per-sample loops
+// of every evaluator, which blocks inlining into the templated quadrature
+// kernels (prob/integrate.h) and blocks auto-vectorization of the
+// qualification loops. PdfVariant closes the world to the four concrete
+// pdfs the workloads use, so callers can std::visit once per object and run
+// a fully monomorphized kernel:
+//
+//   std::visit([&](const auto& pdf) { /* pdf.Density inlines here */ }, v);
+//
+// Every concrete pdf additionally exposes batched entry points
+// (DensityBatch / MassInBatch) implemented as tight scalar loops over the
+// devirtualized scalar operation — bit-identical to calling the scalar op
+// in a loop, but with the call boundary hoisted out so the compiler can
+// auto-vectorize (uniform/histogram) or at least inline (gaussian/disk).
+//
+// The virtual interface stays available in both directions:
+//   * AsUncertaintyPdf(variant) returns the UncertaintyPdf& view of any
+//     alternative (the four concrete pdfs derive from it; AnyPdf forwards);
+//   * AnyPdf is the escape hatch for external UncertaintyPdf subclasses —
+//     it rides inside the variant and forwards virtually, so open-world
+//     pdfs still work everywhere, just without the fast path.
+
+#ifndef ILQ_PROB_PDF_VARIANT_H_
+#define ILQ_PROB_PDF_VARIANT_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "prob/disk_pdf.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/histogram_pdf.h"
+#include "prob/pdf.h"
+#include "prob/uniform_pdf.h"
+
+namespace ilq {
+
+/// \brief Escape hatch: wraps an arbitrary UncertaintyPdf subclass so it can
+/// live inside PdfVariant.
+///
+/// Mirrors the full UncertaintyPdf surface (plus the batched entry points)
+/// by forwarding through the virtual interface, so generic kernels
+/// instantiate for it unchanged — they just keep paying virtual dispatch.
+/// Copying deep-clones the wrapped pdf, matching UncertainObject's value
+/// semantics.
+class AnyPdf final {
+ public:
+  /// Takes ownership; \p pdf must be non-null (checked).
+  explicit AnyPdf(std::unique_ptr<UncertaintyPdf> pdf);
+
+  AnyPdf(const AnyPdf& o) : pdf_(o.pdf_->Clone()) {}
+  AnyPdf& operator=(const AnyPdf& o) {
+    if (this != &o) pdf_ = o.pdf_->Clone();
+    return *this;
+  }
+  AnyPdf(AnyPdf&&) noexcept = default;
+  AnyPdf& operator=(AnyPdf&&) noexcept = default;
+
+  /// The wrapped pdf (virtual interface view).
+  const UncertaintyPdf& impl() const { return *pdf_; }
+
+  Rect bounds() const { return pdf_->bounds(); }
+  double Density(const Point& p) const { return pdf_->Density(p); }
+  double MassIn(const Rect& r) const { return pdf_->MassIn(r); }
+  double CdfX(double x) const { return pdf_->CdfX(x); }
+  double CdfY(double y) const { return pdf_->CdfY(y); }
+  double QuantileX(double p) const { return pdf_->QuantileX(p); }
+  double QuantileY(double p) const { return pdf_->QuantileY(p); }
+  double MarginalPdfX(double x) const { return pdf_->MarginalPdfX(x); }
+  double MarginalPdfY(double y) const { return pdf_->MarginalPdfY(y); }
+  void AppendBreakpointsX(std::vector<double>* out) const {
+    pdf_->AppendBreakpointsX(out);
+  }
+  void AppendBreakpointsY(std::vector<double>* out) const {
+    pdf_->AppendBreakpointsY(out);
+  }
+  bool IsProduct() const { return pdf_->IsProduct(); }
+  Point Sample(Rng* rng) const { return pdf_->Sample(rng); }
+  std::string name() const { return pdf_->name(); }
+
+  /// Batched entry points (see UncertaintyPdf::DensityBatch): virtual per
+  /// element — correctness parity with the fast path, not speed.
+  void DensityBatch(std::span<const Point> pts, std::span<double> out) const {
+    pdf_->DensityBatch(pts, out);
+  }
+  void MassInBatch(std::span<const Rect> rects, std::span<double> out) const {
+    pdf_->MassInBatch(rects, out);
+  }
+  void MassInCenteredBatch(std::span<const Point> centers, double w, double h,
+                           std::span<double> out) const {
+    pdf_->MassInCenteredBatch(centers, w, h, out);
+  }
+
+ private:
+  std::unique_ptr<UncertaintyPdf> pdf_;
+};
+
+/// \brief The closed world of pdfs the evaluators monomorphize over, plus
+/// the AnyPdf escape hatch for everything else.
+using PdfVariant = std::variant<UniformRectPdf, UniformDiskPdf,
+                                TruncatedGaussianPdf, HistogramPdf, AnyPdf>;
+
+/// Compile-time mirror of IsProduct() for the closed-world alternatives, so
+/// pair dispatch can pick the separable kernel with `if constexpr`. AnyPdf
+/// is `false` here — pair dispatch must not rely on it (the wrapped pdf
+/// decides at runtime; see core/duality.h's QualifyPair fallback).
+template <typename T>
+inline constexpr bool kPdfIsProduct = false;
+template <>
+inline constexpr bool kPdfIsProduct<UniformRectPdf> = true;
+template <>
+inline constexpr bool kPdfIsProduct<TruncatedGaussianPdf> = true;
+
+/// The UncertaintyPdf& view of one alternative: the concrete pdfs upcast,
+/// AnyPdf exposes its wrapped pdf.
+template <typename T>
+const UncertaintyPdf& PdfBaseRef(const T& pdf) {
+  if constexpr (std::is_same_v<T, AnyPdf>) {
+    return pdf.impl();
+  } else {
+    return pdf;
+  }
+}
+
+/// The UncertaintyPdf& view of the variant. The reference points into \p v
+/// and stays valid while the variant does.
+inline const UncertaintyPdf& AsUncertaintyPdf(const PdfVariant& v) {
+  return std::visit(
+      [](const auto& pdf) -> const UncertaintyPdf& { return PdfBaseRef(pdf); },
+      v);
+}
+
+/// Moves an owned pdf into the variant: the four concrete types land as
+/// their alternative (fast path), anything else is wrapped in AnyPdf.
+/// \p pdf must be non-null (checked).
+PdfVariant MakePdfVariant(std::unique_ptr<UncertaintyPdf> pdf);
+
+// ---- Non-virtual dispatch helpers -----------------------------------------
+// One std::visit per call; prefer visiting once yourself when looping.
+
+Rect PdfBounds(const PdfVariant& v);
+double PdfDensity(const PdfVariant& v, const Point& p);
+double PdfMassIn(const PdfVariant& v, const Rect& r);
+bool PdfIsProduct(const PdfVariant& v);
+Point PdfSample(const PdfVariant& v, Rng* rng);
+std::string PdfName(const PdfVariant& v);
+
+/// Batched density: out[i] = Density(pts[i]). Visits once, then runs the
+/// alternative's tight scalar loop. Sizes must match (checked).
+void DensityBatch(const PdfVariant& v, std::span<const Point> pts,
+                  std::span<double> out);
+
+/// Batched mass: out[i] = MassIn(rects[i]). Visits once.
+void MassInBatch(const PdfVariant& v, std::span<const Rect> rects,
+                 std::span<double> out);
+
+/// Batched mass over equal-shaped dual ranges:
+/// out[i] = MassIn(Rect::Centered(centers[i], w, h)). Visits once.
+void MassInCenteredBatch(const PdfVariant& v, std::span<const Point> centers,
+                         double w, double h, std::span<double> out);
+
+}  // namespace ilq
+
+#endif  // ILQ_PROB_PDF_VARIANT_H_

@@ -26,6 +26,12 @@ class UniformRectPdf final : public UncertaintyPdf {
   Rect bounds() const override { return region_; }
   double Density(const Point& p) const override;
   double MassIn(const Rect& r) const override;
+  void DensityBatch(std::span<const Point> pts,
+                    std::span<double> out) const override;
+  void MassInBatch(std::span<const Rect> rects,
+                   std::span<double> out) const override;
+  void MassInCenteredBatch(std::span<const Point> centers, double w,
+                           double h, std::span<double> out) const override;
   double CdfX(double x) const override;
   double CdfY(double y) const override;
   double QuantileX(double p) const override;

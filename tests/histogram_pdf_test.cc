@@ -125,5 +125,101 @@ TEST(HistogramPdfTest, NotProduct) {
   EXPECT_FALSE(pdf.IsProduct());
 }
 
+// --- Edge cases ------------------------------------------------------------
+
+TEST(HistogramPdfTest, ZeroMassBinsAreDeadRegions) {
+  // Mass only in the two corner cells of the main diagonal.
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 2), 2, 2, {1, 0, 0, 1});
+  // Dead cells: zero density, zero mass.
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1.5, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(0.5, 1.5)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(1, 2, 0, 1)), 0.0);
+  // Live cells carry half the mass each; total still normalizes to 1.
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 1, 0, 1)), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(1, 2, 1, 2)), 0.5);
+  EXPECT_NEAR(pdf.MassIn(pdf.bounds()), 1.0, 1e-12);
+  // The x-marginal is flat (each column holds 0.5) even though the joint
+  // density is anything but uniform.
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfX(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.MarginalPdfX(1.5), 0.5);
+  // Sampling never lands in a dead cell.
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p = pdf.Sample(&rng);
+    EXPECT_GT(pdf.Density(p), 0.0) << p.x << "," << p.y;
+  }
+}
+
+TEST(HistogramPdfTest, ZeroMassRowStillQuantiles) {
+  // Middle row empty: the y-CDF has a flat plateau across [1, 2].
+  const HistogramPdf pdf =
+      Make(Rect(0, 1, 0, 3), 1, 3, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(pdf.CdfY(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.CdfY(1.7), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.CdfY(2.0), 0.5);
+  // The quantile at the plateau value must return a point of the plateau
+  // (smallest y with CdfY >= p).
+  const double q = pdf.QuantileY(0.5);
+  EXPECT_NEAR(pdf.CdfY(q), 0.5, 1e-9);
+  EXPECT_LE(q, 2.0 + 1e-9);
+}
+
+TEST(HistogramPdfTest, QueryRectFullyOutsideSupport) {
+  const HistogramPdf pdf = Make(Rect(0, 2, 0, 2), 2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(5, 9, 5, 9)), 0.0);     // disjoint
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(-4, -1, 0, 2)), 0.0);   // left of support
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(0, 2, 2, 5)), 0.0);     // touching edge
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect::Empty()), 0.0);        // empty rect
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(-0.001, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(-3), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(7), 1.0);
+}
+
+TEST(HistogramPdfTest, SingleBinHistogramIsUniform) {
+  const HistogramPdf pdf = Make(Rect(1, 3, 2, 6), 1, 1, {42.0});
+  EXPECT_EQ(pdf.nx(), 1u);
+  EXPECT_EQ(pdf.ny(), 1u);
+  // One cell over a 2x4 region: density 1/8 everywhere inside.
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(2, 4)), 0.125);
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(1, 2)), 0.125);   // corner (closed set)
+  EXPECT_DOUBLE_EQ(pdf.Density(Point(3, 6)), 0.125);   // far corner clamps
+  EXPECT_DOUBLE_EQ(pdf.MassIn(Rect(1, 2, 2, 6)), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.CdfX(2), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.CdfY(4), 0.5);
+  // No interior discontinuities to report.
+  std::vector<double> bx, by;
+  pdf.AppendBreakpointsX(&bx);
+  pdf.AppendBreakpointsY(&by);
+  EXPECT_TRUE(bx.empty());
+  EXPECT_TRUE(by.empty());
+  // Quantiles are the plain linear inverse.
+  EXPECT_NEAR(pdf.QuantileX(0.25), 1.5, 1e-9);
+  EXPECT_NEAR(pdf.QuantileY(0.75), 5.0, 1e-9);
+}
+
+TEST(HistogramPdfTest, BatchEntryPointsHandleEdgeShapes) {
+  // Batched calls on degenerate histograms (single bin, dead bins) must
+  // match the scalar ops exactly — these shapes stress the clamping paths.
+  const HistogramPdf single = Make(Rect(0, 1, 0, 1), 1, 1, {1.0});
+  const HistogramPdf sparse = Make(Rect(0, 2, 0, 2), 2, 2, {1, 0, 0, 1});
+  const std::vector<Point> pts = {Point(0, 0),     Point(1, 1),
+                                  Point(0.5, 0.5), Point(1.5, 0.5),
+                                  Point(2, 2),     Point(-1, -1)};
+  const std::vector<Rect> rects = {Rect(0, 1, 0, 1), Rect(1, 2, 0, 1),
+                                   Rect(5, 6, 5, 6), Rect::Empty()};
+  for (const HistogramPdf* pdf : {&single, &sparse}) {
+    std::vector<double> d(pts.size());
+    pdf->DensityBatch(pts, d);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(d[i], pdf->Density(pts[i])) << i;
+    }
+    std::vector<double> m(rects.size());
+    pdf->MassInBatch(rects, m);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      EXPECT_EQ(m[i], pdf->MassIn(rects[i])) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ilq

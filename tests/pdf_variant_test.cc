@@ -1,0 +1,216 @@
+// PdfVariant unit tests: MakePdfVariant's closed-world mapping, the AnyPdf
+// escape hatch, the UncertaintyPdf& view, and bit-identity of the batched
+// entry points with their scalar counterparts (the contract the evaluator
+// rewrites rely on).
+
+#include "prob/pdf_variant.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "geometry/circle.h"
+#include "prob/disk_pdf.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+
+std::unique_ptr<UniformDiskPdf> MakeDisk(const Point& c, double r) {
+  Result<UniformDiskPdf> made = UniformDiskPdf::Make(Circle{c, r});
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return std::make_unique<UniformDiskPdf>(std::move(made).ValueOrDie());
+}
+
+// Minimal open-world pdf (not one of the four closed-world types): uniform
+// over a rectangle, implemented directly against the virtual interface.
+class CustomUniformPdf final : public UncertaintyPdf {
+ public:
+  explicit CustomUniformPdf(const Rect& region) : region_(region) {}
+
+  Rect bounds() const override { return region_; }
+  double Density(const Point& p) const override {
+    return region_.Contains(p) ? 1.0 / region_.Area() : 0.0;
+  }
+  double MassIn(const Rect& r) const override {
+    return region_.IntersectionArea(r) / region_.Area();
+  }
+  double CdfX(double x) const override {
+    if (x <= region_.xmin) return 0.0;
+    if (x >= region_.xmax) return 1.0;
+    return (x - region_.xmin) / region_.Width();
+  }
+  double CdfY(double y) const override {
+    if (y <= region_.ymin) return 0.0;
+    if (y >= region_.ymax) return 1.0;
+    return (y - region_.ymin) / region_.Height();
+  }
+  double MarginalPdfX(double x) const override {
+    return (x >= region_.xmin && x <= region_.xmax) ? 1.0 / region_.Width()
+                                                    : 0.0;
+  }
+  double MarginalPdfY(double y) const override {
+    return (y >= region_.ymin && y <= region_.ymax) ? 1.0 / region_.Height()
+                                                    : 0.0;
+  }
+  bool IsProduct() const override { return true; }
+  Point Sample(Rng* rng) const override {
+    return Point(rng->Uniform(region_.xmin, region_.xmax),
+                 rng->Uniform(region_.ymin, region_.ymax));
+  }
+  std::string name() const override { return "custom-uniform"; }
+  std::unique_ptr<UncertaintyPdf> Clone() const override {
+    return std::make_unique<CustomUniformPdf>(*this);
+  }
+
+ private:
+  Rect region_;
+};
+
+TEST(PdfVariantTest, ClosedWorldTypesLandOnTheirAlternative) {
+  EXPECT_TRUE(std::holds_alternative<UniformRectPdf>(
+      MakePdfVariant(MakeUniform(Rect(0, 10, 0, 10)))));
+  EXPECT_TRUE(std::holds_alternative<UniformDiskPdf>(
+      MakePdfVariant(MakeDisk(Point(5, 5), 3))));
+  EXPECT_TRUE(std::holds_alternative<TruncatedGaussianPdf>(
+      MakePdfVariant(MakeGaussian(Rect(0, 10, 0, 10)))));
+  EXPECT_TRUE(std::holds_alternative<HistogramPdf>(
+      MakePdfVariant(MakeSkewedHistogram(Rect(0, 10, 0, 10), 4, 3, 7))));
+}
+
+TEST(PdfVariantTest, OpenWorldPdfFallsBackToAnyPdf) {
+  PdfVariant v = MakePdfVariant(
+      std::make_unique<CustomUniformPdf>(Rect(0, 10, 0, 20)));
+  ASSERT_TRUE(std::holds_alternative<AnyPdf>(v));
+  EXPECT_EQ(PdfName(v), "custom-uniform");
+  EXPECT_EQ(PdfBounds(v), Rect(0, 10, 0, 20));
+  EXPECT_DOUBLE_EQ(PdfMassIn(v, Rect(0, 5, 0, 20)), 0.5);
+  EXPECT_TRUE(PdfIsProduct(v));
+}
+
+TEST(PdfVariantTest, AnyPdfCopyDeepClones) {
+  PdfVariant v = MakePdfVariant(
+      std::make_unique<CustomUniformPdf>(Rect(0, 4, 0, 4)));
+  PdfVariant copy = v;  // must clone, not alias
+  EXPECT_NE(&AsUncertaintyPdf(v), &AsUncertaintyPdf(copy));
+  EXPECT_EQ(PdfDensity(copy, Point(1, 1)), PdfDensity(v, Point(1, 1)));
+}
+
+TEST(PdfVariantTest, AsUncertaintyPdfViewsTheStoredAlternative) {
+  PdfVariant v = MakePdfVariant(MakeUniform(Rect(0, 10, 0, 10)));
+  const UncertaintyPdf& base = AsUncertaintyPdf(v);
+  EXPECT_EQ(base.name(), "uniform");
+  EXPECT_EQ(&base,
+            static_cast<const UncertaintyPdf*>(&std::get<UniformRectPdf>(v)));
+}
+
+TEST(PdfVariantTest, DispatchHelpersMatchVirtualInterface) {
+  std::vector<PdfVariant> variants;
+  variants.push_back(MakePdfVariant(MakeUniform(Rect(0, 10, 0, 8))));
+  variants.push_back(MakePdfVariant(MakeDisk(Point(5, 4), 3)));
+  variants.push_back(MakePdfVariant(MakeGaussian(Rect(0, 10, 0, 8))));
+  variants.push_back(
+      MakePdfVariant(MakeSkewedHistogram(Rect(0, 10, 0, 8), 5, 4, 11)));
+  variants.push_back(MakePdfVariant(
+      std::make_unique<CustomUniformPdf>(Rect(0, 10, 0, 8))));
+  const Point p(3.25, 4.5);
+  const Rect r(1, 7, 2, 6);
+  for (const PdfVariant& v : variants) {
+    const UncertaintyPdf& base = AsUncertaintyPdf(v);
+    EXPECT_EQ(PdfBounds(v), base.bounds()) << base.name();
+    EXPECT_EQ(PdfDensity(v, p), base.Density(p)) << base.name();
+    EXPECT_EQ(PdfMassIn(v, r), base.MassIn(r)) << base.name();
+    EXPECT_EQ(PdfIsProduct(v), base.IsProduct()) << base.name();
+    EXPECT_EQ(PdfName(v), base.name());
+    // Identical rng streams must produce identical samples.
+    Rng rng_a(99), rng_b(99);
+    const Point sa = PdfSample(v, &rng_a);
+    const Point sb = base.Sample(&rng_b);
+    EXPECT_EQ(sa.x, sb.x) << base.name();
+    EXPECT_EQ(sa.y, sb.y) << base.name();
+  }
+}
+
+TEST(PdfVariantTest, KPdfIsProductMirrorsRuntimeIsProduct) {
+  EXPECT_TRUE(kPdfIsProduct<UniformRectPdf>);
+  EXPECT_TRUE(kPdfIsProduct<TruncatedGaussianPdf>);
+  EXPECT_FALSE(kPdfIsProduct<UniformDiskPdf>);
+  EXPECT_FALSE(kPdfIsProduct<HistogramPdf>);
+  // AnyPdf must stay false regardless of the wrapped pdf: the dispatch
+  // falls back to the runtime check instead.
+  EXPECT_FALSE(kPdfIsProduct<AnyPdf>);
+}
+
+// The batched entry points promise bit-identical results to the scalar
+// loop — that is what lets the evaluators swap one for the other without
+// perturbing any AnswerSet.
+TEST(PdfVariantTest, BatchedEntryPointsAreBitIdenticalToScalar) {
+  std::vector<PdfVariant> variants;
+  variants.push_back(MakePdfVariant(MakeUniform(Rect(0, 100, 0, 80))));
+  variants.push_back(MakePdfVariant(MakeDisk(Point(50, 40), 30)));
+  variants.push_back(MakePdfVariant(MakeGaussian(Rect(0, 100, 0, 80))));
+  variants.push_back(
+      MakePdfVariant(MakeSkewedHistogram(Rect(0, 100, 0, 80), 6, 5, 23)));
+  variants.push_back(MakePdfVariant(
+      std::make_unique<CustomUniformPdf>(Rect(0, 100, 0, 80))));
+
+  Rng rng(41);
+  std::vector<Point> pts;
+  std::vector<Rect> rects;
+  for (int i = 0; i < 257; ++i) {  // odd count: exercises any vector tail
+    pts.emplace_back(rng.Uniform(-20, 120), rng.Uniform(-20, 100));
+    rects.push_back(Rect::Centered(
+        Point(rng.Uniform(-20, 120), rng.Uniform(-20, 100)),
+        rng.Uniform(0.5, 40), rng.Uniform(0.5, 40)));
+  }
+
+  for (const PdfVariant& v : variants) {
+    const UncertaintyPdf& base = AsUncertaintyPdf(v);
+    std::vector<double> batch(pts.size());
+    DensityBatch(v, pts, batch);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(batch[i], base.Density(pts[i]))
+          << base.name() << " density #" << i;
+    }
+    std::vector<double> mass(rects.size());
+    MassInBatch(v, rects, mass);
+    for (size_t i = 0; i < rects.size(); ++i) {
+      EXPECT_EQ(mass[i], base.MassIn(rects[i]))
+          << base.name() << " mass #" << i;
+    }
+    std::vector<double> centered(pts.size());
+    MassInCenteredBatch(v, pts, 17.5, 9.25, centered);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(centered[i],
+                base.MassIn(Rect::Centered(pts[i], 17.5, 9.25)))
+          << base.name() << " centered mass #" << i;
+    }
+  }
+}
+
+TEST(PdfVariantTest, BaseClassBatchDefaultsMatchScalar) {
+  // The UncertaintyPdf default implementations (used by pdfs that do not
+  // override the batch hooks) must satisfy the same contract.
+  CustomUniformPdf pdf(Rect(0, 10, 0, 10));
+  std::vector<Point> pts = {Point(1, 1), Point(-1, 5), Point(9.5, 9.5)};
+  std::vector<double> out(pts.size());
+  pdf.DensityBatch(pts, out);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(out[i], pdf.Density(pts[i]));
+  }
+  std::vector<Rect> rects = {Rect(0, 5, 0, 5), Rect(20, 30, 20, 30)};
+  std::vector<double> mass(rects.size());
+  pdf.MassInBatch(rects, mass);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(mass[i], pdf.MassIn(rects[i]));
+  }
+}
+
+}  // namespace
+}  // namespace ilq
