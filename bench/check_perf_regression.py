@@ -14,14 +14,17 @@ right gate for refactor PRs, whose regressions are local, and the only sane
 cross-machine comparison — absolute times on different hardware are not
 comparable.
 
-Benchmarks only present in the current run are reported but never fail the
-check (new benches land before their baseline). Benchmarks only present in
-the baseline fail it: removing a bench without regenerating the baseline
-would silently shrink coverage.
+Benchmarks only present in the current run are reported as "new, skipped"
+and never fail the check (new benches land before their baseline) — and a
+baseline file that does not exist at all passes the same way, so a
+brand-new bench binary can join the perf-smoke job in the same PR that
+introduces it. Benchmarks only present in the baseline fail it: removing a
+bench without regenerating the baseline would silently shrink coverage.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -62,6 +65,15 @@ def main():
     args = parser.parse_args()
 
     current = load(args.current)
+    if not os.path.exists(args.baseline):
+        # First run of a new bench: nothing to gate against yet. Report and
+        # pass so the smoke job stays green until the baseline is recorded.
+        for name in sorted(current):
+            print(f"  {name:50s} (new, skipped: {current[name]:.1f} ns, "
+                  "no baseline file)")
+        print(f"OK: baseline {args.baseline} does not exist yet; "
+              f"{len(current)} benchmark(s) new, skipped")
+        return 0
     baseline = load(args.baseline)
     if not baseline:
         print(f"error: no usable benchmarks in baseline {args.baseline}")
@@ -95,13 +107,13 @@ def main():
               f" ns  x{normalized:.2f}{marker}")
 
     for name in new:
-        print(f"  {name:50s} (new, no baseline: {current[name]:.1f} ns)")
+        print(f"  {name:50s} (new, skipped: {current[name]:.1f} ns)")
     for name in missing:
         print(f"  {name:50s} (MISSING from current run)")
 
     if missing:
         print(f"FAIL: {len(missing)} baseline benchmark(s) missing from the "
-              "current run — regenerate bench/baselines/BENCH_micro.json")
+              f"current run — regenerate {args.baseline}")
         return 1
     if failures:
         print(f"FAIL: {len(failures)} benchmark(s) regressed more than "

@@ -1,0 +1,217 @@
+// Serving-layer throughput bench: Zipfian issuer traffic submitted through
+// AsyncServer against ShardedEngine configurations, reporting wall-clock
+// QPS, latency quantiles, cache hit rates and routing fan-out.
+//
+// Scenarios (fixed names — they feed the tracked micro-bench JSON flow and
+// are gated against bench/baselines/BENCH_serve.json by the perf-smoke CI
+// job via check_perf_regression.py --normalize):
+//   BM_ServeSubmit/ipq/shards=1        monolithic reference
+//   BM_ServeSubmit/ipq/sharded         --shards spatial shards
+//   BM_ServeSubmit/ipq/sharded_cached  + AnswerCache over skewed repeats
+//   BM_ServeSubmit/ciuq_pti/sharded    threshold method through the stack
+// Each records the mean submission-to-completion time per request
+// (cpu_time_ns == real_time_ns; the serving path is CPU-bound).
+//
+// Flags: --shards=N --threads=N --cache=N --skew=S (plus --requests=N,
+// --pool=N) and the usual ILQ_BENCH_QUERIES / ILQ_BENCH_SCALE /
+// ILQ_BENCH_JSON environment knobs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/async_server.h"
+#include "serve/sharded_engine.h"
+
+namespace ilq::bench {
+namespace {
+
+// --flag=V / "--flag V" numeric parser (same convention as BenchThreads).
+double ParseFlag(int argc, char** argv, const char* flag, double fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::atof(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+ShardedEngine BuildShardedPaperEngine(double scale, size_t shards) {
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(objects.ok(), objects.status().ToString());
+  ShardedEngineConfig config;
+  config.shards = shards;
+  Result<ShardedEngine> engine = ShardedEngine::Build(
+      CaliforniaPoints(scale), std::move(objects).ValueOrDie(), config);
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).ValueOrDie();
+}
+
+struct ScenarioResult {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  size_t answers = 0;
+  ServeStats stats;
+};
+
+// Pushes the whole request stream through an AsyncServer and waits for
+// every answer.
+ScenarioResult RunScenario(const ShardedEngine& engine, QueryMethod method,
+                           const SkewedWorkload& workload, size_t threads,
+                           size_t cache_capacity) {
+  AsyncServerOptions options;
+  options.threads = threads;
+  options.queue_capacity = 256;
+  options.cache_capacity = cache_capacity;
+  AsyncServer server(engine, options);
+
+  std::vector<std::future<AnswerSet>> futures;
+  futures.reserve(workload.sequence.size());
+  const BatchSpec spec{workload.spec};
+
+  Stopwatch watch;
+  for (const size_t pick : workload.sequence) {
+    futures.push_back(server.Submit(workload.pool[pick], spec, method));
+  }
+  size_t answers = 0;
+  for (auto& future : futures) answers += future.get().size();
+  server.Drain();
+
+  ScenarioResult result;
+  result.wall_ms = watch.ElapsedMillis();
+  result.qps = result.wall_ms > 0.0
+                   ? 1000.0 * static_cast<double>(futures.size()) /
+                         result.wall_ms
+                   : 0.0;
+  result.answers = answers;
+  result.stats = server.stats();
+  return result;
+}
+
+double MeanShardsRouted(const ShardedEngine& engine, QueryMethod method,
+                        const SkewedWorkload& workload) {
+  size_t routed = 0;
+  for (const UncertainObject& issuer : workload.pool) {
+    routed += engine.Route(method, issuer, workload.spec).size();
+  }
+  return workload.pool.empty()
+             ? 0.0
+             : static_cast<double>(routed) /
+                   static_cast<double>(workload.pool.size());
+}
+
+}  // namespace
+}  // namespace ilq::bench
+
+int main(int argc, char** argv) {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  const size_t threads = BenchThreads(argc, argv, 2);
+  const auto shards =
+      static_cast<size_t>(ParseFlag(argc, argv, "--shards", 4));
+  const auto cache =
+      static_cast<size_t>(ParseFlag(argc, argv, "--cache", 512));
+  const double skew = ParseFlag(argc, argv, "--skew", 1.0);
+  const auto pool =
+      static_cast<size_t>(ParseFlag(argc, argv, "--pool", 128));
+  const auto requests = static_cast<size_t>(ParseFlag(
+      argc, argv, "--requests",
+      static_cast<double>(BenchQueriesPerPoint(240))));
+
+  PrintHeader("Serving", "sharded async throughput over Zipfian traffic",
+              threads);
+  std::printf("serve: shards=%zu cache=%zu skew=%.2f pool=%zu "
+              "requests=%zu\n\n",
+              shards, cache, skew, pool, requests);
+
+  WorkloadConfig base;  // §6.1 defaults: u=250, w=500, uniform issuers
+  SkewConfig traffic;
+  traffic.pool = pool;
+  traffic.requests = requests;
+  traffic.zipf_s = skew;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, traffic);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+
+  const double scale = BenchDatasetScale();
+  ShardedEngine mono = BuildShardedPaperEngine(scale, 1);
+  ShardedEngine sharded = BuildShardedPaperEngine(scale, shards);
+
+  struct Scenario {
+    const char* name;
+    const ShardedEngine* engine;
+    QueryMethod method;
+    size_t cache_capacity;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"BM_ServeSubmit/ipq/shards=1", &mono, QueryMethod::kIpq, 0},
+      {"BM_ServeSubmit/ipq/sharded", &sharded, QueryMethod::kIpq, 0},
+      {"BM_ServeSubmit/ipq/sharded_cached", &sharded, QueryMethod::kIpq,
+       cache},
+      {"BM_ServeSubmit/ciuq_pti/sharded", &sharded, QueryMethod::kCiuqPti,
+       0},
+  };
+
+  // Each scenario runs `--reps` times and every rep is emitted under the
+  // same name: check_perf_regression.py's loader min-collapses duplicates,
+  // which is what keeps wall-clock scenarios stable on busy hosts.
+  const auto reps = static_cast<size_t>(
+      std::max(1.0, ParseFlag(argc, argv, "--reps", 3)));
+  std::vector<MicroBenchResult> results;
+  std::printf("%-36s %10s %10s %8s %8s %8s %9s %7s %9s\n", "scenario",
+              "wall_ms", "qps", "p50_ms", "p95_ms", "p99_ms", "hit_rate",
+              "fanout", "answers");
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult best;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const ScenarioResult run = RunScenario(
+          *scenario.engine, scenario.method, *workload, threads,
+          scenario.cache_capacity);
+      const double ns_per_request =
+          requests == 0 ? 0.0
+                        : run.wall_ms * 1e6 / static_cast<double>(requests);
+      results.push_back({scenario.name, ns_per_request, ns_per_request,
+                         static_cast<double>(requests)});
+      if (rep == 0 || run.wall_ms < best.wall_ms) best = run;
+    }
+    const uint64_t lookups = best.stats.cache_hits + best.stats.cache_misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(best.stats.cache_hits) /
+                           static_cast<double>(lookups);
+    const double fanout =
+        MeanShardsRouted(*scenario.engine, scenario.method, *workload);
+    std::printf("%-36s %10.1f %10.0f %8.3f %8.3f %8.3f %8.1f%% %7.2f %9zu\n",
+                scenario.name, best.wall_ms, best.qps, best.stats.p50_ms,
+                best.stats.p95_ms, best.stats.p99_ms, 100.0 * hit_rate,
+                fanout, best.answers);
+  }
+
+  // Own default filename: the serve scenarios must not clobber a
+  // micro_kernels BENCH_micro.json sitting in the same directory
+  // (MicroBenchJsonPath's fallback). ILQ_BENCH_JSON still overrides.
+  const char* json_env = std::getenv("ILQ_BENCH_JSON");
+  const std::string path =
+      json_env != nullptr ? json_env : "BENCH_serve.json";
+  const Status status = WriteMicroBenchJson(path, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu serve scenarios to %s\n", results.size(),
+              path.c_str());
+  std::printf("expected shape: sharding cuts per-request work (fanout < "
+              "shard count), the cache collapses repeated Zipfian issuers, "
+              "answers stay bit-identical to the monolithic engine.\n");
+  return 0;
+}

@@ -46,6 +46,21 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Mixes a base seed with a salt (e.g. an object id) into a statistically
+/// independent stream seed (SplitMix64 finalizer over the golden-ratio
+/// sequence). The Monte-Carlo evaluators seed one Rng per candidate from
+/// (EvalOptions::mc_seed, candidate id), so a candidate's qualification
+/// probability depends only on that pair — never on the order the index
+/// streams candidates. That order-invariance is what lets the sharded
+/// serving layer fan one query out across shard engines and still merge
+/// bit-identical answers.
+constexpr uint64_t MixSeeds(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace ilq
 
 #endif  // ILQ_COMMON_RNG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
@@ -37,14 +38,16 @@ const std::vector<QueryMethod>& AllQueryMethods() {
       QueryMethod::kCipqPExpanded, QueryMethod::kCipqMinkowski,
       QueryMethod::kCiuqRTree,     QueryMethod::kCiuqPti,
   };
+  // Keeps kQueryMethodCount (and every per-method array sized by it)
+  // honest when a ninth method is added.
+  ILQ_CHECK(kAll.size() == kQueryMethodCount,
+            "AllQueryMethods out of sync with kQueryMethodCount");
   return kAll;
 }
 
-namespace {
-
-AnswerSet Dispatch(const QueryEngine& engine, QueryMethod method,
-                   const UncertainObject& issuer, const BatchSpec& spec,
-                   IndexStats* stats) {
+AnswerSet RunQueryMethod(const QueryEngine& engine, QueryMethod method,
+                         const UncertainObject& issuer, const BatchSpec& spec,
+                         IndexStats* stats) {
   switch (method) {
     case QueryMethod::kIpq:
       return engine.Ipq(issuer, spec.query, stats);
@@ -65,8 +68,6 @@ AnswerSet Dispatch(const QueryEngine& engine, QueryMethod method,
   }
   return {};
 }
-
-}  // namespace
 
 BatchResult QueryEngine::RunBatch(QueryMethod method,
                                   const std::vector<UncertainObject>& issuers,
@@ -94,10 +95,12 @@ BatchResult QueryEngine::RunBatch(QueryMethod method,
     IndexStats& stats = result.per_query_stats[i];
     if (options.collect_timings) {
       Stopwatch watch;
-      result.answers[i] = Dispatch(*this, method, issuers[i], spec, &stats);
+      result.answers[i] =
+          RunQueryMethod(*this, method, issuers[i], spec, &stats);
       result.query_ms[i] = watch.ElapsedMillis();
     } else {
-      result.answers[i] = Dispatch(*this, method, issuers[i], spec, &stats);
+      result.answers[i] =
+          RunQueryMethod(*this, method, issuers[i], spec, &stats);
     }
     per_thread[worker].Merge(stats);
   };

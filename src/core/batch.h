@@ -18,6 +18,8 @@
 
 namespace ilq {
 
+class QueryEngine;
+
 /// \brief The eight query entry points RunBatch can drive.
 ///
 /// The two C-IPQ filters are separate methods (Figure 11 compares them as
@@ -32,6 +34,13 @@ enum class QueryMethod {
   kCiuqRTree,      ///< QueryEngine::CiuqRTree (Minkowski on plain R-tree)
   kCiuqPti,        ///< QueryEngine::CiuqPti (PTI + p-expanded-query)
 };
+
+/// Number of QueryMethod enumerators (sizes fixed per-method counter
+/// arrays, e.g. ServeStats::per_method). Derived from the last enumerator;
+/// AllQueryMethods() asserts the two stay in sync, so appending a method
+/// without updating that list fails loudly at first use.
+inline constexpr size_t kQueryMethodCount =
+    static_cast<size_t>(QueryMethod::kCiuqPti) + 1;
 
 /// Short stable name ("ipq", "cipq_pexp", ...) for logs and tables.
 const char* QueryMethodName(QueryMethod method);
@@ -78,6 +87,14 @@ struct BatchResult {
   double wall_ms = 0.0;          ///< whole-batch wall-clock time
   size_t threads_used = 0;       ///< resolved thread count
 };
+
+/// Evaluates one query: dispatches \p method on \p engine for one issuer —
+/// the single-query building block RunBatch and the serving layer
+/// (serve/sharded_engine.h) share. Thread-safe under the engine's const
+/// query guarantee.
+AnswerSet RunQueryMethod(const QueryEngine& engine, QueryMethod method,
+                         const UncertainObject& issuer, const BatchSpec& spec,
+                         IndexStats* stats = nullptr);
 
 }  // namespace ilq
 

@@ -66,12 +66,13 @@ AnswerSet EvaluateIUQCircular(const RTree& index,
   // The issuer is already a concrete pdf; per candidate one std::visit over
   // the object variant picks the monomorphized disk ⊗ object kernel.
   if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-    Rng rng(options.mc_seed);
     index.Query(
         expanded.BoundingBox(),
         [&](const Rect& box, ObjectId idx) {
           if (!expanded.Intersects(box)) return;
           const UncertainObject& obj = objects[idx];
+          // Per-candidate stream (see MixSeeds): traversal-order invariant.
+          Rng rng(MixSeeds(options.mc_seed, obj.id()));
           const double pi = std::visit(
               [&](const auto& object_pdf) {
                 return UncertainQualificationMCT(issuer, object_pdf, spec.w,

@@ -13,14 +13,16 @@ namespace ilq {
 namespace {
 
 // One std::visit over both variants, then the monomorphized analytic / MC
-// kernel for the concrete pdf pair.
+// kernel for the concrete pdf pair. The MC stream is seeded per candidate
+// from (mc_seed, object id) so pruning and traversal order cannot shift it.
 double ComputeProbability(const UncertainObject& obj,
                           const UncertainObject& issuer,
                           const RangeQuerySpec& spec,
-                          const EvalOptions& options, Rng* rng) {
+                          const EvalOptions& options) {
   if (options.kernel == ProbabilityKernel::kMonteCarlo) {
+    Rng rng(MixSeeds(options.mc_seed, obj.id()));
     return UncertainQualificationMC(issuer.pdf_variant(), obj.pdf_variant(),
-                                    spec.w, spec.h, options.mc_samples, rng);
+                                    spec.w, spec.h, options.mc_samples, &rng);
   }
   return UncertainQualification(issuer.pdf_variant(), obj.pdf_variant(),
                                 spec.w, spec.h, options.quadrature_order);
@@ -40,11 +42,11 @@ AnswerSet EvaluateCIUQRTree(const RTree& index,
   std::visit(
       [&](const auto& issuer_pdf) {
         if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-          Rng rng(options.mc_seed);
           index.Query(
               expanded,
               [&](const Rect&, ObjectId idx) {
                 const UncertainObject& obj = objects[idx];
+                Rng rng(MixSeeds(options.mc_seed, obj.id()));
                 const double pi = std::visit(
                     [&](const auto& object_pdf) {
                       return UncertainQualificationMCT(
@@ -163,7 +165,6 @@ AnswerSet EvaluateCIUQPTI(const PTI& pti,
   };
 
   AnswerSet answers;
-  Rng rng(options.mc_seed);
   pti.Query(
       filter, should_prune,
       [&](ObjectId idx) {
@@ -171,8 +172,7 @@ AnswerSet EvaluateCIUQPTI(const PTI& pti,
         const UCatalog* cat = obj.catalog();
         ILQ_CHECK(cat != nullptr, "PTI object lost its catalog");
         if (should_prune(obj.region(), *cat)) return;
-        const double pi = ComputeProbability(obj, issuer, spec, options,
-                                             &rng);
+        const double pi = ComputeProbability(obj, issuer, spec, options);
         if (pi > 0.0 && pi >= qp) answers.push_back({obj.id(), pi});
       },
       stats);

@@ -48,7 +48,9 @@ struct EngineConfig {
 /// accessors — is safe to call concurrently from any number of threads.
 /// The engine's datasets and indexes are immutable once built, the
 /// evaluators keep no shared mutable state (Monte-Carlo streams are
-/// constructed per query from EvalOptions::mc_seed), and traversal
+/// seeded per candidate from MixSeeds(EvalOptions::mc_seed, object id),
+/// so a candidate's probability is independent of traversal order — the
+/// invariant the sharded serving layer's fan-out relies on), and traversal
 /// scratch lives on the stack of each call. Per-query IndexStats are
 /// written only through the caller-owned out-param, which must not be
 /// shared between concurrent queries. RunBatch builds on exactly this

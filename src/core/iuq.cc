@@ -18,15 +18,17 @@ AnswerSet EvaluateIUQ(const RTree& index,
   AnswerSet answers;
   // One std::visit over the issuer for the whole query; per candidate a
   // second visit over the object picks the monomorphized QualifyPair /
-  // MC kernel for the concrete pdf pair (see core/duality.h).
+  // MC kernel for the concrete pdf pair (see core/duality.h). MC streams
+  // are seeded per candidate from (mc_seed, object id), so answers do not
+  // depend on the order the index streams candidates.
   std::visit(
       [&](const auto& issuer_pdf) {
         if (options.kernel == ProbabilityKernel::kMonteCarlo) {
-          Rng rng(options.mc_seed);
           index.Query(
               expanded,
               [&](const Rect&, ObjectId idx) {
                 const UncertainObject& obj = objects[idx];
+                Rng rng(MixSeeds(options.mc_seed, obj.id()));
                 const double pi = std::visit(
                     [&](const auto& object_pdf) {
                       return UncertainQualificationMCT(

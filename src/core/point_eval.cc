@@ -16,13 +16,15 @@ AnswerSet EvaluatePointCandidates(const RTree& index, const Rect& range,
   AnswerSet answers;
   if (options.kernel == ProbabilityKernel::kMonteCarlo) {
     // One std::visit for the whole query; the monomorphized sampling loop
-    // runs per candidate as the index streams them.
-    Rng rng(options.mc_seed);
+    // runs per candidate as the index streams them, each candidate on its
+    // own (mc_seed, id)-derived stream so the estimate is independent of
+    // traversal order (see MixSeeds).
     std::visit(
         [&](const auto& issuer_pdf) {
           index.Query(
               range,
               [&](const Rect& box, ObjectId id) {
+                Rng rng(MixSeeds(options.mc_seed, id));
                 const double pi =
                     PointQualificationMC(issuer_pdf, box.Center(), spec.w,
                                          spec.h, options.mc_samples, &rng);

@@ -1,11 +1,45 @@
 #include "datagen/workload.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "prob/gaussian_pdf.h"
 #include "prob/uniform_pdf.h"
 
 namespace ilq {
+
+namespace {
+
+// Builds one issuer with the workload's pdf family over a square region of
+// half-side u centred at (cx, cy), clamped inside the space.
+Result<UncertainObject> MakeWorkloadIssuer(const WorkloadConfig& config,
+                                           double u, ObjectId id, double cx,
+                                           double cy,
+                                           const std::vector<double>& ladder) {
+  cx = std::clamp(cx, config.space.xmin + u,
+                  std::max(config.space.xmin + u, config.space.xmax - u));
+  cy = std::clamp(cy, config.space.ymin + u,
+                  std::max(config.space.ymin + u, config.space.ymax - u));
+  const Rect region(cx - u, cx + u, cy - u, cy + u);
+
+  std::unique_ptr<UncertaintyPdf> pdf;
+  if (config.issuer_pdf == IssuerPdfKind::kGaussian) {
+    Result<TruncatedGaussianPdf> made =
+        TruncatedGaussianPdf::MakePaperDefault(region);
+    if (!made.ok()) return made.status();
+    pdf =
+        std::make_unique<TruncatedGaussianPdf>(std::move(made).ValueOrDie());
+  } else {
+    Result<UniformRectPdf> made = UniformRectPdf::Make(region);
+    if (!made.ok()) return made.status();
+    pdf = std::make_unique<UniformRectPdf>(std::move(made).ValueOrDie());
+  }
+  UncertainObject issuer(id, std::move(pdf));
+  ILQ_RETURN_NOT_OK(issuer.BuildCatalog(ladder));
+  return issuer;
+}
+
+}  // namespace
 
 Result<Workload> GenerateWorkload(const WorkloadConfig& config) {
   if (config.space.IsEmpty()) {
@@ -37,23 +71,90 @@ Result<Workload> GenerateWorkload(const WorkloadConfig& config) {
     const double cy = rng.Uniform(config.space.ymin + u,
                                   std::max(config.space.ymin + u,
                                            config.space.ymax - u));
-    const Rect region(cx - u, cx + u, cy - u, cy + u);
+    Result<UncertainObject> issuer =
+        MakeWorkloadIssuer(config, u, /*id=*/0, cx, cy, ladder);
+    if (!issuer.ok()) return issuer.status();
+    workload.issuers.push_back(std::move(issuer).ValueOrDie());
+  }
+  return workload;
+}
 
-    std::unique_ptr<UncertaintyPdf> pdf;
-    if (config.issuer_pdf == IssuerPdfKind::kGaussian) {
-      Result<TruncatedGaussianPdf> made =
-          TruncatedGaussianPdf::MakePaperDefault(region);
-      if (!made.ok()) return made.status();
-      pdf = std::make_unique<TruncatedGaussianPdf>(
-          std::move(made).ValueOrDie());
-    } else {
-      Result<UniformRectPdf> made = UniformRectPdf::Make(region);
-      if (!made.ok()) return made.status();
-      pdf = std::make_unique<UniformRectPdf>(std::move(made).ValueOrDie());
+Result<SkewedWorkload> GenerateSkewedWorkload(const WorkloadConfig& base,
+                                              const SkewConfig& skew) {
+  if (base.space.IsEmpty()) {
+    return Status::InvalidArgument("workload space must be non-empty");
+  }
+  if (base.u < 0.0 || base.w <= 0.0) {
+    return Status::InvalidArgument("u must be >= 0 and w > 0");
+  }
+  if (base.qp < 0.0 || base.qp > 1.0) {
+    return Status::InvalidArgument("qp must be in [0, 1]");
+  }
+  if (skew.pool == 0) {
+    return Status::InvalidArgument("issuer pool must be non-empty");
+  }
+  if (skew.zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf_s must be >= 0");
+  }
+  if (skew.clustered && skew.clusters == 0) {
+    return Status::InvalidArgument("clustered placement needs clusters > 0");
+  }
+  const double u = std::max(base.u, 1e-6);
+
+  std::vector<double> ladder = base.catalog_values;
+  if (ladder.empty()) ladder = UCatalog::EvenlySpacedValues(11);
+
+  Rng rng(base.seed);
+  SkewedWorkload workload;
+  workload.spec = RangeQuerySpec(base.w, base.w, base.qp);
+
+  // Cluster centres first (when used) so pool size does not perturb them.
+  std::vector<Point> centres;
+  if (skew.clustered) {
+    centres.reserve(skew.clusters);
+    for (size_t c = 0; c < skew.clusters; ++c) {
+      centres.emplace_back(rng.Uniform(base.space.xmin, base.space.xmax),
+                           rng.Uniform(base.space.ymin, base.space.ymax));
     }
-    UncertainObject issuer(/*id=*/0, std::move(pdf));
-    ILQ_RETURN_NOT_OK(issuer.BuildCatalog(ladder));
-    workload.issuers.push_back(std::move(issuer));
+  }
+  const double spread =
+      skew.cluster_spread *
+      std::min(base.space.Width(), base.space.Height());
+
+  workload.pool.reserve(skew.pool);
+  for (size_t i = 0; i < skew.pool; ++i) {
+    double cx, cy;
+    if (skew.clustered) {
+      const Point& centre = centres[i % centres.size()];
+      cx = rng.Gaussian(centre.x, spread);
+      cy = rng.Gaussian(centre.y, spread);
+    } else {
+      cx = rng.Uniform(base.space.xmin, base.space.xmax);
+      cy = rng.Uniform(base.space.ymin, base.space.ymax);
+    }
+    // Ids 1..pool: non-zero, so the serving layer's cache may key on them.
+    Result<UncertainObject> issuer = MakeWorkloadIssuer(
+        base, u, static_cast<ObjectId>(i + 1), cx, cy, ladder);
+    if (!issuer.ok()) return issuer.status();
+    workload.pool.push_back(std::move(issuer).ValueOrDie());
+  }
+
+  // Zipfian selection by rank: P(pool[k]) ∝ 1/(k+1)^s via the cumulative
+  // distribution + binary search. Rank r maps to pool index r directly —
+  // hot issuers are simply the first pool entries, which keeps tests and
+  // cache-hit reasoning legible.
+  std::vector<double> cdf(skew.pool);
+  double total = 0.0;
+  for (size_t k = 0; k < skew.pool; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew.zipf_s);
+    cdf[k] = total;
+  }
+  workload.sequence.reserve(skew.requests);
+  for (size_t i = 0; i < skew.requests; ++i) {
+    const double draw = rng.NextDouble() * total;
+    const size_t pick = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
+    workload.sequence.push_back(std::min(pick, skew.pool - 1));
   }
   return workload;
 }

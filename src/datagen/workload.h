@@ -48,6 +48,52 @@ struct Workload {
 /// issuers).
 Result<Workload> GenerateWorkload(const WorkloadConfig& config);
 
+// ---- Skewed serving traffic ------------------------------------------------
+
+/// \brief Traffic shape for the serving layer's benches and cache
+/// scenarios: a pool of distinct registered issuers, re-selected per
+/// request with Zipfian rank skew (a handful of hot issuers dominate, the
+/// tail is cold — the classic serving distribution).
+struct SkewConfig {
+  /// Distinct issuers in the pool. They carry ids 1..pool (non-zero, so
+  /// the serving layer's AnswerCache may key on them).
+  size_t pool = 64;
+
+  /// Requests drawn from the pool (the sequence's length).
+  size_t requests = 500;
+
+  /// Zipf exponent s: P(rank k) ∝ 1/k^s. 0 = uniform selection, ~1 =
+  /// classic web-traffic skew; larger concentrates harder.
+  double zipf_s = 1.0;
+
+  /// When true, pool issuers are placed around a few cluster centres
+  /// instead of uniformly — spatially skewed traffic, so some shards run
+  /// hot (the scenario shard routing must win on).
+  bool clustered = false;
+
+  /// Cluster count for \p clustered placement.
+  size_t clusters = 4;
+
+  /// Gaussian spread of issuer centres around their cluster centre, as a
+  /// fraction of the space's smaller extent.
+  double cluster_spread = 0.05;
+};
+
+/// \brief A skewed request stream: the issuer pool plus the per-request
+/// selection (request i queries pool[sequence[i]]).
+struct SkewedWorkload {
+  std::vector<UncertainObject> pool;  ///< ids 1..pool, catalogs attached
+  std::vector<size_t> sequence;       ///< indices into pool, one per request
+  RangeQuerySpec spec;
+};
+
+/// Generates the issuer pool with \p base's geometry knobs (space, u,
+/// issuer_pdf, catalog ladder; base.queries is ignored in favour of
+/// \p skew.pool) and draws \p skew.requests Zipfian-ranked selections.
+/// Deterministic in (base.seed, skew).
+Result<SkewedWorkload> GenerateSkewedWorkload(const WorkloadConfig& base,
+                                              const SkewConfig& skew);
+
 }  // namespace ilq
 
 #endif  // ILQ_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,103 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.h"
+
+namespace ilq {
+
+CacheKey MakeCacheKey(const UncertainObject& issuer, QueryMethod method,
+                      const BatchSpec& spec) {
+  CacheKey key;
+  key.issuer_id = issuer.id();
+  key.method = method;
+  key.w = spec.query.w;
+  key.h = spec.query.h;
+  key.threshold = spec.query.threshold;
+  key.strategy1 = spec.prune.strategy1;
+  key.strategy2 = spec.prune.strategy2;
+  key.strategy3 = spec.prune.strategy3;
+  return key;
+}
+
+size_t AnswerCache::KeyHash::operator()(const CacheKey& key) const {
+  // Chain the SplitMix64 finalizer over every field; doubles hash by bit
+  // pattern (matching operator==, which compares them exactly).
+  uint64_t h = MixSeeds(0x1175A17E5E84C0DEULL, key.issuer_id);
+  h = MixSeeds(h, static_cast<uint64_t>(key.method));
+  h = MixSeeds(h, std::bit_cast<uint64_t>(key.w));
+  h = MixSeeds(h, std::bit_cast<uint64_t>(key.h));
+  h = MixSeeds(h, std::bit_cast<uint64_t>(key.threshold));
+  h = MixSeeds(h, (key.strategy1 ? 1u : 0u) | (key.strategy2 ? 2u : 0u) |
+                      (key.strategy3 ? 4u : 0u));
+  return static_cast<size_t>(h);
+}
+
+AnswerCache::AnswerCache(size_t capacity, size_t shards)
+    : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  const size_t shard_count = std::clamp<size_t>(shards, 1, capacity_);
+  // Floor division: resident entries never exceed the requested capacity
+  // (shard_count <= capacity keeps every shard at >= 1 entry).
+  per_shard_capacity_ = capacity_ / shard_count;
+  shards_ = std::vector<Shard>(shard_count);
+}
+
+AnswerCache::Shard& AnswerCache::ShardFor(const CacheKey& key) {
+  return shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<AnswerSet> AnswerCache::Lookup(const CacheKey& key) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->answers;
+}
+
+void AnswerCache::Insert(const CacheKey& key, AnswerSet answers) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: racing workers may compute the same answer; last one wins.
+    it->second->answers = std::move(answers);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, std::move(answers)});
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AnswerCache::Counters AnswerCache::counters() const {
+  Counters counters;
+  counters.hits = hits_.load(std::memory_order_relaxed);
+  counters.misses = misses_.load(std::memory_order_relaxed);
+  counters.insertions = insertions_.load(std::memory_order_relaxed);
+  counters.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    // Size probe without the lock would race; take it briefly.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    counters.entries += shard.lru.size();
+  }
+  return counters;
+}
+
+}  // namespace ilq

@@ -1,0 +1,120 @@
+// Sharded LRU cache of query answers for the serving layer: repeated-query
+// traffic (the same subscriber re-issuing its range query, hot spots under
+// Zipfian skew) short-circuits to a stored AnswerSet instead of re-running
+// the evaluators.
+//
+// Keying contract: a key identifies the answer by (issuer id, method, query
+// spec, prune toggles). The engine's answers are deterministic functions of
+// exactly that tuple *provided the issuer id uniquely identifies the
+// issuer's pdf* — the registered-subscriber model of the serving layer.
+// Issuers with id 0 (the anonymous default of MakeIssuer / workload
+// issuers) must not be cached; AsyncServer enforces that rule.
+//
+// Sharding: keys hash across independent LRU shards, each with its own
+// mutex, so concurrent workers rarely contend on the same lock. Counters
+// (hits / misses / insertions / evictions) are relaxed atomics.
+
+#ifndef ILQ_SERVE_ANSWER_CACHE_H_
+#define ILQ_SERVE_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/query.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Everything an answer depends on (given the engine's datasets).
+struct CacheKey {
+  uint64_t issuer_id = 0;
+  QueryMethod method = QueryMethod::kIpq;
+  double w = 0.0;
+  double h = 0.0;
+  double threshold = 0.0;
+  // CiuqPruneConfig toggles change kCiuqPti answers at threshold
+  // boundaries, so they are part of the key for every method (cheap) rather
+  // than special-cased.
+  bool strategy1 = true;
+  bool strategy2 = true;
+  bool strategy3 = true;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) = default;
+};
+
+/// Builds the key for one submission (bitwise doubles: specs that differ in
+/// the last ulp are different queries, exactly like the evaluators see
+/// them).
+CacheKey MakeCacheKey(const UncertainObject& issuer, QueryMethod method,
+                      const BatchSpec& spec);
+
+/// \brief Sharded LRU: at most \p capacity entries total, split across
+/// shards by floor division (a few slots may go unused when capacity is
+/// not a multiple of the shard count — never the other way around).
+class AnswerCache {
+ public:
+  /// \p capacity == 0 disables the cache (Lookup always misses, Insert is a
+  /// no-op). \p shards is clamped to [1, capacity] so every shard holds at
+  /// least one entry.
+  explicit AnswerCache(size_t capacity, size_t shards = 8);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// The stored answers, refreshing the entry's recency; nullopt on miss.
+  std::optional<AnswerSet> Lookup(const CacheKey& key);
+
+  /// Stores (or refreshes) the answers, evicting the least recently used
+  /// entry of the key's shard when that shard is full.
+  void Insert(const CacheKey& key, AnswerSet answers);
+
+  /// \brief Monotonic counters (relaxed snapshot).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;  ///< currently resident (sums shard sizes)
+  };
+  Counters counters() const;
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    AnswerSet answers;
+  };
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map points into the list; list
+    // iterators stay valid under splice, so refresh is O(1).
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_ANSWER_CACHE_H_

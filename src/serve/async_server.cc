@@ -1,0 +1,180 @@
+#include "serve/async_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace ilq {
+
+AsyncServer::AsyncServer(const ShardedEngine& engine,
+                         AsyncServerOptions options)
+    : engine_(engine),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      paused_(options.start_paused) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  const size_t threads = options_.threads == 0
+                             ? ThreadPool::DefaultThreadCount()
+                             : options_.threads;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncServer::~AsyncServer() { Shutdown(); }
+
+void AsyncServer::CountSubmission(QueryMethod method) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  per_method_[static_cast<size_t>(method)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::future<AnswerSet> AsyncServer::Enqueue(
+    std::unique_lock<std::mutex> lock, const UncertainObject& issuer,
+    const BatchSpec& spec, QueryMethod method) {
+  // Copies the issuer into the request (the caller's object need not
+  // outlive it); the Stopwatch starts the latency clock at enqueue.
+  Request request{issuer,      spec,        method, std::promise<AnswerSet>{},
+                  Stopwatch{}, /*cacheable=*/false, CacheKey{}};
+  request.cacheable = cache_.enabled() && issuer.id() != 0;
+  if (request.cacheable) request.key = MakeCacheKey(issuer, method, spec);
+  std::future<AnswerSet> future = request.promise.get_future();
+  queue_.push_back(std::move(request));
+  CountSubmission(method);
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+std::future<AnswerSet> AsyncServer::Submit(const UncertainObject& issuer,
+                                           const BatchSpec& spec,
+                                           QueryMethod method) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) {
+    throw std::logic_error("AsyncServer::Submit after Shutdown");
+  }
+  return Enqueue(std::move(lock), issuer, spec, method);
+}
+
+std::optional<std::future<AnswerSet>> AsyncServer::TrySubmit(
+    const UncertainObject& issuer, const BatchSpec& spec,
+    QueryMethod method) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw std::logic_error("AsyncServer::TrySubmit after Shutdown");
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return Enqueue(std::move(lock), issuer, spec, method);
+}
+
+void AsyncServer::Execute(Request request) {
+  // Cache lookup happens here, off the submission path: Lookup refreshes
+  // LRU recency and may contend on the shard lock, and a hit still counts
+  // as real service (latency includes its queue wait).
+  if (request.cacheable) {
+    if (std::optional<AnswerSet> hit = cache_.Lookup(request.key)) {
+      request.promise.set_value(*std::move(hit));
+      latency_.Record(request.since_submit.ElapsedMillis());
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  try {
+    AnswerSet answers =
+        engine_.Run(request.method, request.issuer, request.spec);
+    if (request.cacheable) cache_.Insert(request.key, answers);
+    request.promise.set_value(std::move(answers));
+  } catch (...) {
+    request.promise.set_exception(std::current_exception());
+  }
+  latency_.Record(request.since_submit.ElapsedMillis());
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AsyncServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    not_empty_.wait(lock, [&] {
+      return (!paused_ && !queue_.empty()) || (stopping_ && queue_.empty());
+    });
+    if (queue_.empty()) return;  // stopping_ && drained → exit
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    ++executing_;
+    lock.unlock();
+    not_full_.notify_one();
+
+    Execute(std::move(request));
+
+    lock.lock();
+    --executing_;
+    if (queue_.empty() && executing_ == 0) drained_.notify_all();
+  }
+}
+
+void AsyncServer::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  not_empty_.notify_all();
+}
+
+void AsyncServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+}
+
+void AsyncServer::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (joined_) return;
+  stopping_ = true;
+  paused_ = false;  // a paused server must still drain
+  if (joining_) {
+    // Another thread is already joining the workers; wait for it.
+    drained_.wait(lock, [&] { return joined_; });
+    return;
+  }
+  joining_ = true;
+  lock.unlock();
+  // Wake everyone: blocked submitters observe stopping_ and throw, workers
+  // drain the queue and exit once it is empty.
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  lock.lock();
+  joined_ = true;
+  drained_.notify_all();
+}
+
+ServeStats AsyncServer::stats() const {
+  ServeStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kQueryMethodCount; ++i) {
+    stats.per_method[i] = per_method_[i].load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.pending = queue_.size() + executing_;
+  }
+  const AnswerCache::Counters cache = cache_.counters();
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.p50_ms = latency_.Quantile(0.50);
+  stats.p95_ms = latency_.Quantile(0.95);
+  stats.p99_ms = latency_.Quantile(0.99);
+  return stats;
+}
+
+}  // namespace ilq

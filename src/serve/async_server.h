@@ -1,0 +1,175 @@
+// AsyncServer — futures-based query serving over a ShardedEngine
+// (ROADMAP "scaling" item: async serving).
+//
+// Clients call Submit(issuer, spec, method) and get a
+// std::future<AnswerSet>; a fixed set of long-lived worker threads pulls
+// requests off a bounded queue and evaluates them against the (immutable,
+// thread-safe) ShardedEngine. Backpressure: when the queue is full, Submit
+// blocks until a slot frees and TrySubmit returns nullopt instead.
+// Shutdown is graceful — accepted requests are drained, their futures all
+// complete, and only then do the workers join.
+//
+// The worker set is intentionally NOT common/ThreadPool: that class is a
+// fork-join primitive (one ParallelFor at a time, the caller participates)
+// built for batch evaluation, while serving needs long-lived workers on a
+// bounded MPMC queue. The server reuses the pool's sizing policy
+// (ThreadPool::DefaultThreadCount) and composes with RunBatch-style use of
+// the engine, but owns its own threads.
+//
+// An optional AnswerCache short-circuits repeated queries at submission
+// time. Only issuers with a non-zero id are cached — id 0 is the
+// anonymous-issuer default and carries no identity (see
+// serve/answer_cache.h's keying contract).
+
+#ifndef ILQ_SERVE_ASYNC_SERVER_H_
+#define ILQ_SERVE_ASYNC_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/batch.h"
+#include "serve/answer_cache.h"
+#include "serve/latency_histogram.h"
+#include "serve/sharded_engine.h"
+
+namespace ilq {
+
+/// \brief Server construction knobs.
+struct AsyncServerOptions {
+  /// Worker threads. 0 = ThreadPool::DefaultThreadCount().
+  size_t threads = 0;
+
+  /// Pending-request slots; Submit blocks (TrySubmit refuses) when the
+  /// queue holds this many not-yet-started requests. Clamped to >= 1.
+  size_t queue_capacity = 256;
+
+  /// AnswerCache entries; 0 disables caching.
+  size_t cache_capacity = 0;
+
+  /// Lock shards of the answer cache (see AnswerCache).
+  size_t cache_shards = 8;
+
+  /// When true, workers hold off executing until Resume() — submissions
+  /// queue up (and TrySubmit exercises backpressure deterministically,
+  /// which is how the tests use it; admission control / warmup in a real
+  /// deployment). Shutdown() resumes a paused server so draining cannot
+  /// deadlock.
+  bool start_paused = false;
+};
+
+/// \brief Counter snapshot returned by AsyncServer::stats().
+struct ServeStats {
+  uint64_t submitted = 0;  ///< accepted (queued or served from cache)
+  uint64_t completed = 0;  ///< futures fulfilled (including cache hits)
+  uint64_t rejected = 0;   ///< TrySubmit refusals (queue full)
+  uint64_t pending = 0;    ///< queued + executing right now
+  std::array<uint64_t, kQueryMethodCount> per_method{};  ///< by QueryMethod
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  /// Submission-to-completion latency quantiles (ms) over all completed
+  /// requests; cache hits count with their (near-zero) service time.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// \brief Bounded-queue, futures-based serving front-end.
+class AsyncServer {
+ public:
+  /// \p engine must outlive the server.
+  explicit AsyncServer(const ShardedEngine& engine,
+                       AsyncServerOptions options = AsyncServerOptions{});
+
+  /// Graceful: equivalent to Shutdown().
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Enqueues one query; blocks while the queue is full. The issuer is
+  /// copied into the request (the caller's object need not outlive it).
+  /// Throws std::logic_error when called after Shutdown.
+  std::future<AnswerSet> Submit(const UncertainObject& issuer,
+                                const BatchSpec& spec, QueryMethod method);
+
+  /// Non-blocking Submit: nullopt (and stats().rejected++) when the queue
+  /// is full. Throws std::logic_error when called after Shutdown.
+  std::optional<std::future<AnswerSet>> TrySubmit(
+      const UncertainObject& issuer, const BatchSpec& spec,
+      QueryMethod method);
+
+  /// Releases a start_paused server's workers. Idempotent.
+  void Resume();
+
+  /// Blocks until every accepted request has completed. Does not stop the
+  /// server; new submissions keep being accepted (a concurrent submitter
+  /// can therefore extend the wait). A paused server must be Resume()d (or
+  /// Shutdown()) first, or Drain waits forever on the parked queue.
+  void Drain();
+
+  /// Stops accepting, drains outstanding requests, joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServeStats stats() const;
+
+  size_t thread_count() const { return workers_.size(); }
+  const ShardedEngine& engine() const { return engine_; }
+
+ private:
+  struct Request {
+    UncertainObject issuer;
+    BatchSpec spec;
+    QueryMethod method = QueryMethod::kIpq;
+    std::promise<AnswerSet> promise;
+    Stopwatch since_submit;
+    bool cacheable = false;
+    CacheKey key;
+  };
+
+  void WorkerLoop();
+  void Execute(Request request);
+  std::future<AnswerSet> Enqueue(std::unique_lock<std::mutex> lock,
+                                 const UncertainObject& issuer,
+                                 const BatchSpec& spec, QueryMethod method);
+  void CountSubmission(QueryMethod method);
+
+  const ShardedEngine& engine_;
+  AsyncServerOptions options_;
+  AnswerCache cache_;
+  LatencyHistogram latency_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;   // workers wait for work / shutdown
+  std::condition_variable not_full_;    // submitters wait for a slot
+  std::condition_variable drained_;     // Drain/Shutdown wait for idle
+  std::deque<Request> queue_;
+  size_t executing_ = 0;     // popped but not yet completed
+  bool paused_ = false;
+  bool stopping_ = false;    // no new submissions; workers drain and exit
+  bool joining_ = false;     // some thread is joining the workers
+  bool joined_ = false;
+
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::array<std::atomic<uint64_t>, kQueryMethodCount> per_method_{};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_ASYNC_SERVER_H_

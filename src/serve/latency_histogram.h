@@ -1,0 +1,108 @@
+// Streaming latency histogram for the async serving layer: fixed
+// log-spaced buckets over [1 µs, ~100 s] with relaxed atomic counters, so
+// Record is lock-free and wait-free on every worker thread while Quantile
+// reads a consistent-enough snapshot for monitoring (p50/p95/p99 in
+// ServeStats). Quantiles are approximate: the answer is the geometric
+// midpoint of the bucket holding the requested rank, i.e. accurate to one
+// bucket width (~33% relative — the usual resolution for serving-latency
+// telemetry; buckets, not samples, keep memory constant under millions of
+// requests).
+
+#ifndef ILQ_SERVE_LATENCY_HISTOGRAM_H_
+#define ILQ_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ilq {
+
+/// \brief Lock-free log-bucketed histogram of millisecond latencies.
+class LatencyHistogram {
+ public:
+  /// Bucket i covers [kMinMs * kGrowth^i, kMinMs * kGrowth^(i+1)); the
+  /// first and last buckets additionally absorb underflow / overflow.
+  static constexpr size_t kBuckets = 64;
+  static constexpr double kMinMs = 1e-3;   // 1 µs
+  static constexpr double kMaxMs = 1e5;    // 100 s
+
+  LatencyHistogram() = default;
+
+  // Atomics are not copyable; the histogram is shared by reference between
+  // the server's workers and snapshotted via Quantile/TotalCount.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation. Thread-safe, lock-free.
+  void Record(double ms) {
+    buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Observations recorded so far (racing Records may or may not count).
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Approximate \p q-quantile (q in [0, 1]) in milliseconds; 0 when empty.
+  /// Nearest-rank over the bucket counts, reported at the bucket's
+  /// geometric midpoint.
+  double Quantile(double q) const {
+    std::array<uint64_t, kBuckets> snapshot;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snapshot[i];
+    }
+    if (total == 0) return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                  q * static_cast<double>(total))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += snapshot[i];
+      if (seen >= rank) return BucketMidpointMs(i);
+    }
+    return BucketMidpointMs(kBuckets - 1);
+  }
+
+  /// Forgets all observations (not linearizable against racing Records;
+  /// callers quiesce workers first — e.g. between bench phases).
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Lower edge of bucket \p i in milliseconds (test / display helper).
+  static double BucketLowerMs(size_t i) {
+    return kMinMs * std::pow(Growth(), static_cast<double>(i));
+  }
+
+ private:
+  static double Growth() {
+    // kBuckets equal log-width buckets spanning [kMinMs, kMaxMs].
+    static const double g =
+        std::pow(kMaxMs / kMinMs, 1.0 / static_cast<double>(kBuckets));
+    return g;
+  }
+
+  static size_t BucketIndex(double ms) {
+    if (!(ms > kMinMs)) return 0;  // also catches NaN and negatives
+    const double raw = std::log(ms / kMinMs) / std::log(Growth());
+    const auto i = static_cast<size_t>(raw);
+    return i >= kBuckets ? kBuckets - 1 : i;
+  }
+
+  static double BucketMidpointMs(size_t i) {
+    return BucketLowerMs(i) * std::sqrt(Growth());
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,82 @@
+#include "serve/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ilq {
+
+namespace {
+
+// Recursively assigns idx[begin, end) to shards [shard_begin, shard_begin +
+// shard_count). Splits the index span proportionally to the shard counts of
+// the two halves along the wider axis of the group's centroid bounding box.
+void SplitRange(const std::vector<Point>& centroids, std::vector<size_t>& idx,
+                size_t begin, size_t end, uint32_t shard_begin,
+                size_t shard_count, std::vector<uint32_t>* assignment) {
+  if (shard_count <= 1 || end - begin <= 1) {
+    for (size_t i = begin; i < end; ++i) {
+      (*assignment)[idx[i]] = shard_begin;
+    }
+    return;
+  }
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (size_t i = begin; i < end; ++i) {
+    const Point& c = centroids[idx[i]];
+    xmin = std::min(xmin, c.x);
+    xmax = std::max(xmax, c.x);
+    ymin = std::min(ymin, c.y);
+    ymax = std::max(ymax, c.y);
+  }
+  const bool split_x = (xmax - xmin) >= (ymax - ymin);
+
+  const size_t left_shards = shard_count / 2;
+  const size_t right_shards = shard_count - left_shards;
+  const size_t n = end - begin;
+  // Proportional cut: left group gets ~n * left/total items, at least one
+  // per side so no half starves while both still carry shards.
+  size_t left_n = n * left_shards / shard_count;
+  left_n = std::min(std::max<size_t>(left_n, 1), n - 1);
+
+  // Total order on ties (coordinate, cross coordinate, index) makes the
+  // two sides of nth_element unique sets regardless of libc internals.
+  const auto cmp = [&](size_t a, size_t b) {
+    const Point& pa = centroids[a];
+    const Point& pb = centroids[b];
+    const double ka = split_x ? pa.x : pa.y;
+    const double kb = split_x ? pb.x : pb.y;
+    if (ka != kb) return ka < kb;
+    const double ja = split_x ? pa.y : pa.x;
+    const double jb = split_x ? pb.y : pb.x;
+    if (ja != jb) return ja < jb;
+    return a < b;
+  };
+  std::nth_element(idx.begin() + static_cast<ptrdiff_t>(begin),
+                   idx.begin() + static_cast<ptrdiff_t>(begin + left_n),
+                   idx.begin() + static_cast<ptrdiff_t>(end), cmp);
+
+  SplitRange(centroids, idx, begin, begin + left_n, shard_begin, left_shards,
+             assignment);
+  SplitRange(centroids, idx, begin + left_n, end,
+             shard_begin + static_cast<uint32_t>(left_shards), right_shards,
+             assignment);
+}
+
+}  // namespace
+
+Partition PartitionByCentroid(const std::vector<Point>& centroids,
+                              size_t shards) {
+  Partition result;
+  result.shards = std::max<size_t>(shards, 1);
+  result.assignment.assign(centroids.size(), 0);
+  if (result.shards == 1 || centroids.empty()) return result;
+
+  std::vector<size_t> idx(centroids.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  SplitRange(centroids, idx, 0, idx.size(), /*shard_begin=*/0, result.shards,
+             &result.assignment);
+  return result;
+}
+
+}  // namespace ilq

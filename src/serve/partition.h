@@ -1,0 +1,40 @@
+// Spatial partitioning for the sharded serving layer (serve/): assigns
+// objects to S shards by recursively median-splitting their centroids along
+// the wider axis — a k-d style partition that keeps each shard spatially
+// coherent (small bounding box) and size-balanced, so the Minkowski-expanded
+// query box of a typical query intersects only a few shards.
+//
+// S is not restricted to powers of two: a group carrying k target shards
+// splits into floor(k/2) / ceil(k/2) halves with proportional item counts.
+// The split comparator totally orders ties (coordinate, cross coordinate,
+// input index), so the assignment is deterministic across platforms and
+// repeated builds — a requirement for the sharded engine's reproducibility
+// guarantees.
+
+#ifndef ILQ_SERVE_PARTITION_H_
+#define ILQ_SERVE_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace ilq {
+
+/// \brief Result of a centroid partition: one shard index per input.
+struct Partition {
+  std::vector<uint32_t> assignment;  ///< assignment[i] in [0, shards)
+  size_t shards = 0;                 ///< resolved shard count (>= 1)
+};
+
+/// Splits \p centroids into \p shards spatially coherent, size-balanced
+/// groups. `shards == 0` resolves to 1; `shards > centroids.size()` leaves
+/// the surplus shards empty (their indices are simply never assigned).
+/// Deterministic for identical inputs.
+Partition PartitionByCentroid(const std::vector<Point>& centroids,
+                              size_t shards);
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_PARTITION_H_

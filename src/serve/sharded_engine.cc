@@ -1,0 +1,131 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+
+#include "core/expansion.h"
+#include "object/ucatalog.h"
+
+namespace ilq {
+
+bool QueryMethodUsesPoints(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kIpq:
+    case QueryMethod::kIpqBasic:
+    case QueryMethod::kCipqPExpanded:
+    case QueryMethod::kCipqMinkowski:
+      return true;
+    case QueryMethod::kIuq:
+    case QueryMethod::kIuqBasic:
+    case QueryMethod::kCiuqRTree:
+    case QueryMethod::kCiuqPti:
+      return false;
+  }
+  return false;
+}
+
+Result<ShardedEngine> ShardedEngine::Build(
+    std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
+    ShardedEngineConfig config) {
+  if (config.shards == 0) config.shards = 1;
+  // Resolve the ladder once so MakeIssuer and every shard engine agree
+  // (QueryEngine::Build would otherwise default it per shard).
+  if (config.engine.catalog_values.empty()) {
+    config.engine.catalog_values = UCatalog::EvenlySpacedValues(11);
+  }
+
+  // One partition over the combined centroids keeps the split consistent
+  // for both datasets: a shard covers one patch of space for points and
+  // uncertains alike.
+  std::vector<Point> centroids;
+  centroids.reserve(points.size() + uncertains.size());
+  for (const PointObject& p : points) centroids.push_back(p.location);
+  for (const UncertainObject& u : uncertains) {
+    centroids.push_back(u.region().Center());
+  }
+  const Partition partition =
+      PartitionByCentroid(centroids, config.shards);
+
+  std::vector<std::vector<PointObject>> shard_points(partition.shards);
+  std::vector<std::vector<UncertainObject>> shard_uncertains(
+      partition.shards);
+  std::vector<Rect> point_bounds(partition.shards, Rect::Empty());
+  std::vector<Rect> uncertain_bounds(partition.shards, Rect::Empty());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const uint32_t s = partition.assignment[i];
+    point_bounds[s] =
+        point_bounds[s].Union(Rect::AtPoint(points[i].location));
+    shard_points[s].push_back(points[i]);
+  }
+  for (size_t i = 0; i < uncertains.size(); ++i) {
+    const uint32_t s = partition.assignment[points.size() + i];
+    uncertain_bounds[s] = uncertain_bounds[s].Union(uncertains[i].region());
+    shard_uncertains[s].push_back(std::move(uncertains[i]));
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(partition.shards);
+  for (size_t s = 0; s < partition.shards; ++s) {
+    Result<QueryEngine> engine =
+        QueryEngine::Build(std::move(shard_points[s]),
+                           std::move(shard_uncertains[s]), config.engine);
+    if (!engine.ok()) return engine.status();
+    shards.push_back(Shard{std::move(engine).ValueOrDie(), point_bounds[s],
+                           uncertain_bounds[s]});
+  }
+  return ShardedEngine(std::move(shards), std::move(config));
+}
+
+std::vector<size_t> ShardedEngine::Route(QueryMethod method,
+                                         const UncertainObject& issuer,
+                                         const RangeQuerySpec& spec) const {
+  // Lemma 1: only objects touching R ⊕ U0 can qualify, whichever method
+  // refines the filter afterwards — so bounds ∩ expanded is a complete
+  // (conservative) routing test.
+  const Rect expanded =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  const bool use_points = QueryMethodUsesPoints(method);
+  std::vector<size_t> routed;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Rect& bounds =
+        use_points ? shards_[s].point_bounds : shards_[s].uncertain_bounds;
+    if (bounds.Intersects(expanded)) routed.push_back(s);
+  }
+  return routed;
+}
+
+AnswerSet ShardedEngine::Run(QueryMethod method,
+                             const UncertainObject& issuer,
+                             const BatchSpec& spec, IndexStats* stats) const {
+  AnswerSet merged;
+  for (const size_t s : Route(method, issuer, spec.query)) {
+    IndexStats shard_stats;
+    AnswerSet shard_answers =
+        RunQueryMethod(shards_[s].engine, method, issuer, spec, &shard_stats);
+    if (stats != nullptr) stats->Merge(shard_stats);
+    merged.insert(merged.end(),
+                  std::make_move_iterator(shard_answers.begin()),
+                  std::make_move_iterator(shard_answers.end()));
+  }
+  // Canonical order: by id, probability bits breaking (never expected)
+  // duplicate ids totally, then exact-duplicate removal. With unique ids
+  // and disjoint shards the sort is the only observable effect.
+  std::sort(merged.begin(), merged.end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.probability < b.probability;
+            });
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+Result<UncertainObject> ShardedEngine::MakeIssuer(
+    std::unique_ptr<UncertaintyPdf> pdf) const {
+  if (pdf == nullptr) {
+    return Status::InvalidArgument("issuer pdf must not be null");
+  }
+  UncertainObject issuer(/*id=*/0, std::move(pdf));
+  ILQ_RETURN_NOT_OK(issuer.BuildCatalog(config_.engine.catalog_values));
+  return issuer;
+}
+
+}  // namespace ilq

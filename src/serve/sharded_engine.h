@@ -1,0 +1,121 @@
+// ShardedEngine — spatial sharding of one logical catalog across several
+// QueryEngines (ROADMAP "scaling" item: sharding across engines).
+//
+// Build partitions the point and uncertain datasets into S spatial shards
+// (k-d centroid partition, serve/partition.h) and builds one QueryEngine
+// per shard. Run routes a query to the shards whose dataset bounds
+// intersect its Minkowski-expanded query box (Lemma 1: nothing outside the
+// box can qualify), fans the query out, and merges the per-shard answers
+// id-sorted and deduped.
+//
+// Determinism guarantee: the merged AnswerSet is bit-identical to running
+// the monolithic QueryEngine over the whole catalog and sorting its
+// answers by id — for all eight QueryMethods and both probability kernels.
+// The pieces that make this hold:
+//   - every evaluator computes a candidate's probability as a pure function
+//     of (issuer, object, spec, options); Monte-Carlo streams are seeded
+//     per candidate from MixSeeds(mc_seed, object id), so splitting the
+//     candidate stream across shards cannot shift any estimate;
+//   - an object lives in exactly one shard, and shard bounds contain every
+//     member's region, so routed shards cover exactly the candidates the
+//     monolithic index would report (no duplicates, no gaps);
+//   - C-IUQ/PTI pruning is object-dominated: the per-object prune test is
+//     at least as strong as any subtree test that could have removed it,
+//     so per-shard PTI trees admit the same survivor set as the monolithic
+//     tree (tests/sharded_differential_test.cc pins all of this).
+//
+// Merged IndexStats are NOT comparable to the monolithic engine's — S
+// smaller trees are traversed instead of one large one — but they remain
+// deterministic for a fixed (S, dataset, query).
+//
+// Thread safety: after Build, Run and every accessor are const and safe to
+// call concurrently (each shard engine carries the QueryEngine guarantee);
+// AsyncServer layers a request queue on exactly this property.
+
+#ifndef ILQ_SERVE_SHARDED_ENGINE_H_
+#define ILQ_SERVE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "geometry/rect.h"
+#include "serve/partition.h"
+
+namespace ilq {
+
+/// \brief Construction parameters for a sharded catalog.
+struct ShardedEngineConfig {
+  /// Spatial shards to split the catalog into. 0 resolves to 1. Shards
+  /// left empty by the partition (S larger than the catalog) are built as
+  /// empty engines and never routed to.
+  size_t shards = 4;
+
+  /// Per-shard engine configuration. An empty catalog ladder is resolved
+  /// to the engine default once, up front, so MakeIssuer and every shard
+  /// agree on the ladder.
+  EngineConfig engine;
+};
+
+/// \brief One logical catalog served by S spatially partitioned engines.
+class ShardedEngine {
+ public:
+  /// Partitions the datasets, builds one QueryEngine per shard and records
+  /// per-shard dataset bounds for routing. Either dataset may be empty.
+  static Result<ShardedEngine> Build(std::vector<PointObject> points,
+                                     std::vector<UncertainObject> uncertains,
+                                     ShardedEngineConfig config = {});
+
+  /// Evaluates \p method for one issuer: routes to the intersecting
+  /// shards, fans out (serially — concurrency across *queries* is the
+  /// AsyncServer's job), merges answers id-sorted/deduped and folds the
+  /// per-shard IndexStats into \p stats when given.
+  AnswerSet Run(QueryMethod method, const UncertainObject& issuer,
+                const BatchSpec& spec, IndexStats* stats = nullptr) const;
+
+  /// Shard indices Run would fan out to (introspection for tests and the
+  /// routing-efficiency numbers in the serve bench).
+  std::vector<size_t> Route(QueryMethod method, const UncertainObject& issuer,
+                            const RangeQuerySpec& spec) const;
+
+  /// Wraps an issuer pdf as the query issuer O0 with the shared catalog
+  /// ladder (mirrors QueryEngine::MakeIssuer).
+  Result<UncertainObject> MakeIssuer(
+      std::unique_ptr<UncertaintyPdf> pdf) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  const QueryEngine& shard(size_t i) const { return shards_[i].engine; }
+  /// Union of the shard's point locations; empty when it holds no points.
+  const Rect& shard_point_bounds(size_t i) const {
+    return shards_[i].point_bounds;
+  }
+  /// Union of the shard's uncertainty regions; empty when it holds none.
+  const Rect& shard_uncertain_bounds(size_t i) const {
+    return shards_[i].uncertain_bounds;
+  }
+  const ShardedEngineConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    QueryEngine engine;
+    Rect point_bounds = Rect::Empty();
+    Rect uncertain_bounds = Rect::Empty();
+  };
+
+  ShardedEngine(std::vector<Shard> shards, ShardedEngineConfig config)
+      : shards_(std::move(shards)), config_(std::move(config)) {}
+
+  std::vector<Shard> shards_;
+  ShardedEngineConfig config_;
+};
+
+/// True when \p method queries the point dataset (IPQ family); the IUQ /
+/// C-IUQ family queries the uncertain dataset. Routing picks the matching
+/// per-shard bounds.
+bool QueryMethodUsesPoints(QueryMethod method);
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_SHARDED_ENGINE_H_

@@ -1,0 +1,136 @@
+// Unit + concurrency tests for the serving layer's sharded LRU answer
+// cache: hit/miss semantics, key sensitivity (every field of CacheKey
+// distinguishes entries), per-shard LRU eviction, counters, the disabled
+// (capacity 0) mode, and a multi-threaded hammer that TSan races.
+
+#include "serve/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ilq {
+namespace {
+
+CacheKey KeyFor(uint64_t issuer, double w = 100.0,
+                QueryMethod method = QueryMethod::kIpq) {
+  CacheKey key;
+  key.issuer_id = issuer;
+  key.method = method;
+  key.w = w;
+  key.h = w;
+  key.threshold = 0.0;
+  return key;
+}
+
+AnswerSet Answers(ObjectId id, double probability) {
+  return AnswerSet{{id, probability}};
+}
+
+TEST(AnswerCacheTest, InsertThenLookupRoundtrips) {
+  AnswerCache cache(/*capacity=*/16);
+  EXPECT_FALSE(cache.Lookup(KeyFor(1)).has_value());
+  cache.Insert(KeyFor(1), Answers(42, 0.5));
+  const auto hit = cache.Lookup(KeyFor(1));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].id, 42u);
+  EXPECT_EQ((*hit)[0].probability, 0.5);
+
+  const AnswerCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.insertions, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(AnswerCacheTest, EveryKeyFieldDistinguishes) {
+  AnswerCache cache(/*capacity=*/64);
+  cache.Insert(KeyFor(1), Answers(1, 0.1));
+
+  EXPECT_FALSE(cache.Lookup(KeyFor(2)).has_value());  // issuer id
+  EXPECT_FALSE(
+      cache.Lookup(KeyFor(1, 100.0, QueryMethod::kIuq)).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyFor(1, 101.0)).has_value());  // spec w/h
+
+  CacheKey threshold = KeyFor(1);
+  threshold.threshold = 0.5;
+  EXPECT_FALSE(cache.Lookup(threshold).has_value());
+
+  CacheKey prune = KeyFor(1);
+  prune.strategy3 = false;
+  EXPECT_FALSE(cache.Lookup(prune).has_value());
+
+  EXPECT_TRUE(cache.Lookup(KeyFor(1)).has_value());
+}
+
+TEST(AnswerCacheTest, LruEvictsOldestAndRefreshesOnLookup) {
+  // One shard makes the LRU order deterministic and observable.
+  AnswerCache cache(/*capacity=*/2, /*shards=*/1);
+  cache.Insert(KeyFor(1), Answers(1, 0.1));
+  cache.Insert(KeyFor(2), Answers(2, 0.2));
+  ASSERT_TRUE(cache.Lookup(KeyFor(1)).has_value());  // 1 is now MRU
+
+  cache.Insert(KeyFor(3), Answers(3, 0.3));  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.Lookup(KeyFor(1)).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyFor(2)).has_value());
+  EXPECT_TRUE(cache.Lookup(KeyFor(3)).has_value());
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(AnswerCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  AnswerCache cache(/*capacity=*/4, /*shards=*/1);
+  cache.Insert(KeyFor(1), Answers(1, 0.1));
+  cache.Insert(KeyFor(1), Answers(1, 0.9));
+  EXPECT_EQ(cache.counters().entries, 1u);
+  const auto hit = cache.Lookup(KeyFor(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].probability, 0.9);
+}
+
+TEST(AnswerCacheTest, ZeroCapacityDisablesEverything) {
+  AnswerCache cache(/*capacity=*/0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(KeyFor(1), Answers(1, 0.1));
+  EXPECT_FALSE(cache.Lookup(KeyFor(1)).has_value());
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+}
+
+TEST(AnswerCacheTest, ConcurrentMixedTrafficIsSafe) {
+  // 4 threads inserting and looking up overlapping key ranges across the
+  // shard locks; TSan validates the locking, the asserts validate that
+  // every hit returns the exact answers stored for that key.
+  AnswerCache cache(/*capacity=*/64, /*shards=*/4);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kOpsPerThread = 1998;  // divisible by 3: exact op counts
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t issuer = (t * 31 + i) % 100;
+        if (i % 3 == 0) {
+          cache.Insert(KeyFor(issuer),
+                       Answers(static_cast<ObjectId>(issuer),
+                               static_cast<double>(issuer) / 100.0));
+        } else if (const auto hit = cache.Lookup(KeyFor(issuer))) {
+          ASSERT_EQ(hit->size(), 1u);
+          EXPECT_EQ((*hit)[0].id, issuer);
+          EXPECT_EQ((*hit)[0].probability,
+                    static_cast<double>(issuer) / 100.0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const AnswerCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            kThreads * kOpsPerThread * 2 / 3);
+  EXPECT_LE(counters.entries, 64u);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -183,5 +183,102 @@ TEST(DatasetIoTest, LoadMissingFileFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
 }
 
+namespace {
+
+// Writes raw bytes for the malformed/truncated-file tests below.
+std::string WriteTempFile(const char* name, const std::string& contents) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace
+
+TEST(DatasetIoTest, LoadPointsRejectsMalformedAndShortLines) {
+  // A word where a number belongs, and a line with only one coordinate:
+  // both must fail with the offending line number in the message.
+  for (const char* bad : {"1.0,2.0\nfoo,3.0\n", "1.0,2.0\n4.5\n"}) {
+    const std::string path = WriteTempFile("ilq_bad_points.csv", bad);
+    Result<std::vector<PointObject>> r = LoadPointsCsv(path);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().ToString().find(":2"), std::string::npos)
+        << r.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DatasetIoTest, LoadRectsRejectsTruncatedRecord) {
+  // File cut off mid-record (3 of 4 coordinates, no trailing newline) — the
+  // shape a partial download / interrupted save produces.
+  const std::string path =
+      WriteTempFile("ilq_trunc_rects.csv",
+                    "# xmin,ymin,xmax,ymax\n1,2,3,4\n5,6,7");
+  Result<std::vector<Rect>> r = LoadRectsCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find(":3"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadPointsRejectsTruncatedRecord) {
+  const std::string path =
+      WriteTempFile("ilq_trunc_points.csv", "# x,y\n10,20\n30");
+  Result<std::vector<PointObject>> r = LoadPointsCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadRectsRejectsInvertedRectangle) {
+  const std::string path =
+      WriteTempFile("ilq_inverted_rects.csv", "5,5,1,9\n");
+  Result<std::vector<Rect>> r = LoadRectsCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("inverted"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyAndCommentOnlyFilesLoadAsEmptyDatasets) {
+  const std::string empty = WriteTempFile("ilq_empty.csv", "");
+  const std::string comments =
+      WriteTempFile("ilq_comments.csv", "# header only\n\n# more\n");
+  Result<std::vector<PointObject>> p = LoadPointsCsv(empty);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->empty());
+  Result<std::vector<Rect>> r = LoadRectsCsv(comments);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  std::remove(empty.c_str());
+  std::remove(comments.c_str());
+}
+
+TEST(DatasetIoTest, RoundtripSurvivesExtremeCoordinates) {
+  // %.10g must preserve sub-ulp detail well enough for exact equality on
+  // values with short decimal expansions and keep huge/tiny magnitudes.
+  const std::vector<PointObject> points = {
+      {1, Point(0.0, -0.5)},
+      {2, Point(1e-30, 1e30)},
+      {3, Point(-123456789.5, 0.25)},
+  };
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ilq_extreme.csv").string();
+  ASSERT_TRUE(SavePointsCsv(path, points).ok());
+  Result<std::vector<PointObject>> loaded = LoadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].location.x, points[i].location.x);
+    EXPECT_EQ((*loaded)[i].location.y, points[i].location.y);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ilq

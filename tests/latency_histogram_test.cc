@@ -1,0 +1,77 @@
+// Unit tests for the serving layer's streaming latency histogram: bucket
+// resolution contract (quantiles within one log-bucket of the truth),
+// monotonicity, edge values, and reset.
+
+#include "serve/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ilq {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileWithinOneBucketOfTruth) {
+  LatencyHistogram histogram;
+  const double value = 3.7;  // ms
+  for (int i = 0; i < 1000; ++i) histogram.Record(value);
+  EXPECT_EQ(histogram.TotalCount(), 1000u);
+  // All mass in one bucket: every quantile reports that bucket's midpoint,
+  // which is within one bucket's growth factor (~1.33x) of the true value.
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double got = histogram.Quantile(q);
+    EXPECT_GT(got, value / 1.4) << "q=" << q;
+    EXPECT_LT(got, value * 1.4) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotonicAndSeparate) {
+  LatencyHistogram histogram;
+  // 90% fast requests around 1 ms, 10% slow around 100 ms.
+  for (int i = 0; i < 900; ++i) histogram.Record(1.0);
+  for (int i = 0; i < 100; ++i) histogram.Record(100.0);
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_GT(p95, 50.0);  // the tail lives in the slow bucket
+}
+
+TEST(LatencyHistogramTest, ExtremesClampToEdgeBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);                       // below the first bucket
+  histogram.Record(-1.0);                      // nonsense: clamps, no throw
+  histogram.Record(1e9);                       // beyond the last bucket
+  EXPECT_EQ(histogram.TotalCount(), 3u);
+  EXPECT_GT(histogram.Quantile(1.0), 1e4);     // overflow bucket is huge
+  EXPECT_LT(histogram.Quantile(0.01), 0.01);   // underflow bucket is tiny
+}
+
+TEST(LatencyHistogramTest, ResetForgetsEverything) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 10; ++i) histogram.Record(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketEdgesGrowMonotonically) {
+  double previous = 0.0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const double edge = LatencyHistogram::BucketLowerMs(i);
+    EXPECT_GT(edge, previous);
+    previous = edge;
+  }
+  EXPECT_NEAR(LatencyHistogram::BucketLowerMs(0), LatencyHistogram::kMinMs,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ilq

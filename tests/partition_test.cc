@@ -1,0 +1,119 @@
+// Unit tests for the serving layer's k-d centroid partitioner: shard
+// indices in range, proportional balance, determinism, spatial coherence,
+// and the degenerate inputs (one shard, more shards than items, empty).
+
+#include "serve/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+
+namespace ilq {
+namespace {
+
+std::vector<Point> RandomCentroids(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Point> centroids;
+  centroids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    centroids.emplace_back(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+  }
+  return centroids;
+}
+
+std::vector<size_t> ShardSizes(const Partition& partition) {
+  std::vector<size_t> sizes(partition.shards, 0);
+  for (const uint32_t s : partition.assignment) {
+    EXPECT_LT(s, partition.shards);
+    ++sizes[s];
+  }
+  return sizes;
+}
+
+TEST(PartitionTest, AssignsEveryInputToAValidShard) {
+  const auto centroids = RandomCentroids(1, 500);
+  for (const size_t shards : {1u, 2u, 4u, 7u, 16u}) {
+    const Partition partition = PartitionByCentroid(centroids, shards);
+    EXPECT_EQ(partition.shards, shards);
+    ASSERT_EQ(partition.assignment.size(), centroids.size());
+    ShardSizes(partition);  // asserts the range
+  }
+}
+
+TEST(PartitionTest, ProportionallyBalanced) {
+  const auto centroids = RandomCentroids(2, 700);
+  for (const size_t shards : {2u, 4u, 7u}) {
+    const std::vector<size_t> sizes =
+        ShardSizes(PartitionByCentroid(centroids, shards));
+    const size_t ideal = centroids.size() / shards;
+    for (const size_t size : sizes) {
+      // Median splits with proportional cuts land within a couple of items
+      // of the ideal; allow generous slack so the test pins balance, not
+      // the exact cut arithmetic.
+      EXPECT_GE(size, ideal - ideal / 4 - 2);
+      EXPECT_LE(size, ideal + ideal / 4 + 2);
+    }
+  }
+}
+
+TEST(PartitionTest, DeterministicAcrossCalls) {
+  const auto centroids = RandomCentroids(3, 400);
+  const Partition a = PartitionByCentroid(centroids, 7);
+  const Partition b = PartitionByCentroid(centroids, 7);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(PartitionTest, DeterministicUnderDuplicateCentroids) {
+  // All-equal centroids exercise the tie-break path: the comparator's
+  // index tie-break must still produce one canonical assignment.
+  std::vector<Point> centroids(100, Point(5, 5));
+  const Partition a = PartitionByCentroid(centroids, 4);
+  const Partition b = PartitionByCentroid(centroids, 4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  const std::vector<size_t> sizes = ShardSizes(a);
+  for (const size_t size : sizes) EXPECT_EQ(size, 25u);
+}
+
+TEST(PartitionTest, ShardsAreSpatiallyCoherent) {
+  // With points on a uniform grid, the summed shard bounding-box area must
+  // be well below shards x full-space area — shards tile space instead of
+  // interleaving.
+  std::vector<Point> centroids;
+  for (int x = 0; x < 30; ++x) {
+    for (int y = 0; y < 30; ++y) {
+      centroids.emplace_back(x * 10.0, y * 10.0);
+    }
+  }
+  const Partition partition = PartitionByCentroid(centroids, 4);
+  std::vector<Rect> bounds(4, Rect::Empty());
+  for (size_t i = 0; i < centroids.size(); ++i) {
+    bounds[partition.assignment[i]] =
+        bounds[partition.assignment[i]].Union(Rect::AtPoint(centroids[i]));
+  }
+  double total_area = 0.0;
+  for (const Rect& r : bounds) total_area += r.Area();
+  const double full = 290.0 * 290.0;
+  EXPECT_LT(total_area, 1.5 * full);  // 4 interleaved shards would give ~4x
+}
+
+TEST(PartitionTest, DegenerateInputs) {
+  EXPECT_EQ(PartitionByCentroid({}, 4).assignment.size(), 0u);
+  EXPECT_EQ(PartitionByCentroid({}, 0).shards, 1u);
+
+  const auto centroids = RandomCentroids(4, 10);
+  const Partition one = PartitionByCentroid(centroids, 1);
+  for (const uint32_t s : one.assignment) EXPECT_EQ(s, 0u);
+
+  // More shards than items: every item still lands in range; surplus
+  // shards stay empty.
+  const Partition many = PartitionByCentroid(centroids, 32);
+  EXPECT_EQ(many.shards, 32u);
+  ShardSizes(many);
+}
+
+}  // namespace
+}  // namespace ilq

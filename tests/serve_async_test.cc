@@ -1,0 +1,270 @@
+// Concurrency tests for the async serving layer (labeled `thread`, run
+// under TSan in CI): futures-based submission, backpressure on the bounded
+// queue, answer-cache integration, graceful drain/shutdown, and the
+// submit-after-shutdown contract. Determinism of the answers themselves is
+// sharded_differential_test's job; here every returned future is checked
+// against a direct ShardedEngine::Run of the same query.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/async_server.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+class ServeAsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1234);
+    std::vector<PointObject> points;
+    for (size_t i = 0; i < 250; ++i) {
+      points.emplace_back(static_cast<ObjectId>(i + 1),
+                          Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+    }
+    std::vector<UncertainObject> uncertains;
+    for (size_t i = 0; i < 80; ++i) {
+      const Rect region = RandomRect(&rng, Rect(0, 1000, 0, 1000), 15, 60);
+      uncertains.emplace_back(static_cast<ObjectId>(i + 1),
+                              MakeUniform(region));
+    }
+    ShardedEngineConfig config;
+    config.shards = 4;
+    config.engine.eval.quadrature_order = 8;
+    Result<ShardedEngine> built = ShardedEngine::Build(
+        std::move(points), std::move(uncertains), config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    engine_ = std::make_unique<ShardedEngine>(std::move(built).ValueOrDie());
+  }
+
+  /// Issuer with a non-zero id (cacheable) at the given spot.
+  UncertainObject MakeClient(uint64_t id, double cx, double cy) {
+    UncertainObject issuer(static_cast<ObjectId>(id),
+                           MakeUniform(Rect(cx - 80, cx + 80, cy - 80,
+                                            cy + 80)));
+    const Status status = issuer.BuildCatalog(
+        engine_->config().engine.catalog_values);
+    ILQ_CHECK(status.ok(), status.ToString());
+    return issuer;
+  }
+
+  std::unique_ptr<ShardedEngine> engine_;
+};
+
+TEST_F(ServeAsyncTest, SubmittedFuturesMatchDirectRun) {
+  AsyncServerOptions options;
+  options.threads = 3;
+  AsyncServer server(*engine_, options);
+  const BatchSpec spec{RangeQuerySpec(150, 150, 0.0)};
+
+  std::vector<UncertainObject> issuers;
+  std::vector<std::future<AnswerSet>> futures;
+  for (size_t i = 0; i < 24; ++i) {
+    issuers.push_back(MakeClient(i + 1, 100.0 + 35.0 * i, 500.0));
+    const QueryMethod method = AllQueryMethods()[i % kQueryMethodCount];
+    futures.push_back(server.Submit(issuers.back(), spec, method));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const QueryMethod method = AllQueryMethods()[i % kQueryMethodCount];
+    const AnswerSet expected = engine_->Run(method, issuers[i], spec);
+    const AnswerSet got = futures[i].get();
+    ASSERT_EQ(got.size(), expected.size()) << "request " << i;
+    for (size_t a = 0; a < got.size(); ++a) {
+      EXPECT_EQ(got[a].id, expected[a].id);
+      EXPECT_EQ(got[a].probability, expected[a].probability);
+    }
+  }
+  server.Drain();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.completed, 24u);
+  EXPECT_EQ(stats.pending, 0u);
+  uint64_t per_method_total = 0;
+  for (const uint64_t count : stats.per_method) per_method_total += count;
+  EXPECT_EQ(per_method_total, 24u);
+}
+
+TEST_F(ServeAsyncTest, ConcurrentSubmittersAllComplete) {
+  AsyncServerOptions options;
+  options.threads = 3;
+  options.queue_capacity = 8;  // small queue: submitters block and wake
+  AsyncServer server(*engine_, options);
+  const BatchSpec spec{RangeQuerySpec(120, 120, 0.0)};
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<uint64_t> answered(kClients, 0);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const UncertainObject issuer =
+            MakeClient(c * 100 + i + 1, 50.0 + 9.0 * (c * kPerClient + i),
+                       300.0 + 150.0 * c);
+        std::future<AnswerSet> future =
+            server.Submit(issuer, spec, QueryMethod::kIpq);
+        const AnswerSet got = future.get();
+        const AnswerSet expected =
+            engine_->Run(QueryMethod::kIpq, issuer, spec);
+        if (got.size() == expected.size()) ++answered[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(answered[c], kPerClient) << "client " << c;
+  }
+  server.Drain();
+  EXPECT_EQ(server.stats().completed, kClients * kPerClient);
+}
+
+TEST_F(ServeAsyncTest, BackpressureRefusesWhenQueueFull) {
+  AsyncServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 4;
+  options.start_paused = true;  // workers parked: queue depth is exact
+  AsyncServer server(*engine_, options);
+  const BatchSpec spec{RangeQuerySpec(100, 100, 0.0)};
+  const UncertainObject issuer = MakeClient(9, 500, 500);
+
+  std::vector<std::future<AnswerSet>> accepted;
+  for (size_t i = 0; i < 4; ++i) {
+    auto future = server.TrySubmit(issuer, spec, QueryMethod::kIuq);
+    ASSERT_TRUE(future.has_value()) << "slot " << i;
+    accepted.push_back(std::move(*future));
+  }
+  EXPECT_FALSE(server.TrySubmit(issuer, spec, QueryMethod::kIuq).has_value());
+  EXPECT_FALSE(server.TrySubmit(issuer, spec, QueryMethod::kIuq).has_value());
+  EXPECT_EQ(server.stats().rejected, 2u);
+  EXPECT_EQ(server.stats().pending, 4u);
+
+  server.Resume();
+  for (auto& future : accepted) {
+    EXPECT_EQ(future.get().size(),
+              engine_->Run(QueryMethod::kIuq, issuer, spec).size());
+  }
+  server.Drain();
+  EXPECT_EQ(server.stats().pending, 0u);
+  EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST_F(ServeAsyncTest, BlockedSubmitWakesWhenSlotFrees) {
+  AsyncServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.start_paused = true;
+  AsyncServer server(*engine_, options);
+  const BatchSpec spec{RangeQuerySpec(100, 100, 0.0)};
+  const UncertainObject issuer = MakeClient(5, 400, 400);
+
+  std::future<AnswerSet> first =
+      server.Submit(issuer, spec, QueryMethod::kIpq);  // fills the queue
+  std::thread blocked([&] {
+    // Blocks until the worker pops `first`, then must be accepted.
+    std::future<AnswerSet> second =
+        server.Submit(issuer, spec, QueryMethod::kIpq);
+    second.get();
+  });
+  server.Resume();
+  blocked.join();
+  first.get();
+  server.Drain();
+  EXPECT_EQ(server.stats().completed, 2u);
+}
+
+TEST_F(ServeAsyncTest, ShutdownDrainsAcceptedRequests) {
+  auto server = std::make_unique<AsyncServer>(*engine_);
+  const BatchSpec spec{RangeQuerySpec(130, 130, 0.0)};
+  std::vector<std::future<AnswerSet>> futures;
+  for (size_t i = 0; i < 16; ++i) {
+    futures.push_back(server->Submit(MakeClient(i + 1, 60.0 * i + 50, 600),
+                                     spec, QueryMethod::kCipqPExpanded));
+  }
+  server->Shutdown();
+  for (auto& future : futures) {
+    EXPECT_NO_THROW(future.get());  // graceful: every accepted future lands
+  }
+  EXPECT_EQ(server->stats().completed, 16u);
+  EXPECT_EQ(server->stats().pending, 0u);
+  server.reset();  // double-shutdown via the destructor must be a no-op
+}
+
+TEST_F(ServeAsyncTest, SubmitAfterShutdownThrows) {
+  AsyncServer server(*engine_);
+  server.Shutdown();
+  const BatchSpec spec{RangeQuerySpec(100, 100, 0.0)};
+  const UncertainObject issuer = MakeClient(3, 300, 300);
+  EXPECT_THROW(server.Submit(issuer, spec, QueryMethod::kIpq),
+               std::logic_error);
+  EXPECT_THROW(server.TrySubmit(issuer, spec, QueryMethod::kIpq),
+               std::logic_error);
+}
+
+TEST_F(ServeAsyncTest, CacheServesRepeatedQueries) {
+  AsyncServerOptions options;
+  options.threads = 2;
+  options.cache_capacity = 32;
+  AsyncServer server(*engine_, options);
+  const BatchSpec spec{RangeQuerySpec(150, 150, 0.0)};
+  const UncertainObject issuer = MakeClient(77, 500, 500);
+
+  const AnswerSet first =
+      server.Submit(issuer, spec, QueryMethod::kIuq).get();
+  server.Drain();  // the insert happens before Drain returns
+  const AnswerSet second =
+      server.Submit(issuer, spec, QueryMethod::kIuq).get();
+  server.Drain();
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].probability, second[i].probability);
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+
+  // A different spec misses; an id-0 (anonymous) issuer is never cached.
+  server.Submit(issuer, BatchSpec{RangeQuerySpec(151, 151, 0.0)},
+                QueryMethod::kIuq)
+      .get();
+  EXPECT_EQ(server.stats().cache_misses, 2u);
+  Result<UncertainObject> anonymous =
+      engine_->MakeIssuer(MakeUniform(Rect(420, 580, 420, 580)));
+  ASSERT_TRUE(anonymous.ok());
+  server.Submit(*anonymous, spec, QueryMethod::kIuq).get();
+  server.Submit(*anonymous, spec, QueryMethod::kIuq).get();
+  server.Drain();
+  const ServeStats after = server.stats();
+  EXPECT_EQ(after.cache_hits, 1u);  // unchanged: anonymous never cached
+}
+
+TEST_F(ServeAsyncTest, StatsTrackLatencyQuantiles) {
+  AsyncServer server(*engine_);
+  const BatchSpec spec{RangeQuerySpec(140, 140, 0.0)};
+  for (size_t i = 0; i < 12; ++i) {
+    server.Submit(MakeClient(i + 1, 80.0 * i + 40, 500), spec,
+                  QueryMethod::kIpq);
+  }
+  server.Drain();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,253 @@
+// Differential suite for the sharded serving engine: ShardedEngine::Run
+// must merge bit-identical AnswerSets to the monolithic QueryEngine —
+// same ids, same probability doubles — for every shard count, all eight
+// QueryMethods, and both probability kernels. This is the determinism
+// guarantee the serving layer advertises (serve/sharded_engine.h): spatial
+// partitioning is a pure routing optimization, never an answer change.
+//
+// The monolithic engine's answers are canonicalized by sorting on id (the
+// sharded engine merges id-sorted; enhanced evaluators emit traversal
+// order); probabilities are compared exactly, not with a tolerance — the
+// per-candidate Monte-Carlo streams (MixSeeds) make even the sampled
+// kernels order-invariant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 7};
+
+// Mixed-pdf dataset so every monomorphized kernel pair is crossed by the
+// fan-out (uniform closed forms, gaussian separable, histogram generic).
+std::vector<UncertainObject> MakeMixedObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        objects.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        objects.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        objects.emplace_back(id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+AnswerSet SortedById(AnswerSet answers) {
+  std::sort(answers.begin(), answers.end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.probability < b.probability;
+            });
+  return answers;
+}
+
+void ExpectBitIdentical(const AnswerSet& sharded, const AnswerSet& mono,
+                        const std::string& what) {
+  ASSERT_EQ(sharded.size(), mono.size()) << what;
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    EXPECT_EQ(sharded[i].id, mono[i].id) << what << " answer #" << i;
+    EXPECT_EQ(sharded[i].probability, mono[i].probability)
+        << what << " answer #" << i << " (id " << sharded[i].id << ")";
+  }
+}
+
+EngineConfig TestEngineConfig(ProbabilityKernel kernel) {
+  EngineConfig config;
+  config.eval.kernel = kernel;
+  config.eval.quadrature_order = 8;
+  config.eval.mc_samples = 100;
+  return config;
+}
+
+// Runs every method over every shard count against the monolithic answers.
+void RunDifferential(ProbabilityKernel kernel) {
+  const EngineConfig config = TestEngineConfig(kernel);
+  Result<QueryEngine> mono = QueryEngine::Build(
+      MakePoints(901, 400), MakeMixedObjects(902, 150), config);
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+
+  std::vector<Result<UncertainObject>> issuers;
+  issuers.push_back(mono->MakeIssuer(MakeUniform(Rect(350, 650, 350, 650))));
+  issuers.push_back(mono->MakeIssuer(MakeGaussian(Rect(100, 420, 500, 800))));
+  for (const auto& issuer : issuers) {
+    ASSERT_TRUE(issuer.ok()) << issuer.status().ToString();
+  }
+
+  const std::vector<RangeQuerySpec> specs = {RangeQuerySpec(140, 140, 0.0),
+                                             RangeQuerySpec(250, 180, 0.3)};
+
+  for (const size_t shards : kShardCounts) {
+    ShardedEngineConfig sharded_config;
+    sharded_config.shards = shards;
+    sharded_config.engine = config;
+    Result<ShardedEngine> sharded = ShardedEngine::Build(
+        MakePoints(901, 400), MakeMixedObjects(902, 150), sharded_config);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_EQ(sharded->shard_count(), shards);
+
+    for (const auto& issuer : issuers) {
+      for (const RangeQuerySpec& query : specs) {
+        const BatchSpec spec{query};
+        for (const QueryMethod method : AllQueryMethods()) {
+          const std::string what =
+              std::string(QueryMethodName(method)) + " S=" +
+              std::to_string(shards) + " w=" + std::to_string(query.w);
+          const AnswerSet mono_answers = SortedById(
+              RunQueryMethod(*mono, method, *issuer, spec, nullptr));
+          const AnswerSet sharded_answers =
+              sharded->Run(method, *issuer, spec);
+          ExpectBitIdentical(sharded_answers, mono_answers, what);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, BitIdenticalAnalytic) {
+  RunDifferential(ProbabilityKernel::kAnalytic);
+}
+
+TEST(ShardedDifferentialTest, BitIdenticalMonteCarlo) {
+  RunDifferential(ProbabilityKernel::kMonteCarlo);
+}
+
+TEST(ShardedDifferentialTest, ShardsPartitionTheCatalog) {
+  ShardedEngineConfig config;
+  config.shards = 4;
+  Result<ShardedEngine> sharded = ShardedEngine::Build(
+      MakePoints(11, 300), MakeMixedObjects(12, 90), config);
+  ASSERT_TRUE(sharded.ok());
+  size_t points = 0;
+  size_t uncertains = 0;
+  for (size_t s = 0; s < sharded->shard_count(); ++s) {
+    points += sharded->shard(s).points().size();
+    uncertains += sharded->shard(s).uncertains().size();
+    // Shard bounds contain every member (the routing invariant).
+    for (const PointObject& p : sharded->shard(s).points()) {
+      EXPECT_TRUE(sharded->shard_point_bounds(s).Contains(p.location));
+    }
+    for (const UncertainObject& u : sharded->shard(s).uncertains()) {
+      EXPECT_TRUE(
+          sharded->shard_uncertain_bounds(s).ContainsRect(u.region()));
+    }
+  }
+  EXPECT_EQ(points, 300u);
+  EXPECT_EQ(uncertains, 90u);
+}
+
+TEST(ShardedDifferentialTest, UnroutedShardsContributeNothing) {
+  ShardedEngineConfig config;
+  config.shards = 4;
+  Result<ShardedEngine> sharded = ShardedEngine::Build(
+      MakePoints(21, 300), MakeMixedObjects(22, 90), config);
+  ASSERT_TRUE(sharded.ok());
+  // A small query in one corner should skip at least one shard, and every
+  // skipped shard must answer empty when asked directly — routing is a
+  // pure optimization.
+  Result<UncertainObject> issuer =
+      sharded->MakeIssuer(MakeUniform(Rect(50, 150, 50, 150)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec query(60, 60, 0.0);
+  const BatchSpec spec{query};
+  for (const QueryMethod method : AllQueryMethods()) {
+    const std::vector<size_t> routed =
+        sharded->Route(method, *issuer, query);
+    std::vector<bool> is_routed(sharded->shard_count(), false);
+    for (const size_t s : routed) is_routed[s] = true;
+    for (size_t s = 0; s < sharded->shard_count(); ++s) {
+      if (is_routed[s]) continue;
+      EXPECT_TRUE(
+          RunQueryMethod(sharded->shard(s), method, *issuer, spec).empty())
+          << QueryMethodName(method) << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, EmptyAndLopsidedDatasets) {
+  ShardedEngineConfig config;
+  config.shards = 3;
+  const BatchSpec spec{RangeQuerySpec(100, 100, 0.0)};
+
+  Result<ShardedEngine> empty = ShardedEngine::Build({}, {}, config);
+  ASSERT_TRUE(empty.ok());
+  Result<UncertainObject> issuer =
+      empty->MakeIssuer(MakeUniform(Rect(400, 600, 400, 600)));
+  ASSERT_TRUE(issuer.ok());
+  for (const QueryMethod method : AllQueryMethods()) {
+    EXPECT_TRUE(empty->Run(method, *issuer, spec).empty());
+  }
+
+  Result<ShardedEngine> points_only =
+      ShardedEngine::Build(MakePoints(31, 120), {}, config);
+  ASSERT_TRUE(points_only.ok());
+  EXPECT_FALSE(points_only->Run(QueryMethod::kIpq, *issuer, spec).empty());
+  EXPECT_TRUE(points_only->Run(QueryMethod::kIuq, *issuer, spec).empty());
+
+  Result<ShardedEngine> uncertain_only =
+      ShardedEngine::Build({}, MakeMixedObjects(32, 45), config);
+  ASSERT_TRUE(uncertain_only.ok());
+  EXPECT_TRUE(uncertain_only->Run(QueryMethod::kIpq, *issuer, spec).empty());
+  EXPECT_FALSE(uncertain_only->Run(QueryMethod::kIuq, *issuer, spec).empty());
+}
+
+TEST(ShardedDifferentialTest, MoreShardsThanObjects) {
+  ShardedEngineConfig config;
+  config.shards = 7;
+  config.engine.eval.quadrature_order = 8;
+  Result<ShardedEngine> sharded =
+      ShardedEngine::Build(MakePoints(41, 3), MakeMixedObjects(42, 2),
+                           config);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->shard_count(), 7u);
+
+  Result<QueryEngine> mono = QueryEngine::Build(
+      MakePoints(41, 3), MakeMixedObjects(42, 2),
+      sharded->config().engine);
+  ASSERT_TRUE(mono.ok());
+  Result<UncertainObject> issuer =
+      mono->MakeIssuer(MakeUniform(Rect(0, 1000, 0, 1000)));
+  ASSERT_TRUE(issuer.ok());
+  const BatchSpec spec{RangeQuerySpec(400, 400, 0.0)};
+  for (const QueryMethod method : AllQueryMethods()) {
+    ExpectBitIdentical(
+        sharded->Run(method, *issuer, spec),
+        SortedById(RunQueryMethod(*mono, method, *issuer, spec)),
+        QueryMethodName(method));
+  }
+}
+
+}  // namespace
+}  // namespace ilq

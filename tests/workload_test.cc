@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace ilq {
 namespace {
 
@@ -106,5 +109,121 @@ TEST(WorkloadTest, CustomCatalogLadder) {
   EXPECT_EQ(workload->issuers[0].catalog()->size(), 3u);
 }
 
+// ---- Skewed serving traffic -------------------------------------------------
+
+TEST(SkewedWorkloadTest, PoolCarriesUniqueNonZeroIdsAndCatalogs) {
+  WorkloadConfig base;
+  SkewConfig skew;
+  skew.pool = 32;
+  skew.requests = 100;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, skew);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ASSERT_EQ(workload->pool.size(), 32u);
+  for (size_t i = 0; i < workload->pool.size(); ++i) {
+    EXPECT_EQ(workload->pool[i].id(), static_cast<ObjectId>(i + 1));
+    EXPECT_NE(workload->pool[i].catalog(), nullptr);
+    EXPECT_TRUE(base.space.ContainsRect(workload->pool[i].region()));
+  }
+  EXPECT_EQ(workload->sequence.size(), 100u);
+  for (const size_t pick : workload->sequence) EXPECT_LT(pick, 32u);
+}
+
+TEST(SkewedWorkloadTest, ZipfianSelectionIsRankSkewed) {
+  WorkloadConfig base;
+  SkewConfig skew;
+  skew.pool = 50;
+  skew.requests = 5000;
+  skew.zipf_s = 1.0;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, skew);
+  ASSERT_TRUE(workload.ok());
+  std::vector<size_t> counts(skew.pool, 0);
+  for (const size_t pick : workload->sequence) ++counts[pick];
+  // Rank 0 is the hottest issuer and beats the tail by a wide margin
+  // (expected ratio 1/1 vs 1/50 under s = 1).
+  EXPECT_GT(counts[0], counts[49] * 5);
+  // The head (top 10 ranks) takes well over its uniform 20% share.
+  size_t head = 0;
+  for (size_t k = 0; k < 10; ++k) head += counts[k];
+  EXPECT_GT(head, skew.requests / 2);
+}
+
+TEST(SkewedWorkloadTest, ZeroExponentIsRoughlyUniform) {
+  WorkloadConfig base;
+  SkewConfig skew;
+  skew.pool = 10;
+  skew.requests = 5000;
+  skew.zipf_s = 0.0;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, skew);
+  ASSERT_TRUE(workload.ok());
+  std::vector<size_t> counts(skew.pool, 0);
+  for (const size_t pick : workload->sequence) ++counts[pick];
+  for (const size_t count : counts) {
+    EXPECT_GT(count, 350u);  // expectation 500, generous noise margin
+    EXPECT_LT(count, 650u);
+  }
+}
+
+TEST(SkewedWorkloadTest, ClusteredPlacementConcentratesIssuers) {
+  WorkloadConfig base;
+  SkewConfig skew;
+  skew.pool = 60;
+  skew.requests = 10;
+  skew.clustered = true;
+  skew.clusters = 3;
+  skew.cluster_spread = 0.02;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, skew);
+  ASSERT_TRUE(workload.ok());
+  // With 3 tight clusters the pairwise-nearest issuer is far closer than
+  // under uniform placement over a 10000-wide space; check that every
+  // issuer has some neighbour within a few spreads.
+  const double spread = skew.cluster_spread * 10000.0;
+  for (size_t i = 0; i < workload->pool.size(); ++i) {
+    double nearest = 1e18;
+    const Point a = workload->pool[i].region().Center();
+    for (size_t j = 0; j < workload->pool.size(); ++j) {
+      if (i == j) continue;
+      const Point b = workload->pool[j].region().Center();
+      const double dx = a.x - b.x;
+      const double dy = a.y - b.y;
+      nearest = std::min(nearest, dx * dx + dy * dy);
+    }
+    EXPECT_LT(nearest, 36.0 * spread * spread) << "issuer " << i;
+  }
+  // Regions still live inside the space (clamped).
+  for (const UncertainObject& issuer : workload->pool) {
+    EXPECT_TRUE(base.space.ContainsRect(issuer.region()));
+  }
+}
+
+TEST(SkewedWorkloadTest, DeterministicPerSeedAndRejectsBadArguments) {
+  WorkloadConfig base;
+  base.seed = 11;
+  SkewConfig skew;
+  skew.pool = 16;
+  skew.requests = 64;
+  Result<SkewedWorkload> a = GenerateSkewedWorkload(base, skew);
+  Result<SkewedWorkload> b = GenerateSkewedWorkload(base, skew);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sequence, b->sequence);
+  for (size_t i = 0; i < a->pool.size(); ++i) {
+    EXPECT_EQ(a->pool[i].region(), b->pool[i].region());
+  }
+
+  SkewConfig bad = skew;
+  bad.pool = 0;
+  EXPECT_FALSE(GenerateSkewedWorkload(base, bad).ok());
+  bad = skew;
+  bad.zipf_s = -1.0;
+  EXPECT_FALSE(GenerateSkewedWorkload(base, bad).ok());
+  bad = skew;
+  bad.clustered = true;
+  bad.clusters = 0;
+  EXPECT_FALSE(GenerateSkewedWorkload(base, bad).ok());
+  WorkloadConfig bad_base = base;
+  bad_base.w = 0.0;
+  EXPECT_FALSE(GenerateSkewedWorkload(bad_base, skew).ok());
+}
+
 }  // namespace
 }  // namespace ilq
+
