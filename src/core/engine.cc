@@ -1,11 +1,71 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "core/ipq.h"
 #include "core/iuq.h"
 #include "object/ucatalog.h"
 
 namespace ilq {
+namespace {
+
+// Keeps both R-trees and the PTI in lock-step with the object vectors
+// while ApplyCatalogUpdates mutates the working snapshot. The uncertain
+// structures are keyed by *position*, so the swap-erase relocation hook
+// re-keys the moved element. All mutations hit the private pre-publish
+// snapshot only.
+class IndexMaintenance : public CatalogListener {
+ public:
+  explicit IndexMaintenance(QueryEngine::Snapshot* snap) : snap_(snap) {}
+
+  bool uncertain_ops() const { return uncertain_ops_; }
+
+  void PointInserted(const PointObject& object) override {
+    snap_->point_index.Insert(Rect::AtPoint(object.location), object.id);
+  }
+  void PointErased(const PointObject& object) override {
+    snap_->point_index.Remove(Rect::AtPoint(object.location), object.id);
+  }
+  void UncertainInserted(uint32_t pos,
+                         const UncertainObject& object) override {
+    uncertain_ops_ = true;
+    snap_->uncertain_index.Insert(object.region(), pos);
+    if (snap_->pti.has_value()) snap_->pti->Insert(object.region(), pos);
+  }
+  void UncertainErased(uint32_t pos,
+                       const UncertainObject& object) override {
+    uncertain_ops_ = true;
+    snap_->uncertain_index.Remove(object.region(), pos);
+    if (snap_->pti.has_value()) snap_->pti->Remove(object.region(), pos);
+  }
+  void UncertainRelocated(uint32_t from, uint32_t to,
+                          const UncertainObject& object) override {
+    uncertain_ops_ = true;
+    snap_->uncertain_index.Remove(object.region(), from);
+    snap_->uncertain_index.Insert(object.region(), to);
+    if (snap_->pti.has_value()) {
+      snap_->pti->Remove(object.region(), from);
+      snap_->pti->Insert(object.region(), to);
+    }
+  }
+
+ private:
+  QueryEngine::Snapshot* snap_;
+  bool uncertain_ops_ = false;
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineConfig config, SnapshotPtr snapshot)
+    : config_(std::move(config)), control_(std::make_unique<Control>()) {
+  control_->snap.store(std::move(snapshot), std::memory_order_release);
+}
+
+QueryEngine::SnapshotPtr QueryEngine::snapshot() const {
+  return control_->snap.load(std::memory_order_acquire);
+}
 
 Result<QueryEngine> QueryEngine::Build(
     std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
@@ -52,50 +112,140 @@ Result<QueryEngine> QueryEngine::Build(
     pti = std::move(built).ValueOrDie();
   }
 
-  return QueryEngine(std::move(points), std::move(uncertains),
-                     std::move(config), std::move(point_index).ValueOrDie(),
-                     std::move(uncertain_index).ValueOrDie(),
-                     std::move(pti));
+  auto snap = std::make_shared<Snapshot>(
+      Snapshot{MakeCatalogSnapshot(std::move(points), std::move(uncertains)),
+               std::move(point_index).ValueOrDie(),
+               std::move(uncertain_index).ValueOrDie(), std::move(pti)});
+  return QueryEngine(std::move(config), std::move(snap));
+}
+
+Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(control_->writer_mu);
+  const SnapshotPtr prev = control_->snap.load(std::memory_order_acquire);
+
+  // Copy the derived structures; the catalog step below produces the new
+  // object vectors itself. Everything here is private until the store.
+  auto next = std::make_shared<Snapshot>(
+      Snapshot{prev->catalog, prev->point_index, prev->uncertain_index,
+               prev->pti});
+
+  IndexMaintenance maintenance(next.get());
+  Result<CatalogSnapshotPtr> applied = ApplyCatalogUpdates(
+      *prev->catalog, batch, config_.catalog_values, &maintenance);
+  if (!applied.ok()) return applied.status();
+  next->catalog = std::move(applied).ValueOrDie();
+
+  // PTI policy: drop it when the uncertain set emptied; bulk-(re)build when
+  // absent or degraded past the threshold; otherwise refresh the node
+  // catalogs bottom-up (they are stale after any structural change).
+  const std::vector<UncertainObject>& uncertains = next->catalog->uncertains;
+  if (uncertains.empty()) {
+    next->pti.reset();
+  } else if (maintenance.uncertain_ops() || !next->pti.has_value()) {
+    const size_t threshold = std::max(
+        config_.pti_rebuild_min_updates,
+        static_cast<size_t>(config_.pti_rebuild_fraction *
+                            static_cast<double>(uncertains.size())));
+    const bool rebuild = !next->pti.has_value() ||
+                         next->pti->updates_since_build() > threshold;
+    if (rebuild) {
+      Result<PTI> built =
+          PTI::Build(PTIOptions(config_.page_size_bytes,
+                                config_.catalog_values.size()),
+                     uncertains);
+      if (!built.ok()) return built.status();
+      next->pti = std::move(built).ValueOrDie();
+      control_->pti_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ILQ_RETURN_NOT_OK(next->pti->RefreshCatalogs(uncertains));
+      control_->pti_refreshes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  control_->snap.store(std::move(next), std::memory_order_release);
+  control_->batches.fetch_add(1, std::memory_order_relaxed);
+  control_->ops.fetch_add(batch.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+UpdateStats QueryEngine::update_stats() const {
+  UpdateStats stats;
+  stats.batches = control_->batches.load(std::memory_order_relaxed);
+  stats.ops = control_->ops.load(std::memory_order_relaxed);
+  stats.pti_rebuilds =
+      control_->pti_rebuilds.load(std::memory_order_relaxed);
+  stats.pti_refreshes =
+      control_->pti_refreshes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+const std::vector<PointObject>& QueryEngine::points() const {
+  return control_->snap.load(std::memory_order_acquire)->catalog->points;
+}
+
+const std::vector<UncertainObject>& QueryEngine::uncertains() const {
+  return control_->snap.load(std::memory_order_acquire)->catalog->uncertains;
+}
+
+const RTree& QueryEngine::point_index() const {
+  return control_->snap.load(std::memory_order_acquire)->point_index;
+}
+
+const RTree& QueryEngine::uncertain_index() const {
+  return control_->snap.load(std::memory_order_acquire)->uncertain_index;
+}
+
+const PTI* QueryEngine::pti() const {
+  const Snapshot& snap =
+      *control_->snap.load(std::memory_order_acquire);
+  return snap.pti.has_value() ? &*snap.pti : nullptr;
 }
 
 AnswerSet QueryEngine::Ipq(const UncertainObject& issuer,
                            const RangeQuerySpec& spec,
                            IndexStats* stats) const {
-  return EvaluateIPQ(point_index_, issuer, spec, config_.eval, stats);
+  const SnapshotPtr snap = snapshot();
+  return EvaluateIPQ(snap->point_index, issuer, spec, config_.eval, stats);
 }
 
 AnswerSet QueryEngine::IpqBasic(const UncertainObject& issuer,
                                 const RangeQuerySpec& spec,
                                 IndexStats* stats) const {
-  return EvaluateIPQBasic(point_index_, points_, issuer, spec, config_.basic,
-                          stats);
+  const SnapshotPtr snap = snapshot();
+  return EvaluateIPQBasic(snap->point_index, snap->catalog->points, issuer,
+                          spec, config_.basic, stats);
 }
 
 AnswerSet QueryEngine::Iuq(const UncertainObject& issuer,
                            const RangeQuerySpec& spec,
                            IndexStats* stats) const {
-  return EvaluateIUQ(uncertain_index_, uncertains_, issuer, spec,
-                     config_.eval, stats);
+  const SnapshotPtr snap = snapshot();
+  return EvaluateIUQ(snap->uncertain_index, snap->catalog->uncertains,
+                     issuer, spec, config_.eval, stats);
 }
 
 AnswerSet QueryEngine::IuqBasic(const UncertainObject& issuer,
                                 const RangeQuerySpec& spec,
                                 IndexStats* stats) const {
-  return EvaluateIUQBasic(uncertain_index_, uncertains_, issuer, spec,
-                          config_.basic, stats);
+  const SnapshotPtr snap = snapshot();
+  return EvaluateIUQBasic(snap->uncertain_index, snap->catalog->uncertains,
+                          issuer, spec, config_.basic, stats);
 }
 
 AnswerSet QueryEngine::Cipq(const UncertainObject& issuer,
                             const RangeQuerySpec& spec, CipqFilter filter,
                             IndexStats* stats) const {
-  return EvaluateCIPQ(point_index_, issuer, spec, filter, config_.eval,
+  const SnapshotPtr snap = snapshot();
+  return EvaluateCIPQ(snap->point_index, issuer, spec, filter, config_.eval,
                       stats);
 }
 
 AnswerSet QueryEngine::CiuqRTree(const UncertainObject& issuer,
                                  const RangeQuerySpec& spec,
                                  IndexStats* stats) const {
-  return EvaluateCIUQRTree(uncertain_index_, uncertains_, issuer, spec,
+  const SnapshotPtr snap = snapshot();
+  return EvaluateCIUQRTree(snap->uncertain_index,
+                           snap->catalog->uncertains, issuer, spec,
                            config_.eval, stats);
 }
 
@@ -103,9 +253,10 @@ AnswerSet QueryEngine::CiuqPti(const UncertainObject& issuer,
                                const RangeQuerySpec& spec,
                                const CiuqPruneConfig& prune,
                                IndexStats* stats) const {
-  if (!pti_.has_value()) return {};
-  return EvaluateCIUQPTI(*pti_, uncertains_, issuer, spec, config_.eval,
-                         prune, stats);
+  const SnapshotPtr snap = snapshot();
+  if (!snap->pti.has_value()) return {};
+  return EvaluateCIUQPTI(*snap->pti, snap->catalog->uncertains, issuer,
+                         spec, config_.eval, prune, stats);
 }
 
 Result<UncertainObject> QueryEngine::MakeIssuer(

@@ -5,11 +5,22 @@
 // U-catalogs) and exposes the four query classes of the paper with method
 // selection. Examples and benches talk to this class; the lower-level
 // evaluators remain available for fine-grained use.
+//
+// Since PR 6 the engine is *mutable*: the datasets and indexes live in an
+// immutable epoch-stamped Snapshot published through an atomic shared_ptr
+// (the same RCU discipline as the object layer's Catalog and PR 3's
+// lock-free Gauss-Legendre rule cache). Queries load the snapshot once and
+// stay pure functions of it; ApplyUpdates builds the next snapshot
+// copy-on-write — maintaining both R-trees per-op and the PTI by
+// refresh-or-rebuild — and publishes it atomically.
 
 #ifndef ILQ_CORE_ENGINE_H_
 #define ILQ_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -21,6 +32,7 @@
 #include "core/query.h"
 #include "index/pti.h"
 #include "index/rtree.h"
+#include "object/catalog.h"
 #include "object/uncertain_object.h"
 
 namespace ilq {
@@ -39,31 +51,91 @@ struct EngineConfig {
 
   /// Baseline (§3.3) sampling configuration.
   BasicEvalOptions basic;
+
+  /// PTI rebuild policy: when the PTI has accumulated more than
+  /// max(pti_rebuild_min_updates, pti_rebuild_fraction × |uncertains|)
+  /// tree mutations since its last (re)build, ApplyUpdates bulk-rebuilds
+  /// it instead of refreshing node catalogs in place — incremental
+  /// quadratic-split inserts slowly degrade the STR packing.
+  double pti_rebuild_fraction = 0.25;
+  size_t pti_rebuild_min_updates = 16;
+};
+
+/// Monotone counters describing the engine's update history (all zero for
+/// a freshly built engine).
+struct UpdateStats {
+  uint64_t batches = 0;        ///< successful ApplyUpdates calls
+  uint64_t ops = 0;            ///< individual UpdateOps applied
+  uint64_t pti_rebuilds = 0;   ///< full PTI bulk rebuilds
+  uint64_t pti_refreshes = 0;  ///< in-place node-catalog refreshes
 };
 
 /// \brief Datasets + indexes + query entry points.
 ///
-/// Thread safety: after Build returns, every const member function —
-/// all eight query entry points, MakeIssuer and the introspection
-/// accessors — is safe to call concurrently from any number of threads.
-/// The engine's datasets and indexes are immutable once built, the
-/// evaluators keep no shared mutable state (Monte-Carlo streams are
-/// seeded per candidate from MixSeeds(EvalOptions::mc_seed, object id),
-/// so a candidate's probability is independent of traversal order — the
-/// invariant the sharded serving layer's fan-out relies on), and traversal
-/// scratch lives on the stack of each call. Per-query IndexStats are
-/// written only through the caller-owned out-param, which must not be
-/// shared between concurrent queries. RunBatch builds on exactly this
-/// guarantee.
+/// Thread safety: every const member function — all eight query entry
+/// points, MakeIssuer and the introspection accessors — is safe to call
+/// concurrently from any number of threads, concurrently with ApplyUpdates.
+/// Each query loads the current Snapshot once (acquire) and evaluates
+/// against only that snapshot, so a query observes exactly one epoch; the
+/// evaluators keep no shared mutable state (Monte-Carlo streams are seeded
+/// per candidate from MixSeeds(EvalOptions::mc_seed, object id), so a
+/// candidate's probability is independent of traversal order *and* of index
+/// structure — the invariant both the sharded fan-out and the dynamic-
+/// update differential tests rely on). ApplyUpdates serializes writers
+/// internally. Per-query IndexStats are written only through the
+/// caller-owned out-param, which must not be shared between concurrent
+/// queries. RunBatch builds on exactly this guarantee.
 class QueryEngine {
  public:
+  /// One immutable epoch of the engine: the object catalog plus every
+  /// index derived from it. Published whole; never mutated after publish.
+  struct Snapshot {
+    CatalogSnapshotPtr catalog;
+    RTree point_index;       // items keyed by ObjectId
+    RTree uncertain_index;   // items keyed by *position* into uncertains
+    std::optional<PTI> pti;  // null when the uncertain set is empty
+    uint64_t epoch() const { return catalog->epoch; }
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   /// Builds the engine: bulk-loads the point R-tree and the uncertain
   /// R-tree, attaches U-catalogs to every uncertain object and builds the
   /// PTI. Either dataset may be empty (the corresponding queries then
   /// return empty answers).
+  ///
+  /// Update support additionally requires ids unique within each object
+  /// kind; Build does not enforce this (read-only engines never needed it)
+  /// but ApplyUpdates rejects batches against ambiguous catalogs.
   static Result<QueryEngine> Build(std::vector<PointObject> points,
                                    std::vector<UncertainObject> uncertains,
                                    EngineConfig config = EngineConfig{});
+
+  // ---- Updates (epoch-versioned, PR 6) -----------------------------------
+
+  /// Applies one update batch copy-on-write and publishes the next epoch.
+  /// All-or-nothing: on error nothing is published and the engine still
+  /// answers from the previous epoch. Both R-trees are maintained per-op
+  /// (wiring RTree::Insert/Remove); the PTI is refreshed bottom-up, or
+  /// bulk-rebuilt past the EngineConfig rebuild threshold. Serialized
+  /// against concurrent ApplyUpdates calls; never blocks readers.
+  Status ApplyUpdates(const UpdateBatch& batch);
+
+  /// Epoch of the currently published snapshot (0 = as built).
+  uint64_t epoch() const { return snapshot()->epoch(); }
+
+  /// The currently published snapshot (acquire load). Holding the returned
+  /// pointer keeps that epoch's data alive regardless of later updates.
+  SnapshotPtr snapshot() const;
+
+  /// Cumulative update counters.
+  UpdateStats update_stats() const;
+
+  /// O(1) fork: a new engine sharing this engine's *current* snapshot (and
+  /// config) but with independent update control. Updating the fork never
+  /// affects this engine — the serving layer uses this to apply a batch to
+  /// a private copy and publish whole shard sets atomically. The fork's
+  /// update counters start at zero; the epoch carries over.
+  QueryEngine Fork() const { return QueryEngine(config_, snapshot()); }
 
   // ---- Imprecise queries (§4) -------------------------------------------
 
@@ -127,35 +199,33 @@ class QueryEngine {
       std::unique_ptr<UncertaintyPdf> pdf) const;
 
   // ---- Introspection ------------------------------------------------------
+  // These return references into the *currently published* snapshot; they
+  // stay valid until the next ApplyUpdates publishes a successor (hold
+  // snapshot() to pin an epoch across updates).
 
-  const std::vector<PointObject>& points() const { return points_; }
-  const std::vector<UncertainObject>& uncertains() const {
-    return uncertains_;
-  }
-  const RTree& point_index() const { return point_index_; }
-  const RTree& uncertain_index() const { return uncertain_index_; }
+  const std::vector<PointObject>& points() const;
+  const std::vector<UncertainObject>& uncertains() const;
+  const RTree& point_index() const;
+  const RTree& uncertain_index() const;
   /// Null when the uncertain dataset is empty.
-  const PTI* pti() const { return pti_.has_value() ? &*pti_ : nullptr; }
+  const PTI* pti() const;
   const EngineConfig& config() const { return config_; }
 
  private:
-  QueryEngine(std::vector<PointObject> points,
-              std::vector<UncertainObject> uncertains, EngineConfig config,
-              RTree point_index, RTree uncertain_index,
-              std::optional<PTI> pti)
-      : points_(std::move(points)),
-        uncertains_(std::move(uncertains)),
-        config_(std::move(config)),
-        point_index_(std::move(point_index)),
-        uncertain_index_(std::move(uncertain_index)),
-        pti_(std::move(pti)) {}
+  struct Control {
+    std::atomic<SnapshotPtr> snap;
+    std::mutex writer_mu;
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> pti_rebuilds{0};
+    std::atomic<uint64_t> pti_refreshes{0};
+  };
 
-  std::vector<PointObject> points_;
-  std::vector<UncertainObject> uncertains_;
+  QueryEngine(EngineConfig config, SnapshotPtr snapshot);
+
   EngineConfig config_;
-  RTree point_index_;
-  RTree uncertain_index_;
-  std::optional<PTI> pti_;
+  // Heap-held so the engine stays movable (atomics are not).
+  std::unique_ptr<Control> control_;
 };
 
 }  // namespace ilq

@@ -39,6 +39,26 @@ Result<UncertainObject> MakeWorkloadIssuer(const WorkloadConfig& config,
   return issuer;
 }
 
+// Zipfian rank selection: cumulative weights 1/(k+1)^s, drawn against with
+// lower_bound. Shared by the skewed request stream and the churn
+// generator's hotspot placement.
+std::vector<double> BuildZipfCdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  return cdf;
+}
+
+size_t DrawZipf(Rng& rng, const std::vector<double>& cdf) {
+  const double draw = rng.NextDouble() * cdf.back();
+  const size_t pick = static_cast<size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
+  return std::min(pick, cdf.size() - 1);
+}
+
 }  // namespace
 
 Result<Workload> GenerateWorkload(const WorkloadConfig& config) {
@@ -139,22 +159,146 @@ Result<SkewedWorkload> GenerateSkewedWorkload(const WorkloadConfig& base,
     workload.pool.push_back(std::move(issuer).ValueOrDie());
   }
 
-  // Zipfian selection by rank: P(pool[k]) ∝ 1/(k+1)^s via the cumulative
-  // distribution + binary search. Rank r maps to pool index r directly —
-  // hot issuers are simply the first pool entries, which keeps tests and
-  // cache-hit reasoning legible.
-  std::vector<double> cdf(skew.pool);
-  double total = 0.0;
-  for (size_t k = 0; k < skew.pool; ++k) {
-    total += 1.0 / std::pow(static_cast<double>(k + 1), skew.zipf_s);
-    cdf[k] = total;
-  }
+  // Zipfian selection by rank: P(pool[k]) ∝ 1/(k+1)^s. Rank r maps to pool
+  // index r directly — hot issuers are simply the first pool entries, which
+  // keeps tests and cache-hit reasoning legible.
+  const std::vector<double> cdf = BuildZipfCdf(skew.pool, skew.zipf_s);
   workload.sequence.reserve(skew.requests);
   for (size_t i = 0; i < skew.requests; ++i) {
-    const double draw = rng.NextDouble() * total;
-    const size_t pick = static_cast<size_t>(
-        std::lower_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
-    workload.sequence.push_back(std::min(pick, skew.pool - 1));
+    workload.sequence.push_back(DrawZipf(rng, cdf));
+  }
+  return workload;
+}
+
+Result<ChurnWorkload> GenerateChurnWorkload(const WorkloadConfig& base,
+                                            const ChurnConfig& churn) {
+  if (base.space.IsEmpty()) {
+    return Status::InvalidArgument("workload space must be non-empty");
+  }
+  if (churn.insert_fraction < 0.0 || churn.erase_fraction < 0.0 ||
+      churn.insert_fraction + churn.erase_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "insert_fraction/erase_fraction must be >= 0 and sum to <= 1");
+  }
+  if (churn.point_fraction < 0.0 || churn.point_fraction > 1.0) {
+    return Status::InvalidArgument("point_fraction must be in [0, 1]");
+  }
+  if (churn.zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf_s must be >= 0");
+  }
+  if (churn.hotspots == 0) {
+    return Status::InvalidArgument("churn placement needs hotspots > 0");
+  }
+  if (churn.object_half_extent <= 0.0) {
+    return Status::InvalidArgument("object_half_extent must be > 0");
+  }
+
+  Rng rng(base.seed);
+  ChurnWorkload workload;
+
+  // Hotspot centres first (like the skewed generator's clusters) so the
+  // dataset sizes do not perturb them.
+  std::vector<Point> hotspots;
+  hotspots.reserve(churn.hotspots);
+  for (size_t c = 0; c < churn.hotspots; ++c) {
+    hotspots.emplace_back(rng.Uniform(base.space.xmin, base.space.xmax),
+                          rng.Uniform(base.space.ymin, base.space.ymax));
+  }
+  const std::vector<double> cdf =
+      BuildZipfCdf(churn.hotspots, churn.zipf_s);
+  const double spread =
+      churn.hotspot_spread *
+      std::min(base.space.Width(), base.space.Height());
+  const double he = churn.object_half_extent;
+
+  // Placement: Gaussian around a Zipf-ranked hotspot, clamped so regions
+  // stay inside the space.
+  const auto place = [&](double half_extent) {
+    const Point& centre = hotspots[DrawZipf(rng, cdf)];
+    const double cx =
+        std::clamp(rng.Gaussian(centre.x, spread),
+                   base.space.xmin + half_extent,
+                   std::max(base.space.xmin + half_extent,
+                            base.space.xmax - half_extent));
+    const double cy =
+        std::clamp(rng.Gaussian(centre.y, spread),
+                   base.space.ymin + half_extent,
+                   std::max(base.space.ymin + half_extent,
+                            base.space.ymax - half_extent));
+    return Point(cx, cy);
+  };
+  const auto make_pdf = [&](const Point& centre) -> Result<PdfVariant> {
+    Result<UniformRectPdf> made = UniformRectPdf::Make(
+        Rect(centre.x - he, centre.x + he, centre.y - he, centre.y + he));
+    if (!made.ok()) return made.status();
+    return PdfVariant(std::move(made).ValueOrDie());
+  };
+
+  // Seed datasets. Live-id books are kept as dense vectors so erase/move
+  // target selection is a deterministic NextBelow draw.
+  std::vector<ObjectId> live_points;
+  std::vector<ObjectId> live_uncertains;
+  workload.initial_points.reserve(churn.initial_points);
+  for (size_t i = 0; i < churn.initial_points; ++i) {
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    workload.initial_points.emplace_back(id, place(0.0));
+    live_points.push_back(id);
+  }
+  workload.initial_uncertains.reserve(churn.initial_uncertains);
+  for (size_t i = 0; i < churn.initial_uncertains; ++i) {
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    Result<PdfVariant> pdf = make_pdf(place(he));
+    if (!pdf.ok()) return pdf.status();
+    workload.initial_uncertains.emplace_back(id,
+                                             std::move(pdf).ValueOrDie());
+    live_uncertains.push_back(id);
+  }
+  ObjectId next_point_id = static_cast<ObjectId>(churn.initial_points + 1);
+  ObjectId next_uncertain_id =
+      static_cast<ObjectId>(churn.initial_uncertains + 1);
+
+  const auto pick_live = [&](std::vector<ObjectId>& live) {
+    const size_t i = static_cast<size_t>(rng.NextBelow(live.size()));
+    return std::pair<size_t, ObjectId>(i, live[i]);
+  };
+
+  workload.stream.reserve(churn.ops);
+  for (size_t i = 0; i < churn.ops; ++i) {
+    const bool on_points = rng.NextDouble() < churn.point_fraction;
+    std::vector<ObjectId>& live = on_points ? live_points : live_uncertains;
+    double kind_draw = rng.NextDouble();
+    if (live.empty()) kind_draw = 0.0;  // nothing to erase/move: insert
+    if (kind_draw < churn.insert_fraction) {
+      if (on_points) {
+        const ObjectId id = next_point_id++;
+        workload.stream.push_back(UpdateOp::InsertPoint(id, place(0.0)));
+        live_points.push_back(id);
+      } else {
+        const ObjectId id = next_uncertain_id++;
+        Result<PdfVariant> pdf = make_pdf(place(he));
+        if (!pdf.ok()) return pdf.status();
+        workload.stream.push_back(
+            UpdateOp::InsertUncertain(id, std::move(pdf).ValueOrDie()));
+        live_uncertains.push_back(id);
+      }
+    } else if (kind_draw < churn.insert_fraction + churn.erase_fraction) {
+      const auto [at, id] = pick_live(live);
+      live[at] = live.back();
+      live.pop_back();
+      workload.stream.push_back(on_points ? UpdateOp::ErasePoint(id)
+                                          : UpdateOp::EraseUncertain(id));
+    } else {
+      const auto [at, id] = pick_live(live);
+      (void)at;
+      if (on_points) {
+        workload.stream.push_back(UpdateOp::MovePoint(id, place(0.0)));
+      } else {
+        Result<PdfVariant> pdf = make_pdf(place(he));
+        if (!pdf.ok()) return pdf.status();
+        workload.stream.push_back(
+            UpdateOp::MoveUncertain(id, std::move(pdf).ValueOrDie()));
+      }
+    }
   }
   return workload;
 }

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/query.h"
+#include "object/catalog.h"
 #include "object/uncertain_object.h"
 
 namespace ilq {
@@ -93,6 +94,60 @@ struct SkewedWorkload {
 /// Deterministic in (base.seed, skew).
 Result<SkewedWorkload> GenerateSkewedWorkload(const WorkloadConfig& base,
                                               const SkewConfig& skew);
+
+// ---- Churn (insert/delete/move) streams ------------------------------------
+
+/// \brief Shape of a dynamic-catalog update stream: seeded object sets plus
+/// a Zipfian-hotspot-placed sequence of UpdateOps to churn them with (the
+/// mobile-object scenario the serving layer's re-split machinery targets).
+struct ChurnConfig {
+  /// Seeded datasets the stream starts from (point ids 1..initial_points,
+  /// uncertain ids 1..initial_uncertains; the namespaces are independent).
+  size_t initial_points = 200;
+  size_t initial_uncertains = 100;
+
+  /// UpdateOps in the stream.
+  size_t ops = 500;
+
+  /// Op mix: P(insert), P(erase); the rest are moves. Erase/move ops fall
+  /// back to inserts while the targeted object set is empty, keeping the
+  /// stream valid by construction.
+  double insert_fraction = 0.25;
+  double erase_fraction = 0.25;
+
+  /// P(an op targets the point set); the rest target the uncertain set.
+  double point_fraction = 0.5;
+
+  /// Placement skew: inserts/moves land Gaussian-spread around one of
+  /// \p hotspots centres, with the centre chosen by Zipfian rank
+  /// (P(rank k) ∝ 1/k^s — the same selection machinery as
+  /// GenerateSkewedWorkload). 0 = uniform over the hotspots.
+  double zipf_s = 1.0;
+  size_t hotspots = 4;
+
+  /// Gaussian spread around the chosen hotspot, as a fraction of the
+  /// space's smaller extent.
+  double hotspot_spread = 0.05;
+
+  /// Half side of generated uncertainty regions (uniform-rect pdfs).
+  double object_half_extent = 50.0;
+};
+
+/// \brief A generated churn stream: the seed datasets and the op sequence.
+/// Replayable against QueryEngine::ApplyUpdates / ShardedEngine::
+/// ApplyUpdates in any batching (each op is self-contained and ordered).
+struct ChurnWorkload {
+  std::vector<PointObject> initial_points;
+  std::vector<UncertainObject> initial_uncertains;
+  std::vector<UpdateOp> stream;
+};
+
+/// Generates the seed datasets and \p churn.ops updates, placed with
+/// Zipfian hotspot skew inside \p base.space. Deterministic in
+/// (base.seed, base.space, churn) — bit-identical streams for equal
+/// inputs, independent of any thread count the replay later uses.
+Result<ChurnWorkload> GenerateChurnWorkload(const WorkloadConfig& base,
+                                            const ChurnConfig& churn);
 
 }  // namespace ilq
 

@@ -28,8 +28,16 @@ std::pair<size_t, size_t> GridIndex::CellOf(const Point& p) const {
 }
 
 void GridIndex::Insert(const Rect& box, ObjectId id) {
-  const uint32_t slot = static_cast<uint32_t>(items_.size());
-  items_.push_back({box, id});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    items_[slot] = {box, id, true};
+  } else {
+    slot = static_cast<uint32_t>(items_.size());
+    items_.push_back({box, id, true});
+  }
+  ++live_count_;
   const Rect clipped = box.Intersection(space_);
   if (clipped.IsEmpty()) return;  // outside the space; unreachable by query
   const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));
@@ -39,6 +47,32 @@ void GridIndex::Insert(const Rect& box, ObjectId id) {
       cells_[iy * cells_x_ + ix].push_back(slot);
     }
   }
+}
+
+bool GridIndex::Remove(const Rect& box, ObjectId id) {
+  // Linear scan rather than a cell lookup: items outside the space are
+  // registered in no cells, yet must still be removable.
+  for (uint32_t slot = 0; slot < items_.size(); ++slot) {
+    StoredItem& item = items_[slot];
+    if (!item.live || item.id != id || !(item.box == box)) continue;
+    const Rect clipped = box.Intersection(space_);
+    if (!clipped.IsEmpty()) {
+      const auto [ix0, iy0] = CellOf(Point(clipped.xmin, clipped.ymin));
+      const auto [ix1, iy1] = CellOf(Point(clipped.xmax, clipped.ymax));
+      for (size_t iy = iy0; iy <= iy1; ++iy) {
+        for (size_t ix = ix0; ix <= ix1; ++ix) {
+          std::vector<uint32_t>& cell = cells_[iy * cells_x_ + ix];
+          cell.erase(std::remove(cell.begin(), cell.end(), slot),
+                     cell.end());
+        }
+      }
+    }
+    item.live = false;
+    free_slots_.push_back(slot);
+    --live_count_;
+    return true;
+  }
+  return false;
 }
 
 std::vector<ObjectId> GridIndex::QueryIds(const Rect& range,

@@ -31,7 +31,13 @@ class GridIndex {
                                   size_t cells_y);
 
   /// Registers an item; boxes extending beyond the space are clamped to it.
+  /// Slots freed by Remove are recycled before the item vector grows.
   void Insert(const Rect& box, ObjectId id);
+
+  /// Removes one item matching both \p box and \p id, unregistering it from
+  /// every cell it overlaps. Returns false when no such item exists. With
+  /// duplicates, the earliest-inserted surviving match is removed.
+  bool Remove(const Rect& box, ObjectId id);
 
   /// Visits every item whose box intersects \p range, exactly once (in
   /// insertion order).
@@ -62,6 +68,8 @@ class GridIndex {
     std::sort(slots.begin(), slots.end());
     slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
     for (uint32_t slot : slots) {
+      // Dead slots are unregistered from their cells on Remove, so they
+      // never appear here; no liveness check needed.
       if (items_[slot].box.Intersects(range)) {
         if (stats != nullptr) ++stats->candidates;
         visit(items_[slot].box, items_[slot].id);
@@ -73,7 +81,8 @@ class GridIndex {
   std::vector<ObjectId> QueryIds(const Rect& range,
                                  IndexStats* stats = nullptr) const;
 
-  size_t size() const { return items_.size(); }
+  /// Number of live (inserted and not removed) items.
+  size_t size() const { return live_count_; }
   size_t cells_x() const { return cells_x_; }
   size_t cells_y() const { return cells_y_; }
 
@@ -81,6 +90,7 @@ class GridIndex {
   struct StoredItem {
     Rect box;
     ObjectId id;
+    bool live = true;
   };
 
   GridIndex(const Rect& space, size_t cx, size_t cy)
@@ -98,7 +108,9 @@ class GridIndex {
   size_t cells_y_;
   double cell_w_;
   double cell_h_;
+  size_t live_count_ = 0;
   std::vector<StoredItem> items_;
+  std::vector<uint32_t> free_slots_;          // recycled by Remove
   std::vector<std::vector<uint32_t>> cells_;  // slots into items_
 };
 

@@ -9,39 +9,41 @@ RTreeOptions PTIOptions(size_t page_size_bytes, size_t catalog_size) {
   return options;
 }
 
-Result<PTI> PTI::Build(const RTreeOptions& options,
-                       const std::vector<UncertainObject>& objects) {
-  if (objects.empty()) {
-    return Status::InvalidArgument("PTI requires at least one object");
-  }
+namespace {
+
+// Validates that every object referenced by the tree carries a U-catalog on
+// one shared ladder; returns the prototype catalog (for EmptyLike).
+Result<const UCatalog*> SharedLadderProto(
+    const std::vector<UncertainObject>& objects) {
   const UCatalog* proto = objects.front().catalog();
   if (proto == nullptr) {
     return Status::FailedPrecondition(
         "PTI requires objects with pre-built U-catalogs");
   }
-  std::vector<RTree::Item> items;
-  items.reserve(objects.size());
-  for (size_t i = 0; i < objects.size(); ++i) {
-    const UCatalog* cat = objects[i].catalog();
+  for (const UncertainObject& obj : objects) {
+    const UCatalog* cat = obj.catalog();
     if (cat == nullptr) {
       return Status::FailedPrecondition(
-          "object " + std::to_string(objects[i].id()) + " has no U-catalog");
+          "object " + std::to_string(obj.id()) + " has no U-catalog");
     }
     if (!cat->SameValues(*proto)) {
       return Status::FailedPrecondition(
           "all U-catalogs must share one value ladder");
     }
-    items.push_back({objects[i].region(), static_cast<ObjectId>(i)});
   }
+  return proto;
+}
 
-  Result<RTree> built = RTree::BulkLoad(options, std::move(items));
-  if (!built.ok()) return built.status();
-  RTree tree = std::move(built).ValueOrDie();
-
-  // Bottom-up merge of subtree catalogs. Nodes are processed children-first
-  // via an explicit post-order walk.
-  std::vector<UCatalog> node_catalogs(tree.node_count(),
-                                      UCatalog::EmptyLike(*proto));
+// Bottom-up merge of subtree catalogs over the current tree shape. Nodes
+// are processed children-first via an explicit post-order walk. Sized by
+// the node *arena* (ids of recycled slots stay valid array indexes and
+// keep empty catalogs — they are never reached by a traversal).
+std::vector<UCatalog> ComputeNodeCatalogs(
+    const RTree& tree, const std::vector<UncertainObject>& objects,
+    const UCatalog& proto) {
+  std::vector<UCatalog> node_catalogs(tree.arena_size(),
+                                      UCatalog::EmptyLike(proto));
+  if (tree.root() < 0) return node_catalogs;
   struct Frame {
     int32_t node;
     bool expanded;
@@ -72,7 +74,59 @@ Result<PTI> PTI::Build(const RTreeOptions& options,
           node_catalogs[static_cast<size_t>(tree.EntryChild(f.node, i))]);
     }
   }
+  return node_catalogs;
+}
+
+}  // namespace
+
+Result<PTI> PTI::Build(const RTreeOptions& options,
+                       const std::vector<UncertainObject>& objects) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("PTI requires at least one object");
+  }
+  Result<const UCatalog*> proto = SharedLadderProto(objects);
+  if (!proto.ok()) return proto.status();
+  std::vector<RTree::Item> items;
+  items.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    items.push_back({objects[i].region(), static_cast<ObjectId>(i)});
+  }
+
+  Result<RTree> built = RTree::BulkLoad(options, std::move(items));
+  if (!built.ok()) return built.status();
+  RTree tree = std::move(built).ValueOrDie();
+
+  std::vector<UCatalog> node_catalogs =
+      ComputeNodeCatalogs(tree, objects, **proto);
   return PTI(std::move(tree), std::move(node_catalogs));
+}
+
+void PTI::Insert(const Rect& region, ObjectId obj_index) {
+  tree_.Insert(region, obj_index);
+  ++updates_since_build_;
+}
+
+bool PTI::Remove(const Rect& region, ObjectId obj_index) {
+  if (!tree_.Remove(region, obj_index)) return false;
+  ++updates_since_build_;
+  return true;
+}
+
+Status PTI::RefreshCatalogs(const std::vector<UncertainObject>& objects) {
+  if (tree_.size() == 0) {
+    node_catalogs_.clear();
+    updates_since_build_ = 0;
+    return Status::OK();
+  }
+  if (objects.empty()) {
+    return Status::FailedPrecondition(
+        "PTI indexes entries but the objects vector is empty");
+  }
+  Result<const UCatalog*> proto = SharedLadderProto(objects);
+  if (!proto.ok()) return proto.status();
+  node_catalogs_ = ComputeNodeCatalogs(tree_, objects, **proto);
+  updates_since_build_ = 0;
+  return Status::OK();
 }
 
 }  // namespace ilq

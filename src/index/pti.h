@@ -23,11 +23,16 @@
 
 namespace ilq {
 
-/// \brief Bulk-loaded R-tree over uncertain objects with per-node merged
-/// U-catalogs.
+/// \brief R-tree over uncertain objects with per-node merged U-catalogs.
 ///
-/// Build-only (the paper bulk-loads its datasets); incremental catalog
-/// maintenance is out of scope and documented as such.
+/// Built with bulk loading (the paper's datasets are static), but also
+/// maintainable incrementally: Insert/Remove mutate the underlying tree and
+/// leave the node catalogs stale, and RefreshCatalogs recomputes them
+/// bottom-up — call it once per update batch before querying again. Stale
+/// catalogs after removes are merely conservative (they over-cover), but
+/// inserts and structural changes (splits, condensation reinserts) make
+/// them wrong for pruning, which is why the engine always refreshes or
+/// rebuilds before publishing a snapshot.
 class PTI {
  public:
   /// Builds a PTI over \p objects. Every object must carry a U-catalog and
@@ -35,6 +40,24 @@ class PTI {
   /// tree are *indexes into \p objects*, which the caller keeps alive.
   static Result<PTI> Build(const RTreeOptions& options,
                            const std::vector<UncertainObject>& objects);
+
+  /// Inserts one object region keyed by its *index into the objects
+  /// vector*. Node catalogs become stale until RefreshCatalogs.
+  void Insert(const Rect& region, ObjectId obj_index);
+
+  /// Removes the entry matching (region, obj_index); returns false when no
+  /// such entry exists. Node catalogs become stale until RefreshCatalogs.
+  bool Remove(const Rect& region, ObjectId obj_index);
+
+  /// Recomputes every node catalog bottom-up over the current tree shape
+  /// against \p objects (the same vector the stored indexes point into).
+  /// O(nodes × ladder); resets updates_since_build to 0. Fails when a
+  /// referenced object lacks a catalog or ladders disagree.
+  Status RefreshCatalogs(const std::vector<UncertainObject>& objects);
+
+  /// Tree mutations since the last Build/RefreshCatalogs-free rebuild;
+  /// drives the engine's rebuild-on-threshold policy.
+  size_t updates_since_build() const { return updates_since_build_; }
 
   /// Traverses the tree restricted to \p range (the expanded or p-expanded
   /// query rectangle).
@@ -104,6 +127,7 @@ class PTI {
 
   RTree tree_;
   std::vector<UCatalog> node_catalogs_;  // indexed by node id
+  size_t updates_since_build_ = 0;
 };
 
 /// RTreeOptions for a PTI whose catalogs have \p catalog_size values: each

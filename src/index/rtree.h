@@ -127,6 +127,10 @@ class RTree {
   /// Number of live nodes (simulated pages). Removal recycles node slots,
   /// so this can be less than the arena size.
   size_t node_count() const { return nodes_.size() - free_nodes_.size(); }
+  /// Size of the node arena including recycled slots. Node ids are always
+  /// < arena_size(); side tables indexed by node id (e.g. the PTI's
+  /// per-node catalogs) must size to this, not node_count().
+  size_t arena_size() const { return nodes_.size(); }
   /// Tree height (0 for empty, 1 for a root-only tree).
   size_t height() const;
   /// Maximum entries per node as derived from the page budget.

@@ -1,0 +1,292 @@
+#include "object/catalog.h"
+
+#include <string>
+#include <utility>
+
+namespace ilq {
+namespace {
+
+Status UnknownId(const char* what, ObjectId id) {
+  return Status::NotFound(std::string(what) + " id " + std::to_string(id) +
+                          " not present in catalog");
+}
+
+Status DuplicateId(const char* what, ObjectId id) {
+  return Status::AlreadyExists(std::string(what) + " id " +
+                               std::to_string(id) +
+                               " already present in catalog");
+}
+
+}  // namespace
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsertPoint:
+      return "insert_point";
+    case UpdateKind::kErasePoint:
+      return "erase_point";
+    case UpdateKind::kMovePoint:
+      return "move_point";
+    case UpdateKind::kInsertUncertain:
+      return "insert_uncertain";
+    case UpdateKind::kEraseUncertain:
+      return "erase_uncertain";
+    case UpdateKind::kMoveUncertain:
+      return "move_uncertain";
+  }
+  return "unknown";
+}
+
+UpdateOp UpdateOp::InsertPoint(ObjectId id, const Point& location) {
+  UpdateOp op;
+  op.kind = UpdateKind::kInsertPoint;
+  op.id = id;
+  op.location = location;
+  return op;
+}
+
+UpdateOp UpdateOp::ErasePoint(ObjectId id) {
+  UpdateOp op;
+  op.kind = UpdateKind::kErasePoint;
+  op.id = id;
+  return op;
+}
+
+UpdateOp UpdateOp::MovePoint(ObjectId id, const Point& location) {
+  UpdateOp op;
+  op.kind = UpdateKind::kMovePoint;
+  op.id = id;
+  op.location = location;
+  return op;
+}
+
+UpdateOp UpdateOp::InsertUncertain(ObjectId id, PdfVariant pdf) {
+  UpdateOp op;
+  op.kind = UpdateKind::kInsertUncertain;
+  op.id = id;
+  op.pdf = std::move(pdf);
+  return op;
+}
+
+UpdateOp UpdateOp::EraseUncertain(ObjectId id) {
+  UpdateOp op;
+  op.kind = UpdateKind::kEraseUncertain;
+  op.id = id;
+  return op;
+}
+
+UpdateOp UpdateOp::MoveUncertain(ObjectId id, PdfVariant pdf) {
+  UpdateOp op;
+  op.kind = UpdateKind::kMoveUncertain;
+  op.id = id;
+  op.pdf = std::move(pdf);
+  return op;
+}
+
+const PointObject* CatalogSnapshot::FindPoint(ObjectId id) const {
+  const auto it = point_pos.find(id);
+  if (it == point_pos.end()) return nullptr;
+  return &points[it->second];
+}
+
+const UncertainObject* CatalogSnapshot::FindUncertain(ObjectId id) const {
+  const auto it = uncertain_pos.find(id);
+  if (it == uncertain_pos.end()) return nullptr;
+  return &uncertains[it->second];
+}
+
+CatalogSnapshotPtr MakeCatalogSnapshot(
+    std::vector<PointObject> points,
+    std::vector<UncertainObject> uncertains) {
+  auto snap = std::make_shared<CatalogSnapshot>();
+  snap->epoch = 0;
+  snap->points = std::move(points);
+  snap->uncertains = std::move(uncertains);
+  snap->point_pos.reserve(snap->points.size());
+  for (uint32_t i = 0; i < snap->points.size(); ++i) {
+    snap->point_pos[snap->points[i].id] = i;  // duplicates: last wins
+  }
+  snap->uncertain_pos.reserve(snap->uncertains.size());
+  for (uint32_t i = 0; i < snap->uncertains.size(); ++i) {
+    snap->uncertain_pos[snap->uncertains[i].id()] = i;
+  }
+  return snap;
+}
+
+namespace {
+
+// Applies one op to the working snapshot, firing listener hooks for every
+// physical mutation. The snapshot is private to ApplyCatalogUpdates, so
+// partial application on a later failing op never leaks to readers.
+Status ApplyOneOp(CatalogSnapshot& snap, const UpdateOp& op,
+                  const std::vector<double>& ladder,
+                  CatalogListener* listener) {
+  switch (op.kind) {
+    case UpdateKind::kInsertPoint: {
+      if (snap.point_pos.contains(op.id)) return DuplicateId("point", op.id);
+      snap.point_pos[op.id] = static_cast<uint32_t>(snap.points.size());
+      snap.points.emplace_back(op.id, op.location);
+      if (listener) listener->PointInserted(snap.points.back());
+      return Status::OK();
+    }
+    case UpdateKind::kErasePoint: {
+      const auto it = snap.point_pos.find(op.id);
+      if (it == snap.point_pos.end()) return UnknownId("point", op.id);
+      const uint32_t pos = it->second;
+      if (listener) listener->PointErased(snap.points[pos]);
+      snap.point_pos.erase(it);
+      const uint32_t last = static_cast<uint32_t>(snap.points.size()) - 1;
+      if (pos != last) {
+        snap.points[pos] = snap.points[last];
+        snap.point_pos[snap.points[pos].id] = pos;
+      }
+      snap.points.pop_back();
+      return Status::OK();
+    }
+    case UpdateKind::kMovePoint: {
+      const auto it = snap.point_pos.find(op.id);
+      if (it == snap.point_pos.end()) return UnknownId("point", op.id);
+      PointObject& obj = snap.points[it->second];
+      if (listener) listener->PointErased(obj);
+      obj.location = op.location;
+      if (listener) listener->PointInserted(obj);
+      return Status::OK();
+    }
+    case UpdateKind::kInsertUncertain: {
+      if (!op.pdf.has_value()) {
+        return Status::InvalidArgument(
+            "insert_uncertain op requires a pdf (id " +
+            std::to_string(op.id) + ")");
+      }
+      if (snap.uncertain_pos.contains(op.id)) {
+        return DuplicateId("uncertain", op.id);
+      }
+      const uint32_t pos = static_cast<uint32_t>(snap.uncertains.size());
+      snap.uncertains.emplace_back(op.id, *op.pdf);
+      if (!ladder.empty()) {
+        ILQ_RETURN_NOT_OK(snap.uncertains.back().BuildCatalog(ladder));
+      }
+      snap.uncertain_pos[op.id] = pos;
+      if (listener) listener->UncertainInserted(pos, snap.uncertains[pos]);
+      return Status::OK();
+    }
+    case UpdateKind::kEraseUncertain: {
+      const auto it = snap.uncertain_pos.find(op.id);
+      if (it == snap.uncertain_pos.end()) {
+        return UnknownId("uncertain", op.id);
+      }
+      const uint32_t pos = it->second;
+      if (listener) listener->UncertainErased(pos, snap.uncertains[pos]);
+      snap.uncertain_pos.erase(it);
+      const uint32_t last =
+          static_cast<uint32_t>(snap.uncertains.size()) - 1;
+      if (pos != last) {
+        snap.uncertains[pos] = snap.uncertains[last];
+        snap.uncertain_pos[snap.uncertains[pos].id()] = pos;
+        if (listener) {
+          listener->UncertainRelocated(last, pos, snap.uncertains[pos]);
+        }
+      }
+      snap.uncertains.pop_back();
+      return Status::OK();
+    }
+    case UpdateKind::kMoveUncertain: {
+      if (!op.pdf.has_value()) {
+        return Status::InvalidArgument(
+            "move_uncertain op requires a pdf (id " + std::to_string(op.id) +
+            ")");
+      }
+      const auto it = snap.uncertain_pos.find(op.id);
+      if (it == snap.uncertain_pos.end()) {
+        return UnknownId("uncertain", op.id);
+      }
+      const uint32_t pos = it->second;
+      if (listener) listener->UncertainErased(pos, snap.uncertains[pos]);
+      UncertainObject replacement(op.id, *op.pdf);
+      if (!ladder.empty()) {
+        ILQ_RETURN_NOT_OK(replacement.BuildCatalog(ladder));
+      }
+      snap.uncertains[pos] = std::move(replacement);
+      if (listener) listener->UncertainInserted(pos, snap.uncertains[pos]);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+}  // namespace
+
+Result<CatalogSnapshotPtr> ApplyCatalogUpdates(
+    const CatalogSnapshot& prev, const UpdateBatch& batch,
+    const std::vector<double>& catalog_ladder, CatalogListener* listener) {
+  if (!batch.empty() &&
+      (prev.point_pos.size() != prev.points.size() ||
+       prev.uncertain_pos.size() != prev.uncertains.size())) {
+    return Status::FailedPrecondition(
+        "catalog has duplicate object ids; updates are ambiguous "
+        "(read-only use is still supported)");
+  }
+  auto next = std::make_shared<CatalogSnapshot>(prev);
+  next->epoch = prev.epoch + 1;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status s = ApplyOneOp(*next, batch[i], catalog_ladder, listener);
+    if (!s.ok()) {
+      return Status(s.code(), "update op #" + std::to_string(i) + " (" +
+                                  UpdateKindName(batch[i].kind) +
+                                  "): " + s.message());
+    }
+  }
+  return CatalogSnapshotPtr(std::move(next));
+}
+
+Catalog::Catalog(std::vector<PointObject> points,
+                 std::vector<UncertainObject> uncertains,
+                 std::vector<double> catalog_ladder)
+    : ladder_(std::move(catalog_ladder)),
+      control_(std::make_unique<Control>()) {
+  control_->snap.store(
+      MakeCatalogSnapshot(std::move(points), std::move(uncertains)),
+      std::memory_order_release);
+}
+
+CatalogSnapshotPtr Catalog::snapshot() const {
+  return control_->snap.load(std::memory_order_acquire);
+}
+
+Status Catalog::Apply(const UpdateBatch& batch, CatalogListener* listener) {
+  std::lock_guard<std::mutex> lock(control_->writer_mu);
+  const CatalogSnapshotPtr prev =
+      control_->snap.load(std::memory_order_acquire);
+  Result<CatalogSnapshotPtr> next =
+      ApplyCatalogUpdates(*prev, batch, ladder_, listener);
+  if (!next.ok()) return next.status();
+  control_->snap.store(std::move(next).ValueOrDie(),
+                       std::memory_order_release);
+  return Status::OK();
+}
+
+Status Catalog::InsertPoint(ObjectId id, const Point& location) {
+  return Apply({UpdateOp::InsertPoint(id, location)});
+}
+
+Status Catalog::ErasePoint(ObjectId id) {
+  return Apply({UpdateOp::ErasePoint(id)});
+}
+
+Status Catalog::MovePoint(ObjectId id, const Point& location) {
+  return Apply({UpdateOp::MovePoint(id, location)});
+}
+
+Status Catalog::InsertUncertain(ObjectId id, PdfVariant pdf) {
+  return Apply({UpdateOp::InsertUncertain(id, std::move(pdf))});
+}
+
+Status Catalog::EraseUncertain(ObjectId id) {
+  return Apply({UpdateOp::EraseUncertain(id)});
+}
+
+Status Catalog::MoveUncertain(ObjectId id, PdfVariant pdf) {
+  return Apply({UpdateOp::MoveUncertain(id, std::move(pdf))});
+}
+
+}  // namespace ilq

@@ -1,0 +1,197 @@
+// Mutable catalogs: epoch-versioned object sets for update-heavy serving.
+//
+// Everything above this layer (indexes, QueryEngine, ShardedEngine) used to
+// swallow its object vectors at Build and stay immutable forever. A Catalog
+// makes the object sets first-class mutable state while keeping every
+// reader lock-free: the points + uncertains live in an immutable
+// CatalogSnapshot published through an atomic shared_ptr, writers build the
+// next snapshot copy-on-write and publish it with a monotone epoch bump
+// (RCU-style — in-flight readers keep the snapshot they loaded, new readers
+// see the new epoch, nobody blocks).
+//
+// The update vocabulary is a small value type (UpdateOp / UpdateBatch:
+// insert / erase / move for both object kinds) shared by the whole stack —
+// datagen generates churn streams of it, QueryEngine::ApplyUpdates consumes
+// it with index maintenance, ShardedEngine routes it across shards.
+//
+// Id contract: updates address objects by ObjectId, so update support
+// requires ids to be unique within each object kind (points and uncertains
+// are separate id namespaces). Snapshots built from datasets with duplicate
+// ids still work for read-only use; the positional maps then keep the last
+// occurrence and updates to a duplicated id are rejected as ambiguous.
+
+#ifndef ILQ_OBJECT_CATALOG_H_
+#define ILQ_OBJECT_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "object/point_object.h"
+#include "object/uncertain_object.h"
+#include "prob/pdf_variant.h"
+
+namespace ilq {
+
+/// \brief The six update operations the stack understands.
+enum class UpdateKind : uint8_t {
+  kInsertPoint,      ///< new point object (id must be fresh)
+  kErasePoint,       ///< remove a point object by id
+  kMovePoint,        ///< relocate a point object (id unchanged)
+  kInsertUncertain,  ///< new uncertain object (id must be fresh)
+  kEraseUncertain,   ///< remove an uncertain object by id
+  kMoveUncertain,    ///< replace an uncertain object's pdf (region follows)
+};
+
+/// Short stable name ("insert_point", ...) for logs and test failures.
+const char* UpdateKindName(UpdateKind kind);
+
+/// \brief One update. A plain value: copyable (PdfVariant deep-clones an
+/// AnyPdf alternative), so batches behave like ordinary vectors.
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kInsertPoint;
+  ObjectId id = 0;
+  Point location;                 ///< kInsertPoint / kMovePoint
+  std::optional<PdfVariant> pdf;  ///< kInsertUncertain / kMoveUncertain
+
+  static UpdateOp InsertPoint(ObjectId id, const Point& location);
+  static UpdateOp ErasePoint(ObjectId id);
+  static UpdateOp MovePoint(ObjectId id, const Point& location);
+  static UpdateOp InsertUncertain(ObjectId id, PdfVariant pdf);
+  static UpdateOp EraseUncertain(ObjectId id);
+  static UpdateOp MoveUncertain(ObjectId id, PdfVariant pdf);
+};
+
+/// One writer round: ops apply in order, all-or-nothing per Apply call.
+using UpdateBatch = std::vector<UpdateOp>;
+
+/// \brief An immutable, epoch-stamped view of both object sets.
+///
+/// The positional maps exist for the layers above: the uncertain indexes
+/// (plain R-tree and PTI) store *positions into uncertains*, and updates
+/// must locate an object by id in O(1). Erase is swap-erase (the last
+/// element fills the hole), so positions are dense but not stable across
+/// epochs — which is fine, because every epoch carries its own indexes.
+struct CatalogSnapshot {
+  uint64_t epoch = 0;
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> uncertains;
+  std::unordered_map<ObjectId, uint32_t> point_pos;      // id -> position
+  std::unordered_map<ObjectId, uint32_t> uncertain_pos;  // id -> position
+
+  const PointObject* FindPoint(ObjectId id) const;
+  const UncertainObject* FindUncertain(ObjectId id) const;
+};
+
+using CatalogSnapshotPtr = std::shared_ptr<const CatalogSnapshot>;
+
+/// \brief Index-maintenance hooks: ApplyCatalogUpdates reports every
+/// physical mutation so the caller can keep derived structures (R-trees,
+/// PTI) in lock-step with the object vectors.
+///
+/// Uncertain hooks carry the object's *position* because that is what the
+/// uncertain indexes store; UncertainRelocated fires when swap-erase moves
+/// the (unrelated) last object into the erased hole.
+class CatalogListener {
+ public:
+  virtual ~CatalogListener() = default;
+  virtual void PointInserted(const PointObject& object) {
+    (void)object;
+  }
+  virtual void PointErased(const PointObject& object) { (void)object; }
+  virtual void UncertainInserted(uint32_t pos, const UncertainObject& object) {
+    (void)pos;
+    (void)object;
+  }
+  virtual void UncertainErased(uint32_t pos, const UncertainObject& object) {
+    (void)pos;
+    (void)object;
+  }
+  virtual void UncertainRelocated(uint32_t from, uint32_t to,
+                                  const UncertainObject& object) {
+    (void)from;
+    (void)to;
+    (void)object;
+  }
+};
+
+/// Builds the epoch-0 snapshot for a pair of datasets (positional maps
+/// included). Never fails; duplicate ids degrade to read-only support (see
+/// the id contract above).
+CatalogSnapshotPtr MakeCatalogSnapshot(std::vector<PointObject> points,
+                                       std::vector<UncertainObject> uncertains);
+
+/// The copy-on-write step: applies \p batch to a copy of \p prev and
+/// returns the next snapshot with epoch + 1. \p prev is never touched, so
+/// concurrent readers of it are safe by construction.
+///
+/// Inserted/moved uncertain objects get a U-catalog built on
+/// \p catalog_ladder (skipped when the ladder is empty — engines always
+/// pass their resolved ladder so the PTI can index the result).
+/// \p listener (optional) observes every physical mutation in order.
+///
+/// Fails without side effects on the returned snapshot when an op is
+/// invalid: inserting an existing id, erasing/moving an unknown id, a
+/// missing pdf on an uncertain insert/move, or a U-catalog build error.
+/// Listener calls made before the failing op are the caller's to discard
+/// (drop the derived copies along with the rejected snapshot).
+Result<CatalogSnapshotPtr> ApplyCatalogUpdates(
+    const CatalogSnapshot& prev, const UpdateBatch& batch,
+    const std::vector<double>& catalog_ladder,
+    CatalogListener* listener = nullptr);
+
+/// \brief The standalone object-layer container: an atomically published
+/// CatalogSnapshot plus a serialized writer.
+///
+/// Thread safety: snapshot() / epoch() are wait-free for any number of
+/// concurrent readers; Apply serializes writers internally and publishes
+/// with release ordering. Readers never observe a partially applied batch —
+/// they see the previous epoch or the next, nothing in between.
+class Catalog {
+ public:
+  /// \p catalog_ladder is the U-catalog value ladder for objects inserted
+  /// later (may be empty when no layer above needs p-bounds).
+  explicit Catalog(std::vector<PointObject> points = {},
+                   std::vector<UncertainObject> uncertains = {},
+                   std::vector<double> catalog_ladder = {});
+
+  Catalog(Catalog&&) noexcept = default;
+  Catalog& operator=(Catalog&&) noexcept = default;
+
+  /// The current snapshot (acquire load; cheap shared_ptr copy).
+  CatalogSnapshotPtr snapshot() const;
+
+  /// Epoch of the current snapshot (0 = as constructed).
+  uint64_t epoch() const { return snapshot()->epoch; }
+
+  /// Applies one batch copy-on-write and publishes the next epoch.
+  /// All-or-nothing: on error the published snapshot is unchanged.
+  Status Apply(const UpdateBatch& batch, CatalogListener* listener = nullptr);
+
+  // Single-op conveniences (each one publishes its own epoch).
+  Status InsertPoint(ObjectId id, const Point& location);
+  Status ErasePoint(ObjectId id);
+  Status MovePoint(ObjectId id, const Point& location);
+  Status InsertUncertain(ObjectId id, PdfVariant pdf);
+  Status EraseUncertain(ObjectId id);
+  Status MoveUncertain(ObjectId id, PdfVariant pdf);
+
+ private:
+  struct Control {
+    std::atomic<CatalogSnapshotPtr> snap;
+    std::mutex writer_mu;
+  };
+
+  std::vector<double> ladder_;
+  // Heap-held so the Catalog stays movable (atomics are not).
+  std::unique_ptr<Control> control_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_CATALOG_H_

@@ -48,7 +48,8 @@ AnswerCache::Shard& AnswerCache::ShardFor(const CacheKey& key) {
   return shards_[KeyHash{}(key) % shards_.size()];
 }
 
-std::optional<AnswerSet> AnswerCache::Lookup(const CacheKey& key) {
+std::optional<AnswerSet> AnswerCache::Lookup(const CacheKey& key,
+                                             uint64_t epoch) {
   if (!enabled()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -60,12 +61,21 @@ std::optional<AnswerSet> AnswerCache::Lookup(const CacheKey& key) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  if (it->second->epoch != epoch) {
+    // Stale: answered at a superseded epoch. Drop lazily and miss.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->answers;
 }
 
-void AnswerCache::Insert(const CacheKey& key, AnswerSet answers) {
+void AnswerCache::Insert(const CacheKey& key, AnswerSet answers,
+                         uint64_t epoch) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -73,6 +83,7 @@ void AnswerCache::Insert(const CacheKey& key, AnswerSet answers) {
   if (it != shard.index.end()) {
     // Refresh: racing workers may compute the same answer; last one wins.
     it->second->answers = std::move(answers);
+    it->second->epoch = epoch;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -81,7 +92,7 @@ void AnswerCache::Insert(const CacheKey& key, AnswerSet answers) {
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(answers)});
+  shard.lru.push_front(Entry{key, std::move(answers), epoch});
   shard.index.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -92,6 +103,8 @@ AnswerCache::Counters AnswerCache::counters() const {
   counters.misses = misses_.load(std::memory_order_relaxed);
   counters.insertions = insertions_.load(std::memory_order_relaxed);
   counters.evictions = evictions_.load(std::memory_order_relaxed);
+  counters.invalidations =
+      invalidations_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     // Size probe without the lock would race; take it briefly.
     std::lock_guard<std::mutex> lock(shard.mu);

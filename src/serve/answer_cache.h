@@ -10,9 +10,15 @@
 // Issuers with id 0 (the anonymous default of MakeIssuer / workload
 // issuers) must not be cached; AsyncServer enforces that rule.
 //
+// Epoch tagging (PR 6, mutable catalogs): each entry records the engine
+// epoch it was answered at. Lookups carry the caller's current epoch, and a
+// stale entry is invalidated lazily on its next touch — no publish-time
+// sweep, so updates stay O(batch) regardless of cache size.
+//
 // Sharding: keys hash across independent LRU shards, each with its own
 // mutex, so concurrent workers rarely contend on the same lock. Counters
-// (hits / misses / insertions / evictions) are relaxed atomics.
+// (hits / misses / insertions / evictions / invalidations) are relaxed
+// atomics.
 
 #ifndef ILQ_SERVE_ANSWER_CACHE_H_
 #define ILQ_SERVE_ANSWER_CACHE_H_
@@ -68,11 +74,16 @@ class AnswerCache {
   AnswerCache& operator=(const AnswerCache&) = delete;
 
   /// The stored answers, refreshing the entry's recency; nullopt on miss.
-  std::optional<AnswerSet> Lookup(const CacheKey& key);
+  /// Entries are epoch-tagged: a hit whose stored epoch differs from
+  /// \p epoch is stale — it is erased (counted as an invalidation) and
+  /// reported as a miss. Callers pass the engine epoch they are answering
+  /// against; the default 0 matches Insert's default for engines that
+  /// never update.
+  std::optional<AnswerSet> Lookup(const CacheKey& key, uint64_t epoch = 0);
 
-  /// Stores (or refreshes) the answers, evicting the least recently used
-  /// entry of the key's shard when that shard is full.
-  void Insert(const CacheKey& key, AnswerSet answers);
+  /// Stores (or refreshes) the answers tagged with \p epoch, evicting the
+  /// least recently used entry of the key's shard when that shard is full.
+  void Insert(const CacheKey& key, AnswerSet answers, uint64_t epoch = 0);
 
   /// \brief Monotonic counters (relaxed snapshot).
   struct Counters {
@@ -80,6 +91,7 @@ class AnswerCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t invalidations = 0;  ///< stale-epoch entries dropped by Lookup
     uint64_t entries = 0;  ///< currently resident (sums shard sizes)
   };
   Counters counters() const;
@@ -91,6 +103,7 @@ class AnswerCache {
   struct Entry {
     CacheKey key;
     AnswerSet answers;
+    uint64_t epoch = 0;
   };
   struct KeyHash {
     size_t operator()(const CacheKey& key) const;
@@ -113,6 +126,7 @@ class AnswerCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace ilq

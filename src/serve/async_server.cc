@@ -78,9 +78,14 @@ std::optional<std::future<AnswerSet>> AsyncServer::TrySubmit(
 void AsyncServer::Execute(Request request) {
   // Cache lookup happens here, off the submission path: Lookup refreshes
   // LRU recency and may contend on the shard lock, and a hit still counts
-  // as real service (latency includes its queue wait).
+  // as real service (latency includes its queue wait). The engine epoch is
+  // read once up front: a hit is only valid at the epoch we would answer
+  // at, and the fresh answer is only cached when no update published while
+  // we were evaluating (an answer from a superseded epoch must not be
+  // stored as current).
+  const uint64_t epoch = engine_.epoch();
   if (request.cacheable) {
-    if (std::optional<AnswerSet> hit = cache_.Lookup(request.key)) {
+    if (std::optional<AnswerSet> hit = cache_.Lookup(request.key, epoch)) {
       request.promise.set_value(*std::move(hit));
       latency_.Record(request.since_submit.ElapsedMillis());
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -90,7 +95,9 @@ void AsyncServer::Execute(Request request) {
   try {
     AnswerSet answers =
         engine_.Run(request.method, request.issuer, request.spec);
-    if (request.cacheable) cache_.Insert(request.key, answers);
+    if (request.cacheable && engine_.epoch() == epoch) {
+      cache_.Insert(request.key, answers, epoch);
+    }
     request.promise.set_value(std::move(answers));
   } catch (...) {
     request.promise.set_exception(std::current_exception());
@@ -171,6 +178,7 @@ ServeStats AsyncServer::stats() const {
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
   stats.cache_evictions = cache.evictions;
+  stats.cache_invalidations = cache.invalidations;
   stats.p50_ms = latency_.Quantile(0.50);
   stats.p95_ms = latency_.Quantile(0.95);
   stats.p99_ms = latency_.Quantile(0.99);

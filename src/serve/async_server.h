@@ -3,8 +3,10 @@
 //
 // Clients call Submit(issuer, spec, method) and get a
 // std::future<AnswerSet>; a fixed set of long-lived worker threads pulls
-// requests off a bounded queue and evaluates them against the (immutable,
-// thread-safe) ShardedEngine. Backpressure: when the queue is full, Submit
+// requests off a bounded queue and evaluates them against the thread-safe
+// ShardedEngine (queries run concurrently with catalog updates; every
+// answer — and every cache entry, via epoch tagging — reflects exactly one
+// published epoch). Backpressure: when the queue is full, Submit
 // blocks until a slot frees and TrySubmit returns nullopt instead.
 // Shutdown is graceful — accepted requests are drained, their futures all
 // complete, and only then do the workers join.
@@ -77,6 +79,7 @@ struct ServeStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;  ///< stale-epoch entries dropped
 
   /// Submission-to-completion latency quantiles (ms) over all completed
   /// requests; cache hits count with their (near-zero) service time.

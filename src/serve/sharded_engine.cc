@@ -1,6 +1,9 @@
 #include "serve/sharded_engine.h"
 
 #include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
 
 #include "core/expansion.h"
 #include "object/ucatalog.h"
@@ -23,16 +26,18 @@ bool QueryMethodUsesPoints(QueryMethod method) {
   return false;
 }
 
-Result<ShardedEngine> ShardedEngine::Build(
-    std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
-    ShardedEngineConfig config) {
-  if (config.shards == 0) config.shards = 1;
-  // Resolve the ladder once so MakeIssuer and every shard engine agree
-  // (QueryEngine::Build would otherwise default it per shard).
-  if (config.engine.catalog_values.empty()) {
-    config.engine.catalog_values = UCatalog::EvenlySpacedValues(11);
-  }
+ShardedEngine::ShardedEngine(ShardedEngineConfig config, ShardSetPtr set)
+    : config_(std::move(config)), control_(std::make_unique<Control>()) {
+  control_->set.store(std::move(set), std::memory_order_release);
+}
 
+ShardedEngine::ShardSetPtr ShardedEngine::set() const {
+  return control_->set.load(std::memory_order_acquire);
+}
+
+Result<ShardedEngine::ShardSet> ShardedEngine::BuildShardSet(
+    std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
+    const ShardedEngineConfig& config) {
   // One partition over the combined centroids keeps the split consistent
   // for both datasets: a shard covers one patch of space for points and
   // uncertains alike.
@@ -42,42 +47,91 @@ Result<ShardedEngine> ShardedEngine::Build(
   for (const UncertainObject& u : uncertains) {
     centroids.push_back(u.region().Center());
   }
-  const Partition partition =
-      PartitionByCentroid(centroids, config.shards);
+  const Partition partition = PartitionByCentroid(centroids, config.shards);
 
   std::vector<std::vector<PointObject>> shard_points(partition.shards);
   std::vector<std::vector<UncertainObject>> shard_uncertains(
       partition.shards);
   std::vector<Rect> point_bounds(partition.shards, Rect::Empty());
   std::vector<Rect> uncertain_bounds(partition.shards, Rect::Empty());
+  std::vector<Rect> seed_region(partition.shards, Rect::Empty());
+
+  ShardSet set;
   for (size_t i = 0; i < points.size(); ++i) {
     const uint32_t s = partition.assignment[i];
     point_bounds[s] =
         point_bounds[s].Union(Rect::AtPoint(points[i].location));
+    seed_region[s] = seed_region[s].Union(Rect::AtPoint(points[i].location));
+    set.point_shard[points[i].id] = s;
     shard_points[s].push_back(points[i]);
   }
   for (size_t i = 0; i < uncertains.size(); ++i) {
     const uint32_t s = partition.assignment[points.size() + i];
     uncertain_bounds[s] = uncertain_bounds[s].Union(uncertains[i].region());
+    seed_region[s] =
+        seed_region[s].Union(Rect::AtPoint(uncertains[i].region().Center()));
+    set.uncertain_shard[uncertains[i].id()] = s;
     shard_uncertains[s].push_back(std::move(uncertains[i]));
   }
 
-  std::vector<Shard> shards;
-  shards.reserve(partition.shards);
+  set.shards.reserve(partition.shards);
   for (size_t s = 0; s < partition.shards; ++s) {
     Result<QueryEngine> engine =
         QueryEngine::Build(std::move(shard_points[s]),
                            std::move(shard_uncertains[s]), config.engine);
     if (!engine.ok()) return engine.status();
-    shards.push_back(Shard{std::move(engine).ValueOrDie(), point_bounds[s],
-                           uncertain_bounds[s]});
+    Shard shard;
+    shard.engine =
+        std::make_shared<QueryEngine>(std::move(engine).ValueOrDie());
+    shard.point_bounds = point_bounds[s];
+    shard.uncertain_bounds = uncertain_bounds[s];
+    shard.seed_region = seed_region[s];
+    shard.routed = std::make_shared<std::atomic<uint64_t>>(0);
+    set.shards.push_back(std::move(shard));
   }
-  return ShardedEngine(std::move(shards), std::move(config));
+  return set;
 }
 
-std::vector<size_t> ShardedEngine::Route(QueryMethod method,
-                                         const UncertainObject& issuer,
-                                         const RangeQuerySpec& spec) const {
+Result<ShardedEngine> ShardedEngine::Build(
+    std::vector<PointObject> points, std::vector<UncertainObject> uncertains,
+    ShardedEngineConfig config) {
+  if (config.shards == 0) config.shards = 1;
+  // Resolve the ladder once so MakeIssuer and every shard engine agree
+  // (QueryEngine::Build would otherwise default it per shard).
+  if (config.engine.catalog_values.empty()) {
+    config.engine.catalog_values = UCatalog::EvenlySpacedValues(11);
+  }
+  Result<ShardSet> set =
+      BuildShardSet(std::move(points), std::move(uncertains), config);
+  if (!set.ok()) return set.status();
+  return ShardedEngine(
+      std::move(config),
+      std::make_shared<const ShardSet>(std::move(set).ValueOrDie()));
+}
+
+uint32_t ShardedEngine::RouteInsert(const ShardSet& set,
+                                    const Point& centroid) {
+  uint32_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (uint32_t s = 0; s < set.shards.size(); ++s) {
+    const Rect& seed = set.shards[s].seed_region;
+    if (seed.IsEmpty()) continue;
+    const double d =
+        seed.Contains(centroid) ? 0.0 : seed.MinDistanceTo(centroid);
+    if (d < best_distance) {
+      best_distance = d;
+      best = s;
+    }
+  }
+  // All seeds empty (catalog built empty): everything lands on shard 0
+  // until a re-split spreads it out.
+  return best;
+}
+
+std::vector<size_t> ShardedEngine::RouteInSet(const ShardSet& set,
+                                              QueryMethod method,
+                                              const UncertainObject& issuer,
+                                              const RangeQuerySpec& spec) {
   // Lemma 1: only objects touching R ⊕ U0 can qualify, whichever method
   // refines the filter afterwards — so bounds ∩ expanded is a complete
   // (conservative) routing test.
@@ -85,22 +139,33 @@ std::vector<size_t> ShardedEngine::Route(QueryMethod method,
       MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
   const bool use_points = QueryMethodUsesPoints(method);
   std::vector<size_t> routed;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const Rect& bounds =
-        use_points ? shards_[s].point_bounds : shards_[s].uncertain_bounds;
+  for (size_t s = 0; s < set.shards.size(); ++s) {
+    const Rect& bounds = use_points ? set.shards[s].point_bounds
+                                    : set.shards[s].uncertain_bounds;
     if (bounds.Intersects(expanded)) routed.push_back(s);
   }
   return routed;
 }
 
+std::vector<size_t> ShardedEngine::Route(QueryMethod method,
+                                         const UncertainObject& issuer,
+                                         const RangeQuerySpec& spec) const {
+  const ShardSetPtr current = set();
+  return RouteInSet(*current, method, issuer, spec);
+}
+
 AnswerSet ShardedEngine::Run(QueryMethod method,
                              const UncertainObject& issuer,
                              const BatchSpec& spec, IndexStats* stats) const {
+  // One acquire load: the whole query sees one shard-set epoch.
+  const ShardSetPtr current = set();
   AnswerSet merged;
-  for (const size_t s : Route(method, issuer, spec.query)) {
+  for (const size_t s : RouteInSet(*current, method, issuer, spec.query)) {
+    current->shards[s].routed->fetch_add(1, std::memory_order_relaxed);
     IndexStats shard_stats;
-    AnswerSet shard_answers =
-        RunQueryMethod(shards_[s].engine, method, issuer, spec, &shard_stats);
+    AnswerSet shard_answers = RunQueryMethod(*current->shards[s].engine,
+                                             method, issuer, spec,
+                                             &shard_stats);
     if (stats != nullptr) stats->Merge(shard_stats);
     merged.insert(merged.end(),
                   std::make_move_iterator(shard_answers.begin()),
@@ -118,6 +183,231 @@ AnswerSet ShardedEngine::Run(QueryMethod method,
   return merged;
 }
 
+Status ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(control_->writer_mu);
+  const ShardSetPtr prev = control_->set.load(std::memory_order_acquire);
+  auto next = std::make_shared<ShardSet>(*prev);
+  const size_t shard_count = next->shards.size();
+
+  // Pass 1 — route and validate against the id→shard maps, building one
+  // sub-batch per shard. A Move whose destination routes to a different
+  // shard becomes erase-at-source + insert-at-destination. All map/bounds
+  // mutations happen on the private copy.
+  std::vector<UpdateBatch> shard_batches(shard_count);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const UpdateOp& op = batch[i];
+    const auto op_error = [&](Status s) {
+      return Status(s.code(), "update op #" + std::to_string(i) + " (" +
+                                  UpdateKindName(op.kind) +
+                                  "): " + s.message());
+    };
+    switch (op.kind) {
+      case UpdateKind::kInsertPoint: {
+        if (next->point_shard.contains(op.id)) {
+          return op_error(Status::AlreadyExists(
+              "point id " + std::to_string(op.id) + " already present"));
+        }
+        const uint32_t s = RouteInsert(*next, op.location);
+        shard_batches[s].push_back(op);
+        next->point_shard[op.id] = s;
+        Shard& shard = next->shards[s];
+        shard.point_bounds =
+            shard.point_bounds.Union(Rect::AtPoint(op.location));
+        shard.seed_region =
+            shard.seed_region.Union(Rect::AtPoint(op.location));
+        break;
+      }
+      case UpdateKind::kErasePoint: {
+        const auto it = next->point_shard.find(op.id);
+        if (it == next->point_shard.end()) {
+          return op_error(Status::NotFound(
+              "point id " + std::to_string(op.id) + " not present"));
+        }
+        shard_batches[it->second].push_back(op);
+        next->point_shard.erase(it);
+        break;
+      }
+      case UpdateKind::kMovePoint: {
+        const auto it = next->point_shard.find(op.id);
+        if (it == next->point_shard.end()) {
+          return op_error(Status::NotFound(
+              "point id " + std::to_string(op.id) + " not present"));
+        }
+        const uint32_t from = it->second;
+        const uint32_t to = RouteInsert(*next, op.location);
+        if (from == to) {
+          shard_batches[from].push_back(op);
+        } else {
+          shard_batches[from].push_back(UpdateOp::ErasePoint(op.id));
+          shard_batches[to].push_back(
+              UpdateOp::InsertPoint(op.id, op.location));
+          it->second = to;
+        }
+        Shard& shard = next->shards[to];
+        shard.point_bounds =
+            shard.point_bounds.Union(Rect::AtPoint(op.location));
+        shard.seed_region =
+            shard.seed_region.Union(Rect::AtPoint(op.location));
+        break;
+      }
+      case UpdateKind::kInsertUncertain: {
+        if (!op.pdf.has_value()) {
+          return op_error(
+              Status::InvalidArgument("insert_uncertain op requires a pdf"));
+        }
+        if (next->uncertain_shard.contains(op.id)) {
+          return op_error(Status::AlreadyExists(
+              "uncertain id " + std::to_string(op.id) + " already present"));
+        }
+        const Rect region = PdfBounds(*op.pdf);
+        const uint32_t s = RouteInsert(*next, region.Center());
+        shard_batches[s].push_back(op);
+        next->uncertain_shard[op.id] = s;
+        Shard& shard = next->shards[s];
+        shard.uncertain_bounds = shard.uncertain_bounds.Union(region);
+        shard.seed_region =
+            shard.seed_region.Union(Rect::AtPoint(region.Center()));
+        break;
+      }
+      case UpdateKind::kEraseUncertain: {
+        const auto it = next->uncertain_shard.find(op.id);
+        if (it == next->uncertain_shard.end()) {
+          return op_error(Status::NotFound(
+              "uncertain id " + std::to_string(op.id) + " not present"));
+        }
+        shard_batches[it->second].push_back(op);
+        next->uncertain_shard.erase(it);
+        break;
+      }
+      case UpdateKind::kMoveUncertain: {
+        if (!op.pdf.has_value()) {
+          return op_error(
+              Status::InvalidArgument("move_uncertain op requires a pdf"));
+        }
+        const auto it = next->uncertain_shard.find(op.id);
+        if (it == next->uncertain_shard.end()) {
+          return op_error(Status::NotFound(
+              "uncertain id " + std::to_string(op.id) + " not present"));
+        }
+        const Rect region = PdfBounds(*op.pdf);
+        const uint32_t from = it->second;
+        const uint32_t to = RouteInsert(*next, region.Center());
+        if (from == to) {
+          shard_batches[from].push_back(op);
+        } else {
+          shard_batches[from].push_back(UpdateOp::EraseUncertain(op.id));
+          shard_batches[to].push_back(
+              UpdateOp::InsertUncertain(op.id, *op.pdf));
+          it->second = to;
+        }
+        Shard& shard = next->shards[to];
+        shard.uncertain_bounds = shard.uncertain_bounds.Union(region);
+        shard.seed_region =
+            shard.seed_region.Union(Rect::AtPoint(region.Center()));
+        break;
+      }
+    }
+  }
+
+  // Pass 2 — apply each shard's sub-batch to a private fork of its engine.
+  // The published set still points at the un-forked engines, so a reader
+  // observes either the whole batch (new set) or none of it (old set).
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (shard_batches[s].empty()) continue;
+    auto fork =
+        std::make_shared<QueryEngine>(next->shards[s].engine->Fork());
+    ILQ_RETURN_NOT_OK(fork->ApplyUpdates(shard_batches[s]));
+    next->shards[s].engine = std::move(fork);
+  }
+
+  control_->set.store(std::move(next), std::memory_order_release);
+  control_->epoch.fetch_add(1, std::memory_order_release);
+
+  // Load-driven re-split: dissolve routing hotspots once enough traffic
+  // has accumulated to make the imbalance signal trustworthy.
+  if (config_.resplit_load_ratio > 0.0 && shard_count > 1) {
+    const ShardSetPtr current =
+        control_->set.load(std::memory_order_acquire);
+    uint64_t total = 0;
+    uint64_t max_routed = 0;
+    for (const Shard& shard : current->shards) {
+      const uint64_t r = shard.routed->load(std::memory_order_relaxed);
+      total += r;
+      max_routed = std::max(max_routed, r);
+    }
+    if (total >= config_.resplit_min_requests) {
+      const double mean = static_cast<double>(total) /
+                          static_cast<double>(shard_count);
+      if (static_cast<double>(max_routed) >
+          config_.resplit_load_ratio * mean) {
+        ILQ_RETURN_NOT_OK(ResplitLocked());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Resplit() {
+  std::lock_guard<std::mutex> lock(control_->writer_mu);
+  return ResplitLocked();
+}
+
+Status ShardedEngine::ResplitLocked() {
+  const ShardSetPtr prev = control_->set.load(std::memory_order_acquire);
+  // Gather the whole catalog at its *current* positions; each engine
+  // snapshot is pinned while we copy out of it.
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> uncertains;
+  for (const Shard& shard : prev->shards) {
+    const QueryEngine::SnapshotPtr snap = shard.engine->snapshot();
+    points.insert(points.end(), snap->catalog->points.begin(),
+                  snap->catalog->points.end());
+    uncertains.insert(uncertains.end(), snap->catalog->uncertains.begin(),
+                      snap->catalog->uncertains.end());
+  }
+  Result<ShardSet> rebuilt =
+      BuildShardSet(std::move(points), std::move(uncertains), config_);
+  if (!rebuilt.ok()) return rebuilt.status();
+  control_->set.store(
+      std::make_shared<const ShardSet>(std::move(rebuilt).ValueOrDie()),
+      std::memory_order_release);
+  control_->epoch.fetch_add(1, std::memory_order_release);
+  control_->resplits.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t ShardedEngine::epoch() const {
+  return control_->epoch.load(std::memory_order_acquire);
+}
+
+uint64_t ShardedEngine::resplit_count() const {
+  return control_->resplits.load(std::memory_order_relaxed);
+}
+
+ShardLoadStats ShardedEngine::load_stats() const {
+  const ShardSetPtr current = set();
+  ShardLoadStats stats;
+  stats.shards.reserve(current->shards.size());
+  uint64_t total = 0;
+  uint64_t max_routed = 0;
+  for (const Shard& shard : current->shards) {
+    ShardLoadStats::PerShard per;
+    per.routed = shard.routed->load(std::memory_order_relaxed);
+    const QueryEngine::SnapshotPtr snap = shard.engine->snapshot();
+    per.points = snap->catalog->points.size();
+    per.uncertains = snap->catalog->uncertains.size();
+    total += per.routed;
+    max_routed = std::max(max_routed, per.routed);
+    stats.shards.push_back(per);
+  }
+  if (total > 0) {
+    stats.imbalance = static_cast<double>(max_routed) *
+                      static_cast<double>(stats.shards.size()) /
+                      static_cast<double>(total);
+  }
+  return stats;
+}
+
 Result<UncertainObject> ShardedEngine::MakeIssuer(
     std::unique_ptr<UncertaintyPdf> pdf) const {
   if (pdf == nullptr) {
@@ -126,6 +416,20 @@ Result<UncertainObject> ShardedEngine::MakeIssuer(
   UncertainObject issuer(/*id=*/0, std::move(pdf));
   ILQ_RETURN_NOT_OK(issuer.BuildCatalog(config_.engine.catalog_values));
   return issuer;
+}
+
+size_t ShardedEngine::shard_count() const { return set()->shards.size(); }
+
+const QueryEngine& ShardedEngine::shard(size_t i) const {
+  return *control_->set.load(std::memory_order_acquire)->shards[i].engine;
+}
+
+Rect ShardedEngine::shard_point_bounds(size_t i) const {
+  return set()->shards[i].point_bounds;
+}
+
+Rect ShardedEngine::shard_uncertain_bounds(size_t i) const {
+  return set()->shards[i].uncertain_bounds;
 }
 
 }  // namespace ilq

@@ -28,20 +28,39 @@
 // smaller trees are traversed instead of one large one — but they remain
 // deterministic for a fixed (S, dataset, query).
 //
-// Thread safety: after Build, Run and every accessor are const and safe to
-// call concurrently (each shard engine carries the QueryEngine guarantee);
-// AsyncServer layers a request queue on exactly this property.
+// Since PR 6 the sharded catalog is *mutable*. The shard table (engines,
+// routing bounds, id→shard maps) lives in an immutable ShardSet published
+// through an atomic shared_ptr. ApplyUpdates routes each op to its shard —
+// a Move that crosses a shard boundary becomes erase-at-source plus
+// insert-at-destination — applies per-shard batches to O(1) engine forks
+// (QueryEngine::Fork), and publishes the new set with an epoch bump, so a
+// reader that loaded the set either sees the whole batch or none of it.
+// Per-shard routed-request counters feed load_stats(); when
+// resplit_load_ratio is configured and the max/mean routed-load imbalance
+// crosses it, the catalog is gathered and re-partitioned from the current
+// object positions (Resplit), dissolving the hotspot the build-time
+// partition could not foresee.
+//
+// Thread safety: Run and every accessor are const and safe to call
+// concurrently with each other *and* with ApplyUpdates/Resplit (writers
+// serialize internally); AsyncServer layers a request queue on exactly
+// this property.
 
 #ifndef ILQ_SERVE_SHARDED_ENGINE_H_
 #define ILQ_SERVE_SHARDED_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/batch.h"
 #include "core/engine.h"
 #include "geometry/rect.h"
+#include "object/catalog.h"
 #include "serve/partition.h"
 
 namespace ilq {
@@ -57,6 +76,27 @@ struct ShardedEngineConfig {
   /// to the engine default once, up front, so MakeIssuer and every shard
   /// agree on the ladder.
   EngineConfig engine;
+
+  /// Load-driven re-split: after an update batch, when the busiest shard's
+  /// routed-request count exceeds resplit_load_ratio × the mean (and at
+  /// least resplit_min_requests requests have been routed since the last
+  /// (re)build), the catalog is re-partitioned from current object
+  /// positions. 0 disables automatic re-splitting (Resplit() still works).
+  double resplit_load_ratio = 0.0;
+  size_t resplit_min_requests = 512;
+};
+
+/// Per-shard load / occupancy counters (see ShardedEngine::load_stats).
+struct ShardLoadStats {
+  struct PerShard {
+    uint64_t routed = 0;  ///< queries fanned to this shard since (re)build
+    size_t points = 0;
+    size_t uncertains = 0;
+  };
+  std::vector<PerShard> shards;
+  /// max/mean of the routed counters (0 when nothing was routed yet) —
+  /// the quantity compared against resplit_load_ratio.
+  double imbalance = 0.0;
 };
 
 /// \brief One logical catalog served by S spatially partitioned engines.
@@ -64,6 +104,8 @@ class ShardedEngine {
  public:
   /// Partitions the datasets, builds one QueryEngine per shard and records
   /// per-shard dataset bounds for routing. Either dataset may be empty.
+  /// Update support requires ids unique within each object kind (as with
+  /// QueryEngine::ApplyUpdates).
   static Result<ShardedEngine> Build(std::vector<PointObject> points,
                                      std::vector<UncertainObject> uncertains,
                                      ShardedEngineConfig config = {});
@@ -71,44 +113,104 @@ class ShardedEngine {
   /// Evaluates \p method for one issuer: routes to the intersecting
   /// shards, fans out (serially — concurrency across *queries* is the
   /// AsyncServer's job), merges answers id-sorted/deduped and folds the
-  /// per-shard IndexStats into \p stats when given.
+  /// per-shard IndexStats into \p stats when given. Counts one routed
+  /// request per fanned-to shard for load_stats().
   AnswerSet Run(QueryMethod method, const UncertainObject& issuer,
                 const BatchSpec& spec, IndexStats* stats = nullptr) const;
 
   /// Shard indices Run would fan out to (introspection for tests and the
-  /// routing-efficiency numbers in the serve bench).
+  /// routing-efficiency numbers in the serve bench). Does not count load.
   std::vector<size_t> Route(QueryMethod method, const UncertainObject& issuer,
                             const RangeQuerySpec& spec) const;
+
+  // ---- Updates (epoch-versioned, PR 6) -----------------------------------
+
+  /// Routes each op to its shard (an object's shard can change on Move),
+  /// applies the per-shard batches to private engine forks, and publishes
+  /// the new shard set atomically with the next epoch. All-or-nothing: on
+  /// error nothing is published. May trigger an automatic re-split (see
+  /// ShardedEngineConfig::resplit_load_ratio). Writers serialize; readers
+  /// are never blocked.
+  Status ApplyUpdates(const UpdateBatch& batch);
+
+  /// Gathers the whole catalog from the current shards and re-partitions
+  /// it from current object positions (fresh k-d split, fresh engines,
+  /// load counters reset). Publishes atomically with the next epoch.
+  Status Resplit();
+
+  /// Epoch of the published shard set: bumped by every successful
+  /// ApplyUpdates and every re-split (0 = as built). AnswerCache entries
+  /// are tagged with this.
+  uint64_t epoch() const;
+
+  /// Number of re-splits performed (manual + load-triggered).
+  uint64_t resplit_count() const;
+
+  /// Per-shard routed/occupancy counters and the max/mean imbalance.
+  ShardLoadStats load_stats() const;
 
   /// Wraps an issuer pdf as the query issuer O0 with the shared catalog
   /// ladder (mirrors QueryEngine::MakeIssuer).
   Result<UncertainObject> MakeIssuer(
       std::unique_ptr<UncertaintyPdf> pdf) const;
 
-  size_t shard_count() const { return shards_.size(); }
-  const QueryEngine& shard(size_t i) const { return shards_[i].engine; }
-  /// Union of the shard's point locations; empty when it holds no points.
-  const Rect& shard_point_bounds(size_t i) const {
-    return shards_[i].point_bounds;
-  }
-  /// Union of the shard's uncertainty regions; empty when it holds none.
-  const Rect& shard_uncertain_bounds(size_t i) const {
-    return shards_[i].uncertain_bounds;
-  }
+  size_t shard_count() const;
+  /// The shard's engine. Valid until the next Resplit publishes a new set
+  /// (per-shard ApplyUpdates keeps engines alive across update batches).
+  const QueryEngine& shard(size_t i) const;
+  /// Union box of the shard's point locations; empty when it holds no
+  /// points. Conservative under churn: grown on insert/move-in, never
+  /// shrunk until a re-split recomputes it tight.
+  Rect shard_point_bounds(size_t i) const;
+  /// Union box of the shard's uncertainty regions; same growth contract.
+  Rect shard_uncertain_bounds(size_t i) const;
   const ShardedEngineConfig& config() const { return config_; }
 
  private:
   struct Shard {
-    QueryEngine engine;
+    std::shared_ptr<QueryEngine> engine;
     Rect point_bounds = Rect::Empty();
     Rect uncertain_bounds = Rect::Empty();
+    // Union of member centroids; routes freshly inserted objects to the
+    // spatially nearest shard. Grown on insert, reset by re-split.
+    Rect seed_region = Rect::Empty();
+    // Shared across ShardSet copies so load history survives update
+    // batches; replaced (reset) by re-splits.
+    std::shared_ptr<std::atomic<uint64_t>> routed;
+  };
+  struct ShardSet {
+    std::vector<Shard> shards;
+    std::unordered_map<ObjectId, uint32_t> point_shard;
+    std::unordered_map<ObjectId, uint32_t> uncertain_shard;
+  };
+  using ShardSetPtr = std::shared_ptr<const ShardSet>;
+  struct Control {
+    std::atomic<ShardSetPtr> set;
+    std::mutex writer_mu;
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> resplits{0};
   };
 
-  ShardedEngine(std::vector<Shard> shards, ShardedEngineConfig config)
-      : shards_(std::move(shards)), config_(std::move(config)) {}
+  ShardedEngine(ShardedEngineConfig config, ShardSetPtr set);
 
-  std::vector<Shard> shards_;
+  static Result<ShardSet> BuildShardSet(
+      std::vector<PointObject> points,
+      std::vector<UncertainObject> uncertains,
+      const ShardedEngineConfig& config);
+
+  ShardSetPtr set() const;
+  // Shard a freshly placed object with centroid \p centroid routes to.
+  static uint32_t RouteInsert(const ShardSet& set, const Point& centroid);
+  static std::vector<size_t> RouteInSet(const ShardSet& set,
+                                        QueryMethod method,
+                                        const UncertainObject& issuer,
+                                        const RangeQuerySpec& spec);
+  // Re-split with writer_mu already held.
+  Status ResplitLocked();
+
   ShardedEngineConfig config_;
+  // Heap-held so the engine stays movable (atomics are not).
+  std::unique_ptr<Control> control_;
 };
 
 /// True when \p method queries the point dataset (IPQ family); the IUQ /

@@ -1,0 +1,259 @@
+// Object-layer tests for the mutable catalog (object/catalog.h): snapshot
+// construction, copy-on-write updates with epoch bumps, the listener
+// contract the index layers build on, error atomicity, and the lock-free
+// reader guarantee of the Catalog container.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "object/catalog.h"
+#include "prob/uniform_pdf.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+
+PdfVariant RectPdf(double x0, double x1, double y0, double y1) {
+  Result<UniformRectPdf> made = UniformRectPdf::Make(Rect(x0, x1, y0, y1));
+  ILQ_CHECK(made.ok(), made.status().ToString());
+  return PdfVariant(std::move(made).ValueOrDie());
+}
+
+std::vector<PointObject> ThreePoints() {
+  return {{1, Point(10, 10)}, {2, Point(20, 20)}, {3, Point(30, 30)}};
+}
+
+std::vector<UncertainObject> TwoUncertains() {
+  std::vector<UncertainObject> objects;
+  objects.emplace_back(1, RectPdf(0, 10, 0, 10));
+  objects.emplace_back(2, RectPdf(50, 60, 50, 60));
+  return objects;
+}
+
+TEST(CatalogSnapshotTest, BuildsPositionalMaps) {
+  const CatalogSnapshotPtr snap =
+      MakeCatalogSnapshot(ThreePoints(), TwoUncertains());
+  EXPECT_EQ(snap->epoch, 0u);
+  ASSERT_EQ(snap->points.size(), 3u);
+  ASSERT_EQ(snap->uncertains.size(), 2u);
+  for (const PointObject& p : snap->points) {
+    const PointObject* found = snap->FindPoint(p.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->location.x, p.location.x);
+  }
+  const UncertainObject* u = snap->FindUncertain(2);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->region().xmin, 50.0);
+  EXPECT_EQ(snap->FindPoint(99), nullptr);
+  EXPECT_EQ(snap->FindUncertain(99), nullptr);
+}
+
+TEST(CatalogSnapshotTest, ApplyProducesNextEpochWithoutTouchingPrev) {
+  const CatalogSnapshotPtr prev =
+      MakeCatalogSnapshot(ThreePoints(), TwoUncertains());
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::InsertPoint(4, Point(40, 40)));
+  batch.push_back(UpdateOp::ErasePoint(1));
+  batch.push_back(UpdateOp::MovePoint(2, Point(25, 25)));
+  batch.push_back(UpdateOp::InsertUncertain(3, RectPdf(80, 90, 80, 90)));
+  batch.push_back(UpdateOp::EraseUncertain(1));
+  batch.push_back(UpdateOp::MoveUncertain(2, RectPdf(55, 65, 55, 65)));
+
+  Result<CatalogSnapshotPtr> next =
+      ApplyCatalogUpdates(*prev, batch, UCatalog::EvenlySpacedValues(11));
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  const CatalogSnapshot& snap = **next;
+
+  EXPECT_EQ(snap.epoch, 1u);
+  EXPECT_EQ(snap.points.size(), 3u);
+  EXPECT_EQ(snap.FindPoint(1), nullptr);
+  ASSERT_NE(snap.FindPoint(2), nullptr);
+  EXPECT_EQ(snap.FindPoint(2)->location.x, 25.0);
+  ASSERT_NE(snap.FindPoint(4), nullptr);
+  EXPECT_EQ(snap.uncertains.size(), 2u);
+  EXPECT_EQ(snap.FindUncertain(1), nullptr);
+  ASSERT_NE(snap.FindUncertain(2), nullptr);
+  EXPECT_EQ(snap.FindUncertain(2)->region().xmin, 55.0);
+  // Inserted/moved uncertains carry a freshly built U-catalog.
+  EXPECT_NE(snap.FindUncertain(2)->catalog(), nullptr);
+  EXPECT_NE(snap.FindUncertain(3)->catalog(), nullptr);
+
+  // COW: the previous epoch is untouched.
+  EXPECT_EQ(prev->epoch, 0u);
+  EXPECT_EQ(prev->points.size(), 3u);
+  ASSERT_NE(prev->FindPoint(1), nullptr);
+  ASSERT_NE(prev->FindUncertain(1), nullptr);
+  EXPECT_EQ(prev->FindUncertain(2)->region().xmin, 50.0);
+}
+
+TEST(CatalogSnapshotTest, RejectsInvalidOps) {
+  const CatalogSnapshotPtr snap =
+      MakeCatalogSnapshot(ThreePoints(), TwoUncertains());
+  const std::vector<double> ladder = UCatalog::EvenlySpacedValues(11);
+
+  const auto expect_rejected = [&](UpdateOp op, const std::string& what) {
+    Result<CatalogSnapshotPtr> r =
+        ApplyCatalogUpdates(*snap, {std::move(op)}, ladder);
+    EXPECT_FALSE(r.ok()) << what;
+  };
+  expect_rejected(UpdateOp::InsertPoint(1, Point(0, 0)), "duplicate point id");
+  expect_rejected(UpdateOp::ErasePoint(99), "unknown point id");
+  expect_rejected(UpdateOp::MovePoint(99, Point(0, 0)), "unknown point id");
+  expect_rejected(UpdateOp::InsertUncertain(1, RectPdf(0, 1, 0, 1)),
+                  "duplicate uncertain id");
+  expect_rejected(UpdateOp::EraseUncertain(99), "unknown uncertain id");
+  expect_rejected(UpdateOp::MoveUncertain(99, RectPdf(0, 1, 0, 1)),
+                  "unknown uncertain id");
+
+  UpdateOp missing_pdf;
+  missing_pdf.kind = UpdateKind::kInsertUncertain;
+  missing_pdf.id = 7;
+  expect_rejected(std::move(missing_pdf), "missing pdf");
+
+  // Error messages carry the op position and kind.
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::InsertPoint(10, Point(1, 1)));
+  batch.push_back(UpdateOp::ErasePoint(99));
+  Result<CatalogSnapshotPtr> r = ApplyCatalogUpdates(*snap, batch, ladder);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("op #1"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("erase_point"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CatalogSnapshotTest, DuplicateIdsDegradeToReadOnly) {
+  std::vector<PointObject> points = {{1, Point(0, 0)}, {1, Point(5, 5)}};
+  const CatalogSnapshotPtr snap = MakeCatalogSnapshot(std::move(points), {});
+  // Read-only: the map keeps the last occurrence.
+  ASSERT_NE(snap->FindPoint(1), nullptr);
+  EXPECT_EQ(snap->FindPoint(1)->location.x, 5.0);
+  // Updates are ambiguous and rejected up front.
+  Result<CatalogSnapshotPtr> r = ApplyCatalogUpdates(
+      *snap, {UpdateOp::MovePoint(1, Point(9, 9))}, {});
+  EXPECT_FALSE(r.ok());
+}
+
+// Records listener callbacks as strings for order-sensitive assertions.
+class RecordingListener : public CatalogListener {
+ public:
+  void PointInserted(const PointObject& object) override {
+    events.push_back("P+" + std::to_string(object.id));
+  }
+  void PointErased(const PointObject& object) override {
+    events.push_back("P-" + std::to_string(object.id));
+  }
+  void UncertainInserted(uint32_t pos, const UncertainObject& object) override {
+    events.push_back("U+" + std::to_string(object.id()) + "@" +
+                     std::to_string(pos));
+  }
+  void UncertainErased(uint32_t pos, const UncertainObject& object) override {
+    events.push_back("U-" + std::to_string(object.id()) + "@" +
+                     std::to_string(pos));
+  }
+  void UncertainRelocated(uint32_t from, uint32_t to,
+                          const UncertainObject& object) override {
+    events.push_back("U~" + std::to_string(object.id()) + ":" +
+                     std::to_string(from) + ">" + std::to_string(to));
+  }
+  std::vector<std::string> events;
+};
+
+TEST(CatalogSnapshotTest, ListenerSeesEveryPhysicalMutation) {
+  std::vector<UncertainObject> uncertains;
+  uncertains.emplace_back(1, RectPdf(0, 10, 0, 10));
+  uncertains.emplace_back(2, RectPdf(20, 30, 20, 30));
+  uncertains.emplace_back(3, RectPdf(40, 50, 40, 50));
+  const CatalogSnapshotPtr snap =
+      MakeCatalogSnapshot({{7, Point(1, 1)}}, std::move(uncertains));
+
+  RecordingListener listener;
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::MovePoint(7, Point(2, 2)));
+  // Erasing position 0 swap-moves object 3 (position 2) into the hole.
+  batch.push_back(UpdateOp::EraseUncertain(1));
+  Result<CatalogSnapshotPtr> next =
+      ApplyCatalogUpdates(*snap, batch, {}, &listener);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+
+  const std::vector<std::string> expected = {"P-7", "P+7", "U-1@0",
+                                             "U~3:2>0"};
+  EXPECT_EQ(listener.events, expected);
+  // The relocated object is findable at its new position.
+  ASSERT_NE((*next)->FindUncertain(3), nullptr);
+  EXPECT_EQ((*next)->uncertain_pos.at(3), 0u);
+}
+
+TEST(CatalogTest, SingleOpConveniencesBumpEpochs) {
+  Catalog catalog({}, {}, UCatalog::EvenlySpacedValues(11));
+  EXPECT_EQ(catalog.epoch(), 0u);
+  ASSERT_TRUE(catalog.InsertPoint(1, Point(5, 5)).ok());
+  ASSERT_TRUE(catalog.InsertUncertain(1, RectPdf(0, 10, 0, 10)).ok());
+  EXPECT_EQ(catalog.epoch(), 2u);
+  ASSERT_TRUE(catalog.MovePoint(1, Point(6, 6)).ok());
+  ASSERT_TRUE(catalog.MoveUncertain(1, RectPdf(1, 11, 1, 11)).ok());
+  ASSERT_TRUE(catalog.ErasePoint(1).ok());
+  ASSERT_TRUE(catalog.EraseUncertain(1).ok());
+  EXPECT_EQ(catalog.epoch(), 6u);
+  EXPECT_TRUE(catalog.snapshot()->points.empty());
+  EXPECT_TRUE(catalog.snapshot()->uncertains.empty());
+
+  // A failing Apply publishes nothing.
+  EXPECT_FALSE(catalog.ErasePoint(1).ok());
+  EXPECT_EQ(catalog.epoch(), 6u);
+}
+
+TEST(CatalogTest, FailedBatchIsAllOrNothing) {
+  Catalog catalog(ThreePoints(), {}, {});
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::InsertPoint(10, Point(1, 1)));
+  batch.push_back(UpdateOp::ErasePoint(99));  // fails
+  EXPECT_FALSE(catalog.Apply(batch).ok());
+  EXPECT_EQ(catalog.epoch(), 0u);
+  EXPECT_EQ(catalog.snapshot()->FindPoint(10), nullptr);
+}
+
+// Readers pin a snapshot and never see a partially applied batch: each
+// batch erases one id and inserts two, so for every published epoch e the
+// point count is exactly 3 + e.
+TEST(CatalogTest, ConcurrentReadersSeeWholeEpochs) {
+  Catalog catalog(ThreePoints(), {}, {});
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const CatalogSnapshotPtr snap = catalog.snapshot();
+        if (snap->points.size() != 3 + snap->epoch) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ObjectId next_id = 4;
+  for (uint64_t batch = 0; batch < 200; ++batch) {
+    UpdateBatch ops;
+    ops.push_back(UpdateOp::ErasePoint(next_id - 1));
+    ops.push_back(UpdateOp::InsertPoint(next_id, Point(1, 1)));
+    ops.push_back(UpdateOp::InsertPoint(next_id + 1, Point(2, 2)));
+    next_id += 2;
+    ASSERT_TRUE(catalog.Apply(ops).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(catalog.epoch(), 200u);
+  EXPECT_EQ(catalog.snapshot()->points.size(), 203u);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -108,5 +108,95 @@ TEST(GridIndexTest, PointDataWorks) {
   }
 }
 
+TEST(GridIndexTest, RemoveUnregistersFromEveryCell) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 10, 10);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  const Rect spanning(5, 95, 5, 95);  // overlaps nearly every cell
+  grid.Insert(spanning, 1);
+  grid.Insert(Rect(10, 20, 10, 20), 2);
+  EXPECT_EQ(grid.size(), 2u);
+
+  EXPECT_TRUE(grid.Remove(spanning, 1));
+  EXPECT_EQ(grid.size(), 1u);
+  // Gone from every region it used to overlap.
+  EXPECT_TRUE(grid.QueryIds(Rect(80, 90, 80, 90)).empty());
+  EXPECT_EQ(grid.QueryIds(Rect(0, 100, 0, 100)),
+            std::vector<ObjectId>{2});
+
+  // Removing again, or with a mismatched box/id, reports absence.
+  EXPECT_FALSE(grid.Remove(spanning, 1));
+  EXPECT_FALSE(grid.Remove(Rect(10, 20, 10, 20), 99));
+  EXPECT_FALSE(grid.Remove(Rect(10, 21, 10, 20), 2));
+  EXPECT_TRUE(grid.Remove(Rect(10, 20, 10, 20), 2));
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.QueryIds(Rect(0, 100, 0, 100)).empty());
+}
+
+TEST(GridIndexTest, RemoveRecyclesSlots) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 4, 4);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  grid.Insert(Rect(10, 20, 10, 20), 1);
+  grid.Insert(Rect(30, 40, 30, 40), 2);
+  ASSERT_TRUE(grid.Remove(Rect(10, 20, 10, 20), 1));
+  // The freed slot is reused; the new item is queryable, the old one gone.
+  grid.Insert(Rect(60, 70, 60, 70), 3);
+  EXPECT_EQ(grid.size(), 2u);
+  const std::vector<ObjectId> got = grid.QueryIds(Rect(0, 100, 0, 100));
+  EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()),
+            (std::set<ObjectId>{2, 3}));
+}
+
+TEST(GridIndexTest, RemoveWithDuplicatesTakesOne) {
+  Result<GridIndex> made = GridIndex::Create(Rect(0, 100, 0, 100), 4, 4);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  const Rect box(10, 20, 10, 20);
+  grid.Insert(box, 7);
+  grid.Insert(box, 7);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_TRUE(grid.Remove(box, 7));
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.QueryIds(box), std::vector<ObjectId>{7});
+  EXPECT_TRUE(grid.Remove(box, 7));
+  EXPECT_FALSE(grid.Remove(box, 7));
+}
+
+TEST(GridIndexTest, ChurnMatchesBruteForce) {
+  const Rect space(0, 1000, 0, 1000);
+  Result<GridIndex> made = GridIndex::Create(space, 16, 16);
+  ASSERT_TRUE(made.ok());
+  GridIndex grid = std::move(made).ValueOrDie();
+  Rng rng(77);
+  std::vector<std::pair<Rect, ObjectId>> live;
+  ObjectId next_id = 1;
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.NextDouble() < 0.45) {
+      const size_t at = static_cast<size_t>(rng.NextBelow(live.size()));
+      const auto [box, id] = live[at];
+      live[at] = live.back();
+      live.pop_back();
+      ASSERT_TRUE(grid.Remove(box, id)) << "step " << step;
+    } else {
+      const Rect box = RandomRect(&rng, space, 0.5, 80);
+      grid.Insert(box, next_id);
+      live.emplace_back(box, next_id);
+      ++next_id;
+    }
+  }
+  ASSERT_EQ(grid.size(), live.size());
+  for (int q = 0; q < 50; ++q) {
+    const Rect range = RandomRect(&rng, space, 10, 300);
+    std::set<ObjectId> expected;
+    for (const auto& [box, id] : live) {
+      if (box.Intersects(range)) expected.insert(id);
+    }
+    const std::vector<ObjectId> got = grid.QueryIds(range);
+    EXPECT_EQ(std::set<ObjectId>(got.begin(), got.end()), expected);
+    EXPECT_EQ(got.size(), expected.size());
+  }
+}
+
 }  // namespace
 }  // namespace ilq

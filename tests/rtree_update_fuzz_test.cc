@@ -1,0 +1,165 @@
+// Fuzz-differential test for dynamic R-tree maintenance: random
+// insert/remove interleavings must leave a tree that answers Query and
+// Nearest identically to a fresh BulkLoad over the surviving items, and
+// must keep every structural invariant (Validate) at each step. This is
+// the index-layer guarantee the mutable-catalog engine rests on — update
+// paths may reshape the tree arbitrarily, but never its answers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/rtree.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::RandomRect;
+
+struct LiveItem {
+  Rect box;
+  ObjectId id;
+};
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Compares the dynamic tree against a bulk-loaded reference over the same
+// survivors: identical Query id sets for a spread of ranges and identical
+// Nearest distance profiles for a spread of query points.
+void ExpectEquivalent(const RTree& dynamic, const std::vector<LiveItem>& live,
+                      const RTreeOptions& options, Rng* rng,
+                      const Rect& space, const std::string& what) {
+  std::vector<RTree::Item> items;
+  items.reserve(live.size());
+  for (const LiveItem& item : live) items.push_back({item.box, item.id});
+  Result<RTree> reference = RTree::BulkLoad(options, std::move(items));
+  ASSERT_TRUE(reference.ok()) << what << ": " << reference.status().ToString();
+
+  ASSERT_EQ(dynamic.size(), live.size()) << what;
+  ASSERT_TRUE(dynamic.Validate().ok())
+      << what << ": " << dynamic.Validate().ToString();
+
+  for (int q = 0; q < 12; ++q) {
+    const Rect range = RandomRect(rng, space, 20, 400);
+    EXPECT_EQ(Sorted(dynamic.QueryIds(range)),
+              Sorted(reference->QueryIds(range)))
+        << what << " range query #" << q;
+  }
+  for (int q = 0; q < 8; ++q) {
+    const Point p(rng->Uniform(space.xmin, space.xmax),
+                  rng->Uniform(space.ymin, space.ymax));
+    const size_t k = 1 + static_cast<size_t>(rng->NextBelow(8));
+    const std::vector<RTree::Neighbor> got = dynamic.Nearest(p, k);
+    const std::vector<RTree::Neighbor> want = reference->Nearest(p, k);
+    ASSERT_EQ(got.size(), want.size()) << what << " kNN #" << q;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Distances must agree exactly; ids may differ only on exact ties.
+      EXPECT_EQ(got[i].distance, want[i].distance)
+          << what << " kNN #" << q << " neighbor " << i;
+    }
+  }
+}
+
+void RunFuzz(uint64_t seed, const RTreeOptions& options) {
+  const Rect space(0, 1000, 0, 1000);
+  Rng rng(seed);
+
+  Result<RTree> tree = RTree::Create(options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  std::vector<LiveItem> live;
+  ObjectId next_id = 1;
+  const std::string what = "seed=" + std::to_string(seed);
+
+  for (int step = 0; step < 600; ++step) {
+    // Bias toward inserts so the tree grows, with removal bursts mixed in;
+    // removing from an empty tree is exercised as a no-op.
+    const bool remove = !live.empty() && rng.NextDouble() < 0.45;
+    if (remove) {
+      const size_t at = static_cast<size_t>(rng.NextBelow(live.size()));
+      const LiveItem victim = live[at];
+      live[at] = live.back();
+      live.pop_back();
+      EXPECT_TRUE(tree->Remove(victim.box, victim.id))
+          << what << " step " << step;
+      // Removing it again must report absence.
+      EXPECT_FALSE(tree->Remove(victim.box, victim.id));
+    } else {
+      const Rect box = RandomRect(&rng, space, 1, 60);
+      tree->Insert(box, next_id);
+      live.push_back({box, next_id});
+      ++next_id;
+    }
+    if (step % 60 == 59) {
+      ExpectEquivalent(*tree, live, options, &rng, space,
+                       what + " step " + std::to_string(step));
+    }
+  }
+
+  // Drain to empty: condensation must survive the root collapsing.
+  while (!live.empty()) {
+    const size_t at = static_cast<size_t>(rng.NextBelow(live.size()));
+    const LiveItem victim = live[at];
+    live[at] = live.back();
+    live.pop_back();
+    ASSERT_TRUE(tree->Remove(victim.box, victim.id)) << what;
+  }
+  EXPECT_EQ(tree->size(), 0u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+  EXPECT_TRUE(tree->QueryIds(space).empty());
+
+  // The drained tree remains fully usable.
+  tree->Insert(Rect(10, 20, 10, 20), 424242);
+  EXPECT_EQ(Sorted(tree->QueryIds(space)), std::vector<ObjectId>{424242});
+}
+
+TEST(RTreeUpdateFuzzTest, DefaultPageSize) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    RunFuzz(seed, RTreeOptions{});
+  }
+}
+
+// Tiny nodes force frequent splits, condensation and reinsertion — the
+// structurally hostile regime for Guttman delete.
+TEST(RTreeUpdateFuzzTest, TinyFanout) {
+  RTreeOptions options;
+  options.max_entries_override = 4;
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    RunFuzz(seed, options);
+  }
+}
+
+// Duplicate boxes with distinct ids, and duplicate (box, id) pairs: Remove
+// must take out exactly one matching entry per call.
+TEST(RTreeUpdateFuzzTest, DuplicateEntries) {
+  RTreeOptions options;
+  options.max_entries_override = 4;
+  Result<RTree> tree = RTree::Create(options);
+  ASSERT_TRUE(tree.ok());
+  const Rect box(100, 120, 100, 120);
+  for (ObjectId id = 1; id <= 6; ++id) tree->Insert(box, id);
+  tree->Insert(box, 3);  // duplicate pair
+  EXPECT_EQ(tree->size(), 7u);
+
+  EXPECT_TRUE(tree->Remove(box, 3));
+  EXPECT_EQ(tree->size(), 6u);
+  std::vector<ObjectId> ids = Sorted(tree->QueryIds(box));
+  EXPECT_EQ(ids, (std::vector<ObjectId>{1, 2, 3, 4, 5, 6}));
+
+  EXPECT_TRUE(tree->Remove(box, 3));
+  EXPECT_FALSE(tree->Remove(box, 3));
+  EXPECT_EQ(Sorted(tree->QueryIds(box)),
+            (std::vector<ObjectId>{1, 2, 4, 5, 6}));
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+}
+
+}  // namespace
+}  // namespace ilq

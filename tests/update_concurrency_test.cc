@@ -1,0 +1,250 @@
+// Concurrency tests for epoch-versioned updates (run under TSan via the
+// `thread` label): queries racing ApplyUpdates must each observe exactly
+// one published epoch — never a torn mix of two — at every layer
+// (QueryEngine snapshots, ShardedEngine shard sets, AsyncServer's
+// epoch-tagged answer cache).
+//
+// The detector: every update batch inserts exactly one point (id base+e in
+// batch e) into a window the reader queries with probability threshold 0,
+// so any answer's dynamic-id set must be a contiguous prefix
+// {base+1, ..., base+m}. A reader that mixed epochs would observe a gap.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/sharded_engine.h"
+#include "serve/async_server.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+
+constexpr ObjectId kDynamicBase = 1000;
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.eval.quadrature_order = 8;
+  config.pti_rebuild_min_updates = 4;  // rebuilds race the readers too
+  return config;
+}
+
+std::vector<PointObject> BasePoints(size_t count) {
+  Rng rng(61);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+std::vector<UncertainObject> BaseUncertains(size_t count) {
+  Rng rng(62);
+  std::vector<UncertainObject> objects;
+  for (size_t i = 0; i < count; ++i) {
+    const double x = rng.Uniform(50, 900);
+    const double y = rng.Uniform(50, 900);
+    objects.emplace_back(static_cast<ObjectId>(i + 1),
+                         MakeUniform(Rect(x, x + 30, y, y + 30)));
+  }
+  return objects;
+}
+
+// Ids >= kDynamicBase in \p answers, sorted. The caller asserts they form
+// a contiguous prefix of the insertion order.
+std::vector<ObjectId> DynamicIds(const AnswerSet& answers) {
+  std::vector<ObjectId> ids;
+  for (const ProbabilisticAnswer& a : answers) {
+    if (a.id > kDynamicBase) ids.push_back(a.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ExpectPrefix(const std::vector<ObjectId>& ids, size_t max_batches,
+                  std::atomic<size_t>* violations) {
+  if (ids.size() > max_batches) {
+    violations->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != kDynamicBase + 1 + i) {
+      violations->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+TEST(UpdateConcurrencyTest, EngineQueriesObserveExactlyOneEpoch) {
+  constexpr size_t kBatches = 60;
+  Result<QueryEngine> engine =
+      QueryEngine::Build(BasePoints(120), BaseUncertains(40), FastConfig());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  Result<UncertainObject> issuer =
+      engine->MakeIssuer(MakeUniform(Rect(480, 520, 480, 520)));
+  ASSERT_TRUE(issuer.ok());
+  // Covers the whole space: every point and every uncertain region
+  // qualifies with probability 1, so answers reflect membership exactly.
+  const RangeQuerySpec query(1200, 1200, 0.0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Alternate the point and uncertain paths (IPQ vs IUQ/PTI) so the
+        // index copies and PTI rebuilds race the readers as well.
+        const AnswerSet answers = (t % 2 == 0)
+                                      ? engine->Ipq(*issuer, query)
+                                      : engine->Iuq(*issuer, query);
+        ExpectPrefix(DynamicIds(answers), kBatches, &violations);
+        // Snapshot-level invariant: counts are a pure function of epoch.
+        const QueryEngine::SnapshotPtr snap = engine->snapshot();
+        const uint64_t e = snap->epoch();
+        if (snap->catalog->points.size() != 120 + e ||
+            snap->catalog->uncertains.size() != 40 + e) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  Rng rng(63);
+  for (size_t e = 1; e <= kBatches; ++e) {
+    const ObjectId id = static_cast<ObjectId>(kDynamicBase + e);
+    const double x = rng.Uniform(200, 800);
+    const double y = rng.Uniform(200, 800);
+    UpdateBatch batch;
+    batch.push_back(UpdateOp::InsertPoint(id, Point(x, y)));
+    Result<UniformRectPdf> pdf =
+        UniformRectPdf::Make(Rect(x, x + 20, y, y + 20));
+    ASSERT_TRUE(pdf.ok());
+    batch.push_back(
+        UpdateOp::InsertUncertain(id, PdfVariant(std::move(pdf).ValueOrDie())));
+    ASSERT_TRUE(engine->ApplyUpdates(batch).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(engine->epoch(), kBatches);
+  // The final state is fully visible.
+  EXPECT_EQ(DynamicIds(engine->Ipq(*issuer, query)).size(), kBatches);
+  EXPECT_EQ(DynamicIds(engine->Iuq(*issuer, query)).size(), kBatches);
+}
+
+TEST(UpdateConcurrencyTest, ShardedRunRacesUpdatesAndResplits) {
+  constexpr size_t kBatches = 50;
+  ShardedEngineConfig config;
+  config.shards = 3;
+  config.engine = FastConfig();
+  Result<ShardedEngine> sharded =
+      ShardedEngine::Build(BasePoints(150), BaseUncertains(30), config);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  Result<UncertainObject> issuer =
+      sharded->MakeIssuer(MakeUniform(Rect(480, 520, 480, 520)));
+  ASSERT_TRUE(issuer.ok());
+  const BatchSpec spec{RangeQuerySpec(1200, 1200, 0.0)};
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const QueryMethod method =
+          (t % 2 == 0) ? QueryMethod::kIpq : QueryMethod::kIuq;
+      while (!stop.load(std::memory_order_acquire)) {
+        ExpectPrefix(DynamicIds(sharded->Run(method, *issuer, spec)),
+                     kBatches, &violations);
+      }
+    });
+  }
+
+  Rng rng(64);
+  for (size_t e = 1; e <= kBatches; ++e) {
+    const ObjectId id = static_cast<ObjectId>(kDynamicBase + e);
+    const double x = rng.Uniform(200, 800);
+    const double y = rng.Uniform(200, 800);
+    UpdateBatch batch;
+    batch.push_back(UpdateOp::InsertPoint(id, Point(x, y)));
+    Result<UniformRectPdf> pdf =
+        UniformRectPdf::Make(Rect(x, x + 20, y, y + 20));
+    ASSERT_TRUE(pdf.ok());
+    batch.push_back(
+        UpdateOp::InsertUncertain(id, PdfVariant(std::move(pdf).ValueOrDie())));
+    ASSERT_TRUE(sharded->ApplyUpdates(batch).ok());
+    // Re-splits race the readers too: the whole shard table is swapped
+    // underneath in-flight Runs.
+    if (e % 10 == 0) ASSERT_TRUE(sharded->Resplit().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(sharded->resplit_count(), kBatches / 10);
+  EXPECT_EQ(DynamicIds(sharded->Run(QueryMethod::kIpq, *issuer, spec)).size(),
+            kBatches);
+}
+
+// End-to-end through the async server: cached answers must never survive
+// an epoch change. The same issuer+query is submitted before and after
+// each update; the post-update answer must reflect the new membership
+// even though the pre-update answer was cached.
+TEST(UpdateConcurrencyTest, ServerCacheNeverServesStaleEpochs) {
+  ShardedEngineConfig config;
+  config.shards = 2;
+  config.engine = FastConfig();
+  Result<ShardedEngine> sharded =
+      ShardedEngine::Build(BasePoints(80), {}, config);
+  ASSERT_TRUE(sharded.ok());
+
+  AsyncServerOptions options;
+  options.threads = 3;
+  options.cache_capacity = 64;
+  AsyncServer server(*sharded, options);
+
+  // MakeIssuer yields id 0 (uncacheable); use a real id so the cache path
+  // engages.
+  Result<UniformRectPdf> pdf = UniformRectPdf::Make(Rect(480, 520, 480, 520));
+  ASSERT_TRUE(pdf.ok());
+  UncertainObject warm(7, PdfVariant(std::move(pdf).ValueOrDie()));
+  ASSERT_TRUE(warm.BuildCatalog(UCatalog::EvenlySpacedValues(11)).ok());
+  const BatchSpec spec{RangeQuerySpec(1200, 1200, 0.0)};
+
+  Rng rng(65);
+  for (size_t e = 1; e <= 30; ++e) {
+    // Warm the cache at the current epoch (twice, so a hit is plausible).
+    server.Submit(warm, spec, QueryMethod::kIpq).get();
+    server.Submit(warm, spec, QueryMethod::kIpq).get();
+
+    const ObjectId id = static_cast<ObjectId>(kDynamicBase + e);
+    ASSERT_TRUE(sharded
+                    ->ApplyUpdates({UpdateOp::InsertPoint(
+                        id, Point(rng.Uniform(200, 800),
+                                  rng.Uniform(200, 800)))})
+                    .ok());
+
+    // Post-update answer must include every inserted point — a stale
+    // cached answer from the previous epoch would be one short.
+    const AnswerSet fresh =
+        server.Submit(warm, spec, QueryMethod::kIpq).get();
+    EXPECT_EQ(DynamicIds(fresh).size(), e) << "epoch " << e;
+  }
+  server.Shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_GT(stats.cache_hits + stats.cache_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace ilq

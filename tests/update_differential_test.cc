@@ -1,0 +1,365 @@
+// Differential suite for epoch-versioned updates: an engine that lived
+// through a churn stream (QueryEngine::ApplyUpdates) must answer every
+// QueryMethod bit-identically to a monolithic engine freshly Built from
+// the surviving objects — same ids, same probability doubles, both
+// probability kernels. Likewise the ShardedEngine after routed updates and
+// a load-triggered re-split. This is the acceptance bar for the mutable
+// catalog: updates are a maintenance strategy, never an answer change.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/workload.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeUniform;
+
+AnswerSet SortedById(AnswerSet answers) {
+  std::sort(answers.begin(), answers.end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.probability < b.probability;
+            });
+  return answers;
+}
+
+void ExpectBitIdentical(const AnswerSet& updated, const AnswerSet& rebuilt,
+                        const std::string& what) {
+  ASSERT_EQ(updated.size(), rebuilt.size()) << what;
+  for (size_t i = 0; i < updated.size(); ++i) {
+    EXPECT_EQ(updated[i].id, rebuilt[i].id) << what << " answer #" << i;
+    EXPECT_EQ(updated[i].probability, rebuilt[i].probability)
+        << what << " answer #" << i << " (id " << updated[i].id << ")";
+  }
+}
+
+EngineConfig TestEngineConfig(ProbabilityKernel kernel) {
+  EngineConfig config;
+  config.eval.kernel = kernel;
+  config.eval.quadrature_order = 8;
+  config.eval.mc_samples = 100;
+  // Exercise both PTI maintenance paths (refresh and rebuild) within one
+  // modest churn stream.
+  config.pti_rebuild_min_updates = 8;
+  return config;
+}
+
+// Plain-vector mirror of the object sets: the ground truth a fresh Build
+// is run over. Kept by id, erased by swap like the catalog itself (order
+// must not matter for the comparison to be meaningful — and it does not,
+// because answers are id-sorted and probabilities are per-object pure).
+struct Mirror {
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> uncertains;
+
+  void Apply(const UpdateOp& op) {
+    switch (op.kind) {
+      case UpdateKind::kInsertPoint:
+        points.push_back({op.id, op.location});
+        break;
+      case UpdateKind::kErasePoint:
+        EraseById(&points, op.id);
+        break;
+      case UpdateKind::kMovePoint:
+        FindById(&points, op.id)->location = op.location;
+        break;
+      case UpdateKind::kInsertUncertain:
+        uncertains.emplace_back(op.id, *op.pdf);
+        break;
+      case UpdateKind::kEraseUncertain:
+        EraseById(&uncertains, op.id);
+        break;
+      case UpdateKind::kMoveUncertain:
+        *FindById(&uncertains, op.id) = UncertainObject(op.id, *op.pdf);
+        break;
+    }
+  }
+
+  template <typename T>
+  static T* FindById(std::vector<T>* objects, ObjectId id) {
+    for (T& object : *objects) {
+      if (ObjectIdOf(object) == id) return &object;
+    }
+    ADD_FAILURE() << "mirror: unknown id " << id;
+    return nullptr;
+  }
+  template <typename T>
+  static void EraseById(std::vector<T>* objects, ObjectId id) {
+    T* found = FindById(objects, id);
+    *found = std::move(objects->back());
+    objects->pop_back();
+  }
+  static ObjectId ObjectIdOf(const PointObject& p) { return p.id; }
+  static ObjectId ObjectIdOf(const UncertainObject& u) { return u.id(); }
+};
+
+Result<ChurnWorkload> MakeChurn(uint64_t seed, size_t ops) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.seed = seed;
+  ChurnConfig churn;
+  churn.initial_points = 150;
+  churn.initial_uncertains = 60;
+  churn.ops = ops;
+  churn.object_half_extent = 25.0;
+  return GenerateChurnWorkload(base, churn);
+}
+
+void CompareAllMethods(const QueryEngine& updated, const QueryEngine& rebuilt,
+                       const std::string& tag) {
+  std::vector<Result<UncertainObject>> issuers;
+  issuers.push_back(
+      updated.MakeIssuer(MakeUniform(Rect(350, 650, 350, 650))));
+  issuers.push_back(
+      updated.MakeIssuer(MakeGaussian(Rect(100, 420, 500, 800))));
+  const std::vector<RangeQuerySpec> specs = {RangeQuerySpec(140, 140, 0.0),
+                                             RangeQuerySpec(250, 180, 0.3)};
+  for (const auto& issuer : issuers) {
+    ASSERT_TRUE(issuer.ok()) << issuer.status().ToString();
+    for (const RangeQuerySpec& query : specs) {
+      const BatchSpec spec{query};
+      for (const QueryMethod method : AllQueryMethods()) {
+        const std::string what = tag + " " + QueryMethodName(method) +
+                                 " w=" + std::to_string(query.w);
+        ExpectBitIdentical(
+            SortedById(RunQueryMethod(updated, method, *issuer, spec)),
+            SortedById(RunQueryMethod(rebuilt, method, *issuer, spec)),
+            what);
+      }
+    }
+  }
+}
+
+void RunEngineDifferential(ProbabilityKernel kernel) {
+  const EngineConfig config = TestEngineConfig(kernel);
+  Result<ChurnWorkload> churn = MakeChurn(501, 240);
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+
+  Mirror mirror{churn->initial_points, churn->initial_uncertains};
+  Result<QueryEngine> updated = QueryEngine::Build(
+      churn->initial_points, churn->initial_uncertains, config);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(updated->epoch(), 0u);
+
+  constexpr size_t kBatch = 24;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < churn->stream.size(); begin += kBatch) {
+    const size_t end = std::min(begin + kBatch, churn->stream.size());
+    const UpdateBatch batch(churn->stream.begin() + begin,
+                            churn->stream.begin() + end);
+    ASSERT_TRUE(updated->ApplyUpdates(batch).ok());
+    for (const UpdateOp& op : batch) mirror.Apply(op);
+    ++batches;
+    EXPECT_EQ(updated->epoch(), batches);
+  }
+
+  EXPECT_EQ(updated->points().size(), mirror.points.size());
+  EXPECT_EQ(updated->uncertains().size(), mirror.uncertains.size());
+  const UpdateStats stats = updated->update_stats();
+  EXPECT_EQ(stats.batches, batches);
+  EXPECT_EQ(stats.ops, churn->stream.size());
+  EXPECT_GT(stats.pti_rebuilds + stats.pti_refreshes, 0u);
+
+  Result<QueryEngine> rebuilt =
+      QueryEngine::Build(mirror.points, mirror.uncertains, config);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  CompareAllMethods(*updated, *rebuilt, "engine");
+}
+
+TEST(UpdateDifferentialTest, EngineMatchesRebuildAnalytic) {
+  RunEngineDifferential(ProbabilityKernel::kAnalytic);
+}
+
+TEST(UpdateDifferentialTest, EngineMatchesRebuildMonteCarlo) {
+  RunEngineDifferential(ProbabilityKernel::kMonteCarlo);
+}
+
+TEST(UpdateDifferentialTest, FailedBatchLeavesEngineUntouched) {
+  const EngineConfig config = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<ChurnWorkload> churn = MakeChurn(502, 0);
+  ASSERT_TRUE(churn.ok());
+  Result<QueryEngine> engine = QueryEngine::Build(
+      churn->initial_points, churn->initial_uncertains, config);
+  ASSERT_TRUE(engine.ok());
+
+  UpdateBatch bad;
+  bad.push_back(UpdateOp::InsertPoint(9000, Point(1, 1)));
+  bad.push_back(UpdateOp::ErasePoint(424242));  // unknown id
+  EXPECT_FALSE(engine->ApplyUpdates(bad).ok());
+  EXPECT_EQ(engine->epoch(), 0u);
+  EXPECT_EQ(engine->points().size(), churn->initial_points.size());
+
+  Result<QueryEngine> rebuilt = QueryEngine::Build(
+      churn->initial_points, churn->initial_uncertains, config);
+  ASSERT_TRUE(rebuilt.ok());
+  CompareAllMethods(*engine, *rebuilt, "after-rejected-batch");
+}
+
+// Empty→populated→empty transitions: the PTI must appear with the first
+// uncertain insert and disappear with the last erase.
+TEST(UpdateDifferentialTest, UncertainSetLifecycle) {
+  const EngineConfig config = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<QueryEngine> engine = QueryEngine::Build({}, {}, config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->pti(), nullptr);
+
+  Result<UniformRectPdf> pdf =
+      UniformRectPdf::Make(Rect(100, 150, 100, 150));
+  ASSERT_TRUE(pdf.ok());
+  UpdateBatch batch;
+  batch.push_back(
+      UpdateOp::InsertUncertain(1, PdfVariant(std::move(pdf).ValueOrDie())));
+  ASSERT_TRUE(engine->ApplyUpdates(batch).ok());
+  ASSERT_NE(engine->pti(), nullptr);
+  EXPECT_EQ(engine->uncertains().size(), 1u);
+
+  Result<UncertainObject> issuer =
+      engine->MakeIssuer(MakeUniform(Rect(80, 180, 80, 180)));
+  ASSERT_TRUE(issuer.ok());
+  const BatchSpec spec{RangeQuerySpec(100, 100, 0.0)};
+  EXPECT_FALSE(engine->Iuq(*issuer, spec.query).empty());
+
+  ASSERT_TRUE(engine->ApplyUpdates({UpdateOp::EraseUncertain(1)}).ok());
+  EXPECT_EQ(engine->pti(), nullptr);
+  EXPECT_TRUE(engine->Iuq(*issuer, spec.query).empty());
+  EXPECT_TRUE(engine->CiuqPti(*issuer, spec.query, CiuqPruneConfig{}).empty());
+}
+
+// The sharded engine under churn plus a load-triggered re-split: answers
+// stay bit-identical to a monolith over the survivors, object counts are
+// conserved across the re-partition, and the epoch observes every publish.
+void RunShardedDifferential(ProbabilityKernel kernel) {
+  ShardedEngineConfig config;
+  config.shards = 4;
+  config.engine = TestEngineConfig(kernel);
+  config.resplit_load_ratio = 1.5;
+  config.resplit_min_requests = 64;
+
+  Result<ChurnWorkload> churn = MakeChurn(503, 200);
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+  Mirror mirror{churn->initial_points, churn->initial_uncertains};
+  Result<ShardedEngine> sharded = ShardedEngine::Build(
+      churn->initial_points, churn->initial_uncertains, config);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // A tight issuer parked on one seed point routes (almost) every request
+  // to that point's shard, building up exactly the imbalance the re-split
+  // trigger watches for. (A query window must cover real data to route at
+  // all — bounds that don't intersect are skipped, counting no load.)
+  const Point hot = churn->initial_points.front().location;
+  Result<UncertainObject> corner = sharded->MakeIssuer(
+      MakeUniform(Rect(hot.x - 5, hot.x + 5, hot.y - 5, hot.y + 5)));
+  ASSERT_TRUE(corner.ok());
+  const BatchSpec corner_spec{RangeQuerySpec(10, 10, 0.0)};
+
+  constexpr size_t kBatch = 25;
+  for (size_t begin = 0; begin < churn->stream.size(); begin += kBatch) {
+    for (int q = 0; q < 20; ++q) {
+      sharded->Run(QueryMethod::kIpq, *corner, corner_spec);
+    }
+    const size_t end = std::min(begin + kBatch, churn->stream.size());
+    const UpdateBatch batch(churn->stream.begin() + begin,
+                            churn->stream.begin() + end);
+    const uint64_t before = sharded->epoch();
+    ASSERT_TRUE(sharded->ApplyUpdates(batch).ok());
+    for (const UpdateOp& op : batch) mirror.Apply(op);
+    // Every publish bumps the epoch: +1 for the batch, +1 more when the
+    // load trigger re-split right after it.
+    EXPECT_GE(sharded->epoch(), before + 1);
+    EXPECT_LE(sharded->epoch(), before + 2);
+  }
+  EXPECT_GE(sharded->resplit_count(), 1u)
+      << "the skewed query stream should have triggered a re-split";
+
+  // Conservation: every survivor lives in exactly one shard.
+  size_t points = 0;
+  size_t uncertains = 0;
+  for (size_t s = 0; s < sharded->shard_count(); ++s) {
+    points += sharded->shard(s).points().size();
+    uncertains += sharded->shard(s).uncertains().size();
+  }
+  EXPECT_EQ(points, mirror.points.size());
+  EXPECT_EQ(uncertains, mirror.uncertains.size());
+
+  Result<QueryEngine> rebuilt =
+      QueryEngine::Build(mirror.points, mirror.uncertains, config.engine);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+
+  std::vector<Result<UncertainObject>> issuers;
+  issuers.push_back(
+      sharded->MakeIssuer(MakeUniform(Rect(350, 650, 350, 650))));
+  issuers.push_back(
+      sharded->MakeIssuer(MakeGaussian(Rect(100, 420, 500, 800))));
+  const std::vector<RangeQuerySpec> specs = {RangeQuerySpec(140, 140, 0.0),
+                                             RangeQuerySpec(250, 180, 0.3)};
+  for (const auto& issuer : issuers) {
+    ASSERT_TRUE(issuer.ok()) << issuer.status().ToString();
+    for (const RangeQuerySpec& query : specs) {
+      const BatchSpec spec{query};
+      for (const QueryMethod method : AllQueryMethods()) {
+        const std::string what = std::string("sharded ") +
+                                 QueryMethodName(method) +
+                                 " w=" + std::to_string(query.w);
+        ExpectBitIdentical(
+            sharded->Run(method, *issuer, spec),
+            SortedById(RunQueryMethod(*rebuilt, method, *issuer, spec)),
+            what);
+      }
+    }
+  }
+}
+
+TEST(UpdateDifferentialTest, ShardedMatchesRebuildAnalytic) {
+  RunShardedDifferential(ProbabilityKernel::kAnalytic);
+}
+
+TEST(UpdateDifferentialTest, ShardedMatchesRebuildMonteCarlo) {
+  RunShardedDifferential(ProbabilityKernel::kMonteCarlo);
+}
+
+// Manual Resplit on a quiet engine is also answer-preserving and tightens
+// the conservative (grown) routing bounds back to the actual data.
+TEST(UpdateDifferentialTest, ManualResplitPreservesAnswers) {
+  ShardedEngineConfig config;
+  config.shards = 3;
+  config.engine = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<ChurnWorkload> churn = MakeChurn(504, 120);
+  ASSERT_TRUE(churn.ok());
+  Mirror mirror{churn->initial_points, churn->initial_uncertains};
+  Result<ShardedEngine> sharded = ShardedEngine::Build(
+      churn->initial_points, churn->initial_uncertains, config);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded->ApplyUpdates(churn->stream).ok());
+  for (const UpdateOp& op : churn->stream) mirror.Apply(op);
+
+  const uint64_t before = sharded->epoch();
+  ASSERT_TRUE(sharded->Resplit().ok());
+  EXPECT_EQ(sharded->epoch(), before + 1);
+  EXPECT_EQ(sharded->resplit_count(), 1u);
+
+  Result<QueryEngine> rebuilt =
+      QueryEngine::Build(mirror.points, mirror.uncertains, config.engine);
+  ASSERT_TRUE(rebuilt.ok());
+  Result<UncertainObject> issuer =
+      sharded->MakeIssuer(MakeUniform(Rect(300, 700, 300, 700)));
+  ASSERT_TRUE(issuer.ok());
+  const BatchSpec spec{RangeQuerySpec(200, 200, 0.0)};
+  for (const QueryMethod method : AllQueryMethods()) {
+    ExpectBitIdentical(
+        sharded->Run(method, *issuer, spec),
+        SortedById(RunQueryMethod(*rebuilt, method, *issuer, spec)),
+        QueryMethodName(method));
+  }
+}
+
+}  // namespace
+}  // namespace ilq

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <set>
 #include <vector>
+
+#include "common/logging.h"
+#include "core/engine.h"
 
 namespace ilq {
 namespace {
@@ -222,6 +227,243 @@ TEST(SkewedWorkloadTest, DeterministicPerSeedAndRejectsBadArguments) {
   WorkloadConfig bad_base = base;
   bad_base.w = 0.0;
   EXPECT_FALSE(GenerateSkewedWorkload(bad_base, skew).ok());
+}
+
+// ---- Churn streams ----------------------------------------------------------
+
+TEST(ChurnWorkloadTest, SeedsDatasetsAndStreamShape) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  ChurnConfig churn;
+  churn.initial_points = 40;
+  churn.initial_uncertains = 25;
+  churn.ops = 300;
+  churn.object_half_extent = 20.0;
+  Result<ChurnWorkload> workload = GenerateChurnWorkload(base, churn);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  ASSERT_EQ(workload->initial_points.size(), 40u);
+  ASSERT_EQ(workload->initial_uncertains.size(), 25u);
+  EXPECT_EQ(workload->stream.size(), 300u);
+  for (size_t i = 0; i < workload->initial_points.size(); ++i) {
+    EXPECT_EQ(workload->initial_points[i].id, static_cast<ObjectId>(i + 1));
+    EXPECT_TRUE(base.space.Contains(workload->initial_points[i].location));
+  }
+  for (size_t i = 0; i < workload->initial_uncertains.size(); ++i) {
+    const UncertainObject& u = workload->initial_uncertains[i];
+    EXPECT_EQ(u.id(), static_cast<ObjectId>(i + 1));
+    EXPECT_TRUE(base.space.ContainsRect(u.region()));
+    EXPECT_NEAR(u.region().Width(), 40.0, 1e-9);
+  }
+  // Placements stay inside the space; uncertain ops carry pdfs.
+  for (const UpdateOp& op : workload->stream) {
+    switch (op.kind) {
+      case UpdateKind::kInsertPoint:
+      case UpdateKind::kMovePoint:
+        EXPECT_TRUE(base.space.Contains(op.location));
+        break;
+      case UpdateKind::kInsertUncertain:
+      case UpdateKind::kMoveUncertain:
+        ASSERT_TRUE(op.pdf.has_value());
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// The stream must be valid by construction: replaying it against plain
+// live-id sets never inserts a duplicate or touches a missing id.
+TEST(ChurnWorkloadTest, StreamIsValidByConstruction) {
+  WorkloadConfig base;
+  ChurnConfig churn;
+  churn.initial_points = 10;
+  churn.initial_uncertains = 5;
+  churn.ops = 2000;
+  churn.erase_fraction = 0.45;  // erase-heavy: drains the sets repeatedly
+  churn.insert_fraction = 0.30;
+  Result<ChurnWorkload> workload = GenerateChurnWorkload(base, churn);
+  ASSERT_TRUE(workload.ok());
+
+  std::set<ObjectId> points;
+  std::set<ObjectId> uncertains;
+  for (const PointObject& p : workload->initial_points) points.insert(p.id);
+  for (const UncertainObject& u : workload->initial_uncertains) {
+    uncertains.insert(u.id());
+  }
+  for (size_t i = 0; i < workload->stream.size(); ++i) {
+    const UpdateOp& op = workload->stream[i];
+    switch (op.kind) {
+      case UpdateKind::kInsertPoint:
+        EXPECT_TRUE(points.insert(op.id).second) << "op " << i;
+        break;
+      case UpdateKind::kErasePoint:
+        EXPECT_EQ(points.erase(op.id), 1u) << "op " << i;
+        break;
+      case UpdateKind::kMovePoint:
+        EXPECT_TRUE(points.count(op.id)) << "op " << i;
+        break;
+      case UpdateKind::kInsertUncertain:
+        EXPECT_TRUE(uncertains.insert(op.id).second) << "op " << i;
+        break;
+      case UpdateKind::kEraseUncertain:
+        EXPECT_EQ(uncertains.erase(op.id), 1u) << "op " << i;
+        break;
+      case UpdateKind::kMoveUncertain:
+        EXPECT_TRUE(uncertains.count(op.id)) << "op " << i;
+        break;
+    }
+  }
+}
+
+TEST(ChurnWorkloadTest, PlacementFollowsHotspotSkew) {
+  WorkloadConfig base;
+  base.space = Rect(0, 10000, 0, 10000);
+  ChurnConfig churn;
+  churn.initial_points = 500;
+  churn.initial_uncertains = 0;
+  churn.ops = 0;
+  churn.hotspots = 3;
+  churn.hotspot_spread = 0.01;
+  Result<ChurnWorkload> workload = GenerateChurnWorkload(base, churn);
+  ASSERT_TRUE(workload.ok());
+  // With 3 tight hotspots every point has a near neighbour, unlike uniform
+  // placement over a 10000-wide space (same argument as the clustered
+  // skewed-workload test).
+  const double spread = churn.hotspot_spread * 10000.0;
+  for (size_t i = 0; i < workload->initial_points.size(); ++i) {
+    double nearest = 1e18;
+    const Point a = workload->initial_points[i].location;
+    for (size_t j = 0; j < workload->initial_points.size(); ++j) {
+      if (i == j) continue;
+      const Point b = workload->initial_points[j].location;
+      nearest = std::min(nearest, (a.x - b.x) * (a.x - b.x) +
+                                      (a.y - b.y) * (a.y - b.y));
+    }
+    EXPECT_LT(nearest, 36.0 * spread * spread) << "point " << i;
+  }
+}
+
+TEST(ChurnWorkloadTest, BitIdenticalStreamsPerSeed) {
+  WorkloadConfig base;
+  base.seed = 99;
+  ChurnConfig churn;
+  churn.ops = 400;
+  Result<ChurnWorkload> a = GenerateChurnWorkload(base, churn);
+  Result<ChurnWorkload> b = GenerateChurnWorkload(base, churn);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->stream.size(), b->stream.size());
+  for (size_t i = 0; i < a->stream.size(); ++i) {
+    EXPECT_EQ(a->stream[i].kind, b->stream[i].kind) << "op " << i;
+    EXPECT_EQ(a->stream[i].id, b->stream[i].id) << "op " << i;
+    EXPECT_EQ(a->stream[i].location.x, b->stream[i].location.x) << "op " << i;
+    EXPECT_EQ(a->stream[i].location.y, b->stream[i].location.y) << "op " << i;
+  }
+  Result<ChurnWorkload> c = GenerateChurnWorkload(WorkloadConfig{}, churn);
+  ASSERT_TRUE(c.ok());
+  // A different seed produces a different stream (spot check).
+  bool any_diff = a->stream.size() != c->stream.size();
+  for (size_t i = 0; !any_diff && i < a->stream.size(); ++i) {
+    any_diff = a->stream[i].kind != c->stream[i].kind ||
+               a->stream[i].id != c->stream[i].id;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The determinism pin the serving stack depends on: replaying one churn
+// stream and then batch-evaluating a query workload yields bit-identical
+// answers regardless of the replay batching or the RunBatch thread count.
+TEST(ChurnWorkloadTest, ReplayIsDeterministicAcrossThreadCounts) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.seed = 17;
+  ChurnConfig churn;
+  churn.initial_points = 80;
+  churn.initial_uncertains = 40;
+  churn.ops = 120;
+  churn.object_half_extent = 25.0;
+  Result<ChurnWorkload> workload = GenerateChurnWorkload(base, churn);
+  ASSERT_TRUE(workload.ok());
+
+  EngineConfig config;
+  config.eval.quadrature_order = 8;
+  const auto replay = [&](size_t batch_size) {
+    Result<QueryEngine> engine = QueryEngine::Build(
+        workload->initial_points, workload->initial_uncertains, config);
+    ILQ_CHECK(engine.ok(), engine.status().ToString());
+    for (size_t begin = 0; begin < workload->stream.size();
+         begin += batch_size) {
+      const size_t end =
+          std::min(begin + batch_size, workload->stream.size());
+      const UpdateBatch batch(workload->stream.begin() + begin,
+                              workload->stream.begin() + end);
+      ILQ_CHECK(engine->ApplyUpdates(batch).ok(), "replay failed");
+    }
+    return std::move(engine).ValueOrDie();
+  };
+
+  const QueryEngine whole = replay(workload->stream.size());
+  const QueryEngine chunked = replay(7);
+
+  Result<UncertainObject> issuer =
+      whole.MakeIssuer(std::make_unique<UniformRectPdf>(
+          UniformRectPdf::Make(Rect(300, 700, 300, 700)).ValueOrDie()));
+  ASSERT_TRUE(issuer.ok());
+  const std::vector<UncertainObject> issuers(8, *issuer);
+  const BatchSpec spec{RangeQuerySpec(200, 200, 0.0)};
+
+  for (const QueryMethod method :
+       {QueryMethod::kIpq, QueryMethod::kIuq, QueryMethod::kCiuqPti}) {
+    BatchOptions serial;
+    serial.threads = 1;
+    BatchOptions threaded;
+    threaded.threads = 4;
+    const BatchResult a = whole.RunBatch(method, issuers, spec, serial);
+    const BatchResult b = chunked.RunBatch(method, issuers, spec, threaded);
+    ASSERT_EQ(a.answers.size(), b.answers.size());
+    const auto by_id = [](AnswerSet answers) {
+      std::sort(answers.begin(), answers.end(),
+                [](const ProbabilisticAnswer& x, const ProbabilisticAnswer& y) {
+                  return x.id < y.id;
+                });
+      return answers;
+    };
+    for (size_t i = 0; i < a.answers.size(); ++i) {
+      // Differently batched replays grow differently shaped trees, so
+      // traversal order may differ; the answer *set* must not.
+      const AnswerSet sa = by_id(a.answers[i]);
+      const AnswerSet sb = by_id(b.answers[i]);
+      ASSERT_EQ(sa.size(), sb.size())
+          << QueryMethodName(method) << " issuer " << i;
+      for (size_t j = 0; j < sa.size(); ++j) {
+        EXPECT_EQ(sa[j].id, sb[j].id);
+        EXPECT_EQ(sa[j].probability, sb[j].probability);
+      }
+    }
+  }
+}
+
+TEST(ChurnWorkloadTest, RejectsBadArguments) {
+  WorkloadConfig base;
+  ChurnConfig churn;
+  churn.insert_fraction = 0.8;
+  churn.erase_fraction = 0.5;  // sums past 1
+  EXPECT_FALSE(GenerateChurnWorkload(base, churn).ok());
+  churn = ChurnConfig{};
+  churn.point_fraction = 1.5;
+  EXPECT_FALSE(GenerateChurnWorkload(base, churn).ok());
+  churn = ChurnConfig{};
+  churn.hotspots = 0;
+  EXPECT_FALSE(GenerateChurnWorkload(base, churn).ok());
+  churn = ChurnConfig{};
+  churn.object_half_extent = 0.0;
+  EXPECT_FALSE(GenerateChurnWorkload(base, churn).ok());
+  churn = ChurnConfig{};
+  churn.zipf_s = -0.5;
+  EXPECT_FALSE(GenerateChurnWorkload(base, churn).ok());
+  WorkloadConfig bad_base;
+  bad_base.space = Rect::Empty();
+  EXPECT_FALSE(GenerateChurnWorkload(bad_base, ChurnConfig{}).ok());
 }
 
 }  // namespace
