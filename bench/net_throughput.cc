@@ -1,0 +1,297 @@
+// Wire-tier throughput bench: Zipfian issuer traffic pushed through a
+// Router onto ShardServer processes-in-miniature (real loopback sockets,
+// same binaries' worth of framing/codec work as the multi-process
+// deployment), plus codec micro scenarios isolating the serialization
+// cost itself.
+//
+// Scenarios (fixed names — gated against bench/baselines/BENCH_net.json by
+// the perf-smoke CI job via check_perf_regression.py --normalize):
+//   BM_NetQuery/ipq/shards=1        router -> one shard server, loopback
+//   BM_NetQuery/ipq/sharded         router fan-out over --shards servers
+//   BM_NetQuery/ciuq_pti/sharded    threshold method through the wire
+//   BM_NetCodec/request_roundtrip   EncodeRequest + DecodeRequest, one op
+//   BM_NetCodec/response_roundtrip  EncodeResponse + DecodeResponse (250
+//                                   answers), one op
+// Each records ns per request (wall-clock; the loopback path is
+// CPU-bound, the codec scenarios are pure CPU).
+//
+// Flags: --shards=N --requests=N --pool=N --skew=S --reps=N plus the usual
+// ILQ_BENCH_SCALE / ILQ_BENCH_QUERIES / ILQ_BENCH_JSON environment knobs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "serve/partition.h"
+#include "serve/sharded_engine.h"
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace ilq::bench {
+namespace {
+
+double ParseFlag(int argc, char** argv, const char* flag, double fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::atof(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+CatalogImage BuildPaperImage(double scale) {
+  CatalogImage image;
+  image.points = CaliforniaPoints(scale);
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(objects.ok(), objects.status().ToString());
+  image.uncertains = std::move(objects).ValueOrDie();
+  return image;
+}
+
+/// A router plus the fleet of loopback shard servers behind it. Servers
+/// must outlive the router's persistent connections.
+struct Fleet {
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::unique_ptr<Router> router;
+};
+
+Fleet StartFleet(const CatalogImage& image, size_t shards) {
+  Result<SplitImage> split = SplitCatalogImage(image, shards);
+  ILQ_CHECK(split.ok(), split.status().ToString());
+
+  Fleet fleet;
+  RouterOptions options;
+  options.map = split->map;
+  for (CatalogImage& shard : split->shards) {
+    ShardedEngineConfig config;
+    config.shards = 1;
+    Result<ShardedEngine> engine = ShardedEngine::Build(
+        std::move(shard.points), std::move(shard.uncertains), config);
+    ILQ_CHECK(engine.ok(), engine.status().ToString());
+    fleet.engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    fleet.servers.push_back(
+        std::make_unique<ShardServer>(*fleet.engines.back()));
+    const Status started = fleet.servers.back()->Start();
+    ILQ_CHECK(started.ok(), started.ToString());
+    options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", fleet.servers.back()->port()});
+  }
+  Result<Router> router = Router::Make(std::move(options));
+  ILQ_CHECK(router.ok(), router.status().ToString());
+  fleet.router = std::make_unique<Router>(std::move(router).ValueOrDie());
+  return fleet;
+}
+
+struct ScenarioResult {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  size_t answers = 0;
+  double fanout = 0.0;
+};
+
+/// Streams the whole request sequence through the router, one query at a
+/// time (the router's connections are persistent, so steady-state cost is
+/// codec + syscalls + shard evaluation — no reconnects).
+ScenarioResult RunScenario(Fleet& fleet, QueryMethod method,
+                           const SkewedWorkload& workload) {
+  const BatchSpec spec{workload.spec};
+  const RouterStats before = fleet.router->stats();
+
+  Stopwatch watch;
+  size_t answers = 0;
+  for (const size_t pick : workload.sequence) {
+    Result<AnswerSet> result =
+        fleet.router->Query(workload.pool[pick], method, spec);
+    ILQ_CHECK(result.ok(), result.status().ToString());
+    answers += result->size();
+  }
+
+  ScenarioResult result;
+  result.wall_ms = watch.ElapsedMillis();
+  const double requests = static_cast<double>(workload.sequence.size());
+  result.qps =
+      result.wall_ms > 0.0 ? 1000.0 * requests / result.wall_ms : 0.0;
+  result.answers = answers;
+  const RouterStats after = fleet.router->stats();
+  result.fanout =
+      requests > 0.0
+          ? static_cast<double>(after.shard_calls - before.shard_calls) /
+                requests
+          : 0.0;
+  return result;
+}
+
+// ---- Codec micro scenarios -------------------------------------------------
+
+double RequestRoundTripNs(size_t ops) {
+  WireRequest request;
+  request.issuer_id = 42;
+  request.issuer_pdf = PdfVariant(
+      UniformRectPdf::Make(Rect(100, 600, 100, 600)).ValueOrDie());
+  request.method = QueryMethod::kCiuqPti;
+  request.spec.query.w = 500.0;
+  request.spec.query.h = 500.0;
+  request.spec.query.threshold = 0.3;
+
+  Stopwatch watch;
+  size_t checksum = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    ByteWriter writer;
+    const Status status = EncodeRequest(request, &writer);
+    ILQ_CHECK(status.ok(), status.ToString());
+    Result<WireRequest> decoded = DecodeRequest(writer.bytes());
+    ILQ_CHECK(decoded.ok(), decoded.status().ToString());
+    checksum += decoded->issuer_id;
+  }
+  const double wall_ms = watch.ElapsedMillis();
+  ILQ_CHECK(checksum == 42 * ops, "codec round-trip corrupted issuer id");
+  return wall_ms * 1e6 / static_cast<double>(ops);
+}
+
+double ResponseRoundTripNs(size_t ops, size_t answers) {
+  WireResponse response;
+  response.stats.submitted = 1;
+  response.stats.completed = 1;
+  for (size_t i = 0; i < answers; ++i) {
+    response.answers.push_back(
+        ProbabilisticAnswer{static_cast<ObjectId>(i + 1),
+                            static_cast<double>(i) /
+                                static_cast<double>(answers)});
+  }
+
+  Stopwatch watch;
+  size_t checksum = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    ByteWriter writer;
+    const Status status = EncodeResponse(response, &writer);
+    ILQ_CHECK(status.ok(), status.ToString());
+    Result<WireResponse> decoded = DecodeResponse(writer.bytes());
+    ILQ_CHECK(decoded.ok(), decoded.status().ToString());
+    checksum += decoded->answers.size();
+  }
+  const double wall_ms = watch.ElapsedMillis();
+  ILQ_CHECK(checksum == answers * ops, "codec round-trip lost answers");
+  return wall_ms * 1e6 / static_cast<double>(ops);
+}
+
+}  // namespace
+}  // namespace ilq::bench
+
+int main(int argc, char** argv) {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  const auto shards =
+      static_cast<size_t>(ParseFlag(argc, argv, "--shards", 3));
+  const double skew = ParseFlag(argc, argv, "--skew", 1.0);
+  const auto pool =
+      static_cast<size_t>(ParseFlag(argc, argv, "--pool", 64));
+  const auto requests = static_cast<size_t>(ParseFlag(
+      argc, argv, "--requests",
+      static_cast<double>(BenchQueriesPerPoint(240))));
+  const auto reps = static_cast<size_t>(
+      std::max(1.0, ParseFlag(argc, argv, "--reps", 3)));
+
+  PrintHeader("Wire", "router -> shard-server throughput over loopback");
+  std::printf("net: shards=%zu skew=%.2f pool=%zu requests=%zu\n\n", shards,
+              skew, pool, requests);
+
+  WorkloadConfig base;  // §6.1 defaults: u=250, w=500, uniform issuers
+  SkewConfig traffic;
+  traffic.pool = pool;
+  traffic.requests = requests;
+  traffic.zipf_s = skew;
+  Result<SkewedWorkload> workload = GenerateSkewedWorkload(base, traffic);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+
+  const double scale = BenchDatasetScale();
+  const CatalogImage image = BuildPaperImage(scale);
+  Fleet mono = StartFleet(image, 1);
+  Fleet fleet = StartFleet(image, shards);
+
+  struct Scenario {
+    const char* name;
+    Fleet* fleet;
+    QueryMethod method;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"BM_NetQuery/ipq/shards=1", &mono, QueryMethod::kIpq},
+      {"BM_NetQuery/ipq/sharded", &fleet, QueryMethod::kIpq},
+      {"BM_NetQuery/ciuq_pti/sharded", &fleet, QueryMethod::kCiuqPti},
+  };
+
+  // Every rep is emitted under the same scenario name:
+  // check_perf_regression.py min-collapses duplicates, which keeps these
+  // wall-clock numbers stable on busy hosts.
+  std::vector<MicroBenchResult> results;
+  std::printf("%-32s %10s %10s %7s %9s\n", "scenario", "wall_ms", "qps",
+              "fanout", "answers");
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult best;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const ScenarioResult run =
+          RunScenario(*scenario.fleet, scenario.method, *workload);
+      const double ns_per_request =
+          requests == 0 ? 0.0
+                        : run.wall_ms * 1e6 / static_cast<double>(requests);
+      results.push_back({scenario.name, ns_per_request, ns_per_request,
+                         static_cast<double>(requests)});
+      if (rep == 0 || run.wall_ms < best.wall_ms) best = run;
+    }
+    std::printf("%-32s %10.1f %10.0f %7.2f %9zu\n", scenario.name,
+                best.wall_ms, best.qps, best.fanout, best.answers);
+  }
+
+  constexpr size_t kCodecOps = 20000;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    const double request_ns = RequestRoundTripNs(kCodecOps);
+    const double response_ns = ResponseRoundTripNs(kCodecOps / 10, 250);
+    results.push_back({"BM_NetCodec/request_roundtrip", request_ns,
+                       request_ns, static_cast<double>(kCodecOps)});
+    results.push_back({"BM_NetCodec/response_roundtrip", response_ns,
+                       response_ns, static_cast<double>(kCodecOps / 10)});
+    if (rep + 1 == reps) {
+      std::printf("%-32s %8.0f ns/op\n", "BM_NetCodec/request_roundtrip",
+                  request_ns);
+      std::printf("%-32s %8.0f ns/op\n", "BM_NetCodec/response_roundtrip",
+                  response_ns);
+    }
+  }
+
+  const uint64_t retries = mono.router->stats().retries +
+                           fleet.router->stats().retries;
+  for (auto& server : mono.servers) server->Stop();
+  for (auto& server : fleet.servers) server->Stop();
+
+  // Own default filename so the net scenarios never clobber another
+  // bench's JSON in the same directory; ILQ_BENCH_JSON still overrides.
+  const char* json_env = std::getenv("ILQ_BENCH_JSON");
+  const std::string path = json_env != nullptr ? json_env : "BENCH_net.json";
+  const Status status = WriteMicroBenchJson(path, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu net scenarios to %s (%llu retries)\n",
+              results.size(), path.c_str(),
+              static_cast<unsigned long long>(retries));
+  std::printf("expected shape: loopback adds codec+syscall overhead over "
+              "in-process serving but fan-out stays below the shard count; "
+              "codec round-trips sit in the sub-microsecond range.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Multi-process serving tier, end to end on one machine: generate a
+// catalog image, split it into per-shard image files + a shard map (the
+// exact artifacts a real deployment distributes), boot a fleet of
+// ShardServers from the *files*, fan queries out through a Router — and
+// verify the merged answers are bit-identical to a monolithic QueryEngine
+// built from the original image.
+//
+//   build/examples/router_demo [--shards=N] [--queries=N] [--keep-files]
+//
+// --keep-files leaves shard<i>.ilqs + shards.ilqm in the working directory
+// for use with standalone examples/shard_server processes.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "datagen/snapshot_gen.h"
+#include "datagen/workload.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "serve/partition.h"
+#include "serve/sharded_engine.h"
+#include "wire/shard_map.h"
+#include "wire/snapshot_codec.h"
+
+using namespace ilq;
+
+namespace {
+
+double ParseFlag(int argc, char** argv, const char* flag, double fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::atof(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto shards =
+      static_cast<size_t>(ParseFlag(argc, argv, "--shards", 4));
+  const auto queries =
+      static_cast<size_t>(ParseFlag(argc, argv, "--queries", 24));
+  const bool keep_files = HasFlag(argc, argv, "--keep-files");
+
+  // 1. One deterministic catalog image (scaled-down paper geometry).
+  SnapshotGenConfig gen;
+  gen.points.count = 12000;
+  gen.points.seed = 20070415;
+  gen.uncertains.base.count = 9000;
+  gen.uncertains.base.seed = 20070416;
+  Result<CatalogImage> image = GenerateCatalogImage(gen);
+  ILQ_CHECK(image.ok(), image.status().ToString());
+
+  // 2. Split into shard images + routing map, and round-trip everything
+  // through the on-disk formats — the fleet boots from files, not RAM.
+  Result<SplitImage> split = SplitCatalogImage(*image, shards);
+  ILQ_CHECK(split.ok(), split.status().ToString());
+  std::vector<std::string> shard_files;
+  for (size_t s = 0; s < split->shards.size(); ++s) {
+    shard_files.push_back("shard" + std::to_string(s) + ".ilqs");
+    const Status saved =
+        SaveCatalogImage(shard_files.back(), split->shards[s]);
+    ILQ_CHECK(saved.ok(), saved.ToString());
+  }
+  const std::string map_file = "shards.ilqm";
+  ILQ_CHECK(SaveShardMap(map_file, split->map).ok(), "shard map save");
+  std::printf("split %zu+%zu objects into %zu shard images + %s\n",
+              image->points.size(), image->uncertains.size(),
+              split->shards.size(), map_file.c_str());
+
+  // 3. Boot the fleet from the files (threads here; the same bytes drive
+  // standalone shard_server processes).
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  RouterOptions router_options;
+  for (const std::string& file : shard_files) {
+    Result<CatalogImage> shard_image = LoadCatalogImage(file);
+    ILQ_CHECK(shard_image.ok(), shard_image.status().ToString());
+    ShardedEngineConfig engine_config;
+    engine_config.shards = 1;
+    Result<ShardedEngine> engine = ShardedEngine::Build(
+        std::move(shard_image->points), std::move(shard_image->uncertains),
+        engine_config);
+    ILQ_CHECK(engine.ok(), engine.status().ToString());
+    engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    servers.push_back(std::make_unique<ShardServer>(*engines.back()));
+    ILQ_CHECK(servers.back()->Start().ok(), "server start");
+    router_options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", servers.back()->port()});
+  }
+
+  Result<ShardMap> map = LoadShardMap(map_file);
+  ILQ_CHECK(map.ok(), map.status().ToString());
+  router_options.map = std::move(map).ValueOrDie();
+  Result<Router> router = Router::Make(std::move(router_options));
+  ILQ_CHECK(router.ok(), router.status().ToString());
+
+  // 4. The reference: a monolithic engine over the original image.
+  Result<QueryEngine> mono =
+      QueryEngine::Build(image->points, image->uncertains, EngineConfig{});
+  ILQ_CHECK(mono.ok(), mono.status().ToString());
+
+  // 5. Fan out a workload across every query method; every answer must be
+  // bit-identical to the monolith.
+  WorkloadConfig workload_config;
+  workload_config.queries = queries;
+  workload_config.seed = 7;
+  Result<Workload> workload = GenerateWorkload(workload_config);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  BatchSpec spec;
+  spec.query = workload->spec;
+
+  size_t checked = 0, answers_total = 0;
+  for (const UncertainObject& issuer : workload->issuers) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      Result<AnswerSet> remote = router->Query(issuer, method, spec);
+      ILQ_CHECK(remote.ok(), remote.status().ToString());
+      AnswerSet local = RunQueryMethod(*mono, method, issuer, spec);
+      CanonicalizeAnswers(&local);
+      ILQ_CHECK(remote->size() == local.size(), "answer count mismatch");
+      for (size_t i = 0; i < local.size(); ++i) {
+        ILQ_CHECK((*remote)[i].id == local[i].id &&
+                      (*remote)[i].probability == local[i].probability,
+                  "answer mismatch vs monolithic engine");
+      }
+      ++checked;
+      answers_total += local.size();
+    }
+  }
+
+  const RouterStats stats = router->stats();
+  std::printf("%zu queries x %zu methods: %zu answers, all bit-identical "
+              "to the monolithic engine\n",
+              workload->issuers.size(),
+              static_cast<size_t>(kQueryMethodCount), answers_total);
+  std::printf("router:  %llu shard calls for %llu queries (%.2f avg "
+              "fan-out of %zu shards), %llu retries\n",
+              static_cast<unsigned long long>(stats.shard_calls),
+              static_cast<unsigned long long>(stats.queries),
+              stats.queries == 0 ? 0.0
+                                 : static_cast<double>(stats.shard_calls) /
+                                       static_cast<double>(stats.queries),
+              router->shard_count(),
+              static_cast<unsigned long long>(stats.retries));
+  for (size_t s = 0; s < servers.size(); ++s) {
+    const ShardServerStats server_stats = servers[s]->stats();
+    std::printf("shard %zu: %llu requests served on port %u\n", s,
+                static_cast<unsigned long long>(server_stats.requests_ok),
+                servers[s]->port());
+  }
+
+  for (auto& server : servers) server->Stop();
+  if (!keep_files) {
+    for (const std::string& file : shard_files) std::remove(file.c_str());
+    std::remove(map_file.c_str());
+  } else {
+    std::printf("kept %zu shard images + %s (serve them with "
+                "examples/shard_server)\n",
+                shard_files.size(), map_file.c_str());
+  }
+  ILQ_CHECK(checked == workload->issuers.size() * kQueryMethodCount,
+            "coverage");
+  return 0;
+}

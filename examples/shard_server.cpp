@@ -1,0 +1,116 @@
+// Shard server process: loads a catalog-image file and serves it over the
+// binary wire protocol until SIGTERM/SIGINT, then drains gracefully
+// (in-flight queries complete and their responses go out before exit).
+//
+//   build/examples/shard_server --snapshot=shard0.ilqs [--port=9090]
+//                               [--threads=N] [--timeout-ms=MS]
+//
+// Produce per-shard image files with examples/router_demo --keep-files or
+// wire/snapshot_codec.h's SaveCatalogImage; port 0 (default) binds an
+// ephemeral port and prints it, which is what the loopback tests use.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/shard_server.h"
+#include "serve/sharded_engine.h"
+#include "wire/snapshot_codec.h"
+
+using namespace ilq;
+
+namespace {
+
+// Signal handlers may only flip the flag; main does the draining.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+std::string ParseStringFlag(int argc, char** argv, const char* flag,
+                            const std::string& fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::string(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+long ParseLongFlag(int argc, char** argv, const char* flag, long fallback) {
+  const std::string value =
+      ParseStringFlag(argc, argv, flag, std::to_string(fallback));
+  return std::strtol(value.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string snapshot_path =
+      ParseStringFlag(argc, argv, "--snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: shard_server --snapshot=FILE [--port=N] "
+                 "[--threads=N] [--timeout-ms=MS]\n");
+    return 2;
+  }
+
+  Result<CatalogImage> image = LoadCatalogImage(snapshot_path);
+  if (!image.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", snapshot_path.c_str(),
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: epoch %llu, %zu points, %zu uncertain objects\n",
+              snapshot_path.c_str(),
+              static_cast<unsigned long long>(image->epoch),
+              image->points.size(), image->uncertains.size());
+
+  // One server process serves its whole image slice: a single-shard
+  // engine (the cross-shard fan-out happens in the Router).
+  ShardedEngineConfig engine_config;
+  engine_config.shards = 1;
+  Result<ShardedEngine> engine =
+      ShardedEngine::Build(std::move(image->points),
+                           std::move(image->uncertains), engine_config);
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+
+  ShardServerOptions options;
+  options.port = static_cast<uint16_t>(ParseLongFlag(argc, argv, "--port", 0));
+  options.recv_timeout_ms =
+      static_cast<int>(ParseLongFlag(argc, argv, "--timeout-ms", 0));
+  options.serve.threads =
+      static_cast<size_t>(ParseLongFlag(argc, argv, "--threads", 0));
+
+  ShardServer server(*engine, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on port %u (SIGTERM drains and exits)\n",
+              server.port());
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  server.Stop();
+  const ShardServerStats stats = server.stats();
+  std::printf("served %llu requests over %llu connections "
+              "(%llu rejected, %llu I/O errors)\n",
+              static_cast<unsigned long long>(stats.requests_ok),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests_rejected),
+              static_cast<unsigned long long>(stats.io_errors));
+  return 0;
+}

@@ -34,6 +34,7 @@ enum class StatusCode {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -80,6 +81,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

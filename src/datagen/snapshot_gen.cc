@@ -1,0 +1,23 @@
+#include "datagen/snapshot_gen.h"
+
+#include <utility>
+#include <vector>
+
+namespace ilq {
+
+Result<CatalogImage> GenerateCatalogImage(const SnapshotGenConfig& config) {
+  CatalogImage image;
+  image.epoch = config.epoch;
+  image.points = GenerateCaliforniaLikePoints(config.points);
+
+  const std::vector<Rect> regions = GenerateLongBeachLikeRects(
+      config.uncertains);
+  auto uncertains = config.gaussian_pdfs
+                        ? MakeGaussianUncertainObjects(regions)
+                        : MakeUniformUncertainObjects(regions);
+  ILQ_RETURN_NOT_OK(uncertains.status());
+  image.uncertains = std::move(uncertains).ValueOrDie();
+  return image;
+}
+
+}  // namespace ilq

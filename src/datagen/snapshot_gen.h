@@ -1,0 +1,40 @@
+// Catalog-image generation for the multi-process serving tier: bundles the
+// synthetic TIGER-like generators (datagen/synthetic.h) into the
+// CatalogImage the wire layer persists (wire/snapshot_codec.h), so a shard
+// fleet and an in-process engine can bootstrap from the *same bytes* — the
+// precondition for the bit-identity tests and the examples/router_demo
+// walkthrough.
+
+#ifndef ILQ_DATAGEN_SNAPSHOT_GEN_H_
+#define ILQ_DATAGEN_SNAPSHOT_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datagen/synthetic.h"
+#include "object/snapshot.h"
+
+namespace ilq {
+
+/// \brief How a generated catalog image should look.
+struct SnapshotGenConfig {
+  /// Point-object set ("California"-like).
+  SyntheticConfig points;
+
+  /// Uncertain-object regions ("Long Beach"-like).
+  RectangleConfig uncertains;
+
+  /// Attach Gaussian pdfs (paper Figure 13) instead of the default
+  /// uniform fi = 1/|Ui|.
+  bool gaussian_pdfs = false;
+
+  /// Epoch stamped into the image (0 = freshly generated).
+  uint64_t epoch = 0;
+};
+
+/// Generates a deterministic catalog image: same config, same bytes.
+Result<CatalogImage> GenerateCatalogImage(const SnapshotGenConfig& config);
+
+}  // namespace ilq
+
+#endif  // ILQ_DATAGEN_SNAPSHOT_GEN_H_

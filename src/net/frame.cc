@@ -1,0 +1,40 @@
+#include "net/frame.h"
+
+#include <array>
+
+#include "wire/codec.h"
+
+namespace ilq {
+
+Status WriteFrame(Socket& socket, FrameType type,
+                  std::span<const uint8_t> payload) {
+  ByteWriter writer;
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), &writer);
+  writer.Raw(payload);
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  return socket.SendAll(bytes);
+}
+
+Status ReadFrame(Socket& socket, size_t max_payload_bytes, FrameType* type,
+                 std::vector<uint8_t>* payload) {
+  std::array<uint8_t, kFrameHeaderBytes> header_bytes{};
+  Status status = socket.RecvExact(header_bytes.data(), header_bytes.size());
+  if (!status.ok()) return status;  // kNotFound here = clean close
+
+  FrameHeader header;
+  ILQ_RETURN_NOT_OK(
+      DecodeFrameHeader(header_bytes, max_payload_bytes, &header));
+  *type = header.type;
+
+  payload->resize(header.payload_size);
+  if (header.payload_size == 0) return Status::OK();
+  status = socket.RecvExact(payload->data(), payload->size());
+  if (status.code() == StatusCode::kNotFound) {
+    // EOF between header and payload is a truncated frame, not a clean
+    // close — remap so callers see exactly one "peer is gone" code.
+    return Status::IOError("connection closed mid-frame (payload missing)");
+  }
+  return status;
+}
+
+}  // namespace ilq

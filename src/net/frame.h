@@ -1,0 +1,44 @@
+// Framed message transport: moves wire/message.h frames over a Socket.
+//
+// A frame on the wire is the 6-byte header from wire/message.h (u32
+// payload size, u8 version, u8 type) followed by the payload. ReadFrame
+// validates the header BEFORE allocating or reading the payload, so an
+// adversarial peer cannot make the server allocate more than
+// max_payload_bytes.
+//
+// Status contract (on top of net/socket.h's):
+//   kNotFound          peer closed cleanly between frames
+//   kIOError           peer vanished mid-frame (header or payload cut)
+//   kDeadlineExceeded  receive timeout elapsed (slow peer)
+//   kOutOfRange        declared payload exceeds max_payload_bytes — the
+//                      stream cannot be resynced, close the connection
+//   kInvalidArgument   unknown version or frame type
+
+#ifndef ILQ_NET_FRAME_H_
+#define ILQ_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "wire/message.h"
+
+namespace ilq {
+
+/// Sends one frame (header + payload in a single buffered send).
+Status WriteFrame(Socket& socket, FrameType type,
+                  std::span<const uint8_t> payload);
+
+/// Receives one frame into \p type / \p payload, enforcing
+/// \p max_payload_bytes before allocation. See the Status contract above;
+/// any non-OK return except kNotFound means the connection should be
+/// dropped or has already failed.
+Status ReadFrame(Socket& socket, size_t max_payload_bytes, FrameType* type,
+                 std::vector<uint8_t>* payload);
+
+}  // namespace ilq
+
+#endif  // ILQ_NET_FRAME_H_

@@ -1,0 +1,130 @@
+#include "net/router.h"
+
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "serve/sharded_engine.h"
+#include "wire/codec.h"
+
+namespace ilq {
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  connections_.resize(options_.endpoints.size());
+}
+
+Result<Router> Router::Make(RouterOptions options) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("router needs at least one endpoint");
+  }
+  if (options.endpoints.size() != options.map.size()) {
+    return Status::InvalidArgument(
+        "endpoint list and shard map disagree: " +
+        std::to_string(options.endpoints.size()) + " endpoints vs " +
+        std::to_string(options.map.size()) + " shards");
+  }
+  return Router(std::move(options));
+}
+
+void Router::DisconnectAll() {
+  for (Socket& conn : connections_) conn.Close();
+}
+
+Status Router::EnsureConnected(size_t shard) {
+  if (connections_[shard].valid()) return Status::OK();
+  const RouterEndpoint& endpoint = options_.endpoints[shard];
+  auto connected = Socket::Connect(endpoint.host, endpoint.port);
+  ILQ_RETURN_NOT_OK(connected.status());
+  connections_[shard] = std::move(connected).ValueOrDie();
+  if (options_.timeout_ms > 0) {
+    ILQ_RETURN_NOT_OK(
+        connections_[shard].SetRecvTimeout(options_.timeout_ms));
+  }
+  stats_.reconnects++;
+  return Status::OK();
+}
+
+Result<WireResponse> Router::CallShardOnce(
+    size_t shard, std::span<const uint8_t> request_bytes) {
+  ILQ_RETURN_NOT_OK(EnsureConnected(shard));
+  Socket& conn = connections_[shard];
+  stats_.shard_calls++;
+
+  Status status = WriteFrame(conn, FrameType::kRequest, request_bytes);
+  if (!status.ok()) return status;
+
+  FrameType type = FrameType::kResponse;
+  std::vector<uint8_t> payload;
+  status = ReadFrame(conn, options_.max_frame_bytes, &type, &payload);
+  if (!status.ok()) return status;
+
+  if (type == FrameType::kError) {
+    // Semantic rejection from a live server. (A server-sent
+    // kDeadlineExceeded — the slow-peer drop — reads as a transport code
+    // upstream and gets one retry on a fresh connection, which is the
+    // right reaction to that error anyway.)
+    Status server_error = Status::OK();
+    ILQ_RETURN_NOT_OK(DecodeError(payload, &server_error));
+    return server_error;
+  }
+  if (type != FrameType::kResponse) {
+    return Status::InvalidArgument("unexpected frame type from shard");
+  }
+  return DecodeResponse(payload);
+}
+
+Result<WireResponse> Router::CallShard(
+    size_t shard, std::span<const uint8_t> request_bytes) {
+  for (size_t attempt = 0;; ++attempt) {
+    auto response = CallShardOnce(shard, request_bytes);
+    if (response.ok()) return response;
+
+    // Transport failures (peer gone, reset, deadline) are worth a
+    // reconnect-and-resend: the shard may have restarted. Everything else
+    // — including a kError frame a live server sent — is final.
+    const StatusCode code = response.status().code();
+    const bool transport = code == StatusCode::kNotFound ||
+                           code == StatusCode::kIOError ||
+                           code == StatusCode::kDeadlineExceeded;
+    connections_[shard].Close();
+    if (!transport || attempt >= options_.retries) {
+      stats_.failures++;
+      return response;
+    }
+    stats_.retries++;
+  }
+}
+
+Result<AnswerSet> Router::Query(const UncertainObject& issuer,
+                                QueryMethod method, const BatchSpec& spec,
+                                WireServeStats* last_stats) {
+  stats_.queries++;
+
+  WireRequest request;
+  request.issuer_id = issuer.id();
+  request.issuer_pdf = issuer.pdf_variant();
+  request.method = method;
+  request.spec = spec;
+  ByteWriter writer;
+  ILQ_RETURN_NOT_OK(EncodeRequest(request, &writer));
+  const std::vector<uint8_t> request_bytes = std::move(writer).Take();
+
+  // Identical routing to ShardedEngine::Run — same function, same map
+  // shape — so the fleet evaluates exactly the shards the in-process
+  // engine would.
+  const std::vector<size_t> routed =
+      RouteOverShardMap(options_.map, method, issuer, spec.query);
+
+  AnswerSet merged;
+  for (const size_t shard : routed) {
+    auto response = CallShard(shard, request_bytes);
+    ILQ_RETURN_NOT_OK(response.status());
+    WireResponse& r = *response;
+    merged.insert(merged.end(), r.answers.begin(), r.answers.end());
+    if (last_stats != nullptr) *last_stats = r.stats;
+  }
+  CanonicalizeAnswers(&merged);
+  return merged;
+}
+
+}  // namespace ilq

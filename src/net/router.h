@@ -1,0 +1,125 @@
+// Router — the client half of the multi-process serving tier.
+//
+// Holds one persistent connection per shard server and answers queries by
+// Minkowski-box fan-out: RouteOverShardMap (the exact routine
+// ShardedEngine::Run uses in-process) picks the shards whose bounds
+// intersect the expanded query box, each routed shard evaluates the query
+// over its disjoint slice of the catalog, and the id-sorted merge
+// (CanonicalizeAnswers, also shared) reassembles the monolithic answer.
+// Because the partition is a disjoint cover and every evaluator reseeds MC
+// sampling per candidate id, the merged AnswerSet is bit-identical to both
+// the monolithic QueryEngine and the in-process ShardedEngine — asserted
+// end-to-end by tests/net_loopback_test.cc.
+//
+// Fault handling: each shard call has a receive deadline (timeout_ms). On
+// a transport failure (connection refused / reset / deadline) the router
+// drops the cached connection and retries the call on a fresh one up to
+// `retries` times — enough to ride out a shard restart. Semantic errors
+// (a kError frame from a live server) are returned to the caller as-is,
+// not retried. A query fails as a whole when any routed shard stays
+// unreachable; the router never returns partial answers.
+//
+// Not thread-safe: one Router per client thread (it is a thin bundle of
+// sockets; share nothing).
+
+#ifndef ILQ_NET_ROUTER_H_
+#define ILQ_NET_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "net/socket.h"
+#include "object/uncertain_object.h"
+#include "wire/message.h"
+#include "wire/shard_map.h"
+
+namespace ilq {
+
+/// \brief Where one shard server listens.
+struct RouterEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// \brief Router construction knobs.
+struct RouterOptions {
+  /// One endpoint per shard, in ShardMap order (endpoint i serves the
+  /// objects behind map[i]).
+  std::vector<RouterEndpoint> endpoints;
+
+  /// Routing bounds, from SplitCatalogImage / ShardedEngine /
+  /// LoadShardMap.
+  ShardMap map;
+
+  /// Per-shard-call receive deadline (ms); 0 waits forever.
+  int timeout_ms = 5000;
+
+  /// Reconnect-and-resend attempts after a transport failure (0 = fail
+  /// fast on the first broken call).
+  size_t retries = 1;
+
+  /// Per-frame payload limit (must be >= the servers' limit to accept
+  /// their largest response).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// \brief Counter snapshot returned by Router::stats().
+struct RouterStats {
+  uint64_t queries = 0;      ///< Query() calls
+  uint64_t shard_calls = 0;  ///< request frames sent (incl. retries)
+  uint64_t retries = 0;      ///< reconnect-and-resend attempts
+  uint64_t failures = 0;     ///< shard calls that failed after retries
+  uint64_t reconnects = 0;   ///< connections (re)established
+};
+
+/// \brief Fan-out client over a fleet of ShardServers.
+class Router {
+ public:
+  /// Validates that endpoints and map agree in size. Connections are
+  /// established lazily on first use (so a Router can be built before its
+  /// servers finish starting).
+  static Result<Router> Make(RouterOptions options);
+
+  Router(Router&&) = default;
+  Router& operator=(Router&&) = default;
+
+  /// Evaluates one query across the fleet and merges the answers. The
+  /// issuer needs only an id and a pdf (its region drives routing; the
+  /// catalog is rebuilt server-side). \p last_stats, when given, receives
+  /// the WireServeStats of the last shard that answered.
+  Result<AnswerSet> Query(const UncertainObject& issuer, QueryMethod method,
+                          const BatchSpec& spec,
+                          WireServeStats* last_stats = nullptr);
+
+  RouterStats stats() const { return stats_; }
+
+  size_t shard_count() const { return options_.map.size(); }
+  const ShardMap& map() const { return options_.map; }
+
+  /// Drops every cached connection (next Query reconnects).
+  void DisconnectAll();
+
+ private:
+  explicit Router(RouterOptions options);
+
+  Status EnsureConnected(size_t shard);
+  /// One request/response exchange with shard \p shard, reconnecting and
+  /// retrying per RouterOptions::retries.
+  Result<WireResponse> CallShard(size_t shard,
+                                 std::span<const uint8_t> request_bytes);
+  /// The exchange itself, over the current connection; transport errors
+  /// only (semantic kError frames decode to an OK-transport Result).
+  Result<WireResponse> CallShardOnce(size_t shard,
+                                     std::span<const uint8_t> request_bytes);
+
+  RouterOptions options_;
+  std::vector<Socket> connections_;  // invalid() = not connected
+  RouterStats stats_;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_NET_ROUTER_H_

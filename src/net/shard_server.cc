@@ -1,0 +1,258 @@
+#include "net/shard_server.h"
+
+#include <algorithm>
+#include <future>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "net/frame.h"
+#include "object/uncertain_object.h"
+#include "wire/codec.h"
+
+namespace ilq {
+
+ShardServer::ShardServer(const ShardedEngine& engine,
+                         ShardServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      async_(engine, options_.serve) {
+  options_.max_connections = std::max<size_t>(options_.max_connections, 1);
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  auto listener = ListenSocket::Listen(options_.port);
+  ILQ_RETURN_NOT_OK(listener.status());
+  listener_ = std::move(listener).ValueOrDie();
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // The accept loop notices stopping_ within its poll interval; join it
+  // BEFORE touching the listener so no thread ever closes an fd another
+  // thread is polling.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // Unblock every handler stuck in a read, then join them. In-flight
+  // queries run to completion inside the handlers (future.get() before the
+  // shutdown is visible on their socket), so their responses go out.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) conn->socket.ShutdownBoth();
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  async_.Shutdown();
+}
+
+ShardServerStats ShardServer::stats() const {
+  ShardServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_refused =
+      connections_refused_.load(std::memory_order_relaxed);
+  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  stats.requests_rejected =
+      requests_rejected_.load(std::memory_order_relaxed);
+  stats.io_errors = io_errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.active_connections = connections_.size();
+  }
+  return stats;
+}
+
+void ShardServer::AcceptLoop() {
+  // 50 ms poll interval bounds how long Stop() waits on this thread.
+  constexpr int kAcceptPollMs = 50;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept(kAcceptPollMs);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // poll tick; re-check the stop flag
+      }
+      break;  // listener closed (Stop) or broken
+    }
+    Socket socket = std::move(accepted).ValueOrDie();
+
+    ReapFinishedConnections();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (connections_.size() >= options_.max_connections) {
+        connections_refused_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(socket, Status::FailedPrecondition(
+                                   "server at connection limit"));
+        continue;  // socket closes on scope exit
+      }
+    }
+
+    if (options_.recv_timeout_ms > 0) {
+      (void)socket.SetRecvTimeout(options_.recv_timeout_ms);
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(socket);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+void ShardServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void ShardServer::HandleConnection(Connection* conn) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    FrameType type = FrameType::kRequest;
+    std::vector<uint8_t> payload;
+    const Status status =
+        ReadFrame(conn->socket, options_.max_frame_bytes, &type, &payload);
+
+    if (status.code() == StatusCode::kNotFound) break;  // clean close
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      // Slow peer: tell it why (best effort) and drop the connection.
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn->socket, status);
+      break;
+    }
+    if (status.code() == StatusCode::kOutOfRange) {
+      // Oversized or malformed frame header — the stream cannot be
+      // resynced past an unread payload, so report and close.
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn->socket, status);
+      break;
+    }
+    if (status.code() == StatusCode::kInvalidArgument) {
+      // Bad version / frame type: the six header bytes were consumed but
+      // the payload length is untrusted — close rather than resync.
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn->socket, status);
+      break;
+    }
+    if (!status.ok()) {  // peer vanished mid-frame
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+
+    if (type != FrameType::kRequest) {
+      // Frame boundary is intact — reject this message, keep serving.
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn->socket,
+                     Status::InvalidArgument("expected a request frame"));
+      continue;
+    }
+    if (!ServeRequest(conn, payload)) break;
+  }
+  // Send FIN so the peer sees EOF now, but leave the fd open: Stop() may
+  // concurrently ShutdownBoth() this socket, and only the Connection's
+  // destructor (which runs after this thread is joined) may close it.
+  conn->socket.ShutdownBoth();
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool ShardServer::ServeRequest(Connection* conn,
+                               std::span<const uint8_t> payload) {
+  auto request = DecodeRequest(payload);
+  if (!request.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, request.status());
+    return true;  // decode errors are per-message; connection stays up
+  }
+
+  // Rebuild the issuer exactly like the in-process path (MakeIssuer):
+  // id + pdf from the wire, U-catalog from this engine's ladder.
+  UncertainObject issuer(request->issuer_id,
+                         std::move(request->issuer_pdf));
+  const Status catalog_status =
+      issuer.BuildCatalog(engine_.config().engine.catalog_values);
+  if (!catalog_status.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, catalog_status);
+    return true;
+  }
+
+  Stopwatch watch;
+  AnswerSet answers;
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendErrorFrame(conn->socket,
+                   Status::FailedPrecondition("server draining"));
+    return false;
+  }
+  answers = async_.Submit(issuer, request->spec, request->method).get();
+
+  WireResponse response;
+  response.answers = std::move(answers);
+  const ServeStats serve = async_.stats();
+  response.stats.epoch = engine_.epoch();
+  response.stats.server_ms = watch.ElapsedMillis();
+  response.stats.submitted = serve.submitted;
+  response.stats.completed = serve.completed;
+  response.stats.pending = serve.pending;
+  response.stats.p50_ms = serve.p50_ms;
+  response.stats.p95_ms = serve.p95_ms;
+  response.stats.p99_ms = serve.p99_ms;
+
+  ByteWriter writer;
+  const Status encode_status = EncodeResponse(response, &writer);
+  if (!encode_status.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, encode_status);
+    return true;
+  }
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  if (!WriteFrame(conn->socket, FrameType::kResponse, bytes).ok()) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardServer::SendErrorFrame(Socket& socket, const Status& error) {
+  ByteWriter writer;
+  if (!EncodeError(error, &writer).ok()) return;
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  (void)WriteFrame(socket, FrameType::kError, bytes);
+}
+
+}  // namespace ilq

@@ -1,0 +1,157 @@
+// ShardServer — one shard of the multi-process serving tier.
+//
+// Wraps the in-process serving stack (ShardedEngine + AsyncServer) behind a
+// blocking TCP accept loop speaking the wire/message.h protocol: a client
+// sends kRequest frames and gets back one kResponse (answers + serving
+// stats) or kError (the evaluation/decode Status) per request, in order,
+// over a persistent connection.
+//
+// Threading model: one accept thread polls the listener (so Stop() is
+// noticed within an accept-poll interval) and spawns one handler thread per
+// connection, bounded by max_connections — a connection over the limit gets
+// a kError frame (kFailedPrecondition) and an immediate close. Handlers do
+// blocking frame I/O and run queries through the shared AsyncServer, whose
+// bounded queue provides cross-connection backpressure.
+//
+// Fault behavior (asserted by tests/net_fault_test.cc):
+//   * malformed request payload  -> kError frame, connection stays up
+//   * oversized frame            -> kError frame (kOutOfRange), close —
+//                                   the stream cannot be resynced
+//   * peer vanishes mid-frame    -> connection dropped, server keeps
+//                                   serving every other connection
+//   * slow peer (recv timeout)   -> best-effort kError
+//                                   (kDeadlineExceeded), close
+//
+// Shutdown is graceful: Stop() stops accepting, unblocks every in-flight
+// read via socket shutdown, joins the handlers (in-flight queries complete
+// and their responses are sent), then drains the AsyncServer. The
+// examples/shard_server binary wires SIGTERM to Stop() for the
+// multi-process deployment (signal handlers only flip an atomic flag; the
+// main thread does the actual draining).
+
+#ifndef ILQ_NET_SHARD_SERVER_H_
+#define ILQ_NET_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "serve/async_server.h"
+#include "serve/sharded_engine.h"
+#include "wire/message.h"
+
+namespace ilq {
+
+/// \brief Server construction knobs.
+struct ShardServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back from port()).
+  uint16_t port = 0;
+
+  /// Concurrent connections; one over the limit is refused with a kError
+  /// frame. Clamped to >= 1.
+  size_t max_connections = 64;
+
+  /// Per-frame payload limit enforced before allocation.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Receive timeout per connection (ms); a peer silent for longer —
+  /// mid-frame or between frames — is dropped with a best-effort
+  /// kDeadlineExceeded error frame. 0 waits forever (routers hold
+  /// persistent idle connections, so 0 is the right default; tests lower
+  /// it to exercise the slow-peer path).
+  int recv_timeout_ms = 0;
+
+  /// Knobs of the inner AsyncServer (worker threads, queue capacity,
+  /// answer cache).
+  AsyncServerOptions serve;
+};
+
+/// \brief Counter snapshot returned by ShardServer::stats().
+struct ShardServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< over max_connections
+  uint64_t requests_ok = 0;          ///< kResponse frames sent
+  uint64_t requests_rejected = 0;    ///< kError frames sent
+  uint64_t io_errors = 0;            ///< connections lost mid-frame
+  uint64_t active_connections = 0;   ///< handler threads live right now
+};
+
+/// \brief Blocking socket front-end over one shard's engine.
+class ShardServer {
+ public:
+  /// \p engine must outlive the server and is typically a single-shard
+  /// ShardedEngine built from one SplitCatalogImage piece.
+  explicit ShardServer(const ShardedEngine& engine,
+                       ShardServerOptions options = ShardServerOptions{});
+
+  /// Graceful: equivalent to Stop().
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. kIOError when the port
+  /// cannot be bound; kFailedPrecondition when already started.
+  Status Start();
+
+  /// The bound port (resolved for ephemeral binds); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, unblock and join every handler
+  /// (in-flight queries complete and their responses go out), shut down
+  /// the inner AsyncServer. Idempotent; safe from a signal-watching
+  /// thread.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ShardServerStats stats() const;
+
+  /// Inner serving stats (queue depth, latency quantiles) — the source of
+  /// the WireServeStats block in every response.
+  ServeStats serve_stats() const { return async_.stats(); }
+
+  const ShardedEngine& engine() const { return async_.engine(); }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  /// Serves one decoded request; returns false when the connection died.
+  bool ServeRequest(Connection* conn, std::span<const uint8_t> payload);
+  static void SendErrorFrame(Socket& socket, const Status& error);
+  void ReapFinishedConnections();
+
+  const ShardedEngine& engine_;
+  ShardServerOptions options_;
+  AsyncServer async_;
+
+  ListenSocket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;                       // guards connections_
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> io_errors_{0};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_NET_SHARD_SERVER_H_

@@ -1,0 +1,212 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace ilq {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return Status::InvalidArgument("resolve " + host + ": " +
+                                   gai_strerror(rc));
+  }
+
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IOError(Errno("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      freeaddrinfo(resolved);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    last = Status::IOError(Errno("connect"));
+    ::close(fd);
+  }
+  freeaddrinfo(resolved);
+  return last;
+}
+
+Status Socket::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket not open");
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("negative receive timeout");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(std::span<const uint8_t> data) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket not open");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExact(uint8_t* out, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket not open");
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::IOError("connection closed mid-read (" +
+                             std::to_string(got) + "/" + std::to_string(n) +
+                             " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("receive timeout after " +
+                                        std::to_string(got) + "/" +
+                                        std::to_string(n) + " bytes");
+      }
+      return Status::IOError(Errno("recv"));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = std::exchange(o.fd_, -1);
+    port_ = std::exchange(o.port_, static_cast<uint16_t>(0));
+  }
+  return *this;
+}
+
+Result<ListenSocket> ListenSocket::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+
+  // SO_REUSEADDR lets a restarted shard rebind its port while old
+  // connections linger in TIME_WAIT — asserted by the restart fault test.
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const Status status = Status::IOError(Errno("setsockopt(SO_REUSEADDR)"));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(Errno("bind"));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = Status::IOError(Errno("listen"));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status = Status::IOError(Errno("getsockname"));
+    ::close(fd);
+    return status;
+  }
+
+  ListenSocket listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> ListenSocket::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener not open");
+
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return Status::DeadlineExceeded("no connection pending");
+  if (rc < 0) {
+    if (errno == EINTR) return Status::DeadlineExceeded("poll interrupted");
+    return Status::IOError(Errno("poll"));
+  }
+
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Status::IOError(Errno("accept"));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+}  // namespace ilq

@@ -1,0 +1,108 @@
+// Thin RAII wrappers over POSIX TCP sockets — the only file in the tree
+// that touches <sys/socket.h>. Everything above (net/frame.h, the shard
+// server and the router) speaks Status/Result and never sees an fd.
+//
+// Error vocabulary (shared by the whole net layer, asserted by the
+// fault-injection suite):
+//   kNotFound          peer closed cleanly before the first requested byte
+//   kIOError           connection reset / closed mid-read / send failure
+//   kDeadlineExceeded  a configured receive timeout elapsed
+//   kInvalidArgument   unresolvable host, bad port, misuse
+//
+// Blocking I/O with per-socket receive timeouts (SO_RCVTIMEO) keeps the
+// code straight-line; concurrency lives one level up (one handler thread
+// per accepted connection, bounded by ShardServerOptions). ShutdownBoth()
+// is safe to call from another thread and unblocks a stuck RecvExact,
+// which is how the server stops handler threads without cancelling them.
+
+#ifndef ILQ_NET_SOCKET_H_
+#define ILQ_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace ilq {
+
+/// \brief A connected, move-only TCP stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected fd (Accept / tests).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+
+  /// Connects to host:port (numeric or resolvable name). Blocking.
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Receive timeout for subsequent reads; 0 restores "wait forever".
+  Status SetRecvTimeout(int timeout_ms);
+
+  /// Sends all \p data (loops over short writes; SIGPIPE suppressed).
+  Status SendAll(std::span<const uint8_t> data);
+
+  /// Reads exactly \p n bytes. kNotFound when the peer closed before the
+  /// first byte (clean EOF), kIOError when it closed part-way, and
+  /// kDeadlineExceeded when the receive timeout elapsed.
+  Status RecvExact(uint8_t* out, size_t n);
+
+  /// shutdown(2) of both directions: unblocks a RecvExact stuck in
+  /// another thread. The fd stays owned until Close/destruction.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A move-only listening TCP socket (loopback-reachable; binds all
+/// interfaces with SO_REUSEADDR so a restarted shard can reclaim its
+/// port immediately).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ListenSocket(ListenSocket&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  ListenSocket& operator=(ListenSocket&& o) noexcept;
+
+  /// Binds and listens. port 0 picks an ephemeral port (read it back from
+  /// port()).
+  static Result<ListenSocket> Listen(uint16_t port, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolved for ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Waits up to \p timeout_ms for a connection. kDeadlineExceeded when
+  /// none arrived (the accept loop's stop-flag poll interval); kIOError
+  /// when the listener is closed/broken.
+  Result<Socket> Accept(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_NET_SOCKET_H_

@@ -1,0 +1,35 @@
+// CatalogImage — one epoch of the object layer as plain data, the unit
+// the multi-process serving tier persists and ships (ROADMAP wire-protocol
+// item: shard processes bootstrap from a snapshot file instead of
+// re-running datagen).
+//
+// A snapshot is deliberately *not* an engine: no indexes, no U-catalogs —
+// those are deterministic functions of the objects and the EngineConfig, so
+// a shard server rebuilds them on load and answers bit-identically to an
+// engine built from the original vectors (tests/snapshot_test.cc pins
+// this). The binary file format lives in wire/snapshot_codec.h; splitting a
+// snapshot into per-shard snapshots lives in serve/partition.h.
+
+#ifndef ILQ_OBJECT_SNAPSHOT_H_
+#define ILQ_OBJECT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "object/point_object.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief One epoch of a catalog: the two object sets plus the epoch that
+/// produced them (0 for freshly generated data, Catalog::epoch() when
+/// exported from a live catalog).
+struct CatalogImage {
+  uint64_t epoch = 0;
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> uncertains;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_OBJECT_SNAPSHOT_H_

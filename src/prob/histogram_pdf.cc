@@ -35,6 +35,34 @@ Result<HistogramPdf> HistogramPdf::Make(const Rect& region, size_t nx,
   return HistogramPdf(region, nx, ny, std::move(weights));
 }
 
+Result<HistogramPdf> HistogramPdf::FromCellMasses(const Rect& region,
+                                                  size_t nx, size_t ny,
+                                                  std::vector<double> masses) {
+  if (region.IsEmpty() || region.Width() <= 0.0 || region.Height() <= 0.0) {
+    return Status::InvalidArgument(
+        "histogram pdf requires a region with positive area");
+  }
+  if (nx == 0 || ny == 0) {
+    return Status::InvalidArgument("histogram grid must be at least 1x1");
+  }
+  if (masses.size() != nx * ny) {
+    return Status::InvalidArgument("histogram masses size mismatch");
+  }
+  double total = 0.0;
+  for (double m : masses) {
+    if (m < 0.0 || !std::isfinite(m)) {
+      return Status::InvalidArgument(
+          "histogram masses must be finite and non-negative");
+    }
+    total += m;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "histogram masses must sum to 1 (pass raw weights to Make instead)");
+  }
+  return HistogramPdf(region, nx, ny, std::move(masses));
+}
+
 HistogramPdf::HistogramPdf(const Rect& region, size_t nx, size_t ny,
                            std::vector<double> mass)
     : region_(region),

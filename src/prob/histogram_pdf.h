@@ -27,6 +27,15 @@ class HistogramPdf final : public UncertaintyPdf {
   static Result<HistogramPdf> Make(const Rect& region, size_t nx, size_t ny,
                                    std::vector<double> weights);
 
+  /// Rebuilds a pdf from already-normalized cell masses (what
+  /// cell_masses() returned) *without* renormalizing, so the stored masses
+  /// are bit-identical to the source pdf's — the wire/snapshot codecs rely
+  /// on this for exact round-trips. Fails unless the masses are finite,
+  /// non-negative and sum to 1 within 1e-9.
+  static Result<HistogramPdf> FromCellMasses(const Rect& region, size_t nx,
+                                             size_t ny,
+                                             std::vector<double> masses);
+
   Rect bounds() const override { return region_; }
   double Density(const Point& p) const override;
   double MassIn(const Rect& r) const override;
@@ -51,6 +60,10 @@ class HistogramPdf final : public UncertaintyPdf {
 
   size_t nx() const { return nx_; }
   size_t ny() const { return ny_; }
+
+  /// Normalized per-cell masses, y-major (what Make computed from its
+  /// weights); feed to FromCellMasses for an exact reconstruction.
+  const std::vector<double>& cell_masses() const { return mass_; }
 
  private:
   HistogramPdf(const Rect& region, size_t nx, size_t ny,

@@ -79,4 +79,39 @@ Partition PartitionByCentroid(const std::vector<Point>& centroids,
   return result;
 }
 
+Result<SplitImage> SplitCatalogImage(const CatalogImage& snapshot,
+                                           size_t shards) {
+  // Same combined-centroid partition as ShardedEngine::BuildShardSet: one
+  // split covers both datasets, so a shard is one patch of space for
+  // points and uncertains alike.
+  std::vector<Point> centroids;
+  centroids.reserve(snapshot.points.size() + snapshot.uncertains.size());
+  for (const PointObject& p : snapshot.points) {
+    centroids.push_back(p.location);
+  }
+  for (const UncertainObject& u : snapshot.uncertains) {
+    centroids.push_back(u.region().Center());
+  }
+  const Partition partition = PartitionByCentroid(centroids, shards);
+
+  SplitImage split;
+  split.shards.resize(partition.shards);
+  split.map.resize(partition.shards);
+  for (CatalogImage& shard : split.shards) shard.epoch = snapshot.epoch;
+  for (size_t i = 0; i < snapshot.points.size(); ++i) {
+    const uint32_t s = partition.assignment[i];
+    split.shards[s].points.push_back(snapshot.points[i]);
+    split.map[s].point_bounds = split.map[s].point_bounds.Union(
+        Rect::AtPoint(snapshot.points[i].location));
+  }
+  for (size_t i = 0; i < snapshot.uncertains.size(); ++i) {
+    const uint32_t s = partition.assignment[snapshot.points.size() + i];
+    const UncertainObject& object = snapshot.uncertains[i];
+    split.map[s].uncertain_bounds =
+        split.map[s].uncertain_bounds.Union(object.region());
+    split.shards[s].uncertains.push_back(object);
+  }
+  return split;
+}
+
 }  // namespace ilq

@@ -18,7 +18,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "geometry/point.h"
+#include "object/snapshot.h"
+#include "wire/shard_map.h"
 
 namespace ilq {
 
@@ -34,6 +37,24 @@ struct Partition {
 /// Deterministic for identical inputs.
 Partition PartitionByCentroid(const std::vector<Point>& centroids,
                               size_t shards);
+
+/// \brief A catalog split for multi-process serving: one sub-snapshot per
+/// shard plus the ShardMap a Router needs to fan out to them.
+struct SplitImage {
+  std::vector<CatalogImage> shards;  ///< every object in exactly one
+  ShardMap map;                         ///< routing bounds, shard order
+};
+
+/// Splits \p snapshot into \p shards spatially coherent sub-snapshots with
+/// the same combined-centroid k-d partition ShardedEngine::Build uses
+/// in-process, and computes each shard's routing bounds. Every shard
+/// snapshot inherits the source epoch. Deterministic; surplus shards stay
+/// empty. The disjoint-cover property (each object in exactly one shard,
+/// bounds containing every member) is what makes a remote router's merged
+/// answers bit-identical to the monolithic engine — see
+/// serve/sharded_engine.h.
+Result<SplitImage> SplitCatalogImage(const CatalogImage& snapshot,
+                                           size_t shards);
 
 }  // namespace ilq
 

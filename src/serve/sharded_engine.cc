@@ -10,6 +10,35 @@
 
 namespace ilq {
 
+void CanonicalizeAnswers(AnswerSet* answers) {
+  std::sort(answers->begin(), answers->end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.probability < b.probability;
+            });
+  answers->erase(std::unique(answers->begin(), answers->end()),
+                 answers->end());
+}
+
+std::vector<size_t> RouteOverShardMap(const ShardMap& map,
+                                      QueryMethod method,
+                                      const UncertainObject& issuer,
+                                      const RangeQuerySpec& spec) {
+  // Lemma 1: only objects touching R ⊕ U0 can qualify, whichever method
+  // refines the filter afterwards — so bounds ∩ expanded is a complete
+  // (conservative) routing test.
+  const Rect expanded =
+      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
+  const bool use_points = QueryMethodUsesPoints(method);
+  std::vector<size_t> routed;
+  for (size_t s = 0; s < map.size(); ++s) {
+    const Rect& bounds =
+        use_points ? map[s].point_bounds : map[s].uncertain_bounds;
+    if (bounds.Intersects(expanded)) routed.push_back(s);
+  }
+  return routed;
+}
+
 bool QueryMethodUsesPoints(QueryMethod method) {
   switch (method) {
     case QueryMethod::kIpq:
@@ -132,19 +161,12 @@ std::vector<size_t> ShardedEngine::RouteInSet(const ShardSet& set,
                                               QueryMethod method,
                                               const UncertainObject& issuer,
                                               const RangeQuerySpec& spec) {
-  // Lemma 1: only objects touching R ⊕ U0 can qualify, whichever method
-  // refines the filter afterwards — so bounds ∩ expanded is a complete
-  // (conservative) routing test.
-  const Rect expanded =
-      MinkowskiExpandedQuery(issuer.region(), spec.w, spec.h);
-  const bool use_points = QueryMethodUsesPoints(method);
-  std::vector<size_t> routed;
-  for (size_t s = 0; s < set.shards.size(); ++s) {
-    const Rect& bounds = use_points ? set.shards[s].point_bounds
-                                    : set.shards[s].uncertain_bounds;
-    if (bounds.Intersects(expanded)) routed.push_back(s);
+  ShardMap map;
+  map.reserve(set.shards.size());
+  for (const Shard& shard : set.shards) {
+    map.push_back({shard.point_bounds, shard.uncertain_bounds});
   }
-  return routed;
+  return RouteOverShardMap(map, method, issuer, spec);
 }
 
 std::vector<size_t> ShardedEngine::Route(QueryMethod method,
@@ -171,16 +193,20 @@ AnswerSet ShardedEngine::Run(QueryMethod method,
                   std::make_move_iterator(shard_answers.begin()),
                   std::make_move_iterator(shard_answers.end()));
   }
-  // Canonical order: by id, probability bits breaking (never expected)
-  // duplicate ids totally, then exact-duplicate removal. With unique ids
-  // and disjoint shards the sort is the only observable effect.
-  std::sort(merged.begin(), merged.end(),
-            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
-              if (a.id != b.id) return a.id < b.id;
-              return a.probability < b.probability;
-            });
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  // Canonical order (see CanonicalizeAnswers). With unique ids and
+  // disjoint shards the sort is the only observable effect.
+  CanonicalizeAnswers(&merged);
   return merged;
+}
+
+ShardMap ShardedEngine::ExportShardMap() const {
+  const ShardSetPtr current = set();
+  ShardMap map;
+  map.reserve(current->shards.size());
+  for (const Shard& shard : current->shards) {
+    map.push_back({shard.point_bounds, shard.uncertain_bounds});
+  }
+  return map;
 }
 
 Status ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {

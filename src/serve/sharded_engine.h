@@ -62,8 +62,25 @@
 #include "geometry/rect.h"
 #include "object/catalog.h"
 #include "serve/partition.h"
+#include "wire/shard_map.h"
 
 namespace ilq {
+
+/// Canonical answer order of every sharded/merged path: sorted by id
+/// (probability bits break never-expected duplicate ids totally), exact
+/// duplicates removed. ShardedEngine::Run and the remote Router (net/)
+/// both finish with exactly this call, which is what makes their merged
+/// answers bit-comparable.
+void CanonicalizeAnswers(AnswerSet* answers);
+
+/// Minkowski-box routing over a ShardMap: the shards whose relevant bounds
+/// (point or uncertain, per QueryMethodUsesPoints) intersect R ⊕ U0.
+/// Shared by ShardedEngine (in-process fan-out) and Router (remote
+/// fan-out), so the two tiers route identically by construction.
+std::vector<size_t> RouteOverShardMap(const ShardMap& map,
+                                      QueryMethod method,
+                                      const UncertainObject& issuer,
+                                      const RangeQuerySpec& spec);
 
 /// \brief Construction parameters for a sharded catalog.
 struct ShardedEngineConfig {
@@ -153,6 +170,13 @@ class ShardedEngine {
   /// ladder (mirrors QueryEngine::MakeIssuer).
   Result<UncertainObject> MakeIssuer(
       std::unique_ptr<UncertaintyPdf> pdf) const;
+
+  /// The current routing table (point/uncertain bounds per shard) as a
+  /// ShardMap — what a remote Router loads to fan out exactly like Run
+  /// does in-process (wire/shard_map.h has the file format). Snapshot of
+  /// the published set; conservative under churn like the bounds it
+  /// copies.
+  ShardMap ExportShardMap() const;
 
   size_t shard_count() const;
   /// The shard's engine. Valid until the next Resplit publishes a new set

@@ -1,0 +1,32 @@
+#include "wire/codec.h"
+
+namespace ilq {
+
+Status ByteReader::String(std::string* out) {
+  size_t length = 0;
+  ILQ_RETURN_NOT_OK(ReadCount(/*min_element_bytes=*/1, &length));
+  if (length == 0) {
+    out->clear();
+    return Status::OK();
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), length);
+  pos_ += length;
+  return Status::OK();
+}
+
+Status ByteReader::ReadCount(size_t min_element_bytes, size_t* out) {
+  uint32_t count = 0;
+  ILQ_RETURN_NOT_OK(U32(&count));
+  if (count != 0 &&
+      static_cast<uint64_t>(count) * min_element_bytes > remaining()) {
+    pos_ -= sizeof(uint32_t);
+    return Status::OutOfRange(
+        "wire: element count " + std::to_string(count) +
+        " inconsistent with " + std::to_string(remaining()) +
+        " remaining bytes");
+  }
+  *out = count;
+  return Status::OK();
+}
+
+}  // namespace ilq

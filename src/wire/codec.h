@@ -1,0 +1,124 @@
+// Byte-level primitives of the wire layer: a growable little-endian writer
+// and a bounds-checked reader.
+//
+// Everything the multi-process tier persists or transmits — request/response
+// frames (wire/message.h) and catalog snapshots (wire/snapshot_codec.h) —
+// is built from these two types, so the encoding rules live in exactly one
+// place: fixed-width integers little-endian, doubles as the IEEE-754 bit
+// pattern (std::bit_cast, so round-trips are bit-exact), strings and blobs
+// length-prefixed with a u32.
+//
+// The reader never reads past the buffer and never trusts an embedded count
+// without checking it against the bytes that are actually left (see
+// ReadCount) — feeding it arbitrary bytes must yield an error Status, not a
+// crash or a giant allocation. The codec fuzz suite
+// (tests/wire_codec_test.cc) hammers exactly this contract.
+
+#ifndef ILQ_WIRE_CODEC_H_
+#define ILQ_WIRE_CODEC_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ilq {
+
+/// \brief Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v) { AppendLE(v); }
+  void U32(uint32_t v) { AppendLE(v); }
+  void U64(uint64_t v) { AppendLE(v); }
+  /// IEEE-754 bit pattern; decoding returns the identical double.
+  void F64(double v) { AppendLE(std::bit_cast<uint64_t>(v)); }
+  /// u32 length prefix + raw bytes.
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void Raw(std::span<const uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Overwrites 4 bytes at \p offset (frame-length back-patching).
+  void PatchU32(size_t offset, uint32_t v) {
+    for (size_t i = 0; i < 4; ++i) {
+      bytes_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() && { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a borrowed buffer.
+///
+/// Every accessor returns a Status and leaves the cursor unmoved on
+/// failure; kOutOfRange means the buffer ended before the value did
+/// (truncation).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status U8(uint8_t* out) { return ReadLE(out); }
+  Status U16(uint16_t* out) { return ReadLE(out); }
+  Status U32(uint32_t* out) { return ReadLE(out); }
+  Status U64(uint64_t* out) { return ReadLE(out); }
+  Status F64(double* out) {
+    uint64_t bits = 0;
+    ILQ_RETURN_NOT_OK(ReadLE(&bits));
+    *out = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+  Status String(std::string* out);
+
+  /// Reads a u32 element count and validates it against the bytes left:
+  /// the payload must still hold at least count × \p min_element_bytes, so
+  /// a forged count can neither over-allocate nor over-read.
+  Status ReadCount(size_t min_element_bytes, size_t* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  /// True when the whole buffer has been consumed (trailing garbage after
+  /// a message is a decode error for the framed formats).
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Status ReadLE(T* out) {
+    if (remaining() < sizeof(T)) {
+      return Status::OutOfRange("wire: truncated buffer");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::OK();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_WIRE_CODEC_H_

@@ -1,0 +1,306 @@
+#include "wire/message.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace ilq {
+
+namespace {
+
+// Pdf alternative tags. Stable wire values — append, never renumber.
+constexpr uint8_t kPdfUniformRect = 0;
+constexpr uint8_t kPdfUniformDisk = 1;
+constexpr uint8_t kPdfGaussian = 2;
+constexpr uint8_t kPdfHistogram = 3;
+
+void EncodeRect(const Rect& r, ByteWriter* out) {
+  out->F64(r.xmin);
+  out->F64(r.xmax);
+  out->F64(r.ymin);
+  out->F64(r.ymax);
+}
+
+Status DecodeRect(ByteReader* in, Rect* out) {
+  ILQ_RETURN_NOT_OK(in->F64(&out->xmin));
+  ILQ_RETURN_NOT_OK(in->F64(&out->xmax));
+  ILQ_RETURN_NOT_OK(in->F64(&out->ymin));
+  return in->F64(&out->ymax);
+}
+
+Status RequireConsumed(const ByteReader& in, const char* what) {
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(std::string("wire: trailing bytes after ") +
+                                   what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeFrameHeader(FrameType type, uint32_t payload_size,
+                       ByteWriter* out) {
+  out->U32(payload_size);
+  out->U8(kWireVersion);
+  out->U8(static_cast<uint8_t>(type));
+}
+
+Status DecodeFrameHeader(std::span<const uint8_t> bytes, size_t max_payload,
+                         FrameHeader* out) {
+  ByteReader reader(bytes);
+  FrameHeader header;
+  uint8_t type = 0;
+  ILQ_RETURN_NOT_OK(reader.U32(&header.payload_size));
+  ILQ_RETURN_NOT_OK(reader.U8(&header.version));
+  ILQ_RETURN_NOT_OK(reader.U8(&type));
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire: unsupported protocol version " +
+        std::to_string(header.version) + " (expected " +
+        std::to_string(kWireVersion) + ")");
+  }
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse) &&
+      type != static_cast<uint8_t>(FrameType::kError)) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(type));
+  }
+  header.type = static_cast<FrameType>(type);
+  if (header.payload_size > max_payload) {
+    return Status::OutOfRange(
+        "wire: frame payload of " + std::to_string(header.payload_size) +
+        " bytes exceeds the " + std::to_string(max_payload) + "-byte limit");
+  }
+  *out = header;
+  return Status::OK();
+}
+
+// ---- Pdf codec ------------------------------------------------------------
+
+Status EncodePdf(const PdfVariant& pdf, ByteWriter* out) {
+  return std::visit(
+      [out](const auto& alt) -> Status {
+        using T = std::decay_t<decltype(alt)>;
+        if constexpr (std::is_same_v<T, UniformRectPdf>) {
+          out->U8(kPdfUniformRect);
+          EncodeRect(alt.bounds(), out);
+        } else if constexpr (std::is_same_v<T, UniformDiskPdf>) {
+          out->U8(kPdfUniformDisk);
+          out->F64(alt.disk().center.x);
+          out->F64(alt.disk().center.y);
+          out->F64(alt.disk().radius);
+        } else if constexpr (std::is_same_v<T, TruncatedGaussianPdf>) {
+          out->U8(kPdfGaussian);
+          EncodeRect(alt.bounds(), out);
+          out->F64(alt.sigma_x());
+          out->F64(alt.sigma_y());
+        } else if constexpr (std::is_same_v<T, HistogramPdf>) {
+          out->U8(kPdfHistogram);
+          EncodeRect(alt.bounds(), out);
+          out->U32(static_cast<uint32_t>(alt.nx()));
+          out->U32(static_cast<uint32_t>(alt.ny()));
+          for (double m : alt.cell_masses()) out->F64(m);
+        } else {
+          static_assert(std::is_same_v<T, AnyPdf>);
+          return Status::NotImplemented(
+              "wire: AnyPdf (open-world pdf '" + alt.name() +
+              "') has no portable encoding");
+        }
+        return Status::OK();
+      },
+      pdf);
+}
+
+Result<PdfVariant> DecodePdf(ByteReader* in) {
+  uint8_t tag = 0;
+  ILQ_RETURN_NOT_OK(in->U8(&tag));
+  switch (tag) {
+    case kPdfUniformRect: {
+      Rect region;
+      ILQ_RETURN_NOT_OK(DecodeRect(in, &region));
+      Result<UniformRectPdf> pdf = UniformRectPdf::Make(region);
+      if (!pdf.ok()) return pdf.status();
+      return PdfVariant(std::move(pdf).ValueOrDie());
+    }
+    case kPdfUniformDisk: {
+      Circle disk;
+      ILQ_RETURN_NOT_OK(in->F64(&disk.center.x));
+      ILQ_RETURN_NOT_OK(in->F64(&disk.center.y));
+      ILQ_RETURN_NOT_OK(in->F64(&disk.radius));
+      Result<UniformDiskPdf> pdf = UniformDiskPdf::Make(disk);
+      if (!pdf.ok()) return pdf.status();
+      return PdfVariant(std::move(pdf).ValueOrDie());
+    }
+    case kPdfGaussian: {
+      Rect region;
+      double sx = 0.0;
+      double sy = 0.0;
+      ILQ_RETURN_NOT_OK(DecodeRect(in, &region));
+      ILQ_RETURN_NOT_OK(in->F64(&sx));
+      ILQ_RETURN_NOT_OK(in->F64(&sy));
+      Result<TruncatedGaussianPdf> pdf =
+          TruncatedGaussianPdf::Make(region, sx, sy);
+      if (!pdf.ok()) return pdf.status();
+      return PdfVariant(std::move(pdf).ValueOrDie());
+    }
+    case kPdfHistogram: {
+      Rect region;
+      uint32_t nx = 0;
+      uint32_t ny = 0;
+      ILQ_RETURN_NOT_OK(DecodeRect(in, &region));
+      ILQ_RETURN_NOT_OK(in->U32(&nx));
+      ILQ_RETURN_NOT_OK(in->U32(&ny));
+      const uint64_t cells = static_cast<uint64_t>(nx) * ny;
+      if (cells == 0 || cells * sizeof(double) > in->remaining()) {
+        return Status::OutOfRange(
+            "wire: histogram cell count " + std::to_string(cells) +
+            " inconsistent with " + std::to_string(in->remaining()) +
+            " remaining bytes");
+      }
+      std::vector<double> masses(static_cast<size_t>(cells));
+      for (double& m : masses) ILQ_RETURN_NOT_OK(in->F64(&m));
+      Result<HistogramPdf> pdf =
+          HistogramPdf::FromCellMasses(region, nx, ny, std::move(masses));
+      if (!pdf.ok()) return pdf.status();
+      return PdfVariant(std::move(pdf).ValueOrDie());
+    }
+    default:
+      return Status::InvalidArgument("wire: unknown pdf tag " +
+                                     std::to_string(tag));
+  }
+}
+
+// ---- Request --------------------------------------------------------------
+
+PdfVariant WireRequest::MakeDefaultWirePdf() {
+  return PdfVariant(
+      UniformRectPdf::Make(Rect(0.0, 1.0, 0.0, 1.0)).ValueOrDie());
+}
+
+Status EncodeRequest(const WireRequest& request, ByteWriter* out) {
+  out->U8(static_cast<uint8_t>(request.method));
+  out->F64(request.spec.query.w);
+  out->F64(request.spec.query.h);
+  out->F64(request.spec.query.threshold);
+  const uint8_t prune =
+      static_cast<uint8_t>((request.spec.prune.strategy1 ? 1 : 0) |
+                           (request.spec.prune.strategy2 ? 2 : 0) |
+                           (request.spec.prune.strategy3 ? 4 : 0));
+  out->U8(prune);
+  out->U32(request.issuer_id);
+  return EncodePdf(request.issuer_pdf, out);
+}
+
+Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireRequest request;
+  uint8_t method = 0;
+  ILQ_RETURN_NOT_OK(reader.U8(&method));
+  if (method >= kQueryMethodCount) {
+    return Status::InvalidArgument("wire: unknown query method " +
+                                   std::to_string(method));
+  }
+  request.method = static_cast<QueryMethod>(method);
+  ILQ_RETURN_NOT_OK(reader.F64(&request.spec.query.w));
+  ILQ_RETURN_NOT_OK(reader.F64(&request.spec.query.h));
+  ILQ_RETURN_NOT_OK(reader.F64(&request.spec.query.threshold));
+  if (!std::isfinite(request.spec.query.w) || request.spec.query.w < 0.0 ||
+      !std::isfinite(request.spec.query.h) || request.spec.query.h < 0.0) {
+    return Status::InvalidArgument(
+        "wire: query half-extents must be finite and non-negative");
+  }
+  if (!std::isfinite(request.spec.query.threshold) ||
+      request.spec.query.threshold < 0.0 ||
+      request.spec.query.threshold > 1.0) {
+    return Status::InvalidArgument(
+        "wire: probability threshold must lie in [0, 1]");
+  }
+  uint8_t prune = 0;
+  ILQ_RETURN_NOT_OK(reader.U8(&prune));
+  if ((prune & ~uint8_t{7}) != 0) {
+    return Status::InvalidArgument("wire: reserved prune bits set");
+  }
+  request.spec.prune.strategy1 = (prune & 1) != 0;
+  request.spec.prune.strategy2 = (prune & 2) != 0;
+  request.spec.prune.strategy3 = (prune & 4) != 0;
+  ILQ_RETURN_NOT_OK(reader.U32(&request.issuer_id));
+  Result<PdfVariant> pdf = DecodePdf(&reader);
+  if (!pdf.ok()) return pdf.status();
+  request.issuer_pdf = std::move(pdf).ValueOrDie();
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "request"));
+  return request;
+}
+
+// ---- Response -------------------------------------------------------------
+
+Status EncodeResponse(const WireResponse& response, ByteWriter* out) {
+  out->U64(response.stats.epoch);
+  out->F64(response.stats.server_ms);
+  out->U64(response.stats.submitted);
+  out->U64(response.stats.completed);
+  out->U64(response.stats.pending);
+  out->F64(response.stats.p50_ms);
+  out->F64(response.stats.p95_ms);
+  out->F64(response.stats.p99_ms);
+  out->U32(static_cast<uint32_t>(response.answers.size()));
+  for (const ProbabilisticAnswer& answer : response.answers) {
+    out->U32(answer.id);
+    out->F64(answer.probability);
+  }
+  return Status::OK();
+}
+
+Result<WireResponse> DecodeResponse(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireResponse response;
+  ILQ_RETURN_NOT_OK(reader.U64(&response.stats.epoch));
+  ILQ_RETURN_NOT_OK(reader.F64(&response.stats.server_ms));
+  ILQ_RETURN_NOT_OK(reader.U64(&response.stats.submitted));
+  ILQ_RETURN_NOT_OK(reader.U64(&response.stats.completed));
+  ILQ_RETURN_NOT_OK(reader.U64(&response.stats.pending));
+  ILQ_RETURN_NOT_OK(reader.F64(&response.stats.p50_ms));
+  ILQ_RETURN_NOT_OK(reader.F64(&response.stats.p95_ms));
+  ILQ_RETURN_NOT_OK(reader.F64(&response.stats.p99_ms));
+  size_t count = 0;
+  ILQ_RETURN_NOT_OK(
+      reader.ReadCount(sizeof(uint32_t) + sizeof(double), &count));
+  response.answers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ProbabilisticAnswer answer;
+    ILQ_RETURN_NOT_OK(reader.U32(&answer.id));
+    ILQ_RETURN_NOT_OK(reader.F64(&answer.probability));
+    response.answers.push_back(answer);
+  }
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "response"));
+  return response;
+}
+
+// ---- Error ----------------------------------------------------------------
+
+Status EncodeError(const Status& error, ByteWriter* out) {
+  if (error.ok()) {
+    return Status::InvalidArgument(
+        "wire: OK is not an error; send a response frame");
+  }
+  out->U8(static_cast<uint8_t>(error.code()));
+  out->String(error.message());
+  return Status::OK();
+}
+
+Status DecodeError(std::span<const uint8_t> payload, Status* out) {
+  ByteReader reader(payload);
+  uint8_t code = 0;
+  ILQ_RETURN_NOT_OK(reader.U8(&code));
+  if (code == static_cast<uint8_t>(StatusCode::kOk) ||
+      code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("wire: invalid error code " +
+                                   std::to_string(code));
+  }
+  std::string message;
+  ILQ_RETURN_NOT_OK(reader.String(&message));
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "error"));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+}  // namespace ilq

@@ -1,0 +1,161 @@
+// Wire messages of the multi-process serving tier: a versioned,
+// length-prefixed frame envelope plus the three payloads that flow between
+// a Router and a ShardServer (net/).
+//
+// Frame layout (all integers little-endian):
+//
+//   | u32 payload_size | u8 version | u8 type | payload bytes ... |
+//
+// The 6-byte header is fixed; payload_size counts only the payload.
+// Version mismatches and unknown frame types decode to kInvalidArgument; a
+// payload_size above the receiver's limit is rejected as kOutOfRange
+// *before* any allocation (net/frame.h enforces this on the socket path).
+//
+// Payloads:
+//   kRequest   issuer (id + pdf) + QueryMethod + RangeQuerySpec + prune
+//              toggles — everything QueryEngine needs to evaluate one
+//              imprecise query. The issuer's U-catalog is NOT shipped; the
+//              server rebuilds it on its engine's ladder, which is how the
+//              in-process path works too (MakeIssuer), so answers stay
+//              bit-identical.
+//   kResponse  AnswerSet + a WireServeStats block (serving epoch, server-
+//              side latency, queue counters, latency quantiles).
+//   kError     StatusCode + message; DecodeError reconstitutes the Status.
+//
+// Pdf encoding covers the closed-world PdfVariant alternatives (uniform
+// rect/disk, truncated gaussian, histogram). AnyPdf — an arbitrary
+// external UncertaintyPdf — has no portable parameterization and encodes
+// to kNotImplemented; open-world pdfs stay an in-process feature.
+//
+// Every decoder is total: arbitrary bytes yield an error Status, never a
+// crash, never an unchecked allocation (embedded counts are validated
+// against the bytes actually present — ByteReader::ReadCount). Decoded
+// numeric fields are validated (finite spec, threshold in [0,1], pdf
+// factories re-run their own checks), so a malicious peer cannot smuggle
+// NaNs into the evaluators.
+
+#ifndef ILQ_WIRE_MESSAGE_H_
+#define ILQ_WIRE_MESSAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "core/query.h"
+#include "object/point_object.h"
+#include "prob/pdf_variant.h"
+#include "wire/codec.h"
+
+namespace ilq {
+
+/// Protocol version carried in every frame header.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Fixed size of the frame header (u32 size + u8 version + u8 type).
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+/// Default per-frame payload limit (servers and routers can lower/raise it
+/// via their options). Catalog snapshots use their own file format and are
+/// not framed, so 1 MiB comfortably bounds any request/response.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// \brief What a frame carries.
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+/// \brief Decoded frame header.
+struct FrameHeader {
+  uint32_t payload_size = 0;
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kRequest;
+};
+
+/// Appends the 6-byte header for a payload of \p payload_size bytes.
+void EncodeFrameHeader(FrameType type, uint32_t payload_size,
+                       ByteWriter* out);
+
+/// Decodes a header from \p bytes (which must hold at least
+/// kFrameHeaderBytes). kOutOfRange: truncated header or payload_size >
+/// \p max_payload; kInvalidArgument: wrong version or unknown type.
+Status DecodeFrameHeader(std::span<const uint8_t> bytes, size_t max_payload,
+                         FrameHeader* out);
+
+// ---- Pdf codec ------------------------------------------------------------
+
+/// Appends the portable encoding of \p pdf. AnyPdf → kNotImplemented.
+Status EncodePdf(const PdfVariant& pdf, ByteWriter* out);
+
+/// Decodes one pdf, re-validating through the pdf factories (so malformed
+/// parameters fail exactly like malformed constructor arguments).
+Result<PdfVariant> DecodePdf(ByteReader* in);
+
+// ---- Request --------------------------------------------------------------
+
+/// \brief One query as it travels to a shard server.
+struct WireRequest {
+  ObjectId issuer_id = 0;
+  PdfVariant issuer_pdf;
+  QueryMethod method = QueryMethod::kIpq;
+  BatchSpec spec;
+
+  WireRequest() : issuer_pdf(MakeDefaultWirePdf()) {}
+
+ private:
+  static PdfVariant MakeDefaultWirePdf();
+};
+
+/// Encodes the request *payload* (no frame header; see WriteFrame).
+Status EncodeRequest(const WireRequest& request, ByteWriter* out);
+
+/// Decodes a request payload. The whole span must be consumed (trailing
+/// bytes → kInvalidArgument).
+Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload);
+
+// ---- Response -------------------------------------------------------------
+
+/// \brief Server-side counters riding along with every answer.
+struct WireServeStats {
+  uint64_t epoch = 0;       ///< serving epoch the answer was computed at
+  double server_ms = 0.0;   ///< submit-to-complete time on the server
+  uint64_t submitted = 0;   ///< AsyncServer::stats() snapshot...
+  uint64_t completed = 0;
+  uint64_t pending = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  friend bool operator==(const WireServeStats&,
+                         const WireServeStats&) = default;
+};
+
+/// \brief One answer as it travels back to the router.
+struct WireResponse {
+  AnswerSet answers;
+  WireServeStats stats;
+};
+
+/// Encodes the response payload.
+Status EncodeResponse(const WireResponse& response, ByteWriter* out);
+
+/// Decodes a response payload (whole-span consumption enforced).
+Result<WireResponse> DecodeResponse(std::span<const uint8_t> payload);
+
+// ---- Error ----------------------------------------------------------------
+
+/// Encodes a non-OK Status as an error payload (OK → kInvalidArgument;
+/// send a response instead).
+Status EncodeError(const Status& error, ByteWriter* out);
+
+/// Decodes an error payload: \p out receives the Status the frame was
+/// built from; the return value reports the decode itself (Result<Status>
+/// would make the two indistinguishable).
+Status DecodeError(std::span<const uint8_t> payload, Status* out);
+
+}  // namespace ilq
+
+#endif  // ILQ_WIRE_MESSAGE_H_

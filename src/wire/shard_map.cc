@@ -1,0 +1,97 @@
+#include "wire/shard_map.h"
+
+#include <fstream>
+
+namespace ilq {
+
+namespace {
+
+void EncodeRect(const Rect& r, ByteWriter* out) {
+  out->F64(r.xmin);
+  out->F64(r.xmax);
+  out->F64(r.ymin);
+  out->F64(r.ymax);
+}
+
+Status DecodeRect(ByteReader* in, Rect* out) {
+  ILQ_RETURN_NOT_OK(in->F64(&out->xmin));
+  ILQ_RETURN_NOT_OK(in->F64(&out->xmax));
+  ILQ_RETURN_NOT_OK(in->F64(&out->ymin));
+  return in->F64(&out->ymax);
+}
+
+}  // namespace
+
+void EncodeShardMap(const ShardMap& map, ByteWriter* out) {
+  out->U32(kShardMapMagic);
+  out->U16(kShardMapVersion);
+  out->U32(static_cast<uint32_t>(map.size()));
+  for (const ShardBounds& bounds : map) {
+    EncodeRect(bounds.point_bounds, out);
+    EncodeRect(bounds.uncertain_bounds, out);
+  }
+}
+
+Result<ShardMap> DecodeShardMap(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  ILQ_RETURN_NOT_OK(reader.U32(&magic));
+  if (magic != kShardMapMagic) {
+    return Status::InvalidArgument(
+        "shard map: bad magic (not a shard-map file)");
+  }
+  uint16_t version = 0;
+  ILQ_RETURN_NOT_OK(reader.U16(&version));
+  if (version != kShardMapVersion) {
+    return Status::InvalidArgument(
+        "shard map: unsupported format version " + std::to_string(version));
+  }
+  size_t count = 0;
+  ILQ_RETURN_NOT_OK(reader.ReadCount(8 * sizeof(double), &count));
+  ShardMap map;
+  map.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ShardBounds bounds;
+    ILQ_RETURN_NOT_OK(DecodeRect(&reader, &bounds.point_bounds));
+    ILQ_RETURN_NOT_OK(DecodeRect(&reader, &bounds.uncertain_bounds));
+    map.push_back(bounds);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("shard map: trailing bytes");
+  }
+  return map;
+}
+
+Status SaveShardMap(const std::string& path, const ShardMap& map) {
+  ByteWriter writer;
+  EncodeShardMap(map, &writer);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("shard map: cannot open '" + path +
+                           "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("shard map: write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("shard map: cannot open '" + path +
+                           "' for reading");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IOError("shard map: read from '" + path + "' failed");
+  }
+  return DecodeShardMap(bytes);
+}
+
+}  // namespace ilq

@@ -1,0 +1,59 @@
+// Shard map — the routing table of the multi-process tier: per shard, the
+// bounds a router needs for Minkowski-box fan-out (the same two rectangles
+// ShardedEngine keeps per in-process shard).
+//
+// File layout (little-endian):
+//
+//   | u32 magic "ILQM" | u16 version | u32 shard count |
+//   | { point_bounds 4×f64, uncertain_bounds 4×f64 } ... |
+//
+// Empty bounds (a shard with no points, say) are stored as the inverted-
+// bounds Rect::Empty() representation and round-trip exactly.
+
+#ifndef ILQ_WIRE_SHARD_MAP_H_
+#define ILQ_WIRE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "wire/codec.h"
+
+namespace ilq {
+
+/// \brief Routing bounds of one shard: the union box of its point
+/// locations and of its uncertainty regions (either may be empty).
+struct ShardBounds {
+  Rect point_bounds = Rect::Empty();
+  Rect uncertain_bounds = Rect::Empty();
+};
+
+/// The routing table: ShardBounds in shard order. Entry i describes the
+/// shard a router reaches through endpoint i.
+using ShardMap = std::vector<ShardBounds>;
+
+/// First four bytes of every shard-map file: "ILQM".
+inline constexpr uint32_t kShardMapMagic = 0x4D514C49;
+
+/// Current shard-map format version.
+inline constexpr uint16_t kShardMapVersion = 1;
+
+/// Appends the shard-map encoding to \p out.
+void EncodeShardMap(const ShardMap& map, ByteWriter* out);
+
+/// Decodes a shard map. kInvalidArgument: bad magic/version/trailing
+/// bytes; kOutOfRange: truncated.
+Result<ShardMap> DecodeShardMap(std::span<const uint8_t> bytes);
+
+/// Writes the shard map to \p path (overwrite); kIOError on failure.
+Status SaveShardMap(const std::string& path, const ShardMap& map);
+
+/// Reads and decodes a shard-map file.
+Result<ShardMap> LoadShardMap(const std::string& path);
+
+}  // namespace ilq
+
+#endif  // ILQ_WIRE_SHARD_MAP_H_

@@ -1,0 +1,110 @@
+#include "wire/snapshot_codec.h"
+
+#include <fstream>
+#include <utility>
+
+#include "wire/message.h"
+
+namespace ilq {
+
+Status EncodeSnapshot(const CatalogImage& snapshot, ByteWriter* out) {
+  out->U32(kSnapshotMagic);
+  out->U16(kSnapshotVersion);
+  out->U64(snapshot.epoch);
+  out->U32(static_cast<uint32_t>(snapshot.points.size()));
+  for (const PointObject& point : snapshot.points) {
+    out->U32(point.id);
+    out->F64(point.location.x);
+    out->F64(point.location.y);
+  }
+  out->U32(static_cast<uint32_t>(snapshot.uncertains.size()));
+  for (const UncertainObject& object : snapshot.uncertains) {
+    out->U32(object.id());
+    ILQ_RETURN_NOT_OK(EncodePdf(object.pdf_variant(), out));
+  }
+  return Status::OK();
+}
+
+Result<CatalogImage> DecodeSnapshot(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  ILQ_RETURN_NOT_OK(reader.U32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument(
+        "snapshot: bad magic (not a catalog snapshot file)");
+  }
+  uint16_t version = 0;
+  ILQ_RETURN_NOT_OK(reader.U16(&version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot: unsupported format version " + std::to_string(version) +
+        " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+  CatalogImage snapshot;
+  ILQ_RETURN_NOT_OK(reader.U64(&snapshot.epoch));
+
+  size_t point_count = 0;
+  constexpr size_t kPointBytes = sizeof(uint32_t) + 2 * sizeof(double);
+  ILQ_RETURN_NOT_OK(reader.ReadCount(kPointBytes, &point_count));
+  snapshot.points.reserve(point_count);
+  for (size_t i = 0; i < point_count; ++i) {
+    PointObject point;
+    ILQ_RETURN_NOT_OK(reader.U32(&point.id));
+    ILQ_RETURN_NOT_OK(reader.F64(&point.location.x));
+    ILQ_RETURN_NOT_OK(reader.F64(&point.location.y));
+    snapshot.points.push_back(point);
+  }
+
+  size_t uncertain_count = 0;
+  // id + pdf tag is the smallest possible uncertain record.
+  ILQ_RETURN_NOT_OK(reader.ReadCount(sizeof(uint32_t) + 1, &uncertain_count));
+  snapshot.uncertains.reserve(uncertain_count);
+  for (size_t i = 0; i < uncertain_count; ++i) {
+    uint32_t id = 0;
+    ILQ_RETURN_NOT_OK(reader.U32(&id));
+    Result<PdfVariant> pdf = DecodePdf(&reader);
+    if (!pdf.ok()) return pdf.status();
+    snapshot.uncertains.emplace_back(id, std::move(pdf).ValueOrDie());
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot: trailing bytes after the uncertain section");
+  }
+  return snapshot;
+}
+
+Status SaveCatalogImage(const std::string& path,
+                           const CatalogImage& snapshot) {
+  ByteWriter writer;
+  ILQ_RETURN_NOT_OK(EncodeSnapshot(snapshot, &writer));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("snapshot: cannot open '" + path +
+                           "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("snapshot: write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<CatalogImage> LoadCatalogImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("snapshot: cannot open '" + path +
+                           "' for reading");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IOError("snapshot: read from '" + path + "' failed");
+  }
+  return DecodeSnapshot(bytes);
+}
+
+}  // namespace ilq

@@ -1,0 +1,58 @@
+// Binary catalog-snapshot format — how a shard server bootstraps from a
+// file instead of re-running datagen (ROADMAP wire-protocol item).
+//
+// File layout (little-endian, built on wire/codec.h):
+//
+//   | u32 magic "ILQS" | u16 version | u64 epoch |
+//   | u32 point count  | { u32 id, f64 x, f64 y } ...            |
+//   | u32 uncertain count | { u32 id, pdf (wire/message.h) } ... |
+//
+// Pdf parameters are stored as exact IEEE-754 bit patterns, so an engine
+// built from a loaded snapshot answers bit-identically to one built from
+// the original object vectors (tests/snapshot_test.cc). AnyPdf objects are
+// not snapshotable (kNotImplemented — same limit as the wire pdf codec).
+//
+// Decoding is total: wrong magic / wrong version / truncated or corrupt
+// sections return an error Status, never a crash. Counts are validated
+// against the bytes actually present before any allocation.
+
+#ifndef ILQ_WIRE_SNAPSHOT_CODEC_H_
+#define ILQ_WIRE_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "object/snapshot.h"
+#include "wire/codec.h"
+
+namespace ilq {
+
+/// First four bytes of every snapshot file: "ILQS".
+inline constexpr uint32_t kSnapshotMagic = 0x53514C49;
+
+/// Current snapshot format version.
+inline constexpr uint16_t kSnapshotVersion = 1;
+
+/// Appends the snapshot encoding to \p out. Fails (kNotImplemented) when
+/// an uncertain object carries an open-world AnyPdf.
+Status EncodeSnapshot(const CatalogImage& snapshot, ByteWriter* out);
+
+/// Decodes a snapshot from \p bytes. kInvalidArgument: bad magic, version
+/// or section contents; kOutOfRange: truncated.
+Result<CatalogImage> DecodeSnapshot(std::span<const uint8_t> bytes);
+
+/// Writes the snapshot to \p path (overwrite). kIOError on filesystem
+/// failure, kNotImplemented on AnyPdf objects.
+Status SaveCatalogImage(const std::string& path,
+                           const CatalogImage& snapshot);
+
+/// Reads and decodes a snapshot file. kIOError when the file cannot be
+/// read; decode errors as in DecodeSnapshot.
+Result<CatalogImage> LoadCatalogImage(const std::string& path);
+
+}  // namespace ilq
+
+#endif  // ILQ_WIRE_SNAPSHOT_CODEC_H_

@@ -1,0 +1,292 @@
+// Fault-injection suite for the socket serving tier (ISSUE: satellite 2).
+// Each scenario drives a real ShardServer over localhost with a
+// misbehaving peer and asserts (a) the documented Status/error-frame code
+// and (b) that the server keeps serving well-behaved connections:
+//
+//   * malformed request payload  -> kError frame, same connection serves on
+//   * oversized frame            -> kError frame (kOutOfRange), close
+//   * mid-frame disconnect       -> connection dropped (io_errors counter),
+//                                   other connections unaffected
+//   * slow peer                  -> kError frame (kDeadlineExceeded), close
+//   * connection limit           -> kError frame (kFailedPrecondition)
+//   * shard restart              -> router reconnects and retries, query
+//                                   succeeds (retries counter moves)
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "net/socket.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+ShardedEngine MakeSmallEngine() {
+  Rng rng(55);
+  std::vector<PointObject> points;
+  std::vector<UncertainObject> uncertains;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < 50; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+    uncertains.emplace_back(static_cast<ObjectId>(i + 1),
+                            MakeUniform(RandomRect(&rng, space, 15, 70)));
+  }
+  ShardedEngineConfig config;
+  config.shards = 1;
+  auto engine = ShardedEngine::Build(std::move(points),
+                                     std::move(uncertains), config);
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).ValueOrDie();
+}
+
+std::vector<uint8_t> ValidRequestBytes() {
+  WireRequest request;
+  request.issuer_id = 9;
+  request.issuer_pdf =
+      PdfVariant(UniformRectPdf::Make(Rect(100, 300, 100, 300))
+                     .ValueOrDie());
+  request.method = QueryMethod::kIpq;
+  request.spec.query.w = 150.0;
+  request.spec.query.h = 150.0;
+  ByteWriter writer;
+  const Status status = EncodeRequest(request, &writer);
+  ILQ_CHECK(status.ok(), status.ToString());
+  return std::move(writer).Take();
+}
+
+Socket ConnectTo(const ShardServer& server) {
+  auto socket = Socket::Connect("127.0.0.1", server.port());
+  ILQ_CHECK(socket.ok(), socket.status().ToString());
+  return std::move(socket).ValueOrDie();
+}
+
+// Sends one valid request over \p socket and expects a kResponse frame.
+void ExpectServedOn(Socket& socket) {
+  ASSERT_TRUE(
+      WriteFrame(socket, FrameType::kRequest, ValidRequestBytes()).ok());
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(ReadFrame(socket, kDefaultMaxFrameBytes, &type, &payload).ok());
+  ASSERT_EQ(type, FrameType::kResponse);
+  auto response = DecodeResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->answers.empty());
+}
+
+// Reads one frame and expects a kError payload with \p code.
+void ExpectErrorFrame(Socket& socket, StatusCode code) {
+  FrameType type = FrameType::kResponse;
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(ReadFrame(socket, kDefaultMaxFrameBytes, &type, &payload).ok());
+  ASSERT_EQ(type, FrameType::kError);
+  Status error = Status::OK();
+  ASSERT_TRUE(DecodeError(payload, &error).ok());
+  EXPECT_EQ(error.code(), code) << error.ToString();
+}
+
+TEST(NetFaultTest, MalformedPayloadGetsErrorFrameAndConnectionServesOn) {
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServer server(engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket socket = ConnectTo(server);
+  // Garbage payload in a well-formed frame: per-message rejection.
+  const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(WriteFrame(socket, FrameType::kRequest, garbage).ok());
+  {
+    FrameType type = FrameType::kResponse;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(
+        ReadFrame(socket, kDefaultMaxFrameBytes, &type, &payload).ok());
+    ASSERT_EQ(type, FrameType::kError);
+    Status error = Status::OK();
+    ASSERT_TRUE(DecodeError(payload, &error).ok());
+    EXPECT_FALSE(error.ok());
+  }
+  // The SAME connection still serves valid requests afterwards.
+  ExpectServedOn(socket);
+  EXPECT_GE(server.stats().requests_rejected, 1u);
+  server.Stop();
+}
+
+TEST(NetFaultTest, OversizedFrameIsRejectedWithOutOfRangeAndClosed) {
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServerOptions options;
+  options.max_frame_bytes = 256;  // tiny limit; our pdfs fit well below
+  ShardServer server(engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket socket = ConnectTo(server);
+  // A header declaring a payload far above the server's limit. The server
+  // must reject BEFORE reading/allocating the payload — which it proves by
+  // answering even though we never send those bytes.
+  ByteWriter header;
+  EncodeFrameHeader(FrameType::kRequest, 1 << 30, &header);
+  ASSERT_TRUE(socket.SendAll(header.bytes()).ok());
+  ExpectErrorFrame(socket, StatusCode::kOutOfRange);
+  // The stream cannot be resynced: server closes after the error frame.
+  uint8_t byte = 0;
+  EXPECT_EQ(socket.RecvExact(&byte, 1).code(), StatusCode::kNotFound);
+
+  // The server keeps serving fresh connections.
+  Socket fresh = ConnectTo(server);
+  ExpectServedOn(fresh);
+  server.Stop();
+}
+
+TEST(NetFaultTest, MidFrameDisconnectLeavesOtherConnectionsServing) {
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServer server(engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket healthy = ConnectTo(server);
+  ExpectServedOn(healthy);  // established and served before the fault
+
+  {
+    Socket doomed = ConnectTo(server);
+    // Header promises 64 payload bytes; send 10 and vanish.
+    ByteWriter header;
+    EncodeFrameHeader(FrameType::kRequest, 64, &header);
+    ASSERT_TRUE(doomed.SendAll(header.bytes()).ok());
+    const std::vector<uint8_t> partial(10, 0xAA);
+    ASSERT_TRUE(doomed.SendAll(partial).ok());
+  }  // doomed closes mid-frame here
+
+  // The drop is counted as an I/O error (poll briefly; the handler races
+  // the assertion) and the healthy connection is untouched.
+  for (int i = 0; i < 100 && server.stats().io_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.stats().io_errors, 1u);
+  ExpectServedOn(healthy);
+  // The counter bumps after the response hits the socket, so the client
+  // can see the answer slightly before the stat — poll.
+  for (int i = 0; i < 100 && server.stats().requests_ok < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().requests_ok, 2u);
+  server.Stop();
+}
+
+TEST(NetFaultTest, SlowPeerIsDroppedWithDeadlineExceeded) {
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServerOptions options;
+  options.recv_timeout_ms = 100;
+  ShardServer server(engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket socket = ConnectTo(server);
+  // Half a header, then silence — the server's receive deadline fires.
+  const std::vector<uint8_t> stall = {0x01, 0x02, 0x03};
+  ASSERT_TRUE(socket.SendAll(stall).ok());
+  ExpectErrorFrame(socket, StatusCode::kDeadlineExceeded);
+  uint8_t byte = 0;
+  EXPECT_EQ(socket.RecvExact(&byte, 1).code(), StatusCode::kNotFound);
+
+  Socket fresh = ConnectTo(server);
+  ExpectServedOn(fresh);
+  server.Stop();
+}
+
+TEST(NetFaultTest, ConnectionLimitRefusesWithFailedPrecondition) {
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServerOptions options;
+  options.max_connections = 1;
+  ShardServer server(engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Socket first = ConnectTo(server);
+  ExpectServedOn(first);  // occupies the single slot
+
+  Socket second = ConnectTo(server);
+  ExpectErrorFrame(second, StatusCode::kFailedPrecondition);
+  EXPECT_GE(server.stats().connections_refused, 1u);
+
+  // The admitted connection is unaffected; freeing the slot admits again.
+  ExpectServedOn(first);
+  first.Close();
+  for (int i = 0; i < 100; ++i) {
+    Socket retry = ConnectTo(server);
+    ASSERT_TRUE(
+        WriteFrame(retry, FrameType::kRequest, ValidRequestBytes()).ok());
+    FrameType type = FrameType::kError;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(
+        ReadFrame(retry, kDefaultMaxFrameBytes, &type, &payload).ok());
+    if (type == FrameType::kResponse) {
+      server.Stop();
+      return;  // slot was reclaimed
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "closed connection's slot was never reclaimed";
+}
+
+TEST(NetFaultTest, RouterRetriesAcrossShardRestart) {
+  ShardedEngine engine = MakeSmallEngine();
+  auto server = std::make_unique<ShardServer>(engine);
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  RouterOptions options;
+  options.endpoints = {{"127.0.0.1", port}};
+  options.map = engine.ExportShardMap();
+  options.timeout_ms = 2000;
+  options.retries = 1;
+  auto router = Router::Make(std::move(options));
+  ASSERT_TRUE(router.ok());
+
+  UncertainObject issuer(9u, MakeUniform(Rect(100, 300, 100, 300)));
+  BatchSpec spec;
+  spec.query.w = 150.0;
+  spec.query.h = 150.0;
+  auto before = router->Query(issuer, QueryMethod::kIpq, spec);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Kill the shard and restart it on the SAME port (SO_REUSEADDR): the
+  // router's cached connection is now dead.
+  server->Stop();
+  server.reset();
+  ShardServerOptions restart_options;
+  restart_options.port = port;
+  server = std::make_unique<ShardServer>(engine, restart_options);
+  ASSERT_TRUE(server->Start().ok());
+  ASSERT_EQ(server->port(), port);
+
+  auto after = router->Query(issuer, QueryMethod::kIpq, spec);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(router->stats().retries, 1u);
+  EXPECT_EQ(router->stats().failures, 0u);
+
+  // Same catalog, same engine: identical answers across the restart.
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].id, (*after)[i].id);
+    EXPECT_EQ((*before)[i].probability, (*after)[i].probability);
+  }
+  server->Stop();
+
+  // With the fleet gone for good, the query fails with a transport error
+  // after exhausting retries — not a hang, not partial answers.
+  auto dead = router->Query(issuer, QueryMethod::kIpq, spec);
+  EXPECT_FALSE(dead.ok());
+  EXPECT_GE(router->stats().failures, 1u);
+}
+
+}  // namespace
+}  // namespace ilq

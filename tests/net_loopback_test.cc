@@ -1,0 +1,215 @@
+// Loopback end-to-end differential suite (ISSUE: satellite 3). A Router
+// talking to N ShardServers over real localhost sockets must produce
+// AnswerSets bit-identical to BOTH the monolithic QueryEngine and the
+// in-process ShardedEngine — all eight query methods, analytic and
+// Monte-Carlo kernels, uniform and mixed pdf issuers. The three stacks are
+// built from the same SplitCatalogImage artifacts the multi-process
+// deployment distributes, so this is the whole tentpole chain under test:
+// snapshot split → file-less fleet boot → wire round-trip → fan-out →
+// id-sorted merge.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "serve/partition.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+CatalogImage MakeImage(uint64_t seed, size_t uncertains, size_t points) {
+  Rng rng(seed);
+  CatalogImage image;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < points; ++i) {
+    image.points.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  for (size_t i = 0; i < uncertains; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        image.uncertains.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        image.uncertains.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        image.uncertains.emplace_back(
+            id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return image;
+}
+
+AnswerSet Sorted(AnswerSet answers) {
+  CanonicalizeAnswers(&answers);
+  return answers;
+}
+
+class NetLoopbackTest : public ::testing::TestWithParam<ProbabilityKernel> {
+};
+
+TEST_P(NetLoopbackTest, RouterMatchesMonolithAndShardedEngineBitExactly) {
+  const CatalogImage image = MakeImage(101, 150, 100);
+  EngineConfig engine_config;
+  engine_config.eval.kernel = GetParam();
+  engine_config.eval.mc_samples = 64;  // keep the MC variant fast
+
+  // Reference 1: monolithic engine over the full image.
+  auto mono =
+      QueryEngine::Build(image.points, image.uncertains, engine_config);
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+
+  // Reference 2: in-process sharded engine, same shard count.
+  constexpr size_t kShards = 3;
+  ShardedEngineConfig sharded_config;
+  sharded_config.shards = kShards;
+  sharded_config.engine = engine_config;
+  auto sharded = ShardedEngine::Build(image.points, image.uncertains,
+                                      sharded_config);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // The fleet: split → per-shard servers → router.
+  auto split = SplitCatalogImage(image, kShards);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  RouterOptions router_options;
+  router_options.map = split->map;
+  for (CatalogImage& shard : split->shards) {
+    ShardedEngineConfig shard_config;
+    shard_config.shards = 1;
+    shard_config.engine = engine_config;
+    auto engine =
+        ShardedEngine::Build(std::move(shard.points),
+                             std::move(shard.uncertains), shard_config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    servers.push_back(std::make_unique<ShardServer>(*engines.back()));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    router_options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", servers.back()->port()});
+  }
+  auto router = Router::Make(std::move(router_options));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Issuers crossing every encodable pdf family.
+  std::vector<UncertainObject> issuers;
+  issuers.emplace_back(501u, MakeUniform(Rect(200, 400, 200, 400)));
+  issuers.emplace_back(502u, MakeGaussian(Rect(600, 760, 100, 260)));
+  issuers.emplace_back(503u,
+                       MakeSkewedHistogram(Rect(100, 260, 600, 760), 3, 3,
+                                           7));
+  for (UncertainObject& issuer : issuers) {
+    ASSERT_TRUE(
+        issuer.BuildCatalog(sharded->config().engine.catalog_values).ok());
+  }
+
+  BatchSpec spec;
+  spec.query.w = 120.0;
+  spec.query.h = 120.0;
+  spec.query.threshold = 0.3;
+
+  for (const UncertainObject& issuer : issuers) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      SCOPED_TRACE(std::string(QueryMethodName(method)) + " issuer " +
+                   std::to_string(issuer.id()));
+      auto remote = router->Query(issuer, method, spec);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      const AnswerSet mono_answers =
+          Sorted(RunQueryMethod(*mono, method, issuer, spec));
+      const AnswerSet sharded_answers =
+          Sorted(sharded->Run(method, issuer, spec));
+
+      ASSERT_EQ(remote->size(), mono_answers.size());
+      ASSERT_EQ(remote->size(), sharded_answers.size());
+      for (size_t i = 0; i < mono_answers.size(); ++i) {
+        EXPECT_EQ((*remote)[i].id, mono_answers[i].id);
+        EXPECT_EQ((*remote)[i].probability, mono_answers[i].probability);
+        EXPECT_EQ((*remote)[i].id, sharded_answers[i].id);
+        EXPECT_EQ((*remote)[i].probability,
+                  sharded_answers[i].probability);
+      }
+    }
+  }
+
+  // The fan-out actually spread: every server saw at least one request.
+  const RouterStats stats = router->stats();
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  uint64_t served = 0;
+  for (const auto& server : servers) served += server->stats().requests_ok;
+  EXPECT_EQ(served, stats.shard_calls);
+
+  for (auto& server : servers) server->Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, NetLoopbackTest,
+                         ::testing::Values(ProbabilityKernel::kAnalytic,
+                                           ProbabilityKernel::kMonteCarlo),
+                         [](const auto& info) {
+                           return info.param ==
+                                          ProbabilityKernel::kAnalytic
+                                      ? "analytic"
+                                      : "monte_carlo";
+                         });
+
+TEST(NetLoopbackStatsTest, ResponseCarriesEpochAndServerStats) {
+  const CatalogImage image = MakeImage(303, 60, 40);
+  auto split = SplitCatalogImage(image, 2);
+  ASSERT_TRUE(split.ok());
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  RouterOptions options;
+  options.map = split->map;
+  for (CatalogImage& shard : split->shards) {
+    ShardedEngineConfig config;
+    config.shards = 1;
+    auto engine = ShardedEngine::Build(std::move(shard.points),
+                                       std::move(shard.uncertains), config);
+    ASSERT_TRUE(engine.ok());
+    engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    servers.push_back(std::make_unique<ShardServer>(*engines.back()));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", servers.back()->port()});
+  }
+  auto router = Router::Make(std::move(options));
+  ASSERT_TRUE(router.ok());
+
+  UncertainObject issuer(9u, MakeUniform(Rect(0, 1000, 0, 1000)));
+  BatchSpec spec;
+  spec.query.w = 200.0;
+  spec.query.h = 200.0;
+  WireServeStats stats;
+  auto answers = router->Query(issuer, QueryMethod::kIpq, spec, &stats);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(stats.epoch, 0u);      // freshly built fleet
+  EXPECT_GE(stats.submitted, 1u);  // the server counted our request
+  // The worker fulfils the future before bumping `completed`, so the
+  // snapshot taken while answering may legitimately still read 0.
+  EXPECT_LE(stats.completed, stats.submitted);
+  for (auto& server : servers) server->Stop();
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,310 @@
+// Catalog-image persistence suite (ISSUE: snapshot round-trip satellite).
+//
+//  * encode→decode and save→load preserve epoch, ids, and every pdf
+//    parameter bit-exactly for all four encodable PdfVariant alternatives;
+//  * an engine built from a loaded image answers bit-identically to one
+//    built from the original vectors, for all eight query methods and
+//    both probability kernels — the property that lets shard processes
+//    bootstrap from files;
+//  * corrupt/truncated/wrong-magic/wrong-version bytes (and an AnyPdf
+//    object on the encode side) return an error Status, never a crash;
+//  * SplitCatalogImage is a disjoint cover whose per-shard bounds contain
+//    every member, and shard-map files round-trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "datagen/snapshot_gen.h"
+#include "prob/disk_pdf.h"
+#include "serve/partition.h"
+#include "test_util.h"
+#include "wire/codec.h"
+#include "wire/shard_map.h"
+#include "wire/snapshot_codec.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+CatalogImage MakeMixedImage(uint64_t seed, size_t uncertains,
+                            size_t points) {
+  Rng rng(seed);
+  CatalogImage image;
+  image.epoch = 77;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < points; ++i) {
+    image.points.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  for (size_t i = 0; i < uncertains; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 4) {
+      case 0:
+        image.uncertains.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        image.uncertains.emplace_back(id, MakeGaussian(region));
+        break;
+      case 2:
+        image.uncertains.emplace_back(
+            id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+      default: {
+        const double r = std::min(region.Width(), region.Height()) / 2.0;
+        image.uncertains.emplace_back(
+            id, PdfVariant(UniformDiskPdf::Make(Circle{region.Center(), r})
+                               .ValueOrDie()));
+        break;
+      }
+    }
+  }
+  return image;
+}
+
+std::vector<uint8_t> EncodeImageBytes(const CatalogImage& image) {
+  ByteWriter writer;
+  const Status status = EncodeSnapshot(image, &writer);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return std::move(writer).Take();
+}
+
+void ExpectImagesEqual(const CatalogImage& actual,
+                       const CatalogImage& expected) {
+  EXPECT_EQ(actual.epoch, expected.epoch);
+  ASSERT_EQ(actual.points.size(), expected.points.size());
+  for (size_t i = 0; i < expected.points.size(); ++i) {
+    EXPECT_EQ(actual.points[i].id, expected.points[i].id);
+    EXPECT_EQ(actual.points[i].location.x, expected.points[i].location.x);
+    EXPECT_EQ(actual.points[i].location.y, expected.points[i].location.y);
+  }
+  ASSERT_EQ(actual.uncertains.size(), expected.uncertains.size());
+  for (size_t i = 0; i < expected.uncertains.size(); ++i) {
+    const UncertainObject& a = actual.uncertains[i];
+    const UncertainObject& e = expected.uncertains[i];
+    EXPECT_EQ(a.id(), e.id());
+    EXPECT_EQ(a.pdf_variant().index(), e.pdf_variant().index());
+    const Rect ar = a.region();
+    const Rect er = e.region();
+    EXPECT_EQ(ar.xmin, er.xmin);
+    EXPECT_EQ(ar.xmax, er.xmax);
+    EXPECT_EQ(ar.ymin, er.ymin);
+    EXPECT_EQ(ar.ymax, er.ymax);
+  }
+}
+
+TEST(SnapshotCodecTest, RoundTripsAllPdfAlternativesBitExactly) {
+  const CatalogImage image = MakeMixedImage(11, 40, 25);
+  auto decoded = DecodeSnapshot(EncodeImageBytes(image));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectImagesEqual(*decoded, image);
+  // Re-encoding the decoded image yields the same bytes: the codec is a
+  // bijection on its value range (no renormalization drift anywhere).
+  EXPECT_EQ(EncodeImageBytes(*decoded), EncodeImageBytes(image));
+}
+
+TEST(SnapshotCodecTest, RoundTripsEmptyImage) {
+  CatalogImage image;
+  image.epoch = 5;
+  auto decoded = DecodeSnapshot(EncodeImageBytes(image));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 5u);
+  EXPECT_TRUE(decoded->points.empty());
+  EXPECT_TRUE(decoded->uncertains.empty());
+}
+
+TEST(SnapshotCodecTest, AnyPdfObjectsAreNotSnapshotable) {
+  CatalogImage image;
+  image.uncertains.emplace_back(
+      1, PdfVariant(AnyPdf(MakeUniform(Rect(0, 1, 0, 1)))));
+  ByteWriter writer;
+  EXPECT_EQ(EncodeSnapshot(image, &writer).code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(SnapshotCodecTest, RejectsCorruptBytesWithStatusNotCrash) {
+  const std::vector<uint8_t> valid =
+      EncodeImageBytes(MakeMixedImage(13, 12, 8));
+
+  {  // wrong magic
+    std::vector<uint8_t> bytes = valid;
+    bytes[0] ^= 0xFF;
+    auto decoded = DecodeSnapshot(bytes);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {  // wrong version
+    std::vector<uint8_t> bytes = valid;
+    bytes[4] = 0x7F;
+    auto decoded = DecodeSnapshot(bytes);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {  // every truncation point decodes to an error, never a crash
+    for (size_t length = 0; length < valid.size(); ++length) {
+      auto decoded = DecodeSnapshot(std::vector<uint8_t>(
+          valid.begin(), valid.begin() + static_cast<ptrdiff_t>(length)));
+      EXPECT_FALSE(decoded.ok()) << "truncated to " << length;
+    }
+  }
+  {  // forged point count cannot force a giant allocation
+    std::vector<uint8_t> bytes = valid;
+    for (size_t i = 14; i < 18; ++i) bytes[i] = 0xFF;  // count after header
+    auto decoded = DecodeSnapshot(bytes);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+  }
+  {  // trailing garbage
+    std::vector<uint8_t> bytes = valid;
+    bytes.push_back(0xAB);
+    auto decoded = DecodeSnapshot(bytes);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SnapshotFileTest, SaveLoadRoundTripAndMissingFile) {
+  const CatalogImage image = MakeMixedImage(17, 30, 20);
+  const std::string path = ::testing::TempDir() + "ilq_snapshot_test.ilqs";
+  ASSERT_TRUE(SaveCatalogImage(path, image).ok());
+  auto loaded = LoadCatalogImage(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectImagesEqual(*loaded, image);
+  std::remove(path.c_str());
+
+  auto missing = LoadCatalogImage(path + ".does-not-exist");
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFileTest, GeneratedImageIsDeterministic) {
+  SnapshotGenConfig config;
+  config.points.count = 500;
+  config.uncertains.base.count = 300;
+  config.epoch = 9;
+  auto a = GenerateCatalogImage(config);
+  auto b = GenerateCatalogImage(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(EncodeImageBytes(*a), EncodeImageBytes(*b));
+  EXPECT_EQ(a->epoch, 9u);
+}
+
+// The property that matters: an engine built from a loaded image answers
+// bit-identically to an engine built from the original vectors.
+TEST(SnapshotFileTest, LoadedEngineIsBitIdenticalToBuilderEngine) {
+  const CatalogImage image = MakeMixedImage(23, 120, 80);
+  auto loaded = DecodeSnapshot(EncodeImageBytes(image));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const ProbabilityKernel kernel :
+       {ProbabilityKernel::kAnalytic, ProbabilityKernel::kMonteCarlo}) {
+    EngineConfig config;
+    config.eval.kernel = kernel;
+    auto original = QueryEngine::Build(image.points, image.uncertains,
+                                       config);
+    auto reloaded = QueryEngine::Build(loaded->points, loaded->uncertains,
+                                       config);
+    ASSERT_TRUE(original.ok() && reloaded.ok());
+
+    auto issuer = original->MakeIssuer(MakeUniform(Rect(300, 500, 300,
+                                                        500)));
+    ASSERT_TRUE(issuer.ok());
+    BatchSpec spec;
+    spec.query.w = 120.0;
+    spec.query.h = 120.0;
+    spec.query.threshold = 0.3;
+    for (const QueryMethod method : AllQueryMethods()) {
+      AnswerSet a = RunQueryMethod(*original, method, *issuer, spec);
+      AnswerSet b = RunQueryMethod(*reloaded, method, *issuer, spec);
+      ASSERT_EQ(a.size(), b.size()) << QueryMethodName(method);
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id) << QueryMethodName(method);
+        EXPECT_EQ(a[i].probability, b[i].probability)
+            << QueryMethodName(method);
+      }
+    }
+  }
+}
+
+// ---- SplitCatalogImage + shard map -----------------------------------------
+
+TEST(SplitImageTest, IsADisjointCoverWithContainingBounds) {
+  const CatalogImage image = MakeMixedImage(29, 90, 60);
+  auto split = SplitCatalogImage(image, 4);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->shards.size(), 4u);
+  ASSERT_EQ(split->map.size(), 4u);
+
+  std::set<ObjectId> point_ids, uncertain_ids;
+  size_t points_total = 0, uncertains_total = 0;
+  for (size_t s = 0; s < split->shards.size(); ++s) {
+    const CatalogImage& shard = split->shards[s];
+    EXPECT_EQ(shard.epoch, image.epoch);
+    for (const PointObject& point : shard.points) {
+      EXPECT_TRUE(point_ids.insert(point.id).second) << "duplicate point";
+      EXPECT_TRUE(split->map[s].point_bounds.Contains(point.location));
+    }
+    for (const UncertainObject& object : shard.uncertains) {
+      EXPECT_TRUE(uncertain_ids.insert(object.id()).second)
+          << "duplicate uncertain";
+      const Rect bounds = split->map[s].uncertain_bounds;
+      const Rect region = object.region();
+      EXPECT_LE(bounds.xmin, region.xmin);
+      EXPECT_GE(bounds.xmax, region.xmax);
+      EXPECT_LE(bounds.ymin, region.ymin);
+      EXPECT_GE(bounds.ymax, region.ymax);
+    }
+    points_total += shard.points.size();
+    uncertains_total += shard.uncertains.size();
+  }
+  EXPECT_EQ(points_total, image.points.size());
+  EXPECT_EQ(uncertains_total, image.uncertains.size());
+}
+
+TEST(ShardMapFileTest, RoundTripsAndRejectsCorruption) {
+  ShardMap map(3);
+  map[0].point_bounds = Rect(0, 10, 0, 10);
+  map[0].uncertain_bounds = Rect(-1, 11, -2, 12);
+  map[2].point_bounds = Rect(100, 200, 100, 200);
+  // map[1] stays empty — empty shards must survive the trip.
+
+  const std::string path = ::testing::TempDir() + "ilq_shard_map_test.ilqm";
+  ASSERT_TRUE(SaveShardMap(path, map).ok());
+  auto loaded = LoadShardMap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), map.size());
+  for (size_t s = 0; s < map.size(); ++s) {
+    EXPECT_EQ((*loaded)[s].point_bounds.xmin, map[s].point_bounds.xmin);
+    EXPECT_EQ((*loaded)[s].point_bounds.xmax, map[s].point_bounds.xmax);
+    EXPECT_EQ((*loaded)[s].uncertain_bounds.ymin,
+              map[s].uncertain_bounds.ymin);
+    EXPECT_EQ((*loaded)[s].uncertain_bounds.ymax,
+              map[s].uncertain_bounds.ymax);
+  }
+  std::remove(path.c_str());
+
+  ByteWriter writer;
+  EncodeShardMap(map, &writer);
+  std::vector<uint8_t> bytes = writer.bytes();
+  bytes[0] ^= 0xFF;  // wrong magic
+  EXPECT_EQ(DecodeShardMap(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+  for (size_t length = 0; length < writer.size(); ++length) {
+    auto truncated = DecodeShardMap(std::vector<uint8_t>(
+        writer.bytes().begin(),
+        writer.bytes().begin() + static_cast<ptrdiff_t>(length)));
+    EXPECT_FALSE(truncated.ok()) << "truncated to " << length;
+  }
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,355 @@
+// Wire codec suite (ISSUE: fuzz/property satellite). Two halves:
+//
+//  1. Round-trip properties: every QueryMethod × pdf alternative × prune
+//     combination survives encode→decode bit-exactly (doubles compared
+//     with ==, not a tolerance — the codec ships IEEE-754 bit patterns);
+//     responses round-trip empty, duplicate-heavy, and large AnswerSets;
+//     error frames reconstitute their Status.
+//
+//  2. Fuzz totality: 10k seeded random byte strings, plus truncations and
+//     single-byte mutations of *valid* encodings, through every decoder.
+//     The contract is an error Status — never a crash, never a giant
+//     allocation (ASan/UBSan runs of this suite are the enforcement).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/batch.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/histogram_pdf.h"
+#include "prob/disk_pdf.h"
+#include "prob/uniform_pdf.h"
+#include <memory>
+#include "wire/codec.h"
+#include "wire/message.h"
+#include "wire/shard_map.h"
+#include "wire/snapshot_codec.h"
+
+namespace ilq {
+namespace {
+
+PdfVariant RectPdf(double x0, double x1, double y0, double y1) {
+  return PdfVariant(
+      UniformRectPdf::Make(Rect(x0, x1, y0, y1)).ValueOrDie());
+}
+
+std::vector<PdfVariant> AllEncodablePdfs() {
+  std::vector<PdfVariant> pdfs;
+  pdfs.push_back(RectPdf(10.25, 20.75, -5.5, 5.5));
+  pdfs.push_back(PdfVariant(
+      UniformDiskPdf::Make(Circle{Point(3.0, -4.0), 2.5}).ValueOrDie()));
+  pdfs.push_back(PdfVariant(
+      TruncatedGaussianPdf::Make(Rect(0, 60, 0, 30), 10.0, 5.0)
+          .ValueOrDie()));
+  pdfs.push_back(PdfVariant(
+      HistogramPdf::FromCellMasses(Rect(0, 8, 0, 8), 2, 2,
+                                   {0.125, 0.25, 0.5, 0.125})
+          .ValueOrDie()));
+  return pdfs;
+}
+
+std::vector<uint8_t> EncodeRequestBytes(const WireRequest& request) {
+  ByteWriter writer;
+  const Status status = EncodeRequest(request, &writer);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return std::move(writer).Take();
+}
+
+// ---- Round-trip properties -------------------------------------------------
+
+TEST(WireRequestTest, RoundTripsEveryMethodPdfAndPruneCombination) {
+  const std::vector<PdfVariant> pdfs = AllEncodablePdfs();
+  for (const QueryMethod method : AllQueryMethods()) {
+    for (size_t p = 0; p < pdfs.size(); ++p) {
+      for (uint8_t prune = 0; prune < 8; ++prune) {
+        WireRequest request;
+        request.issuer_id = 1000 + static_cast<ObjectId>(p);
+        request.issuer_pdf = pdfs[p];
+        request.method = method;
+        request.spec.query.w = 123.456;
+        request.spec.query.h = 0.0;  // degenerate extents are legal
+        request.spec.query.threshold = 0.625;
+        request.spec.prune.strategy1 = (prune & 1) != 0;
+        request.spec.prune.strategy2 = (prune & 2) != 0;
+        request.spec.prune.strategy3 = (prune & 4) != 0;
+
+        auto decoded = DecodeRequest(EncodeRequestBytes(request));
+        ASSERT_TRUE(decoded.ok())
+            << QueryMethodName(method) << ": " << decoded.status().ToString();
+        EXPECT_EQ(decoded->issuer_id, request.issuer_id);
+        EXPECT_EQ(decoded->method, method);
+        EXPECT_EQ(decoded->spec.query.w, request.spec.query.w);
+        EXPECT_EQ(decoded->spec.query.h, request.spec.query.h);
+        EXPECT_EQ(decoded->spec.query.threshold,
+                  request.spec.query.threshold);
+        EXPECT_EQ(decoded->spec.prune.strategy1,
+                  request.spec.prune.strategy1);
+        EXPECT_EQ(decoded->spec.prune.strategy2,
+                  request.spec.prune.strategy2);
+        EXPECT_EQ(decoded->spec.prune.strategy3,
+                  request.spec.prune.strategy3);
+        EXPECT_EQ(decoded->issuer_pdf.index(), request.issuer_pdf.index());
+      }
+    }
+  }
+}
+
+TEST(WireRequestTest, HistogramMassesRoundTripBitExactly) {
+  WireRequest request;
+  // Masses that do NOT survive a renormalization pass unchanged unless the
+  // decoder stores them verbatim (HistogramPdf::FromCellMasses).
+  const std::vector<double> masses = {0.1, 0.2, 0.3, 0.4};
+  request.issuer_pdf = PdfVariant(
+      HistogramPdf::FromCellMasses(Rect(0, 4, 0, 4), 2, 2, masses)
+          .ValueOrDie());
+  auto decoded = DecodeRequest(EncodeRequestBytes(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& pdf = std::get<HistogramPdf>(decoded->issuer_pdf);
+  ASSERT_EQ(pdf.cell_masses().size(), masses.size());
+  for (size_t i = 0; i < masses.size(); ++i) {
+    EXPECT_EQ(pdf.cell_masses()[i], masses[i]) << i;
+  }
+}
+
+TEST(WireRequestTest, AnyPdfIsNotEncodable) {
+  WireRequest request;
+  request.issuer_pdf = PdfVariant(AnyPdf(std::make_unique<UniformRectPdf>(
+      UniformRectPdf::Make(Rect(0, 1, 0, 1)).ValueOrDie())));
+  ByteWriter writer;
+  EXPECT_EQ(EncodeRequest(request, &writer).code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(WireRequestTest, RejectsSemanticGarbage) {
+  WireRequest request;
+  request.spec.query.w = 10.0;
+  std::vector<uint8_t> valid = EncodeRequestBytes(request);
+
+  {  // method out of range
+    std::vector<uint8_t> bytes = valid;
+    bytes[0] = static_cast<uint8_t>(kQueryMethodCount);
+    EXPECT_EQ(DecodeRequest(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // reserved prune bits
+    std::vector<uint8_t> bytes = valid;
+    bytes[1 + 3 * 8] = 0x80;
+    EXPECT_EQ(DecodeRequest(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // trailing bytes
+    std::vector<uint8_t> bytes = valid;
+    bytes.push_back(0);
+    EXPECT_EQ(DecodeRequest(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // negative query extent (sign bit of w's F64)
+    std::vector<uint8_t> bytes = valid;
+    bytes[1 + 7] |= 0x80;
+    EXPECT_EQ(DecodeRequest(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireResponseTest, RoundTripsEmptyDuplicateHeavyAndLargeAnswerSets) {
+  std::vector<AnswerSet> cases;
+  cases.push_back({});  // empty
+  AnswerSet duplicates;  // duplicate-heavy: same id, same + near probs
+  for (int i = 0; i < 64; ++i) {
+    duplicates.push_back({7, 0.5});
+    duplicates.push_back({7, 0.5000000000000001});
+  }
+  cases.push_back(duplicates);
+  AnswerSet large;
+  Rng rng(2026);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    large.push_back({i, rng.Uniform(0.0, 1.0)});
+  }
+  cases.push_back(large);
+
+  for (const AnswerSet& answers : cases) {
+    WireResponse response;
+    response.answers = answers;
+    response.stats.epoch = 42;
+    response.stats.server_ms = 1.5;
+    response.stats.submitted = 10;
+    response.stats.completed = 9;
+    response.stats.pending = 1;
+    response.stats.p50_ms = 0.25;
+    response.stats.p95_ms = 0.75;
+    response.stats.p99_ms = 1.25;
+
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeResponse(response, &writer).ok());
+    auto decoded = DecodeResponse(writer.bytes());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(decoded->stats == response.stats);
+    ASSERT_EQ(decoded->answers.size(), answers.size());
+    for (size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(decoded->answers[i].id, answers[i].id);
+      EXPECT_EQ(decoded->answers[i].probability, answers[i].probability);
+    }
+  }
+}
+
+TEST(WireResponseTest, ForgedAnswerCountIsRejectedBeforeAllocation) {
+  WireResponse response;
+  response.answers.push_back({1, 0.5});
+  ByteWriter writer;
+  ASSERT_TRUE(EncodeResponse(response, &writer).ok());
+  std::vector<uint8_t> bytes = std::move(writer).Take();
+  // The answer count u32 sits right after the 64-byte stats block (eight
+  // u64/f64 fields); forge it to claim ~4 billion answers backed by 12
+  // bytes.
+  const size_t count_offset = 64;
+  for (size_t i = 0; i < 4; ++i) bytes[count_offset + i] = 0xFF;
+  EXPECT_EQ(DecodeResponse(bytes).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireErrorTest, RoundTripsEveryErrorCode) {
+  for (uint8_t code = 1;
+       code <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded); ++code) {
+    const Status error(static_cast<StatusCode>(code), "context message");
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeError(error, &writer).ok());
+    Status decoded = Status::OK();
+    ASSERT_TRUE(DecodeError(writer.bytes(), &decoded).ok());
+    EXPECT_TRUE(decoded == error) << decoded.ToString();
+  }
+}
+
+TEST(WireErrorTest, OkIsNotAnError) {
+  ByteWriter writer;
+  EXPECT_EQ(EncodeError(Status::OK(), &writer).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameHeaderTest, RoundTripsAndRejects) {
+  ByteWriter writer;
+  EncodeFrameHeader(FrameType::kResponse, 1234, &writer);
+  ASSERT_EQ(writer.size(), kFrameHeaderBytes);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(writer.bytes(), 1 << 20, &header).ok());
+  EXPECT_EQ(header.payload_size, 1234u);
+  EXPECT_EQ(header.type, FrameType::kResponse);
+
+  // Oversized payload: rejected before any allocation happens.
+  EXPECT_EQ(DecodeFrameHeader(writer.bytes(), 1000, &header).code(),
+            StatusCode::kOutOfRange);
+
+  std::vector<uint8_t> bad_version = writer.bytes();
+  bad_version[4] = kWireVersion + 1;
+  EXPECT_EQ(DecodeFrameHeader(bad_version, 1 << 20, &header).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint8_t> bad_type = writer.bytes();
+  bad_type[5] = 0x7F;
+  EXPECT_EQ(DecodeFrameHeader(bad_type, 1 << 20, &header).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint8_t> truncated(writer.bytes().begin(),
+                                 writer.bytes().begin() + 3);
+  EXPECT_EQ(DecodeFrameHeader(truncated, 1 << 20, &header).code(),
+            StatusCode::kOutOfRange);
+}
+
+// ---- Fuzz totality ---------------------------------------------------------
+
+// Runs one byte string through every decoder; the only acceptable outcomes
+// are OK or an error Status. Crashes/overflows surface under ASan.
+void DecodeEverything(const std::vector<uint8_t>& bytes) {
+  (void)DecodeRequest(bytes);
+  (void)DecodeResponse(bytes);
+  Status error = Status::OK();
+  (void)DecodeError(bytes, &error);
+  FrameHeader header;
+  (void)DecodeFrameHeader(bytes, 1 << 16, &header);
+  (void)DecodeSnapshot(bytes);
+  (void)DecodeShardMap(bytes);
+  ByteReader reader(bytes);
+  (void)DecodePdf(&reader);
+}
+
+TEST(WireFuzzTest, RandomByteStringsNeverCrashAnyDecoder) {
+  Rng rng(0xF00DF00D);
+  for (int iteration = 0; iteration < 10000; ++iteration) {
+    const size_t length = static_cast<size_t>(rng.NextBelow(200));
+    std::vector<uint8_t> bytes(length);
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    DecodeEverything(bytes);
+  }
+}
+
+TEST(WireFuzzTest, TruncationsAndMutationsOfValidEncodingsNeverCrash) {
+  // Seed corpus: one valid encoding per message kind.
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const PdfVariant& pdf : AllEncodablePdfs()) {
+    WireRequest request;
+    request.issuer_pdf = pdf;
+    request.spec.query.w = 250.0;
+    request.spec.query.h = 250.0;
+    corpus.push_back(EncodeRequestBytes(request));
+  }
+  {
+    WireResponse response;
+    for (uint32_t i = 0; i < 16; ++i) response.answers.push_back({i, 0.5});
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeResponse(response, &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeError(Status::IOError("boom"), &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    CatalogImage image;
+    image.epoch = 3;
+    image.points.push_back(PointObject{1, Point(2.0, 3.0)});
+    image.uncertains.emplace_back(
+        1, RectPdf(0, 10, 0, 10));
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeSnapshot(image, &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    ShardMap map(3);
+    map[1].point_bounds = Rect(0, 1, 0, 1);
+    map[2].uncertain_bounds = Rect(2, 3, 2, 3);
+    ByteWriter writer;
+    EncodeShardMap(map, &writer);
+    corpus.push_back(std::move(writer).Take());
+  }
+
+  Rng rng(0xBADC0DE);
+  for (const std::vector<uint8_t>& seed : corpus) {
+    // Every prefix truncation.
+    for (size_t length = 0; length < seed.size(); ++length) {
+      DecodeEverything(
+          std::vector<uint8_t>(seed.begin(),
+                               seed.begin() + static_cast<ptrdiff_t>(length)));
+    }
+    // Seeded single- and multi-byte mutations.
+    for (int iteration = 0; iteration < 400; ++iteration) {
+      std::vector<uint8_t> mutated = seed;
+      const size_t flips = 1 + rng.NextBelow(4);
+      for (size_t f = 0; f < flips; ++f) {
+        const size_t pos = static_cast<size_t>(rng.NextBelow(mutated.size()));
+        mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+      }
+      DecodeEverything(mutated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ilq
