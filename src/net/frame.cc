@@ -1,6 +1,8 @@
 #include "net/frame.h"
 
 #include <array>
+#include <cstdint>
+#include <string>
 
 #include "wire/codec.h"
 
@@ -8,6 +10,11 @@ namespace ilq {
 
 Status WriteFrame(Socket& socket, FrameType type,
                   std::span<const uint8_t> payload) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::OutOfRange(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the u32 length prefix");
+  }
   ByteWriter writer;
   EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), &writer);
   writer.Raw(payload);

@@ -33,7 +33,10 @@ void Router::DisconnectAll() {
 Status Router::EnsureConnected(size_t shard) {
   if (connections_[shard].valid()) return Status::OK();
   const RouterEndpoint& endpoint = options_.endpoints[shard];
-  auto connected = Socket::Connect(endpoint.host, endpoint.port);
+  // timeout_ms bounds the handshake too — a shard that drops SYNs must
+  // surface kDeadlineExceeded here, not block for the kernel default.
+  auto connected =
+      Socket::Connect(endpoint.host, endpoint.port, options_.timeout_ms);
   ILQ_RETURN_NOT_OK(connected.status());
   connections_[shard] = std::move(connected).ValueOrDie();
   if (options_.timeout_ms > 0) {

@@ -97,14 +97,20 @@ void ShardServer::AcceptLoop() {
     Socket socket = std::move(accepted).ValueOrDie();
 
     ReapFinishedConnections();
+    bool at_limit = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (connections_.size() >= options_.max_connections) {
         connections_refused_.fetch_add(1, std::memory_order_relaxed);
-        SendErrorFrame(socket, Status::FailedPrecondition(
-                                   "server at connection limit"));
-        continue;  // socket closes on scope exit
+        at_limit = true;
       }
+    }
+    if (at_limit) {
+      // Send outside the lock: a peer with a full receive buffer can
+      // block this send, and stats()/reaping must not stall behind it.
+      SendErrorFrame(socket, Status::FailedPrecondition(
+                                 "server at connection limit"));
+      continue;  // socket closes on scope exit
     }
 
     if (options_.recv_timeout_ms > 0) {

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -22,6 +23,56 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// connect(2) bounded by timeout_ms via non-blocking connect + poll;
+// timeout_ms <= 0 means the plain blocking call. The socket is restored
+// to blocking mode on success — everything above this file assumes
+// blocking I/O with SO_RCVTIMEO.
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t addrlen,
+                 int timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, addrlen) != 0) {
+      return Status::IOError(Errno("connect"));
+    }
+    return Status::OK();
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) return Status::IOError(Errno("connect"));
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      return Status::DeadlineExceeded("connect timeout after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) {
+        return Status::DeadlineExceeded("connect poll interrupted");
+      }
+      return Status::IOError(Errno("poll(connect)"));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Status::IOError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      errno = err;
+      return Status::IOError(Errno("connect"));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::IOError(Errno("fcntl(restore blocking)"));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& o) noexcept {
@@ -32,7 +83,8 @@ Socket& Socket::operator=(Socket&& o) noexcept {
   return *this;
 }
 
-Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               int timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -51,13 +103,13 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
       last = Status::IOError(Errno("socket"));
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    last = ConnectFd(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);
+    if (last.ok()) {
       freeaddrinfo(resolved);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return Socket(fd);
     }
-    last = Status::IOError(Errno("connect"));
     ::close(fd);
   }
   freeaddrinfo(resolved);

@@ -6,7 +6,7 @@
 // fault-injection suite):
 //   kNotFound          peer closed cleanly before the first requested byte
 //   kIOError           connection reset / closed mid-read / send failure
-//   kDeadlineExceeded  a configured receive timeout elapsed
+//   kDeadlineExceeded  a configured connect or receive timeout elapsed
 //   kInvalidArgument   unresolvable host, bad port, misuse
 //
 // Blocking I/O with per-socket receive timeouts (SO_RCVTIMEO) keeps the
@@ -40,8 +40,13 @@ class Socket {
   Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
   Socket& operator=(Socket&& o) noexcept;
 
-  /// Connects to host:port (numeric or resolvable name). Blocking.
-  static Result<Socket> Connect(const std::string& host, uint16_t port);
+  /// Connects to host:port (numeric or resolvable name). \p timeout_ms > 0
+  /// bounds the TCP handshake (non-blocking connect + poll; the socket is
+  /// blocking again on return) and yields kDeadlineExceeded when it
+  /// elapses — without it, an endpoint that drops SYNs blocks for the
+  /// kernel default (minutes). <= 0 means the plain blocking connect.
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                int timeout_ms = 0);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }

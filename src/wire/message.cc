@@ -1,6 +1,7 @@
 #include "wire/message.h"
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -151,7 +152,10 @@ Result<PdfVariant> DecodePdf(ByteReader* in) {
       ILQ_RETURN_NOT_OK(in->U32(&nx));
       ILQ_RETURN_NOT_OK(in->U32(&ny));
       const uint64_t cells = static_cast<uint64_t>(nx) * ny;
-      if (cells == 0 || cells * sizeof(double) > in->remaining()) {
+      // Division form: `cells * sizeof(double)` wraps for cells >= 2^61
+      // (nx=2^31, ny=2^30 gives 0 mod 2^64) and would let a forged frame
+      // reach the vector constructor and throw past the handler thread.
+      if (cells == 0 || cells > in->remaining() / sizeof(double)) {
         return Status::OutOfRange(
             "wire: histogram cell count " + std::to_string(cells) +
             " inconsistent with " + std::to_string(in->remaining()) +
@@ -234,6 +238,11 @@ Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload) {
 // ---- Response -------------------------------------------------------------
 
 Status EncodeResponse(const WireResponse& response, ByteWriter* out) {
+  if (response.answers.size() > UINT32_MAX) {
+    return Status::OutOfRange(
+        "wire: answer set of " + std::to_string(response.answers.size()) +
+        " entries exceeds the u32 count field");
+  }
   out->U64(response.stats.epoch);
   out->F64(response.stats.server_ms);
   out->U64(response.stats.submitted);

@@ -1,5 +1,6 @@
 #include "wire/shard_map.h"
 
+#include <filesystem>
 #include <fstream>
 
 namespace ilq {
@@ -80,12 +81,21 @@ Status SaveShardMap(const std::string& path, const ShardMap& map) {
 }
 
 Result<ShardMap> LoadShardMap(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Status::IOError("shard map: '" + path +
+                           "' is not a regular file");
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status::IOError("shard map: cannot open '" + path +
                            "' for reading");
   }
   const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return Status::IOError("shard map: cannot determine size of '" + path +
+                           "'");
+  }
   in.seekg(0);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
   if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {

@@ -1,5 +1,7 @@
 #include "wire/snapshot_codec.h"
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 
@@ -8,6 +10,11 @@
 namespace ilq {
 
 Status EncodeSnapshot(const CatalogImage& snapshot, ByteWriter* out) {
+  if (snapshot.points.size() > UINT32_MAX ||
+      snapshot.uncertains.size() > UINT32_MAX) {
+    return Status::OutOfRange(
+        "snapshot: section counts exceed the u32 count fields");
+  }
   out->U32(kSnapshotMagic);
   out->U16(kSnapshotVersion);
   out->U64(snapshot.epoch);
@@ -92,12 +99,23 @@ Status SaveCatalogImage(const std::string& path,
 }
 
 Result<CatalogImage> LoadCatalogImage(const std::string& path) {
+  // A directory (or device) can open and even report a bogus tellg()
+  // size, turning the buffer allocation below into bad_alloc — reject
+  // anything that isn't a regular file up front.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Status::IOError("snapshot: '" + path + "' is not a regular file");
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status::IOError("snapshot: cannot open '" + path +
                            "' for reading");
   }
   const std::streamsize size = in.tellg();
+  if (size < 0) {
+    return Status::IOError("snapshot: cannot determine size of '" + path +
+                           "'");
+  }
   in.seekg(0);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
   if (size > 0 &&

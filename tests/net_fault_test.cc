@@ -288,5 +288,21 @@ TEST(NetFaultTest, RouterRetriesAcrossShardRestart) {
   EXPECT_GE(router->stats().failures, 1u);
 }
 
+TEST(NetFaultTest, BoundedConnectServesNormallyOverBlockingIO) {
+  // The timeout path connects non-blocking and must restore blocking mode
+  // before handing the socket over — proven by a full request/response
+  // round-trip over the same socket.
+  ShardedEngine engine = MakeSmallEngine();
+  ShardServer server(engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected =
+      Socket::Connect("127.0.0.1", server.port(), /*timeout_ms=*/2000);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Socket socket = std::move(connected).ValueOrDie();
+  ExpectServedOn(socket);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace ilq

@@ -186,6 +186,17 @@ TEST(SnapshotFileTest, SaveLoadRoundTripAndMissingFile) {
   EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
 }
 
+TEST(SnapshotFileTest, LoadingADirectoryReturnsIOError) {
+  // A directory opens but is not a readable stream — tellg()/read() fail
+  // and must surface as Status, not as a SIZE_MAX vector allocation.
+  auto snapshot = LoadCatalogImage(::testing::TempDir());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kIOError)
+      << snapshot.status().ToString();
+  auto map = LoadShardMap(::testing::TempDir());
+  EXPECT_EQ(map.status().code(), StatusCode::kIOError)
+      << map.status().ToString();
+}
+
 TEST(SnapshotFileTest, GeneratedImageIsDeterministic) {
   SnapshotGenConfig config;
   config.points.count = 500;

@@ -117,6 +117,27 @@ TEST(WireRequestTest, HistogramMassesRoundTripBitExactly) {
   }
 }
 
+TEST(WireRequestTest, HistogramCellCountOverflowIsRejected) {
+  // Regression: nx=2^31 × ny=2^30 makes cells*sizeof(double) wrap to 0
+  // mod 2^64, so a multiplication-form size check would pass and the
+  // decoder would attempt a 2^61-element vector (std::length_error →
+  // std::terminate on a server thread). The division-form check must
+  // reject the frame with a Status instead.
+  ByteWriter writer;
+  writer.U8(3);  // histogram pdf tag
+  writer.F64(0.0);
+  writer.F64(1.0);
+  writer.F64(0.0);
+  writer.F64(1.0);
+  writer.U32(0x80000000u);  // nx = 2^31
+  writer.U32(0x40000000u);  // ny = 2^30
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  ByteReader reader(bytes);
+  auto pdf = DecodePdf(&reader);
+  ASSERT_FALSE(pdf.ok());
+  EXPECT_EQ(pdf.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(WireRequestTest, AnyPdfIsNotEncodable) {
   WireRequest request;
   request.issuer_pdf = PdfVariant(AnyPdf(std::make_unique<UniformRectPdf>(
