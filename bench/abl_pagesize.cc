@@ -1,60 +1,204 @@
-// Ablation: index page size. The paper fixes 4K nodes; this sweep shows
-// how page size moves the work split between node accesses (simulated I/O)
-// and per-candidate computation for IPQ and PTI-based C-IUQ. Pass
-// --threads=N for parallel batch evaluation.
+// Ablation: index page size, measured against *real* paged index files
+// (ISSUE 8). Earlier revisions swept the page budget of RAM-resident
+// trees and reported simulated I/O; this version serializes each engine
+// with SavePagedIndexes, re-mounts it with OpenPaged behind per-index LRU
+// buffers, and runs the query batches over actual page reads — so the
+// tables show measured buffer hit/miss/eviction behaviour next to the
+// paper's node-access counts.
+//
+// Flags:
+//   --threads=N    parallel batch evaluation (also ILQ_BENCH_THREADS)
+//   --buffer-mb=M  per-index LRU budget in MiB (default 4)
+//   --objects=N    point-object count; overrides ILQ_BENCH_SCALE and
+//                  scales the rectangle set proportionally. Use
+//                  --objects=1000000 for indexes far beyond the buffer
+//                  budget (the out-of-core regime this sweep exists for).
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "object/snapshot.h"
+
+namespace ilq::bench {
+namespace {
+
+// --flag=V / "--flag V" numeric parser (same convention as BenchThreads).
+double ParseFlag(int argc, char** argv, const char* flag, double fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::atof(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+// Lifetime buffer totals summed over the engine's (up to) three indexes.
+BufferCounters EngineBufferCounters(const QueryEngine& engine) {
+  BufferCounters total = engine.point_index().buffer_counters();
+  const BufferCounters u = engine.uncertain_index().buffer_counters();
+  total.hits += u.hits;
+  total.misses += u.misses;
+  total.evictions += u.evictions;
+  if (engine.pti() != nullptr) {
+    const BufferCounters p = engine.pti()->tree().buffer_counters();
+    total.hits += p.hits;
+    total.misses += p.misses;
+    total.evictions += p.evictions;
+  }
+  return total;
+}
+
+uint64_t IndexFileBytes(const PagedIndexFiles& files) {
+  namespace fs = std::filesystem;
+  uint64_t bytes = 0;
+  for (const std::string* path :
+       {&files.point_index, &files.uncertain_index, &files.pti_index}) {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(*path, ec);
+    if (!ec) bytes += size;
+  }
+  return bytes;
+}
+
+void PrintCellCounters(const char* method, const CellResult& cell,
+                       const BufferCounters& delta) {
+  const double reads = static_cast<double>(delta.hits + delta.misses);
+  std::printf("  %-10s %8.3f ms/query  pages: %8llu hit %8llu miss "
+              "%8llu evict  (%.1f%% hit rate)\n",
+              method, cell.mean_ms,
+              static_cast<unsigned long long>(delta.hits),
+              static_cast<unsigned long long>(delta.misses),
+              static_cast<unsigned long long>(delta.evictions),
+              reads > 0.0 ? 100.0 * static_cast<double>(delta.hits) / reads
+                          : 0.0);
+}
+
+}  // namespace
+}  // namespace ilq::bench
 
 int main(int argc, char** argv) {
   using namespace ilq;
   using namespace ilq::bench;
+  namespace fs = std::filesystem;
 
   const size_t threads = BenchThreads(argc, argv);
-  PrintHeader("Ablation", "index page size (IPQ and C-IUQ)", threads);
+  const auto buffer_mb = static_cast<size_t>(
+      std::max(1.0, ParseFlag(argc, argv, "--buffer-mb", 4)));
+  const auto objects =
+      static_cast<size_t>(ParseFlag(argc, argv, "--objects", 0));
+  const double scale =
+      objects > 0
+          ? static_cast<double>(objects) /
+                static_cast<double>(kCaliforniaPoints)
+          : BenchDatasetScale();
+
+  PrintHeader("Ablation", "index page size over real paged files (IPQ and "
+              "C-IUQ)", threads);
   const size_t queries = BenchQueriesPerPoint(120);
-  const double scale = BenchDatasetScale();
+  std::printf("storage: paged (OpenPaged), %zu MiB LRU buffer per index",
+              buffer_mb);
+  if (objects > 0) {
+    std::printf(", --objects=%zu (scale %.2f)", objects, scale);
+  }
+  std::printf("\n\n");
   BatchOptions batch;
   batch.threads = threads;
 
+  // One dataset shared by every page size; each size gets its own engine
+  // build + serialization + paged mount.
+  CatalogImage image;
+  image.points = CaliforniaPoints(scale);
+  Result<std::vector<UncertainObject>> uncertains =
+      MakeUniformUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(uncertains.ok(), uncertains.status().ToString());
+  image.uncertains = std::move(uncertains).ValueOrDie();
+
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("ilq_abl_pagesize_" + std::to_string(::getpid())))
+          .string();
+
+  const Workload ipq_workload = MakeWorkload(250.0, 500.0, 0.0, queries);
+  const Workload ciuq_workload = MakeWorkload(250.0, 500.0, 0.5, queries);
+
   std::vector<std::string> names;
-  std::vector<QueryEngine> engines;
+  std::vector<CellResult> ipq_cells;
+  std::vector<CellResult> ciuq_cells;
   for (size_t page : {1024u, 2048u, 4096u, 8192u, 16384u}) {
     EngineConfig config;
     config.page_size_bytes = page;
-    engines.push_back(BuildPaperEngine(scale, std::move(config)));
+
+    Result<QueryEngine> built =
+        QueryEngine::Build(image.points, image.uncertains, config);
+    ILQ_CHECK(built.ok(), built.status().ToString());
+
+    const std::string dir = scratch + "/page" + std::to_string(page);
+    fs::create_directories(dir);
+    const PagedIndexFiles files = PagedIndexFiles::InDir(dir);
+    const Status saved = built->SavePagedIndexes(files);
+    ILQ_CHECK(saved.ok(), saved.ToString());
+
+    EngineConfig paged = config;
+    paged.storage = StorageMode::kPaged;
+    paged.buffer_pool_bytes = buffer_mb << 20;
+    paged.paged_deep_verify = false;  // this process just wrote the files
+    Result<QueryEngine> engine = QueryEngine::OpenPaged(image, files, paged);
+    ILQ_CHECK(engine.ok(), engine.status().ToString());
+
     names.push_back(std::to_string(page / 1024) + "K");
     std::printf("page %zuK: point R-tree height %zu / %zu nodes, PTI "
-                "fanout %zu / %zu nodes\n",
-                page / 1024, engines.back().point_index().height(),
-                engines.back().point_index().node_count(),
-                engines.back().pti()->tree().max_entries(),
-                engines.back().pti()->tree().node_count());
-  }
+                "fanout %zu / %zu nodes, index files %.1f MiB\n",
+                page / 1024, engine->point_index().height(),
+                engine->point_index().node_count(),
+                engine->pti()->tree().max_entries(),
+                engine->pti()->tree().node_count(),
+                static_cast<double>(IndexFileBytes(files)) / (1 << 20));
 
-  SeriesTable ipq_table("Ablation — page size, IPQ (u=250, w=500)", "run",
-                        names);
-  SeriesTable ciuq_table(
-      "Ablation — page size, C-IUQ via PTI (u=250, w=500, Qp=0.5)", "run",
-      names);
-  const Workload ipq_workload = MakeWorkload(250.0, 500.0, 0.0, queries);
-  const Workload ciuq_workload = MakeWorkload(250.0, 500.0, 0.5, queries);
-  std::vector<CellResult> ipq_cells;
-  std::vector<CellResult> ciuq_cells;
-  for (QueryEngine& engine : engines) {
-    ipq_cells.push_back(RunBatchCell(engine, QueryMethod::kIpq,
+    BufferCounters before = EngineBufferCounters(*engine);
+    ipq_cells.push_back(RunBatchCell(*engine, QueryMethod::kIpq,
                                      ipq_workload.issuers,
                                      BatchSpec{ipq_workload.spec}, batch));
-    ciuq_cells.push_back(RunBatchCell(engine, QueryMethod::kCiuqPti,
+    BufferCounters after = EngineBufferCounters(*engine);
+    PrintCellCounters("ipq", ipq_cells.back(),
+                      {after.hits - before.hits, after.misses - before.misses,
+                       after.evictions - before.evictions});
+
+    before = after;
+    ciuq_cells.push_back(RunBatchCell(*engine, QueryMethod::kCiuqPti,
                                       ciuq_workload.issuers,
                                       BatchSpec{ciuq_workload.spec}, batch));
+    after = EngineBufferCounters(*engine);
+    PrintCellCounters("ciuq_pti", ciuq_cells.back(),
+                      {after.hits - before.hits, after.misses - before.misses,
+                       after.evictions - before.evictions});
   }
+  std::printf("\n");
+
+  SeriesTable ipq_table(
+      "Ablation — page size, IPQ over paged files (u=250, w=500)", "run",
+      names);
+  SeriesTable ciuq_table(
+      "Ablation — page size, C-IUQ via paged PTI (u=250, w=500, Qp=0.5)",
+      "run", names);
   ipq_table.AddRow(0, ipq_cells);
   ciuq_table.AddRow(0, ciuq_cells);
   ipq_table.Print();
   ciuq_table.Print();
   std::printf("expected shape: node accesses fall with page size (shallower "
-              "trees) while per-page cost rises; candidate counts are "
-              "page-size-invariant. 4K is a reasonable middle ground, "
-              "matching the paper's choice.\n");
+              "trees) while bytes moved per miss rise; candidate counts are "
+              "page-size-invariant, and the buffer hit rate climbs as the "
+              "whole index fits the budget. 4K stays a reasonable middle "
+              "ground, matching the paper's choice.\n");
+
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
   return 0;
 }

@@ -6,9 +6,14 @@
 // built from the original image.
 //
 //   build/examples/router_demo [--shards=N] [--queries=N] [--keep-files]
+//                              [--bundle-dirs]
 //
 // --keep-files leaves shard<i>.ilqs + shards.ilqm in the working directory
-// for use with standalone examples/shard_server processes.
+// for use with standalone examples/shard_server processes. --bundle-dirs
+// additionally writes each shard as an out-of-core disk bundle
+// (shard<i>/ with catalog.ilqs + paged *.ilqp index files,
+// wire/disk_bundle.h) for shard_server --index-dir bootstraps that mount
+// the prebuilt indexes instead of rebuilding them.
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +30,7 @@
 #include "net/shard_server.h"
 #include "serve/partition.h"
 #include "serve/sharded_engine.h"
+#include "wire/disk_bundle.h"
 #include "wire/shard_map.h"
 #include "wire/snapshot_codec.h"
 
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<size_t>(ParseFlag(argc, argv, "--queries", 24));
   const bool keep_files = HasFlag(argc, argv, "--keep-files");
+  const bool bundle_dirs = HasFlag(argc, argv, "--bundle-dirs");
 
   // 1. One deterministic catalog image (scaled-down paper geometry).
   SnapshotGenConfig gen;
@@ -85,6 +92,18 @@ int main(int argc, char** argv) {
   std::printf("split %zu+%zu objects into %zu shard images + %s\n",
               image->points.size(), image->uncertains.size(),
               split->shards.size(), map_file.c_str());
+  if (bundle_dirs) {
+    // Out-of-core variant of the same artifacts: each shard as a mounted
+    // bundle (catalog + STR-bulk-loaded paged index files).
+    for (size_t s = 0; s < split->shards.size(); ++s) {
+      const std::string dir = "shard" + std::to_string(s);
+      const Status written = WriteDiskBundle(split->shards[s], dir);
+      ILQ_CHECK(written.ok(), written.ToString());
+    }
+    std::printf("wrote %zu disk bundles shard0/..shard%zu/ (serve with "
+                "shard_server --index-dir=shardN)\n",
+                split->shards.size(), split->shards.size() - 1);
+  }
 
   // 3. Boot the fleet from the files (threads here; the same bytes drive
   // standalone shard_server processes).

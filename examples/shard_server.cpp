@@ -1,9 +1,19 @@
-// Shard server process: loads a catalog-image file and serves it over the
-// binary wire protocol until SIGTERM/SIGINT, then drains gracefully
-// (in-flight queries complete and their responses go out before exit).
+// Shard server process: loads a catalog-image file (or mounts an on-disk
+// bundle) and serves it over the binary wire protocol until
+// SIGTERM/SIGINT, then drains gracefully (in-flight queries complete and
+// their responses go out before exit).
 //
 //   build/examples/shard_server --snapshot=shard0.ilqs [--port=9090]
 //                               [--threads=N] [--timeout-ms=MS]
+//   build/examples/shard_server --index-dir=shard0/ [--buffer-mb=MB] ...
+//
+// --snapshot rebuilds the indexes in memory from the catalog image.
+// --index-dir bootstraps out-of-core: the directory is a disk bundle
+// (wire/disk_bundle.h — catalog.ilqs + *.ilqp paged index files, written
+// by WriteDiskBundle or router_demo --bundle-dirs), the index files are
+// mounted read-only behind LRU buffers of --buffer-mb megabytes each, and
+// the process starts serving without ever rebuilding an R-tree. Answers
+// are bit-identical between the two bootstraps.
 //
 // Produce per-shard image files with examples/router_demo --keep-files or
 // wire/snapshot_codec.h's SaveCatalogImage; port 0 (default) binds an
@@ -21,6 +31,7 @@
 #include "common/logging.h"
 #include "net/shard_server.h"
 #include "serve/sharded_engine.h"
+#include "wire/disk_bundle.h"
 #include "wire/snapshot_codec.h"
 
 using namespace ilq;
@@ -54,32 +65,53 @@ long ParseLongFlag(int argc, char** argv, const char* flag, long fallback) {
 int main(int argc, char** argv) {
   const std::string snapshot_path =
       ParseStringFlag(argc, argv, "--snapshot", "");
-  if (snapshot_path.empty()) {
+  const std::string index_dir = ParseStringFlag(argc, argv, "--index-dir", "");
+  if (snapshot_path.empty() == index_dir.empty()) {
     std::fprintf(stderr,
                  "usage: shard_server --snapshot=FILE [--port=N] "
-                 "[--threads=N] [--timeout-ms=MS]\n");
+                 "[--threads=N] [--timeout-ms=MS]\n"
+                 "       shard_server --index-dir=DIR [--buffer-mb=MB] "
+                 "[--port=N] [--threads=N] [--timeout-ms=MS]\n");
     return 2;
   }
 
-  Result<CatalogImage> image = LoadCatalogImage(snapshot_path);
-  if (!image.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", snapshot_path.c_str(),
-                 image.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %s: epoch %llu, %zu points, %zu uncertain objects\n",
-              snapshot_path.c_str(),
-              static_cast<unsigned long long>(image->epoch),
-              image->points.size(), image->uncertains.size());
-
   // One server process serves its whole image slice: a single-shard
   // engine (the cross-shard fan-out happens in the Router).
-  ShardedEngineConfig engine_config;
-  engine_config.shards = 1;
-  Result<ShardedEngine> engine =
-      ShardedEngine::Build(std::move(image->points),
-                           std::move(image->uncertains), engine_config);
-  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  Result<ShardedEngine> engine = [&]() -> Result<ShardedEngine> {
+    if (!index_dir.empty()) {
+      // Out-of-core bootstrap: mount the bundle's paged index files.
+      EngineConfig config;
+      config.storage = StorageMode::kPaged;
+      config.buffer_pool_bytes =
+          static_cast<size_t>(ParseLongFlag(argc, argv, "--buffer-mb", 8))
+          << 20;
+      Result<QueryEngine> opened = OpenDiskBundle(index_dir, config);
+      if (!opened.ok()) return opened.status();
+      std::printf(
+          "mounted %s: epoch %llu, %zu points, %zu uncertain objects "
+          "(paged, %zu-page buffers)\n",
+          index_dir.c_str(),
+          static_cast<unsigned long long>(opened->epoch()),
+          opened->points().size(), opened->uncertains().size(),
+          opened->point_index().buffer_capacity_pages());
+      return ShardedEngine::FromEngine(std::move(opened).ValueOrDie());
+    }
+    Result<CatalogImage> image = LoadCatalogImage(snapshot_path);
+    if (!image.ok()) return image.status();
+    std::printf("loaded %s: epoch %llu, %zu points, %zu uncertain objects\n",
+                snapshot_path.c_str(),
+                static_cast<unsigned long long>(image->epoch),
+                image->points.size(), image->uncertains.size());
+    ShardedEngineConfig engine_config;
+    engine_config.shards = 1;
+    return ShardedEngine::Build(std::move(image->points),
+                                std::move(image->uncertains), engine_config);
+  }();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "cannot bootstrap: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
 
   ShardServerOptions options;
   options.port = static_cast<uint16_t>(ParseLongFlag(argc, argv, "--port", 0));

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,6 +11,41 @@
 
 namespace ilq {
 namespace {
+
+// Cross-checks one mounted index file against the geometry the config
+// would have built it with, and against the catalog it is supposed to
+// serve. A stale or mismatched file fails here instead of silently
+// answering with different fanout (which would break node-access parity)
+// or for a different object set.
+Status CheckMountedIndex(const RTree& tree, const RTreeOptions& options,
+                         size_t expected_items, const char* what) {
+  if (tree.page_size_bytes() != options.page_size_bytes) {
+    return Status::FailedPrecondition(
+        std::string(what) + " index file has page size " +
+        std::to_string(tree.page_size_bytes()) + ", config wants " +
+        std::to_string(options.page_size_bytes));
+  }
+  if (tree.extra_entry_bytes() != options.extra_entry_bytes) {
+    return Status::FailedPrecondition(
+        std::string(what) + " index file charges " +
+        std::to_string(tree.extra_entry_bytes()) +
+        " extra bytes per entry, config wants " +
+        std::to_string(options.extra_entry_bytes));
+  }
+  if (tree.size() > 0 && tree.max_entries() != MaxEntriesForPage(options)) {
+    return Status::FailedPrecondition(
+        std::string(what) + " index file has fanout " +
+        std::to_string(tree.max_entries()) + ", config derives " +
+        std::to_string(MaxEntriesForPage(options)));
+  }
+  if (tree.size() != expected_items) {
+    return Status::FailedPrecondition(
+        std::string(what) + " index file holds " +
+        std::to_string(tree.size()) + " items but the catalog has " +
+        std::to_string(expected_items));
+  }
+  return Status::OK();
+}
 
 // Keeps both R-trees and the PTI in lock-step with the object vectors
 // while ApplyCatalogUpdates mutates the working snapshot. The uncertain
@@ -119,9 +155,98 @@ Result<QueryEngine> QueryEngine::Build(
   return QueryEngine(std::move(config), std::move(snap));
 }
 
+PagedIndexFiles PagedIndexFiles::InDir(const std::string& dir) {
+  PagedIndexFiles files;
+  files.point_index = dir + "/points.ilqp";
+  files.uncertain_index = dir + "/uncertains.ilqp";
+  files.pti_index = dir + "/pti.ilqp";
+  return files;
+}
+
+Status QueryEngine::SavePagedIndexes(const PagedIndexFiles& files) const {
+  const SnapshotPtr snap = snapshot();
+  ILQ_RETURN_NOT_OK(snap->point_index.SavePaged(files.point_index));
+  ILQ_RETURN_NOT_OK(snap->uncertain_index.SavePaged(files.uncertain_index));
+  if (snap->pti.has_value()) {
+    ILQ_RETURN_NOT_OK(snap->pti->tree().SavePaged(files.pti_index));
+  }
+  return Status::OK();
+}
+
+Result<QueryEngine> QueryEngine::OpenPaged(CatalogImage image,
+                                           const PagedIndexFiles& files,
+                                           EngineConfig config) {
+  if (config.catalog_values.empty()) {
+    config.catalog_values = UCatalog::EvenlySpacedValues(11);
+  }
+  config.storage = StorageMode::kPaged;
+
+  // U-catalogs are derived data; rebuild them exactly as Build does so the
+  // threshold-aware evaluators and the PTI attach see the same ladders.
+  for (UncertainObject& obj : image.uncertains) {
+    ILQ_RETURN_NOT_OK(obj.BuildCatalog(config.catalog_values));
+  }
+
+  PagedOpenOptions open_options;
+  open_options.buffer_pool_bytes = config.buffer_pool_bytes;
+  open_options.deep_verify = config.paged_deep_verify;
+
+  RTreeOptions point_options;
+  point_options.page_size_bytes = config.page_size_bytes;
+  Result<RTree> point_index =
+      RTree::OpenPaged(files.point_index, open_options);
+  if (!point_index.ok()) return point_index.status();
+  ILQ_RETURN_NOT_OK(CheckMountedIndex(*point_index, point_options,
+                                      image.points.size(), "point"));
+
+  // Uncertain leaf ids are *positions* into the uncertains vector, so a
+  // forged id past the catalog must fail validation, not index OOB later.
+  PagedOpenOptions uncertain_open = open_options;
+  uncertain_open.max_leaf_id =
+      image.uncertains.empty() ? 0 : image.uncertains.size() - 1;
+  Result<RTree> uncertain_index =
+      RTree::OpenPaged(files.uncertain_index, uncertain_open);
+  if (!uncertain_index.ok()) return uncertain_index.status();
+  ILQ_RETURN_NOT_OK(CheckMountedIndex(*uncertain_index, point_options,
+                                      image.uncertains.size(), "uncertain"));
+
+  std::optional<PTI> pti;
+  if (!image.uncertains.empty()) {
+    const RTreeOptions pti_options =
+        PTIOptions(config.page_size_bytes, config.catalog_values.size());
+    Result<RTree> pti_tree = RTree::OpenPaged(files.pti_index,
+                                              uncertain_open);
+    if (!pti_tree.ok()) return pti_tree.status();
+    ILQ_RETURN_NOT_OK(CheckMountedIndex(*pti_tree, pti_options,
+                                        image.uncertains.size(), "PTI"));
+    Result<PTI> attached =
+        PTI::Attach(std::move(pti_tree).ValueOrDie(), image.uncertains);
+    if (!attached.ok()) return attached.status();
+    pti = std::move(attached).ValueOrDie();
+  }
+
+  auto snap = std::make_shared<Snapshot>(
+      Snapshot{MakeCatalogSnapshot(std::move(image.points),
+                                   std::move(image.uncertains), image.epoch),
+               std::move(point_index).ValueOrDie(),
+               std::move(uncertain_index).ValueOrDie(), std::move(pti)});
+  return QueryEngine(std::move(config), std::move(snap));
+}
+
+bool QueryEngine::is_paged() const {
+  const SnapshotPtr snap = snapshot();
+  return snap->point_index.is_paged() || snap->uncertain_index.is_paged();
+}
+
 Status QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> lock(control_->writer_mu);
   const SnapshotPtr prev = control_->snap.load(std::memory_order_acquire);
+  if (prev->point_index.is_paged() || prev->uncertain_index.is_paged() ||
+      (prev->pti.has_value() && prev->pti->tree().is_paged())) {
+    return Status::FailedPrecondition(
+        "disk-resident engine is read-only: paged indexes do not support "
+        "updates (no dirty-page write-back yet)");
+  }
 
   // Copy the derived structures; the catalog step below produces the new
   // object vectors itself. Everything here is private until the store.

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -33,14 +34,40 @@
 #include "index/pti.h"
 #include "index/rtree.h"
 #include "object/catalog.h"
+#include "object/snapshot.h"
 #include "object/uncertain_object.h"
 
 namespace ilq {
 
+/// Where the engine's R-tree / PTI nodes live (ISSUE 8 out-of-core
+/// catalogs). kMemory is the historical in-RAM arena; kPaged mounts
+/// SavePagedIndexes files read-only behind per-index LRU buffers.
+enum class StorageMode {
+  kMemory,
+  kPaged,
+};
+
 /// \brief Engine construction parameters (defaults follow §6.1).
 struct EngineConfig {
-  /// R-tree / PTI node page budget (paper: 4K).
+  /// R-tree / PTI node page budget (paper: 4K). In kPaged mode this is
+  /// also the physical page size of the index files.
   size_t page_size_bytes = 4096;
+
+  /// Node storage backend. Build always constructs in memory; this mode
+  /// is how bundle-opening helpers (wire/disk_bundle.h) decide between
+  /// rebuilding indexes and mounting them, and OpenPaged stamps it so
+  /// config() reflects what the engine is actually running on.
+  StorageMode storage = StorageMode::kMemory;
+
+  /// LRU page-buffer budget *per index* for kPaged engines. Budgets far
+  /// below the index file size are supported: queries thrash but answer
+  /// bit-identically.
+  size_t buffer_pool_bytes = 8ull << 20;
+
+  /// Run the full untrusted-file validation walk when mounting paged
+  /// indexes (one sequential read per file). Disable only for files this
+  /// process just wrote.
+  bool paged_deep_verify = true;
 
   /// U-catalog value ladder pre-computed for every uncertain object. The
   /// paper's experiments catalogue probabilities 0, 0.1, …, 1 (§6.1).
@@ -59,6 +86,21 @@ struct EngineConfig {
   /// quadratic-split inserts slowly degrade the STR packing.
   double pti_rebuild_fraction = 0.25;
   size_t pti_rebuild_min_updates = 16;
+};
+
+/// \brief The on-disk index file set backing one kPaged engine.
+///
+/// The pti file exists only when the uncertain set is non-empty (mirroring
+/// Snapshot::pti); SavePagedIndexes skips it and OpenPaged does not look
+/// for it otherwise.
+struct PagedIndexFiles {
+  std::string point_index;
+  std::string uncertain_index;
+  std::string pti_index;
+
+  /// The conventional layout used by the serving tier and benches:
+  /// <dir>/points.ilqp, <dir>/uncertains.ilqp, <dir>/pti.ilqp.
+  static PagedIndexFiles InDir(const std::string& dir);
 };
 
 /// Monotone counters describing the engine's update history (all zero for
@@ -110,6 +152,34 @@ class QueryEngine {
                                    std::vector<UncertainObject> uncertains,
                                    EngineConfig config = EngineConfig{});
 
+  // ---- Out-of-core indexes (ISSUE 8) -------------------------------------
+
+  /// Serializes the *currently published* snapshot's indexes to paged
+  /// files (overwrite). Typically paired with SaveCatalogImage so the
+  /// whole engine state round-trips: catalog file + index files =
+  /// everything OpenPaged needs.
+  Status SavePagedIndexes(const PagedIndexFiles& files) const;
+
+  /// Opens a disk-resident engine: the object vectors come from \p image
+  /// (U-catalogs are rebuilt on the config ladder — they are derived
+  /// data), the indexes are *mounted* from \p files behind per-index LRU
+  /// buffers instead of being rebuilt. Answers are bit-identical to a
+  /// Build over the same image for every query method and kernel.
+  ///
+  /// Each file's header geometry (page size, fanout, per-entry catalog
+  /// charge) is cross-checked against \p config and its item count against
+  /// the image — kFailedPrecondition on mismatch, so a stale index file
+  /// cannot silently serve a different catalog. With
+  /// config.paged_deep_verify the full corruption walk runs per file.
+  /// The returned engine is read-only: ApplyUpdates returns
+  /// kFailedPrecondition.
+  static Result<QueryEngine> OpenPaged(CatalogImage image,
+                                       const PagedIndexFiles& files,
+                                       EngineConfig config = EngineConfig{});
+
+  /// True when this engine's indexes are disk-resident (read-only).
+  bool is_paged() const;
+
   // ---- Updates (epoch-versioned, PR 6) -----------------------------------
 
   /// Applies one update batch copy-on-write and publishes the next epoch.
@@ -118,6 +188,8 @@ class QueryEngine {
   /// (wiring RTree::Insert/Remove); the PTI is refreshed bottom-up, or
   /// bulk-rebuilt past the EngineConfig rebuild threshold. Serialized
   /// against concurrent ApplyUpdates calls; never blocks readers.
+  /// Disk-resident engines (OpenPaged) are read-only and reject every
+  /// batch with kFailedPrecondition.
   Status ApplyUpdates(const UpdateBatch& batch);
 
   /// Epoch of the currently published snapshot (0 = as built).

@@ -10,10 +10,20 @@
 namespace ilq {
 
 /// \brief Per-query traversal counters.
+///
+/// The page_* fields are populated only by disk-resident (paged) indexes;
+/// RAM-resident traversals leave them zero. On a single query thread
+/// page_hits + page_misses equals the paged node reads; across concurrent
+/// queries the split between hit and miss depends on interleaving, so
+/// differential tests compare answers and node_accesses, never the buffer
+/// split.
 struct IndexStats {
   uint64_t node_accesses = 0;  ///< nodes (pages) touched, incl. leaves
   uint64_t leaf_accesses = 0;  ///< leaf pages touched
   uint64_t candidates = 0;     ///< leaf entries reported to the caller
+  uint64_t page_hits = 0;      ///< buffer-manager hits (paged indexes only)
+  uint64_t page_misses = 0;    ///< pages read from disk (paged indexes only)
+  uint64_t page_evictions = 0;  ///< pages evicted to stay in budget
 
   void Reset() { *this = IndexStats{}; }
 
@@ -21,6 +31,9 @@ struct IndexStats {
     node_accesses += o.node_accesses;
     leaf_accesses += o.leaf_accesses;
     candidates += o.candidates;
+    page_hits += o.page_hits;
+    page_misses += o.page_misses;
+    page_evictions += o.page_evictions;
     return *this;
   }
 

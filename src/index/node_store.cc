@@ -1,0 +1,115 @@
+#include "index/node_store.h"
+
+#include <string>
+
+namespace ilq {
+
+Status ValidatePagedTree(const PageFile& file, uint64_t max_leaf_id) {
+  const PageFileHeader& h = file.header();
+  if (h.page_count == 0) return Status::OK();  // header checks ran at Open
+
+  // The node encoding must fit the page: division form keeps a forged
+  // max_entries from wrapping the offset math before this bound applies.
+  if (h.page_size < kNodePageHeaderBytes + kNodeEntryBytes ||
+      h.max_entries >
+          (h.page_size - kNodePageHeaderBytes) / kNodeEntryBytes) {
+    return Status::InvalidArgument(
+        "paged index: max_entries " + std::to_string(h.max_entries) +
+        " cannot fit a " + std::to_string(h.page_size) + "-byte page");
+  }
+
+  struct PendingChild {
+    int32_t page;
+    uint32_t depth;
+    Rect cover;  // the parent entry's MBR, which must contain this node
+  };
+  std::vector<PendingChild> stack;
+  stack.push_back({h.root, 1, Rect()});
+  std::vector<uint8_t> visited(h.page_count, 0);
+  visited[static_cast<uint32_t>(h.root)] = 1;
+
+  std::vector<uint8_t> page;
+  uint64_t items = 0;
+  uint64_t pages_seen = 0;
+  while (!stack.empty()) {
+    const PendingChild cur = stack.back();
+    stack.pop_back();
+    ++pages_seen;
+    ILQ_RETURN_NOT_OK(file.ReadPage(static_cast<uint32_t>(cur.page), &page));
+
+    const uint8_t leaf_byte = page[kNodePageLeafOffset];
+    if (leaf_byte > 1) {
+      return Status::InvalidArgument(
+          "paged index: page " + std::to_string(cur.page) +
+          " has a forged leaf flag");
+    }
+    const bool leaf = leaf_byte != 0;
+    const uint32_t count = LoadLe16(page.data() + kNodePageCountOffset);
+    if (count == 0 || count > h.max_entries) {
+      return Status::InvalidArgument(
+          "paged index: page " + std::to_string(cur.page) +
+          " carries a forged entry count " + std::to_string(count));
+    }
+    if (leaf != (cur.depth == h.height)) {
+      return Status::InvalidArgument(
+          "paged index: page " + std::to_string(cur.page) +
+          " is at depth " + std::to_string(cur.depth) +
+          " but the header height is " + std::to_string(h.height));
+    }
+
+    Rect node_mbr = Rect::Empty();
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* e =
+          page.data() + kNodePageHeaderBytes + i * kNodeEntryBytes;
+      const Rect mbr(LoadLeF64(e), LoadLeF64(e + 8), LoadLeF64(e + 16),
+                     LoadLeF64(e + 24));
+      if (mbr.IsEmpty()) {
+        return Status::InvalidArgument(
+            "paged index: page " + std::to_string(cur.page) +
+            " entry " + std::to_string(i) + " has an inverted MBR");
+      }
+      node_mbr = node_mbr.Union(mbr);
+      const uint32_t ref = LoadLe32(e + kNodeEntryChildOffset);
+      if (leaf) {
+        ++items;
+        if (ref > max_leaf_id) {
+          return Status::InvalidArgument(
+              "paged index: leaf object id " + std::to_string(ref) +
+              " exceeds the catalog bound " + std::to_string(max_leaf_id));
+        }
+      } else {
+        if (ref >= h.page_count) {
+          return Status::InvalidArgument(
+              "paged index: child page id " + std::to_string(ref) +
+              " out of range");
+        }
+        if (visited[ref] != 0) {
+          return Status::InvalidArgument(
+              "paged index: page " + std::to_string(ref) +
+              " is referenced twice (cycle or shared subtree)");
+        }
+        visited[ref] = 1;
+        stack.push_back({static_cast<int32_t>(ref), cur.depth + 1, mbr});
+      }
+    }
+    if (cur.depth > 1 && !cur.cover.ContainsRect(node_mbr)) {
+      return Status::InvalidArgument(
+          "paged index: parent entry MBR does not cover page " +
+          std::to_string(cur.page));
+    }
+  }
+
+  if (pages_seen != h.page_count) {
+    return Status::InvalidArgument(
+        "paged index: " + std::to_string(h.page_count - pages_seen) +
+        " pages are unreachable from the root");
+  }
+  if (items != h.item_count) {
+    return Status::InvalidArgument(
+        "paged index: leaves hold " + std::to_string(items) +
+        " items but the header claims " + std::to_string(h.item_count));
+  }
+  return Status::OK();
+}
+
+}  // namespace ilq

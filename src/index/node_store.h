@@ -1,0 +1,272 @@
+// NodeStore — where R-tree nodes live (ISSUE 8 tentpole).
+//
+// One abstraction, two backends, one traversal code path:
+//
+//   * arena  — today's std::vector of in-memory nodes. The default; reads
+//     compile down to exactly the pointer chases the pre-refactor RTree
+//     did, so RAM-resident engines pay nothing for the abstraction.
+//   * paged  — an immutable "ILQP" file (storage/page_file.h) behind a
+//     pinning LRU BufferManager. Reads pin the node's page, decode the
+//     fixed little-endian entry layout lazily per accessor, and fold the
+//     buffer's hit/miss/eviction deltas into the query's IndexStats.
+//
+// Traversals see either backend through NodeRef, a cheap value type whose
+// accessors branch once on the mode. Mutation (Insert/Remove paths) is
+// arena-only: paged trees are read-only until dirty-page write-back exists
+// (ROADMAP); the engine rejects updates on paged snapshots with a Status
+// before any ILQ_CHECK here could trip.
+//
+// Node page encoding (page offsets; the first 4 bytes are the page
+// checksum owned by storage):
+//
+//   | u32 crc | u8 leaf | u8 reserved | u16 entry_count | 8 reserved |
+//   | entry 0 | entry 1 | ...                                        |
+//
+//   entry  = | f64 xmin | f64 xmax | f64 ymin | f64 ymax | u32 child-or-id |
+//   offset of entry i = 16 + i * 36
+//
+// This matches the simulated cost model exactly (rtree.cc's
+// kNodeHeaderBytes = 16 / kEntryBaseBytes = 36), so MaxEntriesForPage and
+// the node-access counts of a paged tree agree with the RAM tree built
+// from the same options — a load-bearing property for the disk ≡ RAM
+// differential suites.
+//
+// Corruption contract: ValidatePagedTree is a total, iterative check of an
+// opened file (no recursion — a forged cyclic child pointer must not be
+// able to blow the stack). After a file passes validation, mid-query
+// integrity failures (disk I/O error, checksum flip under a live mmap-less
+// read) abort via ILQ_CHECK: by then the file has been vouched for, and a
+// query path cannot surface Status.
+
+#ifndef ILQ_INDEX_NODE_STORE_H_
+#define ILQ_INDEX_NODE_STORE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "index/index_stats.h"
+#include "object/point_object.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_file.h"
+
+namespace ilq {
+
+/// One R-tree entry as stored in the arena (the pre-refactor RTree::Entry).
+struct NodeEntry {
+  Rect mbr;
+  int32_t child = -1;  // interior: child node id
+  ObjectId id = 0;     // leaf: object id
+};
+
+/// One arena-resident node.
+struct ArenaNode {
+  bool leaf = true;
+  std::vector<NodeEntry> entries;
+};
+
+/// Node page layout constants (see the header comment).
+inline constexpr size_t kNodePageHeaderBytes = 16;
+inline constexpr size_t kNodePageLeafOffset = 4;
+inline constexpr size_t kNodePageCountOffset = 6;
+inline constexpr size_t kNodeEntryBytes = 4 * sizeof(double) + 4;
+inline constexpr size_t kNodeEntryChildOffset = 4 * sizeof(double);
+
+/// \brief Read-only view of one node, valid for either backend.
+///
+/// Holds the page pin in paged mode, so the bytes stay alive for the
+/// NodeRef's lifetime even if the buffer evicts the page meanwhile. Cheap
+/// to copy/move; accessors are index-bounded by count() (callers iterate
+/// i < count(), which decode-time validation capped at max_entries).
+class NodeRef {
+ public:
+  bool leaf() const { return leaf_; }
+  size_t count() const { return count_; }
+
+  Rect mbr(size_t i) const {
+    if (arena_ != nullptr) return arena_->entries[i].mbr;
+    const uint8_t* e = entry(i);
+    return Rect(LoadLeF64(e), LoadLeF64(e + 8), LoadLeF64(e + 16),
+                LoadLeF64(e + 24));
+  }
+
+  /// Leaf nodes only: the stored object id.
+  ObjectId id(size_t i) const {
+    if (arena_ != nullptr) return arena_->entries[i].id;
+    return LoadLe32(entry(i) + kNodeEntryChildOffset);
+  }
+
+  /// Interior nodes only: the child node id.
+  int32_t child(size_t i) const {
+    if (arena_ != nullptr) return arena_->entries[i].child;
+    return static_cast<int32_t>(LoadLe32(entry(i) + kNodeEntryChildOffset));
+  }
+
+  /// Union of every entry MBR (the node's own bounding box).
+  Rect NodeMbr() const {
+    Rect mbr = Rect::Empty();
+    for (size_t i = 0; i < count_; ++i) mbr = mbr.Union(this->mbr(i));
+    return mbr;
+  }
+
+ private:
+  friend class NodeStore;
+  explicit NodeRef(const ArenaNode* arena)
+      : arena_(arena),
+        count_(arena->entries.size()),
+        leaf_(arena->leaf) {}
+  NodeRef(PageHandle page, uint32_t count, bool leaf)
+      : page_(std::move(page)),
+        bytes_(page_->data()),
+        count_(count),
+        leaf_(leaf) {}
+
+  const uint8_t* entry(size_t i) const {
+    return bytes_ + kNodePageHeaderBytes + i * kNodeEntryBytes;
+  }
+
+  const ArenaNode* arena_ = nullptr;
+  PageHandle page_;               // paged mode: keeps the pin
+  const uint8_t* bytes_ = nullptr;
+  size_t count_ = 0;
+  bool leaf_ = false;
+};
+
+/// \brief The node container behind RTree: arena by default, or an opened
+/// paged file.
+///
+/// Copying a NodeStore copies the arena (value semantics, exactly as the
+/// old std::vector<Node> member) but *shares* the paged state — the file
+/// handle and buffer are immutable/thread-safe, so snapshot copies in
+/// ApplyUpdates stay cheap and RTree stays copyable.
+class NodeStore {
+ public:
+  NodeStore() = default;
+
+  /// Opens \p file behind a fresh LRU buffer with \p buffer_bytes budget.
+  /// Assumes the file already passed ValidatePagedTree (or the caller
+  /// accepts ILQ_CHECK aborts on structurally bad nodes).
+  static NodeStore OpenPaged(std::shared_ptr<const PageFile> file,
+                             size_t buffer_bytes) {
+    NodeStore store;
+    store.file_ = std::move(file);
+    store.buffer_ =
+        std::make_shared<BufferManager>(store.file_, buffer_bytes);
+    return store;
+  }
+
+  bool paged() const { return file_ != nullptr; }
+
+  /// Ids are always < size(): arena slots (live + recycled) or file pages.
+  size_t size() const {
+    return paged() ? file_->page_count() : nodes_.size();
+  }
+  /// Live nodes: arena slots minus the free list; every page of a paged
+  /// file (the bulk writer never emits dead pages).
+  size_t live_count() const {
+    return paged() ? file_->page_count() : nodes_.size() - free_nodes_.size();
+  }
+
+  /// Reads node \p nid. In paged mode the page pin's hit/miss/eviction
+  /// deltas are added to \p stats (node/leaf access counting stays with
+  /// the traversal, which knows what it is doing with the node).
+  NodeRef Read(int32_t nid, IndexStats* stats = nullptr) const {
+    if (!paged()) {
+      return NodeRef(&nodes_[static_cast<size_t>(nid)]);
+    }
+    ILQ_CHECK(nid >= 0 && static_cast<size_t>(nid) < size(),
+              "paged node id out of range");
+    BufferCounters delta;
+    Result<PageHandle> page =
+        buffer_->Pin(static_cast<uint32_t>(nid), &delta);
+    ILQ_CHECK(page.ok(), page.status().ToString());
+    if (stats != nullptr) {
+      stats->page_hits += delta.hits;
+      stats->page_misses += delta.misses;
+      stats->page_evictions += delta.evictions;
+    }
+    const uint8_t* bytes = (*page)->data();
+    const uint32_t count = LoadLe16(bytes + kNodePageCountOffset);
+    ILQ_CHECK(count <= file_->header().max_entries,
+              "paged node entry count exceeds fanout");
+    return NodeRef(std::move(*page), count, bytes[kNodePageLeafOffset] != 0);
+  }
+
+  // --- Arena-only mutation API (callers hold the !paged() invariant) ------
+
+  int32_t Allocate(bool leaf, size_t reserve_entries) {
+    ILQ_CHECK(!paged(), "disk-resident R-tree is read-only");
+    if (!free_nodes_.empty()) {
+      const int32_t nid = free_nodes_.back();
+      free_nodes_.pop_back();
+      nodes_[static_cast<size_t>(nid)].leaf = leaf;
+      nodes_[static_cast<size_t>(nid)].entries.clear();
+      return nid;
+    }
+    nodes_.emplace_back();
+    nodes_.back().leaf = leaf;
+    nodes_.back().entries.reserve(reserve_entries);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  void Free(int32_t nid) {
+    nodes_[static_cast<size_t>(nid)].entries.clear();
+    free_nodes_.push_back(nid);
+  }
+
+  ArenaNode& node(int32_t nid) {
+    ILQ_CHECK(!paged(), "disk-resident R-tree is read-only");
+    return nodes_[static_cast<size_t>(nid)];
+  }
+  const ArenaNode& node(int32_t nid) const {
+    return nodes_[static_cast<size_t>(nid)];
+  }
+
+  // --- Paged-state introspection ------------------------------------------
+
+  /// Null in arena mode.
+  const PageFile* file() const { return file_.get(); }
+
+  /// Lifetime buffer counters (all zero in arena mode). Shared across
+  /// copies of a paged store — this is per *index*, not per snapshot copy.
+  BufferCounters buffer_counters() const {
+    return buffer_ != nullptr ? buffer_->counters() : BufferCounters{};
+  }
+  size_t buffer_capacity_pages() const {
+    return buffer_ != nullptr ? buffer_->capacity_pages() : 0;
+  }
+
+ private:
+  // Arena backend.
+  std::vector<ArenaNode> nodes_;
+  std::vector<int32_t> free_nodes_;  // recycled arena slots
+  // Paged backend (shared across copies; immutable + internally locked).
+  std::shared_ptr<const PageFile> file_;
+  std::shared_ptr<BufferManager> buffer_;
+};
+
+/// Deep structural validation of an opened ILQP file, run before the tree
+/// serves queries. Iterative explicit-stack walk with a visited set:
+///   * child ids in range, no node referenced twice (forged cycles cannot
+///     loop or recurse),
+///   * entry counts in [1, max_entries] and leaf flags in {0, 1},
+///   * all leaves at depth == header height, interior nodes above it,
+///   * every entry MBR contains its child's node MBR,
+///   * leaf object ids <= \p max_leaf_id (bound leaf ids that index a
+///     caller-side vector, e.g. positional uncertain-object trees),
+///   * every page reachable, and total leaf entries == header item_count.
+/// Violations -> kInvalidArgument (checksum/structure) or kOutOfRange /
+/// kIOError from the underlying reads. Reads bypass any buffer so a
+/// post-validation cold open still starts with an empty cache.
+Status ValidatePagedTree(
+    const PageFile& file,
+    uint64_t max_leaf_id = std::numeric_limits<uint64_t>::max());
+
+}  // namespace ilq
+
+#endif  // ILQ_INDEX_NODE_STORE_H_

@@ -37,8 +37,11 @@ Result<const UCatalog*> SharedLadderProto(
 // Bottom-up merge of subtree catalogs over the current tree shape. Nodes
 // are processed children-first via an explicit post-order walk. Sized by
 // the node *arena* (ids of recycled slots stay valid array indexes and
-// keep empty catalogs — they are never reached by a traversal).
-std::vector<UCatalog> ComputeNodeCatalogs(
+// keep empty catalogs — they are never reached by a traversal). Works over
+// NodeRef so a disk-resident tree pins each page once per visit; fails on
+// a leaf id outside \p objects (cannot happen for a tree this process
+// built, but Attach runs over mounted files).
+Result<std::vector<UCatalog>> ComputeNodeCatalogs(
     const RTree& tree, const std::vector<UncertainObject>& objects,
     const UCatalog& proto) {
   std::vector<UCatalog> node_catalogs(tree.arena_size(),
@@ -53,25 +56,31 @@ std::vector<UCatalog> ComputeNodeCatalogs(
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    if (tree.IsLeaf(f.node)) {
+    const NodeRef node = tree.ReadNode(f.node);
+    if (node.leaf()) {
       UCatalog& cat = node_catalogs[static_cast<size_t>(f.node)];
-      for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
-        const size_t obj_idx = tree.EntryId(f.node, i);
+      for (size_t i = 0; i < node.count(); ++i) {
+        const size_t obj_idx = node.id(i);
+        if (obj_idx >= objects.size()) {
+          return Status::InvalidArgument(
+              "PTI leaf references object " + std::to_string(obj_idx) +
+              " beyond the catalog (" + std::to_string(objects.size()) +
+              " objects)");
+        }
         cat.MergeFrom(*objects[obj_idx].catalog());
       }
       continue;
     }
     if (!f.expanded) {
       stack.push_back({f.node, true});
-      for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
-        stack.push_back({tree.EntryChild(f.node, i), false});
+      for (size_t i = 0; i < node.count(); ++i) {
+        stack.push_back({node.child(i), false});
       }
       continue;
     }
     UCatalog& cat = node_catalogs[static_cast<size_t>(f.node)];
-    for (size_t i = 0; i < tree.EntryCount(f.node); ++i) {
-      cat.MergeFrom(
-          node_catalogs[static_cast<size_t>(tree.EntryChild(f.node, i))]);
+    for (size_t i = 0; i < node.count(); ++i) {
+      cat.MergeFrom(node_catalogs[static_cast<size_t>(node.child(i))]);
     }
   }
   return node_catalogs;
@@ -96,9 +105,27 @@ Result<PTI> PTI::Build(const RTreeOptions& options,
   if (!built.ok()) return built.status();
   RTree tree = std::move(built).ValueOrDie();
 
-  std::vector<UCatalog> node_catalogs =
+  Result<std::vector<UCatalog>> node_catalogs =
       ComputeNodeCatalogs(tree, objects, **proto);
-  return PTI(std::move(tree), std::move(node_catalogs));
+  if (!node_catalogs.ok()) return node_catalogs.status();
+  return PTI(std::move(tree), std::move(node_catalogs).ValueOrDie());
+}
+
+Result<PTI> PTI::Attach(RTree tree,
+                        const std::vector<UncertainObject>& objects) {
+  if (tree.size() == 0) {
+    return PTI(std::move(tree), {});
+  }
+  if (objects.empty()) {
+    return Status::FailedPrecondition(
+        "PTI tree indexes entries but the objects vector is empty");
+  }
+  Result<const UCatalog*> proto = SharedLadderProto(objects);
+  if (!proto.ok()) return proto.status();
+  Result<std::vector<UCatalog>> node_catalogs =
+      ComputeNodeCatalogs(tree, objects, **proto);
+  if (!node_catalogs.ok()) return node_catalogs.status();
+  return PTI(std::move(tree), std::move(node_catalogs).ValueOrDie());
 }
 
 void PTI::Insert(const Rect& region, ObjectId obj_index) {
@@ -124,7 +151,10 @@ Status PTI::RefreshCatalogs(const std::vector<UncertainObject>& objects) {
   }
   Result<const UCatalog*> proto = SharedLadderProto(objects);
   if (!proto.ok()) return proto.status();
-  node_catalogs_ = ComputeNodeCatalogs(tree_, objects, **proto);
+  Result<std::vector<UCatalog>> node_catalogs =
+      ComputeNodeCatalogs(tree_, objects, **proto);
+  if (!node_catalogs.ok()) return node_catalogs.status();
+  node_catalogs_ = std::move(node_catalogs).ValueOrDie();
   updates_since_build_ = 0;
   return Status::OK();
 }

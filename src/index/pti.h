@@ -41,6 +41,16 @@ class PTI {
   static Result<PTI> Build(const RTreeOptions& options,
                            const std::vector<UncertainObject>& objects);
 
+  /// Wraps an existing tree over \p objects — typically one mounted with
+  /// RTree::OpenPaged (built with PTIOptions fanout and saved via
+  /// SavePaged). Node catalogs are a pure function of tree shape + object
+  /// catalogs, so they are recomputed here rather than serialized; the
+  /// resulting PTI prunes (and answers) identically to the one the file
+  /// was saved from. Fails when a leaf id falls outside \p objects or the
+  /// catalogs do not share one ladder.
+  static Result<PTI> Attach(RTree tree,
+                            const std::vector<UncertainObject>& objects);
+
   /// Inserts one object region keyed by its *index into the objects
   /// vector*. Node catalogs become stale until RefreshCatalogs.
   void Insert(const Rect& region, ObjectId obj_index);
@@ -69,8 +79,9 @@ class PTI {
   /// vector) of every surviving leaf entry.
   /// Thread safety: safe to call concurrently with other const member
   /// functions (the traversal stack is a local; the index keeps no mutable
-  /// query-time state). Caller-provided \p stats must not be shared
-  /// between concurrent queries.
+  /// query-time state, and a paged tree's buffer locks internally).
+  /// Caller-provided \p stats must not be shared between concurrent
+  /// queries; on a paged tree it also collects buffer hit/miss counts.
   template <typename PruneNode, typename Visit>
   void Query(const Rect& range, PruneNode&& prune_node, Visit&& visit,
              IndexStats* stats = nullptr) const {
@@ -85,23 +96,26 @@ class PTI {
     while (!stack.empty()) {
       const int32_t nid = stack.back();
       stack.pop_back();
+      // One NodeRef per node: in paged mode this pins the page once for
+      // the whole entry scan instead of re-pinning per accessor call.
+      const NodeRef node = tree_.ReadNode(nid, stats);
       if (stats != nullptr) {
         ++stats->node_accesses;
-        if (tree_.IsLeaf(nid)) ++stats->leaf_accesses;
+        if (node.leaf()) ++stats->leaf_accesses;
       }
-      const size_t n = tree_.EntryCount(nid);
-      if (tree_.IsLeaf(nid)) {
+      const size_t n = node.count();
+      if (node.leaf()) {
         for (size_t i = 0; i < n; ++i) {
-          if (!tree_.EntryMbr(nid, i).Intersects(range)) continue;
+          if (!node.mbr(i).Intersects(range)) continue;
           if (stats != nullptr) ++stats->candidates;
-          visit(tree_.EntryId(nid, i));
+          visit(node.id(i));
         }
       } else {
         for (size_t i = 0; i < n; ++i) {
-          if (!tree_.EntryMbr(nid, i).Intersects(range)) continue;
-          const int32_t child = tree_.EntryChild(nid, i);
-          if (prune_node(tree_.EntryMbr(nid, i),
-                         node_catalogs_[static_cast<size_t>(child)])) {
+          const Rect mbr = node.mbr(i);
+          if (!mbr.Intersects(range)) continue;
+          const int32_t child = node.child(i);
+          if (prune_node(mbr, node_catalogs_[static_cast<size_t>(child)])) {
             continue;
           }
           stack.push_back(child);

@@ -7,22 +7,15 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "storage/page_file.h"
 
 namespace ilq {
 
-namespace {
-// Node header: leaf flag + entry count + padding, as a disk page would
-// carry. Entry base: 4 doubles for the MBR + 4 bytes for a child pointer or
-// object id.
-constexpr size_t kNodeHeaderBytes = 16;
-constexpr size_t kEntryBaseBytes = 4 * sizeof(double) + sizeof(uint32_t);
-}  // namespace
-
 size_t MaxEntriesForPage(const RTreeOptions& options) {
   if (options.max_entries_override > 0) return options.max_entries_override;
-  const size_t entry = kEntryBaseBytes + options.extra_entry_bytes;
-  if (options.page_size_bytes <= kNodeHeaderBytes) return 0;
-  return (options.page_size_bytes - kNodeHeaderBytes) / entry;
+  const size_t entry = kNodeEntryBytes + options.extra_entry_bytes;
+  if (options.page_size_bytes <= kNodePageHeaderBytes) return 0;
+  return (options.page_size_bytes - kNodePageHeaderBytes) / entry;
 }
 
 Result<RTree> RTree::Create(const RTreeOptions& options) {
@@ -38,35 +31,19 @@ Result<RTree> RTree::Create(const RTreeOptions& options) {
   size_t min_entries = static_cast<size_t>(
       std::floor(options.min_fill_fraction * static_cast<double>(max_entries)));
   min_entries = std::max<size_t>(1, min_entries);
-  return RTree(max_entries, min_entries);
+  RTree tree(max_entries, min_entries);
+  tree.page_size_bytes_ = options.page_size_bytes;
+  tree.extra_entry_bytes_ = options.extra_entry_bytes;
+  return tree;
 }
 
 int32_t RTree::NewNode(bool leaf) {
-  if (!free_nodes_.empty()) {
-    const int32_t nid = free_nodes_.back();
-    free_nodes_.pop_back();
-    nodes_[static_cast<size_t>(nid)].leaf = leaf;
-    nodes_[static_cast<size_t>(nid)].entries.clear();
-    return nid;
-  }
-  nodes_.emplace_back();
-  nodes_.back().leaf = leaf;
-  nodes_.back().entries.reserve(max_entries_ + 1);
-  return static_cast<int32_t>(nodes_.size() - 1);
+  return store_.Allocate(leaf, max_entries_ + 1);
 }
 
-void RTree::FreeNode(int32_t nid) {
-  nodes_[static_cast<size_t>(nid)].entries.clear();
-  free_nodes_.push_back(nid);
-}
+void RTree::FreeNode(int32_t nid) { store_.Free(nid); }
 
-Rect RTree::NodeMbr(int32_t nid) const {
-  Rect mbr = Rect::Empty();
-  for (const Entry& e : nodes_[static_cast<size_t>(nid)].entries) {
-    mbr = mbr.Union(e.mbr);
-  }
-  return mbr;
-}
+Rect RTree::NodeMbr(int32_t nid) const { return store_.Read(nid).NodeMbr(); }
 
 Result<RTree> RTree::BulkLoad(const RTreeOptions& options,
                               std::vector<Item> items) {
@@ -113,7 +90,7 @@ Result<RTree> RTree::BulkLoad(const RTreeOptions& options,
         Entry e;
         e.mbr = items[k].box;
         e.id = items[k].id;
-        tree.nodes_[static_cast<size_t>(nid)].entries.push_back(e);
+        tree.store_.node(nid).entries.push_back(e);
         mbr = mbr.Union(items[k].box);
       }
       level.push_back({mbr, nid});
@@ -149,7 +126,7 @@ Result<RTree> RTree::BulkLoad(const RTreeOptions& options,
           Entry e;
           e.mbr = level[k].mbr;
           e.child = level[k].node;
-          tree.nodes_[static_cast<size_t>(nid)].entries.push_back(e);
+          tree.store_.node(nid).entries.push_back(e);
           mbr = mbr.Union(level[k].mbr);
         }
         next.push_back({mbr, nid});
@@ -161,11 +138,125 @@ Result<RTree> RTree::BulkLoad(const RTreeOptions& options,
   return tree;
 }
 
+Status RTree::SavePaged(const std::string& path) const {
+  // The on-disk page must physically hold max_entries 36-byte entries plus
+  // the 16-byte node header even when extra_entry_bytes inflated the
+  // *logical* entry cost (then the physical need is smaller than the
+  // budget) or an override forced a fanout past the budget (then we grow).
+  const size_t need =
+      kNodePageHeaderBytes + max_entries_ * kNodeEntryBytes;
+  const size_t page_size =
+      std::max({page_size_bytes_, need, static_cast<size_t>(kMinPageSize)});
+  if (page_size > kMaxPageSize) {
+    return Status::InvalidArgument(
+        "fanout " + std::to_string(max_entries_) +
+        " needs a page larger than the ILQP maximum");
+  }
+  if (max_entries_ > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument(
+        "fanout exceeds the ILQP entry-count field (u16)");
+  }
+
+  // Pass 1: compact node ids in pre-order (root -> 0; children numbered in
+  // entry order before later siblings' subtrees). Deterministic, and skips
+  // recycled arena slots so the file has no dead pages.
+  std::vector<int32_t> order;          // new id -> old id
+  std::vector<int32_t> remap;          // old id -> new id
+  if (root_ >= 0) {
+    order.reserve(store_.live_count());
+    remap.assign(store_.size(), -1);
+    std::vector<int32_t> stack{root_};
+    while (!stack.empty()) {
+      const int32_t old_id = stack.back();
+      stack.pop_back();
+      remap[static_cast<size_t>(old_id)] =
+          static_cast<int32_t>(order.size());
+      order.push_back(old_id);
+      const NodeRef node = store_.Read(old_id);
+      if (!node.leaf()) {
+        // Reverse push so the pre-order visit follows entry order.
+        for (size_t i = node.count(); i > 0; --i) {
+          stack.push_back(node.child(i - 1));
+        }
+      }
+    }
+  }
+
+  Result<PageFileWriter> made = PageFileWriter::Create(path, page_size);
+  if (!made.ok()) return made.status();
+  PageFileWriter writer = std::move(made).ValueOrDie();
+
+  // Pass 2: encode pages in new-id order.
+  std::vector<uint8_t> page(page_size);
+  for (const int32_t old_id : order) {
+    const NodeRef node = store_.Read(old_id);
+    std::fill(page.begin(), page.end(), 0);
+    page[kNodePageLeafOffset] = node.leaf() ? 1 : 0;
+    StoreLe16(page.data() + kNodePageCountOffset,
+              static_cast<uint16_t>(node.count()));
+    for (size_t i = 0; i < node.count(); ++i) {
+      uint8_t* e = page.data() + kNodePageHeaderBytes + i * kNodeEntryBytes;
+      const Rect mbr = node.mbr(i);
+      StoreLeF64(e, mbr.xmin);
+      StoreLeF64(e + 8, mbr.xmax);
+      StoreLeF64(e + 16, mbr.ymin);
+      StoreLeF64(e + 24, mbr.ymax);
+      const uint32_t ref =
+          node.leaf()
+              ? static_cast<uint32_t>(node.id(i))
+              : static_cast<uint32_t>(
+                    remap[static_cast<size_t>(node.child(i))]);
+      StoreLe32(e + kNodeEntryChildOffset, ref);
+    }
+    ILQ_RETURN_NOT_OK(writer.WritePage(page));
+  }
+
+  PageFileHeader header;
+  header.page_size = static_cast<uint32_t>(page_size);
+  header.page_count = static_cast<uint32_t>(order.size());
+  header.root = order.empty() ? -1 : 0;
+  header.height = static_cast<uint32_t>(height());
+  header.item_count = item_count_;
+  header.max_entries = static_cast<uint32_t>(max_entries_);
+  header.min_entries = static_cast<uint32_t>(min_entries_);
+  header.extra_entry_bytes = static_cast<uint32_t>(extra_entry_bytes_);
+  return writer.Finish(header);
+}
+
+Result<RTree> RTree::OpenPaged(const std::string& path,
+                               const PagedOpenOptions& options) {
+  Result<std::shared_ptr<const PageFile>> opened = PageFile::Open(path);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<const PageFile> file = std::move(opened).ValueOrDie();
+  const PageFileHeader& h = file->header();
+  if (h.page_count > 0 &&
+      (h.page_size < kNodePageHeaderBytes + kNodeEntryBytes ||
+       h.max_entries >
+           (h.page_size - kNodePageHeaderBytes) / kNodeEntryBytes)) {
+    return Status::InvalidArgument(
+        "paged index: max_entries " + std::to_string(h.max_entries) +
+        " cannot fit a " + std::to_string(h.page_size) + "-byte page");
+  }
+  if (options.deep_verify) {
+    ILQ_RETURN_NOT_OK(ValidatePagedTree(*file, options.max_leaf_id));
+  }
+
+  RTree tree(std::max<size_t>(h.max_entries, 2),
+             std::max<size_t>(h.min_entries, 1));
+  tree.page_size_bytes_ = h.page_size;
+  tree.extra_entry_bytes_ = h.extra_entry_bytes;
+  tree.item_count_ = h.item_count;
+  tree.root_ = h.root;
+  tree.store_ = NodeStore::OpenPaged(std::move(file),
+                                     options.buffer_pool_bytes);
+  return tree;
+}
+
 int32_t RTree::ChooseLeaf(const Rect& box, std::vector<int32_t>* path) const {
   int32_t nid = root_;
   for (;;) {
     path->push_back(nid);
-    const Node& node = nodes_[static_cast<size_t>(nid)];
+    const Node& node = store_.node(nid);
     if (node.leaf) return nid;
     // Least area enlargement, ties by smallest area (Guttman).
     double best_enlarge = std::numeric_limits<double>::infinity();
@@ -187,10 +278,9 @@ int32_t RTree::ChooseLeaf(const Rect& box, std::vector<int32_t>* path) const {
 
 int32_t RTree::SplitNode(int32_t nid) {
   // Guttman's quadratic split.
-  std::vector<Entry> entries =
-      std::move(nodes_[static_cast<size_t>(nid)].entries);
-  const bool leaf = nodes_[static_cast<size_t>(nid)].leaf;
-  nodes_[static_cast<size_t>(nid)].entries.clear();
+  std::vector<Entry> entries = std::move(store_.node(nid).entries);
+  const bool leaf = store_.node(nid).leaf;
+  store_.node(nid).entries.clear();
   const int32_t sibling = NewNode(leaf);
 
   // PickSeeds: pair wasting the most area.
@@ -209,8 +299,8 @@ int32_t RTree::SplitNode(int32_t nid) {
     }
   }
 
-  Node& left = nodes_[static_cast<size_t>(nid)];
-  Node& right = nodes_[static_cast<size_t>(sibling)];
+  Node& left = store_.node(nid);
+  Node& right = store_.node(sibling);
   Rect left_mbr = entries[seed_a].mbr;
   Rect right_mbr = entries[seed_b].mbr;
   left.entries.push_back(entries[seed_a]);
@@ -284,7 +374,7 @@ void RTree::AdjustTree(std::vector<int32_t>& path, int32_t split_sibling) {
     const int32_t child = path.back();
     path.pop_back();
     const int32_t parent = path.back();
-    Node& pnode = nodes_[static_cast<size_t>(parent)];
+    Node& pnode = store_.node(parent);
     for (Entry& e : pnode.entries) {
       if (e.child == child) {
         e.mbr = NodeMbr(child);
@@ -310,7 +400,7 @@ void RTree::AdjustTree(std::vector<int32_t>& path, int32_t split_sibling) {
     Entry b;
     b.mbr = NodeMbr(split_sibling);
     b.child = split_sibling;
-    Node& rnode = nodes_[static_cast<size_t>(new_root)];
+    Node& rnode = store_.node(new_root);
     rnode.entries.push_back(a);
     rnode.entries.push_back(b);
     root_ = new_root;
@@ -318,6 +408,7 @@ void RTree::AdjustTree(std::vector<int32_t>& path, int32_t split_sibling) {
 }
 
 void RTree::Insert(const Rect& box, ObjectId id) {
+  ILQ_CHECK(!is_paged(), "disk-resident R-tree is read-only");
   ILQ_CHECK(!box.IsEmpty(), "cannot index an empty rectangle");
   ++item_count_;
   if (root_ < 0) {
@@ -328,7 +419,7 @@ void RTree::Insert(const Rect& box, ObjectId id) {
   Entry e;
   e.mbr = box;
   e.id = id;
-  Node& lnode = nodes_[static_cast<size_t>(leaf)];
+  Node& lnode = store_.node(leaf);
   lnode.entries.push_back(e);
   const int32_t sibling =
       lnode.entries.size() > max_entries_ ? SplitNode(leaf) : -1;
@@ -338,7 +429,7 @@ void RTree::Insert(const Rect& box, ObjectId id) {
 bool RTree::FindLeaf(int32_t nid, const Rect& box, ObjectId id,
                      std::vector<int32_t>* path) const {
   path->push_back(nid);
-  const Node& node = nodes_[static_cast<size_t>(nid)];
+  const Node& node = store_.node(nid);
   if (node.leaf) {
     for (const Entry& e : node.entries) {
       if (e.id == id && e.mbr == box) return true;
@@ -364,7 +455,7 @@ void RTree::CondenseTree(std::vector<int32_t>& path) {
     while (!stack.empty()) {
       const int32_t cur = stack.back();
       stack.pop_back();
-      Node& node = nodes_[static_cast<size_t>(cur)];
+      Node& node = store_.node(cur);
       for (const Entry& e : node.entries) {
         if (node.leaf) {
           orphans.push_back(e);
@@ -380,8 +471,8 @@ void RTree::CondenseTree(std::vector<int32_t>& path) {
     const int32_t child = path.back();
     path.pop_back();
     const int32_t parent = path.back();
-    Node& pnode = nodes_[static_cast<size_t>(parent)];
-    const Node& cnode = nodes_[static_cast<size_t>(child)];
+    Node& pnode = store_.node(parent);
+    const Node& cnode = store_.node(child);
     auto it = std::find_if(
         pnode.entries.begin(), pnode.entries.end(),
         [child](const Entry& e) { return e.child == child; });
@@ -396,14 +487,14 @@ void RTree::CondenseTree(std::vector<int32_t>& path) {
 
   // Shrink the root: an interior root with one child hands over to it; an
   // empty tree resets entirely.
-  while (root_ >= 0 && !nodes_[static_cast<size_t>(root_)].leaf &&
-         nodes_[static_cast<size_t>(root_)].entries.size() == 1) {
-    const int32_t child = nodes_[static_cast<size_t>(root_)].entries[0].child;
+  while (root_ >= 0 && !store_.node(root_).leaf &&
+         store_.node(root_).entries.size() == 1) {
+    const int32_t child = store_.node(root_).entries[0].child;
     FreeNode(root_);
     root_ = child;
   }
-  if (root_ >= 0 && nodes_[static_cast<size_t>(root_)].leaf &&
-      nodes_[static_cast<size_t>(root_)].entries.empty()) {
+  if (root_ >= 0 && store_.node(root_).leaf &&
+      store_.node(root_).entries.empty()) {
     FreeNode(root_);
     root_ = -1;
   }
@@ -415,10 +506,11 @@ void RTree::CondenseTree(std::vector<int32_t>& path) {
 }
 
 bool RTree::Remove(const Rect& box, ObjectId id) {
+  ILQ_CHECK(!is_paged(), "disk-resident R-tree is read-only");
   if (root_ < 0) return false;
   std::vector<int32_t> path;
   if (!FindLeaf(root_, box, id, &path)) return false;
-  Node& leaf = nodes_[static_cast<size_t>(path.back())];
+  Node& leaf = store_.node(path.back());
   auto it = std::find_if(leaf.entries.begin(), leaf.entries.end(),
                          [&](const Entry& e) {
                            return e.id == id && e.mbr == box;
@@ -455,19 +547,21 @@ std::vector<RTree::Neighbor> RTree::Nearest(const Point& query, size_t k,
       if (result.size() > k) result.pop_back();
       continue;
     }
-    const Node& node = nodes_[static_cast<size_t>(top.node)];
+    const NodeRef node = store_.Read(top.node, stats);
     if (stats != nullptr) {
       ++stats->node_accesses;
-      if (node.leaf) ++stats->leaf_accesses;
+      if (node.leaf()) ++stats->leaf_accesses;
     }
-    for (const Entry& e : node.entries) {
-      const double d = e.mbr.MinDistanceTo(query);
+    const size_t n = node.count();
+    for (size_t i = 0; i < n; ++i) {
+      const Rect mbr = node.mbr(i);
+      const double d = mbr.MinDistanceTo(query);
       if (result.size() == k && d > result.back().distance) continue;
-      if (node.leaf) {
-        heap.push({d, -1, e.mbr, e.id});
+      if (node.leaf()) {
+        heap.push({d, -1, mbr, node.id(i)});
         if (stats != nullptr) ++stats->candidates;
       } else {
-        heap.push({d, e.child, Rect(), 0});
+        heap.push({d, node.child(i), Rect(), 0});
       }
     }
   }
@@ -484,10 +578,14 @@ std::vector<ObjectId> RTree::QueryIds(const Rect& range,
 
 size_t RTree::height() const {
   if (root_ < 0) return 0;
+  // A mounted file carries its height (and validation pinned every leaf to
+  // that depth); the arena walks the leftmost spine.
+  if (is_paged()) return store_.file()->header().height;
   size_t h = 1;
   int32_t nid = root_;
-  while (!nodes_[static_cast<size_t>(nid)].leaf) {
-    nid = nodes_[static_cast<size_t>(nid)].entries.front().child;
+  for (NodeRef node = store_.Read(nid); !node.leaf();
+       node = store_.Read(nid)) {
+    nid = node.child(0);
     ++h;
   }
   return h;
@@ -501,34 +599,34 @@ Rect RTree::bounds() const {
 Status RTree::ValidateNode(int32_t nid, size_t depth, size_t leaf_depth,
                            size_t* items_seen, size_t* nodes_seen) const {
   ++*nodes_seen;
-  const Node& node = nodes_[static_cast<size_t>(nid)];
-  if (node.entries.empty()) {
+  const NodeRef node = store_.Read(nid);
+  if (node.count() == 0) {
     return Status::Internal("empty node " + std::to_string(nid));
   }
-  if (node.entries.size() > max_entries_) {
+  if (node.count() > max_entries_) {
     return Status::Internal("overfull node " + std::to_string(nid));
   }
   // Non-root nodes must meet the minimum fill (bulk loads may underfill the
   // last node of a level, which is permitted by STR; accept >= 1).
-  if (node.leaf) {
+  if (node.leaf()) {
     if (depth != leaf_depth) {
       return Status::Internal("leaves at different depths");
     }
-    *items_seen += node.entries.size();
+    *items_seen += node.count();
     return Status::OK();
   }
-  for (const Entry& e : node.entries) {
-    if (e.child < 0 ||
-        static_cast<size_t>(e.child) >= nodes_.size()) {
+  for (size_t i = 0; i < node.count(); ++i) {
+    const int32_t child = node.child(i);
+    if (child < 0 || static_cast<size_t>(child) >= store_.size()) {
       return Status::Internal("dangling child pointer");
     }
-    const Rect child_mbr = NodeMbr(e.child);
-    if (!e.mbr.ContainsRect(child_mbr)) {
+    const Rect child_mbr = NodeMbr(child);
+    if (!node.mbr(i).ContainsRect(child_mbr)) {
       return Status::Internal("entry MBR does not cover child node " +
-                              std::to_string(e.child));
+                              std::to_string(child));
     }
     ILQ_RETURN_NOT_OK(
-        ValidateNode(e.child, depth + 1, leaf_depth, items_seen, nodes_seen));
+        ValidateNode(child, depth + 1, leaf_depth, items_seen, nodes_seen));
   }
   return Status::OK();
 }

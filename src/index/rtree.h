@@ -7,17 +7,29 @@
 // its fanout from the same page budget, supports STR bulk loading (used for
 // the experiment datasets) and dynamic quadratic-split insertion, and counts
 // node accesses as a hardware-independent I/O metric.
+//
+// Since ISSUE 8 node storage lives behind NodeStore (index/node_store.h):
+// the same traversal code runs over the in-memory arena (default,
+// zero-overhead) or a disk-resident "ILQP" paged file behind an LRU buffer
+// — SavePaged serializes any tree to a paged file, OpenPaged mounts one
+// read-only. Disk trees answer bit-identically to the arena tree they were
+// saved from: SavePaged compacts node ids in a deterministic traversal
+// order but preserves entry order and tree shape exactly, and no query
+// result (nor node-access count) depends on node *ids*.
 
 #ifndef ILQ_INDEX_RTREE_H_
 #define ILQ_INDEX_RTREE_H_
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "geometry/rect.h"
 #include "index/index_stats.h"
+#include "index/node_store.h"
 #include "object/point_object.h"
 
 namespace ilq {
@@ -40,12 +52,33 @@ struct RTreeOptions {
   size_t max_entries_override = 0;
 };
 
-/// \brief An in-memory R-tree over (bounding box, object id) pairs with
-/// simulated paging.
+/// \brief Open parameters for a disk-resident tree (RTree::OpenPaged).
+struct PagedOpenOptions {
+  /// LRU buffer budget for this index, in bytes (at least one page is
+  /// always resident). Far-below-index-size budgets are supported — the
+  /// tree thrashes but stays correct and bit-identical.
+  size_t buffer_pool_bytes = 8ull << 20;
+
+  /// Run ValidatePagedTree before serving (one sequential read of the
+  /// whole file). Leave on for untrusted files: with it off, a corrupt
+  /// file aborts (ILQ_CHECK) at first bad read instead of returning
+  /// Status here.
+  bool deep_verify = true;
+
+  /// Upper bound for leaf object ids (inclusive). Trees whose leaf ids
+  /// index a caller-side vector (uncertain/PTI trees store *positions*)
+  /// pass size-1 so a forged id cannot read out of bounds at query time.
+  uint64_t max_leaf_id = std::numeric_limits<uint64_t>::max();
+};
+
+/// \brief An R-tree over (bounding box, object id) pairs whose nodes live
+/// in a NodeStore — in-memory arena or disk-resident pages.
 ///
-/// Nodes live in a flat arena addressed by int32 ids; each node models one
-/// disk page. Use BulkLoad (Sort-Tile-Recursive) to build from a dataset, or
-/// Create + Insert for incremental maintenance.
+/// Each node models one disk page (and in paged mode *is* one). Use
+/// BulkLoad (Sort-Tile-Recursive) to build from a dataset, Create + Insert
+/// for incremental maintenance, or OpenPaged to mount a SavePaged file.
+/// Paged trees are read-only: Insert/Remove on them abort, so callers gate
+/// updates up front (QueryEngine returns kFailedPrecondition).
 class RTree {
  public:
   /// One indexed item: bounding box plus the object's id. Point objects use
@@ -63,12 +96,26 @@ class RTree {
   static Result<RTree> BulkLoad(const RTreeOptions& options,
                                 std::vector<Item> items);
 
-  /// Inserts one item (Guttman ChooseLeaf + quadratic split).
+  /// Serializes the tree to an "ILQP" paged file at \p path (overwrite).
+  /// Node ids are compacted in deterministic pre-order, children before
+  /// later siblings' subtrees; recycled arena slots are not written. The
+  /// page size is the build-time page budget, grown only if an
+  /// max_entries_override forced a fanout the budget cannot hold.
+  Status SavePaged(const std::string& path) const;
+
+  /// Mounts a SavePaged file read-only behind an LRU page buffer. The
+  /// tree's geometry (fanout, page size, extra entry bytes) is restored
+  /// from the file header; traversal behaviour and all query answers are
+  /// bit-identical to the tree that was saved.
+  static Result<RTree> OpenPaged(const std::string& path,
+                                 const PagedOpenOptions& options = {});
+
+  /// Inserts one item (Guttman ChooseLeaf + quadratic split). Arena only.
   void Insert(const Rect& box, ObjectId id);
 
   /// Removes one item matching both \p box and \p id (Guttman delete with
   /// tree condensation and reinsertion of orphaned items). Returns false
-  /// when no such entry exists.
+  /// when no such entry exists. Arena only.
   bool Remove(const Rect& box, ObjectId id);
 
   /// One k-nearest-neighbour result.
@@ -89,8 +136,10 @@ class RTree {
   ///
   /// Thread safety: safe to call concurrently with other const member
   /// functions (the traversal stack is a local; the tree keeps no mutable
-  /// query-time state). Caller-provided \p stats must not be shared
-  /// between concurrent queries.
+  /// query-time state, and the paged buffer locks internally).
+  /// Caller-provided \p stats must not be shared between concurrent
+  /// queries; in paged mode it also collects the query's buffer
+  /// hit/miss/eviction counts.
   template <typename Visit>
   void Query(const Rect& range, Visit&& visit,
              IndexStats* stats = nullptr) const {
@@ -101,18 +150,20 @@ class RTree {
     while (!stack.empty()) {
       const int32_t nid = stack.back();
       stack.pop_back();
-      const Node& node = nodes_[static_cast<size_t>(nid)];
+      const NodeRef node = store_.Read(nid, stats);
       if (stats != nullptr) {
         ++stats->node_accesses;
-        if (node.leaf) ++stats->leaf_accesses;
+        if (node.leaf()) ++stats->leaf_accesses;
       }
-      for (const Entry& e : node.entries) {
-        if (!e.mbr.Intersects(range)) continue;
-        if (node.leaf) {
+      const size_t n = node.count();
+      for (size_t i = 0; i < n; ++i) {
+        const Rect mbr = node.mbr(i);
+        if (!mbr.Intersects(range)) continue;
+        if (node.leaf()) {
           if (stats != nullptr) ++stats->candidates;
-          visit(e.mbr, e.id);
+          visit(mbr, node.id(i));
         } else {
-          stack.push_back(e.child);
+          stack.push_back(node.child(i));
         }
       }
     }
@@ -124,58 +175,76 @@ class RTree {
 
   /// Number of indexed items.
   size_t size() const { return item_count_; }
-  /// Number of live nodes (simulated pages). Removal recycles node slots,
-  /// so this can be less than the arena size.
-  size_t node_count() const { return nodes_.size() - free_nodes_.size(); }
-  /// Size of the node arena including recycled slots. Node ids are always
-  /// < arena_size(); side tables indexed by node id (e.g. the PTI's
-  /// per-node catalogs) must size to this, not node_count().
-  size_t arena_size() const { return nodes_.size(); }
+  /// Number of live nodes (pages). Removal recycles arena slots, so this
+  /// can be less than the arena size.
+  size_t node_count() const { return store_.live_count(); }
+  /// Size of the node arena including recycled slots (page count for a
+  /// paged tree). Node ids are always < arena_size(); side tables indexed
+  /// by node id (e.g. the PTI's per-node catalogs) must size to this, not
+  /// node_count().
+  size_t arena_size() const { return store_.size(); }
   /// Tree height (0 for empty, 1 for a root-only tree).
   size_t height() const;
   /// Maximum entries per node as derived from the page budget.
   size_t max_entries() const { return max_entries_; }
   /// Minimum entries per node enforced by splits.
   size_t min_entries() const { return min_entries_; }
+  /// Page budget the tree was built with (or the page size of the mounted
+  /// file).
+  size_t page_size_bytes() const { return page_size_bytes_; }
+  /// Per-entry extra charge (PTI catalogs); round-tripped through the file
+  /// header so the engine can cross-check a mounted index against its
+  /// config.
+  size_t extra_entry_bytes() const { return extra_entry_bytes_; }
   /// Bounding box of everything in the tree (empty when empty).
   Rect bounds() const;
 
+  /// True for a tree mounted from a paged file (read-only).
+  bool is_paged() const { return store_.paged(); }
+  /// Lifetime buffer hit/miss/eviction totals (zeros in arena mode).
+  BufferCounters buffer_counters() const { return store_.buffer_counters(); }
+  /// Pages the LRU budget admits (0 in arena mode).
+  size_t buffer_capacity_pages() const {
+    return store_.buffer_capacity_pages();
+  }
+
   /// Checks structural invariants (MBR containment, entry counts, leaf
   /// depth uniformity, item count). Used by tests and after bulk loads.
+  /// (OpenPaged's deep_verify runs the stronger untrusted-file walk; this
+  /// one assumes ids are in range, like the arena version always has.)
   Status Validate() const;
 
   // --- Read-only structural access (used by index extensions like PTI) ---
 
   /// Root node id, or -1 when empty.
   int32_t root() const { return root_; }
-  bool IsLeaf(int32_t node) const {
-    return nodes_[static_cast<size_t>(node)].leaf;
+
+  /// Reads one node; the primary structural accessor. In paged mode \p
+  /// stats collects the page pin's buffer counters. Hold the NodeRef for
+  /// repeated entry access instead of re-reading per entry.
+  NodeRef ReadNode(int32_t nid, IndexStats* stats = nullptr) const {
+    return store_.Read(nid, stats);
   }
-  size_t EntryCount(int32_t node) const {
-    return nodes_[static_cast<size_t>(node)].entries.size();
-  }
-  const Rect& EntryMbr(int32_t node, size_t i) const {
-    return nodes_[static_cast<size_t>(node)].entries[i].mbr;
+
+  bool IsLeaf(int32_t node) const { return store_.Read(node).leaf(); }
+  size_t EntryCount(int32_t node) const { return store_.Read(node).count(); }
+  /// By value since ISSUE 8: a paged node decodes its MBRs, so there is no
+  /// stable Rect to reference.
+  Rect EntryMbr(int32_t node, size_t i) const {
+    return store_.Read(node).mbr(i);
   }
   /// Leaf nodes only: the stored object id.
   ObjectId EntryId(int32_t node, size_t i) const {
-    return nodes_[static_cast<size_t>(node)].entries[i].id;
+    return store_.Read(node).id(i);
   }
   /// Interior nodes only: the child node id.
   int32_t EntryChild(int32_t node, size_t i) const {
-    return nodes_[static_cast<size_t>(node)].entries[i].child;
+    return store_.Read(node).child(i);
   }
 
  private:
-  struct Entry {
-    Rect mbr;
-    int32_t child = -1;  // interior: child node id
-    ObjectId id = 0;     // leaf: object id
-  };
-  struct Node {
-    bool leaf = true;
-    std::vector<Entry> entries;
-  };
+  using Entry = NodeEntry;
+  using Node = ArenaNode;
 
   RTree(size_t max_entries, size_t min_entries)
       : max_entries_(max_entries), min_entries_(min_entries) {}
@@ -199,10 +268,11 @@ class RTree {
 
   size_t max_entries_;
   size_t min_entries_;
+  size_t page_size_bytes_ = 4096;
+  size_t extra_entry_bytes_ = 0;
   size_t item_count_ = 0;
   int32_t root_ = -1;
-  std::vector<Node> nodes_;
-  std::vector<int32_t> free_nodes_;  // recycled arena slots
+  NodeStore store_;
 };
 
 /// Derives the maximum entries per node from a page budget: a node header

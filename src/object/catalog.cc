@@ -97,9 +97,9 @@ const UncertainObject* CatalogSnapshot::FindUncertain(ObjectId id) const {
 
 CatalogSnapshotPtr MakeCatalogSnapshot(
     std::vector<PointObject> points,
-    std::vector<UncertainObject> uncertains) {
+    std::vector<UncertainObject> uncertains, uint64_t epoch) {
   auto snap = std::make_shared<CatalogSnapshot>();
-  snap->epoch = 0;
+  snap->epoch = epoch;
   snap->points = std::move(points);
   snap->uncertains = std::move(uncertains);
   snap->point_pos.reserve(snap->points.size());

@@ -120,11 +120,14 @@ class CatalogListener {
   }
 };
 
-/// Builds the epoch-0 snapshot for a pair of datasets (positional maps
-/// included). Never fails; duplicate ids degrade to read-only support (see
-/// the id contract above).
+/// Builds the snapshot for a pair of datasets (positional maps included),
+/// stamped with \p epoch — 0 for a fresh build; a disk-resident engine
+/// passes the epoch its catalog image was saved at so the serving tier's
+/// version handshake survives the round trip. Never fails; duplicate ids
+/// degrade to read-only support (see the id contract above).
 CatalogSnapshotPtr MakeCatalogSnapshot(std::vector<PointObject> points,
-                                       std::vector<UncertainObject> uncertains);
+                                       std::vector<UncertainObject> uncertains,
+                                       uint64_t epoch = 0);
 
 /// The copy-on-write step: applies \p batch to a copy of \p prev and
 /// returns the next snapshot with epoch + 1. \p prev is never touched, so

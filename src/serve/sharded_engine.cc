@@ -138,6 +138,41 @@ Result<ShardedEngine> ShardedEngine::Build(
       std::make_shared<const ShardSet>(std::move(set).ValueOrDie()));
 }
 
+Result<ShardedEngine> ShardedEngine::FromEngine(QueryEngine engine,
+                                                ShardedEngineConfig config) {
+  config.shards = 1;
+  // The adopted engine's config wins: MakeIssuer must build issuer
+  // catalogs on the ladder the engine's objects were catalogued with, and
+  // the storage/page settings describe what the engine actually runs on.
+  config.engine = engine.config();
+
+  const QueryEngine::SnapshotPtr snap = engine.snapshot();
+  ShardSet set;
+  Shard shard;
+  shard.point_bounds = snap->point_index.bounds();
+  shard.uncertain_bounds = snap->uncertain_index.bounds();
+  shard.seed_region = shard.point_bounds.Union(shard.uncertain_bounds);
+  shard.routed = std::make_shared<std::atomic<uint64_t>>(0);
+  set.point_shard.reserve(snap->catalog->points.size());
+  for (const PointObject& p : snap->catalog->points) {
+    set.point_shard[p.id] = 0;
+  }
+  set.uncertain_shard.reserve(snap->catalog->uncertains.size());
+  for (const UncertainObject& u : snap->catalog->uncertains) {
+    set.uncertain_shard[u.id()] = 0;
+  }
+  const uint64_t epoch = snap->epoch();
+  shard.engine = std::make_shared<QueryEngine>(std::move(engine));
+  set.shards.push_back(std::move(shard));
+
+  ShardedEngine sharded(std::move(config),
+                        std::make_shared<const ShardSet>(std::move(set)));
+  // Carry the adopted epoch (e.g. the one the catalog image was saved at)
+  // into the serving tier's version handshake.
+  sharded.control_->epoch.store(epoch, std::memory_order_release);
+  return sharded;
+}
+
 uint32_t ShardedEngine::RouteInsert(const ShardSet& set,
                                     const Point& centroid) {
   uint32_t best = 0;
@@ -380,6 +415,15 @@ Status ShardedEngine::Resplit() {
 
 Status ShardedEngine::ResplitLocked() {
   const ShardSetPtr prev = control_->set.load(std::memory_order_acquire);
+  // A re-split rebuilds every index in memory — silently converting a
+  // disk-resident shard to RAM would defeat the point of mounting it.
+  for (const Shard& shard : prev->shards) {
+    if (shard.engine->is_paged()) {
+      return Status::FailedPrecondition(
+          "re-split rebuilds indexes in memory, but a shard engine is "
+          "disk-resident (read-only)");
+    }
+  }
   // Gather the whole catalog at its *current* positions; each engine
   // snapshot is pinned while we copy out of it.
   std::vector<PointObject> points;

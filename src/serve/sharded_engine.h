@@ -127,6 +127,19 @@ class ShardedEngine {
                                      std::vector<UncertainObject> uncertains,
                                      ShardedEngineConfig config = {});
 
+  /// Wraps an existing engine as a single-shard ShardedEngine — the
+  /// adoption path for engines that cannot be rebuilt from object vectors,
+  /// above all disk-resident ones (QueryEngine::OpenPaged): a shard server
+  /// bootstrapping from a bundle mounts the index files once and serves
+  /// them directly. Routing bounds are taken from the engine's index
+  /// bounds, the id→shard maps from its catalog, and the published epoch
+  /// from engine.epoch(). config.shards is forced to 1. Updates against a
+  /// paged engine fail with kFailedPrecondition (the engine is read-only);
+  /// Resplit would rebuild in memory and is likewise rejected for paged
+  /// engines.
+  static Result<ShardedEngine> FromEngine(QueryEngine engine,
+                                          ShardedEngineConfig config = {});
+
   /// Evaluates \p method for one issuer: routes to the intersecting
   /// shards, fans out (serially — concurrency across *queries* is the
   /// AsyncServer's job), merges answers id-sorted/deduped and folds the

@@ -1,0 +1,54 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ilq {
+
+BufferManager::BufferManager(std::shared_ptr<const PageFile> file,
+                             size_t budget_bytes)
+    : file_(std::move(file)),
+      capacity_(std::max<size_t>(1, budget_bytes / file_->page_size())) {}
+
+Result<PageHandle> BufferManager::Pin(uint32_t page_id,
+                                      BufferCounters* per_call) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(page_id);
+  if (it != slots_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (per_call != nullptr) ++per_call->hits;
+    return it->second.page;
+  }
+
+  auto bytes = std::make_shared<std::vector<uint8_t>>();
+  ILQ_RETURN_NOT_OK(file_->ReadPage(page_id, bytes.get()));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (per_call != nullptr) ++per_call->misses;
+
+  lru_.push_front(page_id);
+  slots_.emplace(page_id, Slot{PageHandle(std::move(bytes)), lru_.begin()});
+  while (slots_.size() > capacity_) {
+    const uint32_t victim = lru_.back();
+    lru_.pop_back();
+    slots_.erase(victim);  // in-flight handles keep the bytes alive
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (per_call != nullptr) ++per_call->evictions;
+  }
+  return slots_.find(page_id)->second.page;
+}
+
+BufferCounters BufferManager::counters() const {
+  BufferCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+size_t BufferManager::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace ilq

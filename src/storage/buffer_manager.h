@@ -1,0 +1,87 @@
+// Pinning LRU page buffer over one PageFile — the classic load_page/
+// buffer-pool architecture of disk R-tree implementations (ROADMAP
+// out-of-core item).
+//
+// Pinning is implicit: Pin returns a shared_ptr to the immutable page
+// bytes. Eviction merely drops the buffer's own reference — any traversal
+// still holding the handle keeps the page alive until it lets go, so an
+// evicted-while-in-use page can never be freed under a reader. This makes
+// the budget a *target*, not a hard cap: resident_pages() counts what the
+// buffer references, and in-flight handles can briefly hold more.
+//
+// Counters: every Pin is exactly one hit or one miss; each eviction bumps
+// evictions. Per-call deltas are also reported through the optional
+// BufferCounters out-param so the index layer can fold them into a query's
+// IndexStats (hits + misses == that query's paged node reads).
+//
+// Thread safety: all members are safe for concurrent calls. The mutex is
+// held across the disk read on a miss — correct and simple; concurrent
+// misses serialize. Sharding the buffer (or per-page read latches) is
+// future work if profile data ever shows the lock hot.
+
+#ifndef ILQ_STORAGE_BUFFER_MANAGER_H_
+#define ILQ_STORAGE_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace ilq {
+
+/// Immutable pinned page bytes; holding one keeps the page alive across
+/// eviction.
+using PageHandle = std::shared_ptr<const std::vector<uint8_t>>;
+
+/// Monotone buffer counters (also usable as a per-call delta).
+struct BufferCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class BufferManager {
+ public:
+  /// \p budget_bytes is translated to a page capacity (at least 1 — a
+  /// budget below one page still lets queries run, it just thrashes).
+  BufferManager(std::shared_ptr<const PageFile> file, size_t budget_bytes);
+
+  /// Returns the page, reading and caching it on a miss. When \p per_call
+  /// is non-null the call's own hit/miss/eviction deltas are *added* to it.
+  /// Errors (I/O, checksum) are returned, never cached.
+  Result<PageHandle> Pin(uint32_t page_id, BufferCounters* per_call = nullptr);
+
+  /// Lifetime totals across all threads.
+  BufferCounters counters() const;
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t resident_pages() const;
+  const PageFile& file() const { return *file_; }
+
+ private:
+  struct Slot {
+    PageHandle page;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  std::shared_ptr<const PageFile> file_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<uint32_t> lru_;  // front = most recently used
+  std::unordered_map<uint32_t, Slot> slots_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_STORAGE_BUFFER_MANAGER_H_

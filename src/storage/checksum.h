@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3 polynomial) — the per-page and per-header integrity
+// check of the ILQP paged index format (storage/page_file.h). Chosen over
+// stronger hashes because a page is verified on every cold read: table-driven
+// CRC32 costs ~1 cycle/byte and detects the failure modes that matter here
+// (torn writes, truncation, bit rot), while collisions from an adversary are
+// out of scope — the validation walk bounds every decoded field regardless.
+
+#ifndef ILQ_STORAGE_CHECKSUM_H_
+#define ILQ_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ilq {
+
+/// CRC32 of `size` bytes at `data`, continuing from `seed` (pass the
+/// previous return value to checksum a buffer in pieces; 0 starts fresh).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace ilq
+
+#endif  // ILQ_STORAGE_CHECKSUM_H_

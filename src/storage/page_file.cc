@@ -1,0 +1,278 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "storage/checksum.h"
+
+namespace ilq {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Full-buffer pread: retries partial reads, fails on EOF-in-the-middle.
+Status PreadAll(int fd, uint8_t* buf, size_t size, uint64_t offset,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd, buf + done, size - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("paged index: read from", path));
+    }
+    if (n == 0) {
+      return Status::OutOfRange("paged index: '" + path +
+                                "' truncated mid-page");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PwriteAll(int fd, const uint8_t* buf, size_t size, uint64_t offset,
+                 const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, buf + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("paged index: write to", path));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodePageFileHeader(const PageFileHeader& header, uint8_t* out) {
+  std::memset(out, 0, kPageFileHeaderBytes);
+  StoreLe32(out + 0, kPageFileMagic);
+  StoreLe16(out + 4, kPageFileVersion);
+  // bytes 6..8 reserved
+  StoreLe32(out + 8, header.page_size);
+  StoreLe32(out + 12, header.page_count);
+  StoreLe32(out + 16, static_cast<uint32_t>(header.root));
+  StoreLe32(out + 20, header.height);
+  StoreLe64(out + 24, header.item_count);
+  StoreLe32(out + 32, header.max_entries);
+  StoreLe32(out + 36, header.min_entries);
+  StoreLe32(out + 40, header.extra_entry_bytes);
+  // bytes 44..60 reserved
+  StoreLe32(out + 60, Crc32(out, 60));
+}
+
+Result<std::shared_ptr<const PageFile>> PageFile::Open(
+    const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Status::IOError("paged index: '" + path +
+                           "' is not a regular file");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(Errno("paged index: cannot open", path));
+  }
+  auto file = std::shared_ptr<PageFile>(
+      new PageFile(fd, path, PageFileHeader{}));
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError(Errno("paged index: cannot stat", path));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < kPageFileHeaderBytes) {
+    return Status::OutOfRange("paged index: '" + path +
+                              "' is shorter than the file header");
+  }
+
+  uint8_t raw[kPageFileHeaderBytes];
+  ILQ_RETURN_NOT_OK(PreadAll(fd, raw, sizeof(raw), 0, path));
+  if (LoadLe32(raw + 0) != kPageFileMagic) {
+    return Status::InvalidArgument(
+        "paged index: bad magic (not an ILQP file)");
+  }
+  const uint16_t version = LoadLe16(raw + 4);
+  if (version != kPageFileVersion) {
+    return Status::InvalidArgument(
+        "paged index: unsupported format version " + std::to_string(version) +
+        " (expected " + std::to_string(kPageFileVersion) + ")");
+  }
+  if (LoadLe32(raw + 60) != Crc32(raw, 60)) {
+    return Status::InvalidArgument("paged index: header checksum mismatch");
+  }
+
+  PageFileHeader h;
+  h.page_size = LoadLe32(raw + 8);
+  h.page_count = LoadLe32(raw + 12);
+  h.root = static_cast<int32_t>(LoadLe32(raw + 16));
+  h.height = LoadLe32(raw + 20);
+  h.item_count = LoadLe64(raw + 24);
+  h.max_entries = LoadLe32(raw + 32);
+  h.min_entries = LoadLe32(raw + 36);
+  h.extra_entry_bytes = LoadLe32(raw + 40);
+
+  if (h.page_size < kMinPageSize || h.page_size > kMaxPageSize) {
+    return Status::InvalidArgument(
+        "paged index: page size " + std::to_string(h.page_size) +
+        " outside [" + std::to_string(kMinPageSize) + ", " +
+        std::to_string(kMaxPageSize) + "]");
+  }
+  // Division form, as in the wire codec: never multiply the untrusted
+  // page_count by page_size — divide the trusted file size instead, so a
+  // forged count cannot wrap the comparison.
+  if (file_size % h.page_size != 0 ||
+      file_size / h.page_size != static_cast<uint64_t>(h.page_count) + 1) {
+    return Status::OutOfRange(
+        "paged index: file size " + std::to_string(file_size) +
+        " does not hold a header page plus " + std::to_string(h.page_count) +
+        " pages of " + std::to_string(h.page_size) + " bytes");
+  }
+  if (h.page_count == 0) {
+    if (h.root != -1 || h.height != 0 || h.item_count != 0) {
+      return Status::InvalidArgument(
+          "paged index: empty file with non-empty root/height/items");
+    }
+  } else {
+    if (h.root < 0 || static_cast<uint32_t>(h.root) >= h.page_count) {
+      return Status::InvalidArgument("paged index: root page id " +
+                                     std::to_string(h.root) +
+                                     " out of range");
+    }
+    if (h.height == 0 || h.height > h.page_count) {
+      return Status::InvalidArgument("paged index: implausible height " +
+                                     std::to_string(h.height));
+    }
+    if (h.max_entries < 2 || h.min_entries < 1 ||
+        h.min_entries > h.max_entries) {
+      return Status::InvalidArgument(
+          "paged index: forged fanout bounds (max_entries " +
+          std::to_string(h.max_entries) + ", min_entries " +
+          std::to_string(h.min_entries) + ")");
+    }
+    // Both factors are u32, so the u64 product cannot wrap.
+    if (h.item_count > static_cast<uint64_t>(h.page_count) * h.max_entries) {
+      return Status::InvalidArgument(
+          "paged index: item count exceeds total page capacity");
+    }
+  }
+
+  file->header_ = h;
+  return std::shared_ptr<const PageFile>(std::move(file));
+}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::ReadPage(uint32_t page_id, std::vector<uint8_t>* out) const {
+  if (page_id >= header_.page_count) {
+    return Status::InvalidArgument("paged index: page id " +
+                                   std::to_string(page_id) + " out of range");
+  }
+  out->resize(header_.page_size);
+  const uint64_t offset =
+      (static_cast<uint64_t>(page_id) + 1) * header_.page_size;
+  ILQ_RETURN_NOT_OK(PreadAll(fd_, out->data(), out->size(), offset, path_));
+  const uint32_t stored = LoadLe32(out->data());
+  const uint32_t actual = Crc32(out->data() + kPageChecksumBytes,
+                                out->size() - kPageChecksumBytes);
+  if (stored != actual) {
+    return Status::InvalidArgument("paged index: checksum mismatch on page " +
+                                   std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+Result<PageFileWriter> PageFileWriter::Create(const std::string& path,
+                                              uint32_t page_size) {
+  if (page_size < kMinPageSize || page_size > kMaxPageSize) {
+    return Status::InvalidArgument(
+        "paged index: writer page size " + std::to_string(page_size) +
+        " outside [" + std::to_string(kMinPageSize) + ", " +
+        std::to_string(kMaxPageSize) + "]");
+  }
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("paged index: cannot create", path));
+  }
+  PageFileWriter writer(fd, path, page_size);
+  // Reserve the header page now; Finish overwrites it once every data page
+  // landed.
+  writer.scratch_.assign(page_size, 0);
+  const Status reserved =
+      PwriteAll(fd, writer.scratch_.data(), page_size, 0, path);
+  if (!reserved.ok()) return reserved;
+  return writer;
+}
+
+PageFileWriter::PageFileWriter(PageFileWriter&& o) noexcept
+    : fd_(o.fd_),
+      path_(std::move(o.path_)),
+      page_size_(o.page_size_),
+      pages_written_(o.pages_written_),
+      scratch_(std::move(o.scratch_)) {
+  o.fd_ = -1;
+}
+
+PageFileWriter::~PageFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFileWriter::WritePage(std::span<const uint8_t> page) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("paged index: writer already finished");
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument(
+        "paged index: page must be exactly " + std::to_string(page_size_) +
+        " bytes, got " + std::to_string(page.size()));
+  }
+  scratch_.assign(page.begin(), page.end());
+  StoreLe32(scratch_.data(), Crc32(scratch_.data() + kPageChecksumBytes,
+                                   scratch_.size() - kPageChecksumBytes));
+  const uint64_t offset =
+      (static_cast<uint64_t>(pages_written_) + 1) * page_size_;
+  ILQ_RETURN_NOT_OK(
+      PwriteAll(fd_, scratch_.data(), scratch_.size(), offset, path_));
+  ++pages_written_;
+  return Status::OK();
+}
+
+Status PageFileWriter::Finish(const PageFileHeader& header) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("paged index: writer already finished");
+  }
+  if (header.page_size != page_size_ || header.page_count != pages_written_) {
+    return Status::InvalidArgument(
+        "paged index: header disagrees with the pages written (" +
+        std::to_string(pages_written_) + " pages of " +
+        std::to_string(page_size_) + " bytes)");
+  }
+  scratch_.assign(page_size_, 0);
+  EncodePageFileHeader(header, scratch_.data());
+  ILQ_RETURN_NOT_OK(PwriteAll(fd_, scratch_.data(), scratch_.size(), 0,
+                              path_));
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(Errno("paged index: fsync of", path_));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IOError(Errno("paged index: close of", path_));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+}  // namespace ilq

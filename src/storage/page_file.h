@@ -1,0 +1,193 @@
+// "ILQP" v1 — the fixed-page on-disk index file (ROADMAP out-of-core item).
+//
+// File layout (little-endian throughout):
+//
+//   offset 0:                 64-byte file header (rest of page 0 is zero)
+//   offset (p+1)*page_size:   page p, for p in [0, page_count)
+//
+// Header fields:
+//
+//   | u32 magic "ILQP" | u16 version | u16 reserved | u32 page_size  |
+//   | u32 page_count   | i32 root    | u32 height   | u64 item_count |
+//   | u32 max_entries  | u32 min_entries | u32 extra_entry_bytes     |
+//   | 8 reserved bytes | u32 crc32 of bytes [0, 60)                  |
+//
+// Every page is independently checksummed: its first 4 bytes hold the CRC32
+// of the remaining page_size - 4 bytes, so a torn write or flipped bit is
+// caught on first read, not propagated into a traversal. What the payload
+// *means* (R-tree node encoding) is the index layer's business
+// (index/node_store.h); this layer only knows pages, checksums and the
+// header.
+//
+// Decoding is total, same contract as the wire codec: wrong magic/version/
+// structure -> kInvalidArgument, truncation -> kOutOfRange, filesystem
+// failure -> kIOError; never a crash, and every size check is written in
+// division form so forged counts cannot overflow an allocation
+// (file_size / page_size is compared against page_count + 1 — the
+// multiplication that could wrap is never performed on untrusted input).
+//
+// Thread safety: PageFile is immutable after Open and reads via pread, so
+// any number of threads may call ReadPage concurrently.
+
+#ifndef ILQ_STORAGE_PAGE_FILE_H_
+#define ILQ_STORAGE_PAGE_FILE_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ilq {
+
+/// First four bytes of every paged index file: "ILQP".
+inline constexpr uint32_t kPageFileMagic = 0x50514C49;
+
+/// Current paged-index format version.
+inline constexpr uint16_t kPageFileVersion = 1;
+
+/// Bytes of the file header (page 0 is padded to page_size with zeros).
+inline constexpr size_t kPageFileHeaderBytes = 64;
+
+/// Per-page checksum prefix: CRC32 of the rest of the page.
+inline constexpr size_t kPageChecksumBytes = 4;
+
+/// Page-size sanity bounds. The lower bound must fit the file header; the
+/// upper bound keeps a forged header from driving giant allocations.
+inline constexpr uint32_t kMinPageSize = 64;
+inline constexpr uint32_t kMaxPageSize = 16u << 20;
+
+// --- Little-endian field helpers -------------------------------------------
+// Shared by the header codec here and the node-page codec in the index
+// layer. Byte loops, not memcpy-and-pray: well-defined on any endianness,
+// and compilers collapse them to single loads/stores on little-endian
+// targets.
+
+inline void StoreLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline void StoreLe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline void StoreLeF64(uint8_t* p, double v) {
+  StoreLe64(p, std::bit_cast<uint64_t>(v));
+}
+inline uint16_t LoadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+inline double LoadLeF64(const uint8_t* p) {
+  return std::bit_cast<double>(LoadLe64(p));
+}
+
+/// \brief Decoded file header. The geometry fields (max/min entries,
+/// extra_entry_bytes) let a reader reconstruct the exact RTreeOptions the
+/// file was written with, which the engine cross-checks against its config.
+struct PageFileHeader {
+  uint32_t page_size = 4096;
+  uint32_t page_count = 0;
+  int32_t root = -1;         ///< root page id, -1 when the tree is empty
+  uint32_t height = 0;       ///< tree height (0 iff empty)
+  uint64_t item_count = 0;   ///< leaf entries across the whole file
+  uint32_t max_entries = 0;  ///< fanout cap the writer enforced
+  uint32_t min_entries = 0;
+  uint32_t extra_entry_bytes = 0;  ///< PTI catalog charge (0 = plain tree)
+};
+
+/// \brief Read-only handle on one ILQP file.
+///
+/// Open performs the shallow structural validation (magic, version, header
+/// checksum, division-form size check, root/height/count bounds); per-page
+/// checksums are verified by every ReadPage. The deep tree walk (child ids,
+/// depth uniformity, MBR containment) lives in the index layer, which knows
+/// the node encoding.
+class PageFile {
+ public:
+  static Result<std::shared_ptr<const PageFile>> Open(const std::string& path);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  const PageFileHeader& header() const { return header_; }
+  uint32_t page_size() const { return header_.page_size; }
+  uint32_t page_count() const { return header_.page_count; }
+  const std::string& path() const { return path_; }
+
+  /// Reads page \p page_id into \p out (resized to page_size) and verifies
+  /// its checksum. kInvalidArgument on checksum mismatch or out-of-range
+  /// id, kIOError/kOutOfRange on filesystem trouble.
+  Status ReadPage(uint32_t page_id, std::vector<uint8_t>* out) const;
+
+ private:
+  PageFile(int fd, std::string path, PageFileHeader header)
+      : fd_(fd), path_(std::move(path)), header_(header) {}
+
+  int fd_;
+  std::string path_;
+  PageFileHeader header_;
+};
+
+/// \brief Sequential writer: pages in id order, header last.
+///
+/// Usage: Create, WritePage once per page (the writer stamps each page's
+/// checksum into its first 4 bytes), then Finish with the header — which is
+/// written only after every page landed, so a crashed writer leaves a file
+/// whose header fails validation rather than a silently short index.
+class PageFileWriter {
+ public:
+  static Result<PageFileWriter> Create(const std::string& path,
+                                       uint32_t page_size);
+
+  PageFileWriter(PageFileWriter&& o) noexcept;
+  PageFileWriter& operator=(PageFileWriter&&) = delete;
+  PageFileWriter(const PageFileWriter&) = delete;
+  ~PageFileWriter();
+
+  /// Appends one page. \p page must be exactly page_size bytes with the
+  /// first kPageChecksumBytes left zero; the stored checksum is computed
+  /// here.
+  Status WritePage(std::span<const uint8_t> page);
+
+  uint32_t pages_written() const { return pages_written_; }
+
+  /// Writes the header (its page_size/page_count must match what was
+  /// written), flushes and closes. No further calls are valid after this.
+  Status Finish(const PageFileHeader& header);
+
+ private:
+  PageFileWriter(int fd, std::string path, uint32_t page_size)
+      : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+
+  int fd_;
+  std::string path_;
+  uint32_t page_size_;
+  uint32_t pages_written_ = 0;
+  std::vector<uint8_t> scratch_;
+};
+
+/// Encodes \p header into \p out (at least kPageFileHeaderBytes), including
+/// its checksum. Exposed for the writer and for corruption tests that need
+/// to forge headers.
+void EncodePageFileHeader(const PageFileHeader& header, uint8_t* out);
+
+}  // namespace ilq
+
+#endif  // ILQ_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,48 @@
+#include "wire/disk_bundle.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "wire/snapshot_codec.h"
+
+namespace ilq {
+
+DiskBundlePaths DiskBundlePaths::InDir(const std::string& dir) {
+  DiskBundlePaths paths;
+  paths.catalog = dir + "/catalog.ilqs";
+  paths.index = PagedIndexFiles::InDir(dir);
+  return paths;
+}
+
+Status WriteDiskBundle(const CatalogImage& image, const std::string& dir,
+                       const EngineConfig& config) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("bundle: cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  const DiskBundlePaths paths = DiskBundlePaths::InDir(dir);
+  ILQ_RETURN_NOT_OK(SaveCatalogImage(paths.catalog, image));
+
+  Result<QueryEngine> built =
+      QueryEngine::Build(image.points, image.uncertains, config);
+  if (!built.ok()) return built.status();
+  return built->SavePagedIndexes(paths.index);
+}
+
+Result<QueryEngine> OpenDiskBundle(const std::string& dir,
+                                   const EngineConfig& config) {
+  const DiskBundlePaths paths = DiskBundlePaths::InDir(dir);
+  Result<CatalogImage> image = LoadCatalogImage(paths.catalog);
+  if (!image.ok()) return image.status();
+  if (config.storage == StorageMode::kPaged) {
+    return QueryEngine::OpenPaged(std::move(image).ValueOrDie(), paths.index,
+                                  config);
+  }
+  CatalogImage loaded = std::move(image).ValueOrDie();
+  return QueryEngine::Build(std::move(loaded.points),
+                            std::move(loaded.uncertains), config);
+}
+
+}  // namespace ilq

@@ -1,0 +1,56 @@
+// Disk bundle — one directory holding everything a shard process needs to
+// serve a catalog out of core (ISSUE 8): the ILQS catalog image plus the
+// ILQP paged index files for the point tree, the uncertain tree and the
+// PTI. WriteDiskBundle produces the layout; OpenDiskBundle turns it back
+// into a QueryEngine, either mounting the indexes (StorageMode::kPaged)
+// or rebuilding them in memory from the catalog alone (kMemory — the
+// index files are then ignored, which also makes the bundle a superset of
+// the plain --snapshot bootstrap path).
+//
+//   <dir>/catalog.ilqs       object vectors + epoch (wire/snapshot_codec.h)
+//   <dir>/points.ilqp        paged point R-tree
+//   <dir>/uncertains.ilqp    paged uncertain R-tree
+//   <dir>/pti.ilqp           paged PTI tree (absent when no uncertains)
+//
+// Both engines — mounted or rebuilt — answer bit-identically for every
+// query method and kernel (tests/disk_engine_test.cc pins this).
+
+#ifndef ILQ_WIRE_DISK_BUNDLE_H_
+#define ILQ_WIRE_DISK_BUNDLE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "object/snapshot.h"
+
+namespace ilq {
+
+/// \brief File paths of one bundle directory.
+struct DiskBundlePaths {
+  std::string catalog;
+  PagedIndexFiles index;
+
+  /// The conventional layout (see the header comment).
+  static DiskBundlePaths InDir(const std::string& dir);
+};
+
+/// Writes a complete bundle for \p image under \p dir (created if needed,
+/// files overwritten): saves the catalog image, builds an engine with
+/// \p config, and serializes its indexes. The write-side storage mode is
+/// irrelevant — indexes are always built in memory here and saved; the
+/// mode in \p config only matters to OpenDiskBundle.
+Status WriteDiskBundle(const CatalogImage& image, const std::string& dir,
+                       const EngineConfig& config = EngineConfig{});
+
+/// Opens a bundle directory as an engine. config.storage selects the
+/// backend: kPaged mounts the index files behind LRU buffers
+/// (QueryEngine::OpenPaged — read-only, cross-checked against the
+/// catalog); kMemory loads the catalog and rebuilds indexes in RAM
+/// (updatable, index files untouched).
+Result<QueryEngine> OpenDiskBundle(const std::string& dir,
+                                   const EngineConfig& config);
+
+}  // namespace ilq
+
+#endif  // ILQ_WIRE_DISK_BUNDLE_H_

@@ -1,5 +1,10 @@
 #include "wire/snapshot_codec.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -98,14 +103,41 @@ Status SaveCatalogImage(const std::string& path,
   return Status::OK();
 }
 
-Result<CatalogImage> LoadCatalogImage(const std::string& path) {
-  // A directory (or device) can open and even report a bogus tellg()
-  // size, turning the buffer allocation below into bad_alloc — reject
-  // anything that isn't a regular file up front.
-  std::error_code ec;
-  if (!std::filesystem::is_regular_file(path, ec)) {
-    return Status::IOError("snapshot: '" + path + "' is not a regular file");
+namespace {
+
+// Decodes straight out of a read-only private mapping — no buffer copy.
+// Returns kIOError when the file cannot be opened or mapped (kAuto
+// callers then fall back to the read() path below).
+Result<CatalogImage> LoadViaMmap(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("snapshot: cannot open '" + path +
+                           "' for reading");
   }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("snapshot: cannot stat '" + path + "'");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty file is simply a decode
+    // error, reported through the same path as the read() branch.
+    ::close(fd);
+    return DecodeSnapshot({});
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    return Status::IOError("snapshot: cannot mmap '" + path + "'");
+  }
+  Result<CatalogImage> decoded = DecodeSnapshot(
+      {static_cast<const uint8_t*>(mapped), size});
+  ::munmap(mapped, size);
+  return decoded;
+}
+
+Result<CatalogImage> LoadViaRead(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status::IOError("snapshot: cannot open '" + path +
@@ -123,6 +155,29 @@ Result<CatalogImage> LoadCatalogImage(const std::string& path) {
     return Status::IOError("snapshot: read from '" + path + "' failed");
   }
   return DecodeSnapshot(bytes);
+}
+
+}  // namespace
+
+Result<CatalogImage> LoadCatalogImage(const std::string& path,
+                                      SnapshotLoadMode mode) {
+  // A directory (or device) can open and even report a bogus size, turning
+  // the buffer allocation / mapping below into bad_alloc or worse — reject
+  // anything that isn't a regular file up front.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Status::IOError("snapshot: '" + path + "' is not a regular file");
+  }
+  if (mode == SnapshotLoadMode::kRead) return LoadViaRead(path);
+  Result<CatalogImage> mapped = LoadViaMmap(path);
+  if (mode == SnapshotLoadMode::kMmap) return mapped;
+  // kAuto: fall back to read() only on I/O failure — a *decode* failure is
+  // a property of the bytes, not the transport, and re-reading cannot fix
+  // it.
+  if (!mapped.ok() && mapped.status().code() == StatusCode::kIOError) {
+    return LoadViaRead(path);
+  }
+  return mapped;
 }
 
 }  // namespace ilq

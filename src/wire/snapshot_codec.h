@@ -49,9 +49,25 @@ Result<CatalogImage> DecodeSnapshot(std::span<const uint8_t> bytes);
 Status SaveCatalogImage(const std::string& path,
                            const CatalogImage& snapshot);
 
+/// How LoadCatalogImage gets the file's bytes into memory.
+enum class SnapshotLoadMode {
+  /// mmap the file and decode in place; falls back to the read() path when
+  /// the mapping fails (e.g. a filesystem without mmap support). The
+  /// default: large catalog images skip one full buffer copy.
+  kAuto,
+  /// mmap only; kIOError when the file cannot be mapped (test hook — pins
+  /// that the fast path actually ran).
+  kMmap,
+  /// Plain read() into a buffer (the historical path).
+  kRead,
+};
+
 /// Reads and decodes a snapshot file. kIOError when the file cannot be
-/// read; decode errors as in DecodeSnapshot.
-Result<CatalogImage> LoadCatalogImage(const std::string& path);
+/// read; decode errors as in DecodeSnapshot. The decoded image is
+/// bit-identical across load modes — DecodeSnapshot sees the same byte
+/// span either way (tests/snapshot_test.cc pins the round trip).
+Result<CatalogImage> LoadCatalogImage(
+    const std::string& path, SnapshotLoadMode mode = SnapshotLoadMode::kAuto);
 
 }  // namespace ilq
 

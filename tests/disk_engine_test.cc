@@ -1,0 +1,395 @@
+// Disk-resident engine differential suite — the ISSUE 8 acceptance bar:
+// a QueryEngine mounted from paged index files (QueryEngine::OpenPaged /
+// wire/disk_bundle.h) answers bit-identically to the RAM engine it was
+// saved from, for all eight query methods and both probability kernels,
+// even with a buffer budget below 10% of the index file size (maximal
+// thrash). On top of the differential:
+//  * per-query IndexStats node accesses match the RAM engine, and every
+//    paged node read is exactly one buffer hit or miss;
+//  * OpenPaged cross-checks index geometry and item counts against the
+//    config/catalog (kFailedPrecondition, not silent wrong answers);
+//  * paged engines are read-only: ApplyUpdates fails with
+//    kFailedPrecondition and the published epoch never moves;
+//  * ShardedEngine::FromEngine serves a disk engine as a single shard,
+//    bit-identical to the monolith, and rejects updates/re-splits.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "object/catalog.h"
+#include "prob/disk_pdf.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+#include "wire/disk_bundle.h"
+#include "wire/snapshot_codec.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+CatalogImage MakeImage(uint64_t seed, size_t uncertains, size_t points) {
+  Rng rng(seed);
+  CatalogImage image;
+  image.epoch = 12;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < points; ++i) {
+    image.points.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  for (size_t i = 0; i < uncertains; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 4) {
+      case 0:
+        image.uncertains.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        image.uncertains.emplace_back(id, MakeGaussian(region));
+        break;
+      case 2:
+        image.uncertains.emplace_back(
+            id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+      default: {
+        const double r = std::min(region.Width(), region.Height()) / 2.0;
+        image.uncertains.emplace_back(
+            id, PdfVariant(UniformDiskPdf::Make(Circle{region.Center(), r})
+                               .ValueOrDie()));
+        break;
+      }
+    }
+  }
+  return image;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ilq_disk_engine_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+uint64_t IndexBytes(const PagedIndexFiles& files) {
+  uint64_t total = 0;
+  for (const std::string& path :
+       {files.point_index, files.uncertain_index, files.pti_index}) {
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (!ec) total += size;
+  }
+  return total;
+}
+
+std::vector<UncertainObject> MakeIssuers(const QueryEngine& engine) {
+  std::vector<UncertainObject> issuers;
+  issuers.emplace_back(901u, MakeUniform(Rect(200, 400, 200, 400)));
+  issuers.emplace_back(902u, MakeGaussian(Rect(600, 760, 100, 260)));
+  issuers.emplace_back(
+      903u, MakeSkewedHistogram(Rect(100, 260, 600, 760), 3, 3, 5));
+  for (UncertainObject& issuer : issuers) {
+    EXPECT_TRUE(
+        issuer.BuildCatalog(engine.config().catalog_values).ok());
+  }
+  return issuers;
+}
+
+BatchSpec MakeSpec() {
+  BatchSpec spec;
+  spec.query.w = 120.0;
+  spec.query.h = 120.0;
+  spec.query.threshold = 0.3;
+  return spec;
+}
+
+class DiskEngineTest : public ::testing::TestWithParam<ProbabilityKernel> {
+};
+
+// The acceptance differential: 8 methods x both kernels, buffer budget
+// under 10% of the index file size.
+TEST_P(DiskEngineTest, PagedEngineIsBitIdenticalUnderTinyBudget) {
+  const CatalogImage image = MakeImage(211, 160, 110);
+  EngineConfig config;
+  config.eval.kernel = GetParam();
+  config.eval.mc_samples = 64;  // keep the MC variant fast
+  // Small pages give many of them (a real buffer workload) while still
+  // fitting two PTI entries (36 + 11*32 bytes each) per node.
+  config.page_size_bytes = 1024;
+
+  auto ram = QueryEngine::Build(image.points, image.uncertains, config);
+  ASSERT_TRUE(ram.ok()) << ram.status().ToString();
+
+  const std::string dir = FreshDir("diff");
+  const PagedIndexFiles files = PagedIndexFiles::InDir(dir);
+  ASSERT_TRUE(ram->SavePagedIndexes(files).ok());
+
+  const uint64_t index_bytes = IndexBytes(files);
+  ASSERT_GT(index_bytes, 0u);
+  // Per-index budget such that the *combined* buffers stay under 10% of
+  // the combined file size — the "far below index size" acceptance bar.
+  config.buffer_pool_bytes =
+      std::max<uint64_t>(1, index_bytes / 40);
+  ASSERT_LT(3 * config.buffer_pool_bytes, index_bytes / 10);
+  config.storage = StorageMode::kPaged;
+
+  auto disk = QueryEngine::OpenPaged(MakeImage(211, 160, 110), files,
+                                     config);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE(disk->is_paged());
+  EXPECT_FALSE(ram->is_paged());
+  EXPECT_EQ(disk->epoch(), image.epoch);
+
+  const BatchSpec spec = MakeSpec();
+  for (const UncertainObject& issuer : MakeIssuers(*ram)) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      SCOPED_TRACE(std::string(QueryMethodName(method)) + " issuer " +
+                   std::to_string(issuer.id()));
+      IndexStats ram_stats, disk_stats;
+      const AnswerSet a =
+          RunQueryMethod(*ram, method, issuer, spec, &ram_stats);
+      const AnswerSet b =
+          RunQueryMethod(*disk, method, issuer, spec, &disk_stats);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].probability, b[i].probability);
+      }
+      // Same tree shape -> same traversal -> same node-access counts; and
+      // on the paged side every node read is one buffer hit or miss.
+      EXPECT_EQ(ram_stats.node_accesses, disk_stats.node_accesses);
+      EXPECT_EQ(ram_stats.leaf_accesses, disk_stats.leaf_accesses);
+      EXPECT_EQ(disk_stats.page_hits + disk_stats.page_misses,
+                disk_stats.node_accesses);
+      EXPECT_EQ(ram_stats.page_hits + ram_stats.page_misses, 0u);
+    }
+  }
+
+  // The tiny budget really thrashed (counters also prove the engine is
+  // reading through the buffer, not some hidden cache).
+  BufferCounters total = disk->point_index().buffer_counters();
+  const BufferCounters uncertain =
+      disk->uncertain_index().buffer_counters();
+  total.hits += uncertain.hits;
+  total.misses += uncertain.misses;
+  total.evictions += uncertain.evictions;
+  EXPECT_GT(total.misses, 0u);
+  EXPECT_GT(total.evictions, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, DiskEngineTest,
+                         ::testing::Values(ProbabilityKernel::kAnalytic,
+                                           ProbabilityKernel::kMonteCarlo),
+                         [](const auto& info) {
+                           return info.param ==
+                                          ProbabilityKernel::kAnalytic
+                                      ? "analytic"
+                                      : "monte_carlo";
+                         });
+
+TEST(DiskEngineCrossCheckTest, MismatchedConfigOrCatalogIsRejected) {
+  const CatalogImage image = MakeImage(223, 60, 40);
+  EngineConfig config;
+  config.page_size_bytes = 1024;
+  auto ram = QueryEngine::Build(image.points, image.uncertains, config);
+  ASSERT_TRUE(ram.ok());
+  const std::string dir = FreshDir("crosscheck");
+  const PagedIndexFiles files = PagedIndexFiles::InDir(dir);
+  ASSERT_TRUE(ram->SavePagedIndexes(files).ok());
+
+  {  // wrong page size in the mounting config
+    EngineConfig wrong = config;
+    wrong.page_size_bytes = 4096;
+    wrong.storage = StorageMode::kPaged;
+    auto opened = QueryEngine::OpenPaged(MakeImage(223, 60, 40), files,
+                                         wrong);
+    EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition)
+        << opened.status().ToString();
+  }
+  {  // wrong catalog ladder: the PTI's per-entry charge disagrees
+    EngineConfig wrong = config;
+    wrong.catalog_values = {0.0, 0.5, 1.0};
+    wrong.storage = StorageMode::kPaged;
+    auto opened = QueryEngine::OpenPaged(MakeImage(223, 60, 40), files,
+                                         wrong);
+    EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition)
+        << opened.status().ToString();
+  }
+  {  // catalog with fewer points: the item-count cross-check fires
+    CatalogImage smaller = MakeImage(223, 60, 40);
+    smaller.points.pop_back();
+    EngineConfig paged = config;
+    paged.storage = StorageMode::kPaged;
+    auto opened = QueryEngine::OpenPaged(std::move(smaller), files, paged);
+    EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition)
+        << opened.status().ToString();
+  }
+  {  // catalog with fewer uncertains: the positional leaf-id bound fires
+    // first (a leaf references position 59 of a 59-element catalog) — the
+    // stale file is rejected either way, never silently served.
+    CatalogImage smaller = MakeImage(223, 60, 40);
+    smaller.uncertains.pop_back();
+    EngineConfig paged = config;
+    paged.storage = StorageMode::kPaged;
+    auto opened = QueryEngine::OpenPaged(std::move(smaller), files, paged);
+    EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument)
+        << opened.status().ToString();
+  }
+  {  // matching everything mounts fine
+    EngineConfig paged = config;
+    paged.storage = StorageMode::kPaged;
+    auto opened = QueryEngine::OpenPaged(MakeImage(223, 60, 40), files,
+                                         paged);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskEngineReadOnlyTest, ApplyUpdatesFailsAndEpochHolds) {
+  const CatalogImage image = MakeImage(227, 50, 30);
+  auto ram = QueryEngine::Build(image.points, image.uncertains,
+                                EngineConfig{});
+  ASSERT_TRUE(ram.ok());
+  const std::string dir = FreshDir("readonly");
+  const PagedIndexFiles files = PagedIndexFiles::InDir(dir);
+  ASSERT_TRUE(ram->SavePagedIndexes(files).ok());
+  EngineConfig config;
+  config.storage = StorageMode::kPaged;
+  auto disk = QueryEngine::OpenPaged(MakeImage(227, 50, 30), files, config);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  const uint64_t epoch_before = disk->epoch();
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::InsertPoint(9001u, Point(10, 10)));
+  const Status applied = disk->ApplyUpdates(batch);
+  EXPECT_EQ(applied.code(), StatusCode::kFailedPrecondition)
+      << applied.ToString();
+  EXPECT_EQ(disk->epoch(), epoch_before);
+  EXPECT_EQ(disk->update_stats().batches, 0u);
+
+  // Still serving after the rejected batch.
+  const std::vector<UncertainObject> issuers = MakeIssuers(*disk);
+  const AnswerSet a =
+      RunQueryMethod(*ram, QueryMethod::kIpq, issuers[0], MakeSpec());
+  const AnswerSet b =
+      RunQueryMethod(*disk, QueryMethod::kIpq, issuers[0], MakeSpec());
+  ASSERT_EQ(a.size(), b.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskBundleTest, WriteOpenRoundTripsBothStorageModes) {
+  const CatalogImage image = MakeImage(229, 70, 50);
+  auto ram = QueryEngine::Build(image.points, image.uncertains,
+                                EngineConfig{});
+  ASSERT_TRUE(ram.ok());
+
+  const std::string dir = FreshDir("bundle");
+  ASSERT_TRUE(WriteDiskBundle(image, dir).ok());
+
+  EngineConfig paged;
+  paged.storage = StorageMode::kPaged;
+  paged.buffer_pool_bytes = 1 << 16;
+  auto disk = OpenDiskBundle(dir, paged);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE(disk->is_paged());
+  EXPECT_EQ(disk->epoch(), image.epoch);
+
+  auto memory = OpenDiskBundle(dir, EngineConfig{});
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+  EXPECT_FALSE(memory->is_paged());
+
+  const BatchSpec spec = MakeSpec();
+  for (const UncertainObject& issuer : MakeIssuers(*ram)) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      SCOPED_TRACE(QueryMethodName(method));
+      const AnswerSet a = RunQueryMethod(*ram, method, issuer, spec);
+      const AnswerSet b = RunQueryMethod(*disk, method, issuer, spec);
+      const AnswerSet c = RunQueryMethod(*memory, method, issuer, spec);
+      ASSERT_EQ(a.size(), b.size());
+      ASSERT_EQ(a.size(), c.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].probability, b[i].probability);
+        EXPECT_EQ(a[i].id, c[i].id);
+        EXPECT_EQ(a[i].probability, c[i].probability);
+      }
+    }
+  }
+
+  EXPECT_FALSE(OpenDiskBundle(dir + "_missing", paged).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskBundleTest, TruncatedIndexFileFailsToMount) {
+  const CatalogImage image = MakeImage(233, 40, 25);
+  const std::string dir = FreshDir("truncated");
+  ASSERT_TRUE(WriteDiskBundle(image, dir).ok());
+  const PagedIndexFiles files = PagedIndexFiles::InDir(dir);
+  const uint64_t size = std::filesystem::file_size(files.uncertain_index);
+  std::filesystem::resize_file(files.uncertain_index, size - 7);
+  EngineConfig paged;
+  paged.storage = StorageMode::kPaged;
+  auto opened = OpenDiskBundle(dir, paged);
+  EXPECT_FALSE(opened.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FromEngineTest, DiskEngineServesAsSingleShardBitIdentically) {
+  const CatalogImage image = MakeImage(239, 80, 55);
+  auto mono = QueryEngine::Build(image.points, image.uncertains,
+                                 EngineConfig{});
+  ASSERT_TRUE(mono.ok());
+
+  const std::string dir = FreshDir("fromengine");
+  ASSERT_TRUE(WriteDiskBundle(image, dir).ok());
+  EngineConfig paged;
+  paged.storage = StorageMode::kPaged;
+  paged.buffer_pool_bytes = 1 << 15;
+  auto disk = OpenDiskBundle(dir, paged);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  auto sharded = ShardedEngine::FromEngine(std::move(disk).ValueOrDie());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->shard_count(), 1u);
+  EXPECT_EQ(sharded->epoch(), image.epoch);
+  EXPECT_EQ(sharded->ExportShardMap().size(), 1u);
+
+  const BatchSpec spec = MakeSpec();
+  for (const UncertainObject& issuer : MakeIssuers(*mono)) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      SCOPED_TRACE(QueryMethodName(method));
+      AnswerSet expected = RunQueryMethod(*mono, method, issuer, spec);
+      CanonicalizeAnswers(&expected);
+      const AnswerSet got = sharded->Run(method, issuer, spec);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_EQ(got[i].probability, expected[i].probability);
+      }
+    }
+  }
+
+  // Read-only all the way up: updates and re-splits are rejected before
+  // touching anything.
+  UpdateBatch batch;
+  batch.push_back(UpdateOp::InsertPoint(9002u, Point(5, 5)));
+  EXPECT_EQ(sharded->ApplyUpdates(batch).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded->Resplit().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded->epoch(), image.epoch);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -9,8 +9,11 @@
 // id-sorted merge.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -21,6 +24,7 @@
 #include "serve/partition.h"
 #include "serve/sharded_engine.h"
 #include "test_util.h"
+#include "wire/disk_bundle.h"
 
 namespace ilq {
 namespace {
@@ -160,6 +164,89 @@ TEST_P(NetLoopbackTest, RouterMatchesMonolithAndShardedEngineBitExactly) {
   EXPECT_EQ(served, stats.shard_calls);
 
   for (auto& server : servers) server->Stop();
+}
+
+// The out-of-core bootstrap (ISSUE 8): shard servers whose engines are
+// *mounted* from disk bundles (WriteDiskBundle → OpenDiskBundle →
+// ShardedEngine::FromEngine — exactly what `shard_server --index-dir`
+// runs) must answer over the wire bit-identically to the monolithic
+// engine, under buffer budgets small enough to thrash.
+TEST_P(NetLoopbackTest, DiskBootstrappedFleetMatchesMonolithBitExactly) {
+  const CatalogImage image = MakeImage(107, 120, 80);
+  EngineConfig engine_config;
+  engine_config.eval.kernel = GetParam();
+  engine_config.eval.mc_samples = 64;
+
+  auto mono =
+      QueryEngine::Build(image.points, image.uncertains, engine_config);
+  ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+
+  constexpr size_t kShards = 2;
+  auto split = SplitCatalogImage(image, kShards);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  std::vector<std::string> dirs;
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  RouterOptions router_options;
+  router_options.map = split->map;
+  for (size_t s = 0; s < split->shards.size(); ++s) {
+    // PID-unique scratch: ctest runs each kernel parameterization as its
+    // own process, in parallel — shared names would race.
+    dirs.push_back(::testing::TempDir() + "ilq_net_disk_" +
+                   std::to_string(::getpid()) + "_shard" + std::to_string(s));
+    std::filesystem::remove_all(dirs.back());
+    ASSERT_TRUE(
+        WriteDiskBundle(split->shards[s], dirs.back(), engine_config).ok());
+
+    EngineConfig paged = engine_config;
+    paged.storage = StorageMode::kPaged;
+    paged.buffer_pool_bytes = 1 << 14;  // 4 pages per index: thrash
+    auto opened = OpenDiskBundle(dirs.back(), paged);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_TRUE(opened->is_paged());
+    auto engine = ShardedEngine::FromEngine(std::move(opened).ValueOrDie());
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    servers.push_back(std::make_unique<ShardServer>(*engines.back()));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    router_options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", servers.back()->port()});
+  }
+  auto router = Router::Make(std::move(router_options));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  std::vector<UncertainObject> issuers;
+  issuers.emplace_back(601u, MakeUniform(Rect(250, 450, 250, 450)));
+  issuers.emplace_back(602u, MakeGaussian(Rect(550, 710, 150, 310)));
+  for (UncertainObject& issuer : issuers) {
+    ASSERT_TRUE(
+        issuer.BuildCatalog(mono->config().catalog_values).ok());
+  }
+  BatchSpec spec;
+  spec.query.w = 120.0;
+  spec.query.h = 120.0;
+  spec.query.threshold = 0.3;
+
+  for (const UncertainObject& issuer : issuers) {
+    for (const QueryMethod method : AllQueryMethods()) {
+      SCOPED_TRACE(std::string(QueryMethodName(method)) + " issuer " +
+                   std::to_string(issuer.id()));
+      auto remote = router->Query(issuer, method, spec);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      const AnswerSet expected =
+          Sorted(RunQueryMethod(*mono, method, issuer, spec));
+      ASSERT_EQ(remote->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*remote)[i].id, expected[i].id);
+        EXPECT_EQ((*remote)[i].probability, expected[i].probability);
+      }
+    }
+  }
+
+  for (auto& server : servers) server->Stop();
+  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, NetLoopbackTest,

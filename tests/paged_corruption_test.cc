@@ -1,0 +1,367 @@
+// ILQP corruption suite (ISSUE 8 satellite): a hostile or rotted paged
+// index file must be rejected with the documented Status codes — never a
+// crash, hang, out-of-bounds read or giant allocation.
+//
+// Layers under attack:
+//  * header: every single-byte flip of the 64 header bytes is caught
+//    (magic/version checks or the header CRC), truncation → kOutOfRange;
+//  * pages: any flipped byte in a data page fails that page's CRC; flips in
+//    the unchecksummed page-0 padding are provably harmless (the mounted
+//    tree answers bit-identically);
+//  * structure: forged fields with *valid* checksums — entry counts beyond
+//    the fanout, out-of-range child ids, child cycles, bad leaf flags,
+//    leaves at the wrong depth, MBRs escaping their parent cover, forged
+//    header item counts/heights, leaf ids beyond max_leaf_id — are all
+//    caught by the iterative ValidatePagedTree walk (explicit stack +
+//    visited set: a forged cycle cannot recurse or loop forever).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/node_store.h"
+#include "index/rtree.h"
+#include "storage/checksum.h"
+#include "storage/page_file.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::RandomRect;
+
+constexpr size_t kItems = 300;
+
+// PID-unique scratch paths: ctest runs each test of this suite as its own
+// process, in parallel — shared names would let one process rewrite a file
+// another process is mid-way through validating.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "ilq_paged_corruption_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(file),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(file.good()) << path;
+}
+
+size_t PageOffset(size_t page_size, uint32_t page_id) {
+  return (static_cast<size_t>(page_id) + 1) * page_size;
+}
+
+// Recomputes a forged page's CRC so only the *structural* check can catch
+// the forgery (that is what is under test, not the checksum).
+void RestampPage(std::vector<uint8_t>* bytes, size_t page_size,
+                 uint32_t page_id) {
+  uint8_t* page = bytes->data() + PageOffset(page_size, page_id);
+  StoreLe32(page, Crc32(page + kPageChecksumBytes,
+                        page_size - kPageChecksumBytes));
+}
+
+void RestampHeader(std::vector<uint8_t>* bytes) {
+  StoreLe32(bytes->data() + 60, Crc32(bytes->data(), 60));
+}
+
+// The shared fixture: one bulk-loaded multi-level tree saved to disk, plus
+// the raw file bytes to forge copies from.
+class PagedCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(61);
+    const Rect space(0, 1000, 0, 1000);
+    std::vector<RTree::Item> items;
+    for (size_t i = 0; i < kItems; ++i) {
+      items.push_back(RTree::Item{RandomRect(&rng, space, 1, 30),
+                                  static_cast<ObjectId>(i)});
+    }
+    RTreeOptions options;
+    options.page_size_bytes = 256;
+    auto tree = RTree::BulkLoad(options, std::move(items));
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    ASSERT_GE(tree->height(), 2u) << "fixture must have interior nodes";
+    ram_ = new RTree(std::move(tree).ValueOrDie());
+    path_ = TempPath("fixture.ilqp");
+    ASSERT_TRUE(ram_->SavePaged(path_).ok());
+    valid_ = new std::vector<uint8_t>(ReadFileBytes(path_));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(path_.c_str());
+    delete ram_;
+    delete valid_;
+    ram_ = nullptr;
+    valid_ = nullptr;
+  }
+
+  static size_t page_size() {
+    return LoadLe32(valid_->data() + 8);
+  }
+  static uint32_t page_count() {
+    return LoadLe32(valid_->data() + 12);
+  }
+  static uint32_t root_page() {
+    return LoadLe32(valid_->data() + 16);
+  }
+  static uint32_t max_entries() {
+    return LoadLe32(valid_->data() + 32);
+  }
+
+  // First page whose leaf flag matches \p leaf.
+  static uint32_t FindPage(const std::vector<uint8_t>& bytes, bool leaf) {
+    for (uint32_t p = 0; p < page_count(); ++p) {
+      if ((bytes[PageOffset(page_size(), p) + kNodePageLeafOffset] != 0) ==
+          leaf) {
+        return p;
+      }
+    }
+    ADD_FAILURE() << "no " << (leaf ? "leaf" : "interior") << " page";
+    return 0;
+  }
+
+  // Writes \p bytes to a scratch file and mounts it with full validation
+  // and the positional leaf-id bound the engine would use.
+  static Result<RTree> OpenForged(const std::vector<uint8_t>& bytes) {
+    const std::string path = TempPath("forged.ilqp");
+    WriteFileBytes(path, bytes);
+    PagedOpenOptions open;
+    open.deep_verify = true;
+    open.max_leaf_id = kItems - 1;
+    Result<RTree> opened = RTree::OpenPaged(path, open);
+    std::remove(path.c_str());
+    return opened;
+  }
+
+  static void ExpectRejected(const std::vector<uint8_t>& bytes,
+                             const char* what) {
+    Result<RTree> opened = OpenForged(bytes);
+    EXPECT_FALSE(opened.ok()) << what;
+    if (!opened.ok()) {
+      EXPECT_TRUE(opened.status().code() == StatusCode::kInvalidArgument ||
+                  opened.status().code() == StatusCode::kOutOfRange)
+          << what << ": " << opened.status().ToString();
+    }
+  }
+
+  static RTree* ram_;
+  static std::string path_;
+  static std::vector<uint8_t>* valid_;
+};
+
+RTree* PagedCorruptionTest::ram_ = nullptr;
+std::string PagedCorruptionTest::path_;
+std::vector<uint8_t>* PagedCorruptionTest::valid_ = nullptr;
+
+TEST_F(PagedCorruptionTest, FixtureOpensCleanly) {
+  Result<RTree> opened = OpenForged(*valid_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->size(), kItems);
+}
+
+TEST_F(PagedCorruptionTest, EveryHeaderByteFlipIsRejected) {
+  for (size_t offset = 0; offset < kPageFileHeaderBytes; ++offset) {
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[offset] ^= 0xFF;
+    Result<RTree> opened = OpenForged(bytes);
+    EXPECT_FALSE(opened.ok()) << "header byte " << offset;
+  }
+}
+
+TEST_F(PagedCorruptionTest, TruncationsAreRejectedNotCrashes) {
+  const size_t sizes[] = {0,
+                          1,
+                          kPageFileHeaderBytes - 1,
+                          kPageFileHeaderBytes,
+                          page_size(),
+                          page_size() + 1,
+                          valid_->size() - page_size(),
+                          valid_->size() - 1};
+  for (const size_t size : sizes) {
+    std::vector<uint8_t> bytes(*valid_);
+    bytes.resize(size);
+    ExpectRejected(bytes, "truncated file");
+  }
+}
+
+TEST_F(PagedCorruptionTest, DataPageByteFlipsFailTheirChecksum) {
+  Rng rng(67);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t offset =
+        page_size() +
+        static_cast<size_t>(rng.Uniform(
+            0, static_cast<double>(valid_->size() - page_size() - 1)));
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[offset] ^= static_cast<uint8_t>(1u << (trial % 8));
+    if (bytes[offset] == (*valid_)[offset]) continue;  // zero-bit flip
+    ExpectRejected(bytes, "data page flip");
+  }
+}
+
+TEST_F(PagedCorruptionTest, Page0PaddingFlipsAreHarmless) {
+  // Bytes [64, page_size) of page 0 are unchecksummed padding — prove
+  // flips there cannot change an answer.
+  std::vector<uint8_t> bytes = *valid_;
+  for (size_t offset = kPageFileHeaderBytes; offset < page_size();
+       offset += 7) {
+    bytes[offset] ^= 0xFF;
+  }
+  Result<RTree> opened = OpenForged(bytes);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Rng rng(71);
+  const Rect space(0, 1000, 0, 1000);
+  for (int q = 0; q < 20; ++q) {
+    const Rect range = RandomRect(&rng, space, 20, 200);
+    EXPECT_EQ(opened->QueryIds(range), ram_->QueryIds(range));
+  }
+}
+
+TEST_F(PagedCorruptionTest, ForgedEntryCountsAreRejected) {
+  const uint32_t root = root_page();
+  {  // count beyond the declared fanout
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe16(bytes.data() + PageOffset(page_size(), root) +
+                  kNodePageCountOffset,
+              static_cast<uint16_t>(max_entries() + 1));
+    RestampPage(&bytes, page_size(), root);
+    ExpectRejected(bytes, "entry count > max_entries");
+  }
+  {  // empty node
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe16(bytes.data() + PageOffset(page_size(), root) +
+                  kNodePageCountOffset,
+              0);
+    RestampPage(&bytes, page_size(), root);
+    ExpectRejected(bytes, "entry count == 0");
+  }
+}
+
+TEST_F(PagedCorruptionTest, ForgedChildIdsAreRejected) {
+  const uint32_t root = FindPage(*valid_, /*leaf=*/false);
+  const size_t child_at = PageOffset(page_size(), root) +
+                          kNodePageHeaderBytes + kNodeEntryChildOffset;
+  {  // out of range
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe32(bytes.data() + child_at, page_count());
+    RestampPage(&bytes, page_size(), root);
+    ExpectRejected(bytes, "child id out of range");
+  }
+  {  // cycle back to the root: visited-twice, must terminate and reject
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe32(bytes.data() + child_at, root);
+    RestampPage(&bytes, page_size(), root);
+    ExpectRejected(bytes, "child cycle");
+  }
+}
+
+TEST_F(PagedCorruptionTest, ForgedLeafFlagsAreRejected) {
+  const uint32_t interior = FindPage(*valid_, /*leaf=*/false);
+  {  // flag outside {0, 1}
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[PageOffset(page_size(), interior) + kNodePageLeafOffset] = 2;
+    RestampPage(&bytes, page_size(), interior);
+    ExpectRejected(bytes, "leaf flag = 2");
+  }
+  {  // interior node claiming to be a leaf: depth uniformity broken
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[PageOffset(page_size(), interior) + kNodePageLeafOffset] = 1;
+    RestampPage(&bytes, page_size(), interior);
+    ExpectRejected(bytes, "leaf above leaf depth");
+  }
+  {  // leaf claiming to be interior: its ids now read as child pointers
+    const uint32_t leaf = FindPage(*valid_, /*leaf=*/true);
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[PageOffset(page_size(), leaf) + kNodePageLeafOffset] = 0;
+    RestampPage(&bytes, page_size(), leaf);
+    ExpectRejected(bytes, "interior at leaf depth");
+  }
+}
+
+TEST_F(PagedCorruptionTest, MbrEscapingParentCoverIsRejected) {
+  const uint32_t leaf = FindPage(*valid_, /*leaf=*/true);
+  std::vector<uint8_t> bytes = *valid_;
+  // Drag the first leaf entry's xmin far outside any parent MBR.
+  StoreLeF64(bytes.data() + PageOffset(page_size(), leaf) +
+                 kNodePageHeaderBytes,
+             -1.0e9);
+  RestampPage(&bytes, page_size(), leaf);
+  ExpectRejected(bytes, "leaf MBR outside parent cover");
+}
+
+TEST_F(PagedCorruptionTest, ForgedHeaderCountsAreRejected) {
+  {  // item count off by one (re-stamped header CRC)
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe64(bytes.data() + 24, kItems + 1);
+    RestampHeader(&bytes);
+    ExpectRejected(bytes, "forged item_count");
+  }
+  {  // height off by one: no leaf sits at the claimed depth
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe32(bytes.data() + 20, LoadLe32(bytes.data() + 20) + 1);
+    RestampHeader(&bytes);
+    ExpectRejected(bytes, "forged height");
+  }
+  {  // root pointing at a leaf: most pages become unreachable
+    std::vector<uint8_t> bytes = *valid_;
+    StoreLe32(bytes.data() + 16, FindPage(*valid_, /*leaf=*/true));
+    RestampHeader(&bytes);
+    ExpectRejected(bytes, "forged root");
+  }
+}
+
+TEST_F(PagedCorruptionTest, LeafIdBeyondMaxLeafIdIsRejected) {
+  const uint32_t leaf = FindPage(*valid_, /*leaf=*/true);
+  std::vector<uint8_t> bytes = *valid_;
+  StoreLe32(bytes.data() + PageOffset(page_size(), leaf) +
+                kNodePageHeaderBytes + kNodeEntryChildOffset,
+            0x00FFFFFF);
+  RestampPage(&bytes, page_size(), leaf);
+  // With the positional bound: rejected before any query could index a
+  // catalog vector out of bounds.
+  ExpectRejected(bytes, "leaf id beyond max_leaf_id");
+  // Without a bound the id is just an opaque ObjectId — the file is
+  // structurally fine (point trees store arbitrary ids).
+  const std::string path = TempPath("bigid.ilqp");
+  WriteFileBytes(path, bytes);
+  PagedOpenOptions open;
+  open.deep_verify = true;
+  EXPECT_TRUE(RTree::OpenPaged(path, open).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PagedCorruptionTest, RandomFlipFuzzNeverCrashesOrLies) {
+  // The closing property: for *any* single-byte flip anywhere in the file,
+  // mounting either fails with Status or serves bit-identical answers.
+  Rng rng(73);
+  const Rect space(0, 1000, 0, 1000);
+  for (int trial = 0; trial < 150; ++trial) {
+    const size_t offset = static_cast<size_t>(
+        rng.Uniform(0, static_cast<double>(valid_->size() - 1)));
+    std::vector<uint8_t> bytes = *valid_;
+    bytes[offset] ^= static_cast<uint8_t>(1u << (trial % 8));
+    if (bytes[offset] == (*valid_)[offset]) continue;
+    Result<RTree> opened = OpenForged(bytes);
+    if (!opened.ok()) continue;  // rejection is always acceptable
+    const Rect range = RandomRect(&rng, space, 20, 200);
+    EXPECT_EQ(opened->QueryIds(range), ram_->QueryIds(range))
+        << "offset " << offset;
+  }
+}
+
+}  // namespace
+}  // namespace ilq

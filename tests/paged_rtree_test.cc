@@ -1,0 +1,247 @@
+// Disk-resident R-tree suite (ISSUE 8 tentpole): SavePaged → OpenPaged must
+// be an *exact* round trip of query behaviour, not just of answers —
+// traversal order, node-access counts and k-NN results are pinned equal to
+// the arena tree the file was saved from, including under a buffer budget of
+// a single page (maximal thrash). Also: paged trees validate, expose buffer
+// counters whose hits + misses equal the paged node reads, honor the
+// max_leaf_id bound for positionally-indexed trees, and refuse too-small
+// page budgets with Status.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/rtree.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::RandomRect;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "ilq_paged_rtree_" + name;
+}
+
+std::vector<RTree::Item> RandomItems(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  const Rect space(0, 1000, 0, 1000);
+  std::vector<RTree::Item> items;
+  items.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    items.push_back(RTree::Item{RandomRect(&rng, space, 1, 40),
+                                static_cast<ObjectId>(i)});
+  }
+  return items;
+}
+
+// Runs the same query workload against both trees and expects bit-equal
+// results *and* bit-equal node-access counters (SavePaged preserves tree
+// shape and entry order, so even the traversal statistics must agree).
+void ExpectQueriesIdentical(const RTree& ram, const RTree& disk,
+                            uint64_t seed, bool expect_counter_parity) {
+  Rng rng(seed);
+  const Rect space(0, 1000, 0, 1000);
+  for (int q = 0; q < 60; ++q) {
+    const Rect range = RandomRect(&rng, space, 10, 220);
+    IndexStats ram_stats, disk_stats;
+    const std::vector<ObjectId> ram_ids = ram.QueryIds(range, &ram_stats);
+    const std::vector<ObjectId> disk_ids = disk.QueryIds(range, &disk_stats);
+    ASSERT_EQ(ram_ids, disk_ids) << "query " << q;
+    ASSERT_EQ(ram_stats.candidates, disk_stats.candidates);
+    if (expect_counter_parity) {
+      ASSERT_EQ(ram_stats.node_accesses, disk_stats.node_accesses);
+      ASSERT_EQ(ram_stats.leaf_accesses, disk_stats.leaf_accesses);
+    }
+    // Every paged node read is exactly one buffer hit or miss.
+    ASSERT_EQ(disk_stats.page_hits + disk_stats.page_misses,
+              disk_stats.node_accesses)
+        << "query " << q;
+    ASSERT_EQ(ram_stats.page_hits + ram_stats.page_misses, 0u);
+  }
+  // k-NN takes the best-first path (priority queue over MBR distances);
+  // it too must be bit-identical.
+  for (int q = 0; q < 20; ++q) {
+    const Point query(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    const auto ram_nn = ram.Nearest(query, 5);
+    const auto disk_nn = disk.Nearest(query, 5);
+    ASSERT_EQ(ram_nn.size(), disk_nn.size());
+    for (size_t i = 0; i < ram_nn.size(); ++i) {
+      EXPECT_EQ(ram_nn[i].id, disk_nn[i].id);
+      EXPECT_EQ(ram_nn[i].distance, disk_nn[i].distance);
+    }
+  }
+}
+
+TEST(PagedRTreeTest, BulkLoadedTreeRoundTripsBitIdentically) {
+  RTreeOptions options;
+  options.page_size_bytes = 512;  // several levels at 600 items
+  auto ram = RTree::BulkLoad(options, RandomItems(7, 600));
+  ASSERT_TRUE(ram.ok()) << ram.status().ToString();
+
+  const std::string path = TempPath("bulk.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  auto disk = RTree::OpenPaged(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  EXPECT_TRUE(disk->is_paged());
+  EXPECT_FALSE(ram->is_paged());
+  EXPECT_EQ(disk->size(), ram->size());
+  EXPECT_EQ(disk->height(), ram->height());
+  EXPECT_EQ(disk->node_count(), ram->node_count());
+  EXPECT_EQ(disk->max_entries(), ram->max_entries());
+  EXPECT_EQ(disk->min_entries(), ram->min_entries());
+  EXPECT_EQ(disk->page_size_bytes(), ram->page_size_bytes());
+  const Rect rb = ram->bounds();
+  const Rect db = disk->bounds();
+  EXPECT_EQ(rb.xmin, db.xmin);
+  EXPECT_EQ(rb.xmax, db.xmax);
+  EXPECT_EQ(rb.ymin, db.ymin);
+  EXPECT_EQ(rb.ymax, db.ymax);
+  EXPECT_TRUE(disk->Validate().ok());
+
+  ExpectQueriesIdentical(*ram, *disk, 19, /*expect_counter_parity=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, SinglePageBufferThrashesButStaysBitIdentical) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  auto ram = RTree::BulkLoad(options, RandomItems(11, 400));
+  ASSERT_TRUE(ram.ok());
+
+  const std::string path = TempPath("thrash.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  PagedOpenOptions open;
+  open.buffer_pool_bytes = 1;  // resolves to a single resident page
+  auto disk = RTree::OpenPaged(path, open);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_EQ(disk->buffer_capacity_pages(), 1u);
+
+  ExpectQueriesIdentical(*ram, *disk, 23, /*expect_counter_parity=*/true);
+
+  // With one slot for a multi-page tree the workload must have evicted.
+  const BufferCounters counters = disk->buffer_counters();
+  EXPECT_GT(counters.evictions, 0u);
+  EXPECT_GT(counters.misses, counters.hits);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, InsertBuiltTreeWithRecycledSlotsRoundTrips) {
+  // Insert/Remove churn leaves recycled arena slots; SavePaged must skip
+  // them and still preserve traversal behaviour exactly.
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  auto ram = RTree::Create(options);
+  ASSERT_TRUE(ram.ok());
+  const std::vector<RTree::Item> items = RandomItems(13, 500);
+  for (const RTree::Item& item : items) ram->Insert(item.box, item.id);
+  for (size_t i = 0; i < items.size(); i += 3) {
+    ASSERT_TRUE(ram->Remove(items[i].box, items[i].id));
+  }
+  ASSERT_TRUE(ram->Validate().ok());
+
+  const std::string path = TempPath("churn.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  auto disk = RTree::OpenPaged(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(disk->size(), ram->size());
+  EXPECT_EQ(disk->node_count(), ram->node_count());
+  // The file holds only live nodes — recycled slots are compacted away, so
+  // the paged arena_size equals the live node count.
+  EXPECT_EQ(disk->arena_size(), ram->node_count());
+  ExpectQueriesIdentical(*ram, *disk, 29, /*expect_counter_parity=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, EmptyTreeRoundTrips) {
+  auto ram = RTree::Create(RTreeOptions{});
+  ASSERT_TRUE(ram.ok());
+  const std::string path = TempPath("empty.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  auto disk = RTree::OpenPaged(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(disk->size(), 0u);
+  EXPECT_EQ(disk->height(), 0u);
+  EXPECT_TRUE(disk->QueryIds(Rect(0, 1000, 0, 1000)).empty());
+  EXPECT_TRUE(disk->Nearest(Point(0, 0), 3).empty());
+  EXPECT_TRUE(disk->Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, ExtraEntryBytesRoundTripThroughTheHeader) {
+  // The PTI charges catalog bytes per entry; a mounted file must restore
+  // the same fanout or the engine cross-check (and the paper's PTI fanout
+  // math) would diverge.
+  RTreeOptions options;
+  options.page_size_bytes = 1024;
+  options.extra_entry_bytes = 11 * 4 * sizeof(double);
+  auto ram = RTree::BulkLoad(options, RandomItems(17, 300));
+  ASSERT_TRUE(ram.ok());
+
+  const std::string path = TempPath("extra.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  auto disk = RTree::OpenPaged(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(disk->extra_entry_bytes(), options.extra_entry_bytes);
+  EXPECT_EQ(disk->max_entries(), ram->max_entries());
+  ExpectQueriesIdentical(*ram, *disk, 31, /*expect_counter_parity=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, MaxEntriesOverrideGrowsThePhysicalPage) {
+  // A fanout override beyond what the page budget holds forces SavePaged
+  // to grow the physical page so every node still fits one page.
+  RTreeOptions options;
+  options.page_size_bytes = 128;
+  options.max_entries_override = 40;  // needs 16 + 40*36 = 1456 bytes
+  auto ram = RTree::BulkLoad(options, RandomItems(37, 250));
+  ASSERT_TRUE(ram.ok());
+
+  const std::string path = TempPath("override.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  auto disk = RTree::OpenPaged(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(disk->max_entries(), 40u);
+  EXPECT_GE(disk->page_size_bytes(), size_t{16 + 40 * 36});
+  ExpectQueriesIdentical(*ram, *disk, 41, /*expect_counter_parity=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, MaxLeafIdBoundRejectsForeignFiles) {
+  // Positionally-indexed trees (uncertain/PTI) open with max_leaf_id =
+  // catalog size - 1, so mounting a file whose leaves reference beyond the
+  // catalog fails up front instead of reading out of bounds at query time.
+  auto ram = RTree::BulkLoad(RTreeOptions{}, RandomItems(43, 120));
+  ASSERT_TRUE(ram.ok());
+  const std::string path = TempPath("leafid.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+
+  PagedOpenOptions open;
+  open.max_leaf_id = 118;  // ids run 0..119
+  EXPECT_EQ(RTree::OpenPaged(path, open).status().code(),
+            StatusCode::kInvalidArgument);
+  open.max_leaf_id = 119;
+  EXPECT_TRUE(RTree::OpenPaged(path, open).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, SkippingDeepVerifyStillOpensGoodFiles) {
+  auto ram = RTree::BulkLoad(RTreeOptions{}, RandomItems(47, 200));
+  ASSERT_TRUE(ram.ok());
+  const std::string path = TempPath("fast.ilqp");
+  ASSERT_TRUE(ram->SavePaged(path).ok());
+  PagedOpenOptions open;
+  open.deep_verify = false;
+  auto disk = RTree::OpenPaged(path, open);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ExpectQueriesIdentical(*ram, *disk, 53, /*expect_counter_parity=*/true);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,322 @@
+// Storage-layer suite for the out-of-core tentpole (ISSUE 8): the "ILQP"
+// fixed-page file (storage/page_file.h) and the pinning LRU buffer
+// (storage/buffer_manager.h), below any R-tree semantics.
+//
+//  * writer → reader round-trips pages bit-exactly, header last (a crashed
+//    writer leaves an unopenable file, not a silently short index);
+//  * raw-byte corruption of header and pages returns the documented Status
+//    codes (kInvalidArgument / kOutOfRange / kIOError), never a crash, and
+//    the division-form size check stops forged page counts;
+//  * the LRU buffer counts every Pin as exactly one hit or miss, evicts in
+//    LRU order, and an in-flight PageHandle keeps its page's bytes alive
+//    across eviction.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/checksum.h"
+#include "storage/page_file.h"
+
+namespace ilq {
+namespace {
+
+constexpr uint32_t kPage = 128;  // small pages keep the fixtures tiny
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "ilq_paged_storage_" + name;
+}
+
+std::vector<uint8_t> PatternPage(uint32_t page_id) {
+  std::vector<uint8_t> page(kPage, 0);
+  // First kPageChecksumBytes stay zero: the writer owns the checksum slot.
+  for (size_t i = kPageChecksumBytes; i < page.size(); ++i) {
+    page[i] = static_cast<uint8_t>((page_id * 131 + i) & 0xFF);
+  }
+  return page;
+}
+
+// Writes a well-formed file of \p pages pattern pages and returns its path.
+std::string WritePatternFile(const std::string& name, uint32_t pages) {
+  const std::string path = TempPath(name);
+  auto writer = PageFileWriter::Create(path, kPage);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  for (uint32_t p = 0; p < pages; ++p) {
+    const Status written = writer->WritePage(PatternPage(p));
+    EXPECT_TRUE(written.ok()) << written.ToString();
+  }
+  PageFileHeader header;
+  header.page_size = kPage;
+  header.page_count = pages;
+  header.root = pages == 0 ? -1 : 0;
+  header.height = pages == 0 ? 0 : 1;
+  header.item_count = 0;
+  header.max_entries = 8;
+  header.min_entries = 2;
+  const Status finished = writer->Finish(header);
+  EXPECT_TRUE(finished.ok()) << finished.ToString();
+  return path;
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xFF);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TEST(PageFileTest, WriterReaderRoundTripsPagesBitExactly) {
+  const std::string path = WritePatternFile("roundtrip.ilqp", 5);
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->page_size(), kPage);
+  EXPECT_EQ((*file)->page_count(), 5u);
+  EXPECT_EQ((*file)->header().max_entries, 8u);
+  EXPECT_EQ((*file)->header().min_entries, 2u);
+
+  std::vector<uint8_t> got;
+  for (uint32_t p = 0; p < 5; ++p) {
+    ASSERT_TRUE((*file)->ReadPage(p, &got).ok());
+    const std::vector<uint8_t> want = PatternPage(p);
+    // Payload beyond the checksum slot is byte-identical.
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = kPageChecksumBytes; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "page " << p << " byte " << i;
+    }
+    // And the stored checksum really covers that payload.
+    EXPECT_EQ(LoadLe32(got.data()),
+              Crc32(got.data() + kPageChecksumBytes,
+                    got.size() - kPageChecksumBytes));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, EmptyFileRoundTrips) {
+  const std::string path = WritePatternFile("empty.ilqp", 0);
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->page_count(), 0u);
+  EXPECT_EQ((*file)->header().root, -1);
+  std::vector<uint8_t> page;
+  EXPECT_EQ((*file)->ReadPage(0, &page).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, WriterRejectsMisuse) {
+  EXPECT_EQ(PageFileWriter::Create(TempPath("bad.ilqp"), kMinPageSize - 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const std::string path = TempPath("misuse.ilqp");
+  auto writer = PageFileWriter::Create(path, kPage);
+  ASSERT_TRUE(writer.ok());
+  std::vector<uint8_t> short_page(kPage - 1, 0);
+  EXPECT_EQ(writer->WritePage(short_page).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(writer->WritePage(PatternPage(0)).ok());
+  PageFileHeader header;
+  header.page_size = kPage;
+  header.page_count = 2;  // lies about the pages written
+  EXPECT_EQ(writer->Finish(header).code(), StatusCode::kInvalidArgument);
+  header.page_count = 1;
+  header.root = 0;
+  header.height = 1;
+  header.max_entries = 4;
+  header.min_entries = 2;
+  ASSERT_TRUE(writer->Finish(header).ok());
+  // The writer is closed: further calls fail with Status, not UB.
+  EXPECT_EQ(writer->WritePage(PatternPage(0)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Finish(header).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, OpenRejectsCorruptHeadersWithDocumentedCodes) {
+  {  // missing file / directory -> kIOError
+    EXPECT_EQ(PageFile::Open(TempPath("nope.ilqp")).status().code(),
+              StatusCode::kIOError);
+    EXPECT_EQ(PageFile::Open(::testing::TempDir()).status().code(),
+              StatusCode::kIOError);
+  }
+  {  // wrong magic -> kInvalidArgument
+    const std::string path = WritePatternFile("magic.ilqp", 2);
+    FlipByte(path, 0);
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+  }
+  {  // wrong version -> kInvalidArgument
+    const std::string path = WritePatternFile("version.ilqp", 2);
+    FlipByte(path, 4);
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+  }
+  {  // any flipped header byte (covered by the header CRC) is caught
+    const std::string path = WritePatternFile("hdrcrc.ilqp", 2);
+    FlipByte(path, 13);  // inside page_count
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+  }
+  {  // truncation below the header -> kOutOfRange
+    const std::string path = WritePatternFile("short.ilqp", 2);
+    std::filesystem::resize_file(path, kPageFileHeaderBytes - 8);
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kOutOfRange);
+    std::remove(path.c_str());
+  }
+  {  // truncated mid-page: the division-form size check fires
+    const std::string path = WritePatternFile("midpage.ilqp", 3);
+    std::filesystem::resize_file(path, 4 * kPage - 17);
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kOutOfRange);
+    std::remove(path.c_str());
+  }
+  {  // forged page_count with a re-stamped CRC: size check still fires
+    const std::string path = WritePatternFile("forged.ilqp", 2);
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    PageFileHeader header;
+    header.page_size = kPage;
+    header.page_count = 0xFFFFFFFFu;  // would overflow count * page_size
+    header.root = 0;
+    header.height = 1;
+    header.max_entries = 8;
+    header.min_entries = 2;
+    uint8_t raw[kPageFileHeaderBytes];
+    EncodePageFileHeader(header, raw);
+    file.write(reinterpret_cast<const char*>(raw), sizeof(raw));
+    file.close();
+    EXPECT_EQ(PageFile::Open(path).status().code(),
+              StatusCode::kOutOfRange);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PageFileTest, ReadPageCatchesFlippedPayloadBytes) {
+  const std::string path = WritePatternFile("flip.ilqp", 4);
+  // Flip one payload byte of page 2: only that page's read fails.
+  FlipByte(path, (2 + 1) * kPage + kPage / 2);
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  std::vector<uint8_t> page;
+  EXPECT_TRUE((*file)->ReadPage(0, &page).ok());
+  EXPECT_TRUE((*file)->ReadPage(1, &page).ok());
+  EXPECT_EQ((*file)->ReadPage(2, &page).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*file)->ReadPage(3, &page).ok());
+  EXPECT_EQ((*file)->ReadPage(4, &page).code(),
+            StatusCode::kInvalidArgument);  // out of range
+  std::remove(path.c_str());
+}
+
+// ---- BufferManager ---------------------------------------------------------
+
+TEST(BufferManagerTest, CountsEveryPinAsExactlyOneHitOrMiss) {
+  const std::string path = WritePatternFile("buffer.ilqp", 5);
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  BufferManager buffer(*file, 2 * kPage);  // capacity: 2 pages
+  ASSERT_EQ(buffer.capacity_pages(), 2u);
+
+  BufferCounters sum;
+  const auto pin = [&](uint32_t page_id) {
+    BufferCounters delta;
+    auto handle = buffer.Pin(page_id, &delta);
+    EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+    EXPECT_EQ(delta.hits + delta.misses, 1u) << "page " << page_id;
+    sum.hits += delta.hits;
+    sum.misses += delta.misses;
+    sum.evictions += delta.evictions;
+    return delta;
+  };
+
+  EXPECT_EQ(pin(0).misses, 1u);  // cold
+  EXPECT_EQ(pin(0).hits, 1u);    // resident
+  EXPECT_EQ(pin(1).misses, 1u);  // resident {0, 1}, MRU = 1
+  {
+    const BufferCounters delta = pin(2);  // evicts LRU page 0
+    EXPECT_EQ(delta.misses, 1u);
+    EXPECT_EQ(delta.evictions, 1u);
+  }
+  EXPECT_EQ(pin(1).hits, 1u);    // still resident, now MRU
+  {
+    const BufferCounters delta = pin(0);  // evicts page 2 (LRU), not 1
+    EXPECT_EQ(delta.misses, 1u);
+    EXPECT_EQ(delta.evictions, 1u);
+  }
+  EXPECT_EQ(pin(1).hits, 1u);  // proof page 1 survived the last eviction
+
+  // Per-call deltas sum to the lifetime counters.
+  const BufferCounters total = buffer.counters();
+  EXPECT_EQ(total.hits, sum.hits);
+  EXPECT_EQ(total.misses, sum.misses);
+  EXPECT_EQ(total.evictions, sum.evictions);
+  EXPECT_EQ(buffer.resident_pages(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, PinnedHandleSurvivesEviction) {
+  const std::string path = WritePatternFile("pin.ilqp", 3);
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  BufferManager buffer(*file, 1);  // sub-page budget -> capacity 1
+  ASSERT_EQ(buffer.capacity_pages(), 1u);
+
+  auto held = buffer.Pin(0);
+  ASSERT_TRUE(held.ok());
+  const std::vector<uint8_t> before = **held;
+
+  // Thrash the single slot; page 0 is evicted from the buffer.
+  ASSERT_TRUE(buffer.Pin(1).ok());
+  ASSERT_TRUE(buffer.Pin(2).ok());
+  EXPECT_GE(buffer.counters().evictions, 2u);
+  EXPECT_EQ(buffer.resident_pages(), 1u);
+
+  // The held handle still reads the original bytes.
+  EXPECT_EQ(**held, before);
+
+  // Re-pinning the evicted page misses (it was really dropped) but yields
+  // the same bytes.
+  BufferCounters delta;
+  auto again = buffer.Pin(0, &delta);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(**again, before);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, ErrorsAreReturnedAndNeverCached) {
+  const std::string path = WritePatternFile("err.ilqp", 2);
+  FlipByte(path, (1 + 1) * kPage + 10);  // corrupt page 1
+  auto file = PageFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  BufferManager buffer(*file, 4 * kPage);
+  EXPECT_TRUE(buffer.Pin(0).ok());
+  EXPECT_EQ(buffer.Pin(1).status().code(), StatusCode::kInvalidArgument);
+  // The failed page was not cached: a second pin fails again (it would
+  // "hit" and succeed if the error had been stored).
+  EXPECT_EQ(buffer.Pin(1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(buffer.resident_pages(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ilq

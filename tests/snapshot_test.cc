@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -184,6 +185,63 @@ TEST(SnapshotFileTest, SaveLoadRoundTripAndMissingFile) {
 
   auto missing = LoadCatalogImage(path + ".does-not-exist");
   EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFileTest, MmapAndReadLoadPathsAreBitExact) {
+  // ISSUE 8 satellite: LoadCatalogImage defaults to an mmap fast-load with
+  // a read() fallback. Both transports must decode the same bytes to the
+  // same image — pinned via re-encoding, which is bit-exact by the codec
+  // bijection test above.
+  const CatalogImage image = MakeMixedImage(19, 35, 25);
+  const std::string path = ::testing::TempDir() + "ilq_snapshot_mmap.ilqs";
+  ASSERT_TRUE(SaveCatalogImage(path, image).ok());
+
+  auto mapped = LoadCatalogImage(path, SnapshotLoadMode::kMmap);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  auto streamed = LoadCatalogImage(path, SnapshotLoadMode::kRead);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  auto automatic = LoadCatalogImage(path, SnapshotLoadMode::kAuto);
+  ASSERT_TRUE(automatic.ok()) << automatic.status().ToString();
+
+  const std::vector<uint8_t> want = EncodeImageBytes(image);
+  EXPECT_EQ(EncodeImageBytes(*mapped), want);
+  EXPECT_EQ(EncodeImageBytes(*streamed), want);
+  EXPECT_EQ(EncodeImageBytes(*automatic), want);
+  std::remove(path.c_str());
+
+  // Every mode reports a missing file the same way.
+  for (const SnapshotLoadMode mode :
+       {SnapshotLoadMode::kAuto, SnapshotLoadMode::kMmap,
+        SnapshotLoadMode::kRead}) {
+    EXPECT_EQ(LoadCatalogImage(path, mode).status().code(),
+              StatusCode::kIOError);
+  }
+}
+
+TEST(SnapshotFileTest, MmapLoadRejectsCorruptBytesWithStatus) {
+  // Decode failures are properties of the bytes, not the transport: the
+  // mmap path must surface them as kInvalidArgument, and kAuto must NOT
+  // retry them through the read path (same bytes, same failure).
+  const CatalogImage image = MakeMixedImage(21, 10, 8);
+  const std::string path =
+      ::testing::TempDir() + "ilq_snapshot_mmap_bad.ilqs";
+  ASSERT_TRUE(SaveCatalogImage(path, image).ok());
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);  // break the magic
+    file.seekp(0);
+    file.write(&byte, 1);
+  }
+  for (const SnapshotLoadMode mode :
+       {SnapshotLoadMode::kAuto, SnapshotLoadMode::kMmap,
+        SnapshotLoadMode::kRead}) {
+    auto loaded = LoadCatalogImage(path, mode);
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(SnapshotFileTest, LoadingADirectoryReturnsIOError) {
