@@ -3,6 +3,7 @@
 
 Usage:
     check_perf_regression.py CURRENT BASELINE [--threshold 0.25] [--normalize]
+        [--expect-faster FAST,SLOW[,RATIO]]...
 
 Exits non-zero when any benchmark present in both files is more than
 ``threshold`` slower than the baseline (cpu_time_ns). With ``--normalize``
@@ -14,12 +15,30 @@ right gate for refactor PRs, whose regressions are local, and the only sane
 cross-machine comparison — absolute times on different hardware are not
 comparable.
 
+``--expect-faster FAST,SLOW[,RATIO]`` (repeatable) asserts a structural
+property of the *current* run alone: benchmark FAST must take at most
+RATIO × the time of benchmark SLOW (default RATIO 1.0, i.e. strictly not
+slower). This is how the perf-smoke job pins "the AVX2 kernel beats the
+scalar kernel on this machine" without comparing absolute times across
+machines. Either name missing from the current run fails the check.
+
+The checker also compares the ``context`` metadata blocks (compiler,
+compile_isa, detected_simd, simd_level, kernel_variant, fp_contract) of the
+two files and prints a warning — never a failure — when they differ:
+numbers measured at different SIMD tiers or with different compilers are
+comparable only through --normalize, and the warning makes a stale-baseline
+situation visible in the CI log.
+
 Benchmarks only present in the current run are reported as "new, skipped"
 and never fail the check (new benches land before their baseline) — and a
 baseline file that does not exist at all passes the same way, so a
 brand-new bench binary can join the perf-smoke job in the same PR that
 introduces it. Benchmarks only present in the baseline fail it: removing a
 bench without regenerating the baseline would silently shrink coverage.
+
+A current file that is missing, unreadable, malformed JSON, or contains no
+usable benchmarks exits 2 with a message naming the file — a crashed bench
+binary must never pass the gate by emitting an empty report.
 """
 
 import argparse
@@ -28,22 +47,110 @@ import os
 import statistics
 import sys
 
+#: Context keys compared between baseline and current run (warn-only).
+METADATA_KEYS = (
+    "compiler",
+    "compile_isa",
+    "fp_contract",
+    "detected_simd",
+    "simd_level",
+    "kernel_variant",
+)
+
 
 def load(path):
-    """Name -> cpu_time_ns. Duplicate names (``--benchmark_repetitions``)
-    collapse to their minimum — the repetition least disturbed by scheduler
-    or frequency noise, which is what makes the gate stable on busy hosts."""
-    with open(path) as f:
-        doc = json.load(f)
+    """Returns ({name -> cpu_time_ns}, context dict) for a bench JSON file.
+
+    Duplicate names (``--benchmark_repetitions``) collapse to their minimum —
+    the repetition least disturbed by scheduler or frequency noise, which is
+    what makes the gate stable on busy hosts.
+
+    Exits 2 with a clear message when the file is missing, unreadable, or
+    not valid bench JSON; callers that tolerate a missing *baseline* must
+    check os.path.exists before calling.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read bench file {path}: {e.strerror or e}")
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON ({e})")
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"error: {path} is not a bench report (top level must be an "
+              f"object, got {type(doc).__name__})")
+        sys.exit(2)
+    benches = doc.get("benchmarks", [])
+    if not isinstance(benches, list):
+        print(f"error: {path} has a non-list \"benchmarks\" field")
+        sys.exit(2)
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in benches:
+        if not isinstance(bench, dict):
+            continue
         name = bench.get("name")
         time = bench.get("cpu_time_ns")
-        if name is None or time is None or time <= 0:
+        if name is None or not isinstance(time, (int, float)) or time <= 0:
             continue
         time = float(time)
         out[name] = min(out[name], time) if name in out else time
-    return out
+    context = doc.get("context", {})
+    if not isinstance(context, dict):
+        context = {}
+    return out, context
+
+
+def warn_metadata_mismatch(current_ctx, baseline_ctx):
+    """Prints warnings (never fails) for machine/build metadata differences."""
+    for key in METADATA_KEYS:
+        cur = current_ctx.get(key)
+        base = baseline_ctx.get(key)
+        if base is None and cur is None:
+            continue
+        if cur != base:
+            print(f"warning: context.{key} differs — baseline "
+                  f"{base!r}, current {cur!r}; times are only comparable "
+                  "through --normalize")
+
+
+def parse_expectation(spec):
+    """FAST,SLOW[,RATIO] -> (fast, slow, ratio)."""
+    parts = spec.split(",")
+    if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+        raise argparse.ArgumentTypeError(
+            f"expected FAST,SLOW[,RATIO], got {spec!r}")
+    ratio = 1.0
+    if len(parts) == 3:
+        try:
+            ratio = float(parts[2])
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"RATIO must be a number in {spec!r}")
+        if ratio <= 0:
+            raise argparse.ArgumentTypeError(
+                f"RATIO must be positive in {spec!r}")
+    return parts[0], parts[1], ratio
+
+
+def check_expectations(current, expectations):
+    """Returns the number of failed --expect-faster assertions."""
+    failed = 0
+    for fast, slow, ratio in expectations:
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            print(f"FAIL: --expect-faster {fast},{slow}: benchmark(s) "
+                  f"{', '.join(missing)} missing from current run")
+            failed += 1
+            continue
+        bound = current[slow] * ratio
+        verdict = "ok" if current[fast] <= bound else "FAIL"
+        print(f"  expect-faster: {fast} ({current[fast]:.1f} ns) <= "
+              f"{ratio:g} x {slow} ({current[slow]:.1f} ns) ... {verdict}")
+        if verdict == "FAIL":
+            failed += 1
+    return failed
 
 
 def main():
@@ -62,22 +169,39 @@ def main():
                              "1.8->9 ns mutex reintroduction still fails) "
                              "without flapping on their +-1-2 ns timer "
                              "jitter (default 2)")
+    parser.add_argument("--expect-faster", type=parse_expectation,
+                        action="append", default=[], metavar="FAST,SLOW[,R]",
+                        help="assert benchmark FAST <= R x benchmark SLOW "
+                             "in the current run (default R 1.0); "
+                             "repeatable")
     args = parser.parse_args()
 
-    current = load(args.current)
+    current, current_ctx = load(args.current)
+    if not current:
+        print(f"error: no usable benchmarks in current run {args.current}")
+        return 2
+
+    expect_failures = check_expectations(current, args.expect_faster)
+
     if not os.path.exists(args.baseline):
         # First run of a new bench: nothing to gate against yet. Report and
         # pass so the smoke job stays green until the baseline is recorded.
         for name in sorted(current):
             print(f"  {name:50s} (new, skipped: {current[name]:.1f} ns, "
                   "no baseline file)")
+        if expect_failures:
+            print(f"FAIL: {expect_failures} --expect-faster assertion(s) "
+                  "failed")
+            return 1
         print(f"OK: baseline {args.baseline} does not exist yet; "
               f"{len(current)} benchmark(s) new, skipped")
         return 0
-    baseline = load(args.baseline)
+    baseline, baseline_ctx = load(args.baseline)
     if not baseline:
         print(f"error: no usable benchmarks in baseline {args.baseline}")
         return 2
+
+    warn_metadata_mismatch(current_ctx, baseline_ctx)
 
     shared = sorted(set(current) & set(baseline))
     missing = sorted(set(baseline) - set(current))
@@ -118,6 +242,9 @@ def main():
     if failures:
         print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
               f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    if expect_failures:
+        print(f"FAIL: {expect_failures} --expect-faster assertion(s) failed")
         return 1
     print(f"OK: {len(shared)} benchmarks within {args.threshold:.0%} of "
           "baseline")

@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <variant>
@@ -26,6 +28,9 @@
 #include "prob/integrate.h"
 #include "prob/pdf_variant.h"
 #include "prob/uniform_pdf.h"
+#include "simd/qual_kernels.h"
+#include "simd/sample_block.h"
+#include "simd/simd_policy.h"
 
 namespace ilq {
 namespace {
@@ -111,6 +116,18 @@ void BM_IntegrateGL2DTemplated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntegrateGL2DTemplated)->Arg(8)->Arg(16);
+
+// The reassociated-FMA fast variant of the same quadrature loop (compare
+// against BM_IntegrateGLTemplated, its strict twin).
+void BM_IntegrateGLFastVariant(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  simd::ScopedKernelVariant fast(simd::KernelVariant::kFast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntegrateGL([](double x) { return Poly(x); }, 0.0, 1.0, n));
+  }
+}
+BENCHMARK(BM_IntegrateGLFastVariant)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_MonteCarloMean(benchmark::State& state) {
   const size_t samples = static_cast<size_t>(state.range(0));
@@ -491,6 +508,138 @@ void BM_RTreeRangeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeRangeQuery)->Arg(10000)->Arg(62000);
 
+// --- Per-tier SIMD kernel benchmarks ----------------------------------------
+//
+// Direct calls into the per-tier dispatch tables (src/simd/qual_kernels.h),
+// registered at runtime for every tier this machine supports — this is
+// where the AVX2-vs-scalar win is measured and gated (the perf-smoke job
+// passes --expect-faster pairs over these names). Tiers above AVX2 are
+// registered only with ILQ_BENCH_TIERS=all: the tracked baseline must not
+// contain benches a plain-AVX2 CI runner cannot reproduce, because the
+// checker hard-fails on baseline benches missing from the current run.
+
+// Shared probe data for the tier benches; function-local statics so
+// registration can hand stable pointers to the benchmark lambdas.
+struct TierBenchData {
+  std::vector<Point> points = MakeProbePoints(31);
+  std::vector<Rect> rects = MakeProbeRects(32);
+  std::vector<double> out = std::vector<double>(kProbeCount);
+  simd::UniformRectParams uniform{0.0, 500.0, 0.0, 500.0,
+                                  1.0 / (500.0 * 500.0)};
+  HistogramPdf hist = [] {
+    Rng rng(12);
+    std::vector<double> weights(64);
+    for (double& w : weights) w = rng.NextDouble() + 0.05;
+    return std::move(
+               HistogramPdf::Make(Rect(0, 500, 0, 500), 8, 8,
+                                  std::move(weights)))
+        .ValueOrDie();
+  }();
+  simd::HistogramParams histogram{0.0,
+                                  500.0,
+                                  0.0,
+                                  500.0,
+                                  500.0 / 8,
+                                  500.0 / 8,
+                                  (500.0 / 8) * (500.0 / 8),
+                                  8,
+                                  8,
+                                  hist.cell_masses().data()};
+  simd::PairSampleBlock pairs = [] {
+    simd::PairSampleBlock block;
+    Rng rng(33);
+    for (size_t i = 0; i < simd::PairSampleBlock::kCapacity; ++i) {
+      block.Set(i,
+                Point(rng.Uniform(300, 800), rng.Uniform(300, 800)),
+                Point(rng.Uniform(500, 620), rng.Uniform(450, 560)));
+    }
+    block.Seal(simd::PairSampleBlock::kCapacity);
+    return block;
+  }();
+};
+
+TierBenchData& TierData() {
+  static TierBenchData data;
+  return data;
+}
+
+void RegisterTierBenchmarks() {
+  simd::SimdLevel cap = simd::DetectedSimdLevel();
+  const char* tiers_env = std::getenv("ILQ_BENCH_TIERS");
+  const bool all_tiers =
+      tiers_env != nullptr && std::strcmp(tiers_env, "all") == 0;
+  if (!all_tiers && cap > simd::SimdLevel::kAvx2) {
+    cap = simd::SimdLevel::kAvx2;
+  }
+  TierBenchData& d = TierData();
+  for (int l = 0; l <= static_cast<int>(cap); ++l) {
+    const auto level = static_cast<simd::SimdLevel>(l);
+    const simd::KernelSet* k = &simd::Kernels(level);
+    const std::string suffix = std::string("/") + simd::SimdLevelName(level);
+    const auto items = [](benchmark::State& state) {
+      state.SetItemsProcessed(
+          static_cast<int64_t>(state.iterations() * kProbeCount));
+    };
+    benchmark::RegisterBenchmark(
+        ("BM_TierUniformDensity" + suffix).c_str(),
+        [k, &d, items](benchmark::State& state) {
+          for (auto _ : state) {
+            k->uniform_density(d.uniform, d.points.data(), d.points.size(),
+                               d.out.data());
+            benchmark::DoNotOptimize(d.out.data());
+            benchmark::ClobberMemory();
+          }
+          items(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_TierMassIn" + suffix).c_str(),
+        [k, &d, items](benchmark::State& state) {
+          for (auto _ : state) {
+            k->uniform_mass_in(d.uniform, d.rects.data(), d.rects.size(),
+                               d.out.data());
+            benchmark::DoNotOptimize(d.out.data());
+            benchmark::ClobberMemory();
+          }
+          items(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_TierMassInCentered" + suffix).c_str(),
+        [k, &d, items](benchmark::State& state) {
+          for (auto _ : state) {
+            k->uniform_mass_centered(d.uniform, d.points.data(),
+                                     d.points.size(), 120, 90, d.out.data());
+            benchmark::DoNotOptimize(d.out.data());
+            benchmark::ClobberMemory();
+          }
+          items(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_TierHistogramDensity" + suffix).c_str(),
+        [k, &d, items](benchmark::State& state) {
+          for (auto _ : state) {
+            k->histogram_density(d.histogram, d.points.data(),
+                                 d.points.size(), d.out.data());
+            benchmark::DoNotOptimize(d.out.data());
+            benchmark::ClobberMemory();
+          }
+          items(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_TierCountPairs" + suffix).c_str(),
+        [k, &d](benchmark::State& state) {
+          size_t hits = 0;
+          for (auto _ : state) {
+            hits += k->count_pairs_centered(
+                d.pairs.qx(), d.pairs.qy(), d.pairs.ox(), d.pairs.oy(),
+                simd::PairSampleBlock::kCapacity, 250, 250);
+          }
+          benchmark::DoNotOptimize(hits);
+          state.SetItemsProcessed(static_cast<int64_t>(
+              state.iterations() * simd::PairSampleBlock::kCapacity));
+        });
+  }
+}
+
 // Collects every finished run so main() can hand the table to benchutil's
 // JSON writer next to the normal console output.
 class CollectingReporter : public benchmark::ConsoleReporter {
@@ -512,6 +661,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 }  // namespace ilq
 
 int main(int argc, char** argv) {
+  ilq::RegisterTierBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ilq::CollectingReporter reporter;

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Self-test for check_perf_regression.py.
+
+Runs the checker as a subprocess against small synthetic bench files and
+asserts on exit codes and key output lines. Plain asserts, stdlib only, no
+pytest — registered as a ctest test (label: bench) so it runs in every CI
+build that has Python 3.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_perf_regression.py")
+
+
+def write_bench(path, times, context=None):
+    doc = {
+        "context": {"library": "ilq", "time_unit": "ns",
+                    **(context or {})},
+        "benchmarks": [
+            {"name": name, "real_time_ns": t, "cpu_time_ns": t,
+             "iterations": 100}
+            for name, t in times.items()
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def run(*argv):
+    proc = subprocess.run([sys.executable, CHECKER, *argv],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        cur = os.path.join(tmp, "cur.json")
+        base = os.path.join(tmp, "base.json")
+
+        # Identical files pass.
+        write_bench(cur, {"BM_a": 100.0, "BM_b": 200.0})
+        write_bench(base, {"BM_a": 100.0, "BM_b": 200.0})
+        code, out = run(cur, base)
+        assert code == 0, out
+        assert "OK:" in out, out
+
+        # A >threshold regression fails with the bench named.
+        write_bench(cur, {"BM_a": 100.0, "BM_b": 400.0})
+        code, out = run(cur, base, "--threshold", "0.25")
+        assert code == 1, out
+        assert "REGRESSION" in out and "BM_b" in out, out
+
+        # A bench missing from the current run fails.
+        write_bench(cur, {"BM_a": 100.0})
+        code, out = run(cur, base)
+        assert code == 1, out
+        assert "MISSING" in out, out
+
+        # Missing baseline file passes (new-bench bootstrap).
+        write_bench(cur, {"BM_a": 100.0})
+        code, out = run(cur, os.path.join(tmp, "nonexistent.json"))
+        assert code == 0, out
+        assert "does not exist yet" in out, out
+
+        # Malformed JSON in the current file exits 2 with a clear message.
+        with open(cur, "w") as f:
+            f.write("{not json")
+        code, out = run(cur, base)
+        assert code == 2, out
+        assert "not valid JSON" in out, out
+
+        # An unreadable current file exits 2.
+        code, out = run(os.path.join(tmp, "missing.json"), base)
+        assert code == 2, out
+        assert "cannot read" in out, out
+
+        # A current file with no usable benchmarks exits 2 — a crashed
+        # bench binary emitting an empty report must not pass the gate.
+        write_bench(cur, {})
+        code, out = run(cur, base)
+        assert code == 2, out
+        assert "no usable benchmarks" in out, out
+
+        # Wrong top-level type exits 2.
+        with open(cur, "w") as f:
+            json.dump([1, 2, 3], f)
+        code, out = run(cur, base)
+        assert code == 2, out
+        assert "top level" in out, out
+
+        # Metadata mismatch warns but does not fail.
+        write_bench(cur, {"BM_a": 100.0, "BM_b": 200.0},
+                    context={"simd_level": "avx2", "compile_isa": "sse2"})
+        write_bench(base, {"BM_a": 100.0, "BM_b": 200.0},
+                    context={"simd_level": "scalar", "compile_isa": "sse2"})
+        code, out = run(cur, base)
+        assert code == 0, out
+        assert "warning: context.simd_level differs" in out, out
+        assert "warning: context.compile_isa" not in out, out
+
+        # --expect-faster: satisfied assertion passes...
+        write_bench(cur, {"BM_fast": 50.0, "BM_slow": 100.0})
+        write_bench(base, {"BM_fast": 50.0, "BM_slow": 100.0})
+        code, out = run(cur, base, "--expect-faster", "BM_fast,BM_slow")
+        assert code == 0, out
+        assert "expect-faster" in out and "ok" in out, out
+
+        # ...a violated one fails even when no benchmark regressed...
+        write_bench(cur, {"BM_fast": 120.0, "BM_slow": 100.0})
+        write_bench(base, {"BM_fast": 120.0, "BM_slow": 100.0})
+        code, out = run(cur, base, "--expect-faster", "BM_fast,BM_slow")
+        assert code == 1, out
+        assert "--expect-faster assertion(s) failed" in out, out
+
+        # ...a ratio loosens the bound...
+        code, out = run(cur, base, "--expect-faster", "BM_fast,BM_slow,1.5")
+        assert code == 0, out
+
+        # ...and a name missing from the current run fails.
+        code, out = run(cur, base, "--expect-faster", "BM_fast,BM_nope")
+        assert code == 1, out
+        assert "missing from current run" in out, out
+
+        # --expect-faster is enforced even without a baseline file.
+        code, out = run(cur, os.path.join(tmp, "nonexistent.json"),
+                        "--expect-faster", "BM_fast,BM_slow")
+        assert code == 1, out
+
+        # Malformed --expect-faster spec is an argparse error (exit 2).
+        code, out = run(cur, base, "--expect-faster", "only-one-name")
+        assert code == 2, out
+
+    print("OK: check_perf_regression self-test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "simd/simd_policy.h"
 
 namespace ilq {
 
@@ -245,15 +246,48 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
+// The widest ISA this *binary* was compiled to assume everywhere (the
+// baseline -march, not the per-TU kernel flags in src/simd — those always
+// compile and dispatch at runtime).
+const char* CompileIsa() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
 }  // namespace
 
 Status WriteMicroBenchJson(const std::string& path,
                            const std::vector<MicroBenchResult>& results) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
+  // CPU/ISA provenance: numbers measured on an AVX-512 box are not
+  // comparable to an SSE2 box, so the regression checker warns when these
+  // fields differ between baseline and current run.
   out << "{\n  \"context\": {\n"
       << "    \"library\": \"ilq\",\n"
-      << "    \"time_unit\": \"ns\"\n"
+      << "    \"time_unit\": \"ns\",\n"
+      << "    \"compiler\": \"" << JsonEscape(__VERSION__) << "\",\n"
+      << "    \"compile_isa\": \"" << CompileIsa() << "\",\n"
+      << "    \"fp_contract\": \""
+#if defined(ILQ_FP_CONTRACT_OFF)
+      << "off"
+#else
+      << "unknown"
+#endif
+      << "\",\n"
+      << "    \"detected_simd\": \""
+      << simd::SimdLevelName(simd::DetectedSimdLevel()) << "\",\n"
+      << "    \"simd_level\": \""
+      << simd::SimdLevelName(simd::ActiveSimdLevel()) << "\",\n"
+      << "    \"kernel_variant\": \""
+      << simd::KernelVariantName(simd::ActiveKernelVariant()) << "\"\n"
       << "  },\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const MicroBenchResult& r = results[i];

@@ -7,6 +7,9 @@
 #include "common/logging.h"
 #include "core/expansion.h"
 #include "prob/pdf_variant.h"
+#include "simd/aligned.h"
+#include "simd/qual_kernels.h"
+#include "simd/simd_policy.h"
 
 namespace ilq {
 
@@ -127,22 +130,31 @@ AnswerSet EvaluateIUQBasic(const RTree& index,
   AnswerSet answers;
 
   // Scratch reused across candidates: the per-object masses of every
-  // sampled range.
-  std::vector<double> masses(samples.ranges.size());
+  // sampled range (cache-aligned for the fast-variant dot kernel below).
+  simd::AlignedVector<double> masses(samples.ranges.size());
+  const bool fast_dot =
+      simd::ActiveKernelVariant() == simd::KernelVariant::kFast;
 
   auto evaluate = [&](size_t object_index) {
     const UncertainObject& obj = objects[object_index];
     // Eq. 4: at every sampled issuer position, the inner Eq. 3 integral is
     // the object's probability mass inside the range query there. One
     // std::visit per object, then the monomorphized batch kernel over the
-    // whole grid (all ranges share the query half-extents); the weighted
-    // sum accumulates in the same sample order as the scalar loop it
-    // replaced.
+    // whole grid (all ranges share the query half-extents). In strict mode
+    // the weighted sum accumulates in the same sample order as the scalar
+    // loop it replaced; the fast variant hands it to the reassociated FMA
+    // dot kernel instead.
     MassInCenteredBatch(obj.pdf_variant(), samples.positions, spec.w, spec.h,
                         masses);
     double pi = 0.0;
-    for (size_t k = 0; k < samples.ranges.size(); ++k) {
-      pi += samples.weights[k] * masses[k];
+    const size_t n = samples.ranges.size();
+    if (fast_dot) {
+      pi = simd::ActiveKernels().dot(samples.weights.data(), masses.data(),
+                                     n);
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        pi += samples.weights[k] * masses[k];
+      }
     }
     if (pi > 0.0) answers.push_back({obj.id(), ClampProbability(pi)});
   };

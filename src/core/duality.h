@@ -43,6 +43,8 @@
 #include "prob/integrate.h"
 #include "prob/pdf.h"
 #include "prob/pdf_variant.h"
+#include "simd/qual_kernels.h"
+#include "simd/sample_block.h"
 
 namespace ilq {
 
@@ -63,11 +65,24 @@ template <typename IssuerPdf>
 double PointQualificationMC(const IssuerPdf& issuer, const Point& s, double w,
                             double h, size_t samples, Rng* rng) {
   // Duality keeps even the MC path cheap: sample issuer positions and test
-  // whether the *issuer* falls inside R(s) (Lemma 2).
+  // whether the *issuer* falls inside R(s) (Lemma 2). Samples are staged
+  // into an SoA block and counted by the active SIMD tier's compare+popcount
+  // kernel; the rng stream is consumed in exactly the original order and
+  // the kernel's compare chain equals Rect::Contains for every input
+  // (empty dual rect included), so hit counts are identical at all tiers.
   const Rect dual = Rect::Centered(s, w, h);
+  const simd::KernelSet& kernels = simd::ActiveKernels();
+  simd::PointSampleBlock block;
   size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    if (dual.Contains(issuer.Sample(rng))) ++hits;
+  size_t done = 0;
+  while (done < samples) {
+    const size_t m =
+        std::min(simd::PointSampleBlock::kCapacity, samples - done);
+    for (size_t i = 0; i < m; ++i) block.Set(i, issuer.Sample(rng));
+    block.Seal(m);
+    hits += kernels.count_in_rect(dual.xmin, dual.xmax, dual.ymin, dual.ymax,
+                                  block.x(), block.y(), m);
+    done += m;
   }
   return static_cast<double>(hits) / static_cast<double>(samples);
 }
@@ -219,11 +234,26 @@ template <typename IssuerPdf, typename ObjectPdf>
 double UncertainQualificationMCT(const IssuerPdf& issuer,
                                  const ObjectPdf& object, double w, double h,
                                  size_t samples, Rng* rng) {
+  // Pairs are staged into an SoA block (issuer then object per draw — the
+  // rng stream order the scalar loop used) and counted by the active SIMD
+  // tier's centered-range kernel, which replays Rect::Centered + Contains
+  // arithmetic exactly.
+  const simd::KernelSet& kernels = simd::ActiveKernels();
+  simd::PairSampleBlock block;
   size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    const Point q = issuer.Sample(rng);
-    const Point o = object.Sample(rng);
-    if (Rect::Centered(q, w, h).Contains(o)) ++hits;
+  size_t done = 0;
+  while (done < samples) {
+    const size_t m =
+        std::min(simd::PairSampleBlock::kCapacity, samples - done);
+    for (size_t i = 0; i < m; ++i) {
+      const Point q = issuer.Sample(rng);
+      const Point o = object.Sample(rng);
+      block.Set(i, q, o);
+    }
+    block.Seal(m);
+    hits += kernels.count_pairs_centered(block.qx(), block.qy(), block.ox(),
+                                         block.oy(), m, w, h);
+    done += m;
   }
   return static_cast<double>(hits) / static_cast<double>(samples);
 }

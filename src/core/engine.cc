@@ -109,6 +109,11 @@ Result<QueryEngine> QueryEngine::Build(
   if (config.catalog_values.empty()) {
     config.catalog_values = UCatalog::EvenlySpacedValues(11);
   }
+  // Process-global SIMD policy (see the EngineConfig field docs).
+  if (config.simd_level) simd::SetActiveSimdLevel(*config.simd_level);
+  if (config.kernel_variant) {
+    simd::SetActiveKernelVariant(*config.kernel_variant);
+  }
 
   RTreeOptions point_options;
   point_options.page_size_bytes = config.page_size_bytes;
@@ -180,6 +185,11 @@ Result<QueryEngine> QueryEngine::OpenPaged(CatalogImage image,
     config.catalog_values = UCatalog::EvenlySpacedValues(11);
   }
   config.storage = StorageMode::kPaged;
+  // Process-global SIMD policy (see the EngineConfig field docs).
+  if (config.simd_level) simd::SetActiveSimdLevel(*config.simd_level);
+  if (config.kernel_variant) {
+    simd::SetActiveKernelVariant(*config.kernel_variant);
+  }
 
   // U-catalogs are derived data; rebuild them exactly as Build does so the
   // threshold-aware evaluators and the PTI attach see the same ladders.

@@ -36,6 +36,7 @@
 #include "object/catalog.h"
 #include "object/snapshot.h"
 #include "object/uncertain_object.h"
+#include "simd/simd_policy.h"
 
 namespace ilq {
 
@@ -86,6 +87,17 @@ struct EngineConfig {
   /// quadratic-split inserts slowly degrade the STR packing.
   double pti_rebuild_fraction = 0.25;
   size_t pti_rebuild_min_updates = 16;
+
+  /// SIMD kernel policy (src/simd/simd_policy.h). These set the
+  /// *process-global* active tier / variant when the engine is built or
+  /// mounted — the kernel tables are stateless and shared, so the settings
+  /// affect every engine in the process and the last writer wins. Leave
+  /// unset (the default) to keep the detected tier and strict kernels;
+  /// mainly useful for tests and benches pinning a specific tier, and for
+  /// opting a process into the fast-FMA variant. The ILQ_SIMD_LEVEL env var
+  /// caps whatever is requested here.
+  std::optional<simd::SimdLevel> simd_level;
+  std::optional<simd::KernelVariant> kernel_variant;
 };
 
 /// \brief The on-disk index file set backing one kPaged engine.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "simd/qual_kernels.h"
 
 namespace ilq {
 
@@ -24,8 +25,13 @@ double UniformDiskPdf::MassIn(const Rect& r) const {
 void UniformDiskPdf::DensityBatch(std::span<const Point> pts,
                                   std::span<double> out) const {
   ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
-  // Final class: direct (bit-identical) call per element.
-  for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
+  // Dispatches to the active SIMD tier's disk kernel; every tier replays
+  // Circle::Contains' squared-distance compare exactly (mul/mul/add, no
+  // FMA), so results are bit-identical to the scalar Density loop.
+  const simd::DiskParams params{disk_.center.x, disk_.center.y,
+                                disk_.radius * disk_.radius, inv_area_};
+  simd::ActiveKernels().disk_density(params, pts.data(), pts.size(),
+                                     out.data());
 }
 
 void UniformDiskPdf::MassInBatch(std::span<const Rect> rects,

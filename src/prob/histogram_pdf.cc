@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "simd/qual_kernels.h"
 
 namespace ilq {
 
@@ -134,9 +135,26 @@ double HistogramPdf::MassIn(const Rect& r) const {
 void HistogramPdf::DensityBatch(std::span<const Point> pts,
                                 std::span<double> out) const {
   ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
-  // The divide + clamp + gather cell lookup doesn't vectorize; the win is
-  // hoisting the dispatch boundary, and the class is final so this is a
-  // direct (bit-identical) call per element.
+  // The wide tiers index cells with int32 arithmetic and gathers, so grids
+  // beyond the kernel cap fall back to the per-element scalar loop. The cap
+  // check is tier-independent — every tier takes the same branch, keeping
+  // strict-mode answers bit-identical across SIMD levels.
+  if (nx_ <= simd::kHistogramKernelMaxCells &&
+      ny_ <= simd::kHistogramKernelMaxCells) {
+    const simd::HistogramParams params{region_.xmin,
+                                       region_.xmax,
+                                       region_.ymin,
+                                       region_.ymax,
+                                       cell_w_,
+                                       cell_h_,
+                                       cell_w_ * cell_h_,
+                                       static_cast<int32_t>(nx_),
+                                       static_cast<int32_t>(ny_),
+                                       mass_.data()};
+    simd::ActiveKernels().histogram_density(params, pts.data(), pts.size(),
+                                            out.data());
+    return;
+  }
   for (size_t i = 0; i < pts.size(); ++i) out[i] = Density(pts[i]);
 }
 

@@ -18,6 +18,7 @@
 #ifndef ILQ_PROB_INTEGRATE_H_
 #define ILQ_PROB_INTEGRATE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <type_traits>
@@ -26,6 +27,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "geometry/rect.h"
+#include "simd/qual_kernels.h"
+#include "simd/simd_policy.h"
 
 namespace ilq {
 
@@ -49,6 +52,15 @@ const GaussLegendreRule& GetGaussLegendreRule(size_t n);
 /// ∫_a^b f(x) dx with an n-point Gauss–Legendre rule (exact for polynomials
 /// of degree ≤ 2n−1). The integrand is inlined; prefer this form in hot
 /// loops.
+namespace internal {
+
+/// Chunk size for the fast-variant weight·value inner products below; large
+/// enough to cover every rule order the evaluators use (n <= 64) in one
+/// chunk, small enough to live on the stack.
+inline constexpr size_t kGLChunk = 64;
+
+}  // namespace internal
+
 template <typename F>
   requires std::is_invocable_r_v<double, F&, double>
 double IntegrateGL(F&& f, double a, double b, size_t n) {
@@ -56,6 +68,23 @@ double IntegrateGL(F&& f, double a, double b, size_t n) {
   const GaussLegendreRule& rule = GetGaussLegendreRule(n);
   const double half = 0.5 * (b - a);
   const double mid = 0.5 * (a + b);
+  if (simd::ActiveKernelVariant() == simd::KernelVariant::kFast) {
+    // Fast variant: materialize the integrand values and hand the inner
+    // product to the FMA dot kernel of the active SIMD tier. Reassociated —
+    // answers differ from the strict path in the last ulps, which the
+    // fast_variant suite tolerance-pins.
+    const simd::KernelSet& kernels = simd::ActiveKernels();
+    alignas(64) double vals[internal::kGLChunk];
+    double sum = 0.0;
+    for (size_t off = 0; off < n; off += internal::kGLChunk) {
+      const size_t m = std::min(internal::kGLChunk, n - off);
+      for (size_t i = 0; i < m; ++i) {
+        vals[i] = f(mid + half * rule.nodes[off + i]);
+      }
+      sum += kernels.dot(rule.weights.data() + off, vals, m);
+    }
+    return half * sum;
+  }
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
     sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
@@ -74,6 +103,26 @@ double IntegrateGL2D(F&& f, const Rect& rect, size_t nx, size_t ny) {
   const double mx = 0.5 * (rect.xmin + rect.xmax);
   const double hy = 0.5 * rect.Height();
   const double my = 0.5 * (rect.ymin + rect.ymax);
+  if (simd::ActiveKernelVariant() == simd::KernelVariant::kFast) {
+    // Fast variant: each row's weight·value product goes through the FMA
+    // dot kernel (see IntegrateGL); the outer accumulation stays ordered.
+    const simd::KernelSet& kernels = simd::ActiveKernels();
+    alignas(64) double vals[internal::kGLChunk];
+    double sum = 0.0;
+    for (size_t i = 0; i < nx; ++i) {
+      const double x = mx + hx * rx.nodes[i];
+      double row = 0.0;
+      for (size_t off = 0; off < ny; off += internal::kGLChunk) {
+        const size_t m = std::min(internal::kGLChunk, ny - off);
+        for (size_t j = 0; j < m; ++j) {
+          vals[j] = f(x, my + hy * ry.nodes[off + j]);
+        }
+        row += kernels.dot(ry.weights.data() + off, vals, m);
+      }
+      sum += rx.weights[i] * row;
+    }
+    return hx * hy * sum;
+  }
   double sum = 0.0;
   for (size_t i = 0; i < nx; ++i) {
     const double x = mx + hx * rx.nodes[i];

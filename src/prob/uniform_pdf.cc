@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "simd/qual_kernels.h"
 
 namespace ilq {
 
@@ -23,47 +24,32 @@ double UniformRectPdf::MassIn(const Rect& r) const {
   return region_.IntersectionArea(r) * inv_area_;
 }
 
+// The three batch entry points dispatch to the explicit-width kernel table
+// for the active SIMD tier (src/simd/qual_kernels.h). Every tier replays
+// the exact compare/min/max/mul arithmetic of the scalar members above —
+// in strict mode (the default) answers are bit-identical across tiers and
+// to the scalar Density/MassIn loops the batches replaced, which the
+// simd_differential suites pin per tier.
+
+namespace {
+simd::UniformRectParams RectParams(const Rect& r, double inv_area) {
+  return {r.xmin, r.xmax, r.ymin, r.ymax, inv_area};
+}
+}  // namespace
+
 void UniformRectPdf::DensityBatch(std::span<const Point> pts,
                                   std::span<double> out) const {
   ILQ_CHECK(pts.size() == out.size(), "DensityBatch size mismatch");
-  // Branchless compare-and-select over the hoisted region bounds; `&`
-  // instead of `&&` drops the short-circuit control flow so the loop
-  // auto-vectorizes. Same comparisons as Density (the region is
-  // non-degenerate by construction), so results stay bit-identical.
-  const double xmin = region_.xmin, xmax = region_.xmax;
-  const double ymin = region_.ymin, ymax = region_.ymax;
-  const double inv_area = inv_area_;
-  const Point* p = pts.data();
-  double* o = out.data();
-  const size_t n = pts.size();
-  for (size_t i = 0; i < n; ++i) {
-    const bool inside = (p[i].x >= xmin) & (p[i].x <= xmax) &
-                        (p[i].y >= ymin) & (p[i].y <= ymax);
-    o[i] = inside ? inv_area : 0.0;
-  }
+  simd::ActiveKernels().uniform_density(RectParams(region_, inv_area_),
+                                        pts.data(), pts.size(), out.data());
 }
 
 void UniformRectPdf::MassInBatch(std::span<const Rect> rects,
                                  std::span<double> out) const {
   ILQ_CHECK(rects.size() == out.size(), "MassInBatch size mismatch");
-  // Unfolded IntersectionArea with the empty-overlap guard expressed as
-  // max(·, 0) clamps instead of a compare-and-select, so the loop is
-  // branch-free (minpd/maxpd) and vectorizes. Bit-identical to the scalar
-  // path: positive overlaps give the exact same (w*h)*inv_area_ product,
-  // and clamped overlaps give +0.0 exactly as the scalar branch does (the
-  // overlap widths can never be -0.0 — IEEE subtraction of equal finite
-  // values rounds to +0.0).
-  const double xmin = region_.xmin, xmax = region_.xmax;
-  const double ymin = region_.ymin, ymax = region_.ymax;
-  const double inv_area = inv_area_;
-  const Rect* r = rects.data();
-  double* o = out.data();
-  const size_t n = rects.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double w = std::min(xmax, r[i].xmax) - std::max(xmin, r[i].xmin);
-    const double h = std::min(ymax, r[i].ymax) - std::max(ymin, r[i].ymin);
-    o[i] = (std::max(w, 0.0) * std::max(h, 0.0)) * inv_area;
-  }
+  simd::ActiveKernels().uniform_mass_in(RectParams(region_, inv_area_),
+                                        rects.data(), rects.size(),
+                                        out.data());
 }
 
 void UniformRectPdf::MassInCenteredBatch(std::span<const Point> centers,
@@ -71,23 +57,9 @@ void UniformRectPdf::MassInCenteredBatch(std::span<const Point> centers,
                                          std::span<double> out) const {
   ILQ_CHECK(centers.size() == out.size(),
             "MassInCenteredBatch size mismatch");
-  // Same branch-free overlap product as MassInBatch, but streaming only the
-  // 16-byte centers: the dual range around centers[i] is
-  // [c.x - w, c.x + w] × [c.y - h, c.y + h], computed with exactly the
-  // Rect::Centered arithmetic so results match the scalar path bit for bit.
-  const double xmin = region_.xmin, xmax = region_.xmax;
-  const double ymin = region_.ymin, ymax = region_.ymax;
-  const double inv_area = inv_area_;
-  const Point* c = centers.data();
-  double* o = out.data();
-  const size_t n = centers.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double ov_w =
-        std::min(xmax, c[i].x + w) - std::max(xmin, c[i].x - w);
-    const double ov_h =
-        std::min(ymax, c[i].y + h) - std::max(ymin, c[i].y - h);
-    o[i] = (std::max(ov_w, 0.0) * std::max(ov_h, 0.0)) * inv_area;
-  }
+  simd::ActiveKernels().uniform_mass_centered(RectParams(region_, inv_area_),
+                                              centers.data(), centers.size(),
+                                              w, h, out.data());
 }
 
 double UniformRectPdf::CdfX(double x) const {

@@ -1,0 +1,59 @@
+// Cache-line-aligned allocation for SIMD scratch buffers.
+//
+// The wide kernels use unaligned loads (loadu/storeu), so alignment is a
+// throughput knob, not a correctness requirement — but 64-byte-aligned,
+// 64-byte-strided arrays keep every 512-bit lane group within one cache
+// line and let the hardware prefetcher run clean unit strides. Evaluator
+// scratch vectors (issuer-grid weights, per-candidate mass buffers) use
+// AlignedVector so the hot dot-product inputs start on a boundary.
+
+#ifndef ILQ_SIMD_ALIGNED_H_
+#define ILQ_SIMD_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ilq::simd {
+
+/// Minimal C++17 allocator that over-aligns every allocation. Stateless:
+/// all instances compare equal, so vectors swap/move freely.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace ilq::simd
+
+#endif  // ILQ_SIMD_ALIGNED_H_

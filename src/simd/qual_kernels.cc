@@ -1,0 +1,371 @@
+// Scalar reference kernels, the SSE2 tier, and the overlay that builds the
+// four per-tier dispatch tables.
+//
+// Bit-identity notes (the strict-mode contract of qual_kernels.h):
+//
+//   * std::min(a, b) returns `b < a ? b : a`; the SSE minpd/maxpd family
+//     returns src2 when the compare is false. So std::min(a, b) is exactly
+//     min_pd(src1 = b, src2 = a) — every wide kernel swaps operands this
+//     way, which makes even the ±0.0 and NaN corner cases match the scalar
+//     std::min/std::max lane for lane.
+//   * _mm_cmpge_pd / _mm_cmple_pd are ordered compares (false on NaN) on
+//     every compiler we target; the AVX tiers spell it explicitly with
+//     _CMP_GE_OQ / _CMP_LE_OQ. Ordered-false-on-NaN is what lets the
+//     sample blocks NaN-pad their tails instead of masking.
+//   * Selects are bitwise AND with an all-ones/all-zeros compare mask:
+//     mask & v is v or +0.0, exactly the scalar `inside ? v : 0.0`.
+//   * The build compiles everything with -ffp-contract=off, so neither the
+//     scalar loops here nor the pdf members they must match can silently
+//     fuse a*b+c into an FMA.
+
+#include "simd/qual_kernels.h"
+
+#include <algorithm>
+#include <array>
+
+#include "simd/qual_kernels_internal.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace ilq::simd {
+namespace internal {
+
+// ---- Scalar reference kernels ---------------------------------------------
+// These replay the pdf members' arithmetic exactly (see prob/uniform_pdf.cc,
+// prob/disk_pdf.cc, prob/histogram_pdf.cc) — the differential suites pin
+// kernel-vs-pdf and tier-vs-scalar both.
+
+void UniformDensityScalar(const UniformRectParams& p, const Point* pts,
+                          size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = (pts[i].x >= p.xmin) & (pts[i].x <= p.xmax) &
+                        (pts[i].y >= p.ymin) & (pts[i].y <= p.ymax);
+    out[i] = inside ? p.inv_area : 0.0;
+  }
+}
+
+void UniformMassInScalar(const UniformRectParams& p, const Rect* rects,
+                         size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double w =
+        std::min(p.xmax, rects[i].xmax) - std::max(p.xmin, rects[i].xmin);
+    const double h =
+        std::min(p.ymax, rects[i].ymax) - std::max(p.ymin, rects[i].ymin);
+    out[i] = (std::max(w, 0.0) * std::max(h, 0.0)) * p.inv_area;
+  }
+}
+
+void UniformMassCenteredScalar(const UniformRectParams& p,
+                               const Point* centers, size_t n, double w,
+                               double h, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double ov_w =
+        std::min(p.xmax, centers[i].x + w) - std::max(p.xmin, centers[i].x - w);
+    const double ov_h =
+        std::min(p.ymax, centers[i].y + h) - std::max(p.ymin, centers[i].y - h);
+    out[i] = (std::max(ov_w, 0.0) * std::max(ov_h, 0.0)) * p.inv_area;
+  }
+}
+
+void DiskDensityScalar(const DiskParams& p, const Point* pts, size_t n,
+                       double* out) {
+  // Circle::Contains computes (c - p) deltas; negation is exact, so the
+  // squares (and their sum, with contraction off) match either direction.
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = p.cx - pts[i].x;
+    const double dy = p.cy - pts[i].y;
+    const bool inside = (dx * dx + dy * dy) <= p.r2;
+    out[i] = inside ? p.inv_area : 0.0;
+  }
+}
+
+void HistogramDensityScalar(const HistogramParams& p, const Point* pts,
+                            size_t n, double* out) {
+  const int32_t nx1 = p.nx - 1;
+  const int32_t ny1 = p.ny - 1;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = pts[i].x;
+    const double y = pts[i].y;
+    const bool inside =
+        (x >= p.xmin) & (x <= p.xmax) & (y >= p.ymin) & (y <= p.ymax);
+    if (!inside) {
+      out[i] = 0.0;
+      continue;
+    }
+    // Inside implies 0 <= (x - xmin)/cell_w <~ nx, so the truncating cast
+    // matches HistogramPdf::Density's size_t cast for every in-range lane.
+    auto ix = static_cast<int32_t>((x - p.xmin) / p.cell_w);
+    auto iy = static_cast<int32_t>((y - p.ymin) / p.cell_h);
+    ix = std::min(ix, nx1);  // right/top boundary belongs to the last cell
+    iy = std::min(iy, ny1);
+    out[i] = p.mass[static_cast<size_t>(iy) * static_cast<size_t>(p.nx) +
+                    static_cast<size_t>(ix)] /
+             p.cell_area;
+  }
+}
+
+size_t CountInRectScalar(double xmin, double xmax, double ymin, double ymax,
+                         const double* xs, const double* ys, size_t n) {
+  // NaN (padding) lanes fail every ordered compare; an empty rect
+  // (min > max) can satisfy no lane — both match Rect::Contains.
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    hits += static_cast<size_t>((xs[i] >= xmin) & (xs[i] <= xmax) &
+                                (ys[i] >= ymin) & (ys[i] <= ymax));
+  }
+  return hits;
+}
+
+size_t CountPairsCenteredScalar(const double* qx, const double* qy,
+                                const double* ox, const double* oy, size_t n,
+                                double w, double h) {
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Rect::Centered(q, w, h).Contains(o), with the bounds formed by the
+    // same q±w / q±h additions Rect::Centered performs.
+    const double xlo = qx[i] - w, xhi = qx[i] + w;
+    const double ylo = qy[i] - h, yhi = qy[i] + h;
+    hits += static_cast<size_t>((ox[i] >= xlo) & (ox[i] <= xhi) &
+                                (oy[i] >= ylo) & (oy[i] <= yhi));
+  }
+  return hits;
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  // The kFast reduction at the scalar tier: 4 independent accumulators so
+  // the adds reassociate the same way the wide tiers' lane sums do in
+  // spirit — deterministic, but intentionally not the sequential sum.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace internal
+
+// ---- SSE2 tier ------------------------------------------------------------
+// x86-64 baseline: always compiled there, so the SSE2 tier is a real second
+// code path even without AVX hardware. 2 lanes per op; odd remainders go
+// through the scalar reference.
+
+namespace {
+
+#if defined(__SSE2__)
+
+using internal::KernelOverrides;
+
+// {x0, x1} and {y0, y1} from two adjacent Points (AoS -> SoA for one pair).
+inline void LoadPoints2(const Point* pts, __m128d* xs, __m128d* ys) {
+  const __m128d a = _mm_loadu_pd(&pts[0].x);  // {x0, y0}
+  const __m128d b = _mm_loadu_pd(&pts[1].x);  // {x1, y1}
+  *xs = _mm_unpacklo_pd(a, b);
+  *ys = _mm_unpackhi_pd(a, b);
+}
+
+// std::min(a, b) / std::max(a, b) with exact scalar semantics (see the
+// operand-order note at the top of this file).
+inline __m128d MinStd2(__m128d a, __m128d b) { return _mm_min_pd(b, a); }
+inline __m128d MaxStd2(__m128d a, __m128d b) { return _mm_max_pd(b, a); }
+
+void UniformDensitySse2(const UniformRectParams& p, const Point* pts,
+                        size_t n, double* out) {
+  const __m128d xmin = _mm_set1_pd(p.xmin), xmax = _mm_set1_pd(p.xmax);
+  const __m128d ymin = _mm_set1_pd(p.ymin), ymax = _mm_set1_pd(p.ymax);
+  const __m128d inv = _mm_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d xs, ys;
+    LoadPoints2(pts + i, &xs, &ys);
+    const __m128d m = _mm_and_pd(
+        _mm_and_pd(_mm_cmpge_pd(xs, xmin), _mm_cmple_pd(xs, xmax)),
+        _mm_and_pd(_mm_cmpge_pd(ys, ymin), _mm_cmple_pd(ys, ymax)));
+    _mm_storeu_pd(out + i, _mm_and_pd(m, inv));
+  }
+  internal::UniformDensityScalar(p, pts + i, n - i, out + i);
+}
+
+void UniformMassInSse2(const UniformRectParams& p, const Rect* rects,
+                       size_t n, double* out) {
+  const __m128d xmin = _mm_set1_pd(p.xmin), xmax = _mm_set1_pd(p.xmax);
+  const __m128d ymin = _mm_set1_pd(p.ymin), ymax = _mm_set1_pd(p.ymax);
+  const __m128d inv = _mm_set1_pd(p.inv_area);
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Transpose two Rects {xmin,xmax,ymin,ymax} into four 2-lane vectors.
+    const __m128d a01 = _mm_loadu_pd(&rects[i].xmin);      // {xmin0, xmax0}
+    const __m128d a23 = _mm_loadu_pd(&rects[i].ymin);      // {ymin0, ymax0}
+    const __m128d b01 = _mm_loadu_pd(&rects[i + 1].xmin);  // {xmin1, xmax1}
+    const __m128d b23 = _mm_loadu_pd(&rects[i + 1].ymin);  // {ymin1, ymax1}
+    const __m128d rxmin = _mm_unpacklo_pd(a01, b01);
+    const __m128d rxmax = _mm_unpackhi_pd(a01, b01);
+    const __m128d rymin = _mm_unpacklo_pd(a23, b23);
+    const __m128d rymax = _mm_unpackhi_pd(a23, b23);
+    const __m128d w =
+        _mm_sub_pd(MinStd2(xmax, rxmax), MaxStd2(xmin, rxmin));
+    const __m128d h =
+        _mm_sub_pd(MinStd2(ymax, rymax), MaxStd2(ymin, rymin));
+    const __m128d area = _mm_mul_pd(MaxStd2(w, zero), MaxStd2(h, zero));
+    _mm_storeu_pd(out + i, _mm_mul_pd(area, inv));
+  }
+  internal::UniformMassInScalar(p, rects + i, n - i, out + i);
+}
+
+void UniformMassCenteredSse2(const UniformRectParams& p, const Point* centers,
+                             size_t n, double w, double h, double* out) {
+  const __m128d xmin = _mm_set1_pd(p.xmin), xmax = _mm_set1_pd(p.xmax);
+  const __m128d ymin = _mm_set1_pd(p.ymin), ymax = _mm_set1_pd(p.ymax);
+  const __m128d inv = _mm_set1_pd(p.inv_area);
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d vw = _mm_set1_pd(w), vh = _mm_set1_pd(h);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d cx, cy;
+    LoadPoints2(centers + i, &cx, &cy);
+    const __m128d ov_w = _mm_sub_pd(MinStd2(xmax, _mm_add_pd(cx, vw)),
+                                    MaxStd2(xmin, _mm_sub_pd(cx, vw)));
+    const __m128d ov_h = _mm_sub_pd(MinStd2(ymax, _mm_add_pd(cy, vh)),
+                                    MaxStd2(ymin, _mm_sub_pd(cy, vh)));
+    const __m128d area =
+        _mm_mul_pd(MaxStd2(ov_w, zero), MaxStd2(ov_h, zero));
+    _mm_storeu_pd(out + i, _mm_mul_pd(area, inv));
+  }
+  internal::UniformMassCenteredScalar(p, centers + i, n - i, w, h, out + i);
+}
+
+void DiskDensitySse2(const DiskParams& p, const Point* pts, size_t n,
+                     double* out) {
+  const __m128d cx = _mm_set1_pd(p.cx), cy = _mm_set1_pd(p.cy);
+  const __m128d r2 = _mm_set1_pd(p.r2);
+  const __m128d inv = _mm_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d xs, ys;
+    LoadPoints2(pts + i, &xs, &ys);
+    const __m128d dx = _mm_sub_pd(cx, xs);
+    const __m128d dy = _mm_sub_pd(cy, ys);
+    const __m128d d2 =
+        _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    _mm_storeu_pd(out + i, _mm_and_pd(_mm_cmple_pd(d2, r2), inv));
+  }
+  internal::DiskDensityScalar(p, pts + i, n - i, out + i);
+}
+
+size_t CountInRectSse2(double xmin, double xmax, double ymin, double ymax,
+                       const double* xs, const double* ys, size_t n) {
+  const __m128d lx = _mm_set1_pd(xmin), hx = _mm_set1_pd(xmax);
+  const __m128d ly = _mm_set1_pd(ymin), hy = _mm_set1_pd(ymax);
+  size_t hits = 0;
+  // The sample-block contract pads to a multiple of 8, so running to the
+  // next multiple of 2 reads only valid-or-NaN lanes; NaN compares false.
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128d x = _mm_load_pd(xs + i);
+    const __m128d y = _mm_load_pd(ys + i);
+    const __m128d m = _mm_and_pd(
+        _mm_and_pd(_mm_cmpge_pd(x, lx), _mm_cmple_pd(x, hx)),
+        _mm_and_pd(_mm_cmpge_pd(y, ly), _mm_cmple_pd(y, hy)));
+    hits += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_pd(m))));
+  }
+  return hits;
+}
+
+size_t CountPairsCenteredSse2(const double* qx, const double* qy,
+                              const double* ox, const double* oy, size_t n,
+                              double w, double h) {
+  const __m128d vw = _mm_set1_pd(w), vh = _mm_set1_pd(h);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128d qxi = _mm_load_pd(qx + i), qyi = _mm_load_pd(qy + i);
+    const __m128d oxi = _mm_load_pd(ox + i), oyi = _mm_load_pd(oy + i);
+    const __m128d xlo = _mm_sub_pd(qxi, vw), xhi = _mm_add_pd(qxi, vw);
+    const __m128d ylo = _mm_sub_pd(qyi, vh), yhi = _mm_add_pd(qyi, vh);
+    const __m128d m = _mm_and_pd(
+        _mm_and_pd(_mm_cmpge_pd(oxi, xlo), _mm_cmple_pd(oxi, xhi)),
+        _mm_and_pd(_mm_cmpge_pd(oyi, ylo), _mm_cmple_pd(oyi, yhi)));
+    hits += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_pd(m))));
+  }
+  return hits;
+}
+
+KernelOverrides Sse2Overrides() {
+  KernelOverrides o;
+  o.uniform_density = &UniformDensitySse2;
+  o.uniform_mass_in = &UniformMassInSse2;
+  o.uniform_mass_centered = &UniformMassCenteredSse2;
+  o.disk_density = &DiskDensitySse2;
+  // histogram_density: the divide/truncate/gather chain has no SSE2 gather;
+  // inherits scalar. dot: kFast only — the scalar 4-accumulator form is
+  // already the right shape for 128-bit hardware.
+  o.count_in_rect = &CountInRectSse2;
+  o.count_pairs_centered = &CountPairsCenteredSse2;
+  return o;
+}
+
+#else  // !defined(__SSE2__)
+
+internal::KernelOverrides Sse2Overrides() { return {}; }
+
+#endif  // defined(__SSE2__)
+
+KernelSet ScalarSet() {
+  KernelSet k;
+  k.uniform_density = &internal::UniformDensityScalar;
+  k.uniform_mass_in = &internal::UniformMassInScalar;
+  k.uniform_mass_centered = &internal::UniformMassCenteredScalar;
+  k.disk_density = &internal::DiskDensityScalar;
+  k.histogram_density = &internal::HistogramDensityScalar;
+  k.count_in_rect = &internal::CountInRectScalar;
+  k.count_pairs_centered = &internal::CountPairsCenteredScalar;
+  k.dot = &internal::DotScalar;
+  return k;
+}
+
+KernelSet Overlay(KernelSet base, const internal::KernelOverrides& o) {
+  if (o.uniform_density) base.uniform_density = o.uniform_density;
+  if (o.uniform_mass_in) base.uniform_mass_in = o.uniform_mass_in;
+  if (o.uniform_mass_centered) {
+    base.uniform_mass_centered = o.uniform_mass_centered;
+  }
+  if (o.disk_density) base.disk_density = o.disk_density;
+  if (o.histogram_density) base.histogram_density = o.histogram_density;
+  if (o.count_in_rect) base.count_in_rect = o.count_in_rect;
+  if (o.count_pairs_centered) {
+    base.count_pairs_centered = o.count_pairs_centered;
+  }
+  if (o.dot) base.dot = o.dot;
+  return base;
+}
+
+std::array<KernelSet, 4> BuildTables() {
+  std::array<KernelSet, 4> tables;
+  tables[0] = ScalarSet();
+  tables[1] = Overlay(tables[0], Sse2Overrides());
+  tables[2] = Overlay(tables[1], internal::Avx2Overrides());
+  tables[3] = Overlay(tables[2], internal::Avx512Overrides());
+  return tables;
+}
+
+}  // namespace
+
+const KernelSet& Kernels(SimdLevel level) {
+  static const std::array<KernelSet, 4> tables = BuildTables();
+  // Clamp defensively: even a raw out-of-range enum can only reach a table
+  // the host can execute.
+  int idx = static_cast<int>(level);
+  const int max = static_cast<int>(DetectedSimdLevel());
+  idx = std::clamp(idx, 0, max);
+  return tables[static_cast<size_t>(idx)];
+}
+
+}  // namespace ilq::simd

@@ -1,0 +1,112 @@
+// Explicit-width qualification kernels behind the batch pdf API.
+//
+// Each SimdLevel owns one immutable KernelSet — a table of function
+// pointers for the hot batched operations. Tables are built by overlay:
+// the scalar tier is fully populated with the reference loops; each higher
+// tier starts from the tier below and overrides only the kernels it
+// re-implements wider (a kernel with no profitable wide form — e.g. the
+// transcendental-heavy gaussian density — inherits downward, so every slot
+// is always callable). Kernels compiled for an ISA the build can't target
+// (non-x86, old compiler) simply don't override, and the table degrades to
+// scalar with no #ifdef at any call site.
+//
+// Strict-mode contract: for every level L and every input,
+//   Kernels(L).op(args) is bit-identical to Kernels(kScalar).op(args).
+// The wide kernels earn this by replaying the scalar operation sequence
+// lane-wise using only IEEE-exact operations (compare/min/max/add/sub/mul/
+// div, truncating int conversion, gather) with matching operand order, and
+// by the build pinning -ffp-contract=off. The only intentionally-different
+// kernel is `dot`, which exists for KernelVariant::kFast and is reassociated
+// (4 accumulators) + FMA'd by design; strict-mode code never calls it.
+//
+// Count kernels take SoA arrays from sample_block.h and require the arrays
+// to be readable and NaN-padded to PaddedCount(n) — NaN lanes compare false
+// and never count, so the kernels have no remainder loop. Batch kernels
+// (points/rects in, doubles out) accept any n and handle remainders with an
+// internal scalar tail.
+
+#ifndef ILQ_SIMD_QUAL_KERNELS_H_
+#define ILQ_SIMD_QUAL_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "simd/simd_policy.h"
+
+namespace ilq::simd {
+
+/// Uniform-rectangle pdf, hoisted for the kernels (bounds + 1/area).
+struct UniformRectParams {
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;
+  double inv_area = 0.0;
+};
+
+/// Uniform-disk pdf: centre, radius², 1/area.
+struct DiskParams {
+  double cx = 0.0, cy = 0.0, r2 = 0.0;
+  double inv_area = 0.0;
+};
+
+/// Histogram pdf. `mass` points at the y-major nx×ny cell-mass array and
+/// must outlive the call; nx/ny are pre-checked to fit the int32 index
+/// arithmetic of the gather kernels (the pdf wrapper falls back to its
+/// scalar loop for grids beyond that, identically at every tier).
+struct HistogramParams {
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;
+  double cell_w = 0.0, cell_h = 0.0;
+  double cell_area = 0.0;  ///< cell_w * cell_h, the density divisor
+  int32_t nx = 0, ny = 0;
+  const double* mass = nullptr;
+};
+
+/// Grid sides up to this bound use the gather kernels (indices stay well
+/// inside int32 even as iy*nx + ix).
+inline constexpr size_t kHistogramKernelMaxCells = 32768;
+
+/// The per-tier dispatch table. All pointers are always non-null.
+struct KernelSet {
+  /// out[i] = inside(pts[i]) ? inv_area : 0.0
+  void (*uniform_density)(const UniformRectParams& p, const Point* pts,
+                          size_t n, double* out);
+  /// out[i] = clamped-overlap-area(region, rects[i]) * inv_area
+  void (*uniform_mass_in)(const UniformRectParams& p, const Rect* rects,
+                          size_t n, double* out);
+  /// out[i] = clamped-overlap-area(region, centered(centers[i], w, h)) *
+  /// inv_area
+  void (*uniform_mass_centered)(const UniformRectParams& p,
+                                const Point* centers, size_t n, double w,
+                                double h, double* out);
+  /// out[i] = (|pts[i] - c|² <= r²) ? inv_area : 0.0
+  void (*disk_density)(const DiskParams& p, const Point* pts, size_t n,
+                       double* out);
+  /// out[i] = cell_mass(pts[i]) / cell_area, 0 outside the region
+  void (*histogram_density)(const HistogramParams& p, const Point* pts,
+                            size_t n, double* out);
+  /// #{i < n : (xs[i], ys[i]) ∈ [xmin,xmax]×[ymin,ymax]} over NaN-padded
+  /// SoA arrays (sample_block.h contract). An empty rect (min > max)
+  /// counts nothing, matching Rect::Contains.
+  size_t (*count_in_rect)(double xmin, double xmax, double ymin, double ymax,
+                          const double* xs, const double* ys, size_t n);
+  /// #{i < n : (ox[i], oy[i]) ∈ centered((qx[i], qy[i]), w, h)} over
+  /// NaN-padded SoA arrays.
+  size_t (*count_pairs_centered)(const double* qx, const double* qy,
+                                 const double* ox, const double* oy, size_t n,
+                                 double w, double h);
+  /// Σ a[i]·b[i] — the KernelVariant::kFast reduction: 4 independent
+  /// accumulators, FMA where the tier has it. Deterministic per tier, NOT
+  /// bit-identical across tiers or to a sequential sum.
+  double (*dot)(const double* a, const double* b, size_t n);
+};
+
+/// The immutable table for \p level (clamped to DetectedSimdLevel()).
+const KernelSet& Kernels(SimdLevel level);
+
+/// The table for the currently active tier — what the pdf batch entry
+/// points call.
+inline const KernelSet& ActiveKernels() { return Kernels(ActiveSimdLevel()); }
+
+}  // namespace ilq::simd
+
+#endif  // ILQ_SIMD_QUAL_KERNELS_H_

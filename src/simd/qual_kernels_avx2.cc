@@ -1,0 +1,271 @@
+// AVX2 tier: 4-lane (__m256d) kernels. Compiled with -mavx2 -mfma (see
+// src/simd/CMakeLists.txt); when the compiler can't target AVX2 the whole
+// body compiles away and Avx2Overrides() returns nulls, so the tier
+// inherits SSE2/scalar. Only this TU may use AVX intrinsics — everything
+// else in the library builds for the baseline ISA, and runtime dispatch
+// (simd_policy.h) guarantees these functions are only ever called on hosts
+// that executed __builtin_cpu_supports("avx2").
+//
+// Strict bit-identity is earned the same way as the SSE2 tier: exact IEEE
+// lane ops, std::min/std::max operand-order emulation, ordered-quiet
+// compares, and explicit non-FMA mul/add sequences (the `dot` kernel is the
+// one deliberate exception — it exists for KernelVariant::kFast).
+
+#include "simd/qual_kernels_internal.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ilq::simd::internal {
+namespace {
+
+// {x0..x3} / {y0..y3} from four adjacent Points.
+inline void LoadPoints4(const Point* pts, __m256d* xs, __m256d* ys) {
+  const __m256d a = _mm256_loadu_pd(&pts[0].x);  // {x0, y0, x1, y1}
+  const __m256d b = _mm256_loadu_pd(&pts[2].x);  // {x2, y2, x3, y3}
+  const __m256d lo = _mm256_permute2f128_pd(a, b, 0x20);  // {x0,y0,x2,y2}
+  const __m256d hi = _mm256_permute2f128_pd(a, b, 0x31);  // {x1,y1,x3,y3}
+  *xs = _mm256_unpacklo_pd(lo, hi);
+  *ys = _mm256_unpackhi_pd(lo, hi);
+}
+
+// std::min(a, b) / std::max(a, b) semantics: vminpd/vmaxpd return src2 on a
+// false compare, std::min returns its first argument on a tie or NaN-in-b —
+// swapping operands makes the lanes match exactly (see qual_kernels.cc).
+inline __m256d MinStd4(__m256d a, __m256d b) { return _mm256_min_pd(b, a); }
+inline __m256d MaxStd4(__m256d a, __m256d b) { return _mm256_max_pd(b, a); }
+
+inline __m256d InsideMask4(__m256d xs, __m256d ys, __m256d xmin, __m256d xmax,
+                           __m256d ymin, __m256d ymax) {
+  return _mm256_and_pd(
+      _mm256_and_pd(_mm256_cmp_pd(xs, xmin, _CMP_GE_OQ),
+                    _mm256_cmp_pd(xs, xmax, _CMP_LE_OQ)),
+      _mm256_and_pd(_mm256_cmp_pd(ys, ymin, _CMP_GE_OQ),
+                    _mm256_cmp_pd(ys, ymax, _CMP_LE_OQ)));
+}
+
+void UniformDensityAvx2(const UniformRectParams& p, const Point* pts,
+                        size_t n, double* out) {
+  const __m256d xmin = _mm256_set1_pd(p.xmin), xmax = _mm256_set1_pd(p.xmax);
+  const __m256d ymin = _mm256_set1_pd(p.ymin), ymax = _mm256_set1_pd(p.ymax);
+  const __m256d inv = _mm256_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d xs, ys;
+    LoadPoints4(pts + i, &xs, &ys);
+    const __m256d m = InsideMask4(xs, ys, xmin, xmax, ymin, ymax);
+    _mm256_storeu_pd(out + i, _mm256_and_pd(m, inv));
+  }
+  UniformDensityScalar(p, pts + i, n - i, out + i);
+}
+
+void UniformMassInAvx2(const UniformRectParams& p, const Rect* rects,
+                       size_t n, double* out) {
+  const __m256d xmin = _mm256_set1_pd(p.xmin), xmax = _mm256_set1_pd(p.xmax);
+  const __m256d ymin = _mm256_set1_pd(p.ymin), ymax = _mm256_set1_pd(p.ymax);
+  const __m256d inv = _mm256_set1_pd(p.inv_area);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // 4x4 transpose of four Rect{xmin, xmax, ymin, ymax} rows.
+    const __m256d r0 = _mm256_loadu_pd(&rects[i].xmin);
+    const __m256d r1 = _mm256_loadu_pd(&rects[i + 1].xmin);
+    const __m256d r2 = _mm256_loadu_pd(&rects[i + 2].xmin);
+    const __m256d r3 = _mm256_loadu_pd(&rects[i + 3].xmin);
+    const __m256d t0 = _mm256_unpacklo_pd(r0, r1);  // {xmin0,xmin1,ymin0,ymin1}
+    const __m256d t1 = _mm256_unpackhi_pd(r0, r1);  // {xmax0,xmax1,ymax0,ymax1}
+    const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+    const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+    const __m256d rxmin = _mm256_permute2f128_pd(t0, t2, 0x20);
+    const __m256d rymin = _mm256_permute2f128_pd(t0, t2, 0x31);
+    const __m256d rxmax = _mm256_permute2f128_pd(t1, t3, 0x20);
+    const __m256d rymax = _mm256_permute2f128_pd(t1, t3, 0x31);
+    const __m256d w =
+        _mm256_sub_pd(MinStd4(xmax, rxmax), MaxStd4(xmin, rxmin));
+    const __m256d h =
+        _mm256_sub_pd(MinStd4(ymax, rymax), MaxStd4(ymin, rymin));
+    const __m256d area = _mm256_mul_pd(MaxStd4(w, zero), MaxStd4(h, zero));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(area, inv));
+  }
+  UniformMassInScalar(p, rects + i, n - i, out + i);
+}
+
+void UniformMassCenteredAvx2(const UniformRectParams& p, const Point* centers,
+                             size_t n, double w, double h, double* out) {
+  const __m256d xmin = _mm256_set1_pd(p.xmin), xmax = _mm256_set1_pd(p.xmax);
+  const __m256d ymin = _mm256_set1_pd(p.ymin), ymax = _mm256_set1_pd(p.ymax);
+  const __m256d inv = _mm256_set1_pd(p.inv_area);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d vw = _mm256_set1_pd(w), vh = _mm256_set1_pd(h);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d cx, cy;
+    LoadPoints4(centers + i, &cx, &cy);
+    const __m256d ov_w = _mm256_sub_pd(MinStd4(xmax, _mm256_add_pd(cx, vw)),
+                                       MaxStd4(xmin, _mm256_sub_pd(cx, vw)));
+    const __m256d ov_h = _mm256_sub_pd(MinStd4(ymax, _mm256_add_pd(cy, vh)),
+                                       MaxStd4(ymin, _mm256_sub_pd(cy, vh)));
+    const __m256d area =
+        _mm256_mul_pd(MaxStd4(ov_w, zero), MaxStd4(ov_h, zero));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(area, inv));
+  }
+  UniformMassCenteredScalar(p, centers + i, n - i, w, h, out + i);
+}
+
+void DiskDensityAvx2(const DiskParams& p, const Point* pts, size_t n,
+                     double* out) {
+  const __m256d cx = _mm256_set1_pd(p.cx), cy = _mm256_set1_pd(p.cy);
+  const __m256d r2 = _mm256_set1_pd(p.r2);
+  const __m256d inv = _mm256_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d xs, ys;
+    LoadPoints4(pts + i, &xs, &ys);
+    const __m256d dx = _mm256_sub_pd(cx, xs);
+    const __m256d dy = _mm256_sub_pd(cy, ys);
+    // mul + mul + add, never fmadd: strict mode matches the scalar
+    // dx*dx + dy*dy compiled with contraction off.
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const __m256d m = _mm256_cmp_pd(d2, r2, _CMP_LE_OQ);
+    _mm256_storeu_pd(out + i, _mm256_and_pd(m, inv));
+  }
+  DiskDensityScalar(p, pts + i, n - i, out + i);
+}
+
+void HistogramDensityAvx2(const HistogramParams& p, const Point* pts,
+                          size_t n, double* out) {
+  const __m256d xmin = _mm256_set1_pd(p.xmin), xmax = _mm256_set1_pd(p.xmax);
+  const __m256d ymin = _mm256_set1_pd(p.ymin), ymax = _mm256_set1_pd(p.ymax);
+  const __m256d cw = _mm256_set1_pd(p.cell_w), ch = _mm256_set1_pd(p.cell_h);
+  const __m256d area = _mm256_set1_pd(p.cell_area);
+  const __m128i nx1 = _mm_set1_epi32(p.nx - 1);
+  const __m128i ny1 = _mm_set1_epi32(p.ny - 1);
+  const __m128i nx = _mm_set1_epi32(p.nx);
+  const __m128i izero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d xs, ys;
+    LoadPoints4(pts + i, &xs, &ys);
+    const __m256d inside = InsideMask4(xs, ys, xmin, xmax, ymin, ymax);
+    // Truncating convert matches the scalar size_t cast for inside lanes
+    // (their quotients are in [0, nx]); outside lanes may convert to the
+    // 0x80000000 indefinite, which the [0, n-1] clamp sends to a safe
+    // in-bounds index — their result is masked to 0 below anyway.
+    const __m256d fx = _mm256_div_pd(_mm256_sub_pd(xs, xmin), cw);
+    const __m256d fy = _mm256_div_pd(_mm256_sub_pd(ys, ymin), ch);
+    __m128i ix = _mm256_cvttpd_epi32(fx);
+    __m128i iy = _mm256_cvttpd_epi32(fy);
+    ix = _mm_max_epi32(_mm_min_epi32(ix, nx1), izero);
+    iy = _mm_max_epi32(_mm_min_epi32(iy, ny1), izero);
+    const __m128i idx = _mm_add_epi32(_mm_mullo_epi32(iy, nx), ix);
+    // Masked gather with a full mask and zero source: identical to the
+    // plain gather, but avoids GCC's maybe-uninitialized noise from the
+    // _mm256_undefined_pd() source inside _mm256_i32gather_pd.
+    const __m256d allset =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(int64_t{-1}));
+    const __m256d mass = _mm256_mask_i32gather_pd(_mm256_setzero_pd(),
+                                                  p.mass, idx, allset, 8);
+    const __m256d density = _mm256_div_pd(mass, area);
+    _mm256_storeu_pd(out + i, _mm256_and_pd(density, inside));
+  }
+  HistogramDensityScalar(p, pts + i, n - i, out + i);
+}
+
+size_t CountInRectAvx2(double xmin, double xmax, double ymin, double ymax,
+                       const double* xs, const double* ys, size_t n) {
+  const __m256d lx = _mm256_set1_pd(xmin), hx = _mm256_set1_pd(xmax);
+  const __m256d ly = _mm256_set1_pd(ymin), hy = _mm256_set1_pd(ymax);
+  size_t hits = 0;
+  // Sample-block contract: aligned, NaN-padded to a multiple of 8 — no
+  // remainder loop, padding lanes fail the ordered compares.
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256d x = _mm256_load_pd(xs + i);
+    const __m256d y = _mm256_load_pd(ys + i);
+    const __m256d m = InsideMask4(x, y, lx, hx, ly, hy);
+    hits += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(m))));
+  }
+  return hits;
+}
+
+size_t CountPairsCenteredAvx2(const double* qx, const double* qy,
+                              const double* ox, const double* oy, size_t n,
+                              double w, double h) {
+  const __m256d vw = _mm256_set1_pd(w), vh = _mm256_set1_pd(h);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256d qxi = _mm256_load_pd(qx + i);
+    const __m256d qyi = _mm256_load_pd(qy + i);
+    const __m256d oxi = _mm256_load_pd(ox + i);
+    const __m256d oyi = _mm256_load_pd(oy + i);
+    const __m256d m = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(oxi, _mm256_sub_pd(qxi, vw), _CMP_GE_OQ),
+            _mm256_cmp_pd(oxi, _mm256_add_pd(qxi, vw), _CMP_LE_OQ)),
+        _mm256_and_pd(
+            _mm256_cmp_pd(oyi, _mm256_sub_pd(qyi, vh), _CMP_GE_OQ),
+            _mm256_cmp_pd(oyi, _mm256_add_pd(qyi, vh), _CMP_LE_OQ)));
+    hits += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(m))));
+  }
+  return hits;
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  // The kFast reduction: 4 independent FMA chains hide the 4-5 cycle FMA
+  // latency; deterministic for this tier, tolerance-equal to strict.
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd(), acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  const __m256d acc01 = _mm256_add_pd(acc0, acc1);
+  const __m256d acc23 = _mm256_add_pd(acc2, acc3);
+  const __m256d acc = _mm256_add_pd(acc01, acc23);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  double total =
+      _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+}  // namespace
+
+KernelOverrides Avx2Overrides() {
+  KernelOverrides o;
+  o.uniform_density = &UniformDensityAvx2;
+  o.uniform_mass_in = &UniformMassInAvx2;
+  o.uniform_mass_centered = &UniformMassCenteredAvx2;
+  o.disk_density = &DiskDensityAvx2;
+  o.histogram_density = &HistogramDensityAvx2;
+  o.count_in_rect = &CountInRectAvx2;
+  o.count_pairs_centered = &CountPairsCenteredAvx2;
+  o.dot = &DotAvx2;
+  return o;
+}
+
+}  // namespace ilq::simd::internal
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace ilq::simd::internal {
+KernelOverrides Avx2Overrides() { return {}; }
+}  // namespace ilq::simd::internal
+
+#endif

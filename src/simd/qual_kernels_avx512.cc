@@ -1,0 +1,251 @@
+// AVX-512 tier: 8-lane (__m512d) kernels, compiled with
+// -mavx512f -mavx512dq -mavx512vl (plus AVX2+FMA for the int32 helpers).
+// Same dispatch/identity rules as the AVX2 TU; mask registers replace the
+// compare-blend idiom (_mm512_cmp_pd_mask is ordered-quiet, so NaN padding
+// lanes drop out of the masks exactly like they fail the scalar compares,
+// and _mm512_maskz_mov_pd writes +0.0 in false lanes, matching the scalar
+// `inside ? v : 0.0`).
+
+#include "simd/qual_kernels_internal.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ilq::simd::internal {
+namespace {
+
+// {x0..x7} / {y0..y7} from eight adjacent Points (two zmm loads + two
+// cross-register even/odd shuffles).
+inline void LoadPoints8(const Point* pts, __m512d* xs, __m512d* ys) {
+  const __m512d a = _mm512_loadu_pd(&pts[0].x);  // {x0,y0,...,x3,y3}
+  const __m512d b = _mm512_loadu_pd(&pts[4].x);  // {x4,y4,...,x7,y7}
+  const __m512i even = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m512i odd = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+  *xs = _mm512_permutex2var_pd(a, even, b);
+  *ys = _mm512_permutex2var_pd(a, odd, b);
+}
+
+// std::min/std::max operand-order emulation (see qual_kernels.cc).
+inline __m512d MinStd8(__m512d a, __m512d b) { return _mm512_min_pd(b, a); }
+inline __m512d MaxStd8(__m512d a, __m512d b) { return _mm512_max_pd(b, a); }
+
+inline __mmask8 InsideMask8(__m512d xs, __m512d ys, __m512d xmin,
+                            __m512d xmax, __m512d ymin, __m512d ymax) {
+  const __mmask8 mx = _mm512_cmp_pd_mask(xs, xmin, _CMP_GE_OQ) &
+                      _mm512_cmp_pd_mask(xs, xmax, _CMP_LE_OQ);
+  const __mmask8 my = _mm512_cmp_pd_mask(ys, ymin, _CMP_GE_OQ) &
+                      _mm512_cmp_pd_mask(ys, ymax, _CMP_LE_OQ);
+  return mx & my;
+}
+
+void UniformDensityAvx512(const UniformRectParams& p, const Point* pts,
+                          size_t n, double* out) {
+  const __m512d xmin = _mm512_set1_pd(p.xmin), xmax = _mm512_set1_pd(p.xmax);
+  const __m512d ymin = _mm512_set1_pd(p.ymin), ymax = _mm512_set1_pd(p.ymax);
+  const __m512d inv = _mm512_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d xs, ys;
+    LoadPoints8(pts + i, &xs, &ys);
+    const __mmask8 m = InsideMask8(xs, ys, xmin, xmax, ymin, ymax);
+    _mm512_storeu_pd(out + i, _mm512_maskz_mov_pd(m, inv));
+  }
+  UniformDensityScalar(p, pts + i, n - i, out + i);
+}
+
+void UniformMassInAvx512(const UniformRectParams& p, const Rect* rects,
+                         size_t n, double* out) {
+  const __m512d xmin = _mm512_set1_pd(p.xmin), xmax = _mm512_set1_pd(p.xmax);
+  const __m512d ymin = _mm512_set1_pd(p.ymin), ymax = _mm512_set1_pd(p.ymax);
+  const __m512d inv = _mm512_set1_pd(p.inv_area);
+  const __m512d zero = _mm512_setzero_pd();
+  // One Rect is 4 doubles; stride-4 gathers transpose 8 of them per field.
+  const __m256i stride4 =
+      _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Full-mask gathers with a zero source: identical results to the plain
+    // gather, but without GCC's maybe-uninitialized noise from the
+    // undefined source operand inside _mm512_i32gather_pd.
+    const __m512d z = _mm512_setzero_pd();
+    const __m512d rxmin =
+        _mm512_mask_i32gather_pd(z, 0xff, stride4, &rects[i].xmin, 8);
+    const __m512d rxmax =
+        _mm512_mask_i32gather_pd(z, 0xff, stride4, &rects[i].xmax, 8);
+    const __m512d rymin =
+        _mm512_mask_i32gather_pd(z, 0xff, stride4, &rects[i].ymin, 8);
+    const __m512d rymax =
+        _mm512_mask_i32gather_pd(z, 0xff, stride4, &rects[i].ymax, 8);
+    const __m512d w =
+        _mm512_sub_pd(MinStd8(xmax, rxmax), MaxStd8(xmin, rxmin));
+    const __m512d h =
+        _mm512_sub_pd(MinStd8(ymax, rymax), MaxStd8(ymin, rymin));
+    const __m512d area = _mm512_mul_pd(MaxStd8(w, zero), MaxStd8(h, zero));
+    _mm512_storeu_pd(out + i, _mm512_mul_pd(area, inv));
+  }
+  UniformMassInScalar(p, rects + i, n - i, out + i);
+}
+
+void UniformMassCenteredAvx512(const UniformRectParams& p,
+                               const Point* centers, size_t n, double w,
+                               double h, double* out) {
+  const __m512d xmin = _mm512_set1_pd(p.xmin), xmax = _mm512_set1_pd(p.xmax);
+  const __m512d ymin = _mm512_set1_pd(p.ymin), ymax = _mm512_set1_pd(p.ymax);
+  const __m512d inv = _mm512_set1_pd(p.inv_area);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d vw = _mm512_set1_pd(w), vh = _mm512_set1_pd(h);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d cx, cy;
+    LoadPoints8(centers + i, &cx, &cy);
+    const __m512d ov_w = _mm512_sub_pd(MinStd8(xmax, _mm512_add_pd(cx, vw)),
+                                       MaxStd8(xmin, _mm512_sub_pd(cx, vw)));
+    const __m512d ov_h = _mm512_sub_pd(MinStd8(ymax, _mm512_add_pd(cy, vh)),
+                                       MaxStd8(ymin, _mm512_sub_pd(cy, vh)));
+    const __m512d area =
+        _mm512_mul_pd(MaxStd8(ov_w, zero), MaxStd8(ov_h, zero));
+    _mm512_storeu_pd(out + i, _mm512_mul_pd(area, inv));
+  }
+  UniformMassCenteredScalar(p, centers + i, n - i, w, h, out + i);
+}
+
+void DiskDensityAvx512(const DiskParams& p, const Point* pts, size_t n,
+                       double* out) {
+  const __m512d cx = _mm512_set1_pd(p.cx), cy = _mm512_set1_pd(p.cy);
+  const __m512d r2 = _mm512_set1_pd(p.r2);
+  const __m512d inv = _mm512_set1_pd(p.inv_area);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d xs, ys;
+    LoadPoints8(pts + i, &xs, &ys);
+    const __m512d dx = _mm512_sub_pd(cx, xs);
+    const __m512d dy = _mm512_sub_pd(cy, ys);
+    // mul + mul + add (no FMA): strict-mode identity with contraction off.
+    const __m512d d2 =
+        _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy));
+    const __mmask8 m = _mm512_cmp_pd_mask(d2, r2, _CMP_LE_OQ);
+    _mm512_storeu_pd(out + i, _mm512_maskz_mov_pd(m, inv));
+  }
+  DiskDensityScalar(p, pts + i, n - i, out + i);
+}
+
+void HistogramDensityAvx512(const HistogramParams& p, const Point* pts,
+                            size_t n, double* out) {
+  const __m512d xmin = _mm512_set1_pd(p.xmin), xmax = _mm512_set1_pd(p.xmax);
+  const __m512d ymin = _mm512_set1_pd(p.ymin), ymax = _mm512_set1_pd(p.ymax);
+  const __m512d cw = _mm512_set1_pd(p.cell_w), ch = _mm512_set1_pd(p.cell_h);
+  const __m512d area = _mm512_set1_pd(p.cell_area);
+  const __m256i nx1 = _mm256_set1_epi32(p.nx - 1);
+  const __m256i ny1 = _mm256_set1_epi32(p.ny - 1);
+  const __m256i nx = _mm256_set1_epi32(p.nx);
+  const __m256i izero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d xs, ys;
+    LoadPoints8(pts + i, &xs, &ys);
+    const __mmask8 inside = InsideMask8(xs, ys, xmin, xmax, ymin, ymax);
+    // Same convert/clamp rationale as the AVX2 kernel: inside lanes match
+    // the scalar cast, outside lanes clamp to a safe index and are zeroed
+    // by the mask below.
+    const __m512d fx = _mm512_div_pd(_mm512_sub_pd(xs, xmin), cw);
+    const __m512d fy = _mm512_div_pd(_mm512_sub_pd(ys, ymin), ch);
+    __m256i ix = _mm512_cvttpd_epi32(fx);
+    __m256i iy = _mm512_cvttpd_epi32(fy);
+    ix = _mm256_max_epi32(_mm256_min_epi32(ix, nx1), izero);
+    iy = _mm256_max_epi32(_mm256_min_epi32(iy, ny1), izero);
+    const __m256i idx = _mm256_add_epi32(_mm256_mullo_epi32(iy, nx), ix);
+    const __m512d mass = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), 0xff,
+                                                  idx, p.mass, 8);
+    const __m512d density = _mm512_div_pd(mass, area);
+    _mm512_storeu_pd(out + i, _mm512_maskz_mov_pd(inside, density));
+  }
+  HistogramDensityScalar(p, pts + i, n - i, out + i);
+}
+
+size_t CountInRectAvx512(double xmin, double xmax, double ymin, double ymax,
+                         const double* xs, const double* ys, size_t n) {
+  const __m512d lx = _mm512_set1_pd(xmin), hx = _mm512_set1_pd(xmax);
+  const __m512d ly = _mm512_set1_pd(ymin), hy = _mm512_set1_pd(ymax);
+  size_t hits = 0;
+  // Sample-block contract: aligned and NaN-padded to a multiple of 8.
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512d x = _mm512_load_pd(xs + i);
+    const __m512d y = _mm512_load_pd(ys + i);
+    const __mmask8 m = InsideMask8(x, y, lx, hx, ly, hy);
+    hits += static_cast<size_t>(__builtin_popcount(m));
+  }
+  return hits;
+}
+
+size_t CountPairsCenteredAvx512(const double* qx, const double* qy,
+                                const double* ox, const double* oy, size_t n,
+                                double w, double h) {
+  const __m512d vw = _mm512_set1_pd(w), vh = _mm512_set1_pd(h);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512d qxi = _mm512_load_pd(qx + i);
+    const __m512d qyi = _mm512_load_pd(qy + i);
+    const __m512d oxi = _mm512_load_pd(ox + i);
+    const __m512d oyi = _mm512_load_pd(oy + i);
+    const __mmask8 mx =
+        _mm512_cmp_pd_mask(oxi, _mm512_sub_pd(qxi, vw), _CMP_GE_OQ) &
+        _mm512_cmp_pd_mask(oxi, _mm512_add_pd(qxi, vw), _CMP_LE_OQ);
+    const __mmask8 my =
+        _mm512_cmp_pd_mask(oyi, _mm512_sub_pd(qyi, vh), _CMP_GE_OQ) &
+        _mm512_cmp_pd_mask(oyi, _mm512_add_pd(qyi, vh), _CMP_LE_OQ);
+    hits += static_cast<size_t>(__builtin_popcount(mx & my));
+  }
+  return hits;
+}
+
+double DotAvx512(const double* a, const double* b, size_t n) {
+  __m512d acc0 = _mm512_setzero_pd(), acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd(), acc3 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8),
+                           _mm512_loadu_pd(b + i + 8), acc1);
+    acc2 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 16),
+                           _mm512_loadu_pd(b + i + 16), acc2);
+    acc3 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 24),
+                           _mm512_loadu_pd(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+  }
+  const __m512d acc =
+      _mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3));
+  double total = _mm512_reduce_add_pd(acc);
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+}  // namespace
+
+KernelOverrides Avx512Overrides() {
+  KernelOverrides o;
+  o.uniform_density = &UniformDensityAvx512;
+  o.uniform_mass_in = &UniformMassInAvx512;
+  o.uniform_mass_centered = &UniformMassCenteredAvx512;
+  o.disk_density = &DiskDensityAvx512;
+  o.histogram_density = &HistogramDensityAvx512;
+  o.count_in_rect = &CountInRectAvx512;
+  o.count_pairs_centered = &CountPairsCenteredAvx512;
+  o.dot = &DotAvx512;
+  return o;
+}
+
+}  // namespace ilq::simd::internal
+
+#else  // AVX-512 not targetable by this build
+
+namespace ilq::simd::internal {
+KernelOverrides Avx512Overrides() { return {}; }
+}  // namespace ilq::simd::internal
+
+#endif

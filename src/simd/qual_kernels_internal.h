@@ -1,0 +1,68 @@
+// Internal seams between the per-ISA translation units.
+//
+// The AVX2/AVX-512 kernels live in their own TUs compiled with per-file
+// -m flags (see src/simd/CMakeLists.txt); everything they export funnels
+// through one Overrides struct so qual_kernels.cc can overlay the dispatch
+// tables without knowing which TUs actually produced code. A TU whose ISA
+// the build can't target returns an all-null Overrides (its #if body
+// compiles away), and the tier inherits the one below.
+//
+// The scalar reference kernels are also declared here: the wide kernels
+// call them for remainder tails, which keeps tail semantics trivially
+// identical to the scalar tier.
+
+#ifndef ILQ_SIMD_QUAL_KERNELS_INTERNAL_H_
+#define ILQ_SIMD_QUAL_KERNELS_INTERNAL_H_
+
+#include "simd/qual_kernels.h"
+
+namespace ilq::simd::internal {
+
+/// Nullable mirror of KernelSet: a null member means "inherit from the
+/// tier below".
+struct KernelOverrides {
+  void (*uniform_density)(const UniformRectParams&, const Point*, size_t,
+                          double*) = nullptr;
+  void (*uniform_mass_in)(const UniformRectParams&, const Rect*, size_t,
+                          double*) = nullptr;
+  void (*uniform_mass_centered)(const UniformRectParams&, const Point*,
+                                size_t, double, double, double*) = nullptr;
+  void (*disk_density)(const DiskParams&, const Point*, size_t,
+                       double*) = nullptr;
+  void (*histogram_density)(const HistogramParams&, const Point*, size_t,
+                            double*) = nullptr;
+  size_t (*count_in_rect)(double, double, double, double, const double*,
+                          const double*, size_t) = nullptr;
+  size_t (*count_pairs_centered)(const double*, const double*, const double*,
+                                 const double*, size_t, double,
+                                 double) = nullptr;
+  double (*dot)(const double*, const double*, size_t) = nullptr;
+};
+
+/// Defined in qual_kernels_avx2.cc / qual_kernels_avx512.cc.
+KernelOverrides Avx2Overrides();
+KernelOverrides Avx512Overrides();
+
+// Scalar reference kernels (qual_kernels.cc) — used by wide kernels for
+// tails, by the scalar table, and by the kernel tests as the oracle.
+void UniformDensityScalar(const UniformRectParams& p, const Point* pts,
+                          size_t n, double* out);
+void UniformMassInScalar(const UniformRectParams& p, const Rect* rects,
+                         size_t n, double* out);
+void UniformMassCenteredScalar(const UniformRectParams& p,
+                               const Point* centers, size_t n, double w,
+                               double h, double* out);
+void DiskDensityScalar(const DiskParams& p, const Point* pts, size_t n,
+                       double* out);
+void HistogramDensityScalar(const HistogramParams& p, const Point* pts,
+                            size_t n, double* out);
+size_t CountInRectScalar(double xmin, double xmax, double ymin, double ymax,
+                         const double* xs, const double* ys, size_t n);
+size_t CountPairsCenteredScalar(const double* qx, const double* qy,
+                                const double* ox, const double* oy, size_t n,
+                                double w, double h);
+double DotScalar(const double* a, const double* b, size_t n);
+
+}  // namespace ilq::simd::internal
+
+#endif  // ILQ_SIMD_QUAL_KERNELS_INTERNAL_H_

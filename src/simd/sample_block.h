@@ -1,0 +1,106 @@
+// SoA Monte-Carlo sample blocks.
+//
+// The MC qualification loops used to test one freshly sampled Point at a
+// time — an AoS access pattern no vector unit can load efficiently, with a
+// per-element branch. The blocks below restructure a chunk of samples as
+// cache-aligned structure-of-arrays (x[], y[] …), so the count kernels run
+// full-width compares over unit-stride lanes.
+//
+// Tail policy, handled ONCE here instead of per kernel: Seal(n) pads the
+// arrays from n up to the next multiple of kLaneAlign with quiet NaNs. All
+// count kernels use ordered-quiet compares (false on NaN), so padded lanes
+// can never count as hits — kernels simply process PaddedCount(n) lanes
+// with no remainder loop and no masking. The blocks are fixed-capacity and
+// stack-resident (alignas(64) arrays, no allocation), sized so one
+// PairSampleBlock is 8 KiB — four streams staying comfortably within L1
+// while amortizing the fill/count call boundary.
+
+#ifndef ILQ_SIMD_SAMPLE_BLOCK_H_
+#define ILQ_SIMD_SAMPLE_BLOCK_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace ilq::simd {
+
+/// Lane-group granularity the count kernels assume: arrays are readable and
+/// NaN-padded up to a multiple of this (8 doubles = one AVX-512 register,
+/// two AVX2 registers, four SSE2 registers).
+inline constexpr size_t kLaneAlign = 8;
+
+/// \p n rounded up to the next multiple of kLaneAlign.
+constexpr size_t PaddedCount(size_t n) {
+  return (n + (kLaneAlign - 1)) & ~(kLaneAlign - 1);
+}
+
+/// SoA block of single positions (the point-qualification MC stream).
+class PointSampleBlock {
+ public:
+  static constexpr size_t kCapacity = 256;
+  static_assert(kCapacity % kLaneAlign == 0);
+
+  /// Stores sample \p i (i < kCapacity).
+  void Set(size_t i, const Point& p) {
+    x_[i] = p.x;
+    y_[i] = p.y;
+  }
+
+  /// Marks \p n samples as valid and NaN-pads the tail lane group. Call
+  /// after the last Set and before handing the arrays to a count kernel.
+  void Seal(size_t n) {
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    for (size_t i = n; i < PaddedCount(n); ++i) {
+      x_[i] = kNaN;
+      y_[i] = kNaN;
+    }
+  }
+
+  const double* x() const { return x_; }
+  const double* y() const { return y_; }
+
+ private:
+  alignas(64) double x_[kCapacity];
+  alignas(64) double y_[kCapacity];
+};
+
+/// SoA block of (issuer, object) position pairs (the paired-sampling MC
+/// stream of Eq. 4).
+class PairSampleBlock {
+ public:
+  static constexpr size_t kCapacity = 256;
+  static_assert(kCapacity % kLaneAlign == 0);
+
+  void Set(size_t i, const Point& q, const Point& o) {
+    qx_[i] = q.x;
+    qy_[i] = q.y;
+    ox_[i] = o.x;
+    oy_[i] = o.y;
+  }
+
+  void Seal(size_t n) {
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    for (size_t i = n; i < PaddedCount(n); ++i) {
+      qx_[i] = kNaN;
+      qy_[i] = kNaN;
+      ox_[i] = kNaN;
+      oy_[i] = kNaN;
+    }
+  }
+
+  const double* qx() const { return qx_; }
+  const double* qy() const { return qy_; }
+  const double* ox() const { return ox_; }
+  const double* oy() const { return oy_; }
+
+ private:
+  alignas(64) double qx_[kCapacity];
+  alignas(64) double qy_[kCapacity];
+  alignas(64) double ox_[kCapacity];
+  alignas(64) double oy_[kCapacity];
+};
+
+}  // namespace ilq::simd
+
+#endif  // ILQ_SIMD_SAMPLE_BLOCK_H_

@@ -1,0 +1,146 @@
+#include "simd/simd_policy.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ilq::simd {
+
+namespace {
+
+SimdLevel ClampLevel(SimdLevel level, SimdLevel max) {
+  if (static_cast<int>(level) < 0) return SimdLevel::kScalar;
+  return static_cast<int>(level) > static_cast<int>(max) ? max : level;
+}
+
+// ILQ_SIMD_LEVEL caps what DetectedSimdLevel reports, so every later
+// SetActiveSimdLevel clamps against the env-capped value too — a forced-
+// scalar CI job stays scalar even when a test asks for AVX2.
+SimdLevel ComputeDetectedLevel() {
+  SimdLevel level = CpuFeatures::Detect().MaxLevel();
+  const char* env = std::getenv("ILQ_SIMD_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    const std::optional<SimdLevel> requested = ParseSimdLevel(env);
+    if (!requested.has_value()) {
+      std::fprintf(stderr,
+                   "ILQ_SIMD_LEVEL=%s not recognized (want scalar, sse2, "
+                   "avx2, or avx512); using detected %s\n",
+                   env, SimdLevelName(level));
+    } else if (static_cast<int>(*requested) > static_cast<int>(level)) {
+      std::fprintf(stderr,
+                   "ILQ_SIMD_LEVEL=%s exceeds host support; clamping to "
+                   "%s\n",
+                   env, SimdLevelName(level));
+    } else {
+      level = *requested;
+    }
+  }
+  return level;
+}
+
+KernelVariant ComputeInitialVariant() {
+  const char* env = std::getenv("ILQ_KERNEL_VARIANT");
+  if (env == nullptr || *env == '\0') return KernelVariant::kStrict;
+  const std::optional<KernelVariant> parsed = ParseKernelVariant(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "ILQ_KERNEL_VARIANT=%s not recognized (want strict or "
+                 "fast); using strict\n",
+                 env);
+    return KernelVariant::kStrict;
+  }
+  return *parsed;
+}
+
+std::atomic<SimdLevel>& ActiveLevelState() {
+  static std::atomic<SimdLevel> state{DetectedSimdLevel()};
+  return state;
+}
+
+std::atomic<KernelVariant>& ActiveVariantState() {
+  static std::atomic<KernelVariant> state{ComputeInitialVariant()};
+  return state;
+}
+
+}  // namespace
+
+SimdLevel CpuFeatures::MaxLevel() const {
+  if (avx512 && avx2 && fma) return SimdLevel::kAvx512;
+  if (avx2 && fma) return SimdLevel::kAvx2;
+  if (sse2) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+}
+
+CpuFeatures CpuFeatures::Detect() {
+  static const CpuFeatures cached = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+    f.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512dq") &&
+               __builtin_cpu_supports("avx512vl");
+#endif
+    return f;
+  }();
+  return cached;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = ComputeDetectedLevel();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return ActiveLevelState().load(std::memory_order_relaxed);
+}
+
+SimdLevel SetActiveSimdLevel(SimdLevel level) {
+  const SimdLevel installed = ClampLevel(level, DetectedSimdLevel());
+  ActiveLevelState().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+KernelVariant ActiveKernelVariant() {
+  return ActiveVariantState().load(std::memory_order_relaxed);
+}
+
+void SetActiveKernelVariant(KernelVariant variant) {
+  ActiveVariantState().store(variant, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const char* KernelVariantName(KernelVariant variant) {
+  return variant == KernelVariant::kFast ? "fast" : "strict";
+}
+
+std::optional<SimdLevel> ParseSimdLevel(std::string_view s) {
+  if (s == "scalar") return SimdLevel::kScalar;
+  if (s == "sse2") return SimdLevel::kSse2;
+  if (s == "avx2") return SimdLevel::kAvx2;
+  if (s == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+std::optional<KernelVariant> ParseKernelVariant(std::string_view s) {
+  if (s == "strict") return KernelVariant::kStrict;
+  if (s == "fast") return KernelVariant::kFast;
+  return std::nullopt;
+}
+
+}  // namespace ilq::simd

@@ -1,0 +1,132 @@
+// Process-wide SIMD kernel policy: which vector tier the qualification
+// kernels dispatch to, and whether the fast (FMA + reassociation) variants
+// are allowed.
+//
+// Dispatch is two-dimensional:
+//
+//   * SimdLevel — the instruction-set tier. Detected once at startup
+//     (CpuFeatures::Detect), clamped by the ILQ_SIMD_LEVEL environment
+//     variable, and overridable per test/bench via SetActiveSimdLevel /
+//     ScopedSimdLevel or EngineConfig::simd_level. In the default `strict`
+//     variant every tier computes bit-identical results: the wide kernels
+//     replay the scalar operation sequence lane-wise with IEEE-exact ops
+//     (min/max/sub/mul/div/compare), and the build pins -ffp-contract=off
+//     so the scalar path cannot silently contract into FMAs either. The
+//     per-tier differential suite (tests/simd_differential_test.cc) pins
+//     scalar ≡ SSE2 ≡ AVX2 (≡ AVX-512 where available) for all 8 query
+//     methods.
+//
+//   * KernelVariant — kStrict (default) keeps the bit-identity contract;
+//     kFast additionally enables explicitly-FMA'd, reassociated reduction
+//     kernels (Gauss–Legendre inner products, the basic-IUQ weighted sum).
+//     Fast answers are deterministic for a fixed (tier, variant) but only
+//     tolerance-equal to strict (tests/fast_variant_test.cc pins the
+//     tolerance). Opt in via ILQ_KERNEL_VARIANT=fast or
+//     EngineConfig::kernel_variant.
+//
+// Both knobs are process-global atomics, read at kernel-dispatch time with
+// relaxed ordering: they are tuning state, not synchronization. Flipping
+// them concurrently with running queries is safe (every read sees either
+// the old or the new policy) but makes answers time-dependent, so tests use
+// the Scoped* guards and engines apply their config at Build/OpenPaged.
+
+#ifndef ILQ_SIMD_SIMD_POLICY_H_
+#define ILQ_SIMD_SIMD_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ilq::simd {
+
+/// Instruction-set tiers, ordered: a level implies all lower levels.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< plain scalar loops (always available, the reference)
+  kSse2 = 1,    ///< 128-bit __m128d kernels (baseline on x86-64)
+  kAvx2 = 2,    ///< 256-bit kernels (AVX2 + FMA)
+  kAvx512 = 3,  ///< 512-bit kernels (requires F + DQ + VL)
+};
+
+/// Kernel numeric policy. See the file comment.
+enum class KernelVariant : int {
+  kStrict = 0,  ///< bit-identical across tiers (default)
+  kFast = 1,    ///< FMA + reassociated reductions, tolerance-equal
+};
+
+/// One-time CPUID-based capability probe.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512 = false;  ///< F + DQ + VL (what the wide kernels use)
+
+  /// The highest tier this host can execute. AVX2 kernels also use FMA in
+  /// the fast variant, so the AVX2 tier additionally requires FMA (every
+  /// AVX2 part since Haswell has it; the gate only matters for emulators).
+  SimdLevel MaxLevel() const;
+
+  /// Probes the host CPU (cached after the first call).
+  static CpuFeatures Detect();
+};
+
+/// Highest tier the host supports, after applying the ILQ_SIMD_LEVEL
+/// environment clamp. Computed once; stable for the process lifetime.
+SimdLevel DetectedSimdLevel();
+
+/// The tier kernels dispatch to right now. Starts at DetectedSimdLevel().
+SimdLevel ActiveSimdLevel();
+
+/// Sets the active tier, clamped to DetectedSimdLevel() (requesting AVX-512
+/// on an AVX2 host installs AVX2). Returns the tier actually installed.
+SimdLevel SetActiveSimdLevel(SimdLevel level);
+
+/// The numeric variant in effect right now. Starts at kStrict unless
+/// ILQ_KERNEL_VARIANT=fast.
+KernelVariant ActiveKernelVariant();
+void SetActiveKernelVariant(KernelVariant variant);
+
+/// Lower-case names ("scalar", "sse2", "avx2", "avx512" / "strict",
+/// "fast") — also the accepted environment-variable spellings.
+const char* SimdLevelName(SimdLevel level);
+const char* KernelVariantName(KernelVariant variant);
+
+/// Parses the environment spellings; nullopt on anything else.
+std::optional<SimdLevel> ParseSimdLevel(std::string_view s);
+std::optional<KernelVariant> ParseKernelVariant(std::string_view s);
+
+/// RAII tier override for tests: installs \p level (clamped) on entry,
+/// restores the previous active tier on exit.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level)
+      : previous_(ActiveSimdLevel()), installed_(SetActiveSimdLevel(level)) {}
+  ~ScopedSimdLevel() { SetActiveSimdLevel(previous_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+  /// The tier actually installed (differs from the request when clamped).
+  SimdLevel installed() const { return installed_; }
+
+ private:
+  SimdLevel previous_;
+  SimdLevel installed_;
+};
+
+/// RAII variant override for tests.
+class ScopedKernelVariant {
+ public:
+  explicit ScopedKernelVariant(KernelVariant variant)
+      : previous_(ActiveKernelVariant()) {
+    SetActiveKernelVariant(variant);
+  }
+  ~ScopedKernelVariant() { SetActiveKernelVariant(previous_); }
+  ScopedKernelVariant(const ScopedKernelVariant&) = delete;
+  ScopedKernelVariant& operator=(const ScopedKernelVariant&) = delete;
+
+ private:
+  KernelVariant previous_;
+};
+
+}  // namespace ilq::simd
+
+#endif  // ILQ_SIMD_SIMD_POLICY_H_

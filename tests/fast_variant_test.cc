@@ -1,0 +1,196 @@
+// Tests for the opt-in fast-FMA kernel variant.
+//
+// kFast trades bit-for-bit reproducibility across SIMD tiers for speed: the
+// Gauss-Legendre weight contractions go through the reassociated (and, on
+// AVX tiers, FMA-fused) dot kernel instead of the ordered sequential sum.
+// The contract pinned here:
+//
+//   * fast mode is OFF by default — a freshly configured engine runs strict;
+//   * within one process the fast answers are deterministic (same inputs →
+//     same doubles, twice);
+//   * fast answers agree with strict answers to tight absolute tolerance
+//     (probabilities live in [0, 1]; reassociating <=64-term weight sums
+//     moves them by ~ulps, so 1e-9 is generous yet meaningful);
+//   * Monte-Carlo answers are bit-identical under kFast — the variant only
+//     licenses reassociation in *weighted reductions*, never in the
+//     qualification counting kernels;
+//   * EngineConfig::kernel_variant reaches the dispatch policy at Build.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "simd/qual_kernels.h"
+#include "simd/simd_policy.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+std::vector<UncertainObject> MakeMixedObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        objects.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        objects.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        objects.emplace_back(id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+void ExpectSameIdsNearProbabilities(const AnswerSet& fast,
+                                    const AnswerSet& strict,
+                                    const char* what, double tol) {
+  ASSERT_EQ(fast.size(), strict.size()) << what;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].id, strict[i].id) << what << " answer #" << i;
+    EXPECT_NEAR(fast[i].probability, strict[i].probability, tol)
+        << what << " answer #" << i << " (id " << fast[i].id << ")";
+  }
+}
+
+void ExpectBitIdentical(const AnswerSet& a, const AnswerSet& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << what << " answer #" << i;
+    EXPECT_EQ(a[i].probability, b[i].probability)
+        << what << " answer #" << i;
+  }
+}
+
+TEST(FastVariantTest, StrictIsTheDefault) {
+  // Nothing in the test binary has permanently flipped the variant, and a
+  // default EngineConfig does not either.
+  EXPECT_EQ(simd::ActiveKernelVariant(), simd::KernelVariant::kStrict);
+  EngineConfig config;
+  EXPECT_FALSE(config.kernel_variant.has_value());
+}
+
+TEST(FastVariantTest, DotKernelIsDeterministicAndAccurate) {
+  Rng rng(91);
+  std::vector<double> a(259), b(259);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(-1, 1);
+    b[i] = rng.Uniform(0, 2);
+  }
+  for (int l = 0; l <= static_cast<int>(simd::DetectedSimdLevel()); ++l) {
+    const simd::KernelSet& k =
+        simd::Kernels(static_cast<simd::SimdLevel>(l));
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                     size_t{259}}) {
+      const double once = k.dot(a.data(), b.data(), n);
+      const double twice = k.dot(a.data(), b.data(), n);
+      // Deterministic within a tier: exactly the same double both times.
+      EXPECT_EQ(once, twice) << "tier " << l << " n=" << n;
+      double seq = 0.0;
+      for (size_t i = 0; i < n; ++i) seq += a[i] * b[i];
+      EXPECT_NEAR(once, seq, 1e-10 * (1.0 + std::abs(seq)))
+          << "tier " << l << " n=" << n;
+    }
+  }
+}
+
+TEST(FastVariantTest, FastAnswersDeterministicAndNearStrict) {
+  EngineConfig config;
+  config.eval.quadrature_order = 8;
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(321, 200), MakeMixedObjects(322, 75), config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  Result<UncertainObject> issuer =
+      engine->MakeIssuer(MakeGaussian(Rect(350, 650, 350, 650)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec spec(200, 200, 0.2);
+
+  auto run_all = [&](const QueryEngine& e) {
+    std::vector<AnswerSet> r;
+    r.push_back(e.IpqBasic(*issuer, spec));
+    r.push_back(e.IuqBasic(*issuer, spec));
+    r.push_back(e.Ipq(*issuer, spec));
+    r.push_back(e.Iuq(*issuer, spec));
+    r.push_back(e.Cipq(*issuer, spec));
+    r.push_back(e.CiuqRTree(*issuer, spec));
+    r.push_back(e.CiuqPti(*issuer, spec));
+    return r;
+  };
+  static const char* const kNames[] = {"IpqBasic",  "IuqBasic", "Ipq", "Iuq",
+                                       "Cipq",      "CiuqRTree", "CiuqPti"};
+
+  const std::vector<AnswerSet> strict = run_all(*engine);
+  std::vector<AnswerSet> fast, fast_again;
+  {
+    simd::ScopedKernelVariant scoped(simd::KernelVariant::kFast);
+    fast = run_all(*engine);
+    fast_again = run_all(*engine);
+  }
+  for (size_t m = 0; m < strict.size(); ++m) {
+    ASSERT_FALSE(strict[m].empty()) << kNames[m];
+    // Fast is deterministic in-process...
+    ExpectBitIdentical(fast[m], fast_again[m], kNames[m]);
+    // ...and tolerance-pinned against strict.
+    ExpectSameIdsNearProbabilities(fast[m], strict[m], kNames[m], 1e-9);
+  }
+}
+
+TEST(FastVariantTest, MonteCarloAnswersBitIdenticalUnderFast) {
+  EngineConfig config;
+  config.eval.kernel = ProbabilityKernel::kMonteCarlo;
+  config.eval.mc_samples = 120;
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(321, 200), MakeMixedObjects(322, 75), config);
+  ASSERT_TRUE(engine.ok());
+  Result<UncertainObject> issuer =
+      engine->MakeIssuer(MakeUniform(Rect(350, 650, 350, 650)));
+  ASSERT_TRUE(issuer.ok());
+  const RangeQuerySpec spec(200, 200, 0.2);
+
+  const AnswerSet strict_ipq = engine->Ipq(*issuer, spec);
+  const AnswerSet strict_iuq = engine->Iuq(*issuer, spec);
+  simd::ScopedKernelVariant scoped(simd::KernelVariant::kFast);
+  ExpectBitIdentical(engine->Ipq(*issuer, spec), strict_ipq, "Ipq/mc");
+  ExpectBitIdentical(engine->Iuq(*issuer, spec), strict_iuq, "Iuq/mc");
+}
+
+TEST(FastVariantTest, EngineConfigPlumbsKernelVariant) {
+  const simd::KernelVariant before = simd::ActiveKernelVariant();
+  EngineConfig config;
+  config.kernel_variant = simd::KernelVariant::kFast;
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(31, 10), MakeMixedObjects(32, 6), config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(simd::ActiveKernelVariant(), simd::KernelVariant::kFast);
+  simd::SetActiveKernelVariant(before);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,187 @@
+// Differential bit-identity suite for the SIMD kernel tiers.
+//
+// Strict mode's contract is that the explicit-width kernels are invisible:
+// every query method must return bit-identical AnswerSets whether the
+// dispatch tables point at the scalar, SSE2, AVX2, or AVX-512 kernels. This
+// suite collects every evaluator's answers at the scalar tier — basic
+// IPQ/IUQ, enhanced IPQ/IUQ, C-IPQ (both filters), C-IUQ over R-tree and
+// PTI — then replays the identical queries at each wider tier the machine
+// supports and asserts exact equality: same ids, same order, same
+// probability doubles. Both the analytic (Gauss-Legendre) and Monte-Carlo
+// kernels are covered; the MC path additionally exercises the SoA sample
+// blocks and count kernels in src/core/duality.h.
+//
+// Tiers above the detected level (or above an ILQ_SIMD_LEVEL cap, as in the
+// forced-scalar CI job) install a lower table; those are skipped via
+// ScopedSimdLevel::installed().
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "simd/simd_policy.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+std::vector<UncertainObject> MakeMixedObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        objects.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        objects.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        objects.emplace_back(id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+void ExpectBitIdentical(const AnswerSet& got, const AnswerSet& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " answer #" << i;
+    // Exact double comparison — strict mode pins bit identity, not
+    // tolerance.
+    EXPECT_EQ(got[i].probability, want[i].probability)
+        << what << " answer #" << i << " (id " << got[i].id << ")";
+  }
+}
+
+// All eight query methods against one issuer/spec, in a fixed order.
+std::vector<AnswerSet> RunAllMethods(const QueryEngine& engine,
+                                     const UncertainObject& issuer,
+                                     const RangeQuerySpec& spec) {
+  std::vector<AnswerSet> answers;
+  answers.push_back(engine.IpqBasic(issuer, spec));
+  answers.push_back(engine.IuqBasic(issuer, spec));
+  answers.push_back(engine.Ipq(issuer, spec));
+  answers.push_back(engine.Iuq(issuer, spec));
+  answers.push_back(engine.Cipq(issuer, spec));
+  answers.push_back(engine.Cipq(issuer, spec, CipqFilter::kMinkowski));
+  answers.push_back(engine.CiuqRTree(issuer, spec));
+  answers.push_back(engine.CiuqPti(issuer, spec));
+  return answers;
+}
+
+const char* const kMethodNames[] = {"IpqBasic", "IuqBasic", "Ipq",
+                                    "Iuq",      "Cipq",     "Cipq/minkowski",
+                                    "CiuqRTree", "CiuqPti"};
+
+class SimdDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.eval.quadrature_order = 8;  // keep generic quadrature affordable
+    Result<QueryEngine> engine = QueryEngine::Build(
+        MakePoints(311, 250), MakeMixedObjects(312, 90), config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_.emplace(std::move(engine).ValueOrDie());
+  }
+
+  // Runs the eight methods at the scalar tier, then at every wider tier
+  // this machine supports, and asserts bit identity per method.
+  void CheckAllTiers(const QueryEngine& engine,
+                     const UncertainObject& issuer,
+                     const RangeQuerySpec& spec, const std::string& tag) {
+    std::vector<AnswerSet> want;
+    {
+      simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
+      want = RunAllMethods(engine, issuer, spec);
+    }
+    for (int l = 1; l <= static_cast<int>(simd::SimdLevel::kAvx512); ++l) {
+      const auto level = static_cast<simd::SimdLevel>(l);
+      simd::ScopedSimdLevel scoped(level);
+      if (scoped.installed() != level) continue;  // unsupported or capped
+      const std::vector<AnswerSet> got = RunAllMethods(engine, issuer, spec);
+      for (size_t m = 0; m < got.size(); ++m) {
+        ExpectBitIdentical(got[m], want[m],
+                           tag + "/" + kMethodNames[m] + "@" +
+                               simd::SimdLevelName(level));
+      }
+    }
+  }
+
+  std::optional<QueryEngine> engine_;
+};
+
+TEST_F(SimdDifferentialTest, AllEvaluatorsBitIdenticalAcrossTiersAnalytic) {
+  std::vector<std::unique_ptr<UncertaintyPdf>> issuers;
+  issuers.push_back(MakeUniform(Rect(350, 650, 350, 650)));
+  issuers.push_back(MakeGaussian(Rect(400, 700, 300, 600)));
+  issuers.push_back(MakeSkewedHistogram(Rect(300, 620, 380, 700), 3, 3, 77));
+
+  for (auto& pdf : issuers) {
+    Result<UncertainObject> issuer = engine_->MakeIssuer(std::move(pdf));
+    ASSERT_TRUE(issuer.ok());
+    const std::string who = issuer->pdf().name();
+    for (const RangeQuerySpec spec :
+         {RangeQuerySpec(120, 120, 0.0), RangeQuerySpec(250, 180, 0.3)}) {
+      CheckAllTiers(*engine_, *issuer, spec,
+                    who + " w=" + std::to_string(spec.w));
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, AllEvaluatorsBitIdenticalAcrossTiersMonteCarlo) {
+  // The MC kernels draw per-call deterministic sample streams, so answers
+  // at different tiers compare exactly — the count kernels must agree with
+  // Rect::Contains on every sampled point, including the NaN padding lanes
+  // the wide tiers read past the sealed length.
+  EngineConfig config;
+  config.eval.kernel = ProbabilityKernel::kMonteCarlo;
+  config.eval.mc_samples = 120;
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(311, 250), MakeMixedObjects(312, 90), config);
+  ASSERT_TRUE(engine.ok());
+
+  Result<UncertainObject> issuer =
+      engine->MakeIssuer(MakeGaussian(Rect(350, 650, 350, 650)));
+  ASSERT_TRUE(issuer.ok());
+  CheckAllTiers(*engine, *issuer, RangeQuerySpec(200, 200, 0.2), "mc");
+}
+
+// EngineConfig::simd_level must reach the process-global dispatch policy
+// at Build time (ILQ_SIMD_LEVEL still caps it, so assert <=, not ==).
+TEST_F(SimdDifferentialTest, EngineConfigPlumbsSimdLevel) {
+  const simd::SimdLevel before = simd::ActiveSimdLevel();
+  EngineConfig config;
+  config.simd_level = simd::SimdLevel::kScalar;
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(21, 10), MakeMixedObjects(22, 6), config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kScalar);
+  simd::SetActiveSimdLevel(before);
+}
+
+}  // namespace
+}  // namespace ilq

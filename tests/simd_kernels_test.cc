@@ -1,0 +1,389 @@
+// Unit tests for the explicit-SIMD kernel layer (src/simd/).
+//
+// Three concerns, each checked for every tier this machine supports:
+//
+//   * strict-mode bit identity: each wide kernel must produce exactly the
+//     scalar tier's doubles, including at ±0.0 ties, NaN/∞ probes, and
+//     points exactly on region boundaries;
+//   * tail handling: batch sizes 0, 1, W−1, W, W+1 for every vector width
+//     W ∈ {2, 4, 8} (the sizes that historically break remainder loops),
+//     plus non-multiple-of-8 histogram grids;
+//   * the sample-block contract: NaN-padded lanes never count as hits.
+//
+// Policy plumbing (env parsing, clamping, scoped overrides) is covered at
+// the bottom.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/circle.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "prob/disk_pdf.h"
+#include "prob/gaussian_pdf.h"
+#include "prob/histogram_pdf.h"
+#include "prob/uniform_pdf.h"
+#include "simd/qual_kernels.h"
+#include "simd/sample_block.h"
+#include "simd/simd_policy.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeSkewedHistogram;
+
+// Sizes covering 0, 1, and W−1 / W / W+1 for every vector width the tiers
+// use (2, 4, 8), plus a couple of larger non-multiple sizes.
+const size_t kTailSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1024};
+
+std::vector<simd::SimdLevel> SupportedLevels() {
+  std::vector<simd::SimdLevel> levels;
+  for (int l = 0; l <= static_cast<int>(simd::DetectedSimdLevel()); ++l) {
+    levels.push_back(static_cast<simd::SimdLevel>(l));
+  }
+  return levels;
+}
+
+// Probe points spanning inside / outside / boundary / non-finite cases for
+// a region spanning [0,500]².
+std::vector<Point> MakeProbes(size_t n, uint64_t seed) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 8) {
+      case 0:  // exactly on the region corner / edges
+        pts.emplace_back(0.0, 500.0);
+        break;
+      case 1:  // negative zero coordinates (ties against xmin = +0.0)
+        pts.emplace_back(-0.0, rng.Uniform(0, 500));
+        break;
+      case 2:  // NaN lane
+        pts.emplace_back(kNaN, rng.Uniform(0, 500));
+        break;
+      case 3:  // infinite lane
+        pts.emplace_back(kInf, -kInf);
+        break;
+      default:  // straddle the region
+        pts.emplace_back(rng.Uniform(-200, 700), rng.Uniform(-200, 700));
+        break;
+    }
+  }
+  return pts;
+}
+
+std::vector<Rect> MakeProbeRects(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 5 == 0) {
+      // Touching-edge overlap: the clamped overlap width is exactly 0.
+      rects.push_back(Rect(500.0, 700.0, 0.0, 100.0));
+    } else {
+      rects.push_back(Rect::Centered(
+          Point(rng.Uniform(-100, 600), rng.Uniform(-100, 600)),
+          rng.Uniform(1, 200), rng.Uniform(1, 200)));
+    }
+  }
+  return rects;
+}
+
+void ExpectSameDoubles(std::span<const double> got,
+                       std::span<const double> want, const char* what,
+                       simd::SimdLevel level) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — the strict-mode contract.
+    EXPECT_EQ(got[i], want[i])
+        << what << " lane " << i << " at tier "
+        << simd::SimdLevelName(level);
+  }
+}
+
+TEST(SimdKernelsTest, UniformKernelsBitIdenticalAcrossTiersAllTails) {
+  const simd::UniformRectParams params{0.0, 500.0, 0.0, 500.0,
+                                       1.0 / (500.0 * 500.0)};
+  const simd::KernelSet& scalar = simd::Kernels(simd::SimdLevel::kScalar);
+  for (size_t n : kTailSizes) {
+    const std::vector<Point> pts = MakeProbes(n, 100 + n);
+    const std::vector<Rect> rects = MakeProbeRects(n, 200 + n);
+    std::vector<double> want_d(n), want_m(n), want_c(n);
+    scalar.uniform_density(params, pts.data(), n, want_d.data());
+    scalar.uniform_mass_in(params, rects.data(), n, want_m.data());
+    scalar.uniform_mass_centered(params, pts.data(), n, 120, 90,
+                                 want_c.data());
+    for (simd::SimdLevel level : SupportedLevels()) {
+      const simd::KernelSet& k = simd::Kernels(level);
+      std::vector<double> got(n, -1.0);
+      k.uniform_density(params, pts.data(), n, got.data());
+      ExpectSameDoubles(got, want_d, "uniform_density", level);
+      k.uniform_mass_in(params, rects.data(), n, got.data());
+      ExpectSameDoubles(got, want_m, "uniform_mass_in", level);
+      k.uniform_mass_centered(params, pts.data(), n, 120, 90, got.data());
+      ExpectSameDoubles(got, want_c, "uniform_mass_centered", level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DiskKernelBitIdenticalAcrossTiersAllTails) {
+  const simd::DiskParams params{250.0, 250.0, 150.0 * 150.0,
+                                1.0 / (3.14159 * 150.0 * 150.0)};
+  const simd::KernelSet& scalar = simd::Kernels(simd::SimdLevel::kScalar);
+  for (size_t n : kTailSizes) {
+    const std::vector<Point> pts = MakeProbes(n, 300 + n);
+    std::vector<double> want(n);
+    scalar.disk_density(params, pts.data(), n, want.data());
+    for (simd::SimdLevel level : SupportedLevels()) {
+      std::vector<double> got(n, -1.0);
+      simd::Kernels(level).disk_density(params, pts.data(), n, got.data());
+      ExpectSameDoubles(got, want, "disk_density", level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, HistogramKernelBitIdenticalNonMultipleOf8Grids) {
+  // Grid sides deliberately not multiples of 8 (and a 1×1 degenerate) so
+  // the int32 index arithmetic and gather bounds are exercised off the
+  // easy power-of-two path.
+  const struct {
+    size_t nx, ny;
+  } grids[] = {{1, 1}, {3, 3}, {5, 7}, {9, 2}, {13, 11}};
+  const Rect region(0, 500, 0, 500);
+  for (const auto& grid : grids) {
+    const auto pdf = MakeSkewedHistogram(region, grid.nx, grid.ny,
+                                         1000 + grid.nx * grid.ny);
+    const simd::HistogramParams params{
+        region.xmin,
+        region.xmax,
+        region.ymin,
+        region.ymax,
+        region.Width() / static_cast<double>(grid.nx),
+        region.Height() / static_cast<double>(grid.ny),
+        (region.Width() / static_cast<double>(grid.nx)) *
+            (region.Height() / static_cast<double>(grid.ny)),
+        static_cast<int32_t>(grid.nx),
+        static_cast<int32_t>(grid.ny),
+        pdf->cell_masses().data()};
+    const simd::KernelSet& scalar = simd::Kernels(simd::SimdLevel::kScalar);
+    for (size_t n : kTailSizes) {
+      const std::vector<Point> pts = MakeProbes(n, 400 + n);
+      std::vector<double> want(n);
+      scalar.histogram_density(params, pts.data(), n, want.data());
+      // The scalar kernel must replay the pdf member exactly.
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(want[i], pdf->Density(pts[i])) << "scalar kernel lane "
+                                                 << i;
+      }
+      for (simd::SimdLevel level : SupportedLevels()) {
+        std::vector<double> got(n, -1.0);
+        simd::Kernels(level).histogram_density(params, pts.data(), n,
+                                               got.data());
+        ExpectSameDoubles(got, want, "histogram_density", level);
+      }
+    }
+  }
+}
+
+// The batch entry points of all four pdfs must equal their per-element
+// scalar members at every tier and every tail size.
+TEST(SimdKernelsTest, PdfBatchEntryPointsMatchScalarMembersAllTiers) {
+  const Rect region(0, 500, 0, 500);
+  Result<UniformRectPdf> uniform = UniformRectPdf::Make(region);
+  ASSERT_TRUE(uniform.ok());
+  Result<UniformDiskPdf> disk =
+      UniformDiskPdf::Make(Circle(Point(250, 250), 150));
+  ASSERT_TRUE(disk.ok());
+  Result<TruncatedGaussianPdf> gaussian =
+      TruncatedGaussianPdf::MakePaperDefault(region);
+  ASSERT_TRUE(gaussian.ok());
+  const auto histogram = MakeSkewedHistogram(region, 5, 7, 99);
+
+  auto check_pdf = [&](const auto& pdf, const char* name) {
+    for (size_t n : kTailSizes) {
+      const std::vector<Point> pts = MakeProbes(n, 500 + n);
+      const std::vector<Rect> rects = MakeProbeRects(n, 600 + n);
+      std::vector<double> want_d(n), want_m(n), want_c(n);
+      for (size_t i = 0; i < n; ++i) {
+        want_d[i] = pdf.Density(pts[i]);
+        want_m[i] = pdf.MassIn(rects[i]);
+        want_c[i] = pdf.MassIn(Rect::Centered(pts[i], 120, 90));
+      }
+      for (simd::SimdLevel level : SupportedLevels()) {
+        simd::ScopedSimdLevel scoped(level);
+        SCOPED_TRACE(std::string(name) + " n=" + std::to_string(n) +
+                     " tier=" + simd::SimdLevelName(level));
+        std::vector<double> got(n, -1.0);
+        pdf.DensityBatch(pts, got);
+        ExpectSameDoubles(got, want_d, "DensityBatch", level);
+        pdf.MassInBatch(rects, got);
+        ExpectSameDoubles(got, want_m, "MassInBatch", level);
+        pdf.MassInCenteredBatch(pts, 120, 90, got);
+        ExpectSameDoubles(got, want_c, "MassInCenteredBatch", level);
+      }
+    }
+  };
+  check_pdf(*uniform, "uniform");
+  check_pdf(*disk, "disk");
+  check_pdf(*gaussian, "gaussian");
+  check_pdf(*histogram, "histogram");
+}
+
+TEST(SimdKernelsTest, CountInRectMatchesScalarContainsAllTiers) {
+  const Rect rect(100, 400, 150, 350);
+  for (size_t n : kTailSizes) {
+    if (n > simd::PointSampleBlock::kCapacity) continue;
+    const std::vector<Point> pts = MakeProbes(n, 700 + n);
+    simd::PointSampleBlock block;
+    size_t want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      block.Set(i, pts[i]);
+      if (rect.Contains(pts[i])) ++want;
+    }
+    block.Seal(n);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      EXPECT_EQ(simd::Kernels(level).count_in_rect(
+                    rect.xmin, rect.xmax, rect.ymin, rect.ymax, block.x(),
+                    block.y(), n),
+                want)
+          << "n=" << n << " tier=" << simd::SimdLevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CountPairsCenteredMatchesScalarContainsAllTiers) {
+  Rng rng(41);
+  for (size_t n : kTailSizes) {
+    if (n > simd::PairSampleBlock::kCapacity) continue;
+    simd::PairSampleBlock block;
+    size_t want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Point q(rng.Uniform(0, 500), rng.Uniform(0, 500));
+      const Point o(rng.Uniform(0, 500), rng.Uniform(0, 500));
+      block.Set(i, q, o);
+      if (Rect::Centered(q, 120, 90).Contains(o)) ++want;
+    }
+    block.Seal(n);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      EXPECT_EQ(simd::Kernels(level).count_pairs_centered(
+                    block.qx(), block.qy(), block.ox(), block.oy(), n, 120,
+                    90),
+                want)
+          << "n=" << n << " tier=" << simd::SimdLevelName(level);
+    }
+  }
+}
+
+// Padding lanes must never count: fill the whole block with guaranteed
+// hits, then seal a shorter length — the count must be the sealed length,
+// not the padded one.
+TEST(SimdKernelsTest, SealedPaddingLanesNeverCount) {
+  simd::PointSampleBlock block;
+  const Rect rect(0, 500, 0, 500);
+  for (size_t n : {size_t{1}, size_t{5}, size_t{9}, size_t{17}}) {
+    // Re-fill every sealed lane each round: Seal NaN-pads the lanes past n,
+    // so the previous (shorter) seal clobbered them.
+    for (size_t i = 0; i < n; ++i) {
+      block.Set(i, Point(250, 250));  // inside every query below
+    }
+    block.Seal(n);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      EXPECT_EQ(simd::Kernels(level).count_in_rect(
+                    rect.xmin, rect.xmax, rect.ymin, rect.ymax, block.x(),
+                    block.y(), n),
+                n)
+          << "tier=" << simd::SimdLevelName(level);
+    }
+  }
+  // An empty rect (min > max) counts nothing — Rect::Contains semantics.
+  for (size_t i = 0; i < 8; ++i) block.Set(i, Point(250, 250));
+  block.Seal(8);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    EXPECT_EQ(simd::Kernels(level).count_in_rect(400, 100, 0, 500,
+                                                 block.x(), block.y(), 8),
+              0u);
+  }
+}
+
+TEST(SimdKernelsTest, PaddedCountRoundsUpToLaneGroups) {
+  EXPECT_EQ(simd::PaddedCount(0), 0u);
+  EXPECT_EQ(simd::PaddedCount(1), 8u);
+  EXPECT_EQ(simd::PaddedCount(7), 8u);
+  EXPECT_EQ(simd::PaddedCount(8), 8u);
+  EXPECT_EQ(simd::PaddedCount(9), 16u);
+  EXPECT_EQ(simd::PaddedCount(256), 256u);
+}
+
+// --- Policy plumbing --------------------------------------------------------
+
+TEST(SimdPolicyTest, ParseSimdLevelRecognizesCanonicalNames) {
+  EXPECT_EQ(simd::ParseSimdLevel("scalar"), simd::SimdLevel::kScalar);
+  EXPECT_EQ(simd::ParseSimdLevel("sse2"), simd::SimdLevel::kSse2);
+  EXPECT_EQ(simd::ParseSimdLevel("avx2"), simd::SimdLevel::kAvx2);
+  EXPECT_EQ(simd::ParseSimdLevel("avx512"), simd::SimdLevel::kAvx512);
+  EXPECT_FALSE(simd::ParseSimdLevel("AVX2").has_value());
+  EXPECT_FALSE(simd::ParseSimdLevel("").has_value());
+  EXPECT_FALSE(simd::ParseSimdLevel("avx-512").has_value());
+}
+
+TEST(SimdPolicyTest, ParseKernelVariantRecognizesCanonicalNames) {
+  EXPECT_EQ(simd::ParseKernelVariant("strict"),
+            simd::KernelVariant::kStrict);
+  EXPECT_EQ(simd::ParseKernelVariant("fast"), simd::KernelVariant::kFast);
+  EXPECT_FALSE(simd::ParseKernelVariant("FAST").has_value());
+  EXPECT_FALSE(simd::ParseKernelVariant("").has_value());
+}
+
+TEST(SimdPolicyTest, LevelNamesRoundTrip) {
+  for (simd::SimdLevel level : SupportedLevels()) {
+    EXPECT_EQ(simd::ParseSimdLevel(simd::SimdLevelName(level)), level);
+  }
+}
+
+TEST(SimdPolicyTest, SetActiveClampsToDetected) {
+  const simd::SimdLevel detected = simd::DetectedSimdLevel();
+  // Requesting the widest tier installs at most the detected one.
+  simd::ScopedSimdLevel scoped(simd::SimdLevel::kAvx512);
+  EXPECT_LE(static_cast<int>(scoped.installed()),
+            static_cast<int>(detected));
+  EXPECT_EQ(simd::ActiveSimdLevel(), scoped.installed());
+}
+
+TEST(SimdPolicyTest, ScopedOverridesRestore) {
+  const simd::SimdLevel before = simd::ActiveSimdLevel();
+  {
+    simd::ScopedSimdLevel scoped(simd::SimdLevel::kScalar);
+    EXPECT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveSimdLevel(), before);
+
+  const simd::KernelVariant variant_before = simd::ActiveKernelVariant();
+  {
+    simd::ScopedKernelVariant scoped(simd::KernelVariant::kFast);
+    EXPECT_EQ(simd::ActiveKernelVariant(), simd::KernelVariant::kFast);
+  }
+  EXPECT_EQ(simd::ActiveKernelVariant(), variant_before);
+}
+
+TEST(SimdPolicyTest, KernelsClampOutOfRangeLevels) {
+  // Kernels() must answer a callable table even for a tier above the
+  // detected one (dispatch clamps rather than reading past the table).
+  const simd::KernelSet& k = simd::Kernels(simd::SimdLevel::kAvx512);
+  ASSERT_NE(k.uniform_density, nullptr);
+  ASSERT_NE(k.dot, nullptr);
+  const double a[3] = {1.0, 2.0, 3.0};
+  const double b[3] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(k.dot(a, b, 3), 32.0);
+}
+
+}  // namespace
+}  // namespace ilq
