@@ -1,0 +1,214 @@
+// Continuous-query throughput bench: moving-issuer trajectories streamed
+// through SubscriptionManager (AsyncServer + ShardedEngine), valid-region
+// reuse ON vs OFF. The OFF leg is the naive baseline — every trajectory
+// step re-evaluates from the index — and the ON leg must beat it, which
+// the perf-smoke CI job pins structurally with check_perf_regression.py
+// --expect-faster (reuse answers most steps by replaying the session's
+// prefetched basis; answers are bit-identical either way, asserted by
+// tests/continuous_serve_test.cc).
+//
+// Scenarios (fixed names — tracked against
+// bench/baselines/BENCH_continuous.json):
+//   BM_Continuous/ipq/reuse        valid-region reuse (validations)
+//   BM_Continuous/ipq/naive        per-step re-evaluation (reuse=false)
+//   BM_Continuous/ciuq_pti/reuse   threshold method through the stack
+//   BM_Continuous/ciuq_pti/naive
+// Each records mean wall-clock time per position update.
+//
+// Flags: --shards=N --threads=N --cache=N --issuers=N --step=S --u=U (plus
+// the usual ILQ_BENCH_QUERIES / ILQ_BENCH_SCALE / ILQ_BENCH_JSON knobs).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/sharded_engine.h"
+#include "serve/subscription_manager.h"
+
+namespace ilq::bench {
+namespace {
+
+// --flag=V / "--flag V" numeric parser (same convention as BenchThreads).
+double ParseFlag(int argc, char** argv, const char* flag, double fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) != 0) continue;
+    if (argv[i][flag_len] == '=') return std::atof(argv[i] + flag_len + 1);
+    if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+ShardedEngine BuildShardedPaperEngine(double scale, size_t shards) {
+  Result<std::vector<UncertainObject>> objects =
+      MakeUniformUncertainObjects(LongBeachRects(scale));
+  ILQ_CHECK(objects.ok(), objects.status().ToString());
+  ShardedEngineConfig config;
+  config.shards = shards;
+  Result<ShardedEngine> engine = ShardedEngine::Build(
+      CaliforniaPoints(scale), std::move(objects).ValueOrDie(), config);
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).ValueOrDie();
+}
+
+struct ScenarioResult {
+  double wall_ms = 0.0;
+  size_t updates = 0;
+  size_t answers = 0;
+  ContinuousStats continuous;
+  ServeStats serve;
+};
+
+// Registers every trajectory at its first position (outside the clock),
+// then streams the remaining steps through UpdatePosition.
+ScenarioResult RunScenario(const ShardedEngine& engine, QueryMethod method,
+                           const TrajectoryWorkload& workload,
+                           size_t threads, size_t cache_capacity,
+                           bool reuse) {
+  AsyncServerOptions serve_options;
+  serve_options.threads = threads;
+  serve_options.queue_capacity = 256;
+  serve_options.cache_capacity = cache_capacity;
+  AsyncServer server(engine, serve_options);
+  SubscriptionOptions options;
+  options.reuse = reuse;
+  SubscriptionManager manager(&server, options);
+
+  const BatchSpec spec{workload.spec};
+  std::vector<SubscriptionId> ids;
+  ids.reserve(workload.steps.size());
+  for (const auto& trajectory : workload.steps) {
+    auto registered = manager.Register(method, spec, trajectory.front());
+    ILQ_CHECK(registered.ok(), registered.status().ToString());
+    ids.push_back(registered->id);
+  }
+
+  ScenarioResult result;
+  const size_t steps =
+      workload.steps.empty() ? 0 : workload.steps.front().size();
+  Stopwatch watch;
+  for (size_t t = 1; t < steps; ++t) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto answer = manager.UpdatePosition(ids[i], workload.steps[i][t]);
+      ILQ_CHECK(answer.ok(), answer.status().ToString());
+      result.answers += answer->answers.size();
+      ++result.updates;
+    }
+  }
+  result.wall_ms = watch.ElapsedMillis();
+  result.continuous = manager.continuous_stats();
+  result.serve = manager.stats();
+  return result;
+}
+
+}  // namespace
+}  // namespace ilq::bench
+
+int main(int argc, char** argv) {
+  using namespace ilq;
+  using namespace ilq::bench;
+
+  const size_t threads = BenchThreads(argc, argv, 2);
+  const auto shards =
+      static_cast<size_t>(ParseFlag(argc, argv, "--shards", 4));
+  const auto cache =
+      static_cast<size_t>(ParseFlag(argc, argv, "--cache", 512));
+  const auto issuers =
+      static_cast<size_t>(ParseFlag(argc, argv, "--issuers", 16));
+  const double step = ParseFlag(argc, argv, "--step", 30.0);
+  const double u = ParseFlag(argc, argv, "--u", 50.0);
+  const auto updates = static_cast<size_t>(ParseFlag(
+      argc, argv, "--updates",
+      static_cast<double>(BenchQueriesPerPoint(240))));
+
+  PrintHeader("Continuous", "moving issuers: valid-region reuse vs naive",
+              threads);
+  std::printf("continuous: shards=%zu cache=%zu issuers=%zu step=%.0f "
+              "u=%.0f updates=%zu\n\n",
+              shards, cache, issuers, step, u, updates);
+
+  WorkloadConfig base;  // §6.1 space and query defaults (w=500)
+  base.u = u;
+  TrajectoryConfig traj;
+  traj.issuers = issuers;
+  traj.steps = std::max<size_t>(2, updates / std::max<size_t>(issuers, 1));
+  traj.kind = TrajectoryKind::kRandomWalk;
+  traj.step = step;  // σ well inside the default horizon (2u), so the
+                     // reuse leg validates most steps
+  traj.u_min = u;
+  traj.u_max = u;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+
+  const double scale = BenchDatasetScale();
+  ShardedEngine engine = BuildShardedPaperEngine(scale, shards);
+
+  struct Scenario {
+    const char* name;
+    QueryMethod method;
+    bool reuse;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"BM_Continuous/ipq/reuse", QueryMethod::kIpq, true},
+      {"BM_Continuous/ipq/naive", QueryMethod::kIpq, false},
+      {"BM_Continuous/ciuq_pti/reuse", QueryMethod::kCiuqPti, true},
+      {"BM_Continuous/ciuq_pti/naive", QueryMethod::kCiuqPti, false},
+  };
+
+  // Each scenario runs `--reps` times under the same name; the checker's
+  // loader min-collapses duplicates (wall-clock stability on busy hosts).
+  const auto reps = static_cast<size_t>(
+      std::max(1.0, ParseFlag(argc, argv, "--reps", 3)));
+  std::vector<MicroBenchResult> results;
+  std::printf("%-32s %10s %10s %12s %12s %9s\n", "scenario", "wall_ms",
+              "ups", "validations", "reevals", "answers");
+  for (const Scenario& scenario : scenarios) {
+    ScenarioResult best;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const ScenarioResult run =
+          RunScenario(engine, scenario.method, *workload, threads, cache,
+                      scenario.reuse);
+      const double ns_per_update =
+          run.updates == 0
+              ? 0.0
+              : run.wall_ms * 1e6 / static_cast<double>(run.updates);
+      results.push_back({scenario.name, ns_per_update, ns_per_update,
+                         static_cast<double>(run.updates)});
+      if (rep == 0 || run.wall_ms < best.wall_ms) best = run;
+    }
+    const double ups =
+        best.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(best.updates) / best.wall_ms
+            : 0.0;
+    std::printf("%-32s %10.1f %10.0f %12lu %12lu %9zu\n", scenario.name,
+                best.wall_ms, ups,
+                static_cast<unsigned long>(best.continuous.validations),
+                static_cast<unsigned long>(best.continuous.reevaluations),
+                best.answers);
+  }
+
+  // Own default filename (see serve_throughput's note on
+  // MicroBenchJsonPath's fallback); ILQ_BENCH_JSON still overrides.
+  const char* json_env = std::getenv("ILQ_BENCH_JSON");
+  const std::string path =
+      json_env != nullptr ? json_env : "BENCH_continuous.json";
+  const Status status = WriteMicroBenchJson(path, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu continuous scenarios to %s\n", results.size(),
+              path.c_str());
+  std::printf("expected shape: the reuse legs answer most steps by basis "
+              "replay (validations >> reevals) and beat the naive legs; "
+              "answers are bit-identical either way.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "continuous/candidate_basis.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ilq {
+
+Result<CandidateBasis> BuildCandidateBasis(const QueryEngine& engine,
+                                           QueryMethod method,
+                                           const Rect& valid_region,
+                                           const RangeQuerySpec& spec) {
+  if (valid_region.IsEmpty()) {
+    return Status::InvalidArgument("valid region must be non-empty");
+  }
+  CandidateBasis basis;
+  basis.valid_region = valid_region;
+  basis.prefetch_box = valid_region.Expanded(spec.w, spec.h);
+
+  // Pin one snapshot for the whole prefetch so the candidate copies and
+  // the recorded epoch describe the same engine state even under
+  // concurrent ApplyUpdates.
+  const QueryEngine::SnapshotPtr snap = engine.snapshot();
+  basis.epoch = snap->epoch();
+
+  RTreeOptions options;
+  options.page_size_bytes = engine.config().page_size_bytes;
+
+  if (QueryMethodUsesPoints(method)) {
+    // Point entries are degenerate boxes (Rect::AtPoint), so the visited
+    // MBR *is* the object's location — the copy is exact by construction.
+    std::vector<RTree::Item> items;
+    snap->point_index.Query(basis.prefetch_box,
+                            [&](const Rect& box, ObjectId id) {
+                              basis.points.push_back(
+                                  PointObject{id, Point(box.xmin, box.ymin)});
+                            });
+    // Traversal order depends on tree shape; sort for a deterministic
+    // basis layout (ids unique per the engine's update contract).
+    std::sort(basis.points.begin(), basis.points.end(),
+              [](const PointObject& a, const PointObject& b) {
+                return a.id < b.id;
+              });
+    items.reserve(basis.points.size());
+    for (const PointObject& p : basis.points) {
+      items.push_back({Rect::AtPoint(p.location), p.id});
+    }
+    auto tree = RTree::BulkLoad(options, std::move(items));
+    ILQ_RETURN_NOT_OK(tree.status());
+    basis.point_index = std::move(tree).ValueOrDie();
+    return basis;
+  }
+
+  // Uncertain methods: index ids are positions into the engine's object
+  // vector. Collect the positions, copy the objects (U-catalogs ride
+  // along), and re-key the mini index by the *new* positions 0..k-1.
+  std::vector<ObjectId> positions;
+  snap->uncertain_index.Query(basis.prefetch_box,
+                              [&](const Rect&, ObjectId pos) {
+                                positions.push_back(pos);
+                              });
+  std::sort(positions.begin(), positions.end());
+  const std::vector<UncertainObject>& all = snap->catalog->uncertains;
+  basis.uncertains.reserve(positions.size());
+  std::vector<RTree::Item> items;
+  items.reserve(positions.size());
+  for (ObjectId pos : positions) {
+    if (static_cast<size_t>(pos) >= all.size()) {
+      return Status::Internal("uncertain index id out of catalog range");
+    }
+    const ObjectId mini_pos = static_cast<ObjectId>(basis.uncertains.size());
+    basis.uncertains.push_back(all[static_cast<size_t>(pos)]);
+    items.push_back({basis.uncertains.back().region(), mini_pos});
+  }
+  auto tree = RTree::BulkLoad(options, std::move(items));
+  ILQ_RETURN_NOT_OK(tree.status());
+  basis.uncertain_index = std::move(tree).ValueOrDie();
+
+  if (method == QueryMethod::kCiuqPti && !basis.uncertains.empty()) {
+    auto pti = PTI::Build(
+        PTIOptions(engine.config().page_size_bytes,
+                   engine.config().catalog_values.size()),
+        basis.uncertains);
+    ILQ_RETURN_NOT_OK(pti.status());
+    basis.pti = std::move(pti).ValueOrDie();
+  }
+  return basis;
+}
+
+}  // namespace ilq

@@ -1,0 +1,94 @@
+// CandidateBasis — the prefetched, self-contained evaluation state of one
+// continuous-query session (ROADMAP "moving issuers" item).
+//
+// A continuous query is registered once and then re-evaluated at every
+// position update of its (imprecise) issuer. Re-running the full engine
+// per step wastes work: while the issuer region stays inside a *valid
+// region* V, the set of objects any of the eight query methods can touch
+// is bounded by Lemma 1 — nothing outside the Minkowski expansion
+// V ⊕ R(w, h) can qualify from any placement U0' ⊆ V. The basis therefore
+// prefetches exactly that candidate set *once* (object copies, with their
+// U-catalogs) and bulk-loads miniature indexes over it with the engine's
+// own page geometry. Every later update inside V replays the ordinary
+// evaluators against the mini indexes (continuous/replay.h) and gets an
+// answer bit-identical to a one-shot query on the full engine, because
+//   - a candidate's probability is a pure function of (issuer, object,
+//     spec, options) — Monte-Carlo streams are seeded per candidate from
+//     MixSeeds(mc_seed, object id), so probabilities cannot depend on
+//     traversal order or index shape;
+//   - the evaluators' geometric filters are exact leaf-level tests, so a
+//     smaller tree over a superset of the reachable candidates admits the
+//     same survivor set;
+//   - C-IUQ/PTI pruning is object-dominated (the per-object prune test is
+//     at least as strong as any subtree test), so the mini PTI admits the
+//     same survivors as the monolithic one — the invariant the sharded
+//     tier already relies on.
+//
+// The basis holds *copies*, so it does not pin engine snapshots; staleness
+// is detected by comparing the recorded epoch against the engine's.
+
+#ifndef ILQ_CONTINUOUS_CANDIDATE_BASIS_H_
+#define ILQ_CONTINUOUS_CANDIDATE_BASIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "geometry/rect.h"
+#include "index/pti.h"
+#include "index/rtree.h"
+#include "object/point_object.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// \brief Prefetched candidates + mini indexes covering one valid region.
+///
+/// Exactly one object family is populated, matching the registered
+/// method's dataset (QueryMethodUsesPoints): points + point_index for the
+/// IPQ family, uncertains + uncertain_index (+ pti when the method needs
+/// it) for the IUQ family. Uncertain mini-index ids are *positions into
+/// `uncertains`*, mirroring the engine's own id convention, so the
+/// evaluators run unchanged.
+struct CandidateBasis {
+  /// Issuer placements this basis covers: replay is exact for every
+  /// issuer whose uncertainty region is contained in it.
+  Rect valid_region = Rect::Empty();
+
+  /// The prefetch range valid_region ⊕ R(w, h) — every object whose box
+  /// intersects it is in the basis (Lemma 1 bound over all of V).
+  Rect prefetch_box = Rect::Empty();
+
+  /// Engine epoch the candidates were copied from. Any engine update
+  /// invalidates the basis (epoch mismatch), conservatively — the update
+  /// may not have touched the prefetch box, but epochs are cheap and
+  /// races are not.
+  uint64_t epoch = 0;
+
+  std::vector<PointObject> points;
+  std::optional<RTree> point_index;
+
+  std::vector<UncertainObject> uncertains;  ///< copies incl. U-catalogs
+  std::optional<RTree> uncertain_index;     ///< ids = positions
+  std::optional<PTI> pti;  ///< built only for kCiuqPti, non-empty sets
+
+  size_t candidate_count() const { return points.size() + uncertains.size(); }
+};
+
+/// Builds the basis for \p method over \p valid_region: prefetches every
+/// object of the method's dataset intersecting valid_region ⊕ R(spec.w,
+/// spec.h) from the engine's current snapshot and bulk-loads mini indexes
+/// with the engine's page geometry. The PTI is built only when \p method
+/// is kCiuqPti and candidates exist (empty sets replay to empty answers
+/// without one, exactly like the engine).
+Result<CandidateBasis> BuildCandidateBasis(const QueryEngine& engine,
+                                           QueryMethod method,
+                                           const Rect& valid_region,
+                                           const RangeQuerySpec& spec);
+
+}  // namespace ilq
+
+#endif  // ILQ_CONTINUOUS_CANDIDATE_BASIS_H_

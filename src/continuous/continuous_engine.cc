@@ -1,0 +1,176 @@
+#include "continuous/continuous_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ilq {
+
+ContinuousEngine::ContinuousEngine(const QueryEngine* engine,
+                                   ContinuousOptions options)
+    : engine_(engine), options_(options) {}
+
+double ContinuousEngine::ResolveHorizon(const Rect& region,
+                                        const BatchSpec* spec) const {
+  if (options_.horizon > 0.0) return options_.horizon;
+  double h = std::max(region.Width(), region.Height());
+  if (h <= 0.0 && spec != nullptr) {
+    h = std::max(spec->query.w, spec->query.h);
+  }
+  return h > 0.0 ? h : 1.0;
+}
+
+Status ContinuousEngine::Reevaluate(Session* session,
+                                    const UncertainObject& issuer,
+                                    ContinuousAnswer* out) {
+  const Rect valid =
+      issuer.region().Expanded(session->horizon, session->horizon);
+  if (session->inn) {
+    Result<InnBasis> basis = BuildInnBasis(*engine_, valid);
+    ILQ_RETURN_NOT_OK(basis.status());
+    session->inn_basis = std::move(basis).ValueOrDie();
+    out->answers = ReplayInn(session->inn_basis, issuer,
+                             session->inn_options);
+    CanonicalizeAnswers(&out->answers);
+    out->support_margin =
+        InnSupportMargin(session->inn_basis, issuer.region(), out->answers);
+    out->valid_region = session->inn_basis.valid_region;
+    out->epoch = session->inn_basis.epoch;
+  } else {
+    Result<CandidateBasis> basis =
+        BuildCandidateBasis(*engine_, session->method, valid,
+                            session->spec.query);
+    ILQ_RETURN_NOT_OK(basis.status());
+    session->basis = std::move(basis).ValueOrDie();
+    out->answers = ReplayQueryMethod(session->basis, engine_->config(),
+                                     session->method, issuer, session->spec);
+    out->valid_region = session->basis.valid_region;
+    out->epoch = session->basis.epoch;
+  }
+  out->revalidated = false;
+  reevaluations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ContinuousEngine::Answer(Session* session,
+                                const UncertainObject& issuer,
+                                ContinuousAnswer* out) {
+  if (issuer.region().IsEmpty()) {
+    return Status::InvalidArgument("issuer region must be non-empty");
+  }
+  const Rect& valid = session->inn ? session->inn_basis.valid_region
+                                   : session->basis.valid_region;
+  const uint64_t basis_epoch =
+      session->inn ? session->inn_basis.epoch : session->basis.epoch;
+  const bool covered = options_.reuse && valid.ContainsRect(issuer.region()) &&
+                       basis_epoch == engine_->epoch();
+  if (!covered) return Reevaluate(session, issuer, out);
+
+  if (session->inn) {
+    out->answers = ReplayInn(session->inn_basis, issuer,
+                             session->inn_options);
+    CanonicalizeAnswers(&out->answers);
+    out->support_margin =
+        InnSupportMargin(session->inn_basis, issuer.region(), out->answers);
+  } else {
+    out->answers = ReplayQueryMethod(session->basis, engine_->config(),
+                                     session->method, issuer, session->spec);
+  }
+  out->valid_region = valid;
+  out->epoch = basis_epoch;
+  out->revalidated = true;
+  validations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<ContinuousEngine::Registered> ContinuousEngine::Register(
+    QueryMethod method, const BatchSpec& spec,
+    const UncertainObject& issuer) {
+  if (issuer.region().IsEmpty()) {
+    return Status::InvalidArgument("issuer region must be non-empty");
+  }
+  auto session = std::make_shared<Session>();
+  session->inn = false;
+  session->method = method;
+  session->spec = spec;
+  session->horizon = ResolveHorizon(issuer.region(), &spec);
+
+  Registered registered;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    ILQ_RETURN_NOT_OK(Reevaluate(session.get(), issuer, &registered.answer));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registered.id = next_id_++;
+    sessions_.emplace(registered.id, std::move(session));
+  }
+  registrations_.fetch_add(1, std::memory_order_relaxed);
+  return registered;
+}
+
+Result<ContinuousEngine::Registered> ContinuousEngine::RegisterInn(
+    const InnOptions& options, const UncertainObject& issuer) {
+  if (issuer.region().IsEmpty()) {
+    return Status::InvalidArgument("issuer region must be non-empty");
+  }
+  auto session = std::make_shared<Session>();
+  session->inn = true;
+  session->inn_options = options;
+  session->horizon = ResolveHorizon(issuer.region(), nullptr);
+
+  Registered registered;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    ILQ_RETURN_NOT_OK(Reevaluate(session.get(), issuer, &registered.answer));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registered.id = next_id_++;
+    sessions_.emplace(registered.id, std::move(session));
+  }
+  registrations_.fetch_add(1, std::memory_order_relaxed);
+  return registered;
+}
+
+ContinuousEngine::SessionPtr ContinuousEngine::FindSession(
+    SubscriptionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<ContinuousAnswer> ContinuousEngine::UpdatePosition(
+    SubscriptionId id, const UncertainObject& issuer) {
+  const SessionPtr session = FindSession(id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown subscription id");
+  }
+  ContinuousAnswer answer;
+  std::lock_guard<std::mutex> lock(session->mu);
+  ILQ_RETURN_NOT_OK(Answer(session.get(), issuer, &answer));
+  return answer;
+}
+
+Status ContinuousEngine::Unregister(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("unknown subscription id");
+  }
+  unregistrations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ContinuousStats ContinuousEngine::stats() const {
+  ContinuousStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.active = sessions_.size();
+  }
+  stats.registrations = registrations_.load(std::memory_order_relaxed);
+  stats.validations = validations_.load(std::memory_order_relaxed);
+  stats.reevaluations = reevaluations_.load(std::memory_order_relaxed);
+  stats.unregistrations = unregistrations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ilq

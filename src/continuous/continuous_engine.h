@@ -1,0 +1,174 @@
+// ContinuousEngine — moving issuers over a QueryEngine (ROADMAP "moving
+// issuers & continuous queries").
+//
+// An issuer registers a query once (method + spec, or an INN session) and
+// then streams position updates. Every answer comes back with a *valid
+// region*: a region of issuer-region placements over which the session's
+// prefetched CandidateBasis provably covers evaluation, so any update whose
+// imprecise region stays inside it is answered by index-free replay over
+// the basis — bit-identical to a one-shot query on the engine (see
+// candidate_basis.h / inn_session.h for the per-family arguments) without
+// touching the engine's indexes. Leaving the valid region, or any engine
+// epoch change, invalidates the basis and triggers one re-evaluation
+// (prefetch + replay) that also re-centres the valid region on the new
+// position. The validations / re-evaluations split is exposed in
+// ContinuousStats; the serving layer (serve/subscription_manager.h)
+// multiplexes thousands of these sessions and folds the same counters into
+// ServeStats.
+
+#ifndef ILQ_CONTINUOUS_CONTINUOUS_ENGINE_H_
+#define ILQ_CONTINUOUS_CONTINUOUS_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "continuous/candidate_basis.h"
+#include "continuous/inn_session.h"
+#include "continuous/replay.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "core/inn.h"
+#include "geometry/rect.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Session identifier handed out by Register*; stable until Unregister.
+using SubscriptionId = uint64_t;
+
+/// \brief Knobs shared by every session of one ContinuousEngine.
+struct ContinuousOptions {
+  /// Half-extent added on every side of the issuer's region to form the
+  /// valid region V = U0.Expanded(horizon, horizon). Larger horizons make
+  /// re-evaluation rarer but prefetch more candidates per basis. <= 0
+  /// picks max(width, height) of the issuer region at (re)registration
+  /// (falling back to max(spec.w, spec.h), then 1).
+  double horizon = 0.0;
+
+  /// When false, every UpdatePosition re-evaluates (basis rebuild) even
+  /// inside the valid region — the naive streaming baseline the
+  /// continuous_throughput bench sweeps against.
+  bool reuse = true;
+};
+
+/// \brief One continuous answer: the AnswerSet plus its coverage proof.
+struct ContinuousAnswer {
+  AnswerSet answers;  ///< canonicalized (CanonicalizeAnswers)
+
+  /// Issuer-region placements covered by the session's current basis:
+  /// any subsequent update with issuer.region() ⊆ valid_region (and an
+  /// unchanged engine epoch) is answered without touching the engine.
+  Rect valid_region = Rect::Empty();
+
+  /// True when this answer was replayed from the existing basis
+  /// (validation); false when the basis was (re)built (re-evaluation).
+  bool revalidated = false;
+
+  /// Engine epoch the answering basis was prefetched from.
+  uint64_t epoch = 0;
+
+  /// INN sessions only: advisory distance the issuer region can translate
+  /// before the dominant nearest neighbour can change (see
+  /// InnSupportMargin). 0 for range/threshold sessions.
+  double support_margin = 0.0;
+};
+
+/// Monotone counters over all sessions of one ContinuousEngine.
+struct ContinuousStats {
+  uint64_t active = 0;           ///< currently registered sessions
+  uint64_t registrations = 0;    ///< Register / RegisterInn calls
+  uint64_t validations = 0;      ///< updates answered inside the valid region
+  uint64_t reevaluations = 0;    ///< basis (re)builds, registrations included
+  uint64_t unregistrations = 0;  ///< successful Unregister calls
+};
+
+/// \brief Register/UpdatePosition/Unregister over a QueryEngine.
+///
+/// Thread safety: all member functions are safe to call concurrently, and
+/// concurrently with engine updates. Each session is answered under its own
+/// lock against exactly one basis epoch (the epoch is returned with the
+/// answer), so concurrent ApplyUpdates never produce torn answers —
+/// an update between basis build and replay simply means the answer is
+/// coherent with the (slightly) older epoch, exactly like a one-shot query
+/// that loaded its snapshot before the update published.
+class ContinuousEngine {
+ public:
+  /// \p engine must outlive this object.
+  explicit ContinuousEngine(const QueryEngine* engine,
+                            ContinuousOptions options = ContinuousOptions{});
+
+  struct Registered {
+    SubscriptionId id = 0;
+    ContinuousAnswer answer;
+  };
+
+  /// Registers one range/threshold session (any of the eight QueryMethods)
+  /// and evaluates it at the issuer's initial position.
+  Result<Registered> Register(QueryMethod method, const BatchSpec& spec,
+                              const UncertainObject& issuer);
+
+  /// Registers one INN session (§7 nearest-neighbour path) and evaluates
+  /// it at the issuer's initial position.
+  Result<Registered> RegisterInn(const InnOptions& options,
+                                 const UncertainObject& issuer);
+
+  /// Answers the session at the issuer's new (imprecise) position:
+  /// replayed from the current basis when issuer.region() is inside the
+  /// valid region and the engine epoch is unchanged, re-evaluated (basis
+  /// rebuild re-centred on the new position) otherwise.
+  Result<ContinuousAnswer> UpdatePosition(SubscriptionId id,
+                                          const UncertainObject& issuer);
+
+  /// Drops the session. kNotFound for unknown ids.
+  Status Unregister(SubscriptionId id);
+
+  ContinuousStats stats() const;
+
+  const QueryEngine& engine() const { return *engine_; }
+  const ContinuousOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    std::mutex mu;
+    bool inn = false;
+    QueryMethod method = QueryMethod::kIpq;
+    BatchSpec spec;
+    InnOptions inn_options;
+    double horizon = 0.0;
+    CandidateBasis basis;  // range/threshold sessions
+    InnBasis inn_basis;    // INN sessions
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  // (Re)builds the session's basis around \p issuer and answers; assumes
+  // session->mu is held.
+  Status Reevaluate(Session* session, const UncertainObject& issuer,
+                    ContinuousAnswer* out);
+  // Answers \p session for \p issuer, replaying when covered; assumes
+  // session->mu is held.
+  Status Answer(Session* session, const UncertainObject& issuer,
+                ContinuousAnswer* out);
+
+  SessionPtr FindSession(SubscriptionId id) const;
+  double ResolveHorizon(const Rect& region, const BatchSpec* spec) const;
+
+  const QueryEngine* engine_;
+  ContinuousOptions options_;
+
+  mutable std::mutex mu_;  // guards sessions_ and next_id_
+  SubscriptionId next_id_ = 1;
+  std::unordered_map<SubscriptionId, SessionPtr> sessions_;
+
+  std::atomic<uint64_t> registrations_{0};
+  std::atomic<uint64_t> validations_{0};
+  std::atomic<uint64_t> reevaluations_{0};
+  std::atomic<uint64_t> unregistrations_{0};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_CONTINUOUS_CONTINUOUS_ENGINE_H_

@@ -1,0 +1,118 @@
+#include "continuous/inn_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ilq {
+
+Result<InnBasis> BuildInnBasis(const QueryEngine& engine,
+                               const Rect& valid_region) {
+  if (valid_region.IsEmpty()) {
+    return Status::InvalidArgument("valid region must be non-empty");
+  }
+  InnBasis basis;
+  basis.valid_region = valid_region;
+
+  const QueryEngine::SnapshotPtr snap = engine.snapshot();
+  basis.epoch = snap->epoch();
+
+  RTreeOptions options;
+  options.page_size_bytes = engine.config().page_size_bytes;
+
+  if (snap->point_index.size() > 0) {
+    // Anchors: the 2-NN of the region centre. With a single object in the
+    // dataset the second anchor degenerates to the first, which still
+    // yields a sound (just looser) radius.
+    const std::vector<RTree::Neighbor> anchors =
+        snap->point_index.Nearest(valid_region.Center(), 2);
+    ILQ_CHECK(!anchors.empty(), "non-empty index returned no neighbour");
+    const Rect& v = valid_region;
+    const Point corners[4] = {Point(v.xmin, v.ymin), Point(v.xmax, v.ymin),
+                              Point(v.xmax, v.ymax), Point(v.xmin, v.ymax)};
+    for (const RTree::Neighbor& anchor : anchors) {
+      const Point a = anchor.box.Center();
+      for (const Point& corner : corners) {
+        basis.radius = std::max(basis.radius, corner.DistanceTo(a));
+      }
+    }
+    snap->point_index.Query(
+        valid_region.Expanded(basis.radius, basis.radius),
+        [&](const Rect& box, ObjectId id) {
+          const Point s = box.Center();
+          if (valid_region.MinDistanceTo(s) <= basis.radius) {
+            basis.candidates.push_back(PointObject{id, s});
+          }
+        });
+    std::sort(basis.candidates.begin(), basis.candidates.end(),
+              [](const PointObject& a, const PointObject& b) {
+                return a.id < b.id;
+              });
+  }
+
+  std::vector<RTree::Item> items;
+  items.reserve(basis.candidates.size());
+  for (const PointObject& p : basis.candidates) {
+    items.push_back({Rect::AtPoint(p.location), p.id});
+  }
+  auto tree = RTree::BulkLoad(options, std::move(items));
+  ILQ_RETURN_NOT_OK(tree.status());
+  basis.index = std::move(tree).ValueOrDie();
+  return basis;
+}
+
+AnswerSet ReplayInn(const InnBasis& basis, const UncertainObject& issuer,
+                    const InnOptions& options, IndexStats* stats) {
+  ILQ_CHECK(basis.valid_region.ContainsRect(issuer.region()),
+            "INN replay outside the basis valid region");
+  ILQ_CHECK(basis.index.has_value(), "INN basis has no index");
+  return EvaluateINN(*basis.index, issuer, options, stats);
+}
+
+double InnSupportMargin(const InnBasis& basis, const Rect& issuer_region,
+                        const AnswerSet& answers) {
+  if (answers.empty()) return 0.0;
+  if (basis.candidates.size() < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Winner = highest probability, smaller id on ties (EvaluateINN answers
+  // are id-sorted, so the first strict maximum is that).
+  const ProbabilisticAnswer* winner = &answers.front();
+  for (const ProbabilisticAnswer& a : answers) {
+    if (a.probability > winner->probability) winner = &a;
+  }
+  const auto it = std::lower_bound(
+      basis.candidates.begin(), basis.candidates.end(), winner->id,
+      [](const PointObject& p, ObjectId id) { return p.id < id; });
+  ILQ_CHECK(it != basis.candidates.end() && it->id == winner->id,
+            "winner missing from the basis candidate set");
+  const Point w = it->location;
+
+  const Point c = issuer_region.Center();
+  const double hw = issuer_region.Width() * 0.5;
+  const double hh = issuer_region.Height() * 0.5;
+  double margin = std::numeric_limits<double>::infinity();
+  for (const PointObject& rival : basis.candidates) {
+    if (rival.id == winner->id) continue;
+    // Perpendicular bisector of (w, rival): n·x = c0 with
+    // n = rival − w, c0 = (|rival|² − |w|²) / 2.
+    const double nx = rival.location.x - w.x;
+    const double ny = rival.location.y - w.y;
+    const double norm = std::sqrt(nx * nx + ny * ny);
+    if (norm == 0.0) return 0.0;  // co-located rival: no stable margin
+    const double c0 = 0.5 * (rival.location.x * rival.location.x +
+                             rival.location.y * rival.location.y -
+                             (w.x * w.x + w.y * w.y));
+    // Distance from the issuer rectangle to the line: centre distance
+    // minus the rectangle's support radius along the line normal.
+    const double center_dist = std::abs(nx * c.x + ny * c.y - c0) / norm;
+    const double support = (std::abs(nx) * hw + std::abs(ny) * hh) / norm;
+    margin = std::min(margin, std::max(0.0, center_dist - support));
+  }
+  return margin;
+}
+
+}  // namespace ilq

@@ -1,0 +1,78 @@
+// Continuous imprecise-nearest-neighbour sessions (the probabilistic-
+// Voronoi-style path of the moving-issuers ROADMAP item).
+//
+// Coverage bound: pick the two objects nearest to the valid region's
+// centre as anchors a1, a2 and let
+//   R = max over the four corners c of V of max(dist(c, a1), dist(c, a2)).
+// For any issuer position p ∈ V, dist(p, ai) ≤ R (distance to a fixed
+// point is a convex function of p, maximized at a corner), so p's two
+// nearest objects both lie within R of p — and every object within R of
+// any p ∈ V satisfies MinDistanceTo(V) ≤ R. The basis therefore keeps
+// exactly the objects with V.MinDistanceTo(s) ≤ R; EvaluateINN's
+// per-sample 2-NN probe sees the same top-2 (hence the same winner) on the
+// mini index as on the full one, and the whole Monte-Carlo tally replays
+// bit-identically. The one caveat: a ≥3-way *exact* distance tie can
+// surface a different tied pair from a differently-shaped tree — a
+// measure-zero event for continuous pdfs, same boundary semantics the
+// paper accepts for Qp-equality.
+//
+// The valid region doubles as a probabilistic-Voronoi cell proxy: the
+// advisory support margin samples perpendicular bisectors between the
+// current winner and every rival candidate and reports how far the issuer
+// region can translate before it first touches one — i.e. before the
+// dominant NN can change.
+
+#ifndef ILQ_CONTINUOUS_INN_SESSION_H_
+#define ILQ_CONTINUOUS_INN_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/inn.h"
+#include "geometry/rect.h"
+#include "index/rtree.h"
+#include "object/point_object.h"
+
+namespace ilq {
+
+/// Prefetched nearest-neighbour candidates covering one valid region.
+struct InnBasis {
+  Rect valid_region = Rect::Empty();
+  uint64_t epoch = 0;
+
+  /// The coverage radius R above (0 when the point set is empty).
+  double radius = 0.0;
+
+  /// Candidates with V.MinDistanceTo(location) ≤ radius, sorted by id;
+  /// kept alongside the index for bisector-margin evaluation.
+  std::vector<PointObject> candidates;
+  std::optional<RTree> index;
+};
+
+/// Builds the basis over \p valid_region from the engine's current
+/// snapshot (mini index bulk-loaded with the engine's page geometry).
+Result<InnBasis> BuildInnBasis(const QueryEngine& engine,
+                               const Rect& valid_region);
+
+/// Monte-Carlo INN replayed on the mini index — bit-identical to
+/// EvaluateINN on the engine's point index for any issuer whose region is
+/// contained in basis.valid_region (modulo the ≥3-way exact-tie caveat in
+/// the file comment).
+AnswerSet ReplayInn(const InnBasis& basis, const UncertainObject& issuer,
+                    const InnOptions& options, IndexStats* stats = nullptr);
+
+/// Advisory stability margin: the smallest distance from \p issuer_region
+/// to the perpendicular bisector between the winner (highest-probability
+/// answer, ties to smaller id) and any other basis candidate. While the
+/// issuer region moves less than this, the winning object cannot change.
+/// Returns +inf when fewer than two candidates exist, 0 when a bisector
+/// already crosses the region or \p answers is empty.
+double InnSupportMargin(const InnBasis& basis, const Rect& issuer_region,
+                        const AnswerSet& answers);
+
+}  // namespace ilq
+
+#endif  // ILQ_CONTINUOUS_INN_SESSION_H_

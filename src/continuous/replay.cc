@@ -1,0 +1,74 @@
+#include "continuous/replay.h"
+
+#include "common/logging.h"
+#include "core/basic_eval.h"
+#include "core/cipq.h"
+#include "core/ciuq.h"
+#include "core/ipq.h"
+#include "core/iuq.h"
+
+namespace ilq {
+
+AnswerSet ReplayQueryMethod(const CandidateBasis& basis,
+                            const EngineConfig& config, QueryMethod method,
+                            const UncertainObject& issuer,
+                            const BatchSpec& spec, IndexStats* stats) {
+  ILQ_CHECK(basis.valid_region.ContainsRect(issuer.region()),
+            "replay outside the basis valid region");
+  AnswerSet answers;
+  if (QueryMethodUsesPoints(method)) {
+    ILQ_CHECK(basis.point_index.has_value(),
+              "point-family replay needs a point basis");
+    const RTree& index = *basis.point_index;
+    switch (method) {
+      case QueryMethod::kIpq:
+        answers = EvaluateIPQ(index, issuer, spec.query, config.eval, stats);
+        break;
+      case QueryMethod::kIpqBasic:
+        answers = EvaluateIPQBasic(index, basis.points, issuer, spec.query,
+                                   config.basic, stats);
+        break;
+      case QueryMethod::kCipqPExpanded:
+        answers = EvaluateCIPQ(index, issuer, spec.query,
+                               CipqFilter::kPExpanded, config.eval, stats);
+        break;
+      case QueryMethod::kCipqMinkowski:
+        answers = EvaluateCIPQ(index, issuer, spec.query,
+                               CipqFilter::kMinkowski, config.eval, stats);
+        break;
+      default:
+        ILQ_CHECK(false, "point-family dispatch out of sync");
+    }
+  } else {
+    ILQ_CHECK(basis.uncertain_index.has_value(),
+              "uncertain-family replay needs an uncertain basis");
+    const RTree& index = *basis.uncertain_index;
+    switch (method) {
+      case QueryMethod::kIuq:
+        answers = EvaluateIUQ(index, basis.uncertains, issuer, spec.query,
+                              config.eval, stats);
+        break;
+      case QueryMethod::kIuqBasic:
+        answers = EvaluateIUQBasic(index, basis.uncertains, issuer,
+                                   spec.query, config.basic, stats);
+        break;
+      case QueryMethod::kCiuqRTree:
+        answers = EvaluateCIUQRTree(index, basis.uncertains, issuer,
+                                    spec.query, config.eval, stats);
+        break;
+      case QueryMethod::kCiuqPti:
+        // Mirrors QueryEngine::CiuqPti: no PTI (empty uncertain set) means
+        // an empty answer.
+        if (!basis.pti.has_value()) return {};
+        answers = EvaluateCIUQPTI(*basis.pti, basis.uncertains, issuer,
+                                  spec.query, config.eval, spec.prune, stats);
+        break;
+      default:
+        ILQ_CHECK(false, "uncertain-family dispatch out of sync");
+    }
+  }
+  CanonicalizeAnswers(&answers);
+  return answers;
+}
+
+}  // namespace ilq

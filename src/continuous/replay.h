@@ -1,0 +1,36 @@
+// Index-free re-evaluation of one continuous query against its prefetched
+// CandidateBasis. ReplayQueryMethod mirrors core/batch.h's RunQueryMethod
+// dispatch exactly, but runs the evaluator free functions over the basis's
+// mini indexes instead of the engine's — see candidate_basis.h for why the
+// answers are bit-identical to a one-shot query whenever the issuer region
+// is contained in the basis's valid region and the epoch still matches.
+
+#ifndef ILQ_CONTINUOUS_REPLAY_H_
+#define ILQ_CONTINUOUS_REPLAY_H_
+
+#include "continuous/candidate_basis.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "index/index_stats.h"
+#include "object/uncertain_object.h"
+
+namespace ilq {
+
+/// Re-evaluates \p method for \p issuer against \p basis, using the same
+/// EvalOptions/BasicEvalOptions the engine would (\p config is the owning
+/// engine's config). Answers come back canonicalized (CanonicalizeAnswers)
+/// so callers compare them against equally canonicalized one-shot answers.
+///
+/// Preconditions (checked): the basis covers the method's dataset family
+/// (QueryMethodUsesPoints) and basis.valid_region contains issuer.region().
+/// Staleness (basis.epoch vs the live engine) is the *caller's* contract —
+/// replay itself is a pure function of (basis, issuer, spec).
+AnswerSet ReplayQueryMethod(const CandidateBasis& basis,
+                            const EngineConfig& config, QueryMethod method,
+                            const UncertainObject& issuer,
+                            const BatchSpec& spec,
+                            IndexStats* stats = nullptr);
+
+}  // namespace ilq
+
+#endif  // ILQ_CONTINUOUS_REPLAY_H_

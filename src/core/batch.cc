@@ -69,6 +69,32 @@ AnswerSet RunQueryMethod(const QueryEngine& engine, QueryMethod method,
   return {};
 }
 
+void CanonicalizeAnswers(AnswerSet* answers) {
+  std::sort(answers->begin(), answers->end(),
+            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.probability < b.probability;
+            });
+  answers->erase(std::unique(answers->begin(), answers->end()),
+                 answers->end());
+}
+
+bool QueryMethodUsesPoints(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kIpq:
+    case QueryMethod::kIpqBasic:
+    case QueryMethod::kCipqPExpanded:
+    case QueryMethod::kCipqMinkowski:
+      return true;
+    case QueryMethod::kIuq:
+    case QueryMethod::kIuqBasic:
+    case QueryMethod::kCiuqRTree:
+    case QueryMethod::kCiuqPti:
+      return false;
+  }
+  return false;
+}
+
 BatchResult QueryEngine::RunBatch(QueryMethod method,
                                   const std::vector<UncertainObject>& issuers,
                                   const BatchSpec& spec,

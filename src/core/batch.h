@@ -96,6 +96,18 @@ AnswerSet RunQueryMethod(const QueryEngine& engine, QueryMethod method,
                          const UncertainObject& issuer, const BatchSpec& spec,
                          IndexStats* stats = nullptr);
 
+/// Canonical answer order of every merged/replayed path: sorted by id
+/// (probability bits break never-expected duplicate ids totally), exact
+/// duplicates removed. ShardedEngine::Run, the remote Router (net/) and the
+/// continuous-query replay path (continuous/) all finish with exactly this
+/// call, which is what makes their answers bit-comparable.
+void CanonicalizeAnswers(AnswerSet* answers);
+
+/// True when \p method queries the point dataset (IPQ family); the IUQ /
+/// C-IUQ family queries the uncertain dataset. Routing and candidate
+/// prefetch pick the matching dataset/bounds.
+bool QueryMethodUsesPoints(QueryMethod method);
+
 }  // namespace ilq
 
 #endif  // ILQ_CORE_BATCH_H_

@@ -303,4 +303,98 @@ Result<ChurnWorkload> GenerateChurnWorkload(const WorkloadConfig& base,
   return workload;
 }
 
+Result<TrajectoryWorkload> GenerateTrajectoryWorkload(
+    const WorkloadConfig& base, const TrajectoryConfig& traj) {
+  if (base.space.IsEmpty()) {
+    return Status::InvalidArgument("workload space must be non-empty");
+  }
+  if (base.w <= 0.0) {
+    return Status::InvalidArgument("w must be > 0");
+  }
+  if (base.qp < 0.0 || base.qp > 1.0) {
+    return Status::InvalidArgument("qp must be in [0, 1]");
+  }
+  if (traj.issuers == 0 || traj.steps == 0) {
+    return Status::InvalidArgument(
+        "trajectory workload needs issuers > 0 and steps > 0");
+  }
+  if (traj.step < 0.0) {
+    return Status::InvalidArgument("step must be >= 0");
+  }
+  if (traj.u_min < 0.0 || traj.u_max < traj.u_min) {
+    return Status::InvalidArgument("need 0 <= u_min <= u_max");
+  }
+  if (traj.kind == TrajectoryKind::kWaypoint && traj.hotspots == 0) {
+    return Status::InvalidArgument("waypoint motion needs hotspots > 0");
+  }
+  if (traj.zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf_s must be >= 0");
+  }
+
+  std::vector<double> ladder = base.catalog_values;
+  if (ladder.empty()) ladder = UCatalog::EvenlySpacedValues(11);
+
+  // Waypoint pool from the base seed (not per-issuer): all commuters share
+  // the same hot places, which is what concentrates their traffic.
+  std::vector<Point> waypoints;
+  std::vector<double> cdf;
+  if (traj.kind == TrajectoryKind::kWaypoint) {
+    Rng pool_rng(base.seed);
+    waypoints.reserve(traj.hotspots);
+    for (size_t c = 0; c < traj.hotspots; ++c) {
+      waypoints.emplace_back(
+          pool_rng.Uniform(base.space.xmin, base.space.xmax),
+          pool_rng.Uniform(base.space.ymin, base.space.ymax));
+    }
+    cdf = BuildZipfCdf(traj.hotspots, traj.zipf_s);
+  }
+
+  TrajectoryWorkload workload;
+  workload.spec = RangeQuerySpec(base.w, base.w, base.qp);
+  workload.steps.resize(traj.issuers);
+  for (size_t i = 0; i < traj.issuers; ++i) {
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    Rng rng(MixSeeds(base.seed, static_cast<uint64_t>(id)));
+    std::vector<UncertainObject>& steps = workload.steps[i];
+    steps.reserve(traj.steps);
+
+    double x = rng.Uniform(base.space.xmin, base.space.xmax);
+    double y = rng.Uniform(base.space.ymin, base.space.ymax);
+    // Waypoint state: where this issuer is heading.
+    Point target(x, y);
+    for (size_t t = 0; t < traj.steps; ++t) {
+      if (t > 0) {
+        if (traj.kind == TrajectoryKind::kRandomWalk) {
+          x += rng.Gaussian(0.0, traj.step);
+          y += rng.Gaussian(0.0, traj.step);
+        } else {
+          const double dx = target.x - x;
+          const double dy = target.y - y;
+          const double dist = std::hypot(dx, dy);
+          if (dist <= traj.step) {
+            // Arrived: snap to the waypoint and pick the next one.
+            x = target.x;
+            y = target.y;
+            target = waypoints[DrawZipf(rng, cdf)];
+          } else {
+            x += traj.step * dx / dist;
+            y += traj.step * dy / dist;
+          }
+        }
+        x = std::clamp(x, base.space.xmin, base.space.xmax);
+        y = std::clamp(y, base.space.ymin, base.space.ymax);
+      }
+      // Per-step imprecision; MakeWorkloadIssuer clamps the region into
+      // the space. Epsilon floor as in GenerateWorkload (u = 0 steps are
+      // momentarily precise fixes).
+      const double u = std::max(rng.Uniform(traj.u_min, traj.u_max), 1e-6);
+      Result<UncertainObject> issuer =
+          MakeWorkloadIssuer(base, u, id, x, y, ladder);
+      if (!issuer.ok()) return issuer.status();
+      steps.push_back(std::move(issuer).ValueOrDie());
+    }
+  }
+  return workload;
+}
+
 }  // namespace ilq

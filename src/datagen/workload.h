@@ -149,6 +149,64 @@ struct ChurnWorkload {
 Result<ChurnWorkload> GenerateChurnWorkload(const WorkloadConfig& base,
                                             const ChurnConfig& churn);
 
+// ---- Trajectories (moving issuers) -----------------------------------------
+
+/// Motion model of a generated trajectory.
+enum class TrajectoryKind {
+  /// Gaussian step around the previous position (local wandering — the
+  /// regime valid-region reuse wins on).
+  kRandomWalk,
+  /// Piecewise-linear motion towards Zipf-ranked hotspot waypoints at a
+  /// fixed speed (commuting between a few hot places; crosses the space,
+  /// so it also exercises shard-set churn over the wire).
+  kWaypoint,
+};
+
+/// \brief Shape of a moving-issuer stream for the continuous tier:
+/// per-issuer position sequences with per-step imprecision, ready to feed
+/// Register / UpdatePosition.
+struct TrajectoryConfig {
+  /// Trajectories; issuer ids are 1..issuers (non-zero so the serving
+  /// cache may key on them).
+  size_t issuers = 8;
+
+  /// Positions per trajectory, including the starting one.
+  size_t steps = 50;
+
+  TrajectoryKind kind = TrajectoryKind::kRandomWalk;
+
+  /// kRandomWalk: per-axis Gaussian step σ. kWaypoint: distance travelled
+  /// per step.
+  double step = 100.0;
+
+  /// Per-step imprecision — the square uncertainty region's half side,
+  /// drawn uniformly from [u_min, u_max] each step (a GPS whose error
+  /// budget fluctuates). Equal bounds pin it.
+  double u_min = 50.0;
+  double u_max = 50.0;
+
+  /// kWaypoint: waypoint pool placed uniformly in the space, selected by
+  /// Zipfian rank (P(rank k) ∝ 1/(k+1)^s) like the other generators'
+  /// hotspot machinery. Ignored by kRandomWalk.
+  size_t hotspots = 4;
+  double zipf_s = 1.0;
+};
+
+/// \brief Generated trajectories: steps[i][t] is issuer i's imprecise
+/// position at time t, carrying id i+1 and a built catalog ladder.
+struct TrajectoryWorkload {
+  std::vector<std::vector<UncertainObject>> steps;
+  RangeQuerySpec spec;
+};
+
+/// Generates \p traj.issuers trajectories of \p traj.steps positions each
+/// inside \p base.space, with \p base's pdf family, query spec and catalog
+/// ladder. Deterministic in (base, traj), and per-issuer independent: each
+/// trajectory draws from Rng(MixSeeds(base.seed, issuer id)), so changing
+/// traj.issuers never perturbs the trajectories already generated.
+Result<TrajectoryWorkload> GenerateTrajectoryWorkload(
+    const WorkloadConfig& base, const TrajectoryConfig& traj);
+
 }  // namespace ilq
 
 #endif  // ILQ_DATAGEN_WORKLOAD_H_

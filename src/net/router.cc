@@ -1,5 +1,6 @@
 #include "net/router.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -128,6 +129,238 @@ Result<AnswerSet> Router::Query(const UncertainObject& issuer,
   }
   CanonicalizeAnswers(&merged);
   return merged;
+}
+
+// ---- Continuous sessions --------------------------------------------------
+
+namespace {
+
+// Per-shard continuous responses → one ContinuousAnswer: answers merged
+// and canonicalized (disjoint shards — the same merge Query() does),
+// valid regions intersected (the merged answer only holds where EVERY
+// shard's does), revalidated flags ANDed, epochs maxed. Zero responses
+// (no relevant shard) merge to an empty answer with an empty valid
+// region, so a client never reuses it.
+ContinuousAnswer MergeContinuousResponses(
+    std::vector<WireContinuousResponse>& responses) {
+  ContinuousAnswer merged;
+  bool first = true;
+  for (WireContinuousResponse& r : responses) {
+    merged.answers.insert(merged.answers.end(), r.response.answers.begin(),
+                          r.response.answers.end());
+    merged.valid_region = first
+                              ? r.valid_region
+                              : merged.valid_region.Intersection(
+                                    r.valid_region);
+    merged.revalidated = first ? r.revalidated
+                               : (merged.revalidated && r.revalidated);
+    merged.epoch = std::max(merged.epoch, r.response.stats.epoch);
+    first = false;
+  }
+  CanonicalizeAnswers(&merged.answers);
+  return merged;
+}
+
+}  // namespace
+
+Router::ContinuousSession::ContinuousSession()
+    : issuer_pdf(
+          UniformRectPdf::Make(Rect(0.0, 1.0, 0.0, 1.0)).ValueOrDie()) {}
+
+Result<WireContinuousResponse> Router::CallShardContinuousOnce(
+    size_t shard, FrameType type, std::span<const uint8_t> payload) {
+  ILQ_RETURN_NOT_OK(EnsureConnected(shard));
+  Socket& conn = connections_[shard];
+  stats_.shard_calls++;
+
+  Status status = WriteFrame(conn, type, payload);
+  if (!status.ok()) return status;
+
+  FrameType reply = FrameType::kContinuousResponse;
+  std::vector<uint8_t> reply_payload;
+  status = ReadFrame(conn, options_.max_frame_bytes, &reply, &reply_payload);
+  if (!status.ok()) return status;
+
+  if (reply == FrameType::kError) {
+    Status server_error = Status::OK();
+    ILQ_RETURN_NOT_OK(DecodeError(reply_payload, &server_error));
+    return server_error;
+  }
+  if (reply != FrameType::kContinuousResponse) {
+    return Status::InvalidArgument("unexpected frame type from shard");
+  }
+  return DecodeContinuousResponse(reply_payload);
+}
+
+Result<WireContinuousResponse> Router::CallShardContinuous(
+    size_t shard, FrameType type, std::span<const uint8_t> payload) {
+  for (size_t attempt = 0;; ++attempt) {
+    auto response = CallShardContinuousOnce(shard, type, payload);
+    if (response.ok()) return response;
+
+    // Only kIOError/kDeadlineExceeded are retried here. kNotFound — a
+    // clean close OR a live server that does not know the session — is
+    // the caller's re-register signal; and unlike CallShard, a semantic
+    // kError must NOT close the connection: it is alive and carries the
+    // server half of every OTHER session this router multiplexes on it.
+    const StatusCode code = response.status().code();
+    const bool transport = code == StatusCode::kIOError ||
+                           code == StatusCode::kDeadlineExceeded;
+    if (!transport || attempt >= options_.retries) {
+      if (transport) {
+        connections_[shard].Close();
+        stats_.failures++;
+      }
+      return response;
+    }
+    connections_[shard].Close();
+    stats_.retries++;
+  }
+}
+
+Result<std::vector<uint8_t>> Router::EncodeRegisterPayload(
+    const ContinuousSession& session) const {
+  WireContinuousRequest request;
+  request.subscription_id = session.wire_id;
+  request.request.issuer_id = session.issuer_id;
+  request.request.issuer_pdf = session.issuer_pdf;
+  request.request.method = session.method;
+  request.request.spec = session.spec;
+  ByteWriter writer;
+  ILQ_RETURN_NOT_OK(EncodeContinuousRequest(request, &writer));
+  return std::move(writer).Take();
+}
+
+Status Router::RegisterOnShard(
+    ContinuousSession& session, size_t shard,
+    std::vector<WireContinuousResponse>* responses) {
+  auto payload = EncodeRegisterPayload(session);
+  ILQ_RETURN_NOT_OK(payload.status());
+  auto response =
+      CallShardContinuous(shard, FrameType::kRegister, *payload);
+  ILQ_RETURN_NOT_OK(response.status());
+  responses->push_back(*std::move(response));
+  return Status::OK();
+}
+
+void Router::UnregisterOnShards(const ContinuousSession& session) {
+  ByteWriter writer;
+  if (!EncodeUnregister(session.wire_id, &writer).ok()) return;
+  const std::vector<uint8_t> payload = std::move(writer).Take();
+  for (const size_t shard : session.shards) {
+    (void)CallShardContinuous(shard, FrameType::kUnregister, payload);
+  }
+}
+
+Result<Router::RegisteredContinuous> Router::RegisterContinuous(
+    QueryMethod method, const BatchSpec& spec,
+    const UncertainObject& issuer) {
+  ContinuousSession session;
+  session.wire_id = next_wire_id_++;
+  session.method = method;
+  session.spec = spec;
+  session.issuer_id = issuer.id();
+  session.issuer_pdf = issuer.pdf_variant();
+  session.shards =
+      RouteOverShardMap(options_.map, method, issuer, spec.query);
+  std::sort(session.shards.begin(), session.shards.end());
+
+  // A failure mid-fan-out abandons any half-registered server sessions;
+  // they die with their connections (or idle under a wire id this router
+  // will never reuse — the counter only grows).
+  std::vector<WireContinuousResponse> responses;
+  for (const size_t shard : session.shards) {
+    ILQ_RETURN_NOT_OK(RegisterOnShard(session, shard, &responses));
+  }
+
+  RegisteredContinuous registered;
+  registered.id = session.wire_id;
+  registered.answer = MergeContinuousResponses(responses);
+  continuous_.emplace(registered.id, std::move(session));
+  stats_.continuous_registers++;
+  return registered;
+}
+
+Result<ContinuousAnswer> Router::UpdateContinuous(
+    SubscriptionId id, const UncertainObject& issuer) {
+  const auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("unknown continuous session id");
+  }
+  ContinuousSession& session = it->second;
+  if (issuer.id() != session.issuer_id) {
+    return Status::InvalidArgument(
+        "update issuer id " + std::to_string(issuer.id()) +
+        " does not match the registered issuer " +
+        std::to_string(session.issuer_id));
+  }
+  stats_.continuous_updates++;
+  session.issuer_pdf = issuer.pdf_variant();
+
+  std::vector<size_t> routed =
+      RouteOverShardMap(options_.map, session.method, issuer,
+                        session.spec.query);
+  std::sort(routed.begin(), routed.end());
+  const bool covered =
+      std::includes(session.shards.begin(), session.shards.end(),
+                    routed.begin(), routed.end());
+
+  std::vector<WireContinuousResponse> responses;
+  if (!covered) {
+    // The position escaped the registered shard set: close the session
+    // everywhere (best effort) and re-open it at the new position under a
+    // fresh wire id (plain re-registration would collide on shards in
+    // both the old and new sets).
+    stats_.continuous_reregisters++;
+    UnregisterOnShards(session);
+    session.wire_id = next_wire_id_++;
+    session.shards = std::move(routed);
+    for (const size_t shard : session.shards) {
+      ILQ_RETURN_NOT_OK(RegisterOnShard(session, shard, &responses));
+    }
+    return MergeContinuousResponses(responses);
+  }
+
+  // Update every REGISTERED shard, not just the currently routed ones: a
+  // registered-but-not-routed shard replays the same geometric range
+  // search the monolith would run over its slice and answers empty, so
+  // the union stays exact — and its session stays warm for when the
+  // issuer swings back.
+  WireContinuousUpdate update;
+  update.subscription_id = session.wire_id;
+  update.issuer_id = session.issuer_id;
+  update.issuer_pdf = session.issuer_pdf;
+  ByteWriter writer;
+  ILQ_RETURN_NOT_OK(EncodeContinuousUpdate(update, &writer));
+  const std::vector<uint8_t> payload = std::move(writer).Take();
+
+  for (const size_t shard : session.shards) {
+    auto response =
+        CallShardContinuous(shard, FrameType::kContinuousUpdate, payload);
+    if (!response.ok() &&
+        response.status().code() == StatusCode::kNotFound) {
+      // This shard lost its half of the session — the connection (and the
+      // per-connection table) was re-established, or the shard server
+      // restarted. Re-register it at the current position; basis reuse
+      // across the churn is the server-side answer cache's business.
+      stats_.continuous_reregisters++;
+      ILQ_RETURN_NOT_OK(RegisterOnShard(session, shard, &responses));
+      continue;
+    }
+    ILQ_RETURN_NOT_OK(response.status());
+    responses.push_back(*std::move(response));
+  }
+  return MergeContinuousResponses(responses);
+}
+
+Status Router::UnregisterContinuous(SubscriptionId id) {
+  const auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::NotFound("unknown continuous session id");
+  }
+  UnregisterOnShards(it->second);
+  continuous_.erase(it);
+  return Status::OK();
 }
 
 }  // namespace ilq

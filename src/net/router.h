@@ -19,6 +19,20 @@
 // not retried. A query fails as a whole when any routed shard stays
 // unreachable; the router never returns partial answers.
 //
+// Continuous sessions (protocol v2): RegisterContinuous opens a session on
+// every shard the initial position routes to; UpdateContinuous streams the
+// issuer's imprecise positions. Each update goes to every registered shard
+// (a registered-but-no-longer-relevant shard answers empty — its replay
+// runs the same geometric range search the monolith would, so the merged
+// union stays bit-identical); when the new position routes to a shard the
+// session is NOT registered on, the router transparently re-registers the
+// whole session there first. A shard that answers kNotFound (its
+// connection — and with it the server-side session — was lost and
+// re-established, or the shard restarted) is transparently re-registered
+// too; server-side basis reuse across that churn rides on the answer
+// cache's region entries, not the connection. Per-shard valid regions
+// merge by intersection, revalidated flags by AND, epochs by max.
+//
 // Not thread-safe: one Router per client thread (it is a thin bundle of
 // sockets; share nothing).
 
@@ -27,12 +41,15 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "continuous/continuous_engine.h"
 #include "core/batch.h"
 #include "net/socket.h"
 #include "object/uncertain_object.h"
+#include "prob/pdf_variant.h"
 #include "wire/message.h"
 #include "wire/shard_map.h"
 
@@ -73,6 +90,10 @@ struct RouterStats {
   uint64_t retries = 0;      ///< reconnect-and-resend attempts
   uint64_t failures = 0;     ///< shard calls that failed after retries
   uint64_t reconnects = 0;   ///< connections (re)established
+
+  uint64_t continuous_registers = 0;    ///< sessions opened
+  uint64_t continuous_updates = 0;      ///< UpdateContinuous() calls
+  uint64_t continuous_reregisters = 0;  ///< transparent re-registrations
 };
 
 /// \brief Fan-out client over a fleet of ShardServers.
@@ -96,13 +117,55 @@ class Router {
 
   RouterStats stats() const { return stats_; }
 
+  /// \brief Handle + initial answer of RegisterContinuous.
+  struct RegisteredContinuous {
+    SubscriptionId id = 0;
+    ContinuousAnswer answer;
+  };
+
+  /// Opens a continuous session across the fleet: registers on every shard
+  /// the issuer's initial position routes to and returns the merged
+  /// initial answer. Any of the eight range/threshold QueryMethods.
+  Result<RegisteredContinuous> RegisterContinuous(
+      QueryMethod method, const BatchSpec& spec,
+      const UncertainObject& issuer);
+
+  /// Streams one trajectory step; see the file comment for the exact
+  /// re-registration semantics. The merged answer is bit-identical to a
+  /// one-shot Query at the same position (same epoch, same catalog).
+  Result<ContinuousAnswer> UpdateContinuous(SubscriptionId id,
+                                            const UncertainObject& issuer);
+
+  /// Closes the session on every registered shard (best effort — a shard's
+  /// per-connection state dies with the connection anyway). kNotFound for
+  /// unknown handles.
+  Status UnregisterContinuous(SubscriptionId id);
+
+  /// Sessions currently open on this router.
+  size_t continuous_session_count() const { return continuous_.size(); }
+
   size_t shard_count() const { return options_.map.size(); }
   const ShardMap& map() const { return options_.map; }
 
-  /// Drops every cached connection (next Query reconnects).
+  /// Drops every cached connection (next Query reconnects). Open
+  /// continuous sessions survive: the servers drop their halves when the
+  /// connections die, and the next UpdateContinuous re-registers on the
+  /// kNotFound they answer with.
   void DisconnectAll();
 
  private:
+  /// Client half of one continuous session.
+  struct ContinuousSession {
+    uint64_t wire_id = 0;  ///< id on the wire; renewed on full re-register
+    QueryMethod method = QueryMethod::kIpq;
+    BatchSpec spec;
+    ObjectId issuer_id = 0;
+    PdfVariant issuer_pdf;  ///< last position sent (re-register payload)
+    std::vector<size_t> shards;  ///< registered shard indices, sorted
+
+    ContinuousSession();
+  };
+
   explicit Router(RouterOptions options);
 
   Status EnsureConnected(size_t shard);
@@ -114,10 +177,31 @@ class Router {
   /// only (semantic kError frames decode to an OK-transport Result).
   Result<WireResponse> CallShardOnce(size_t shard,
                                      std::span<const uint8_t> request_bytes);
+  /// One continuous exchange (kRegister/kContinuousUpdate/kUnregister →
+  /// kContinuousResponse). Retries reconnect-and-resend on kIOError /
+  /// kDeadlineExceeded only — kNotFound (clean close or a server that
+  /// does not know the session) returns immediately so the caller can
+  /// re-register.
+  Result<WireContinuousResponse> CallShardContinuous(
+      size_t shard, FrameType type, std::span<const uint8_t> payload);
+  Result<WireContinuousResponse> CallShardContinuousOnce(
+      size_t shard, FrameType type, std::span<const uint8_t> payload);
+  /// Registers \p session on \p shard at its current position and folds
+  /// the response into \p merged.
+  Status RegisterOnShard(ContinuousSession& session, size_t shard,
+                         std::vector<WireContinuousResponse>* responses);
+  /// Encodes the kRegister payload for the session's current position.
+  Result<std::vector<uint8_t>> EncodeRegisterPayload(
+      const ContinuousSession& session) const;
+  /// Best-effort kUnregister on every shard the session is registered on.
+  void UnregisterOnShards(const ContinuousSession& session);
 
   RouterOptions options_;
   std::vector<Socket> connections_;  // invalid() = not connected
   RouterStats stats_;
+
+  uint64_t next_wire_id_ = 1;
+  std::unordered_map<SubscriptionId, ContinuousSession> continuous_;
 };
 
 }  // namespace ilq

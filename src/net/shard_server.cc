@@ -17,7 +17,8 @@ ShardServer::ShardServer(const ShardedEngine& engine,
                          ShardServerOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      async_(engine, options_.serve) {
+      async_(engine, options_.serve),
+      subscriptions_(&async_, options_.subscription) {
   options_.max_connections = std::max<size_t>(options_.max_connections, 1);
 }
 
@@ -180,15 +181,37 @@ void ShardServer::HandleConnection(Connection* conn) {
       break;
     }
 
-    if (type != FrameType::kRequest) {
-      // Frame boundary is intact — reject this message, keep serving.
-      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-      SendErrorFrame(conn->socket,
-                     Status::InvalidArgument("expected a request frame"));
-      continue;
+    bool alive = true;
+    switch (type) {
+      case FrameType::kRequest:
+        alive = ServeRequest(conn, payload);
+        break;
+      case FrameType::kRegister:
+        alive = ServeRegister(conn, payload);
+        break;
+      case FrameType::kContinuousUpdate:
+        alive = ServeContinuousUpdate(conn, payload);
+        break;
+      case FrameType::kUnregister:
+        alive = ServeUnregister(conn, payload);
+        break;
+      default:
+        // kResponse/kContinuousResponse/kError from a client. The frame
+        // boundary is intact — reject this message, keep serving.
+        requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn->socket,
+                       Status::InvalidArgument("expected a request frame"));
+        break;
     }
-    if (!ServeRequest(conn, payload)) break;
+    if (!alive) break;
   }
+  // The connection's continuous sessions die with it (the router
+  // re-registers after a reconnect; the answer cache's region entries —
+  // not these sessions — carry basis reuse across the churn).
+  for (const auto& [client_id, entry] : conn->sessions) {
+    (void)subscriptions_.Unregister(entry.id);
+  }
+  conn->sessions.clear();
   // Send FIN so the peer sees EOF now, but leave the fd open: Stop() may
   // concurrently ShutdownBoth() this socket, and only the Connection's
   // destructor (which runs after this thread is joined) may close it.
@@ -247,6 +270,168 @@ bool ShardServer::ServeRequest(Connection* conn,
   }
   const std::vector<uint8_t> bytes = std::move(writer).Take();
   if (!WriteFrame(conn->socket, FrameType::kResponse, bytes).ok()) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardServer::ServeRegister(Connection* conn,
+                                std::span<const uint8_t> payload) {
+  auto request = DecodeContinuousRequest(payload);
+  if (!request.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, request.status());
+    return true;
+  }
+  if (conn->sessions.count(request->subscription_id) != 0) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket,
+                   Status::AlreadyExists(
+                       "subscription id " +
+                       std::to_string(request->subscription_id) +
+                       " already registered on this connection"));
+    return true;
+  }
+
+  // Rebuild the issuer exactly like the one-shot path.
+  UncertainObject issuer(request->request.issuer_id,
+                         std::move(request->request.issuer_pdf));
+  const Status catalog_status =
+      issuer.BuildCatalog(engine_.config().engine.catalog_values);
+  if (!catalog_status.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, catalog_status);
+    return true;
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendErrorFrame(conn->socket,
+                   Status::FailedPrecondition("server draining"));
+    return false;
+  }
+  Stopwatch watch;
+  auto registered = subscriptions_.Register(request->request.method,
+                                            request->request.spec, issuer);
+  if (!registered.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, registered.status());
+    return true;
+  }
+  conn->sessions[request->subscription_id] = {registered->id, issuer.id()};
+  return SendContinuousResponse(conn, request->subscription_id,
+                                registered->answer, watch.ElapsedMillis());
+}
+
+bool ShardServer::ServeContinuousUpdate(Connection* conn,
+                                        std::span<const uint8_t> payload) {
+  auto update = DecodeContinuousUpdate(payload);
+  if (!update.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, update.status());
+    return true;
+  }
+  const auto it = conn->sessions.find(update->subscription_id);
+  if (it == conn->sessions.end()) {
+    // The kNotFound the router re-registers on (reconnects, restarts).
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket,
+                   Status::NotFound("unknown subscription id " +
+                                    std::to_string(update->subscription_id)));
+    return true;
+  }
+  if (update->issuer_id != it->second.issuer_id) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(
+        conn->socket,
+        Status::InvalidArgument(
+            "update issuer id " + std::to_string(update->issuer_id) +
+            " does not match the registered issuer " +
+            std::to_string(it->second.issuer_id)));
+    return true;
+  }
+
+  UncertainObject issuer(update->issuer_id, std::move(update->issuer_pdf));
+  const Status catalog_status =
+      issuer.BuildCatalog(engine_.config().engine.catalog_values);
+  if (!catalog_status.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, catalog_status);
+    return true;
+  }
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendErrorFrame(conn->socket,
+                   Status::FailedPrecondition("server draining"));
+    return false;
+  }
+  Stopwatch watch;
+  auto answer = subscriptions_.UpdatePosition(it->second.id, issuer);
+  if (!answer.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, answer.status());
+    return true;
+  }
+  return SendContinuousResponse(conn, update->subscription_id,
+                                *std::move(answer), watch.ElapsedMillis());
+}
+
+bool ShardServer::ServeUnregister(Connection* conn,
+                                  std::span<const uint8_t> payload) {
+  auto subscription_id = DecodeUnregister(payload);
+  if (!subscription_id.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, subscription_id.status());
+    return true;
+  }
+  const auto it = conn->sessions.find(*subscription_id);
+  if (it == conn->sessions.end()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket,
+                   Status::NotFound("unknown subscription id " +
+                                    std::to_string(*subscription_id)));
+    return true;
+  }
+  (void)subscriptions_.Unregister(it->second.id);
+  conn->sessions.erase(it);
+  // Acknowledge with an empty continuous response (epoch = current).
+  ContinuousAnswer closed;
+  closed.epoch = engine_.epoch();
+  return SendContinuousResponse(conn, *subscription_id, closed, 0.0);
+}
+
+bool ShardServer::SendContinuousResponse(Connection* conn,
+                                         uint64_t subscription_id,
+                                         const ContinuousAnswer& answer,
+                                         double server_ms) {
+  WireContinuousResponse response;
+  response.subscription_id = subscription_id;
+  response.revalidated = answer.revalidated;
+  response.valid_region = answer.valid_region;
+  response.response.answers = answer.answers;
+  const ServeStats serve = subscriptions_.stats();
+  // The basis epoch the answers are coherent with — NOT engine_.epoch(),
+  // which may already have moved past it.
+  response.response.stats.epoch = answer.epoch;
+  response.response.stats.server_ms = server_ms;
+  response.response.stats.submitted = serve.submitted;
+  response.response.stats.completed = serve.completed;
+  response.response.stats.pending = serve.pending;
+  response.response.stats.p50_ms = serve.p50_ms;
+  response.response.stats.p95_ms = serve.p95_ms;
+  response.response.stats.p99_ms = serve.p99_ms;
+
+  ByteWriter writer;
+  const Status encode_status = EncodeContinuousResponse(response, &writer);
+  if (!encode_status.ok()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn->socket, encode_status);
+    return true;
+  }
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  if (!WriteFrame(conn->socket, FrameType::kContinuousResponse, bytes)
+           .ok()) {
     io_errors_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }

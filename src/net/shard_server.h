@@ -6,6 +6,18 @@
 // stats) or kError (the evaluation/decode Status) per request, in order,
 // over a persistent connection.
 //
+// Continuous sessions (protocol v2): kRegister / kContinuousUpdate /
+// kUnregister frames drive a SubscriptionManager shared by all
+// connections, each answered with one kContinuousResponse (or kError).
+// Client-chosen subscription ids are scoped to their connection — the
+// per-connection table mapping them to manager sessions lives on the
+// handler thread (no locking), and every session a connection still holds
+// is unregistered when it closes. An update for an id this connection
+// never registered (or registered before a reconnect) gets kError
+// kNotFound — the router re-registers on that signal, which also covers
+// shard-server restarts. Basis reuse across such churn is the answer
+// cache's region entries, keyed by issuer id + spec, not by connection.
+//
 // Threading model: one accept thread polls the listener (so Stop() is
 // noticed within an accept-poll interval) and spawns one handler thread per
 // connection, bounded by max_connections — a connection over the limit gets
@@ -38,11 +50,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "net/socket.h"
 #include "serve/async_server.h"
 #include "serve/sharded_engine.h"
+#include "serve/subscription_manager.h"
 #include "wire/message.h"
 
 namespace ilq {
@@ -69,6 +83,9 @@ struct ShardServerOptions {
   /// Knobs of the inner AsyncServer (worker threads, queue capacity,
   /// answer cache).
   AsyncServerOptions serve;
+
+  /// Knobs of the continuous tier (valid-region horizon, reuse toggle).
+  SubscriptionOptions subscription;
 };
 
 /// \brief Counter snapshot returned by ShardServer::stats().
@@ -112,29 +129,54 @@ class ShardServer {
 
   ShardServerStats stats() const;
 
-  /// Inner serving stats (queue depth, latency quantiles) — the source of
-  /// the WireServeStats block in every response.
-  ServeStats serve_stats() const { return async_.stats(); }
+  /// Inner serving stats (queue depth, latency quantiles, continuous
+  /// validation/re-evaluation counters) — the source of the
+  /// WireServeStats block in every response.
+  ServeStats serve_stats() const { return subscriptions_.stats(); }
+
+  /// Continuous-tier counters of this server's SubscriptionManager.
+  ContinuousStats continuous_stats() const {
+    return subscriptions_.continuous_stats();
+  }
 
   const ShardedEngine& engine() const { return async_.engine(); }
 
  private:
+  /// One continuous session as this connection refers to it.
+  struct SessionEntry {
+    SubscriptionId id = 0;     ///< SubscriptionManager's id
+    ObjectId issuer_id = 0;    ///< pinned at registration; updates must match
+  };
+
   struct Connection {
     Socket socket;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// Client subscription id → manager session. Touched only by this
+    /// connection's handler thread, so no lock.
+    std::unordered_map<uint64_t, SessionEntry> sessions;
   };
 
   void AcceptLoop();
   void HandleConnection(Connection* conn);
   /// Serves one decoded request; returns false when the connection died.
   bool ServeRequest(Connection* conn, std::span<const uint8_t> payload);
+  // Continuous-session handlers; same return convention as ServeRequest.
+  bool ServeRegister(Connection* conn, std::span<const uint8_t> payload);
+  bool ServeContinuousUpdate(Connection* conn,
+                             std::span<const uint8_t> payload);
+  bool ServeUnregister(Connection* conn, std::span<const uint8_t> payload);
+  /// Sends one kContinuousResponse; returns false when the socket died.
+  bool SendContinuousResponse(Connection* conn, uint64_t subscription_id,
+                              const ContinuousAnswer& answer,
+                              double server_ms);
   static void SendErrorFrame(Socket& socket, const Status& error);
   void ReapFinishedConnections();
 
   const ShardedEngine& engine_;
   ShardServerOptions options_;
   AsyncServer async_;
+  SubscriptionManager subscriptions_;
 
   ListenSocket listener_;
   uint16_t port_ = 0;

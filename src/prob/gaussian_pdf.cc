@@ -5,8 +5,37 @@
 
 #include "common/logging.h"
 #include "prob/normal.h"
+#include "simd/qual_kernels.h"
 
 namespace ilq {
+
+namespace {
+
+// Hoists the pdf into the kernel-facing parameter block (see GaussianParams
+// in simd/qual_kernels.h). The cdf_lo_* terms are what Cdf1D recomputes on
+// every interior call — NormalCdf is deterministic, so evaluating them once
+// here is bit-identical and halves the transcendental count per element.
+simd::GaussianParams KernelParams(const Rect& region, double sx, double sy,
+                                  double mass_x, double mass_y) {
+  const Point mu = region.Center();
+  simd::GaussianParams p;
+  p.xmin = region.xmin;
+  p.xmax = region.xmax;
+  p.ymin = region.ymin;
+  p.ymax = region.ymax;
+  p.mux = mu.x;
+  p.muy = mu.y;
+  p.sx = sx;
+  p.sy = sy;
+  p.mass_x = mass_x;
+  p.mass_y = mass_y;
+  p.cdf_lo_x = NormalCdf((region.xmin - mu.x) / sx);
+  p.cdf_lo_y = NormalCdf((region.ymin - mu.y) / sy);
+  p.normal_cdf = &NormalCdf;
+  return p;
+}
+
+}  // namespace
 
 Result<TruncatedGaussianPdf> TruncatedGaussianPdf::Make(const Rect& region,
                                                         double sigma_x,
@@ -64,9 +93,9 @@ void TruncatedGaussianPdf::MassInCenteredBatch(std::span<const Point> centers,
                                                std::span<double> out) const {
   ILQ_CHECK(centers.size() == out.size(),
             "MassInCenteredBatch size mismatch");
-  for (size_t i = 0; i < centers.size(); ++i) {
-    out[i] = MassIn(Rect::Centered(centers[i], w, h));
-  }
+  simd::ActiveKernels().gaussian_mass_centered(
+      KernelParams(region_, sx_, sy_, mass_x_, mass_y_), centers.data(),
+      centers.size(), w, h, out.data());
 }
 
 double TruncatedGaussianPdf::Cdf1D(double v, double mu, double sigma,

@@ -69,21 +69,104 @@ std::optional<AnswerSet> AnswerCache::Lookup(const CacheKey& key,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  if (it->second->basis != nullptr) {
+    // Region entry: the stored answers belong to one issuer *placement*,
+    // which a plain lookup cannot verify (no fingerprint) — serving them
+    // on a key match alone would hand a moved issuer another position's
+    // answers. Only LookupRegion may serve these.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  exact_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->answers;
+}
+
+std::optional<AnswerCache::RegionHit> AnswerCache::LookupRegion(
+    const CacheKey& key, const Rect& region,
+    std::span<const uint8_t> fingerprint, uint64_t epoch) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  if (entry.epoch != epoch) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (entry.basis == nullptr) {
+    // Plain entry under a subscription key: no valid region to grade
+    // against. Miss (InsertRegion will upgrade it).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const bool exact =
+      !fingerprint.empty() && fingerprint.size() == entry.fingerprint.size() &&
+      std::equal(fingerprint.begin(), fingerprint.end(),
+                 entry.fingerprint.begin());
+  if (!exact && !entry.valid_region.ContainsRect(region)) {
+    // Escaped the valid region: a genuine miss, but the entry itself is
+    // not stale — the caller re-evaluates and refreshes it.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  RegionHit hit;
+  hit.exact = exact;
+  if (exact) hit.answers = entry.answers;
+  hit.valid_region = entry.valid_region;
+  hit.basis = entry.basis;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  (exact ? exact_hits_ : containment_hits_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return hit;
 }
 
 void AnswerCache::Insert(const CacheKey& key, AnswerSet answers,
                          uint64_t epoch) {
+  Entry entry;
+  entry.key = key;
+  entry.answers = std::move(answers);
+  entry.epoch = epoch;
+  InsertEntry(std::move(entry));
+}
+
+void AnswerCache::InsertRegion(const CacheKey& key, AnswerSet answers,
+                               std::vector<uint8_t> fingerprint,
+                               Rect valid_region,
+                               std::shared_ptr<const SubscriptionBasis> basis,
+                               uint64_t epoch) {
+  Entry entry;
+  entry.key = key;
+  entry.answers = std::move(answers);
+  entry.epoch = epoch;
+  entry.fingerprint = std::move(fingerprint);
+  entry.valid_region = valid_region;
+  entry.basis = std::move(basis);
+  InsertEntry(std::move(entry));
+}
+
+void AnswerCache::InsertEntry(Entry entry) {
   if (!enabled()) return;
-  Shard& shard = ShardFor(key);
+  Shard& shard = ShardFor(entry.key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.index.find(key);
+  const auto it = shard.index.find(entry.key);
   if (it != shard.index.end()) {
     // Refresh: racing workers may compute the same answer; last one wins.
-    it->second->answers = std::move(answers);
-    it->second->epoch = epoch;
+    // A plain refresh over a region entry demotes it (and vice versa) —
+    // whichever writer was last knows the current placement.
+    *it->second = std::move(entry);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -92,8 +175,8 @@ void AnswerCache::Insert(const CacheKey& key, AnswerSet answers,
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(answers), epoch});
-  shard.index.emplace(key, shard.lru.begin());
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -105,6 +188,9 @@ AnswerCache::Counters AnswerCache::counters() const {
   counters.evictions = evictions_.load(std::memory_order_relaxed);
   counters.invalidations =
       invalidations_.load(std::memory_order_relaxed);
+  counters.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+  counters.containment_hits =
+      containment_hits_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     // Size probe without the lock would race; take it briefly.
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -15,6 +15,18 @@
 // stale entry is invalidated lazily on its next touch — no publish-time
 // sweep, so updates stay O(batch) regardless of cache size.
 //
+// Region entries (continuous tier, PR 10): exact-spec matching breaks down
+// for *moving* issuers — the key still matches while the issuer's pdf has
+// moved on. InsertRegion therefore stores, next to the answers, the byte
+// fingerprint of the issuer pdf they were computed for and the
+// SubscriptionBasis covering a whole valid region of placements.
+// LookupRegion then grades a hit: identical fingerprint → the stored
+// answers verbatim (*exact* hit); region still contained in the entry's
+// valid region → the shared basis, for the caller to replay at the new
+// placement (*containment* hit). The plain Lookup never serves a region
+// entry (it cannot prove the pdf is unchanged), so one-shot and continuous
+// traffic under the same issuer id cannot cross-contaminate.
+//
 // Sharding: keys hash across independent LRU shards, each with its own
 // mutex, so concurrent workers rarely contend on the same lock. Counters
 // (hits / misses / insertions / evictions / invalidations) are relaxed
@@ -26,16 +38,22 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/batch.h"
 #include "core/query.h"
+#include "geometry/rect.h"
 #include "object/uncertain_object.h"
 
 namespace ilq {
+
+// serve/subscription_manager.h; opaque to the cache (stored, never read).
+struct SubscriptionBasis;
 
 /// \brief Everything an answer depends on (given the engine's datasets).
 struct CacheKey {
@@ -85,14 +103,53 @@ class AnswerCache {
   /// least recently used entry of the key's shard when that shard is full.
   void Insert(const CacheKey& key, AnswerSet answers, uint64_t epoch = 0);
 
+  /// \brief A graded region-entry hit (see LookupRegion).
+  struct RegionHit {
+    /// True: \c answers hold the stored AnswerSet and the issuer
+    /// fingerprint matched byte-for-byte — the issuer has not moved.
+    /// False: the issuer moved but its region is still contained in
+    /// \c valid_region — replay \c basis at the new placement.
+    bool exact = false;
+    AnswerSet answers;               ///< filled on exact hits
+    Rect valid_region = Rect::Empty();
+    std::shared_ptr<const SubscriptionBasis> basis;  ///< always filled
+  };
+
+  /// Region-containment lookup (continuous tier): nullopt on miss, an
+  /// exact hit when \p fingerprint equals the stored one (empty
+  /// fingerprints never match), a containment hit when \p region is
+  /// contained in the entry's valid region. Stale-epoch entries are
+  /// dropped exactly like Lookup's; a region that escaped the valid
+  /// region is a plain miss (the entry stays — the caller's InsertRegion
+  /// will refresh it).
+  std::optional<RegionHit> LookupRegion(const CacheKey& key,
+                                        const Rect& region,
+                                        std::span<const uint8_t> fingerprint,
+                                        uint64_t epoch = 0);
+
+  /// Stores (or refreshes) a region entry: answers computed for the issuer
+  /// placement identified by \p fingerprint, plus the basis whose
+  /// \p valid_region they cover. Shares the LRU shards (and eviction) with
+  /// plain entries.
+  void InsertRegion(const CacheKey& key, AnswerSet answers,
+                    std::vector<uint8_t> fingerprint, Rect valid_region,
+                    std::shared_ptr<const SubscriptionBasis> basis,
+                    uint64_t epoch = 0);
+
   /// \brief Monotonic counters (relaxed snapshot).
   struct Counters {
-    uint64_t hits = 0;
+    uint64_t hits = 0;    ///< total = exact_hits + containment_hits
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;  ///< stale-epoch entries dropped by Lookup
     uint64_t entries = 0;  ///< currently resident (sums shard sizes)
+    /// Full-answer reuse: plain Lookup hits and fingerprint-verified
+    /// LookupRegion hits.
+    uint64_t exact_hits = 0;
+    /// Basis reuse: LookupRegion hits answered by replaying the stored
+    /// basis at a new placement inside its valid region.
+    uint64_t containment_hits = 0;
   };
   Counters counters() const;
 
@@ -104,6 +161,12 @@ class AnswerCache {
     CacheKey key;
     AnswerSet answers;
     uint64_t epoch = 0;
+    // Region entries only (InsertRegion): the issuer-pdf fingerprint the
+    // answers were computed for, and the basis covering valid_region. A
+    // plain entry leaves basis null.
+    std::vector<uint8_t> fingerprint;
+    Rect valid_region = Rect::Empty();
+    std::shared_ptr<const SubscriptionBasis> basis;
   };
   struct KeyHash {
     size_t operator()(const CacheKey& key) const;
@@ -117,6 +180,7 @@ class AnswerCache {
   };
 
   Shard& ShardFor(const CacheKey& key);
+  void InsertEntry(Entry entry);
 
   size_t capacity_ = 0;
   size_t per_shard_capacity_ = 0;
@@ -127,6 +191,8 @@ class AnswerCache {
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> exact_hits_{0};
+  std::atomic<uint64_t> containment_hits_{0};
 };
 
 }  // namespace ilq

@@ -32,15 +32,10 @@ void AsyncServer::CountSubmission(QueryMethod method) {
 }
 
 std::future<AnswerSet> AsyncServer::Enqueue(
-    std::unique_lock<std::mutex> lock, const UncertainObject& issuer,
-    const BatchSpec& spec, QueryMethod method) {
-  // Copies the issuer into the request (the caller's object need not
-  // outlive it); the Stopwatch starts the latency clock at enqueue.
-  Request request{issuer,      spec,        method, std::promise<AnswerSet>{},
-                  Stopwatch{}, /*cacheable=*/false, CacheKey{}};
-  request.cacheable = cache_.enabled() && issuer.id() != 0;
-  if (request.cacheable) request.key = MakeCacheKey(issuer, method, spec);
+    std::unique_lock<std::mutex> lock, Request request) {
+  // The Stopwatch starts the latency clock at enqueue.
   std::future<AnswerSet> future = request.promise.get_future();
+  const QueryMethod method = request.method;
   queue_.push_back(std::move(request));
   CountSubmission(method);
   lock.unlock();
@@ -58,7 +53,11 @@ std::future<AnswerSet> AsyncServer::Submit(const UncertainObject& issuer,
   if (stopping_) {
     throw std::logic_error("AsyncServer::Submit after Shutdown");
   }
-  return Enqueue(std::move(lock), issuer, spec, method);
+  Request request{issuer, spec, method, std::promise<AnswerSet>{},
+                  Stopwatch{}, /*cacheable=*/false, CacheKey{}, nullptr};
+  request.cacheable = cache_.enabled() && issuer.id() != 0;
+  if (request.cacheable) request.key = MakeCacheKey(issuer, method, spec);
+  return Enqueue(std::move(lock), std::move(request));
 }
 
 std::optional<std::future<AnswerSet>> AsyncServer::TrySubmit(
@@ -72,7 +71,26 @@ std::optional<std::future<AnswerSet>> AsyncServer::TrySubmit(
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  return Enqueue(std::move(lock), issuer, spec, method);
+  Request request{issuer, spec, method, std::promise<AnswerSet>{},
+                  Stopwatch{}, /*cacheable=*/false, CacheKey{}, nullptr};
+  request.cacheable = cache_.enabled() && issuer.id() != 0;
+  if (request.cacheable) request.key = MakeCacheKey(issuer, method, spec);
+  return Enqueue(std::move(lock), std::move(request));
+}
+
+std::future<AnswerSet> AsyncServer::SubmitTask(
+    QueryMethod method, std::function<AnswerSet()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) {
+    throw std::logic_error("AsyncServer::SubmitTask after Shutdown");
+  }
+  Request request{std::nullopt, BatchSpec{}, method,
+                  std::promise<AnswerSet>{}, Stopwatch{},
+                  /*cacheable=*/false, CacheKey{}, std::move(task)};
+  return Enqueue(std::move(lock), std::move(request));
 }
 
 void AsyncServer::Execute(Request request) {
@@ -94,7 +112,9 @@ void AsyncServer::Execute(Request request) {
   }
   try {
     AnswerSet answers =
-        engine_.Run(request.method, request.issuer, request.spec);
+        request.task != nullptr
+            ? request.task()
+            : engine_.Run(request.method, *request.issuer, request.spec);
     if (request.cacheable && engine_.epoch() == epoch) {
       cache_.Insert(request.key, answers, epoch);
     }
@@ -179,6 +199,8 @@ ServeStats AsyncServer::stats() const {
   stats.cache_misses = cache.misses;
   stats.cache_evictions = cache.evictions;
   stats.cache_invalidations = cache.invalidations;
+  stats.cache_exact_hits = cache.exact_hits;
+  stats.cache_containment_hits = cache.containment_hits;
   stats.p50_ms = latency_.Quantile(0.50);
   stats.p95_ms = latency_.Quantile(0.95);
   stats.p99_ms = latency_.Quantile(0.99);

@@ -31,6 +31,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -76,10 +77,21 @@ struct ServeStats {
   uint64_t pending = 0;    ///< queued + executing right now
   std::array<uint64_t, kQueryMethodCount> per_method{};  ///< by QueryMethod
 
-  uint64_t cache_hits = 0;
+  uint64_t cache_hits = 0;  ///< total = exact + containment
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;  ///< stale-epoch entries dropped
+  /// Split of cache_hits (see AnswerCache::Counters): full-answer reuse vs
+  /// region-containment basis reuse — the continuous bench reports both.
+  uint64_t cache_exact_hits = 0;
+  uint64_t cache_containment_hits = 0;
+
+  /// Continuous tier (filled by SubscriptionManager::stats(); zero from
+  /// AsyncServer::stats() itself): subscription updates answered inside a
+  /// valid region vs basis (re)builds.
+  uint64_t continuous_validations = 0;
+  uint64_t continuous_reevaluations = 0;
+  uint64_t continuous_active = 0;  ///< currently registered subscriptions
 
   /// Submission-to-completion latency quantiles (ms) over all completed
   /// requests; cache hits count with their (near-zero) service time.
@@ -113,6 +125,23 @@ class AsyncServer {
       const UncertainObject& issuer, const BatchSpec& spec,
       QueryMethod method);
 
+  /// Runs an arbitrary evaluation closure on the worker pool, queued,
+  /// counted (per_method under \p method) and latency-tracked exactly like
+  /// a query — but never touching the AnswerCache; the caller owns its
+  /// caching policy. The continuous tier (serve/subscription_manager.h)
+  /// submits basis replays here so subscription traffic shares the queue,
+  /// backpressure and ServeStats with one-shot queries. Blocks while the
+  /// queue is full; throws std::logic_error after Shutdown. Must not be
+  /// called from a worker thread (the closure's future would wait on the
+  /// pool it occupies).
+  std::future<AnswerSet> SubmitTask(QueryMethod method,
+                                    std::function<AnswerSet()> task);
+
+  /// The server's AnswerCache (disabled when cache_capacity == 0). Shared
+  /// with the subscription tier: region entries and one-shot entries live
+  /// in the same LRU shards and feed the same counters.
+  AnswerCache& cache() { return cache_; }
+
   /// Releases a start_paused server's workers. Idempotent.
   void Resume();
 
@@ -133,20 +162,21 @@ class AsyncServer {
 
  private:
   struct Request {
-    UncertainObject issuer;
+    // Engine queries carry an issuer; SubmitTask closures do not.
+    std::optional<UncertainObject> issuer;
     BatchSpec spec;
     QueryMethod method = QueryMethod::kIpq;
     std::promise<AnswerSet> promise;
     Stopwatch since_submit;
     bool cacheable = false;
     CacheKey key;
+    std::function<AnswerSet()> task;  // set ⇒ run this instead of the engine
   };
 
   void WorkerLoop();
   void Execute(Request request);
   std::future<AnswerSet> Enqueue(std::unique_lock<std::mutex> lock,
-                                 const UncertainObject& issuer,
-                                 const BatchSpec& spec, QueryMethod method);
+                                 Request request);
   void CountSubmission(QueryMethod method);
 
   const ShardedEngine& engine_;

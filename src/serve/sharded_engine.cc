@@ -10,16 +10,6 @@
 
 namespace ilq {
 
-void CanonicalizeAnswers(AnswerSet* answers) {
-  std::sort(answers->begin(), answers->end(),
-            [](const ProbabilisticAnswer& a, const ProbabilisticAnswer& b) {
-              if (a.id != b.id) return a.id < b.id;
-              return a.probability < b.probability;
-            });
-  answers->erase(std::unique(answers->begin(), answers->end()),
-                 answers->end());
-}
-
 std::vector<size_t> RouteOverShardMap(const ShardMap& map,
                                       QueryMethod method,
                                       const UncertainObject& issuer,
@@ -37,22 +27,6 @@ std::vector<size_t> RouteOverShardMap(const ShardMap& map,
     if (bounds.Intersects(expanded)) routed.push_back(s);
   }
   return routed;
-}
-
-bool QueryMethodUsesPoints(QueryMethod method) {
-  switch (method) {
-    case QueryMethod::kIpq:
-    case QueryMethod::kIpqBasic:
-    case QueryMethod::kCipqPExpanded:
-    case QueryMethod::kCipqMinkowski:
-      return true;
-    case QueryMethod::kIuq:
-    case QueryMethod::kIuqBasic:
-    case QueryMethod::kCiuqRTree:
-    case QueryMethod::kCiuqPti:
-      return false;
-  }
-  return false;
 }
 
 ShardedEngine::ShardedEngine(ShardedEngineConfig config, ShardSetPtr set)
@@ -486,6 +460,27 @@ Result<UncertainObject> ShardedEngine::MakeIssuer(
   UncertainObject issuer(/*id=*/0, std::move(pdf));
   ILQ_RETURN_NOT_OK(issuer.BuildCatalog(config_.engine.catalog_values));
   return issuer;
+}
+
+ShardedEngine::PinnedSet ShardedEngine::Pin() const {
+  PinnedSet pinned;
+  // Epoch before set (see the header contract): a publish landing between
+  // the two loads leaves the recorded epoch older than the pinned shards,
+  // which a later epoch() comparison flags as stale — conservative. The
+  // retry just makes that spurious-invalidation window rare.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint64_t before = epoch();
+    const ShardSetPtr current = set();
+    pinned.epoch = before;
+    pinned.shards.clear();
+    pinned.shards.reserve(current->shards.size());
+    for (const Shard& shard : current->shards) {
+      pinned.shards.push_back(
+          {shard.engine, shard.point_bounds, shard.uncertain_bounds});
+    }
+    if (epoch() == before) break;
+  }
+  return pinned;
 }
 
 size_t ShardedEngine::shard_count() const { return set()->shards.size(); }

@@ -66,12 +66,9 @@
 
 namespace ilq {
 
-/// Canonical answer order of every sharded/merged path: sorted by id
-/// (probability bits break never-expected duplicate ids totally), exact
-/// duplicates removed. ShardedEngine::Run and the remote Router (net/)
-/// both finish with exactly this call, which is what makes their merged
-/// answers bit-comparable.
-void CanonicalizeAnswers(AnswerSet* answers);
+// CanonicalizeAnswers and QueryMethodUsesPoints moved to core/batch.h (the
+// continuous subsystem needs them below the serve layer); this header still
+// provides them transitively for existing callers.
 
 /// Minkowski-box routing over a ShardMap: the shards whose relevant bounds
 /// (point or uncertain, per QueryMethodUsesPoints) intersect R ⊕ U0.
@@ -191,6 +188,30 @@ class ShardedEngine {
   /// copies.
   ShardMap ExportShardMap() const;
 
+  /// \brief One shard pinned out of the published set (see Pin).
+  struct PinnedShard {
+    std::shared_ptr<const QueryEngine> engine;
+    Rect point_bounds = Rect::Empty();
+    Rect uncertain_bounds = Rect::Empty();
+  };
+  /// \brief A pinned shard set: engines plus the epoch they were read at.
+  struct PinnedSet {
+    uint64_t epoch = 0;
+    std::vector<PinnedShard> shards;
+  };
+
+  /// Pins the published shard set: the returned engines stay alive — and
+  /// keep answering at their published state, since ApplyUpdates replaces
+  /// engines with forks instead of mutating them — across concurrent
+  /// updates and re-splits, unlike shard(), whose reference a re-split can
+  /// invalidate. The epoch is read *before* the set, so under a concurrent
+  /// publish the recorded epoch can only be older than the pinned shards:
+  /// consumers comparing it against epoch() later fail conservatively
+  /// (one spurious rebuild), never by serving stale state as current. The
+  /// continuous tier (serve/subscription_manager.h) prefetches candidate
+  /// bases from exactly this.
+  PinnedSet Pin() const;
+
   size_t shard_count() const;
   /// The shard's engine. Valid until the next Resplit publishes a new set
   /// (per-shard ApplyUpdates keeps engines alive across update batches).
@@ -249,11 +270,6 @@ class ShardedEngine {
   // Heap-held so the engine stays movable (atomics are not).
   std::unique_ptr<Control> control_;
 };
-
-/// True when \p method queries the point dataset (IPQ family); the IUQ /
-/// C-IUQ family queries the uncertain dataset. Routing picks the matching
-/// per-shard bounds.
-bool QueryMethodUsesPoints(QueryMethod method);
 
 }  // namespace ilq
 

@@ -1,0 +1,230 @@
+#include "serve/subscription_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "wire/message.h"
+
+namespace ilq {
+
+namespace {
+
+// Portable byte fingerprint of the issuer's pdf (placement identity for
+// cache exact hits). Empty when the pdf has no portable encoding (AnyPdf)
+// — such issuers never exact-hit, only containment-hit, which needs no
+// identity beyond the region.
+std::vector<uint8_t> PdfFingerprint(const UncertainObject& issuer) {
+  ByteWriter writer;
+  if (!EncodePdf(issuer.pdf_variant(), &writer).ok()) return {};
+  return std::move(writer).Take();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SubscriptionBasis>> BuildSubscriptionBasis(
+    const ShardedEngine& engine, QueryMethod method, const Rect& valid_region,
+    const RangeQuerySpec& spec) {
+  if (valid_region.IsEmpty()) {
+    return Status::InvalidArgument("valid region must be non-empty");
+  }
+  auto basis = std::make_shared<SubscriptionBasis>();
+  basis->valid_region = valid_region;
+  basis->config = engine.config().engine;
+  // Same box CandidateBasis prefetches over; shards outside it cannot hold
+  // a candidate for any placement in the valid region (Lemma 1).
+  const Rect prefetch = valid_region.Expanded(spec.w, spec.h);
+  const bool use_points = QueryMethodUsesPoints(method);
+
+  const ShardedEngine::PinnedSet pinned = engine.Pin();
+  basis->epoch = pinned.epoch;
+  for (const ShardedEngine::PinnedShard& shard : pinned.shards) {
+    const Rect& bounds =
+        use_points ? shard.point_bounds : shard.uncertain_bounds;
+    if (!bounds.Intersects(prefetch)) continue;
+    Result<CandidateBasis> shard_basis =
+        BuildCandidateBasis(*shard.engine, method, valid_region, spec);
+    ILQ_RETURN_NOT_OK(shard_basis.status());
+    basis->shards.push_back(std::move(shard_basis).ValueOrDie());
+  }
+  return std::shared_ptr<const SubscriptionBasis>(std::move(basis));
+}
+
+AnswerSet ReplaySubscriptionBasis(const SubscriptionBasis& basis,
+                                  QueryMethod method,
+                                  const UncertainObject& issuer,
+                                  const BatchSpec& spec) {
+  AnswerSet merged;
+  for (const CandidateBasis& shard : basis.shards) {
+    AnswerSet answers =
+        ReplayQueryMethod(shard, basis.config, method, issuer, spec);
+    merged.insert(merged.end(), std::make_move_iterator(answers.begin()),
+                  std::make_move_iterator(answers.end()));
+  }
+  // Same merge ShardedEngine::Run performs (disjoint shards ⇒ the sort is
+  // the only observable effect).
+  CanonicalizeAnswers(&merged);
+  return merged;
+}
+
+SubscriptionManager::SubscriptionManager(AsyncServer* server,
+                                         SubscriptionOptions options)
+    : server_(server), options_(options) {}
+
+double SubscriptionManager::ResolveHorizon(const Rect& region,
+                                           const BatchSpec& spec) const {
+  if (options_.horizon > 0.0) return options_.horizon;
+  double h = std::max(region.Width(), region.Height());
+  if (h <= 0.0) h = std::max(spec.query.w, spec.query.h);
+  return h > 0.0 ? h : 1.0;
+}
+
+Status SubscriptionManager::Answer(Session* session,
+                                   const UncertainObject& issuer,
+                                   ContinuousAnswer* out) {
+  if (issuer.region().IsEmpty()) {
+    return Status::InvalidArgument("issuer region must be non-empty");
+  }
+  const ShardedEngine& engine = server_->engine();
+  const uint64_t epoch = engine.epoch();
+
+  // Rung 1 — the cache's region entry (reuse across updates *and* across
+  // register/unregister churn of the same issuer id + spec).
+  const bool cacheable =
+      options_.reuse && server_->cache().enabled() && issuer.id() != 0;
+  CacheKey key;
+  std::vector<uint8_t> fingerprint;
+  if (cacheable) {
+    key = MakeCacheKey(issuer, session->method, session->spec);
+    fingerprint = PdfFingerprint(issuer);
+    if (std::optional<AnswerCache::RegionHit> hit =
+            server_->cache().LookupRegion(key, issuer.region(), fingerprint,
+                                          epoch)) {
+      if (hit->basis != nullptr) session->basis = hit->basis;
+      if (hit->exact) {
+        // The issuer has not moved: the stored answers are its answers.
+        out->answers = std::move(hit->answers);
+        out->valid_region = hit->valid_region;
+        out->epoch = epoch;
+        out->revalidated = true;
+        validations_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+    }
+  }
+
+  // Rung 2 — the session basis; rung 3 — rebuild re-centred on the issuer.
+  const bool covered =
+      options_.reuse && session->basis != nullptr &&
+      session->basis->epoch == epoch &&
+      session->basis->valid_region.ContainsRect(issuer.region());
+  if (!covered) {
+    const Rect valid =
+        issuer.region().Expanded(session->horizon, session->horizon);
+    Result<std::shared_ptr<const SubscriptionBasis>> rebuilt =
+        BuildSubscriptionBasis(engine, session->method, valid,
+                               session->spec.query);
+    ILQ_RETURN_NOT_OK(rebuilt.status());
+    session->basis = std::move(rebuilt).ValueOrDie();
+  }
+
+  // Both paths answer by replay on the server's workers: subscription
+  // traffic shares the queue, backpressure and latency accounting with
+  // one-shot queries.
+  const std::shared_ptr<const SubscriptionBasis> basis = session->basis;
+  const QueryMethod method = session->method;
+  const BatchSpec spec = session->spec;
+  out->answers = server_
+                     ->SubmitTask(method,
+                                  [basis, issuer, method, spec] {
+                                    return ReplaySubscriptionBasis(
+                                        *basis, method, issuer, spec);
+                                  })
+                     .get();
+  out->valid_region = basis->valid_region;
+  out->epoch = basis->epoch;
+  out->revalidated = covered;
+  (covered ? validations_ : reevaluations_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (cacheable) {
+    server_->cache().InsertRegion(key, out->answers, std::move(fingerprint),
+                                  basis->valid_region, basis, basis->epoch);
+  }
+  return Status::OK();
+}
+
+Result<SubscriptionManager::Registered> SubscriptionManager::Register(
+    QueryMethod method, const BatchSpec& spec,
+    const UncertainObject& issuer) {
+  if (issuer.region().IsEmpty()) {
+    return Status::InvalidArgument("issuer region must be non-empty");
+  }
+  auto session = std::make_shared<Session>();
+  session->method = method;
+  session->spec = spec;
+  session->horizon = ResolveHorizon(issuer.region(), spec);
+
+  Registered registered;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    ILQ_RETURN_NOT_OK(Answer(session.get(), issuer, &registered.answer));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registered.id = next_id_++;
+    sessions_.emplace(registered.id, std::move(session));
+  }
+  registrations_.fetch_add(1, std::memory_order_relaxed);
+  return registered;
+}
+
+SubscriptionManager::SessionPtr SubscriptionManager::FindSession(
+    SubscriptionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Result<ContinuousAnswer> SubscriptionManager::UpdatePosition(
+    SubscriptionId id, const UncertainObject& issuer) {
+  const SessionPtr session = FindSession(id);
+  if (session == nullptr) {
+    return Status::NotFound("unknown subscription id");
+  }
+  ContinuousAnswer answer;
+  std::lock_guard<std::mutex> lock(session->mu);
+  ILQ_RETURN_NOT_OK(Answer(session.get(), issuer, &answer));
+  return answer;
+}
+
+Status SubscriptionManager::Unregister(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("unknown subscription id");
+  }
+  unregistrations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ContinuousStats SubscriptionManager::continuous_stats() const {
+  ContinuousStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.active = sessions_.size();
+  }
+  stats.registrations = registrations_.load(std::memory_order_relaxed);
+  stats.validations = validations_.load(std::memory_order_relaxed);
+  stats.reevaluations = reevaluations_.load(std::memory_order_relaxed);
+  stats.unregistrations = unregistrations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ServeStats SubscriptionManager::stats() const {
+  ServeStats stats = server_->stats();
+  const ContinuousStats continuous = continuous_stats();
+  stats.continuous_validations = continuous.validations;
+  stats.continuous_reevaluations = continuous.reevaluations;
+  stats.continuous_active = continuous.active;
+  return stats;
+}
+
+}  // namespace ilq

@@ -1,0 +1,185 @@
+// SubscriptionManager — the continuous-query tier of the serving layer
+// (ROADMAP "moving issuers & continuous queries", sharded/async flavour).
+//
+// ContinuousEngine (continuous/continuous_engine.h) runs moving-issuer
+// sessions against one monolithic QueryEngine. This manager runs the same
+// protocol — Register once, stream UpdatePosition, every answer carrying a
+// valid region — against the serving stack: the catalog is a ShardedEngine,
+// evaluation work is multiplexed over the AsyncServer's worker queue
+// (backpressure, latency histogram and per-method counters included), and
+// the server's AnswerCache is used for cross-update reuse via its region
+// entries (serve/answer_cache.h).
+//
+// A subscription's basis is a SubscriptionBasis: one CandidateBasis per
+// shard whose bounds intersect the prefetch box, pinned at one published
+// ShardedEngine epoch (ShardedEngine::Pin). Replay merges the per-shard
+// replays and canonicalizes — bit-identical to ShardedEngine::Run for every
+// issuer placement inside the valid region at that epoch, by the same
+// argument that makes the sharded tier itself exact (disjoint shards whose
+// bounds cover their members + per-candidate pure probabilities).
+//
+// Update flow (per session, under its own lock):
+//   1. cache LookupRegion — an *exact* hit (issuer pdf fingerprint
+//      unchanged) returns the stored answers outright; a *containment* hit
+//      re-adopts the shared basis (this is how a re-registered subscriber
+//      skips the rebuild after churn);
+//   2. a session basis that is epoch-fresh and contains the issuer region
+//      answers by replay (validation);
+//   3. otherwise the basis is rebuilt re-centred on the new position
+//      (re-evaluation) and replayed.
+// Replays and post-rebuild evaluations run as SubmitTask closures on the
+// server's workers. Validations vs re-evaluations (and the cache's exact
+// vs containment splits) surface in ServeStats via stats().
+//
+// INN sessions are not served at this tier — the probabilistic-Voronoi
+// valid region is a monolith feature (ContinuousEngine::RegisterInn).
+
+#ifndef ILQ_SERVE_SUBSCRIPTION_MANAGER_H_
+#define ILQ_SERVE_SUBSCRIPTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "continuous/candidate_basis.h"
+#include "continuous/continuous_engine.h"
+#include "core/batch.h"
+#include "serve/answer_cache.h"
+#include "serve/async_server.h"
+#include "serve/sharded_engine.h"
+
+namespace ilq {
+
+/// \brief One prefetched evaluation basis spanning the sharded catalog: a
+/// CandidateBasis per shard whose routing bounds intersect the prefetch
+/// box, all pinned at one published ShardedEngine epoch. Immutable after
+/// build and shared (shared_ptr) between the session that built it and any
+/// AnswerCache region entry that outlives the session.
+struct SubscriptionBasis {
+  Rect valid_region = Rect::Empty();
+  /// ShardedEngine epoch the shards were pinned at (conservative under a
+  /// racing publish — see ShardedEngine::Pin).
+  uint64_t epoch = 0;
+  /// Resolved per-shard engine config; carries the evaluator options the
+  /// replay needs, so the basis stays self-contained.
+  EngineConfig config;
+  std::vector<CandidateBasis> shards;
+
+  size_t candidate_count() const {
+    size_t n = 0;
+    for (const CandidateBasis& b : shards) n += b.candidate_count();
+    return n;
+  }
+};
+
+/// Builds the basis for \p method over \p valid_region: pins the published
+/// shard set and prefetches a CandidateBasis from every shard whose
+/// routing bounds intersect valid_region ⊕ R(spec.w, spec.h) — the same
+/// conservative Lemma-1 test ShardedEngine::Run routes with, widened from
+/// one issuer placement to the whole valid region.
+Result<std::shared_ptr<const SubscriptionBasis>> BuildSubscriptionBasis(
+    const ShardedEngine& engine, QueryMethod method, const Rect& valid_region,
+    const RangeQuerySpec& spec);
+
+/// Replays \p basis for one issuer placement: per-shard index-free replay,
+/// merged and canonicalized. Bit-identical to ShardedEngine::Run at the
+/// basis epoch for every issuer.region() ⊆ basis.valid_region.
+AnswerSet ReplaySubscriptionBasis(const SubscriptionBasis& basis,
+                                  QueryMethod method,
+                                  const UncertainObject& issuer,
+                                  const BatchSpec& spec);
+
+/// \brief Manager knobs (same semantics as ContinuousOptions).
+struct SubscriptionOptions {
+  /// Valid-region half-extent; <= 0 resolves per session from the issuer
+  /// region (then spec, then 1) exactly like ContinuousOptions::horizon.
+  double horizon = 0.0;
+
+  /// When false, every update rebuilds the basis (and skips the cache) —
+  /// the naive per-step baseline bench/continuous_throughput sweeps
+  /// against.
+  bool reuse = true;
+};
+
+/// \brief Register/UpdatePosition/Unregister over AsyncServer+ShardedEngine.
+///
+/// Thread safety: all members are safe to call concurrently (per-session
+/// locks, atomic counters), and concurrently with engine updates — answers
+/// are coherent with exactly one basis epoch, returned alongside them.
+/// Must not be called from the server's own worker threads (SubmitTask's
+/// future would wait on the pool it occupies).
+class SubscriptionManager {
+ public:
+  /// \p server must outlive the manager.
+  explicit SubscriptionManager(AsyncServer* server,
+                               SubscriptionOptions options = {});
+
+  struct Registered {
+    SubscriptionId id = 0;
+    ContinuousAnswer answer;
+  };
+
+  /// Registers one range/threshold session (any of the eight QueryMethods)
+  /// and evaluates it at the issuer's initial position. A cache
+  /// containment hit (same issuer id + spec, region still covered) adopts
+  /// the cached basis instead of rebuilding — re-registration churn does
+  /// not cost a prefetch.
+  Result<Registered> Register(QueryMethod method, const BatchSpec& spec,
+                              const UncertainObject& issuer);
+
+  /// Answers the session at the issuer's new (imprecise) position; see the
+  /// file comment for the exact reuse ladder.
+  Result<ContinuousAnswer> UpdatePosition(SubscriptionId id,
+                                          const UncertainObject& issuer);
+
+  /// Drops the session (cache region entries linger until evicted or
+  /// invalidated — that is the churn-reuse feature, not a leak: entries
+  /// are bounded by the cache capacity). kNotFound for unknown ids.
+  Status Unregister(SubscriptionId id);
+
+  /// Validation/re-evaluation counters of this manager.
+  ContinuousStats continuous_stats() const;
+
+  /// The server's ServeStats with the continuous_* fields filled in.
+  ServeStats stats() const;
+
+  AsyncServer& server() { return *server_; }
+  const SubscriptionOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    std::mutex mu;
+    QueryMethod method = QueryMethod::kIpq;
+    BatchSpec spec;
+    double horizon = 0.0;
+    std::shared_ptr<const SubscriptionBasis> basis;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  // Answers \p session for \p issuer (cache → session basis → rebuild);
+  // assumes session->mu is held.
+  Status Answer(Session* session, const UncertainObject& issuer,
+                ContinuousAnswer* out);
+  SessionPtr FindSession(SubscriptionId id) const;
+  double ResolveHorizon(const Rect& region, const BatchSpec& spec) const;
+
+  AsyncServer* server_;
+  SubscriptionOptions options_;
+
+  mutable std::mutex mu_;  // guards sessions_ and next_id_
+  SubscriptionId next_id_ = 1;
+  std::unordered_map<SubscriptionId, SessionPtr> sessions_;
+
+  std::atomic<uint64_t> registrations_{0};
+  std::atomic<uint64_t> validations_{0};
+  std::atomic<uint64_t> reevaluations_{0};
+  std::atomic<uint64_t> unregistrations_{0};
+};
+
+}  // namespace ilq
+
+#endif  // ILQ_SERVE_SUBSCRIPTION_MANAGER_H_

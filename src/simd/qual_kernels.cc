@@ -106,6 +106,35 @@ void HistogramDensityScalar(const HistogramParams& p, const Point* pts,
   }
 }
 
+void GaussianMassCenteredScalar(const GaussianParams& p, const Point* centers,
+                                size_t n, double w, double h, double* out) {
+  // Replays TruncatedGaussianPdf::MassIn(Rect::Centered(c, w, h)):
+  // Rect::Intersection's std::max(region, query)/std::min(region, query)
+  // operand order (NaN probe bounds lose to the region bounds, so a NaN
+  // center clamps to the whole region and yields the full mass, exactly as
+  // the pdf member does), Rect::IsEmpty's `min > max` test, then the
+  // product of per-axis Cdf1D interval masses.
+  for (size_t i = 0; i < n; ++i) {
+    const double ixmin = std::max(p.xmin, centers[i].x - w);
+    const double ixmax = std::min(p.xmax, centers[i].x + w);
+    const double iymin = std::max(p.ymin, centers[i].y - h);
+    const double iymax = std::min(p.ymax, centers[i].y + h);
+    if (ixmin > ixmax || iymin > iymax) {
+      out[i] = 0.0;
+      continue;
+    }
+    const double fx = GaussianCdf1D(ixmax, p.mux, p.sx, p.xmin, p.xmax,
+                                    p.mass_x, p.cdf_lo_x, p.normal_cdf) -
+                      GaussianCdf1D(ixmin, p.mux, p.sx, p.xmin, p.xmax,
+                                    p.mass_x, p.cdf_lo_x, p.normal_cdf);
+    const double fy = GaussianCdf1D(iymax, p.muy, p.sy, p.ymin, p.ymax,
+                                    p.mass_y, p.cdf_lo_y, p.normal_cdf) -
+                      GaussianCdf1D(iymin, p.muy, p.sy, p.ymin, p.ymax,
+                                    p.mass_y, p.cdf_lo_y, p.normal_cdf);
+    out[i] = fx * fy;
+  }
+}
+
 size_t CountInRectScalar(double xmin, double xmax, double ymin, double ymax,
                          const double* xs, const double* ys, size_t n) {
   // NaN (padding) lanes fail every ordered compare; an empty rect
@@ -305,7 +334,9 @@ KernelOverrides Sse2Overrides() {
   o.uniform_mass_centered = &UniformMassCenteredSse2;
   o.disk_density = &DiskDensitySse2;
   // histogram_density: the divide/truncate/gather chain has no SSE2 gather;
-  // inherits scalar. dot: kFast only — the scalar 4-accumulator form is
+  // inherits scalar. gaussian_mass_centered: 2 lanes can't amortize the
+  // bounds-spill + per-lane transcendental dance — inherits scalar, the
+  // AVX2 tier overrides. dot: kFast only — the scalar 4-accumulator form is
   // already the right shape for 128-bit hardware.
   o.count_in_rect = &CountInRectSse2;
   o.count_pairs_centered = &CountPairsCenteredSse2;
@@ -325,6 +356,7 @@ KernelSet ScalarSet() {
   k.uniform_mass_centered = &internal::UniformMassCenteredScalar;
   k.disk_density = &internal::DiskDensityScalar;
   k.histogram_density = &internal::HistogramDensityScalar;
+  k.gaussian_mass_centered = &internal::GaussianMassCenteredScalar;
   k.count_in_rect = &internal::CountInRectScalar;
   k.count_pairs_centered = &internal::CountPairsCenteredScalar;
   k.dot = &internal::DotScalar;
@@ -339,6 +371,9 @@ KernelSet Overlay(KernelSet base, const internal::KernelOverrides& o) {
   }
   if (o.disk_density) base.disk_density = o.disk_density;
   if (o.histogram_density) base.histogram_density = o.histogram_density;
+  if (o.gaussian_mass_centered) {
+    base.gaussian_mass_centered = o.gaussian_mass_centered;
+  }
   if (o.count_in_rect) base.count_in_rect = o.count_in_rect;
   if (o.count_pairs_centered) {
     base.count_pairs_centered = o.count_pairs_centered;

@@ -65,6 +65,22 @@ struct HistogramParams {
 /// inside int32 even as iy*nx + ix).
 inline constexpr size_t kHistogramKernelMaxCells = 32768;
 
+/// Truncated-gaussian pdf (prob/gaussian_pdf.*), hoisted: region bounds,
+/// centre, sigmas, per-axis truncation masses. `normal_cdf` is the standard
+/// normal CDF injected by the caller — prob sits *above* simd in the module
+/// graph, so the transcendental arrives as data, like HistogramParams::mass.
+/// cdf_lo_* are Φ((lo−μ)/σ) per axis, hoisted once per batch; NormalCdf is
+/// deterministic, so reusing the precomputed value is bit-identical to the
+/// pdf recomputing it inside every Cdf1D call.
+struct GaussianParams {
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;
+  double mux = 0.0, muy = 0.0;
+  double sx = 1.0, sy = 1.0;
+  double mass_x = 1.0, mass_y = 1.0;
+  double cdf_lo_x = 0.0, cdf_lo_y = 0.0;
+  double (*normal_cdf)(double) = nullptr;
+};
+
 /// The per-tier dispatch table. All pointers are always non-null.
 struct KernelSet {
   /// out[i] = inside(pts[i]) ? inv_area : 0.0
@@ -84,6 +100,11 @@ struct KernelSet {
   /// out[i] = cell_mass(pts[i]) / cell_area, 0 outside the region
   void (*histogram_density)(const HistogramParams& p, const Point* pts,
                             size_t n, double* out);
+  /// out[i] = truncated-gaussian mass of region ∩ centered(centers[i], w, h):
+  /// product of per-axis interval CDFs, 0 when the intersection is empty —
+  /// replays TruncatedGaussianPdf::MassIn(Rect::Centered(...)) bit-for-bit.
+  void (*gaussian_mass_centered)(const GaussianParams& p, const Point* centers,
+                                 size_t n, double w, double h, double* out);
   /// #{i < n : (xs[i], ys[i]) ∈ [xmin,xmax]×[ymin,ymax]} over NaN-padded
   /// SoA arrays (sample_block.h contract). An empty rect (min > max)
   /// counts nothing, matching Rect::Contains.

@@ -173,6 +173,63 @@ void HistogramDensityAvx2(const HistogramParams& p, const Point* pts,
   HistogramDensityScalar(p, pts + i, n - i, out + i);
 }
 
+void GaussianMassCenteredAvx2(const GaussianParams& p, const Point* centers,
+                              size_t n, double w, double h, double* out) {
+  // The erf-bound mass kernel: the intersection bounds and the empty test
+  // vectorize (4 lanes of min/max + one ordered-GT compare), which is where
+  // candidate filtering spends its time — most probe boxes miss or barely
+  // graze the pdf region. Lanes that survive pay the transcendental through
+  // the same GaussianCdf1D helper as the scalar tier, so the CDF path is
+  // literally the same code. MinStd4/MaxStd4 reproduce the scalar kernel's
+  // std::min/std::max operand order (NaN probe bounds lose to the region
+  // bounds), and the empty mask uses _CMP_GT_OQ in the scalar test's own
+  // sense (`min > max`, false on NaN) — both NaN corner cases match lane
+  // for lane.
+  const __m256d xmin = _mm256_set1_pd(p.xmin), xmax = _mm256_set1_pd(p.xmax);
+  const __m256d ymin = _mm256_set1_pd(p.ymin), ymax = _mm256_set1_pd(p.ymax);
+  const __m256d vw = _mm256_set1_pd(w), vh = _mm256_set1_pd(h);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d cx, cy;
+    LoadPoints4(centers + i, &cx, &cy);
+    const __m256d ixmin = MaxStd4(xmin, _mm256_sub_pd(cx, vw));
+    const __m256d ixmax = MinStd4(xmax, _mm256_add_pd(cx, vw));
+    const __m256d iymin = MaxStd4(ymin, _mm256_sub_pd(cy, vh));
+    const __m256d iymax = MinStd4(ymax, _mm256_add_pd(cy, vh));
+    const __m256d empty =
+        _mm256_or_pd(_mm256_cmp_pd(ixmin, ixmax, _CMP_GT_OQ),
+                     _mm256_cmp_pd(iymin, iymax, _CMP_GT_OQ));
+    const auto em = static_cast<unsigned>(_mm256_movemask_pd(empty));
+    if (em == 0xF) {
+      _mm256_storeu_pd(out + i, _mm256_setzero_pd());
+      continue;
+    }
+    alignas(32) double bx0[4], bx1[4], by0[4], by1[4];
+    _mm256_store_pd(bx0, ixmin);
+    _mm256_store_pd(bx1, ixmax);
+    _mm256_store_pd(by0, iymin);
+    _mm256_store_pd(by1, iymax);
+    for (size_t lane = 0; lane < 4; ++lane) {
+      if ((em >> lane) & 1u) {
+        out[i + lane] = 0.0;
+        continue;
+      }
+      const double fx =
+          GaussianCdf1D(bx1[lane], p.mux, p.sx, p.xmin, p.xmax, p.mass_x,
+                        p.cdf_lo_x, p.normal_cdf) -
+          GaussianCdf1D(bx0[lane], p.mux, p.sx, p.xmin, p.xmax, p.mass_x,
+                        p.cdf_lo_x, p.normal_cdf);
+      const double fy =
+          GaussianCdf1D(by1[lane], p.muy, p.sy, p.ymin, p.ymax, p.mass_y,
+                        p.cdf_lo_y, p.normal_cdf) -
+          GaussianCdf1D(by0[lane], p.muy, p.sy, p.ymin, p.ymax, p.mass_y,
+                        p.cdf_lo_y, p.normal_cdf);
+      out[i + lane] = fx * fy;
+    }
+  }
+  GaussianMassCenteredScalar(p, centers + i, n - i, w, h, out + i);
+}
+
 size_t CountInRectAvx2(double xmin, double xmax, double ymin, double ymax,
                        const double* xs, const double* ys, size_t n) {
   const __m256d lx = _mm256_set1_pd(xmin), hx = _mm256_set1_pd(xmax);
@@ -254,6 +311,7 @@ KernelOverrides Avx2Overrides() {
   o.uniform_mass_centered = &UniformMassCenteredAvx2;
   o.disk_density = &DiskDensityAvx2;
   o.histogram_density = &HistogramDensityAvx2;
+  o.gaussian_mass_centered = &GaussianMassCenteredAvx2;
   o.count_in_rect = &CountInRectAvx2;
   o.count_pairs_centered = &CountPairsCenteredAvx2;
   o.dot = &DotAvx2;

@@ -31,6 +31,8 @@ struct KernelOverrides {
                        double*) = nullptr;
   void (*histogram_density)(const HistogramParams&, const Point*, size_t,
                             double*) = nullptr;
+  void (*gaussian_mass_centered)(const GaussianParams&, const Point*, size_t,
+                                 double, double, double*) = nullptr;
   size_t (*count_in_rect)(double, double, double, double, const double*,
                           const double*, size_t) = nullptr;
   size_t (*count_pairs_centered)(const double*, const double*, const double*,
@@ -56,12 +58,25 @@ void DiskDensityScalar(const DiskParams& p, const Point* pts, size_t n,
                        double* out);
 void HistogramDensityScalar(const HistogramParams& p, const Point* pts,
                             size_t n, double* out);
+void GaussianMassCenteredScalar(const GaussianParams& p, const Point* centers,
+                                size_t n, double w, double h, double* out);
 size_t CountInRectScalar(double xmin, double xmax, double ymin, double ymax,
                          const double* xs, const double* ys, size_t n);
 size_t CountPairsCenteredScalar(const double* qx, const double* qy,
                                 const double* ox, const double* oy, size_t n,
                                 double w, double h);
 double DotScalar(const double* a, const double* b, size_t n);
+
+/// TruncatedGaussianPdf::Cdf1D with Φ((lo−μ)/σ) hoisted into `cdf_lo`.
+/// Shared by the scalar kernel and the wide tiers' per-lane interval math so
+/// every tier evaluates the transcendental path through the same code.
+inline double GaussianCdf1D(double v, double mu, double sigma, double lo,
+                            double hi, double z_mass, double cdf_lo,
+                            double (*normal_cdf)(double)) {
+  if (v <= lo) return 0.0;
+  if (v >= hi) return 1.0;
+  return (normal_cdf((v - mu) / sigma) - cdf_lo) / z_mass;
+}
 
 }  // namespace ilq::simd::internal
 

@@ -60,9 +60,8 @@ Status DecodeFrameHeader(std::span<const uint8_t> bytes, size_t max_payload,
         std::to_string(header.version) + " (expected " +
         std::to_string(kWireVersion) + ")");
   }
-  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse) &&
-      type != static_cast<uint8_t>(FrameType::kError)) {
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kUnregister)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
@@ -181,7 +180,13 @@ PdfVariant WireRequest::MakeDefaultWirePdf() {
       UniformRectPdf::Make(Rect(0.0, 1.0, 0.0, 1.0)).ValueOrDie());
 }
 
-Status EncodeRequest(const WireRequest& request, ByteWriter* out) {
+namespace {
+
+// Body codecs shared by the one-shot frames and the continuous frames
+// (which prefix a subscription id). Encoding a register/update payload
+// MUST stay byte-for-byte the one-shot layout after the prefix, so the two
+// paths cannot drift.
+Status EncodeRequestBody(const WireRequest& request, ByteWriter* out) {
   out->U8(static_cast<uint8_t>(request.method));
   out->F64(request.spec.query.w);
   out->F64(request.spec.query.h);
@@ -195,9 +200,9 @@ Status EncodeRequest(const WireRequest& request, ByteWriter* out) {
   return EncodePdf(request.issuer_pdf, out);
 }
 
-Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload) {
-  ByteReader reader(payload);
-  WireRequest request;
+Status DecodeRequestBody(ByteReader* reader_ptr, WireRequest* out) {
+  ByteReader& reader = *reader_ptr;
+  WireRequest& request = *out;
   uint8_t method = 0;
   ILQ_RETURN_NOT_OK(reader.U8(&method));
   if (method >= kQueryMethodCount) {
@@ -231,13 +236,10 @@ Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload) {
   Result<PdfVariant> pdf = DecodePdf(&reader);
   if (!pdf.ok()) return pdf.status();
   request.issuer_pdf = std::move(pdf).ValueOrDie();
-  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "request"));
-  return request;
+  return Status::OK();
 }
 
-// ---- Response -------------------------------------------------------------
-
-Status EncodeResponse(const WireResponse& response, ByteWriter* out) {
+Status EncodeResponseBody(const WireResponse& response, ByteWriter* out) {
   if (response.answers.size() > UINT32_MAX) {
     return Status::OutOfRange(
         "wire: answer set of " + std::to_string(response.answers.size()) +
@@ -259,9 +261,9 @@ Status EncodeResponse(const WireResponse& response, ByteWriter* out) {
   return Status::OK();
 }
 
-Result<WireResponse> DecodeResponse(std::span<const uint8_t> payload) {
-  ByteReader reader(payload);
-  WireResponse response;
+Status DecodeResponseBody(ByteReader* reader_ptr, WireResponse* out) {
+  ByteReader& reader = *reader_ptr;
+  WireResponse& response = *out;
   ILQ_RETURN_NOT_OK(reader.U64(&response.stats.epoch));
   ILQ_RETURN_NOT_OK(reader.F64(&response.stats.server_ms));
   ILQ_RETURN_NOT_OK(reader.U64(&response.stats.submitted));
@@ -280,6 +282,33 @@ Result<WireResponse> DecodeResponse(std::span<const uint8_t> payload) {
     ILQ_RETURN_NOT_OK(reader.F64(&answer.probability));
     response.answers.push_back(answer);
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeRequest(const WireRequest& request, ByteWriter* out) {
+  return EncodeRequestBody(request, out);
+}
+
+Result<WireRequest> DecodeRequest(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireRequest request;
+  ILQ_RETURN_NOT_OK(DecodeRequestBody(&reader, &request));
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "request"));
+  return request;
+}
+
+// ---- Response -------------------------------------------------------------
+
+Status EncodeResponse(const WireResponse& response, ByteWriter* out) {
+  return EncodeResponseBody(response, out);
+}
+
+Result<WireResponse> DecodeResponse(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireResponse response;
+  ILQ_RETURN_NOT_OK(DecodeResponseBody(&reader, &response));
   ILQ_RETURN_NOT_OK(RequireConsumed(reader, "response"));
   return response;
 }
@@ -310,6 +339,96 @@ Status DecodeError(std::span<const uint8_t> payload, Status* out) {
   ILQ_RETURN_NOT_OK(RequireConsumed(reader, "error"));
   *out = Status(static_cast<StatusCode>(code), std::move(message));
   return Status::OK();
+}
+
+// ---- Continuous sessions (v2) ---------------------------------------------
+
+WireContinuousUpdate::WireContinuousUpdate()
+    : issuer_pdf(UniformRectPdf::Make(Rect(0.0, 1.0, 0.0, 1.0))
+                     .ValueOrDie()) {}
+
+Status EncodeContinuousRequest(const WireContinuousRequest& request,
+                               ByteWriter* out) {
+  out->U64(request.subscription_id);
+  return EncodeRequestBody(request.request, out);
+}
+
+Result<WireContinuousRequest> DecodeContinuousRequest(
+    std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireContinuousRequest request;
+  ILQ_RETURN_NOT_OK(reader.U64(&request.subscription_id));
+  ILQ_RETURN_NOT_OK(DecodeRequestBody(&reader, &request.request));
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "continuous request"));
+  return request;
+}
+
+Status EncodeContinuousUpdate(const WireContinuousUpdate& update,
+                              ByteWriter* out) {
+  out->U64(update.subscription_id);
+  out->U32(update.issuer_id);
+  return EncodePdf(update.issuer_pdf, out);
+}
+
+Result<WireContinuousUpdate> DecodeContinuousUpdate(
+    std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireContinuousUpdate update;
+  ILQ_RETURN_NOT_OK(reader.U64(&update.subscription_id));
+  ILQ_RETURN_NOT_OK(reader.U32(&update.issuer_id));
+  Result<PdfVariant> pdf = DecodePdf(&reader);
+  if (!pdf.ok()) return pdf.status();
+  update.issuer_pdf = std::move(pdf).ValueOrDie();
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "continuous update"));
+  return update;
+}
+
+Status EncodeContinuousResponse(const WireContinuousResponse& response,
+                                ByteWriter* out) {
+  out->U64(response.subscription_id);
+  out->U8(response.revalidated ? 1 : 0);
+  EncodeRect(response.valid_region, out);
+  return EncodeResponseBody(response.response, out);
+}
+
+Result<WireContinuousResponse> DecodeContinuousResponse(
+    std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  WireContinuousResponse response;
+  ILQ_RETURN_NOT_OK(reader.U64(&response.subscription_id));
+  uint8_t revalidated = 0;
+  ILQ_RETURN_NOT_OK(reader.U8(&revalidated));
+  if (revalidated > 1) {
+    return Status::InvalidArgument("wire: revalidated flag must be 0 or 1");
+  }
+  response.revalidated = revalidated != 0;
+  ILQ_RETURN_NOT_OK(DecodeRect(&reader, &response.valid_region));
+  // NaNs would silently poison the router's valid-region intersection
+  // (every comparison false ⇒ regions look disjoint/empty in
+  // inconsistent ways). Infinities are fine — Rect::Empty() is the
+  // inverted-infinite rect and travels as-is.
+  if (std::isnan(response.valid_region.xmin) ||
+      std::isnan(response.valid_region.xmax) ||
+      std::isnan(response.valid_region.ymin) ||
+      std::isnan(response.valid_region.ymax)) {
+    return Status::InvalidArgument("wire: valid region must be NaN-free");
+  }
+  ILQ_RETURN_NOT_OK(DecodeResponseBody(&reader, &response.response));
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "continuous response"));
+  return response;
+}
+
+Status EncodeUnregister(uint64_t subscription_id, ByteWriter* out) {
+  out->U64(subscription_id);
+  return Status::OK();
+}
+
+Result<uint64_t> DecodeUnregister(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  uint64_t subscription_id = 0;
+  ILQ_RETURN_NOT_OK(reader.U64(&subscription_id));
+  ILQ_RETURN_NOT_OK(RequireConsumed(reader, "unregister"));
+  return subscription_id;
 }
 
 }  // namespace ilq

@@ -22,6 +22,21 @@
 //              side latency, queue counters, latency quantiles).
 //   kError     StatusCode + message; DecodeError reconstitutes the Status.
 //
+// Version 2 adds the continuous-session frames (the wire face of
+// serve/subscription_manager.h):
+//   kRegister            client subscription id + a full kRequest body —
+//                        opens a continuous session at the issuer's
+//                        initial position.
+//   kContinuousUpdate    subscription id + the issuer's new imprecise
+//                        position (id + pdf) — one trajectory step.
+//   kContinuousResponse  subscription id + revalidated flag + the valid
+//                        region the answers hold over + a full kResponse
+//                        body. Sent for kRegister, kContinuousUpdate and
+//                        kUnregister (the latter with empty answers).
+//   kUnregister          subscription id — closes the session.
+// Subscription ids are chosen by the client (router) and scoped to the
+// connection; servers drop a connection's sessions when it closes.
+//
 // Pdf encoding covers the closed-world PdfVariant alternatives (uniform
 // rect/disk, truncated gaussian, histogram). AnyPdf — an arbitrary
 // external UncertaintyPdf — has no portable parameterization and encodes
@@ -44,14 +59,16 @@
 #include "common/status.h"
 #include "core/batch.h"
 #include "core/query.h"
+#include "geometry/rect.h"
 #include "object/point_object.h"
 #include "prob/pdf_variant.h"
 #include "wire/codec.h"
 
 namespace ilq {
 
-/// Protocol version carried in every frame header.
-inline constexpr uint8_t kWireVersion = 1;
+/// Protocol version carried in every frame header. History: 1 = one-shot
+/// request/response/error; 2 = continuous-session frames added.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Fixed size of the frame header (u32 size + u8 version + u8 type).
 inline constexpr size_t kFrameHeaderBytes = 6;
@@ -61,11 +78,16 @@ inline constexpr size_t kFrameHeaderBytes = 6;
 /// not framed, so 1 MiB comfortably bounds any request/response.
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 
-/// \brief What a frame carries.
+/// \brief What a frame carries. Stable wire values — append, never
+/// renumber (DecodeFrameHeader accepts the contiguous range).
 enum class FrameType : uint8_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  kRegister = 4,            ///< open a continuous session (v2)
+  kContinuousUpdate = 5,    ///< one trajectory step (v2)
+  kContinuousResponse = 6,  ///< answer + valid region (v2)
+  kUnregister = 7,          ///< close a continuous session (v2)
 };
 
 /// \brief Decoded frame header.
@@ -155,6 +177,70 @@ Status EncodeError(const Status& error, ByteWriter* out);
 /// built from; the return value reports the decode itself (Result<Status>
 /// would make the two indistinguishable).
 Status DecodeError(std::span<const uint8_t> payload, Status* out);
+
+// ---- Continuous sessions (v2) ---------------------------------------------
+
+/// \brief Opens a continuous session: a client-chosen subscription id
+/// (scoped to the connection) plus the full one-shot request the session
+/// starts from.
+struct WireContinuousRequest {
+  uint64_t subscription_id = 0;
+  WireRequest request;
+};
+
+/// Encodes a kRegister payload.
+Status EncodeContinuousRequest(const WireContinuousRequest& request,
+                               ByteWriter* out);
+
+/// Decodes a kRegister payload (whole-span consumption enforced).
+Result<WireContinuousRequest> DecodeContinuousRequest(
+    std::span<const uint8_t> payload);
+
+/// \brief One trajectory step: the issuer's new imprecise position. The
+/// issuer id is repeated so the server can cross-check it against the
+/// registration (a mismatch is a protocol error, not a position update).
+struct WireContinuousUpdate {
+  uint64_t subscription_id = 0;
+  ObjectId issuer_id = 0;
+  PdfVariant issuer_pdf;
+
+  WireContinuousUpdate();
+};
+
+/// Encodes a kContinuousUpdate payload.
+Status EncodeContinuousUpdate(const WireContinuousUpdate& update,
+                              ByteWriter* out);
+
+/// Decodes a kContinuousUpdate payload.
+Result<WireContinuousUpdate> DecodeContinuousUpdate(
+    std::span<const uint8_t> payload);
+
+/// \brief Answer to any continuous frame: the valid region the answers
+/// hold over (the client may skip re-asking while its region stays
+/// inside), whether the server answered by validation (basis reuse) or
+/// re-evaluation, and a full response body — whose stats.epoch is the
+/// basis epoch the answers are coherent with.
+struct WireContinuousResponse {
+  uint64_t subscription_id = 0;
+  bool revalidated = false;
+  Rect valid_region = Rect::Empty();
+  WireResponse response;
+};
+
+/// Encodes a kContinuousResponse payload.
+Status EncodeContinuousResponse(const WireContinuousResponse& response,
+                                ByteWriter* out);
+
+/// Decodes a kContinuousResponse payload. The valid region must be
+/// NaN-free (it feeds region intersections on the router).
+Result<WireContinuousResponse> DecodeContinuousResponse(
+    std::span<const uint8_t> payload);
+
+/// Encodes a kUnregister payload (just the subscription id).
+Status EncodeUnregister(uint64_t subscription_id, ByteWriter* out);
+
+/// Decodes a kUnregister payload.
+Result<uint64_t> DecodeUnregister(std::span<const uint8_t> payload);
 
 }  // namespace ilq
 

@@ -1,0 +1,301 @@
+// Differential suite for the continuous-query tier (monolith flavour):
+// a ContinuousEngine session streamed along a trajectory must answer every
+// position update bit-identically to a one-shot QueryEngine query at that
+// position — same ids, same probability doubles — for all eight
+// QueryMethods, both probability kernels, reuse ON and OFF. This is the
+// exactness claim of candidate_basis.h: the valid region is a *proof of
+// coverage*, so replaying the prefetched basis is indistinguishable from
+// re-running the indexes, and the validations the session pockets are pure
+// savings, never approximations.
+//
+// Probabilities are compared exactly, not with a tolerance: the
+// per-candidate Monte-Carlo streams (MixSeeds) make even the sampled
+// kernels placement-pure, so any mismatch is a real coverage bug.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "continuous/continuous_engine.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "core/inn.h"
+#include "datagen/workload.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+// Mixed-pdf dataset so every monomorphized kernel pair is crossed by the
+// replay (uniform closed forms, gaussian separable, histogram generic).
+std::vector<UncertainObject> MakeMixedObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        objects.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        objects.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        objects.emplace_back(id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+AnswerSet Canonical(AnswerSet answers) {
+  CanonicalizeAnswers(&answers);
+  return answers;
+}
+
+void ExpectBitIdentical(const AnswerSet& continuous, const AnswerSet& oneshot,
+                        const std::string& what) {
+  ASSERT_EQ(continuous.size(), oneshot.size()) << what;
+  for (size_t i = 0; i < continuous.size(); ++i) {
+    EXPECT_EQ(continuous[i].id, oneshot[i].id) << what << " answer #" << i;
+    EXPECT_EQ(continuous[i].probability, oneshot[i].probability)
+        << what << " answer #" << i << " (id " << continuous[i].id << ")";
+  }
+}
+
+EngineConfig TestEngineConfig(ProbabilityKernel kernel) {
+  EngineConfig config;
+  config.eval.kernel = kernel;
+  config.eval.quadrature_order = 8;
+  config.eval.mc_samples = 64;
+  return config;
+}
+
+// Trajectories small enough to validate often but long enough to leave the
+// initial valid region (step σ of 60 against a default horizon of 2·u=80),
+// so both the replay path and the re-evaluation path are crossed per method.
+TrajectoryWorkload MakeTrajectories(double threshold, size_t issuers,
+                                    size_t steps) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.w = 120.0;
+  base.qp = threshold;
+  base.seed = 42;
+  TrajectoryConfig traj;
+  traj.issuers = issuers;
+  traj.steps = steps;
+  traj.kind = TrajectoryKind::kRandomWalk;
+  traj.step = 60.0;
+  traj.u_min = 30.0;
+  traj.u_max = 45.0;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).ValueOrDie();
+}
+
+// One trajectory through one method: register at the first step, stream the
+// rest, and pin every answer against the one-shot engine.
+void RunTrajectoryDifferential(const QueryEngine& engine,
+                               ContinuousEngine* continuous,
+                               QueryMethod method, const BatchSpec& spec,
+                               const std::vector<UncertainObject>& trajectory,
+                               const std::string& what) {
+  Result<ContinuousEngine::Registered> registered =
+      continuous->Register(method, spec, trajectory.front());
+  ASSERT_TRUE(registered.ok()) << what << ": "
+                               << registered.status().ToString();
+  EXPECT_FALSE(registered->answer.revalidated) << what;
+  EXPECT_TRUE(registered->answer.valid_region.ContainsRect(
+      trajectory.front().region()))
+      << what;
+  ExpectBitIdentical(
+      registered->answer.answers,
+      Canonical(RunQueryMethod(engine, method, trajectory.front(), spec)),
+      what + " register");
+
+  for (size_t t = 1; t < trajectory.size(); ++t) {
+    Result<ContinuousAnswer> answer =
+        continuous->UpdatePosition(registered->id, trajectory[t]);
+    ASSERT_TRUE(answer.ok()) << what << ": " << answer.status().ToString();
+    EXPECT_TRUE(answer->valid_region.ContainsRect(trajectory[t].region()))
+        << what << " step " << t;
+    EXPECT_EQ(answer->epoch, engine.epoch()) << what << " step " << t;
+    ExpectBitIdentical(
+        answer->answers,
+        Canonical(RunQueryMethod(engine, method, trajectory[t], spec)),
+        what + " step " + std::to_string(t));
+  }
+  EXPECT_TRUE(continuous->Unregister(registered->id).ok()) << what;
+}
+
+void RunDifferential(ProbabilityKernel kernel, bool reuse) {
+  const EngineConfig config = TestEngineConfig(kernel);
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(901, 300), MakeMixedObjects(902, 120), config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ContinuousOptions options;
+  options.reuse = reuse;
+  ContinuousEngine continuous(&*engine, options);
+
+  // threshold 0 exercises the basic/expanded methods' "report everything
+  // touched" shape; 0.3 exercises the catalog/PTI pruning bounds.
+  for (const double threshold : {0.0, 0.3}) {
+    const TrajectoryWorkload workload =
+        MakeTrajectories(threshold, /*issuers=*/2, /*steps=*/8);
+    const BatchSpec spec{workload.spec};
+    for (const std::vector<UncertainObject>& trajectory : workload.steps) {
+      for (const QueryMethod method : AllQueryMethods()) {
+        RunTrajectoryDifferential(
+            *engine, &continuous, method, spec, trajectory,
+            std::string(QueryMethodName(method)) + " Qp=" +
+                std::to_string(threshold) + (reuse ? " reuse" : " naive"));
+      }
+    }
+  }
+
+  const ContinuousStats stats = continuous.stats();
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.unregistrations, stats.registrations);
+  if (reuse) {
+    // Local wandering must actually hit the replay path, or the suite only
+    // covered rebuilds.
+    EXPECT_GT(stats.validations, 0u);
+  } else {
+    // The naive baseline never validates — every update is a rebuild.
+    EXPECT_EQ(stats.validations, 0u);
+  }
+  EXPECT_GT(stats.reevaluations, 0u);
+}
+
+TEST(ContinuousDifferentialTest, BitIdenticalAnalytic) {
+  RunDifferential(ProbabilityKernel::kAnalytic, /*reuse=*/true);
+}
+
+TEST(ContinuousDifferentialTest, BitIdenticalMonteCarlo) {
+  RunDifferential(ProbabilityKernel::kMonteCarlo, /*reuse=*/true);
+}
+
+TEST(ContinuousDifferentialTest, NaiveBaselineMatchesToo) {
+  RunDifferential(ProbabilityKernel::kAnalytic, /*reuse=*/false);
+}
+
+TEST(ContinuousDifferentialTest, EpochChangeInvalidatesTheBasis) {
+  const EngineConfig config = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(31, 200), MakeMixedObjects(32, 80), config);
+  ASSERT_TRUE(engine.ok());
+  ContinuousEngine continuous(&*engine);
+
+  const TrajectoryWorkload workload =
+      MakeTrajectories(/*threshold=*/0.0, /*issuers=*/1, /*steps=*/3);
+  const std::vector<UncertainObject>& trajectory = workload.steps.front();
+  const BatchSpec spec{workload.spec};
+  Result<ContinuousEngine::Registered> registered =
+      continuous.Register(QueryMethod::kIpq, spec, trajectory[0]);
+  ASSERT_TRUE(registered.ok());
+
+  // Insert a point inside the query range at the issuer's next position:
+  // the stale basis does not contain it, so a replay would be wrong — the
+  // epoch check must force a rebuild that sees it.
+  const Point inside(trajectory[1].region().Center());
+  ASSERT_TRUE(
+      engine->ApplyUpdates({UpdateOp::InsertPoint(9001, inside)}).ok());
+
+  Result<ContinuousAnswer> answer =
+      continuous.UpdatePosition(registered->id, trajectory[1]);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->revalidated);
+  EXPECT_EQ(answer->epoch, engine->epoch());
+  ExpectBitIdentical(
+      answer->answers,
+      Canonical(RunQueryMethod(*engine, QueryMethod::kIpq, trajectory[1],
+                               spec)),
+      "post-update step");
+  EXPECT_TRUE(std::any_of(answer->answers.begin(), answer->answers.end(),
+                          [](const ProbabilisticAnswer& a) {
+                            return a.id == 9001;
+                          }));
+}
+
+TEST(ContinuousDifferentialTest, InnSessionMatchesOneShotEvaluator) {
+  const EngineConfig config = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<QueryEngine> engine =
+      QueryEngine::Build(MakePoints(71, 250), {}, config);
+  ASSERT_TRUE(engine.ok());
+  ContinuousEngine continuous(&*engine);
+
+  const TrajectoryWorkload workload =
+      MakeTrajectories(/*threshold=*/0.0, /*issuers=*/2, /*steps=*/10);
+  InnOptions options;
+  options.samples = 200;
+  for (const std::vector<UncertainObject>& trajectory : workload.steps) {
+    Result<ContinuousEngine::Registered> registered =
+        continuous.RegisterInn(options, trajectory.front());
+    ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+    for (size_t t = 0; t < trajectory.size(); ++t) {
+      Result<ContinuousAnswer> answer =
+          t == 0 ? Result<ContinuousAnswer>(registered->answer)
+                 : continuous.UpdatePosition(registered->id, trajectory[t]);
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      EXPECT_GE(answer->support_margin, 0.0);
+      ExpectBitIdentical(
+          answer->answers,
+          Canonical(EvaluateINN(engine->point_index(), trajectory[t],
+                                options)),
+          "inn step " + std::to_string(t));
+    }
+    EXPECT_TRUE(continuous.Unregister(registered->id).ok());
+  }
+  EXPECT_GT(continuous.stats().validations, 0u);
+}
+
+TEST(ContinuousDifferentialTest, UnknownAndDroppedSessionsAreNotFound) {
+  const EngineConfig config = TestEngineConfig(ProbabilityKernel::kAnalytic);
+  Result<QueryEngine> engine = QueryEngine::Build(
+      MakePoints(81, 50), MakeMixedObjects(82, 20), config);
+  ASSERT_TRUE(engine.ok());
+  ContinuousEngine continuous(&*engine);
+
+  UncertainObject issuer(501u, MakeUniform(Rect(400, 500, 400, 500)));
+  ASSERT_TRUE(issuer.BuildCatalog(engine->config().catalog_values).ok());
+  EXPECT_EQ(continuous.UpdatePosition(12345, issuer).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(continuous.Unregister(12345).code(), StatusCode::kNotFound);
+
+  Result<ContinuousEngine::Registered> registered =
+      continuous.Register(QueryMethod::kIuq, BatchSpec{RangeQuerySpec(100,
+                                                                      100,
+                                                                      0.0)},
+                          issuer);
+  ASSERT_TRUE(registered.ok());
+  EXPECT_TRUE(continuous.Unregister(registered->id).ok());
+  EXPECT_EQ(continuous.UpdatePosition(registered->id, issuer).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(continuous.Unregister(registered->id).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,328 @@
+// Over-the-wire differential suite for continuous sessions (protocol v2):
+// a Router streaming trajectory updates to a fleet of ShardServers over
+// real localhost sockets must answer every step bit-identically to a
+// one-shot query on the monolithic QueryEngine — all eight methods, both
+// kernels, for trajectories that wander locally (valid-region replay) and
+// trajectories that cross the space (shard-set churn, transparent
+// re-registration). Also covers the session lifecycle over the wire:
+// unregister, unknown handles, and recovery after DisconnectAll (the
+// servers drop their connection-scoped halves; the next update must
+// re-register on their kNotFound and keep answering exactly).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "datagen/workload.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "serve/partition.h"
+#include "serve/sharded_engine.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+CatalogImage MakeImage(uint64_t seed, size_t uncertains, size_t points) {
+  Rng rng(seed);
+  CatalogImage image;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < points; ++i) {
+    image.points.emplace_back(
+        static_cast<ObjectId>(i + 1),
+        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  for (size_t i = 0; i < uncertains; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        image.uncertains.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        image.uncertains.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        image.uncertains.emplace_back(
+            id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return image;
+}
+
+AnswerSet Canonical(AnswerSet answers) {
+  CanonicalizeAnswers(&answers);
+  return answers;
+}
+
+void ExpectBitIdentical(const AnswerSet& remote, const AnswerSet& mono,
+                        const std::string& what) {
+  ASSERT_EQ(remote.size(), mono.size()) << what;
+  for (size_t i = 0; i < remote.size(); ++i) {
+    EXPECT_EQ(remote[i].id, mono[i].id) << what << " answer #" << i;
+    EXPECT_EQ(remote[i].probability, mono[i].probability)
+        << what << " answer #" << i << " (id " << remote[i].id << ")";
+  }
+}
+
+// Monolith reference + a 3-shard socket fleet over the same catalog image.
+struct Fleet {
+  std::unique_ptr<QueryEngine> mono;
+  std::vector<std::unique_ptr<ShardedEngine>> engines;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::unique_ptr<Router> router;
+
+  Fleet() = default;
+  Fleet(Fleet&&) = default;
+
+  ~Fleet() {
+    router.reset();  // close client connections before the servers stop
+    for (auto& server : servers) {
+      if (server != nullptr) server->Stop();
+    }
+  }
+};
+
+Fleet MakeFleet(ProbabilityKernel kernel) {
+  const CatalogImage image = MakeImage(111, 120, 100);
+  EngineConfig engine_config;
+  engine_config.eval.kernel = kernel;
+  engine_config.eval.mc_samples = 64;
+
+  Fleet fleet;
+  auto mono =
+      QueryEngine::Build(image.points, image.uncertains, engine_config);
+  ILQ_CHECK(mono.ok(), mono.status().ToString());
+  fleet.mono = std::make_unique<QueryEngine>(std::move(mono).ValueOrDie());
+
+  constexpr size_t kShards = 3;
+  auto split = SplitCatalogImage(image, kShards);
+  ILQ_CHECK(split.ok(), split.status().ToString());
+  RouterOptions router_options;
+  router_options.map = split->map;
+  for (CatalogImage& shard : split->shards) {
+    ShardedEngineConfig shard_config;
+    shard_config.shards = 1;
+    shard_config.engine = engine_config;
+    auto engine =
+        ShardedEngine::Build(std::move(shard.points),
+                             std::move(shard.uncertains), shard_config);
+    ILQ_CHECK(engine.ok(), engine.status().ToString());
+    fleet.engines.push_back(
+        std::make_unique<ShardedEngine>(std::move(engine).ValueOrDie()));
+    fleet.servers.push_back(
+        std::make_unique<ShardServer>(*fleet.engines.back()));
+    ILQ_CHECK(fleet.servers.back()->Start().ok(), "server start");
+    router_options.endpoints.push_back(
+        RouterEndpoint{"127.0.0.1", fleet.servers.back()->port()});
+  }
+  auto router = Router::Make(std::move(router_options));
+  ILQ_CHECK(router.ok(), router.status().ToString());
+  fleet.router = std::make_unique<Router>(std::move(router).ValueOrDie());
+  return fleet;
+}
+
+TrajectoryWorkload MakeTrajectories(TrajectoryKind kind, double threshold,
+                                    size_t issuers, size_t steps,
+                                    double step_size) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.w = 120.0;
+  base.qp = threshold;
+  base.seed = 99;
+  TrajectoryConfig traj;
+  traj.issuers = issuers;
+  traj.steps = steps;
+  traj.kind = kind;
+  traj.step = step_size;
+  traj.u_min = 30.0;
+  traj.u_max = 45.0;
+  traj.hotspots = 3;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).ValueOrDie();
+}
+
+class ContinuousNetTest : public ::testing::TestWithParam<ProbabilityKernel> {
+};
+
+// Local wandering: the session mostly replays inside its valid region.
+TEST_P(ContinuousNetTest, RandomWalkMatchesMonolithBitExactly) {
+  Fleet fleet = MakeFleet(GetParam());
+  const TrajectoryWorkload workload = MakeTrajectories(
+      TrajectoryKind::kRandomWalk, 0.3, /*issuers=*/1, /*steps=*/6, 60.0);
+  const BatchSpec spec{workload.spec};
+  const std::vector<UncertainObject>& trajectory = workload.steps.front();
+
+  for (const QueryMethod method : AllQueryMethods()) {
+    SCOPED_TRACE(QueryMethodName(method));
+    auto registered =
+        fleet.router->RegisterContinuous(method, spec, trajectory.front());
+    ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+    ExpectBitIdentical(
+        registered->answer.answers,
+        Canonical(RunQueryMethod(*fleet.mono, method, trajectory.front(),
+                                 spec)),
+        "register");
+    for (size_t t = 1; t < trajectory.size(); ++t) {
+      auto answer =
+          fleet.router->UpdateContinuous(registered->id, trajectory[t]);
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      EXPECT_TRUE(answer->valid_region.ContainsRect(trajectory[t].region()))
+          << "step " << t;
+      ExpectBitIdentical(
+          answer->answers,
+          Canonical(RunQueryMethod(*fleet.mono, method, trajectory[t],
+                                   spec)),
+          "step " + std::to_string(t));
+    }
+    EXPECT_TRUE(fleet.router->UnregisterContinuous(registered->id).ok());
+  }
+  EXPECT_EQ(fleet.router->continuous_session_count(), 0u);
+}
+
+// Space-crossing waypoint motion: the routed shard set changes along the
+// way, so the router must transparently re-register — and stay exact.
+TEST_P(ContinuousNetTest, WaypointShardChurnStaysExact) {
+  Fleet fleet = MakeFleet(GetParam());
+  const TrajectoryWorkload workload = MakeTrajectories(
+      TrajectoryKind::kWaypoint, 0.0, /*issuers=*/2, /*steps=*/10, 150.0);
+  const BatchSpec spec{workload.spec};
+
+  // Two representative methods (point- and uncertain-routed); the full
+  // method sweep is the random-walk test's job.
+  for (const QueryMethod method :
+       {QueryMethod::kIpq, QueryMethod::kCiuqRTree}) {
+    for (const std::vector<UncertainObject>& trajectory : workload.steps) {
+      SCOPED_TRACE(std::string(QueryMethodName(method)) + " issuer " +
+                   std::to_string(trajectory.front().id()));
+      auto registered =
+          fleet.router->RegisterContinuous(method, spec, trajectory.front());
+      ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+      for (size_t t = 1; t < trajectory.size(); ++t) {
+        auto answer =
+            fleet.router->UpdateContinuous(registered->id, trajectory[t]);
+        ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+        ExpectBitIdentical(
+            answer->answers,
+            Canonical(RunQueryMethod(*fleet.mono, method, trajectory[t],
+                                     spec)),
+            "step " + std::to_string(t));
+      }
+      EXPECT_TRUE(fleet.router->UnregisterContinuous(registered->id).ok());
+    }
+  }
+  // Crossing the space must actually have exercised the re-registration
+  // path, or this test is only re-checking the random-walk regime.
+  EXPECT_GT(fleet.router->stats().continuous_reregisters, 0u);
+}
+
+// DisconnectAll kills the transport under live sessions. The servers drop
+// their connection-scoped session halves; the next update must reconnect,
+// re-register on the server's kNotFound, and answer exactly.
+TEST_P(ContinuousNetTest, SessionsSurviveDisconnectAll) {
+  Fleet fleet = MakeFleet(GetParam());
+  const TrajectoryWorkload workload = MakeTrajectories(
+      TrajectoryKind::kRandomWalk, 0.0, /*issuers=*/1, /*steps=*/4, 60.0);
+  const BatchSpec spec{workload.spec};
+  const std::vector<UncertainObject>& trajectory = workload.steps.front();
+
+  auto registered = fleet.router->RegisterContinuous(
+      QueryMethod::kIuq, spec, trajectory.front());
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+
+  fleet.router->DisconnectAll();
+  EXPECT_EQ(fleet.router->continuous_session_count(), 1u);
+
+  for (size_t t = 1; t < trajectory.size(); ++t) {
+    auto answer =
+        fleet.router->UpdateContinuous(registered->id, trajectory[t]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ExpectBitIdentical(
+        answer->answers,
+        Canonical(RunQueryMethod(*fleet.mono, QueryMethod::kIuq,
+                                 trajectory[t], spec)),
+        "post-disconnect step " + std::to_string(t));
+    // A second disconnect mid-stream, for good measure.
+    if (t == 1) fleet.router->DisconnectAll();
+  }
+  EXPECT_TRUE(fleet.router->UnregisterContinuous(registered->id).ok());
+}
+
+TEST(ContinuousNetLifecycleTest, UnknownHandlesAreNotFound) {
+  Fleet fleet = MakeFleet(ProbabilityKernel::kAnalytic);
+  UncertainObject issuer(801u, MakeUniform(Rect(400, 480, 400, 480)));
+  EXPECT_EQ(fleet.router->UpdateContinuous(424242, issuer).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(fleet.router->UnregisterContinuous(424242).code(),
+            StatusCode::kNotFound);
+
+  const BatchSpec spec{RangeQuerySpec(120, 120, 0.0)};
+  auto registered =
+      fleet.router->RegisterContinuous(QueryMethod::kIpq, spec, issuer);
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  EXPECT_TRUE(fleet.router->UnregisterContinuous(registered->id).ok());
+  EXPECT_EQ(fleet.router->UnregisterContinuous(registered->id).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      fleet.router->UpdateContinuous(registered->id, issuer).status().code(),
+      StatusCode::kNotFound);
+}
+
+// One-shot queries and continuous sessions share the connections; mixing
+// them frame-by-frame must not confuse either path.
+TEST(ContinuousNetLifecycleTest, OneShotAndContinuousInterleave) {
+  Fleet fleet = MakeFleet(ProbabilityKernel::kAnalytic);
+  const TrajectoryWorkload workload = MakeTrajectories(
+      TrajectoryKind::kRandomWalk, 0.0, /*issuers=*/1, /*steps=*/4, 60.0);
+  const BatchSpec spec{workload.spec};
+  const std::vector<UncertainObject>& trajectory = workload.steps.front();
+
+  auto registered = fleet.router->RegisterContinuous(
+      QueryMethod::kIpq, spec, trajectory.front());
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+
+  UncertainObject oneshot(802u, MakeUniform(Rect(200, 300, 600, 700)));
+  for (size_t t = 1; t < trajectory.size(); ++t) {
+    auto remote = fleet.router->Query(oneshot, QueryMethod::kIuq, spec);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ExpectBitIdentical(
+        Canonical(*remote),
+        Canonical(RunQueryMethod(*fleet.mono, QueryMethod::kIuq, oneshot,
+                                 spec)),
+        "interleaved one-shot");
+    auto answer =
+        fleet.router->UpdateContinuous(registered->id, trajectory[t]);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    ExpectBitIdentical(
+        answer->answers,
+        Canonical(RunQueryMethod(*fleet.mono, QueryMethod::kIpq,
+                                 trajectory[t], spec)),
+        "interleaved step " + std::to_string(t));
+  }
+  EXPECT_TRUE(fleet.router->UnregisterContinuous(registered->id).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ContinuousNetTest,
+    ::testing::Values(ProbabilityKernel::kAnalytic,
+                      ProbabilityKernel::kMonteCarlo),
+    [](const ::testing::TestParamInfo<ProbabilityKernel>& info) {
+      return info.param == ProbabilityKernel::kAnalytic ? "Analytic"
+                                                        : "MonteCarlo";
+    });
+
+}  // namespace
+}  // namespace ilq

@@ -1,0 +1,296 @@
+// Differential + behavioural suite for the serving-tier continuous path
+// (SubscriptionManager over AsyncServer + ShardedEngine):
+//
+//  * every trajectory-step answer is bit-identical to ShardedEngine::Run
+//    (hence, by the sharded differential suite, to the monolith), all
+//    eight methods, reuse ON and OFF;
+//  * the AnswerCache's region entries are exercised end to end — exact
+//    hits when the issuer holds still, containment-driven basis adoption
+//    across register/unregister churn — and the exact vs containment
+//    split surfaces in ServeStats (ISSUE satellite: split counters);
+//  * plain Lookup never serves a region entry (one-shot queries through
+//    the same server stay exact).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/batch.h"
+#include "datagen/workload.h"
+#include "serve/sharded_engine.h"
+#include "serve/subscription_manager.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeGaussian;
+using ::ilq::testing::MakeSkewedHistogram;
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+std::vector<UncertainObject> MakeMixedObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    const Rect region = RandomRect(&rng, space, 15, 70);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    switch (i % 3) {
+      case 0:
+        objects.emplace_back(id, MakeUniform(region));
+        break;
+      case 1:
+        objects.emplace_back(id, MakeGaussian(region));
+        break;
+      default:
+        objects.emplace_back(id, MakeSkewedHistogram(region, 3, 3, seed + i));
+        break;
+    }
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+void ExpectBitIdentical(const AnswerSet& continuous, const AnswerSet& sharded,
+                        const std::string& what) {
+  ASSERT_EQ(continuous.size(), sharded.size()) << what;
+  for (size_t i = 0; i < continuous.size(); ++i) {
+    EXPECT_EQ(continuous[i].id, sharded[i].id) << what << " answer #" << i;
+    EXPECT_EQ(continuous[i].probability, sharded[i].probability)
+        << what << " answer #" << i << " (id " << continuous[i].id << ")";
+  }
+}
+
+ShardedEngine BuildEngine(ProbabilityKernel kernel, size_t shards) {
+  ShardedEngineConfig config;
+  config.shards = shards;
+  config.engine.eval.kernel = kernel;
+  config.engine.eval.quadrature_order = 8;
+  config.engine.eval.mc_samples = 64;
+  Result<ShardedEngine> engine = ShardedEngine::Build(
+      MakePoints(901, 300), MakeMixedObjects(902, 120), config);
+  ILQ_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).ValueOrDie();
+}
+
+TrajectoryWorkload MakeTrajectories(double threshold, size_t issuers,
+                                    size_t steps) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.w = 120.0;
+  base.qp = threshold;
+  base.seed = 77;
+  TrajectoryConfig traj;
+  traj.issuers = issuers;
+  traj.steps = steps;
+  traj.kind = TrajectoryKind::kRandomWalk;
+  traj.step = 60.0;
+  traj.u_min = 30.0;
+  traj.u_max = 45.0;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).ValueOrDie();
+}
+
+void RunDifferential(ProbabilityKernel kernel, bool reuse) {
+  const ShardedEngine engine = BuildEngine(kernel, /*shards=*/3);
+  AsyncServerOptions serve_options;
+  serve_options.threads = 2;
+  serve_options.cache_capacity = 128;
+  AsyncServer server(engine, serve_options);
+  SubscriptionOptions options;
+  options.reuse = reuse;
+  SubscriptionManager manager(&server, options);
+
+  for (const double threshold : {0.0, 0.3}) {
+    const TrajectoryWorkload workload =
+        MakeTrajectories(threshold, /*issuers=*/2, /*steps=*/6);
+    const BatchSpec spec{workload.spec};
+    for (const std::vector<UncertainObject>& trajectory : workload.steps) {
+      for (const QueryMethod method : AllQueryMethods()) {
+        const std::string what =
+            std::string(QueryMethodName(method)) + " Qp=" +
+            std::to_string(threshold) + (reuse ? " reuse" : " naive");
+        Result<SubscriptionManager::Registered> registered =
+            manager.Register(method, spec, trajectory.front());
+        ASSERT_TRUE(registered.ok()) << what << ": "
+                                     << registered.status().ToString();
+        ExpectBitIdentical(registered->answer.answers,
+                           engine.Run(method, trajectory.front(), spec),
+                           what + " register");
+        for (size_t t = 1; t < trajectory.size(); ++t) {
+          Result<ContinuousAnswer> answer =
+              manager.UpdatePosition(registered->id, trajectory[t]);
+          ASSERT_TRUE(answer.ok()) << what << ": "
+                                   << answer.status().ToString();
+          EXPECT_TRUE(
+              answer->valid_region.ContainsRect(trajectory[t].region()))
+              << what << " step " << t;
+          ExpectBitIdentical(answer->answers,
+                             engine.Run(method, trajectory[t], spec),
+                             what + " step " + std::to_string(t));
+        }
+        EXPECT_TRUE(manager.Unregister(registered->id).ok()) << what;
+      }
+    }
+  }
+
+  const ServeStats stats = manager.stats();
+  EXPECT_EQ(stats.continuous_active, 0u);
+  EXPECT_GT(stats.continuous_reevaluations, 0u);
+  if (reuse) {
+    EXPECT_GT(stats.continuous_validations, 0u);
+  } else {
+    EXPECT_EQ(stats.continuous_validations, 0u);
+  }
+  // Continuous traffic rides the same worker queue as one-shot queries, so
+  // it shows up in the server's submission accounting too. (No check on
+  // stats.pending: the worker decrements it *after* fulfilling the future,
+  // so it is transiently nonzero even when every answer is already home.)
+  EXPECT_GT(stats.submitted, 0u);
+}
+
+TEST(ContinuousServeTest, BitIdenticalToShardedEngineAnalytic) {
+  RunDifferential(ProbabilityKernel::kAnalytic, /*reuse=*/true);
+}
+
+TEST(ContinuousServeTest, BitIdenticalToShardedEngineMonteCarlo) {
+  RunDifferential(ProbabilityKernel::kMonteCarlo, /*reuse=*/true);
+}
+
+TEST(ContinuousServeTest, NaiveBaselineBitIdenticalToo) {
+  RunDifferential(ProbabilityKernel::kAnalytic, /*reuse=*/false);
+}
+
+// A stationary issuer exact-hits the cache's region entry: the stored
+// answers come back without touching the workers, and the exact/containment
+// split in ServeStats records it (satellite: split counters).
+TEST(ContinuousServeTest, StationaryIssuerExactHitsTheRegionEntry) {
+  const ShardedEngine engine =
+      BuildEngine(ProbabilityKernel::kAnalytic, /*shards=*/2);
+  AsyncServerOptions serve_options;
+  serve_options.threads = 1;
+  serve_options.cache_capacity = 64;
+  AsyncServer server(engine, serve_options);
+  SubscriptionManager manager(&server);
+
+  UncertainObject issuer(601u, MakeUniform(Rect(400, 480, 400, 480)));
+  ASSERT_TRUE(
+      issuer.BuildCatalog(engine.config().engine.catalog_values).ok());
+  const BatchSpec spec{RangeQuerySpec(120, 120, 0.0)};
+  Result<SubscriptionManager::Registered> registered =
+      manager.Register(QueryMethod::kIpq, spec, issuer);
+  ASSERT_TRUE(registered.ok());
+
+  const ServeStats before = manager.stats();
+  Result<ContinuousAnswer> answer =
+      manager.UpdatePosition(registered->id, issuer);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->revalidated);
+  ExpectBitIdentical(answer->answers, registered->answer.answers,
+                     "stationary update");
+
+  const ServeStats after = manager.stats();
+  EXPECT_EQ(after.cache_exact_hits, before.cache_exact_hits + 1);
+  EXPECT_EQ(after.cache_containment_hits, before.cache_containment_hits);
+  // An exact hit is answered from the cache, not the worker queue.
+  EXPECT_EQ(after.submitted, before.submitted);
+  EXPECT_EQ(after.continuous_validations, before.continuous_validations + 1);
+}
+
+// Unregister + re-register of the same issuer id/spec adopts the cached
+// basis via a containment hit instead of prefetching again — the
+// churn-reuse feature the cache's region entries exist for.
+TEST(ContinuousServeTest, ReRegistrationAdoptsTheCachedBasis) {
+  const ShardedEngine engine =
+      BuildEngine(ProbabilityKernel::kAnalytic, /*shards=*/2);
+  AsyncServerOptions serve_options;
+  serve_options.threads = 1;
+  serve_options.cache_capacity = 64;
+  AsyncServer server(engine, serve_options);
+  SubscriptionManager manager(&server);
+
+  UncertainObject issuer(602u, MakeUniform(Rect(300, 380, 300, 380)));
+  ASSERT_TRUE(
+      issuer.BuildCatalog(engine.config().engine.catalog_values).ok());
+  const BatchSpec spec{RangeQuerySpec(120, 120, 0.3)};
+  Result<SubscriptionManager::Registered> first =
+      manager.Register(QueryMethod::kCiuqRTree, spec, issuer);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(manager.Unregister(first->id).ok());
+
+  // Nudge the issuer inside the old valid region with a *different* pdf
+  // placement, so the lookup is a containment hit (not exact) and the
+  // adopted basis still answers by replay.
+  UncertainObject moved(602u, MakeUniform(Rect(310, 390, 305, 385)));
+  ASSERT_TRUE(
+      moved.BuildCatalog(engine.config().engine.catalog_values).ok());
+  ASSERT_TRUE(first->answer.valid_region.ContainsRect(moved.region()));
+
+  const ServeStats before = manager.stats();
+  Result<SubscriptionManager::Registered> second =
+      manager.Register(QueryMethod::kCiuqRTree, spec, moved);
+  ASSERT_TRUE(second.ok());
+  const ServeStats after = manager.stats();
+
+  EXPECT_EQ(after.cache_containment_hits, before.cache_containment_hits + 1);
+  // Adoption means the second registration replays instead of rebuilding.
+  EXPECT_TRUE(second->answer.revalidated);
+  EXPECT_EQ(second->answer.valid_region, first->answer.valid_region);
+  EXPECT_EQ(after.continuous_reevaluations, before.continuous_reevaluations);
+  ExpectBitIdentical(second->answer.answers,
+                     engine.Run(QueryMethod::kCiuqRTree, moved, spec),
+                     "adopted-basis registration");
+}
+
+// One-shot traffic through the same server must never be served a region
+// entry: Lookup demands placement identity, LookupRegion is the only
+// entry point that may adopt by containment.
+TEST(ContinuousServeTest, OneShotLookupsIgnoreRegionEntries) {
+  const ShardedEngine engine =
+      BuildEngine(ProbabilityKernel::kAnalytic, /*shards=*/2);
+  AsyncServerOptions serve_options;
+  serve_options.threads = 1;
+  serve_options.cache_capacity = 64;
+  AsyncServer server(engine, serve_options);
+  SubscriptionManager manager(&server);
+
+  UncertainObject issuer(603u, MakeUniform(Rect(500, 580, 500, 580)));
+  ASSERT_TRUE(
+      issuer.BuildCatalog(engine.config().engine.catalog_values).ok());
+  const BatchSpec spec{RangeQuerySpec(120, 120, 0.0)};
+  Result<SubscriptionManager::Registered> registered =
+      manager.Register(QueryMethod::kIuq, spec, issuer);
+  ASSERT_TRUE(registered.ok());
+
+  // A one-shot submission for a *different* placement inside the valid
+  // region: it must evaluate (miss), not inherit the subscription's basis.
+  UncertainObject moved(603u, MakeUniform(Rect(510, 590, 510, 590)));
+  ASSERT_TRUE(
+      moved.BuildCatalog(engine.config().engine.catalog_values).ok());
+  const ServeStats before = server.stats();
+  const AnswerSet answers =
+      server.Submit(moved, spec, QueryMethod::kIuq).get();
+  const ServeStats after = server.stats();
+  EXPECT_EQ(after.cache_exact_hits, before.cache_exact_hits);
+  EXPECT_EQ(after.cache_containment_hits, before.cache_containment_hits);
+  ExpectBitIdentical(answers, engine.Run(QueryMethod::kIuq, moved, spec),
+                     "one-shot through subscribed server");
+}
+
+}  // namespace
+}  // namespace ilq

@@ -28,6 +28,7 @@
 #include "prob/disk_pdf.h"
 #include "prob/gaussian_pdf.h"
 #include "prob/histogram_pdf.h"
+#include "prob/normal.h"
 #include "prob/uniform_pdf.h"
 #include "simd/qual_kernels.h"
 #include "simd/sample_block.h"
@@ -190,6 +191,55 @@ TEST(SimdKernelsTest, HistogramKernelBitIdenticalNonMultipleOf8Grids) {
                                                got.data());
         ExpectSameDoubles(got, want, "histogram_density", level);
       }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GaussianMassKernelBitIdenticalAcrossTiersAllTails) {
+  const Rect region(0, 500, 0, 500);
+  Result<TruncatedGaussianPdf> pdf =
+      TruncatedGaussianPdf::MakePaperDefault(region);
+  ASSERT_TRUE(pdf.ok());
+  // Hoist the pdf into kernel params the same way gaussian_pdf.cc does.
+  const Point mu = region.Center();
+  const double sx = region.Width() / 6.0, sy = region.Height() / 6.0;
+  simd::GaussianParams params;
+  params.xmin = region.xmin;
+  params.xmax = region.xmax;
+  params.ymin = region.ymin;
+  params.ymax = region.ymax;
+  params.mux = mu.x;
+  params.muy = mu.y;
+  params.sx = sx;
+  params.sy = sy;
+  params.mass_x = NormalCdf((region.xmax - mu.x) / sx) -
+                  NormalCdf((region.xmin - mu.x) / sx);
+  params.mass_y = NormalCdf((region.ymax - mu.y) / sy) -
+                  NormalCdf((region.ymin - mu.y) / sy);
+  params.cdf_lo_x = NormalCdf((region.xmin - mu.x) / sx);
+  params.cdf_lo_y = NormalCdf((region.ymin - mu.y) / sy);
+  params.normal_cdf = &NormalCdf;
+  const simd::KernelSet& scalar = simd::Kernels(simd::SimdLevel::kScalar);
+  for (size_t n : kTailSizes) {
+    // Probe mix includes boundary/±0.0/NaN/∞ centers, plus a box size that
+    // covers the region entirely (both CDFs hit their clamped branches) and
+    // one that misses it (empty intersection) via the straddling probes.
+    const std::vector<Point> pts = MakeProbes(n, 800 + n);
+    std::vector<double> want(n);
+    scalar.gaussian_mass_centered(params, pts.data(), n, 120, 90,
+                                  want.data());
+    // The scalar kernel must replay the pdf member exactly. (NaN centers
+    // lose every std::min/max against the region bounds in both paths, so
+    // the outputs stay finite — the full region mass — and EXPECT_EQ works.)
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(want[i], pdf->MassIn(Rect::Centered(pts[i], 120, 90)))
+          << "scalar kernel lane " << i;
+    }
+    for (simd::SimdLevel level : SupportedLevels()) {
+      std::vector<double> got(n, -1.0);
+      simd::Kernels(level).gaussian_mass_centered(params, pts.data(), n, 120,
+                                                  90, got.data());
+      ExpectSameDoubles(got, want, "gaussian_mass_centered", level);
     }
   }
 }

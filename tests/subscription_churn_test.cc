@@ -1,0 +1,200 @@
+// Concurrency suite for the continuous serving tier: SubscriptionManager
+// under register/update/unregister churn from many threads, concurrently
+// with catalog updates republishing the ShardedEngine's epoch. Run under
+// TSan via the `thread` label. Correctness here is freedom from races plus
+// the coherence contract of subscription_manager.h: every answer is
+// bit-identical to ShardedEngine::Run *at the answer's own epoch* — which
+// this suite checks for the quiescent phases before and after the churn
+// (during churn the reference engine itself is moving, so there the suite
+// asserts structural sanity: OK-or-NotFound statuses, monotone counters).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/batch.h"
+#include "datagen/workload.h"
+#include "serve/sharded_engine.h"
+#include "serve/subscription_manager.h"
+#include "test_util.h"
+
+namespace ilq {
+namespace {
+
+using ::ilq::testing::MakeUniform;
+using ::ilq::testing::RandomRect;
+
+std::vector<UncertainObject> MakeObjects(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<UncertainObject> objects;
+  const Rect space(0, 1000, 0, 1000);
+  for (size_t i = 0; i < count; ++i) {
+    objects.emplace_back(static_cast<ObjectId>(i + 1),
+                         MakeUniform(RandomRect(&rng, space, 15, 70)));
+  }
+  return objects;
+}
+
+std::vector<PointObject> MakePoints(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<PointObject> points;
+  for (size_t i = 0; i < count; ++i) {
+    points.emplace_back(static_cast<ObjectId>(i + 1),
+                        Point(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+  }
+  return points;
+}
+
+TrajectoryWorkload MakeTrajectories(size_t issuers, size_t steps) {
+  WorkloadConfig base;
+  base.space = Rect(0, 1000, 0, 1000);
+  base.w = 120.0;
+  base.seed = 1234;
+  TrajectoryConfig traj;
+  traj.issuers = issuers;
+  traj.steps = steps;
+  traj.step = 60.0;
+  traj.u_min = 30.0;
+  traj.u_max = 40.0;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ILQ_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).ValueOrDie();
+}
+
+// N streamer threads each own a trajectory and re-register/stream/drop it
+// in a loop; one churn thread moves catalog objects (epoch republishes);
+// one thrash thread fires updates at ids it does not own, so NotFound
+// races (update vs unregister) are continuously exercised.
+TEST(SubscriptionChurnTest, ConcurrentRegisterUpdateUnregisterAndEpochChurn) {
+  ShardedEngineConfig config;
+  config.shards = 3;
+  config.engine.eval.quadrature_order = 8;
+  Result<ShardedEngine> engine = ShardedEngine::Build(
+      MakePoints(51, 200), MakeObjects(52, 80), config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  AsyncServerOptions serve_options;
+  serve_options.threads = 3;
+  serve_options.queue_capacity = 64;
+  serve_options.cache_capacity = 128;
+  AsyncServer server(*engine, serve_options);
+  SubscriptionManager manager(&server);
+
+  constexpr size_t kStreamers = 4;
+  constexpr size_t kRounds = 3;
+  const TrajectoryWorkload workload =
+      MakeTrajectories(kStreamers, /*steps=*/8);
+  const BatchSpec spec{workload.spec};
+
+  // gtest assertions are not reliable off the main thread (same idiom as
+  // update_concurrency_test): worker threads count violations atomically,
+  // the main thread asserts after the join.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<SubscriptionId> last_id{0};
+
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kStreamers; ++s) {
+    threads.emplace_back([&, s] {
+      const std::vector<UncertainObject>& trajectory = workload.steps[s];
+      const QueryMethod method =
+          AllQueryMethods()[s % AllQueryMethods().size()];
+      for (size_t round = 0; round < kRounds; ++round) {
+        auto registered =
+            manager.Register(method, spec, trajectory.front());
+        if (!registered.ok()) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        last_id.store(registered->id, std::memory_order_relaxed);
+        for (size_t t = 1; t < trajectory.size(); ++t) {
+          auto answer =
+              manager.UpdatePosition(registered->id, trajectory[t]);
+          if (!answer.ok() ||
+              !answer->valid_region.ContainsRect(trajectory[t].region())) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!manager.Unregister(registered->id).ok()) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Epoch churn: keep republishing the catalog under the live sessions.
+  threads.emplace_back([&] {
+    Rng rng(77);
+    uint64_t op = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ObjectId id = static_cast<ObjectId>(1 + (op++ % 200));
+      const Point to(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+      if (!engine->ApplyUpdates({UpdateOp::MovePoint(id, to)}).ok()) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Foreign-id thrash: updates against ids owned (or already dropped) by
+  // the streamers — every call must come back OK or NotFound, never a
+  // crash or a torn answer.
+  threads.emplace_back([&] {
+    UncertainObject probe(9001u, MakeUniform(Rect(450, 520, 450, 520)));
+    ILQ_CHECK(probe.BuildCatalog(
+                      engine->config().engine.catalog_values).ok(),
+              "probe catalog");
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SubscriptionId id = last_id.load(std::memory_order_relaxed);
+      if (id != 0) {
+        auto answer = manager.UpdatePosition(id, probe);
+        if (answer.ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else if (answer.status().code() != StatusCode::kNotFound) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t s = 0; s < kStreamers; ++s) threads[s].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t s = kStreamers; s < threads.size(); ++s) threads[s].join();
+
+  EXPECT_EQ(violations.load(), 0u);
+
+  const ContinuousStats stats = manager.continuous_stats();
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.registrations, kStreamers * kRounds);
+  EXPECT_EQ(stats.unregistrations, kStreamers * kRounds);
+  // Every successful answer was counted exactly once, on one side of the
+  // validation/re-evaluation split.
+  EXPECT_EQ(stats.validations + stats.reevaluations,
+            answered.load() + stats.registrations);
+
+  // Quiescent coda: with the churn stopped, a fresh session must be
+  // bit-identical to the reference engine at the now-stable epoch.
+  const UncertainObject& issuer = workload.steps[0][2];
+  auto registered = manager.Register(QueryMethod::kIuq, spec, issuer);
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  const AnswerSet reference = engine->Run(QueryMethod::kIuq, issuer, spec);
+  ASSERT_EQ(registered->answer.answers.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(registered->answer.answers[i].id, reference[i].id);
+    EXPECT_EQ(registered->answer.answers[i].probability,
+              reference[i].probability);
+  }
+  EXPECT_TRUE(manager.Unregister(registered->id).ok());
+}
+
+}  // namespace
+}  // namespace ilq

@@ -281,6 +281,142 @@ TEST(WireFrameHeaderTest, RoundTripsAndRejects) {
             StatusCode::kOutOfRange);
 }
 
+// ---- Continuous sessions (v2) ----------------------------------------------
+
+TEST(WireContinuousTest, RequestRoundTripsEveryPdfAndMethod) {
+  const std::vector<PdfVariant> pdfs = AllEncodablePdfs();
+  for (const QueryMethod method : AllQueryMethods()) {
+    for (size_t p = 0; p < pdfs.size(); ++p) {
+      WireContinuousRequest request;
+      request.subscription_id = 0xFEEDFACE00000000ull + p;
+      request.request.issuer_id = 2000 + static_cast<ObjectId>(p);
+      request.request.issuer_pdf = pdfs[p];
+      request.request.method = method;
+      request.request.spec.query.w = 250.5;
+      request.request.spec.query.h = 31.25;
+      request.request.spec.query.threshold = 0.375;
+
+      ByteWriter writer;
+      ASSERT_TRUE(EncodeContinuousRequest(request, &writer).ok());
+      auto decoded = DecodeContinuousRequest(writer.bytes());
+      ASSERT_TRUE(decoded.ok())
+          << QueryMethodName(method) << ": " << decoded.status().ToString();
+      EXPECT_EQ(decoded->subscription_id, request.subscription_id);
+      EXPECT_EQ(decoded->request.issuer_id, request.request.issuer_id);
+      EXPECT_EQ(decoded->request.method, method);
+      EXPECT_EQ(decoded->request.spec.query.w, 250.5);
+      EXPECT_EQ(decoded->request.spec.query.threshold, 0.375);
+      EXPECT_EQ(decoded->request.issuer_pdf.index(), pdfs[p].index());
+    }
+  }
+}
+
+TEST(WireContinuousTest, UpdateRoundTripsEveryPdf) {
+  for (const PdfVariant& pdf : AllEncodablePdfs()) {
+    WireContinuousUpdate update;
+    update.subscription_id = 77;
+    update.issuer_id = 4242;
+    update.issuer_pdf = pdf;
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeContinuousUpdate(update, &writer).ok());
+    auto decoded = DecodeContinuousUpdate(writer.bytes());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->subscription_id, 77u);
+    EXPECT_EQ(decoded->issuer_id, 4242u);
+    EXPECT_EQ(decoded->issuer_pdf.index(), pdf.index());
+  }
+}
+
+TEST(WireContinuousTest, ResponseRoundTripsRegionsFlagsAndAnswers) {
+  // Finite, empty (the canonical inverted-infinite rect — infinities are
+  // legal on the wire), and degenerate regions all round-trip bit-exactly.
+  const std::vector<Rect> regions = {Rect(10.5, 20.5, -3.25, 4.75),
+                                     Rect::Empty(),
+                                     Rect(1.0, 1.0, 2.0, 2.0)};
+  for (const Rect& region : regions) {
+    for (const bool revalidated : {false, true}) {
+      WireContinuousResponse response;
+      response.subscription_id = 31337;
+      response.revalidated = revalidated;
+      response.valid_region = region;
+      response.response.answers.push_back({9, 0.75});
+      response.response.stats.epoch = 17;  // the basis epoch rides here
+
+      ByteWriter writer;
+      ASSERT_TRUE(EncodeContinuousResponse(response, &writer).ok());
+      auto decoded = DecodeContinuousResponse(writer.bytes());
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->subscription_id, 31337u);
+      EXPECT_EQ(decoded->revalidated, revalidated);
+      EXPECT_EQ(decoded->valid_region.xmin, region.xmin);
+      EXPECT_EQ(decoded->valid_region.xmax, region.xmax);
+      EXPECT_EQ(decoded->valid_region.ymin, region.ymin);
+      EXPECT_EQ(decoded->valid_region.ymax, region.ymax);
+      EXPECT_EQ(decoded->response.stats.epoch, 17u);
+      ASSERT_EQ(decoded->response.answers.size(), 1u);
+      EXPECT_EQ(decoded->response.answers[0].probability, 0.75);
+    }
+  }
+}
+
+TEST(WireContinuousTest, ResponseRejectsBadFlagNaNRegionAndTrailingBytes) {
+  WireContinuousResponse response;
+  response.subscription_id = 5;
+  response.valid_region = Rect(0, 10, 0, 10);
+  ByteWriter writer;
+  ASSERT_TRUE(EncodeContinuousResponse(response, &writer).ok());
+  const std::vector<uint8_t> valid = std::move(writer).Take();
+
+  {  // revalidated must be 0 or 1 (offset 8: right after the u64 id)
+    std::vector<uint8_t> bytes = valid;
+    bytes[8] = 2;
+    EXPECT_EQ(DecodeContinuousResponse(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // a NaN coordinate would poison the router's region intersection
+    std::vector<uint8_t> bytes = valid;
+    // First F64 of the rect starts at offset 9; quiet-NaN bit pattern.
+    const uint8_t nan_le[8] = {0, 0, 0, 0, 0, 0, 0xF8, 0x7F};
+    for (size_t i = 0; i < 8; ++i) bytes[9 + i] = nan_le[i];
+    EXPECT_EQ(DecodeContinuousResponse(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // trailing bytes
+    std::vector<uint8_t> bytes = valid;
+    bytes.push_back(0);
+    EXPECT_EQ(DecodeContinuousResponse(bytes).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireContinuousTest, UnregisterRoundTripsAndRejectsTruncation) {
+  ByteWriter writer;
+  ASSERT_TRUE(EncodeUnregister(0xDEADBEEFCAFEF00Dull, &writer).ok());
+  auto decoded = DecodeUnregister(writer.bytes());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 0xDEADBEEFCAFEF00Dull);
+
+  const std::vector<uint8_t> bytes = std::move(writer).Take();
+  EXPECT_FALSE(
+      DecodeUnregister(std::span<const uint8_t>(bytes.data(), 7)).ok());
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeUnregister(trailing).ok());
+}
+
+TEST(WireContinuousTest, V2FrameTypesRoundTripThroughTheHeader) {
+  for (const FrameType type :
+       {FrameType::kRegister, FrameType::kContinuousUpdate,
+        FrameType::kContinuousResponse, FrameType::kUnregister}) {
+    ByteWriter writer;
+    EncodeFrameHeader(type, 99, &writer);
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(writer.bytes(), 1 << 20, &header).ok());
+    EXPECT_EQ(header.type, type);
+    EXPECT_EQ(header.payload_size, 99u);
+  }
+}
+
 // ---- Fuzz totality ---------------------------------------------------------
 
 // Runs one byte string through every decoder; the only acceptable outcomes
@@ -294,6 +430,10 @@ void DecodeEverything(const std::vector<uint8_t>& bytes) {
   (void)DecodeFrameHeader(bytes, 1 << 16, &header);
   (void)DecodeSnapshot(bytes);
   (void)DecodeShardMap(bytes);
+  (void)DecodeContinuousRequest(bytes);
+  (void)DecodeContinuousUpdate(bytes);
+  (void)DecodeContinuousResponse(bytes);
+  (void)DecodeUnregister(bytes);
   ByteReader reader(bytes);
   (void)DecodePdf(&reader);
 }
@@ -348,6 +488,40 @@ TEST(WireFuzzTest, TruncationsAndMutationsOfValidEncodingsNeverCrash) {
     map[2].uncertain_bounds = Rect(2, 3, 2, 3);
     ByteWriter writer;
     EncodeShardMap(map, &writer);
+    corpus.push_back(std::move(writer).Take());
+  }
+  {  // v2 continuous payloads, one seed each
+    WireContinuousRequest request;
+    request.subscription_id = 11;
+    request.request.issuer_pdf = AllEncodablePdfs().front();
+    request.request.spec.query.w = 100.0;
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeContinuousRequest(request, &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    WireContinuousUpdate update;
+    update.subscription_id = 12;
+    update.issuer_id = 7;
+    update.issuer_pdf = AllEncodablePdfs().back();
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeContinuousUpdate(update, &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    WireContinuousResponse response;
+    response.subscription_id = 13;
+    response.revalidated = true;
+    response.valid_region = Rect(0, 50, 0, 50);
+    for (uint32_t i = 0; i < 8; ++i) response.response.answers.push_back(
+        {i, 0.25});
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeContinuousResponse(response, &writer).ok());
+    corpus.push_back(std::move(writer).Take());
+  }
+  {
+    ByteWriter writer;
+    ASSERT_TRUE(EncodeUnregister(14, &writer).ok());
     corpus.push_back(std::move(writer).Take());
   }
 

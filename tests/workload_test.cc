@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <vector>
@@ -464,6 +465,142 @@ TEST(ChurnWorkloadTest, RejectsBadArguments) {
   WorkloadConfig bad_base;
   bad_base.space = Rect::Empty();
   EXPECT_FALSE(GenerateChurnWorkload(bad_base, ChurnConfig{}).ok());
+}
+
+// ---- Trajectories (moving issuers) -----------------------------------------
+
+TEST(TrajectoryWorkloadTest, DeterministicInSeedAndShape) {
+  WorkloadConfig base;
+  base.seed = 31;
+  TrajectoryConfig traj;
+  traj.issuers = 3;
+  traj.steps = 12;
+  traj.u_min = 20.0;
+  traj.u_max = 60.0;
+  Result<TrajectoryWorkload> a = GenerateTrajectoryWorkload(base, traj);
+  Result<TrajectoryWorkload> b = GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->steps.size(), 3u);
+  for (size_t i = 0; i < a->steps.size(); ++i) {
+    ASSERT_EQ(a->steps[i].size(), 12u);
+    for (size_t t = 0; t < a->steps[i].size(); ++t) {
+      EXPECT_EQ(a->steps[i][t].region(), b->steps[i][t].region())
+          << "issuer " << i << " step " << t;
+    }
+  }
+  // A different seed actually changes the trajectories.
+  base.seed = 32;
+  Result<TrajectoryWorkload> c = GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->steps[0][0].region(), c->steps[0][0].region());
+}
+
+TEST(TrajectoryWorkloadTest, AddingIssuersNeverPerturbsExistingOnes) {
+  WorkloadConfig base;
+  base.seed = 47;
+  TrajectoryConfig traj;
+  traj.issuers = 2;
+  traj.steps = 10;
+  Result<TrajectoryWorkload> small = GenerateTrajectoryWorkload(base, traj);
+  traj.issuers = 7;
+  Result<TrajectoryWorkload> large = GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  for (size_t i = 0; i < small->steps.size(); ++i) {
+    for (size_t t = 0; t < small->steps[i].size(); ++t) {
+      EXPECT_EQ(small->steps[i][t].region(), large->steps[i][t].region())
+          << "issuer " << i << " step " << t;
+    }
+  }
+}
+
+TEST(TrajectoryWorkloadTest, StepsStayInsideWithBoundedImprecision) {
+  WorkloadConfig base;
+  TrajectoryConfig traj;
+  traj.issuers = 4;
+  traj.steps = 30;
+  traj.u_min = 25.0;
+  traj.u_max = 75.0;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(workload.ok());
+  for (size_t i = 0; i < workload->steps.size(); ++i) {
+    for (const UncertainObject& step : workload->steps[i]) {
+      EXPECT_EQ(step.id(), static_cast<ObjectId>(i + 1));
+      EXPECT_TRUE(base.space.ContainsRect(step.region()));
+      EXPECT_GE(step.region().Width(), 2 * traj.u_min - 1e-9);
+      EXPECT_LE(step.region().Width(), 2 * traj.u_max + 1e-9);
+      ASSERT_NE(step.catalog(), nullptr);
+    }
+  }
+}
+
+TEST(TrajectoryWorkloadTest, WaypointMotionIsSpeedBounded) {
+  WorkloadConfig base;
+  TrajectoryConfig traj;
+  traj.issuers = 3;
+  traj.steps = 40;
+  traj.kind = TrajectoryKind::kWaypoint;
+  traj.step = 150.0;
+  traj.u_min = 10.0;
+  traj.u_max = 10.0;
+  traj.hotspots = 4;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(workload.ok());
+  for (const std::vector<UncertainObject>& trajectory : workload->steps) {
+    for (size_t t = 1; t < trajectory.size(); ++t) {
+      // Region centres sit within u of the true position (border clamping
+      // can shift a region by at most its half-side), so consecutive
+      // centres can be at most step + 2u apart.
+      const Point a = trajectory[t - 1].region().Center();
+      const Point b = trajectory[t].region().Center();
+      const double moved = std::hypot(b.x - a.x, b.y - a.y);
+      EXPECT_LE(moved, traj.step + 2 * traj.u_max + 1e-9)
+          << "step " << t;
+    }
+  }
+}
+
+TEST(TrajectoryWorkloadTest, GaussianIssuerFamilyIsRespected) {
+  WorkloadConfig base;
+  base.issuer_pdf = IssuerPdfKind::kGaussian;
+  TrajectoryConfig traj;
+  traj.issuers = 2;
+  traj.steps = 4;
+  Result<TrajectoryWorkload> workload =
+      GenerateTrajectoryWorkload(base, traj);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& trajectory : workload->steps) {
+    for (const UncertainObject& step : trajectory) {
+      EXPECT_EQ(step.pdf().name(), "gaussian");
+    }
+  }
+}
+
+TEST(TrajectoryWorkloadTest, RejectsInvalidConfigs) {
+  const WorkloadConfig base;
+  TrajectoryConfig traj;
+  traj.issuers = 0;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
+  traj = TrajectoryConfig{};
+  traj.steps = 0;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
+  traj = TrajectoryConfig{};
+  traj.step = -1.0;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
+  traj = TrajectoryConfig{};
+  traj.u_min = 50.0;
+  traj.u_max = 10.0;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
+  traj = TrajectoryConfig{};
+  traj.kind = TrajectoryKind::kWaypoint;
+  traj.hotspots = 0;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
+  traj = TrajectoryConfig{};
+  traj.zipf_s = -0.5;
+  EXPECT_FALSE(GenerateTrajectoryWorkload(base, traj).ok());
 }
 
 }  // namespace
